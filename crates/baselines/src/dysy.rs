@@ -1,0 +1,97 @@
+//! The DySy baseline: preconditions as summaries of passing executions.
+//!
+//! DySy (Csallner et al.) runs the test suite under dynamic symbolic
+//! execution and takes the disjunction of the path conditions of the
+//! *passing* runs as the method's precondition. No pruning, no
+//! generalization: correct wherever the suite covered the passing space,
+//! and verbose in direct proportion to the number of explored paths.
+
+use minilang::CheckId;
+use preinfer_core::InferredPrecondition;
+use symbolic::Formula;
+use testgen::Suite;
+
+/// Infers the DySy precondition for one ACL: `ψ` is the disjunction of the
+/// passing path conditions (each one the conjunction of its branch
+/// predicates); `α = ¬ψ`. Returns `None` when the suite has no failing test
+/// for the ACL (mirroring the evaluation protocol, which only scores
+/// exception-throwing locations).
+pub fn infer_dysy(acl: CheckId, suite: &Suite) -> Option<InferredPrecondition> {
+    let (passing, failing) = suite.partition(acl);
+    if failing.is_empty() {
+        return None;
+    }
+    let mut seen: Vec<String> = Vec::new();
+    let mut disjuncts: Vec<Formula> = Vec::new();
+    for run in passing {
+        let parts: Vec<Formula> = run
+            .path
+            .entries
+            .iter()
+            .filter(|e| e.kind.is_branch())
+            .map(|e| Formula::pred(e.pred.clone()))
+            .collect();
+        let conj = Formula::and(parts);
+        let key = conj.to_string();
+        if !seen.contains(&key) {
+            seen.push(key);
+            disjuncts.push(conj);
+        }
+    }
+    let count = disjuncts.len();
+    let psi = Formula::or(disjuncts);
+    let alpha = psi.negated();
+    Some(InferredPrecondition { alpha, psi, quantified: false, disjuncts: count })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testgen::{generate_tests, TestGenConfig};
+
+    #[test]
+    fn dysy_is_sufficient_and_necessary_on_the_generating_suite() {
+        let tp = minilang::compile("fn f(x int) { assert(x != 3); }").unwrap();
+        let suite = generate_tests(&tp, "f", &TestGenConfig::default());
+        let acl = suite.triggered_acls()[0];
+        let pre = infer_dysy(acl, &suite).unwrap();
+        let (pass, fail) = suite.partition(acl);
+        for r in &pass {
+            assert!(preinfer_core::validates(&pre.psi, &r.state), "blocks passing {}", r.state);
+        }
+        for r in &fail {
+            assert!(!preinfer_core::validates(&pre.psi, &r.state), "admits failing {}", r.state);
+        }
+    }
+
+    #[test]
+    fn dysy_complexity_grows_with_paths() {
+        let tp = minilang::compile(
+            "fn f(a int, b int, c int) -> int {
+                let n = 0;
+                if (a > 0) { n = n + 1; }
+                if (b > 0) { n = n + 1; }
+                if (c > 0) { n = n + 1; }
+                assert(n != 3);
+                return n;
+            }",
+        )
+        .unwrap();
+        let suite = generate_tests(&tp, "f", &TestGenConfig::default());
+        let acl = suite.triggered_acls()[0];
+        let dysy = infer_dysy(acl, &suite).unwrap();
+        let fixit = crate::infer_fixit(acl, &suite).unwrap();
+        // DySy enumerates the 7 passing combinations; FixIt emits one atom.
+        assert!(dysy.psi.complexity() > 5 * fixit.psi.complexity().max(1));
+    }
+
+    #[test]
+    fn dysy_with_no_passing_tests_blocks_everything() {
+        // Every input fails → ψ = false.
+        let tp = minilang::compile("fn f(x int) { assert(false); }").unwrap();
+        let suite = generate_tests(&tp, "f", &TestGenConfig::default());
+        let acl = suite.triggered_acls()[0];
+        let pre = infer_dysy(acl, &suite).unwrap();
+        assert_eq!(pre.psi.to_string(), "false");
+    }
+}

@@ -1,0 +1,92 @@
+//! The FixIt baseline: precondition from the last-branch predicate only.
+
+use minilang::CheckId;
+use preinfer_core::InferredPrecondition;
+use symbolic::Formula;
+use testgen::Suite;
+
+/// Infers the FixIt precondition for one ACL: `α` is the disjunction of the
+/// failing paths' last-branch predicates (de-duplicated), `ψ = ¬α`. Returns
+/// `None` when no failing test exists.
+pub fn infer_fixit(acl: CheckId, suite: &Suite) -> Option<InferredPrecondition> {
+    let (_, failing) = suite.partition(acl);
+    if failing.is_empty() {
+        return None;
+    }
+    let mut seen: Vec<String> = Vec::new();
+    let mut disjuncts: Vec<Formula> = Vec::new();
+    for run in failing {
+        let last = run.path.last_branch()?;
+        let f = Formula::pred(last.pred.clone());
+        let key = f.to_string();
+        if !seen.contains(&key) {
+            seen.push(key);
+            disjuncts.push(f);
+        }
+    }
+    let count = disjuncts.len();
+    let alpha = Formula::or(disjuncts);
+    let psi = alpha.negated();
+    Some(InferredPrecondition { alpha, psi, quantified: false, disjuncts: count })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testgen::{generate_tests, TestGenConfig};
+
+    #[test]
+    fn fixit_on_simple_assert_is_exact() {
+        // The correct precondition IS the negated last-branch predicate.
+        let tp = minilang::compile("fn f(x int) { assert(x != 3); }").unwrap();
+        let suite = generate_tests(&tp, "f", &TestGenConfig::default());
+        let acl = suite.triggered_acls()[0];
+        let pre = infer_fixit(acl, &suite).unwrap();
+        assert_eq!(pre.alpha.to_string(), "x == 3");
+        assert_eq!(pre.psi.to_string(), "x != 3");
+    }
+
+    #[test]
+    fn fixit_misses_reachability_guards() {
+        // Failure guarded by x > 2: FixIt's ψ = y != 0 blocks passing tests
+        // with x <= 2 && y == 0? No — ψ = y != 0 *blocks* them although they
+        // pass: not necessary.
+        let tp = minilang::compile(
+            "fn f(x int, y int) -> int { if (x > 2) { return x / y; } return 0; }",
+        )
+        .unwrap();
+        let suite = generate_tests(&tp, "f", &TestGenConfig::default());
+        let acl = suite
+            .triggered_acls()
+            .into_iter()
+            .find(|a| a.kind == minilang::CheckKind::DivByZero)
+            .unwrap();
+        let pre = infer_fixit(acl, &suite).unwrap();
+        assert_eq!(pre.psi.to_string(), "y != 0");
+        // Necessity check against the suite: a passing run with x<=2, y=0
+        // exists (the all-zero seed), and FixIt wrongly blocks it.
+        let (pass, _) = suite.partition(acl);
+        let violates_necessity = pass
+            .iter()
+            .any(|r| !preinfer_core::validates(&pre.psi, &r.state));
+        assert!(violates_necessity);
+    }
+
+    #[test]
+    fn fixit_never_quantifies() {
+        let tp = minilang::compile(
+            "fn f(s [str]) -> int {
+                let n = 0;
+                for (let i = 0; i < len(s); i = i + 1) { n = n + strlen(s[i]); }
+                return n;
+            }",
+        )
+        .unwrap();
+        let suite = generate_tests(&tp, "f", &TestGenConfig::default());
+        for acl in suite.triggered_acls() {
+            let pre = infer_fixit(acl, &suite).unwrap();
+            assert!(!pre.quantified);
+            assert!(!pre.psi.is_quantified());
+        }
+    }
+}

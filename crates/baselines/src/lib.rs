@@ -1,0 +1,23 @@
+//! # baselines
+//!
+//! The two related state-of-the-art approaches PreInfer is compared against
+//! in the paper's evaluation (Section V):
+//!
+//! * **FixIt** — infers the precondition from the *last-branch predicate*
+//!   only: `α = ⋁ φ|ρ|` over the failing paths, `ψ = ¬α`. It uses no other
+//!   branch conditions and has no notion of a quantifier, which is why it
+//!   handles zero collection-element cases (Table VI) — but it wins on some
+//!   complex-loop cases where the correct precondition *is* just the negated
+//!   last-branch predicate.
+//! * **DySy** — summarizes the *passing* executions: the precondition is the
+//!   disjunction of the (input-projected) passing path conditions. Correct
+//!   whenever the suite covers the passing space, but verbose: its relative
+//!   complexity dwarfs PreInfer's (Figure 3). Unlike PreInfer it needs no
+//!   failing-path pruning and still infers something when passing tests are
+//!   scarce in structure.
+
+pub mod dysy;
+pub mod fixit;
+
+pub use dysy::infer_dysy;
+pub use fixit::infer_fixit;

@@ -1,0 +1,158 @@
+//! Microbenchmarks of the core algorithms: concolic execution, constraint
+//! solving, generational test generation, dynamic predicate pruning, and
+//! collection-element generalization — plus ablations for the design
+//! choices DESIGN.md calls out (dynamic witnesses on/off, removal
+//! verification on/off).
+
+use concolic::{run_concolic, ConcolicConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use interp::{run, InterpConfig};
+use minilang::{compile, InputValue, MethodEntryState, TypedProgram};
+use preinfer_core::{
+    generalize_path, infer_precondition, prune_failing_paths, PreInferConfig, PruneConfig,
+};
+use solver::{solve_preds, FuncSig, SolverConfig};
+use std::hint::black_box;
+use symbolic::Pred;
+use testgen::{generate_tests, TestGenConfig};
+
+const FIG1: &str = "
+fn example(s [str], a int, b int, c int, d int) -> int {
+    let sum = 0;
+    if (a > 0) { b = b + 1; }
+    if (c > 0) { d = d + 1; }
+    if (b > 0) { sum = sum + 1; }
+    if (d > 0) {
+        for (let i = 0; i < len(s); i = i + 1) {
+            sum = sum + strlen(s[i]);
+        }
+        return sum;
+    }
+    return sum;
+}";
+
+fn fig1() -> TypedProgram {
+    compile(FIG1).unwrap()
+}
+
+fn tf3_state() -> MethodEntryState {
+    let a = Some(vec![97i64]);
+    MethodEntryState::from_pairs([
+        ("s".to_string(), InputValue::ArrayStr(Some(vec![a.clone(), a, None]))),
+        ("a".to_string(), InputValue::Int(1)),
+        ("b".to_string(), InputValue::Int(0)),
+        ("c".to_string(), InputValue::Int(1)),
+        ("d".to_string(), InputValue::Int(0)),
+    ])
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let tp = fig1();
+    let state = tf3_state();
+    c.bench_function("interp_fig1_tf3", |b| {
+        b.iter(|| black_box(run(&tp, "example", &state, &InterpConfig::default())));
+    });
+    c.bench_function("concolic_fig1_tf3", |b| {
+        b.iter(|| black_box(run_concolic(&tp, "example", &state, &ConcolicConfig::default())));
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let tp = fig1();
+    let func = tp.func("example").unwrap();
+    let sig = FuncSig::of(func);
+    let out = run_concolic(&tp, "example", &tf3_state(), &ConcolicConfig::default());
+    let preds: Vec<Pred> = out.path.entries.iter().map(|e| e.pred.clone()).collect();
+    c.bench_function("solve_fig1_tf3_path_condition", |b| {
+        b.iter(|| black_box(solve_preds(&preds, &sig, &SolverConfig::default())));
+    });
+}
+
+fn bench_testgen(c: &mut Criterion) {
+    let tp = fig1();
+    let mut g = c.benchmark_group("testgen");
+    g.sample_size(10);
+    g.bench_function("generate_fig1_suite", |b| {
+        b.iter(|| black_box(generate_tests(&tp, "example", &TestGenConfig::default())));
+    });
+    g.finish();
+}
+
+fn element_acl(suite: &testgen::Suite) -> minilang::CheckId {
+    suite
+        .triggered_acls()
+        .into_iter()
+        .find(|a| {
+            let (_, fail) = suite.partition(*a);
+            fail.iter().any(|r| {
+                r.path.last_branch().map(|e| e.pred.to_string().starts_with("s[")).unwrap_or(false)
+            })
+        })
+        .expect("element ACL")
+}
+
+fn bench_pruning_ablations(c: &mut Criterion) {
+    let tp = fig1();
+    let suite = generate_tests(&tp, "example", &TestGenConfig::default());
+    let acl = element_acl(&suite);
+    let (pass, fail) = suite.partition(acl);
+    let mut g = c.benchmark_group("pruning");
+    g.sample_size(10);
+    g.bench_function("full_dynamic", |b| {
+        b.iter(|| {
+            black_box(prune_failing_paths(&tp, "example", acl, &pass, &fail, &PruneConfig::default()))
+        });
+    });
+    // Ablation: witnesses only from the suite (no manufactured deviations).
+    let static_cfg =
+        PruneConfig { dynamic_witnesses: false, verify_removals: false, ..Default::default() };
+    g.bench_function("static_witnesses_only", |b| {
+        b.iter(|| {
+            black_box(prune_failing_paths(&tp, "example", acl, &pass, &fail, &static_cfg))
+        });
+    });
+    g.finish();
+}
+
+fn bench_generalization(c: &mut Criterion) {
+    let tp = fig1();
+    let suite = generate_tests(&tp, "example", &TestGenConfig::default());
+    let acl = element_acl(&suite);
+    let (pass, fail) = suite.partition(acl);
+    let (reduced, _) =
+        prune_failing_paths(&tp, "example", acl, &pass, &fail, &PruneConfig::default());
+    let templates = preinfer_core::default_templates();
+    let states: Vec<&MethodEntryState> = pass.iter().map(|r| &r.state).collect();
+    c.bench_function("generalize_reduced_paths", |b| {
+        b.iter(|| {
+            for r in &reduced {
+                black_box(generalize_path(r, &templates, &states));
+            }
+        });
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let tp = fig1();
+    let suite = generate_tests(&tp, "example", &TestGenConfig::default());
+    let acl = element_acl(&suite);
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("infer_precondition_fig1", |b| {
+        b.iter(|| {
+            black_box(infer_precondition(&tp, "example", acl, &suite, &PreInferConfig::default()))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    core_algorithms,
+    bench_execution,
+    bench_solver,
+    bench_testgen,
+    bench_pruning_ablations,
+    bench_generalization,
+    bench_end_to_end
+);
+criterion_main!(core_algorithms);

@@ -1,0 +1,88 @@
+//! One benchmark per paper table/figure: times the regeneration of each
+//! artifact (on bounded corpus slices, so Criterion's iteration counts stay
+//! reasonable). The artifacts' *contents* are produced by
+//! `cargo run --release --bin tables`; these benches measure the machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use report::{evaluate_corpus, EvalConfig};
+use std::hint::black_box;
+
+fn slice(names: &[&str]) -> Vec<subjects::SubjectMethod> {
+    subjects::all_subjects().into_iter().filter(|m| names.contains(&m.name)).collect()
+}
+
+/// Table I/II: collecting the motivating example's failing path conditions.
+fn bench_table_1_2(c: &mut Criterion) {
+    c.bench_function("table_1_2_path_conditions", |b| {
+        b.iter(|| black_box(report::table_1_2()));
+    });
+}
+
+/// Table III: corpus statistics.
+fn bench_table_3(c: &mut Criterion) {
+    c.bench_function("table_3_corpus_stats", |b| {
+        b.iter(|| black_box(report::table_3()));
+    });
+}
+
+/// Table IV: test generation + coverage on one representative method.
+fn bench_table_4(c: &mut Criterion) {
+    let methods = slice(&["bubble_sort"]);
+    let cfg = EvalConfig::default();
+    c.bench_function("table_4_coverage_one_method", |b| {
+        b.iter(|| {
+            let results = evaluate_corpus(&methods, &cfg);
+            black_box(report::table_4(&results))
+        });
+    });
+}
+
+/// Table V: the full three-approach comparison on a two-method slice.
+fn bench_table_5(c: &mut Criterion) {
+    let methods = slice(&["guarded_div", "stack_pop"]);
+    let cfg = EvalConfig::default();
+    let mut g = c.benchmark_group("table_5");
+    g.sample_size(10);
+    g.bench_function("three_approaches_two_methods", |b| {
+        b.iter(|| {
+            let results = evaluate_corpus(&methods, &cfg);
+            black_box(report::table_5(&results))
+        });
+    });
+    g.finish();
+}
+
+/// Table VI: a collection-element case end to end.
+fn bench_table_6(c: &mut Criterion) {
+    let methods = slice(&["inverse_sum"]);
+    let cfg = EvalConfig::default();
+    let mut g = c.benchmark_group("table_6");
+    g.sample_size(10);
+    g.bench_function("quantified_case", |b| {
+        b.iter(|| {
+            let results = evaluate_corpus(&methods, &cfg);
+            black_box(report::table_6(&results))
+        });
+    });
+    g.finish();
+}
+
+/// Figure 3: relative-complexity aggregation (on precomputed results).
+fn bench_figure_3(c: &mut Criterion) {
+    let methods = slice(&["guarded_div", "inverse_sum", "requires_range"]);
+    let results = evaluate_corpus(&methods, &EvalConfig::default());
+    c.bench_function("figure_3_aggregation", |b| {
+        b.iter(|| black_box(report::figure_3(&results)));
+    });
+}
+
+criterion_group!(
+    tables,
+    bench_table_1_2,
+    bench_table_3,
+    bench_table_4,
+    bench_table_5,
+    bench_table_6,
+    bench_figure_3
+);
+criterion_main!(tables);

@@ -1,0 +1,206 @@
+//! Concolic values: concrete runtime data paired with symbolic shadows.
+//!
+//! Every integer carries the [`Term`] describing it as a function of the
+//! method inputs; references carry their input *origin* [`Place`] (if any)
+//! plus shadow contents so that values written into arrays keep their
+//! symbolic identity when read back.
+
+use interp::StrRef;
+use std::cell::RefCell;
+use std::rc::Rc;
+use symbolic::{Place, Term};
+
+/// A (possibly null) string with its input origin.
+#[derive(Debug, Clone)]
+pub struct CStr {
+    /// Concrete characters, `None` when null.
+    pub val: Option<StrRef>,
+    /// The input place this string came from (`s`, `s[2]`, …), if any.
+    /// Program-created literals have no origin: predicates about them are
+    /// constants and are dropped from path conditions.
+    pub origin: Option<Place>,
+}
+
+impl CStr {
+    /// A null string with no origin (the `null` literal).
+    pub fn null() -> CStr {
+        CStr { val: None, origin: None }
+    }
+
+    /// A concrete literal.
+    pub fn literal(chars: Vec<i64>) -> CStr {
+        CStr { val: Some(Rc::new(chars)), origin: None }
+    }
+}
+
+/// Shadow object for an `[int]` array.
+#[derive(Debug)]
+pub struct ArrIntObj {
+    /// `(concrete, symbolic)` per cell.
+    pub cells: Vec<(i64, Term)>,
+    /// Symbolic length (`len(place)` for inputs, a constant for created
+    /// arrays — MiniLang arrays never resize).
+    pub len_term: Term,
+    /// Input origin of the array reference.
+    pub origin: Option<Place>,
+}
+
+/// Shadow object for a `[str]` array.
+#[derive(Debug)]
+pub struct ArrStrObj {
+    pub cells: Vec<CStr>,
+    pub len_term: Term,
+    pub origin: Option<Place>,
+}
+
+/// A concolic value.
+#[derive(Debug, Clone)]
+pub enum CVal {
+    /// Concrete int + symbolic term.
+    Int(i64, Term),
+    /// Booleans are concrete; `origin` names a `bool` *parameter* when the
+    /// value is exactly that input (branching on it records a `BoolVar`
+    /// predicate). Computed booleans are pinned at their defining branches
+    /// and carry no symbolic residue.
+    Bool(bool, Option<String>),
+    Str(CStr),
+    /// `None` reference is null; the `Option<Place>` is the reference's
+    /// input origin (meaningful even when null — `s == null` needs it).
+    ArrInt(Option<Rc<RefCell<ArrIntObj>>>, Option<Place>),
+    ArrStr(Option<Rc<RefCell<ArrStrObj>>>, Option<Place>),
+    Unit,
+}
+
+impl CVal {
+    /// The concrete integer and its term.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-int values (the program is type-checked).
+    pub fn as_int(&self) -> (i64, Term) {
+        match self {
+            CVal::Int(c, t) => (*c, t.clone()),
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+
+    /// The concrete boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-bool values.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            CVal::Bool(b, _) => *b,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+
+    /// Whether this value is a null reference.
+    pub fn is_null(&self) -> bool {
+        matches!(
+            self,
+            CVal::Str(CStr { val: None, .. }) | CVal::ArrInt(None, _) | CVal::ArrStr(None, _)
+        )
+    }
+
+    /// The input origin of a reference value, if any.
+    pub fn ref_origin(&self) -> Option<&Place> {
+        match self {
+            CVal::Str(s) => s.origin.as_ref(),
+            CVal::ArrInt(_, o) | CVal::ArrStr(_, o) => o.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+/// Materializes a method-entry input as a concolic value rooted at `place`.
+pub fn materialize(input: &minilang::InputValue, place: Place) -> CVal {
+    use minilang::InputValue;
+    match input {
+        InputValue::Int(v) => CVal::Int(*v, Term::Var(symbolic::SymVar::Int(place_name(&place)))),
+        InputValue::Bool(b) => CVal::Bool(*b, Some(place_name(&place))),
+        InputValue::Str(s) => CVal::Str(CStr {
+            val: s.as_ref().map(|cs| Rc::new(cs.clone())),
+            origin: Some(place),
+        }),
+        InputValue::ArrayInt(a) => match a {
+            None => CVal::ArrInt(None, Some(place)),
+            Some(xs) => {
+                let cells = xs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &v)| (v, Term::int_elem(place.clone(), Term::int(k as i64))))
+                    .collect();
+                let obj = ArrIntObj { cells, len_term: Term::len(place.clone()), origin: Some(place.clone()) };
+                CVal::ArrInt(Some(Rc::new(RefCell::new(obj))), Some(place))
+            }
+        },
+        InputValue::ArrayStr(a) => match a {
+            None => CVal::ArrStr(None, Some(place)),
+            Some(xs) => {
+                let cells = xs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, s)| CStr {
+                        val: s.as_ref().map(|cs| Rc::new(cs.clone())),
+                        origin: Some(Place::elem(place.clone(), k as i64)),
+                    })
+                    .collect();
+                let obj = ArrStrObj { cells, len_term: Term::len(place.clone()), origin: Some(place.clone()) };
+                CVal::ArrStr(Some(Rc::new(RefCell::new(obj))), Some(place))
+            }
+        },
+    }
+}
+
+fn place_name(place: &Place) -> String {
+    match place {
+        Place::Param(name) => name.clone(),
+        other => panic!("scalar inputs are parameters, got {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::InputValue;
+
+    #[test]
+    fn materialize_int_array() {
+        let v = materialize(&InputValue::ArrayInt(Some(vec![5, 7])), Place::param("a"));
+        let CVal::ArrInt(Some(obj), origin) = &v else { panic!() };
+        assert_eq!(origin.as_ref().unwrap().to_string(), "a");
+        let obj = obj.borrow();
+        assert_eq!(obj.cells[1].0, 7);
+        assert_eq!(obj.cells[1].1.to_string(), "a[1]");
+        assert_eq!(obj.len_term.to_string(), "len(a)");
+    }
+
+    #[test]
+    fn materialize_str_array_elements_have_places() {
+        let v = materialize(
+            &InputValue::ArrayStr(Some(vec![None, Some(vec![97])])),
+            Place::param("s"),
+        );
+        let CVal::ArrStr(Some(obj), _) = &v else { panic!() };
+        let obj = obj.borrow();
+        assert!(obj.cells[0].val.is_none());
+        assert_eq!(obj.cells[0].origin.as_ref().unwrap().to_string(), "s[0]");
+        assert_eq!(obj.cells[1].origin.as_ref().unwrap().to_string(), "s[1]");
+    }
+
+    #[test]
+    fn materialize_null_keeps_origin() {
+        let v = materialize(&InputValue::Str(None), Place::param("s"));
+        assert!(v.is_null());
+        assert_eq!(v.ref_origin().unwrap().to_string(), "s");
+    }
+
+    #[test]
+    fn bool_param_has_name_origin() {
+        let v = materialize(&InputValue::Bool(true), Place::param("flag"));
+        let CVal::Bool(true, Some(name)) = &v else { panic!() };
+        assert_eq!(name, "flag");
+    }
+}

@@ -1,0 +1,24 @@
+//! # interp
+//!
+//! The concrete MiniLang interpreter: runtime values, implicit runtime
+//! checks (the paper's implicit assertion-containing locations), explicit
+//! assertions, fuel-bounded execution, and basic-block coverage collection
+//! for Table IV.
+//!
+//! ```
+//! use interp::{run, InterpConfig, ExecResult, Value};
+//! use minilang::{compile, InputValue, MethodEntryState};
+//!
+//! # fn main() {
+//! let tp = compile("fn f(x int) -> int { return x + 1; }").unwrap();
+//! let state = MethodEntryState::from_pairs([("x", InputValue::Int(41))]);
+//! let out = run(&tp, "f", &state, &InterpConfig::default());
+//! assert!(matches!(out.result, ExecResult::Completed(Value::Int(42))));
+//! # }
+//! ```
+
+pub mod machine;
+pub mod value;
+
+pub use machine::{run, ExecOutcome, ExecResult, InterpConfig, RuntimeError};
+pub use value::{ArrIntRef, ArrStrRef, StrRef, Value};

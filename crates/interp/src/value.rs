@@ -1,0 +1,139 @@
+//! Runtime values for the MiniLang interpreter.
+//!
+//! Unlike the immutable [`minilang::InputValue`] snapshots used for entry
+//! states, runtime arrays are heap references with interior mutability:
+//! MiniLang programs may write `a[i] = e`, and aliases (e.g. an array passed
+//! to a callee) must observe the write.
+
+use minilang::InputValue;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime string: immutable shared character codes.
+pub type StrRef = Rc<Vec<i64>>;
+/// A runtime `[int]` array.
+pub type ArrIntRef = Rc<RefCell<Vec<i64>>>;
+/// A runtime `[str]` array (elements may be null).
+pub type ArrStrRef = Rc<RefCell<Vec<Option<StrRef>>>>;
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Int(i64),
+    Bool(bool),
+    Str(Option<StrRef>),
+    ArrayInt(Option<ArrIntRef>),
+    ArrayStr(Option<ArrStrRef>),
+    /// The result of a `void` call.
+    Unit,
+}
+
+impl Value {
+    /// Deep-copies an input value into the runtime heap.
+    pub fn from_input(v: &InputValue) -> Value {
+        match v {
+            InputValue::Int(x) => Value::Int(*x),
+            InputValue::Bool(b) => Value::Bool(*b),
+            InputValue::Str(s) => Value::Str(s.as_ref().map(|cs| Rc::new(cs.clone()))),
+            InputValue::ArrayInt(a) => {
+                Value::ArrayInt(a.as_ref().map(|xs| Rc::new(RefCell::new(xs.clone()))))
+            }
+            InputValue::ArrayStr(a) => Value::ArrayStr(a.as_ref().map(|xs| {
+                Rc::new(RefCell::new(
+                    xs.iter().map(|s| s.as_ref().map(|cs| Rc::new(cs.clone()))).collect(),
+                ))
+            })),
+        }
+    }
+
+    /// The concrete int, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The concrete bool, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a null reference.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Str(None) | Value::ArrayInt(None) | Value::ArrayStr(None))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(None) | Value::ArrayInt(None) | Value::ArrayStr(None) => write!(f, "null"),
+            Value::Str(Some(cs)) => {
+                let text: String =
+                    cs.iter().map(|&c| char::from_u32(c.max(0) as u32).unwrap_or('\u{FFFD}')).collect();
+                write!(f, "{text:?}")
+            }
+            Value::ArrayInt(Some(a)) => write!(f, "{:?}", a.borrow()),
+            Value::ArrayStr(Some(a)) => {
+                write!(f, "[")?;
+                for (i, s) in a.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match s {
+                        None => write!(f, "null")?,
+                        Some(cs) => {
+                            let text: String = cs
+                                .iter()
+                                .map(|&c| char::from_u32(c.max(0) as u32).unwrap_or('\u{FFFD}'))
+                                .collect();
+                            write!(f, "{text:?}")?;
+                        }
+                    }
+                }
+                write!(f, "]")
+            }
+            Value::Unit => write!(f, "()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_input_round_trip_shapes() {
+        let v = Value::from_input(&InputValue::ArrayStr(Some(vec![None, Some(vec![97, 98])])));
+        let Value::ArrayStr(Some(a)) = &v else { panic!() };
+        assert_eq!(a.borrow().len(), 2);
+        assert!(a.borrow()[0].is_none());
+        assert_eq!(a.borrow()[1].as_ref().unwrap().as_slice(), &[97, 98]);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(3).as_bool(), None);
+        assert!(Value::Str(None).is_null());
+        assert!(!Value::Int(0).is_null());
+    }
+
+    #[test]
+    fn array_mutation_is_shared() {
+        let v = Value::from_input(&InputValue::ArrayInt(Some(vec![1, 2])));
+        let Value::ArrayInt(Some(a)) = &v else { panic!() };
+        let alias = v.clone();
+        a.borrow_mut()[0] = 42;
+        let Value::ArrayInt(Some(b)) = &alias else { panic!() };
+        assert_eq!(b.borrow()[0], 42);
+    }
+}

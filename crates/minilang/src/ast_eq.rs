@@ -1,0 +1,112 @@
+//! Structural AST equality, ignoring node ids and spans.
+//!
+//! Two independently parsed trees never compare equal under `PartialEq`
+//! (ids and spans differ); these helpers compare shape and content only.
+
+use crate::ast::*;
+
+/// Structural equality of expressions.
+pub fn expr_eq(a: &Expr, b: &Expr) -> bool {
+    match (&a.kind, &b.kind) {
+        (ExprKind::IntLit(x), ExprKind::IntLit(y)) => x == y,
+        (ExprKind::BoolLit(x), ExprKind::BoolLit(y)) => x == y,
+        (ExprKind::StrLit(x), ExprKind::StrLit(y)) => x == y,
+        (ExprKind::Null, ExprKind::Null) => true,
+        (ExprKind::Var(x), ExprKind::Var(y)) => x == y,
+        (ExprKind::Unary(o1, e1), ExprKind::Unary(o2, e2)) => o1 == o2 && expr_eq(e1, e2),
+        (ExprKind::Binary(o1, l1, r1), ExprKind::Binary(o2, l2, r2)) => {
+            o1 == o2 && expr_eq(l1, l2) && expr_eq(r1, r2)
+        }
+        (ExprKind::Index(a1, i1), ExprKind::Index(a2, i2)) => expr_eq(a1, a2) && expr_eq(i1, i2),
+        (ExprKind::Call { name: n1, args: a1 }, ExprKind::Call { name: n2, args: a2 }) => {
+            n1 == n2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| expr_eq(x, y))
+        }
+        (
+            ExprKind::BuiltinCall { builtin: b1, args: a1 },
+            ExprKind::BuiltinCall { builtin: b2, args: a2 },
+        ) => b1 == b2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| expr_eq(x, y)),
+        _ => false,
+    }
+}
+
+/// Structural equality of statements.
+pub fn stmt_eq(a: &Stmt, b: &Stmt) -> bool {
+    match (&a.kind, &b.kind) {
+        (StmtKind::Let { name: n1, ty: t1, init: i1 }, StmtKind::Let { name: n2, ty: t2, init: i2 }) => {
+            n1 == n2 && t1 == t2 && expr_eq(i1, i2)
+        }
+        (StmtKind::Assign { target: t1, value: v1 }, StmtKind::Assign { target: t2, value: v2 }) => {
+            let targets = match (t1, t2) {
+                (AssignTarget::Var(x), AssignTarget::Var(y)) => x == y,
+                (
+                    AssignTarget::Index { array: a1, index: i1 },
+                    AssignTarget::Index { array: a2, index: i2 },
+                ) => expr_eq(a1, a2) && expr_eq(i1, i2),
+                _ => false,
+            };
+            targets && expr_eq(v1, v2)
+        }
+        (
+            StmtKind::If { cond: c1, then_blk: t1, else_blk: e1 },
+            StmtKind::If { cond: c2, then_blk: t2, else_blk: e2 },
+        ) => {
+            expr_eq(c1, c2)
+                && block_eq(t1, t2)
+                && match (e1, e2) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => block_eq(x, y),
+                    _ => false,
+                }
+        }
+        (StmtKind::While { cond: c1, body: b1 }, StmtKind::While { cond: c2, body: b2 }) => {
+            expr_eq(c1, c2) && block_eq(b1, b2)
+        }
+        (StmtKind::Assert { cond: c1 }, StmtKind::Assert { cond: c2 }) => expr_eq(c1, c2),
+        (StmtKind::Return { value: v1 }, StmtKind::Return { value: v2 }) => match (v1, v2) {
+            (None, None) => true,
+            (Some(x), Some(y)) => expr_eq(x, y),
+            _ => false,
+        },
+        (StmtKind::Break, StmtKind::Break) => true,
+        (StmtKind::Continue, StmtKind::Continue) => true,
+        (StmtKind::Expr { expr: e1 }, StmtKind::Expr { expr: e2 }) => expr_eq(e1, e2),
+        (StmtKind::BlockStmt { block: b1 }, StmtKind::BlockStmt { block: b2 }) => block_eq(b1, b2),
+        _ => false,
+    }
+}
+
+/// Structural equality of blocks.
+pub fn block_eq(a: &Block, b: &Block) -> bool {
+    a.stmts.len() == b.stmts.len() && a.stmts.iter().zip(&b.stmts).all(|(x, y)| stmt_eq(x, y))
+}
+
+/// Structural equality of functions (name, signature, body).
+pub fn func_eq(a: &Func, b: &Func) -> bool {
+    a.name == b.name
+        && a.ret == b.ret
+        && a.params.len() == b.params.len()
+        && a.params.iter().zip(&b.params).all(|(x, y)| x.name == y.name && x.ty == y.ty)
+        && block_eq(&a.body, &b.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    #[test]
+    fn same_source_is_structurally_equal() {
+        let a = parse_expr("x + y * 2").unwrap();
+        // Extra surrounding parens shift node ids but not structure.
+        let b = parse_expr("(x + (y * 2))").unwrap();
+        assert_ne!(a, b, "ids differ because of the parens");
+        assert!(expr_eq(&a, &b));
+    }
+
+    #[test]
+    fn different_structure_is_not_equal() {
+        let a = parse_expr("x + y * 2").unwrap();
+        let b = parse_expr("(x + y) * 2").unwrap();
+        assert!(!expr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,303 @@
+//! Enumeration of *assertion-containing locations* (ACLs).
+//!
+//! Every site where the runtime can abort — an implicit check (null
+//! dereference, division by zero, array bounds, negative allocation size) or
+//! an explicit `assert` — is a potential ACL (Definition 2 of the paper).
+//! This pass enumerates them statically, together with the position of each
+//! site relative to loops, which Table V of the paper uses as its row
+//! breakdown (Before loop / Inside loop / After loop).
+
+use crate::ast::*;
+use crate::span::{NodeId, Span};
+use std::fmt;
+
+/// The failure class of a check site. Mirrors the paper's implicit-check
+/// exception types plus explicit assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CheckKind {
+    /// NullReferenceException: dereferencing a null array or string.
+    NullDeref,
+    /// DivideByZeroException.
+    DivByZero,
+    /// IndexOutOfRangeException.
+    IndexOutOfRange,
+    /// Negative size passed to an array allocation.
+    NegativeSize,
+    /// Explicit `assert(e)` violated.
+    AssertFail,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckKind::NullDeref => write!(f, "NullReference"),
+            CheckKind::DivByZero => write!(f, "DivideByZero"),
+            CheckKind::IndexOutOfRange => write!(f, "IndexOutOfRange"),
+            CheckKind::NegativeSize => write!(f, "NegativeArraySize"),
+            CheckKind::AssertFail => write!(f, "AssertionViolated"),
+        }
+    }
+}
+
+/// Identity of one check site: the AST node that performs the check plus the
+/// check's kind (one node can host several kinds, e.g. `a[i]` hosts both a
+/// null check and a bounds check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CheckId {
+    pub node: NodeId,
+    pub kind: CheckKind,
+}
+
+impl fmt::Display for CheckId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind, self.node)
+    }
+}
+
+/// Position of an ACL relative to loops in its function, the Table V
+/// breakdown dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopPos {
+    /// No loop occurs (syntactically) before the site, and the site is not
+    /// inside a loop.
+    BeforeLoop,
+    /// The site is inside a loop body (or a loop condition).
+    InsideLoop,
+    /// The site follows at least one loop but is not inside one.
+    AfterLoop,
+}
+
+impl fmt::Display for LoopPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopPos::BeforeLoop => write!(f, "Before loop"),
+            LoopPos::InsideLoop => write!(f, "Inside loop"),
+            LoopPos::AfterLoop => write!(f, "After loop"),
+        }
+    }
+}
+
+/// A statically enumerated check site in one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckSite {
+    pub id: CheckId,
+    pub span: Span,
+    pub func: String,
+    pub loop_pos: LoopPos,
+}
+
+/// Enumerates all check sites of `func`, in syntactic order.
+pub fn check_sites(func: &Func) -> Vec<CheckSite> {
+    let mut w = Walker { func: &func.name, sites: Vec::new(), loop_depth: 0, seen_loop: false };
+    w.block(&func.body);
+    w.sites
+}
+
+/// Enumerates all check sites of every function in `program`.
+pub fn program_check_sites(program: &Program) -> Vec<CheckSite> {
+    program.funcs.iter().flat_map(check_sites).collect()
+}
+
+struct Walker<'a> {
+    func: &'a str,
+    sites: Vec<CheckSite>,
+    loop_depth: u32,
+    seen_loop: bool,
+}
+
+impl<'a> Walker<'a> {
+    fn pos(&self) -> LoopPos {
+        if self.loop_depth > 0 {
+            LoopPos::InsideLoop
+        } else if self.seen_loop {
+            LoopPos::AfterLoop
+        } else {
+            LoopPos::BeforeLoop
+        }
+    }
+
+    fn site(&mut self, node: NodeId, kind: CheckKind, span: Span) {
+        self.sites.push(CheckSite {
+            id: CheckId { node, kind },
+            span,
+            func: self.func.to_string(),
+            loop_pos: self.pos(),
+        });
+    }
+
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Let { init, .. } => self.expr(init),
+            StmtKind::Assign { target, value } => {
+                match target {
+                    AssignTarget::Var(_) => {}
+                    AssignTarget::Index { array, index } => {
+                        self.expr(array);
+                        self.expr(index);
+                        // The write dereferences and bounds-checks like a read;
+                        // the checks are attributed to the assignment node.
+                        self.site(s.id, CheckKind::NullDeref, s.span);
+                        self.site(s.id, CheckKind::IndexOutOfRange, s.span);
+                    }
+                }
+                self.expr(value);
+            }
+            StmtKind::If { cond, then_blk, else_blk } => {
+                self.expr(cond);
+                self.block(then_blk);
+                if let Some(e) = else_blk {
+                    self.block(e);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.loop_depth += 1;
+                self.expr(cond);
+                self.block(body);
+                self.loop_depth -= 1;
+                self.seen_loop = true;
+            }
+            StmtKind::Assert { cond } => {
+                self.expr(cond);
+                self.site(s.id, CheckKind::AssertFail, s.span);
+            }
+            StmtKind::Return { value } => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Expr { expr } => self.expr(expr),
+            StmtKind::BlockStmt { block } => self.block(block),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::StrLit(_) | ExprKind::Null | ExprKind::Var(_) => {}
+            ExprKind::Unary(_, inner) => self.expr(inner),
+            ExprKind::Binary(op, l, r) => {
+                self.expr(l);
+                self.expr(r);
+                if matches!(op, BinOp::Div | BinOp::Rem) {
+                    self.site(e.id, CheckKind::DivByZero, e.span);
+                }
+            }
+            ExprKind::Index(arr, idx) => {
+                self.expr(arr);
+                self.expr(idx);
+                self.site(e.id, CheckKind::NullDeref, e.span);
+                self.site(e.id, CheckKind::IndexOutOfRange, e.span);
+            }
+            ExprKind::BuiltinCall { builtin, args } => {
+                for a in args {
+                    self.expr(a);
+                }
+                match builtin {
+                    Builtin::Len | Builtin::StrLen => self.site(e.id, CheckKind::NullDeref, e.span),
+                    Builtin::CharAt => {
+                        self.site(e.id, CheckKind::NullDeref, e.span);
+                        self.site(e.id, CheckKind::IndexOutOfRange, e.span);
+                    }
+                    Builtin::NewIntArray | Builtin::NewStrArray => {
+                        self.site(e.id, CheckKind::NegativeSize, e.span)
+                    }
+                    Builtin::IsSpace | Builtin::Abs => {}
+                }
+            }
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+                // Check sites inside the callee belong to the callee's own
+                // enumeration; call sites themselves cannot fail.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn sites_of(src: &str, func: &str) -> Vec<CheckSite> {
+        let p = parse_program(src).unwrap();
+        check_sites(p.func(func).unwrap())
+    }
+
+    #[test]
+    fn motivating_example_sites_and_positions() {
+        let src = "
+            fn example(s [str], a int, b int, c int, d int) -> int {
+                let sum = 0;
+                if (d > 0) {
+                    for (let i = 0; i < len(s); i = i + 1) {
+                        sum = sum + strlen(s[i]);
+                    }
+                    return sum;
+                }
+                return sum;
+            }";
+        let sites = sites_of(src, "example");
+        // len(s): NullDeref inside loop condition; s[i]: NullDeref+Bounds
+        // inside the loop; strlen(s[i]): NullDeref inside the loop.
+        let kinds: Vec<(CheckKind, LoopPos)> = sites.iter().map(|s| (s.id.kind, s.loop_pos)).collect();
+        assert!(kinds.contains(&(CheckKind::NullDeref, LoopPos::InsideLoop)));
+        assert!(kinds.contains(&(CheckKind::IndexOutOfRange, LoopPos::InsideLoop)));
+        assert_eq!(sites.iter().filter(|s| s.id.kind == CheckKind::NullDeref).count(), 3);
+    }
+
+    #[test]
+    fn before_and_after_loop_positions() {
+        let src = "
+            fn f(a [int], x int) -> int {
+                let y = 10 / x;
+                let s = 0;
+                for (let i = 0; i < len(a); i = i + 1) { s = s + a[i]; }
+                assert(s > 0);
+                return y + s;
+            }";
+        let sites = sites_of(src, "f");
+        let div = sites.iter().find(|s| s.id.kind == CheckKind::DivByZero).unwrap();
+        assert_eq!(div.loop_pos, LoopPos::BeforeLoop);
+        let assert_site = sites.iter().find(|s| s.id.kind == CheckKind::AssertFail).unwrap();
+        assert_eq!(assert_site.loop_pos, LoopPos::AfterLoop);
+    }
+
+    #[test]
+    fn index_write_has_two_checks() {
+        let sites = sites_of("fn f(a [int]) { a[0] = 1; }", "f");
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].id.kind, CheckKind::NullDeref);
+        assert_eq!(sites[1].id.kind, CheckKind::IndexOutOfRange);
+        assert_eq!(sites[0].id.node, sites[1].id.node);
+    }
+
+    #[test]
+    fn allocation_has_negative_size_check() {
+        let sites = sites_of("fn f(n int) -> [int] { return new_int_array(n); }", "f");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].id.kind, CheckKind::NegativeSize);
+    }
+
+    #[test]
+    fn nested_loop_is_inside() {
+        let src = "
+            fn f(a [int]) {
+                let i = 0;
+                while (i < len(a)) {
+                    let j = 0;
+                    while (j < i) { assert(a[j] <= a[i]); j = j + 1; }
+                    i = i + 1;
+                }
+            }";
+        let sites = sites_of(src, "f");
+        assert!(sites.iter().all(|s| s.loop_pos == LoopPos::InsideLoop));
+    }
+}

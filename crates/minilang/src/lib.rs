@@ -1,0 +1,65 @@
+//! # MiniLang
+//!
+//! A small, deterministic, sequential, C#-flavoured imperative language used
+//! as the program substrate for the PreInfer (DSN 2018) reproduction. The
+//! paper's evaluation subjects are C# methods explored by Pex; MiniLang is
+//! the equivalent surface here: typed functions over `int`, `bool`, nullable
+//! `str` and nullable arrays, whose runtime checks (null dereference,
+//! division by zero, array bounds, negative allocation, `assert`) define the
+//! assertion-containing locations preconditions are inferred for.
+//!
+//! ```
+//! use minilang::{parse_program, check_program, program_check_sites};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_program(
+//!     "fn mid(a [int], i int) -> int { return a[i]; }",
+//! )?;
+//! let typed = check_program(program)?;
+//! let sites = program_check_sites(typed.program());
+//! assert_eq!(sites.len(), 2); // null check + bounds check at a[i]
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod ast_eq;
+pub mod blocks;
+pub mod checks;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+pub mod tyck;
+pub mod value;
+
+pub use ast::{AssignTarget, BinOp, Block, Builtin, Expr, ExprKind, Func, Param, Program, Stmt, StmtKind, Ty, UnOp};
+pub use blocks::{block_ids, coverage_percent};
+pub use checks::{check_sites, program_check_sites, CheckId, CheckKind, CheckSite, LoopPos};
+pub use parser::{parse_expr, parse_program, ParseError};
+pub use pretty::{expr_to_string, func_to_string, program_to_string};
+pub use span::{NodeId, Span};
+pub use tyck::{check_program, TypeError, TypedProgram};
+pub use value::{InputValue, MethodEntryState};
+
+/// Parses and type-checks in one step.
+///
+/// # Errors
+///
+/// Returns a human-readable error string for either phase's failure.
+pub fn compile(src: &str) -> Result<TypedProgram, String> {
+    let program = parse_program(src).map_err(|e| e.to_string())?;
+    check_program(program).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_combines_phases() {
+        assert!(compile("fn f(x int) -> int { return x; }").is_ok());
+        assert!(compile("fn f(x int) -> int { return").unwrap_err().contains("parse error"));
+        assert!(compile("fn f(x int) -> int { return true; }").unwrap_err().contains("type error"));
+    }
+}

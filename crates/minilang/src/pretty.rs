@@ -1,0 +1,282 @@
+//! Pretty-printer for MiniLang ASTs.
+//!
+//! The output re-parses to a structurally equal program (modulo `for`
+//! desugaring, which the printer renders in its desugared `while` form).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in p.funcs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        func_to_string_into(f, &mut out);
+    }
+    out
+}
+
+/// Renders a single function.
+pub fn func_to_string(f: &Func) -> String {
+    let mut out = String::new();
+    func_to_string_into(f, &mut out);
+    out
+}
+
+fn func_to_string_into(f: &Func, out: &mut String) {
+    write!(out, "fn {}(", f.name).unwrap();
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "{} {}", p.name, p.ty).unwrap();
+    }
+    out.push(')');
+    if f.ret != Ty::Void {
+        write!(out, " -> {}", f.ret).unwrap();
+    }
+    out.push(' ');
+    block_to_string_into(&f.body, 0, out);
+    out.push('\n');
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn block_to_string_into(b: &Block, level: usize, out: &mut String) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        stmt_to_string_into(s, level + 1, out);
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn stmt_to_string_into(s: &Stmt, level: usize, out: &mut String) {
+    indent(out, level);
+    match &s.kind {
+        StmtKind::Let { name, ty, init } => {
+            match ty {
+                Some(t) => write!(out, "let {name} {t} = {};", expr_to_string(init)).unwrap(),
+                None => write!(out, "let {name} = {};", expr_to_string(init)).unwrap(),
+            }
+            out.push('\n');
+        }
+        StmtKind::Assign { target, value } => {
+            match target {
+                AssignTarget::Var(name) => write!(out, "{name} = {};", expr_to_string(value)).unwrap(),
+                AssignTarget::Index { array, index } => write!(
+                    out,
+                    "{}[{}] = {};",
+                    expr_to_string(array),
+                    expr_to_string(index),
+                    expr_to_string(value)
+                )
+                .unwrap(),
+            }
+            out.push('\n');
+        }
+        StmtKind::If { cond, then_blk, else_blk } => {
+            write!(out, "if ({}) ", expr_to_string(cond)).unwrap();
+            block_to_string_into(then_blk, level, out);
+            if let Some(e) = else_blk {
+                out.push_str(" else ");
+                block_to_string_into(e, level, out);
+            }
+            out.push('\n');
+        }
+        StmtKind::While { cond, body } => {
+            write!(out, "while ({}) ", expr_to_string(cond)).unwrap();
+            block_to_string_into(body, level, out);
+            out.push('\n');
+        }
+        StmtKind::Assert { cond } => {
+            write!(out, "assert({});", expr_to_string(cond)).unwrap();
+            out.push('\n');
+        }
+        StmtKind::Return { value } => {
+            match value {
+                Some(v) => write!(out, "return {};", expr_to_string(v)).unwrap(),
+                None => out.push_str("return;"),
+            }
+            out.push('\n');
+        }
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+        StmtKind::Expr { expr } => {
+            write!(out, "{};", expr_to_string(expr)).unwrap();
+            out.push('\n');
+        }
+        StmtKind::BlockStmt { block } => {
+            // Bare blocks have no surface syntax; render their statements
+            // inside an `if (true)`-free scope marker comment.
+            out.push_str("// begin for-scope\n");
+            for inner in &block.stmts {
+                stmt_to_string_into(inner, level, out);
+            }
+            indent(out, level);
+            out.push_str("// end for-scope\n");
+        }
+    }
+}
+
+/// Renders an expression with minimal but safe parenthesization.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut out = String::new();
+    expr_prec(e, 0, &mut out);
+    out
+}
+
+fn prec_of(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 5,
+    }
+}
+
+fn expr_prec(e: &Expr, min: u8, out: &mut String) {
+    match &e.kind {
+        ExprKind::IntLit(v) => write!(out, "{v}").unwrap(),
+        ExprKind::BoolLit(b) => write!(out, "{b}").unwrap(),
+        ExprKind::StrLit(s) => write!(out, "{s:?}").unwrap(),
+        ExprKind::Null => out.push_str("null"),
+        ExprKind::Var(name) => out.push_str(name),
+        ExprKind::Unary(op, inner) => {
+            out.push(match op {
+                UnOp::Neg => '-',
+                UnOp::Not => '!',
+            });
+            let needs = !matches!(
+                inner.kind,
+                ExprKind::IntLit(_)
+                    | ExprKind::BoolLit(_)
+                    | ExprKind::Var(_)
+                    | ExprKind::Unary(..)
+                    | ExprKind::Index(..)
+                    | ExprKind::Call { .. }
+                    | ExprKind::BuiltinCall { .. }
+            );
+            if needs {
+                out.push('(');
+            }
+            expr_prec(inner, 6, out);
+            if needs {
+                out.push(')');
+            }
+        }
+        ExprKind::Binary(op, l, r) => {
+            let p = prec_of(*op);
+            let needs = p < min;
+            if needs {
+                out.push('(');
+            }
+            // Comparisons are non-associative in the grammar: a nested
+            // comparison on the LEFT also needs parentheses.
+            let nonassoc = matches!(
+                op,
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+            );
+            expr_prec(l, if nonassoc { p + 1 } else { p }, out);
+            write!(out, " {} ", op.symbol()).unwrap();
+            // Right operand at p+1: binaries render left-associatively.
+            expr_prec(r, p + 1, out);
+            if needs {
+                out.push(')');
+            }
+        }
+        ExprKind::Index(arr, idx) => {
+            // Postfix indexing binds tighter than unary and binary operators:
+            // `(-a)[i]` needs its parentheses.
+            let needs = matches!(arr.kind, ExprKind::Unary(..) | ExprKind::Binary(..));
+            if needs {
+                out.push('(');
+            }
+            expr_prec(arr, 6, out);
+            if needs {
+                out.push(')');
+            }
+            out.push('[');
+            expr_prec(idx, 0, out);
+            out.push(']');
+        }
+        ExprKind::Call { name, args } => {
+            out.push_str(name);
+            args_to_string(args, out);
+        }
+        ExprKind::BuiltinCall { builtin, args } => {
+            out.push_str(builtin.name());
+            args_to_string(args, out);
+        }
+    }
+}
+
+fn args_to_string(args: &[Expr], out: &mut String) {
+    out.push('(');
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        expr_prec(a, 0, out);
+    }
+    out.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    #[test]
+    fn expr_round_trip_preserves_structure() {
+        for src in [
+            "a + b * c",
+            "(a + b) * c",
+            "a - b - c",
+            "a - (b - c)",
+            "a < b && c >= d || !e",
+            "len(a) + strlen(s[i])",
+            "char_at(s, i + 1) == 32",
+            "-x % 3",
+            "a[i + 1]",
+            "x == null",
+        ] {
+            let e1 = parse_expr(src).unwrap();
+            let printed = expr_to_string(&e1);
+            let e2 = parse_expr(&printed).unwrap();
+            assert!(
+                super::super::ast_eq::expr_eq(&e1, &e2),
+                "round trip changed structure: {src} -> {printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn function_prints_and_reparses() {
+        let src = "
+            fn f(a [int], n int) -> int {
+                let s = 0;
+                let i = 0;
+                while (i < n) {
+                    if (a[i] > 0) { s = s + a[i]; } else { s = s - 1; }
+                    i = i + 1;
+                }
+                assert(s >= 0);
+                return s;
+            }";
+        let p1 = parse_program(src).unwrap();
+        let printed = program_to_string(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p1.funcs.len(), p2.funcs.len());
+        assert_eq!(p1.funcs[0].name, p2.funcs[0].name);
+        // Second round trip is a fixpoint.
+        assert_eq!(printed, program_to_string(&p2));
+    }
+}

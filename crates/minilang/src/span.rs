@@ -1,0 +1,89 @@
+//! Source positions and node identities.
+//!
+//! Every AST node carries a [`Span`] (for line-oriented reporting, mirroring
+//! the "Line #" column of Tables I/II in the paper) and a [`NodeId`] assigned
+//! by the parser. `NodeId`s are the stable keys from which check locations
+//! ([`crate::CheckId`]) and basic-block ids are derived.
+
+use std::fmt;
+
+/// A half-open region of source text, tracked as line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column of the first character.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Unique identity of an AST node within one parsed [`crate::Program`].
+///
+/// Ids are dense, starting from zero, in parse order; they index side tables
+/// built by later passes (type information, block assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Allocates dense [`NodeId`]s during parsing.
+#[derive(Debug, Default)]
+pub struct NodeIdGen {
+    next: u32,
+}
+
+impl NodeIdGen {
+    /// Creates a generator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh, never-before-returned id.
+    pub fn fresh(&mut self) -> NodeId {
+        let id = NodeId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Number of ids handed out so far (== smallest unused id).
+    pub fn count(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_dense_and_distinct() {
+        let mut g = NodeIdGen::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        assert_eq!(a, NodeId(0));
+        assert_eq!(b, NodeId(1));
+        assert_ne!(a, b);
+        assert_eq!(g.count(), 2);
+    }
+
+    #[test]
+    fn span_displays_line_colon_col() {
+        assert_eq!(Span::new(14, 3).to_string(), "14:3");
+    }
+}

@@ -1,0 +1,423 @@
+//! Tokens and the hand-written lexer for MiniLang.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Literals and identifiers
+    Int(i64),
+    Str(String),
+    Ident(String),
+    // Keywords
+    Fn,
+    Let,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Assert,
+    True,
+    False,
+    Null,
+    Break,
+    Continue,
+    // Type keywords
+    TyInt,
+    TyBool,
+    TyStr,
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Arrow,
+    Assign,
+    // Operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Fn => write!(f, "fn"),
+            Tok::Let => write!(f, "let"),
+            Tok::If => write!(f, "if"),
+            Tok::Else => write!(f, "else"),
+            Tok::While => write!(f, "while"),
+            Tok::For => write!(f, "for"),
+            Tok::Return => write!(f, "return"),
+            Tok::Assert => write!(f, "assert"),
+            Tok::True => write!(f, "true"),
+            Tok::False => write!(f, "false"),
+            Tok::Null => write!(f, "null"),
+            Tok::Break => write!(f, "break"),
+            Tok::Continue => write!(f, "continue"),
+            Tok::TyInt => write!(f, "int"),
+            Tok::TyBool => write!(f, "bool"),
+            Tok::TyStr => write!(f, "str"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Assign => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::NotEq => write!(f, "!="),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token paired with the position where it starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// An error produced while lexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes the entire input, appending a final [`Tok::Eof`].
+///
+/// Comments run from `//` to end of line. Whitespace separates tokens.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unknown characters, unterminated string literals,
+/// or integer literals that do not fit in `i64`.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { chars: src.chars().collect(), pos: 0, line: 1, col: 1, _src: src }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { message: message.into(), span: self.span() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, span });
+                return Ok(out);
+            };
+            let tok = if c.is_ascii_digit() {
+                self.lex_int()?
+            } else if c == '"' {
+                self.lex_str()?
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                self.lex_word()
+            } else {
+                self.lex_symbol()?
+            };
+            out.push(Token { tok, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn lex_int(&mut self) -> Result<Tok, LexError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text.parse::<i64>()
+            .map(Tok::Int)
+            .map_err(|_| self.err(format!("integer literal out of range: {text}")))
+    }
+
+    fn lex_str(&mut self) -> Result<Tok, LexError> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some('"') => return Ok(Tok::Str(text)),
+                Some('\\') => match self.bump() {
+                    Some('n') => text.push('\n'),
+                    Some('t') => text.push('\t'),
+                    Some('\\') => text.push('\\'),
+                    Some('"') => text.push('"'),
+                    other => {
+                        return Err(self.err(format!("bad escape: \\{:?}", other)));
+                    }
+                },
+                Some(c) => text.push(c),
+            }
+        }
+    }
+
+    fn lex_word(&mut self) -> Tok {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match text.as_str() {
+            "fn" => Tok::Fn,
+            "let" => Tok::Let,
+            "if" => Tok::If,
+            "else" => Tok::Else,
+            "while" => Tok::While,
+            "for" => Tok::For,
+            "return" => Tok::Return,
+            "assert" => Tok::Assert,
+            "true" => Tok::True,
+            "false" => Tok::False,
+            "null" => Tok::Null,
+            "break" => Tok::Break,
+            "continue" => Tok::Continue,
+            "int" => Tok::TyInt,
+            "bool" => Tok::TyBool,
+            "str" => Tok::TyStr,
+            _ => Tok::Ident(text),
+        }
+    }
+
+    fn lex_symbol(&mut self) -> Result<Tok, LexError> {
+        let c = self.bump().expect("peeked before");
+        let two = |l: &mut Self, next: char, yes: Tok, no: Tok| {
+            if l.peek() == Some(next) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ',' => Tok::Comma,
+            ';' => Tok::Semi,
+            '+' => Tok::Plus,
+            '-' => two(self, '>', Tok::Arrow, Tok::Minus),
+            '*' => Tok::Star,
+            '/' => Tok::Slash,
+            '%' => Tok::Percent,
+            '<' => two(self, '=', Tok::Le, Tok::Lt),
+            '>' => two(self, '=', Tok::Ge, Tok::Gt),
+            '=' => two(self, '=', Tok::EqEq, Tok::Assign),
+            '!' => two(self, '=', Tok::NotEq, Tok::Bang),
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    Tok::AndAnd
+                } else {
+                    return Err(self.err("expected `&&`"));
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    Tok::OrOr
+                } else {
+                    return Err(self.err("expected `||`"));
+                }
+            }
+            other => return Err(self.err(format!("unexpected character {other:?}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo let iffy if"),
+            vec![
+                Tok::Fn,
+                Tok::Ident("foo".into()),
+                Tok::Let,
+                Tok::Ident("iffy".into()),
+                Tok::If,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("<= < >= > == != && || ! = ->"),
+            vec![
+                Tok::Le,
+                Tok::Lt,
+                Tok::Ge,
+                Tok::Gt,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Assign,
+                Tok::Arrow,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_and_strings() {
+        assert_eq!(
+            kinds(r#"42 "ab\n" 0"#),
+            vec![Tok::Int(42), Tok::Str("ab\n".into()), Tok::Int(0), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("x // comment\ny").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].tok, Tok::Ident("y".into()));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_single_ampersand() {
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_int() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_minus_then_literal() {
+        assert_eq!(kinds("-5"), vec![Tok::Minus, Tok::Int(5), Tok::Eof]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for MiniLang: pretty-print/re-parse round trips on
+//! generated expression trees, and lexer totality on printable input.
+
+use minilang::ast::{BinOp, Expr, ExprKind, UnOp};
+use minilang::span::{NodeId, Span};
+use minilang::{ast_eq, expr_to_string, parse_expr};
+use proptest::prelude::*;
+
+fn mk(kind: ExprKind) -> Expr {
+    Expr { kind, id: NodeId(0), span: Span::new(1, 1) }
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..=999).prop_map(|v| mk(ExprKind::IntLit(v))),
+        proptest::bool::ANY.prop_map(|b| mk(ExprKind::BoolLit(b))),
+        Just(mk(ExprKind::Null)),
+        prop_oneof![Just("x"), Just("y"), Just("abc")]
+            .prop_map(|n| mk(ExprKind::Var(n.to_string()))),
+    ];
+    leaf.prop_recursive(4, 40, 2, |inner| {
+        let bin = prop_oneof![
+            Just(BinOp::Add),
+            Just(BinOp::Sub),
+            Just(BinOp::Mul),
+            Just(BinOp::Div),
+            Just(BinOp::Rem),
+            Just(BinOp::Lt),
+            Just(BinOp::Le),
+            Just(BinOp::Gt),
+            Just(BinOp::Ge),
+            Just(BinOp::Eq),
+            Just(BinOp::Ne),
+            Just(BinOp::And),
+            Just(BinOp::Or),
+        ];
+        prop_oneof![
+            (bin, inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| mk(ExprKind::Binary(op, Box::new(l), Box::new(r)))),
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone())
+                .prop_map(|(op, e)| mk(ExprKind::Unary(op, Box::new(e)))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, i)| mk(ExprKind::Index(Box::new(a), Box::new(i)))),
+            (proptest::collection::vec(inner, 0..3))
+                .prop_map(|args| mk(ExprKind::Call { name: "helper".to_string(), args })),
+        ]
+    })
+}
+
+proptest! {
+    /// Print-then-parse preserves expression structure: the printer's
+    /// parenthesization is compatible with the parser's precedence.
+    #[test]
+    fn expr_print_parse_roundtrip(e in expr_strategy()) {
+        let printed = expr_to_string(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("printer produced unparseable {printed:?}: {err}"));
+        prop_assert!(
+            ast_eq::expr_eq(&e, &reparsed),
+            "round trip changed structure:\n  original: {printed}\n  reparsed: {}",
+            expr_to_string(&reparsed)
+        );
+    }
+
+    /// The lexer never panics on arbitrary printable ASCII.
+    #[test]
+    fn lexer_is_total_on_printable(src in "[ -~]{0,60}") {
+        let _ = minilang::token::lex(&src);
+    }
+}

@@ -1,0 +1,215 @@
+//! The end-to-end PreInfer pipeline (Section IV): collect path conditions
+//! from the shared test suite, prune, generalize, assemble.
+
+use crate::generalize::{default_templates, generalize_path, GeneralizedPath, Template};
+use crate::precondition::{assemble, InferredPrecondition};
+use crate::pruning::{prune_failing_paths, PruneConfig, PruneStats};
+use minilang::{CheckId, MethodEntryState, TypedProgram};
+use testgen::Suite;
+
+/// PreInfer configuration.
+pub struct PreInferConfig {
+    pub prune: PruneConfig,
+    pub templates: Vec<Box<dyn Template>>,
+    /// §V-C mitigation: when the suite has *no passing tests* for the ACL,
+    /// `false` (the default) reproduces the paper's reported behaviour —
+    /// PreInfer "cannot infer anything" beyond the raw disjunction of the
+    /// failing path conditions; `true` skips the passing-path-dependent
+    /// steps and still prunes/generalizes using the dynamic machinery only.
+    pub skip_passing_steps: bool,
+}
+
+impl Default for PreInferConfig {
+    fn default() -> Self {
+        PreInferConfig {
+            prune: PruneConfig::default(),
+            templates: default_templates(),
+            skip_passing_steps: false,
+        }
+    }
+}
+
+/// Inference outcome for one ACL.
+pub struct Inference {
+    pub precondition: InferredPrecondition,
+    pub prune_stats: PruneStats,
+    /// The generalized reduced disjuncts, for inspection/debugging.
+    pub disjuncts: Vec<GeneralizedPath>,
+}
+
+/// Runs PreInfer for one assertion-containing location against a shared
+/// suite. Returns `None` when the suite contains no failing test for `acl`
+/// (there is nothing to infer from).
+pub fn infer_precondition(
+    program: &TypedProgram,
+    func_name: &str,
+    acl: CheckId,
+    suite: &Suite,
+    cfg: &PreInferConfig,
+) -> Option<Inference> {
+    let (passing, failing) = suite.partition(acl);
+    if failing.is_empty() {
+        return None;
+    }
+    if passing.is_empty() && !cfg.skip_passing_steps {
+        // The paper's reported weakness: with no passing paths, PreInfer
+        // falls back to the raw disjunction of the failing path conditions.
+        let disjuncts: Vec<GeneralizedPath> = failing
+            .iter()
+            .map(|r| GeneralizedPath {
+                parts: r
+                    .path
+                    .entries
+                    .iter()
+                    .map(|e| symbolic::Formula::pred(e.pred.clone()))
+                    .collect(),
+                quantified: false,
+            })
+            .collect();
+        let precondition = assemble(&disjuncts);
+        return Some(Inference { precondition, prune_stats: Default::default(), disjuncts });
+    }
+    let (reduced, prune_stats) =
+        prune_failing_paths(program, func_name, acl, &passing, &failing, &cfg.prune);
+    let passing_states: Vec<&MethodEntryState> = passing.iter().map(|r| &r.state).collect();
+    let disjuncts: Vec<GeneralizedPath> = reduced
+        .iter()
+        .map(|r| generalize_path(r, &cfg.templates, &passing_states))
+        .collect();
+    let precondition = assemble(&disjuncts);
+    Some(Inference { precondition, prune_stats, disjuncts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testgen::{generate_tests, TestGenConfig};
+
+    const FIG1: &str = "
+        fn example(s [str], a int, b int, c int, d int) -> int {
+            let sum = 0;
+            if (a > 0) { b = b + 1; }
+            if (c > 0) { d = d + 1; }
+            if (b > 0) { sum = sum + 1; }
+            if (d > 0) {
+                for (let i = 0; i < len(s); i = i + 1) {
+                    sum = sum + strlen(s[i]);
+                }
+                return sum;
+            }
+            return sum;
+        }";
+
+    /// The motivating example end to end: the inferred α for the element ACL
+    /// matches the paper's ground truth at Fig. 1 Line 5 (semantically).
+    #[test]
+    fn fig1_element_acl_full_inference() {
+        let tp = minilang::compile(FIG1).unwrap();
+        let func = tp.func("example").unwrap().clone();
+        let suite = generate_tests(&tp, "example", &TestGenConfig::default());
+        let acl = suite
+            .triggered_acls()
+            .into_iter()
+            .find(|a| {
+                let (_, fail) = suite.partition(*a);
+                fail.iter().any(|r| {
+                    r.path.last_branch().map(|e| e.pred.to_string().starts_with("s[")).unwrap_or(false)
+                })
+            })
+            .expect("element ACL triggered");
+        let inf = infer_precondition(&tp, "example", acl, &suite, &PreInferConfig::default())
+            .expect("failing tests exist");
+        // The inferred precondition must be quantified, sufficient, and
+        // necessary; and must agree with the ground truth everywhere.
+        assert!(inf.precondition.quantified, "alpha: {}", inf.precondition.alpha);
+        let truth_alpha = symbolic::parse_spec(
+            "((c > 0 && d + 1 > 0) || (c <= 0 && d > 0)) && s != null \
+             && exists i. i < len(s) && s[i] == null",
+            &func,
+        )
+        .unwrap();
+        let truth_psi = truth_alpha.negated();
+        let (pass, fail) = suite.partition(acl);
+        let pass_states: Vec<_> = pass.iter().map(|r| &r.state).collect();
+        let fail_states: Vec<_> = fail.iter().map(|r| &r.state).collect();
+        let q = crate::metrics::evaluate_precondition(
+            &inf.precondition.psi,
+            &func,
+            &pass_states,
+            &fail_states,
+            Some(&truth_psi),
+            &crate::metrics::ProbeConfig::default(),
+        );
+        assert!(q.sufficient, "not sufficient: alpha = {}", inf.precondition.alpha);
+        assert!(q.necessary, "not necessary: alpha = {}", inf.precondition.alpha);
+        assert_eq!(q.correct, Some(true), "alpha = {}", inf.precondition.alpha);
+    }
+
+    /// The Line-14 analogue ACL (null `s`): ground truth
+    /// `((c>0 ∧ d+1>0) ∨ (c≤0 ∧ d>0)) ∧ s == null`.
+    #[test]
+    fn fig1_null_s_acl_full_inference() {
+        let tp = minilang::compile(FIG1).unwrap();
+        let func = tp.func("example").unwrap().clone();
+        let suite = generate_tests(&tp, "example", &TestGenConfig::default());
+        let acl = suite
+            .triggered_acls()
+            .into_iter()
+            .find(|a| {
+                let (_, fail) = suite.partition(*a);
+                fail.iter().any(|r| {
+                    r.path.last_branch().map(|e| e.pred.to_string() == "s == null").unwrap_or(false)
+                })
+            })
+            .expect("null-s ACL triggered");
+        let inf = infer_precondition(&tp, "example", acl, &suite, &PreInferConfig::default())
+            .expect("failing tests exist");
+        let truth_alpha = symbolic::parse_spec(
+            "((c > 0 && d + 1 > 0) || (c <= 0 && d > 0)) && s == null",
+            &func,
+        )
+        .unwrap();
+        let (pass, fail) = suite.partition(acl);
+        let pass_states: Vec<_> = pass.iter().map(|r| &r.state).collect();
+        let fail_states: Vec<_> = fail.iter().map(|r| &r.state).collect();
+        let q = crate::metrics::evaluate_precondition(
+            &inf.precondition.psi,
+            &func,
+            &pass_states,
+            &fail_states,
+            Some(&truth_alpha.negated()),
+            &crate::metrics::ProbeConfig::default(),
+        );
+        assert!(q.both(), "alpha = {}", inf.precondition.alpha);
+        assert_eq!(q.correct, Some(true), "alpha = {}", inf.precondition.alpha);
+    }
+
+    /// §V-C: with no passing paths, the default config returns the raw
+    /// disjunction; with `skip_passing_steps`, pruning still runs (using
+    /// the dynamic machinery) and produces something simpler.
+    #[test]
+    fn no_passing_paths_fallback_and_mitigation() {
+        let tp = minilang::compile("fn f(x int) { let zero = x - x; let y = 1 / zero; }").unwrap();
+        let suite = generate_tests(&tp, "f", &TestGenConfig::default());
+        let acl = suite.triggered_acls()[0];
+        let (pass, _) = suite.partition(acl);
+        assert!(pass.is_empty(), "every input fails");
+        let plain = infer_precondition(&tp, "f", acl, &suite, &PreInferConfig::default()).unwrap();
+        assert_eq!(plain.prune_stats, crate::PruneStats::default(), "no pruning ran");
+        let cfg = PreInferConfig { skip_passing_steps: true, ..Default::default() };
+        let mitigated = infer_precondition(&tp, "f", acl, &suite, &cfg).unwrap();
+        assert!(
+            mitigated.precondition.psi.complexity() <= plain.precondition.psi.complexity(),
+            "mitigation should not be more complex: {} vs {}",
+            mitigated.precondition.psi,
+            plain.precondition.psi
+        );
+    }
+
+    #[test]
+    fn no_failing_tests_means_no_inference() {
+        let tp = minilang::compile("fn f(x int) -> int { return x + 1; }").unwrap();
+        let suite = generate_tests(&tp, "f", &TestGenConfig::default());
+        assert!(suite.triggered_acls().is_empty());
+    }
+}

@@ -1,0 +1,475 @@
+//! Dynamic predicate pruning (Section IV-A, Algorithm 1).
+//!
+//! For each failing path condition, predicates are examined backward from
+//! the last-branch predicate and removed when they are *irrelevant*: neither
+//! **c-depend** (needed for location reachability, Definition 5) nor
+//! **d-impact** (needed for expression preservation, Definition 6), and —
+//! the §III-A safety condition — removal must not make the reduced path
+//! condition admit any observed passing state (`ρ_p ∧ ρ'_f` must stay
+//! unsatisfiable; checked dynamically by evaluating the candidate reduction
+//! over the passing tests' method-entry states).
+//!
+//! Witnesses for the two relations are searched among all collected paths;
+//! in *dynamic* mode the engine additionally manufactures candidate
+//! witnesses the way the underlying DSE tool would: solve
+//! `prefix ∧ ¬φ_j`, execute the model, and add the observed path to the
+//! pool.
+
+use concolic::{run_concolic, ConcolicConfig};
+use minilang::{CheckId, MethodEntryState, TypedProgram};
+use solver::{solve_preds, FuncSig, SolveResult, SolverConfig};
+use symbolic::eval::{eval_pred, Env};
+use symbolic::{canon_pred, EntryKind, PathCondition, PathEntry, Pred};
+use testgen::TestRun;
+
+/// Pruning configuration.
+#[derive(Debug, Clone)]
+pub struct PruneConfig {
+    /// Manufacture deviation witnesses with the solver + one execution when
+    /// the suite has none (the "dynamic" in dynamic predicate pruning).
+    pub dynamic_witnesses: bool,
+    /// Budget for manufactured witnesses per ACL.
+    pub max_dynamic_runs: usize,
+    /// Enforce the §III-A guard (reject removals admitting a passing state).
+    pub passing_guard: bool,
+    /// Verify each removal dynamically: solve `candidate ∧ ¬φ_j` and
+    /// execute the model; if that input does *not* fail at the ACL, the
+    /// reduced path would capture passing behaviour, so the removal is
+    /// rejected. (An `Unsat` answer proves the removal lossless; `Unknown`
+    /// conservatively keeps the predicate.)
+    pub verify_removals: bool,
+    /// Solver budget for witness generation.
+    pub solver: SolverConfig,
+    /// Executor budget for witness runs.
+    pub concolic: ConcolicConfig,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig {
+            dynamic_witnesses: true,
+            max_dynamic_runs: 64,
+            passing_guard: true,
+            verify_removals: true,
+            solver: SolverConfig::default(),
+            concolic: ConcolicConfig::default(),
+        }
+    }
+}
+
+/// A failing path after pruning: the kept entries, in original order.
+#[derive(Debug, Clone)]
+pub struct ReducedPath {
+    /// Kept entries (branch entries that survived plus still-relevant pins).
+    pub entries: Vec<PathEntry>,
+    /// The method-entry state of the originating failing test.
+    pub state: MethodEntryState,
+}
+
+/// Statistics from one pruning invocation (reported by the benches).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    pub examined: usize,
+    pub kept_c_depend: usize,
+    pub kept_d_impact: usize,
+    pub kept_guard: usize,
+    pub removed: usize,
+    pub dynamic_runs: usize,
+}
+
+/// Prunes every failing path of `acl`.
+///
+/// `passing` and `failing` are the suite partition for this ACL (Section
+/// V-B); the returned reductions are in the same order as `failing`.
+pub fn prune_failing_paths(
+    program: &TypedProgram,
+    func_name: &str,
+    acl: CheckId,
+    passing: &[&TestRun],
+    failing: &[&TestRun],
+    cfg: &PruneConfig,
+) -> (Vec<ReducedPath>, PruneStats) {
+    let func = program.func(func_name).expect("known function");
+    let sig = FuncSig::of(func);
+    let mut stats = PruneStats::default();
+    // Witness pool: all collected paths (passing and failing), extended by
+    // dynamically manufactured runs.
+    let mut pool: Vec<PathCondition> =
+        passing.iter().chain(failing.iter()).map(|r| r.path.clone()).collect();
+    let passing_states: Vec<&MethodEntryState> = passing.iter().map(|r| &r.state).collect();
+
+    let mut out = Vec::with_capacity(failing.len());
+    for run in failing {
+        let reduced = prune_one(
+            program,
+            func_name,
+            &sig,
+            acl,
+            &run.path,
+            &passing_states,
+            &mut pool,
+            cfg,
+            &mut stats,
+        );
+        out.push(ReducedPath { entries: reduced, state: run.state.clone() });
+    }
+    (out, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn prune_one(
+    program: &TypedProgram,
+    func_name: &str,
+    sig: &FuncSig,
+    acl: CheckId,
+    path: &PathCondition,
+    passing_states: &[&MethodEntryState],
+    pool: &mut Vec<PathCondition>,
+    cfg: &PruneConfig,
+    stats: &mut PruneStats,
+) -> Vec<PathEntry> {
+    let n = path.entries.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // kept[j] - whether entry j survives. The last branch entry (the
+    // assertion-violating condition) is always kept; pins are resolved last.
+    let mut kept = vec![true; n];
+    let last_branch_idx = path
+        .entries
+        .iter()
+        .rposition(|e| e.kind.is_branch())
+        .expect("failing path has a last branch");
+    // Compare violating conditions up to collection-element position: the
+    // same violated property at a different iteration is *not* an expression
+    // change (otherwise any loop program defeats pruning).
+    let last_canon =
+        canon_pred(&crate::generalize::abstract_all_indices(&path.entries[last_branch_idx].pred, "_ix"));
+
+    for j in (0..n).rev() {
+        if j == last_branch_idx {
+            continue;
+        }
+        let is_pin = path.entries[j].kind == EntryKind::Pin;
+        stats.examined += 1;
+        // --- implied predicates: if `prefix ∧ ¬φ_j` is unsatisfiable, φ_j
+        // is entailed by the preceding predicates and dropping it loses
+        // nothing (the deviation the relations would probe does not exist).
+        if cfg.dynamic_witnesses && stats.dynamic_runs < cfg.max_dynamic_runs {
+            let mut preds: Vec<Pred> = path.entries[..j].iter().map(|e| e.pred.clone()).collect();
+            preds.push(path.entries[j].pred.negated());
+            if solve_preds(&preds, sig, &cfg.solver) == SolveResult::Unsat {
+                kept[j] = false;
+                if std::env::var_os("PREINFER_DEBUG").is_some() {
+                    eprintln!("  IMPLIED-REMOVED [{j}] {}", path.entries[j].pred);
+                }
+                stats.removed += 1;
+                continue;
+            }
+        }
+        // Concretization pins are not branch decisions: the relations have
+        // no deviating paths to probe, so pins go straight to the removal
+        // guard/verification below (and fall back to "keep" without it).
+        if !is_pin {
+        // --- c-depend: does some deviation at j still reach the ACL? ------
+        let mut reaches_witness = find_deviation(pool, path, j, |q| q.reaches_check(acl));
+        if !reaches_witness && cfg.dynamic_witnesses && stats.dynamic_runs < cfg.max_dynamic_runs {
+            if let Some(newly) = manufacture(program, func_name, sig, acl, path, j, cfg, stats) {
+                let reaches = newly.reaches_check(acl);
+                pool.push(newly);
+                reaches_witness = reaches_witness || reaches;
+            }
+        }
+        if !reaches_witness {
+            // No deviation reaches the location: c-depend holds — keep.
+            stats.kept_c_depend += 1;
+            continue;
+        }
+        // --- d-impact: does some deviation change the violating expression?
+        // Element-family predicates (those dereferencing a collection at a
+        // constant index) compare violating conditions *positionally*: a
+        // deviation failing at a different element is an expression change,
+        // which is what keeps the overly specific families alive for the
+        // generalization step (Section IV-B's premise). Scalar predicates
+        // compare up to element position, so loop-length diversity in the
+        // suite cannot block their pruning.
+        let positional = !crate::generalize::index_occurrences(&path.entries[j].pred).is_empty();
+        let d_impact = find_deviation(pool, path, j, |q| {
+            q.outcome.failed_check() == Some(acl)
+                && q.last_branch()
+                    .map(|e| {
+                        if positional {
+                            canon_pred(&e.pred) != canon_pred(&path.entries[last_branch_idx].pred)
+                        } else {
+                            canon_pred(&crate::generalize::abstract_all_indices(&e.pred, "_ix"))
+                                != last_canon
+                        }
+                    })
+                    .unwrap_or(false)
+        });
+        if d_impact {
+            stats.kept_d_impact += 1;
+            continue;
+        }
+        } else if !cfg.verify_removals && !cfg.passing_guard {
+            // Without the dynamic machinery pins stay (soundness default).
+            continue;
+        }
+        // --- §III-A guard: removal must not admit a passing state. ---------
+        kept[j] = false;
+        if cfg.passing_guard {
+            let admits =
+                passing_states.iter().any(|state| satisfied_by(&path.entries, &kept, state));
+            if admits {
+                kept[j] = true;
+                stats.kept_guard += 1;
+                continue;
+            }
+        }
+        // --- removal verification: would `candidate ∧ ¬φ_j` pass at e? -----
+        if cfg.verify_removals {
+            let mut preds: Vec<Pred> = path
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| kept[*k])
+                .map(|(_, e)| e.pred.clone())
+                .collect();
+            preds.push(path.entries[j].pred.negated());
+            let verdict = match solve_preds(&preds, sig, &cfg.solver) {
+                SolveResult::Unsat => Removal::Lossless,
+                SolveResult::Unknown => Removal::Rejected,
+                SolveResult::Sat(model) => {
+                    stats.dynamic_runs += 1;
+                    let out = run_concolic(program, func_name, &model, &cfg.concolic);
+                    let fails_here = out.path.outcome.failed_check() == Some(acl);
+                    let path_for_pool = out.path;
+                    pool.push(path_for_pool);
+                    if fails_here {
+                        Removal::Accepted
+                    } else {
+                        Removal::Rejected
+                    }
+                }
+            };
+            if verdict == Removal::Rejected {
+                kept[j] = true;
+                stats.kept_guard += 1;
+                continue;
+            }
+        }
+        if std::env::var_os("PREINFER_DEBUG").is_some() {
+            eprintln!("  REMOVED [{j}] {}", path.entries[j].pred);
+        }
+        stats.removed += 1;
+    }
+
+    // Pins that survive the loop are load-bearing: the removal
+    // verification (or, without it, conservatism) decided they must stay —
+    // other removals may lean on them as logical support, so no post-hoc
+    // relevance filtering is applied.
+    path.entries
+        .iter()
+        .enumerate()
+        .filter(|(j, _)| kept[*j])
+        .map(|(_, e)| e.clone())
+        .collect()
+}
+
+/// Verdict of the removal-verification step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Removal {
+    /// `candidate ∧ ¬φ_j` is unsatisfiable: dropping φ_j loses nothing.
+    Lossless,
+    /// The deviating witness fails at the ACL: the widened disjunct still
+    /// only covers failing behaviour.
+    Accepted,
+    /// The deviating witness passes (or the solver is unsure): keep φ_j.
+    Rejected,
+}
+
+/// Whether the conjunction of the kept entries' predicates holds on `state`.
+/// Evaluation errors (guarded dereferences) count as "not satisfied".
+fn satisfied_by(entries: &[PathEntry], kept: &[bool], state: &MethodEntryState) -> bool {
+    let env = Env::new(state);
+    entries
+        .iter()
+        .zip(kept)
+        .filter(|(_, &k)| k)
+        .all(|(e, _)| eval_pred(&e.pred, &env) == Ok(true))
+}
+
+/// Searches the pool for a path deviating from `path` at `j` satisfying `f`.
+fn find_deviation(
+    pool: &[PathCondition],
+    path: &PathCondition,
+    j: usize,
+    f: impl Fn(&PathCondition) -> bool,
+) -> bool {
+    pool.iter().any(|q| path.deviates_at(q, j) && f(q))
+}
+
+/// Manufactures a deviation witness for position `j`: solves
+/// `prefix ∧ ¬φ_j ∧ suffix` (steering the witness toward the
+/// assertion-containing location — the paper's location-reachability
+/// concern) and, if that is unsatisfiable or the run does not reach the
+/// target, falls back to `prefix ∧ ¬φ_j` alone. Executes each model and
+/// returns the first observed path that reaches `acl` (or the last observed
+/// path otherwise, still useful for the pool).
+#[allow(clippy::too_many_arguments)]
+fn manufacture(
+    program: &TypedProgram,
+    func_name: &str,
+    sig: &FuncSig,
+    acl: CheckId,
+    path: &PathCondition,
+    j: usize,
+    cfg: &PruneConfig,
+    stats: &mut PruneStats,
+) -> Option<PathCondition> {
+    let prefix_neg = |with_suffix: bool| -> Vec<Pred> {
+        let mut preds: Vec<Pred> = path.entries[..j].iter().map(|e| e.pred.clone()).collect();
+        preds.push(path.entries[j].pred.negated());
+        if with_suffix {
+            preds.extend(path.entries[j + 1..].iter().map(|e| e.pred.clone()));
+        }
+        preds
+    };
+    let mut last = None;
+    for with_suffix in [true, false] {
+        stats.dynamic_runs += 1;
+        if let SolveResult::Sat(model) = solve_preds(&prefix_neg(with_suffix), sig, &cfg.solver) {
+            let out = run_concolic(program, func_name, &model, &cfg.concolic);
+            let reaches = out.path.reaches_check(acl);
+            last = Some(out.path);
+            if reaches {
+                return last;
+            }
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use testgen::{generate_tests, TestGenConfig};
+
+    const FIG1: &str = "
+        fn example(s [str], a int, b int, c int, d int) -> int {
+            let sum = 0;
+            if (a > 0) { b = b + 1; }
+            if (c > 0) { d = d + 1; }
+            if (b > 0) { sum = sum + 1; }
+            if (d > 0) {
+                for (let i = 0; i < len(s); i = i + 1) {
+                    sum = sum + strlen(s[i]);
+                }
+                return sum;
+            }
+            return sum;
+        }";
+
+    /// The central pruning example of the paper: on the t_f1-style failing
+    /// path, `a > 0` and `b + 1 > 0` are pruned while `c > 0`, `d + 1 > 0`,
+    /// `s != null`, `0 < len(s)` and `s[0] == null` are kept.
+    #[test]
+    fn fig1_table1_pruning() {
+        let tp = minilang::compile(FIG1).unwrap();
+        let suite = generate_tests(&tp, "example", &TestGenConfig::default());
+        // The element ACL: a failing run whose last branch mentions s[0].
+        let acl = suite
+            .triggered_acls()
+            .into_iter()
+            .find(|a| {
+                let (_, fail) = suite.partition(*a);
+                fail.iter().any(|r| {
+                    r.path
+                        .last_branch()
+                        .map(|e| e.pred.to_string().starts_with("s["))
+                        .unwrap_or(false)
+                })
+            })
+            .expect("element ACL");
+        let (pass, _fail) = suite.partition(acl);
+        // Execute the paper's exact t_f1: (s: {null}, a: 1, b: 0, c: 1, d: 0).
+        let tf1_state = minilang::MethodEntryState::from_pairs([
+            ("s".to_string(), minilang::InputValue::ArrayStr(Some(vec![None]))),
+            ("a".to_string(), minilang::InputValue::Int(1)),
+            ("b".to_string(), minilang::InputValue::Int(0)),
+            ("c".to_string(), minilang::InputValue::Int(1)),
+            ("d".to_string(), minilang::InputValue::Int(0)),
+        ]);
+        let tf1_out = run_concolic(&tp, "example", &tf1_state, &ConcolicConfig::default());
+        assert_eq!(tf1_out.path.outcome.failed_check(), Some(acl), "t_f1 fails at the element ACL");
+        let tf1 = TestRun::new(tf1_state, tf1_out);
+        let (reduced, _stats) = prune_failing_paths(
+            &tp,
+            "example",
+            acl,
+            &pass,
+            &[&tf1],
+            &PruneConfig::default(),
+        );
+        let kept: Vec<String> = reduced[0]
+            .entries
+            .iter()
+            .map(|e| e.pred.to_string())
+            .collect();
+        assert!(!kept.contains(&"a > 0".to_string()), "a > 0 must be pruned: {kept:?}");
+        assert!(!kept.contains(&"(b + 1) > 0".to_string()), "b + 1 > 0 must be pruned: {kept:?}");
+        for want in ["c > 0", "(d + 1) > 0", "s != null", "0 < len(s)", "s[0] == null"] {
+            assert!(kept.contains(&want.to_string()), "{want} must be kept: {kept:?}");
+        }
+    }
+
+    #[test]
+    fn reduced_paths_never_admit_passing_states() {
+        let tp = minilang::compile(FIG1).unwrap();
+        let suite = generate_tests(&tp, "example", &TestGenConfig::default());
+        for acl in suite.triggered_acls() {
+            let (pass, fail) = suite.partition(acl);
+            let (reduced, _) =
+                prune_failing_paths(&tp, "example", acl, &pass, &fail, &PruneConfig::default());
+            for r in &reduced {
+                let kept = vec![true; r.entries.len()];
+                for p in &pass {
+                    assert!(
+                        !satisfied_by(&r.entries, &kept, &p.state),
+                        "passing state {} satisfies reduced path {:?}",
+                        p.state,
+                        r.entries.iter().map(|e| e.pred.to_string()).collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn last_branch_is_always_kept() {
+        let tp = minilang::compile("fn f(x int, y int) -> int { if (x > 0) { assert(y != 3); } return 0; }")
+            .unwrap();
+        let suite = generate_tests(&tp, "f", &TestGenConfig::default());
+        let acl = suite.triggered_acls()[0];
+        let (pass, fail) = suite.partition(acl);
+        let (reduced, _) = prune_failing_paths(&tp, "f", acl, &pass, &fail, &PruneConfig::default());
+        for r in &reduced {
+            let last = r.entries.last().expect("non-empty reduction");
+            assert_eq!(last.pred.to_string(), "y == 3");
+        }
+    }
+
+    #[test]
+    fn guard_can_be_disabled() {
+        // Without the guard (and without witnesses) behaviour should still
+        // terminate and keep the last branch.
+        let tp = minilang::compile("fn f(x int) { assert(x != 1); }").unwrap();
+        let suite = generate_tests(&tp, "f", &TestGenConfig::default());
+        let acl = suite.triggered_acls()[0];
+        let (pass, fail) = suite.partition(acl);
+        let cfg = PruneConfig { passing_guard: false, dynamic_witnesses: false, ..Default::default() };
+        let (reduced, _) = prune_failing_paths(&tp, "f", acl, &pass, &fail, &cfg);
+        assert!(!reduced.is_empty());
+        assert_eq!(reduced[0].entries.last().unwrap().pred.to_string(), "x == 1");
+    }
+}

@@ -1,0 +1,54 @@
+//! Regenerates the paper's tables and figures from the corpus.
+//!
+//! Usage:
+//!   tables                # everything
+//!   tables 1 3 4 5 6 f3   # selected tables / figure 3
+//!   tables --json OUT     # additionally dump per-ACL results as JSON
+
+use report::{evaluate_corpus, EvalConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut picks: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            json_path = it.next();
+        } else {
+            picks.push(a);
+        }
+    }
+    let want = |k: &str| picks.is_empty() || picks.iter().any(|p| p == k);
+
+    if want("1") || want("2") {
+        println!("{}", report::table_1_2());
+    }
+    if want("3") {
+        println!("{}", report::table_3());
+    }
+    let needs_eval = want("4") || want("5") || want("6") || want("f3") || json_path.is_some();
+    if needs_eval {
+        eprintln!("evaluating corpus ({} methods)…", subjects::all_subjects().len());
+        let start = std::time::Instant::now();
+        let results = evaluate_corpus(&subjects::all_subjects(), &EvalConfig::default());
+        eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+        if want("4") {
+            println!("{}", report::table_4(&results));
+        }
+        if want("5") {
+            println!("{}", report::table_5(&results));
+        }
+        if want("6") {
+            println!("{}", report::table_6(&results));
+        }
+        if want("f3") {
+            println!("{}", report::figure_3(&results));
+        }
+        if let Some(path) = json_path {
+            let json = serde_json::to_string_pretty(&results).expect("serializable results");
+            std::fs::write(&path, json).expect("write JSON results");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Corpus evaluation: runs the Section V protocol over every subject method
+//! and scores PreInfer, FixIt and DySy per assertion-containing location.
+
+use baselines::{infer_dysy, infer_fixit};
+use interp::{run, ExecResult, InterpConfig};
+use minilang::{check_sites, CheckId, LoopPos, MethodEntryState, TypedProgram};
+use preinfer_core::{
+    evaluate_precondition, infer_precondition, random_probe, PreInferConfig, PrecondQuality,
+    ProbeConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use subjects::SubjectMethod;
+use symbolic::Formula;
+use testgen::{generate_tests, TestGenConfig};
+
+/// The three approaches, in the tables' column order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Approach {
+    PreInfer,
+    FixIt,
+    DySy,
+}
+
+impl Approach {
+    /// All approaches in table order.
+    pub const ALL: [Approach; 3] = [Approach::PreInfer, Approach::FixIt, Approach::DySy];
+
+    /// Column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Approach::PreInfer => "PreInfer",
+            Approach::FixIt => "FixIt",
+            Approach::DySy => "DySy",
+        }
+    }
+}
+
+/// One approach's scored result at one ACL.
+#[derive(Debug, Clone, Serialize)]
+pub struct ApproachResult {
+    pub sufficient: bool,
+    pub necessary: bool,
+    pub correct: Option<bool>,
+    pub complexity: usize,
+    pub relative_complexity: Option<f64>,
+    /// Whether the inferred precondition contains a quantifier.
+    pub quantified: bool,
+    /// Rendered `ψ` (truncated for giant DySy formulas).
+    pub psi: String,
+}
+
+impl ApproachResult {
+    /// `#Both`: sufficient and necessary.
+    pub fn both(&self) -> bool {
+        self.sufficient && self.necessary
+    }
+}
+
+/// Scored results for one triggered ACL.
+#[derive(Debug, Clone, Serialize)]
+pub struct AclResult {
+    pub namespace: String,
+    pub subject: String,
+    pub method: String,
+    pub kind: String,
+    pub loop_pos_label: String,
+    #[serde(skip)]
+    pub loop_pos: LoopPos,
+    /// Whether the ground truth needs a quantifier (Table VI membership);
+    /// `None` when the ACL carries no annotation.
+    pub quantified_target: Option<bool>,
+    pub preinfer: ApproachResult,
+    pub fixit: ApproachResult,
+    pub dysy: ApproachResult,
+}
+
+impl AclResult {
+    /// The result for a given approach.
+    pub fn of(&self, a: Approach) -> &ApproachResult {
+        match a {
+            Approach::PreInfer => &self.preinfer,
+            Approach::FixIt => &self.fixit,
+            Approach::DySy => &self.dysy,
+        }
+    }
+}
+
+/// Per-method evaluation output.
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodResult {
+    pub namespace: String,
+    pub subject: String,
+    pub method: String,
+    pub coverage_percent: f64,
+    pub tests: usize,
+    pub acls: Vec<AclResult>,
+}
+
+/// Evaluation configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    pub testgen: TestGenConfig,
+    pub probes: ProbeConfig,
+    /// Extra execution-classified probe states for the Suff/Nece check —
+    /// the counterpart of the paper's "re-run Pex against the inserted
+    /// precondition" validation: each probe state is executed and labelled
+    /// passing/failing per ACL by what actually happens.
+    pub check_probes: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            testgen: TestGenConfig::default(),
+            probes: ProbeConfig::default(),
+            check_probes: 150,
+        }
+    }
+}
+
+/// Executes `check_probes` random states, returning each with the check it
+/// failed at (if any). Out-of-fuel runs are dropped.
+fn classified_probes(
+    tp: &TypedProgram,
+    func: &minilang::Func,
+    cfg: &EvalConfig,
+) -> Vec<(MethodEntryState, Option<CheckId>)> {
+    let mut rng = StdRng::seed_from_u64(cfg.probes.rng_seed ^ 0x9E37);
+    let mut out = Vec::with_capacity(cfg.check_probes);
+    for _ in 0..cfg.check_probes {
+        let state = random_probe(func, &mut rng);
+        let result = run(tp, &func.name, &state, &InterpConfig::default());
+        match result.result {
+            ExecResult::OutOfFuel => {}
+            ExecResult::Completed(_) => out.push((state, None)),
+            ExecResult::Failed(e) => out.push((state, Some(e.check))),
+        }
+    }
+    out
+}
+
+fn render_psi(psi: &Formula) -> String {
+    let s = psi.to_string();
+    if s.len() > 400 {
+        format!("{}… [{} chars]", &s[..400], s.len())
+    } else {
+        s
+    }
+}
+
+/// Runs the full protocol on one subject method.
+pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
+    let tp = m.compile();
+    let func = m.func(&tp).clone();
+    let suite = generate_tests(&tp, m.name, &cfg.testgen);
+    let coverage = suite.coverage_percent(&func);
+    let sites = check_sites(&func);
+    let probes = classified_probes(&tp, &func, cfg);
+    let mut acls = Vec::new();
+    for acl in suite.triggered_acls() {
+        // ACLs inside helper functions have no annotation or position row.
+        let Some(site) = sites.iter().find(|s| s.id == acl) else { continue };
+        let truth_alpha = m.truth_alpha(&tp, acl);
+        let truth_psi = truth_alpha.as_ref().map(|a| a.negated());
+        let quantified_target = m.truth_quantified(&tp, acl);
+        let (pass, fail) = suite.partition(acl);
+        // The checking set: the shared suite plus execution-classified
+        // probes (the paper's "insert and re-run Pex" validation).
+        let mut pass_states: Vec<&MethodEntryState> = pass.iter().map(|r| &r.state).collect();
+        let mut fail_states: Vec<&MethodEntryState> = fail.iter().map(|r| &r.state).collect();
+        for (state, failed_at) in &probes {
+            if *failed_at == Some(acl) {
+                fail_states.push(state);
+            } else {
+                pass_states.push(state);
+            }
+        }
+
+        let score = |psi: &Formula, quantified: bool| -> ApproachResult {
+            let q: PrecondQuality = evaluate_precondition(
+                psi,
+                &func,
+                &pass_states,
+                &fail_states,
+                truth_psi.as_ref(),
+                &cfg.probes,
+            );
+            ApproachResult {
+                sufficient: q.sufficient,
+                necessary: q.necessary,
+                correct: q.correct,
+                complexity: q.complexity,
+                relative_complexity: q.relative_complexity,
+                quantified,
+                psi: render_psi(psi),
+            }
+        };
+
+        let preinfer = infer_precondition(&tp, m.name, acl, &suite, &PreInferConfig::default())
+            .map(|inf| score(&inf.precondition.psi, inf.precondition.quantified))
+            .unwrap_or_else(|| score(&Formula::t(), false));
+        let fixit = infer_fixit(acl, &suite)
+            .map(|p| score(&p.psi, p.psi.is_quantified()))
+            .unwrap_or_else(|| score(&Formula::t(), false));
+        let dysy = infer_dysy(acl, &suite)
+            .map(|p| score(&p.psi, p.psi.is_quantified()))
+            .unwrap_or_else(|| score(&Formula::t(), false));
+
+        acls.push(AclResult {
+            namespace: m.namespace.to_string(),
+            subject: m.subject.to_string(),
+            method: m.name.to_string(),
+            kind: acl.kind.to_string(),
+            loop_pos_label: site.loop_pos.to_string(),
+            loop_pos: site.loop_pos,
+            quantified_target,
+            preinfer,
+            fixit,
+            dysy,
+        });
+    }
+    MethodResult {
+        namespace: m.namespace.to_string(),
+        subject: m.subject.to_string(),
+        method: m.name.to_string(),
+        coverage_percent: coverage,
+        tests: suite.len(),
+        acls,
+    }
+}
+
+/// Runs the protocol over a set of methods.
+pub fn evaluate_corpus(methods: &[SubjectMethod], cfg: &EvalConfig) -> Vec<MethodResult> {
+    methods.iter().map(|m| evaluate_method(m, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end sanity on a handful of methods spanning the phenomena:
+    /// a plain null case, a quantified existential case, and a guard case
+    /// where FixIt loses necessity.
+    #[test]
+    fn spot_check_three_methods() {
+        let cfg = EvalConfig::default();
+        let all = subjects::all_subjects();
+
+        let bubble = all.iter().find(|m| m.name == "bubble_sort").unwrap();
+        let r = evaluate_method(bubble, &cfg);
+        assert!(r.coverage_percent > 50.0);
+        let null_acl = r.acls.iter().find(|a| a.kind == "NullReference").unwrap();
+        assert!(null_acl.preinfer.both(), "psi = {}", null_acl.preinfer.psi);
+        assert_eq!(null_acl.preinfer.correct, Some(true), "psi = {}", null_acl.preinfer.psi);
+
+        let inverse = all.iter().find(|m| m.name == "inverse_sum").unwrap();
+        let r = evaluate_method(inverse, &cfg);
+        let div_acl = r.acls.iter().find(|a| a.kind == "DivideByZero").unwrap();
+        assert_eq!(div_acl.quantified_target, Some(true));
+        assert!(div_acl.preinfer.quantified, "psi = {}", div_acl.preinfer.psi);
+        assert!(div_acl.preinfer.both(), "psi = {}", div_acl.preinfer.psi);
+        assert!(!div_acl.fixit.quantified);
+
+        let guarded = all.iter().find(|m| m.name == "guarded_div").unwrap();
+        let r = evaluate_method(guarded, &cfg);
+        let acl = r.acls.iter().find(|a| a.kind == "DivideByZero").unwrap();
+        assert!(acl.preinfer.both(), "psi = {}", acl.preinfer.psi);
+        assert_eq!(acl.preinfer.correct, Some(true), "psi = {}", acl.preinfer.psi);
+        assert!(!acl.fixit.necessary, "FixIt loses the guard: psi = {}", acl.fixit.psi);
+    }
+}

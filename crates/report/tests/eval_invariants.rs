@@ -1,0 +1,91 @@
+//! Invariants of the evaluation harness itself, checked on corpus slices.
+
+use report::{evaluate_method, Approach, EvalConfig};
+
+fn slice(names: &[&str]) -> Vec<subjects::SubjectMethod> {
+    subjects::all_subjects().into_iter().filter(|m| names.contains(&m.name)).collect()
+}
+
+/// Every triggered, annotated ACL gets a relative complexity exactly when it
+/// gets a correctness verdict, and #Both never exceeds min(#Suff, #Nece).
+#[test]
+fn score_consistency() {
+    let cfg = EvalConfig::default();
+    for m in slice(&["queue_front", "median_of_three", "requires_range", "inverse_sum"]) {
+        let r = evaluate_method(&m, &cfg);
+        assert!(!r.acls.is_empty(), "{} triggered nothing", m.name);
+        for acl in &r.acls {
+            for ap in Approach::ALL {
+                let a = acl.of(ap);
+                assert_eq!(
+                    a.correct.is_some(),
+                    a.relative_complexity.is_some(),
+                    "{}: correctness and relative complexity must come together",
+                    m.name
+                );
+                assert!(a.both() <= (a.sufficient && a.necessary));
+            }
+        }
+    }
+}
+
+/// Coverage is a percentage and test counts are positive.
+#[test]
+fn coverage_and_counts_sane() {
+    let cfg = EvalConfig::default();
+    for m in slice(&["bubble_sort", "safe_div"]) {
+        let r = evaluate_method(&m, &cfg);
+        assert!(r.coverage_percent > 0.0 && r.coverage_percent <= 100.0);
+        assert!(r.tests > 0);
+    }
+}
+
+/// The evaluation is deterministic: two runs produce identical scores.
+#[test]
+fn evaluation_is_deterministic() {
+    let cfg = EvalConfig::default();
+    let m = slice(&["guarded_div"]).pop().unwrap();
+    let a = evaluate_method(&m, &cfg);
+    let b = evaluate_method(&m, &cfg);
+    let fmt = |r: &report::MethodResult| {
+        r.acls
+            .iter()
+            .map(|x| {
+                format!(
+                    "{}:{}:{}:{:?}|{}:{}|{}:{}",
+                    x.kind,
+                    x.preinfer.sufficient,
+                    x.preinfer.necessary,
+                    x.preinfer.correct,
+                    x.fixit.sufficient,
+                    x.fixit.necessary,
+                    x.dysy.sufficient,
+                    x.dysy.necessary,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    };
+    assert_eq!(fmt(&a), fmt(&b));
+}
+
+/// Quantified targets only ever appear on ACLs with a ground truth, and
+/// FixIt never infers a quantifier anywhere.
+#[test]
+fn quantifier_bookkeeping() {
+    let cfg = EvalConfig::default();
+    for m in slice(&["inverse_sum", "all_equal_42", "total_key_length"]) {
+        let r = evaluate_method(&m, &cfg);
+        for acl in &r.acls {
+            if acl.quantified_target.is_some() {
+                assert!(acl.preinfer.correct.is_some(), "{}: annotated ⇒ scored", m.name);
+            }
+            assert!(!acl.fixit.quantified, "{}: FixIt cannot quantify", m.name);
+        }
+        assert!(
+            r.acls.iter().any(|a| a.quantified_target == Some(true)),
+            "{} is a collection-element subject",
+            m.name
+        );
+    }
+}

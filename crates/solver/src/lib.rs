@@ -1,0 +1,25 @@
+//! # solver
+//!
+//! Constraint solver for the PreInfer reproduction: the stand-in for the SMT
+//! solver behind Pex. Path conditions are conjunctions of predicates over
+//! linear integer arithmetic, array/string lengths and elements, nullness
+//! flags, and a handful of interpreted atoms (`is_space`, truncated `/` and
+//! `%`). The solver decides satisfiability and, when satisfiable, builds a
+//! concrete [`minilang::MethodEntryState`] that the interpreter can run —
+//! closing the concolic test-generation loop.
+//!
+//! Architecture (bottom-up): exact rational arithmetic ([`rational`]), a
+//! two-phase simplex ([`simplex`]), integer branch & bound with an L1
+//! small-model objective ([`intsolve`]), and the theory layer ([`theory`])
+//! that handles nullness, well-formedness, and disjunctive atoms, and that
+//! re-validates every model by concrete evaluation before returning it.
+
+pub mod intsolve;
+pub mod rational;
+pub mod simplex;
+pub mod theory;
+
+pub use intsolve::{satisfies, solve_int, Budget, IntProblem, IntResult};
+pub use rational::Rat;
+pub use simplex::{solve_lp, Lp, LpResult};
+pub use theory::{solve_preds, FuncSig, SolveResult, SolverConfig};

@@ -1,0 +1,312 @@
+//! Two-phase primal simplex over exact rationals.
+//!
+//! Solves `min c·x  s.t.  A·x ≤ b, x ≥ 0` with Bland's anti-cycling rule.
+//! Problem sizes here (path conditions) are tens of variables and rows, so a
+//! dense rational tableau is simple and fast enough.
+
+use crate::rational::Rat;
+
+/// A linear program in `min c·x, A·x ≤ b, x ≥ 0` form.
+#[derive(Debug, Clone)]
+pub struct Lp {
+    /// Number of structural variables.
+    pub num_vars: usize,
+    /// Rows `(a, b)` meaning `a · x ≤ b` (`a.len() == num_vars`).
+    pub rows: Vec<(Vec<Rat>, Rat)>,
+    /// Objective coefficients (`len == num_vars`); minimized.
+    pub objective: Vec<Rat>,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpResult {
+    /// No feasible point exists.
+    Infeasible,
+    /// An optimal vertex.
+    Optimal { x: Vec<Rat>, obj: Rat },
+    /// The objective is unbounded below; `x` is some feasible point.
+    Unbounded { x: Vec<Rat> },
+}
+
+impl LpResult {
+    /// The solution point, if one exists (optimal or unbounded-feasible).
+    pub fn point(&self) -> Option<&[Rat]> {
+        match self {
+            LpResult::Infeasible => None,
+            LpResult::Optimal { x, .. } | LpResult::Unbounded { x } => Some(x),
+        }
+    }
+}
+
+/// Solves the LP.
+///
+/// # Panics
+///
+/// Panics if row or objective lengths disagree with `num_vars`.
+pub fn solve_lp(lp: &Lp) -> LpResult {
+    for (a, _) in &lp.rows {
+        assert_eq!(a.len(), lp.num_vars, "row length mismatch");
+    }
+    assert_eq!(lp.objective.len(), lp.num_vars, "objective length mismatch");
+    Tableau::new(lp).solve()
+}
+
+/// Dense simplex tableau.
+///
+/// Columns: `0..n` structural, `n..n+m` slacks, `n+m..n+m+art` artificials,
+/// then the RHS. Row `m` is the current phase's objective row (reduced
+/// costs), holding the *negated* objective value in its RHS cell.
+struct Tableau {
+    n: usize,
+    m: usize,
+    cols: usize,
+    /// `m + 1` rows by `cols + 1` columns.
+    t: Vec<Vec<Rat>>,
+    basis: Vec<usize>,
+    objective: Vec<Rat>,
+}
+
+impl Tableau {
+    fn new(lp: &Lp) -> Tableau {
+        let n = lp.num_vars;
+        let m = lp.rows.len();
+        let art = lp.rows.iter().filter(|(_, b)| b.is_negative()).count();
+        let cols = n + m + art;
+        let mut t = vec![vec![Rat::ZERO; cols + 1]; m + 1];
+        let mut basis = vec![0usize; m];
+        let mut next_art = n + m;
+        for (i, (a, b)) in lp.rows.iter().enumerate() {
+            let flip = b.is_negative();
+            let sign = if flip { -Rat::ONE } else { Rat::ONE };
+            for (j, &coef) in a.iter().enumerate() {
+                t[i][j] = coef * sign;
+            }
+            t[i][n + i] = sign; // slack
+            t[i][cols] = *b * sign;
+            if flip {
+                t[i][next_art] = Rat::ONE;
+                basis[i] = next_art;
+                next_art += 1;
+            } else {
+                basis[i] = n + i;
+            }
+        }
+        Tableau { n, m, cols, t, basis, objective: lp.objective.clone() }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_val = self.t[row][col];
+        debug_assert!(!pivot_val.is_zero());
+        let inv = pivot_val.recip();
+        for j in 0..=self.cols {
+            self.t[row][j] = self.t[row][j] * inv;
+        }
+        for i in 0..=self.m {
+            if i == row {
+                continue;
+            }
+            let factor = self.t[i][col];
+            if factor.is_zero() {
+                continue;
+            }
+            for j in 0..=self.cols {
+                let delta = factor * self.t[row][j];
+                self.t[i][j] = self.t[i][j] - delta;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations on the current objective row using Bland's
+    /// rule, considering entering columns `< allowed`. Returns `false` if the
+    /// objective is unbounded below.
+    fn optimize(&mut self, allowed: usize) -> bool {
+        loop {
+            let Some(col) = (0..allowed).find(|&j| self.t[self.m][j].is_negative()) else {
+                return true;
+            };
+            let mut leave: Option<(usize, Rat)> = None;
+            for i in 0..self.m {
+                if self.t[i][col].is_positive() {
+                    let ratio = self.t[i][self.cols] / self.t[i][col];
+                    let better = match &leave {
+                        None => true,
+                        Some((bi, br)) => {
+                            ratio < *br || (ratio == *br && self.basis[i] < self.basis[*bi])
+                        }
+                    };
+                    if better {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return false;
+            };
+            self.pivot(row, col);
+        }
+    }
+
+    /// Installs `c` as the objective row, reduced against the current basis.
+    fn install_objective(&mut self, c: &[Rat]) {
+        for j in 0..=self.cols {
+            self.t[self.m][j] = Rat::ZERO;
+        }
+        for (j, coef) in c.iter().enumerate() {
+            self.t[self.m][j] = *coef;
+        }
+        for i in 0..self.m {
+            let b = self.basis[i];
+            let coef = self.t[self.m][b];
+            if coef.is_zero() {
+                continue;
+            }
+            for j in 0..=self.cols {
+                let delta = coef * self.t[i][j];
+                self.t[self.m][j] = self.t[self.m][j] - delta;
+            }
+        }
+    }
+
+    fn extract_x(&self) -> Vec<Rat> {
+        let mut x = vec![Rat::ZERO; self.n];
+        for i in 0..self.m {
+            if self.basis[i] < self.n {
+                x[self.basis[i]] = self.t[i][self.cols];
+            }
+        }
+        x
+    }
+
+    fn solve(mut self) -> LpResult {
+        let has_artificials = self.cols > self.n + self.m;
+        if has_artificials {
+            // Phase 1: minimize the sum of artificial variables. The cost of
+            // each artificial is 1; reduce against the (artificial) basis.
+            let mut phase1 = vec![Rat::ZERO; self.cols];
+            for slot in phase1.iter_mut().skip(self.n + self.m) {
+                *slot = Rat::ONE;
+            }
+            self.install_objective(&phase1);
+            let bounded = self.optimize(self.cols);
+            debug_assert!(bounded, "phase-1 objective is bounded below by 0");
+            if !self.t[self.m][self.cols].is_zero() {
+                return LpResult::Infeasible;
+            }
+            // Drive remaining zero-valued artificials out of the basis.
+            for i in 0..self.m {
+                if self.basis[i] >= self.n + self.m {
+                    if let Some(col) = (0..self.n + self.m).find(|&j| !self.t[i][j].is_zero()) {
+                        self.pivot(i, col);
+                    }
+                }
+            }
+        }
+        // Phase 2 with the real objective; artificials may not re-enter.
+        let c = self.objective.clone();
+        self.install_objective(&c);
+        let allowed = self.n + self.m;
+        if !self.optimize(allowed) {
+            return LpResult::Unbounded { x: self.extract_x() };
+        }
+        let x = self.extract_x();
+        let obj = -self.t[self.m][self.cols];
+        LpResult::Optimal { x, obj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rat {
+        Rat::from_int(v)
+    }
+
+    fn row(coefs: &[i64], b: i64) -> (Vec<Rat>, Rat) {
+        (coefs.iter().map(|&c| r(c)).collect(), r(b))
+    }
+
+    #[test]
+    fn trivial_feasible_minimum() {
+        // min x  s.t.  x <= 10, -x <= -3  (i.e. x >= 3)
+        let lp = Lp { num_vars: 1, rows: vec![row(&[1], 10), row(&[-1], -3)], objective: vec![r(1)] };
+        match solve_lp(&lp) {
+            LpResult::Optimal { x, obj } => {
+                assert_eq!(x[0], r(3));
+                assert_eq!(obj, r(3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_system() {
+        // x <= 1 and x >= 3
+        let lp = Lp { num_vars: 1, rows: vec![row(&[1], 1), row(&[-1], -3)], objective: vec![r(0)] };
+        assert_eq!(solve_lp(&lp), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn two_variable_optimum() {
+        // min -x - y  s.t. x + y <= 4, x <= 2, y <= 3
+        let lp = Lp {
+            num_vars: 2,
+            rows: vec![row(&[1, 1], 4), row(&[1, 0], 2), row(&[0, 1], 3)],
+            objective: vec![r(-1), r(-1)],
+        };
+        match solve_lp(&lp) {
+            LpResult::Optimal { obj, .. } => assert_eq!(obj, r(-4)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x  s.t. -x <= 0 (x >= 0 only)
+        let lp = Lp { num_vars: 1, rows: vec![row(&[-1], 0)], objective: vec![r(-1)] };
+        assert!(matches!(solve_lp(&lp), LpResult::Unbounded { .. }));
+    }
+
+    #[test]
+    fn fractional_vertex() {
+        // min -x s.t. 2x <= 5  → x = 5/2
+        let lp = Lp { num_vars: 1, rows: vec![row(&[2], 5)], objective: vec![r(-1)] };
+        match solve_lp(&lp) {
+            LpResult::Optimal { x, .. } => assert_eq!(x[0], Rat::new(5, 2)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_via_two_rows() {
+        // x + y = 3 (as <= and >=), min x → x=0, y=3
+        let lp = Lp {
+            num_vars: 2,
+            rows: vec![row(&[1, 1], 3), row(&[-1, -1], -3)],
+            objective: vec![r(1), r(0)],
+        };
+        match solve_lp(&lp) {
+            LpResult::Optimal { x, obj } => {
+                assert_eq!(obj, r(0));
+                assert_eq!(x[0] + x[1], r(3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // A classic degenerate setup; Bland's rule must terminate.
+        let lp = Lp {
+            num_vars: 3,
+            rows: vec![row(&[1, 1, 1], 0), row(&[1, -1, 0], 0), row(&[0, 1, -1], 0)],
+            objective: vec![r(-1), r(-1), r(-1)],
+        };
+        // x = 0 is the only feasible point (x+y+z <= 0, x,y,z >= 0).
+        match solve_lp(&lp) {
+            LpResult::Optimal { obj, .. } => assert_eq!(obj, r(0)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

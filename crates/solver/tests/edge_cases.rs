@@ -1,0 +1,153 @@
+//! Edge-case tests for the theory layer: deep place chains, budget
+//! exhaustion, model-size caps, and interactions between nullness and
+//! arithmetic constraints.
+
+use minilang::{InputValue, Ty};
+use solver::{solve_preds, Budget, FuncSig, IntProblem, IntResult, SolveResult, SolverConfig};
+use symbolic::{CmpOp, Place, Pred, Term};
+
+fn cfg() -> SolverConfig {
+    SolverConfig::default()
+}
+
+#[test]
+fn nested_element_deref_forces_whole_chain() {
+    // strlen(s[1]) > 0 forces: s non-null, len(s) >= 2, s[1] non-null.
+    let sig = FuncSig::from_pairs([("s", Ty::ArrayStr)]);
+    let elem = Place::elem(Place::param("s"), 1);
+    let preds = vec![Pred::cmp(CmpOp::Gt, Term::len(elem), Term::int(0))];
+    match solve_preds(&preds, &sig, &cfg()) {
+        SolveResult::Sat(m) => {
+            let Some(InputValue::ArrayStr(Some(items))) = m.get("s") else { panic!("{m}") };
+            assert!(items.len() >= 2);
+            assert!(items[1].as_ref().map(|v| !v.is_empty()).unwrap_or(false));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn chain_conflicts_with_null_decision() {
+    // s == null together with a dereference of s[0] is unsatisfiable.
+    let sig = FuncSig::from_pairs([("s", Ty::ArrayStr)]);
+    let elem = Place::elem(Place::param("s"), 0);
+    let preds = vec![
+        Pred::is_null(Place::param("s")),
+        Pred::not_null(elem),
+    ];
+    assert_eq!(solve_preds(&preds, &sig, &cfg()), SolveResult::Unsat);
+}
+
+#[test]
+fn element_null_and_length_coexist() {
+    // s[0] == null (element) while len(s) == 3: the other two elements are
+    // unconstrained and default to null.
+    let sig = FuncSig::from_pairs([("s", Ty::ArrayStr)]);
+    let preds = vec![
+        Pred::is_null(Place::elem(Place::param("s"), 0)),
+        Pred::cmp(CmpOp::Eq, Term::len(Place::param("s")), Term::int(3)),
+    ];
+    match solve_preds(&preds, &sig, &cfg()) {
+        SolveResult::Sat(m) => {
+            let Some(InputValue::ArrayStr(Some(items))) = m.get("s") else { panic!("{m}") };
+            assert_eq!(items.len(), 3);
+            assert!(items[0].is_none());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn oversized_model_reports_unknown() {
+    // len(a) >= 100 with max_model_len 64: the constraints are satisfiable
+    // but the model builder refuses to materialize the array.
+    let sig = FuncSig::from_pairs([("a", Ty::ArrayInt)]);
+    let preds = vec![Pred::cmp(CmpOp::Ge, Term::len(Place::param("a")), Term::int(100))];
+    let small = SolverConfig { max_model_len: 64, ..SolverConfig::default() };
+    assert_eq!(solve_preds(&preds, &sig, &small), SolveResult::Unknown);
+    // With the default cap (4096) it succeeds.
+    assert!(matches!(solve_preds(&preds, &sig, &cfg()), SolveResult::Sat(_)));
+}
+
+#[test]
+fn zero_budget_is_unknown_not_wrong() {
+    let sig = FuncSig::from_pairs([("x", Ty::Int)]);
+    let preds = vec![Pred::cmp(CmpOp::Gt, Term::var("x"), Term::int(3))];
+    let starved = SolverConfig { budget_nodes: 0, ..SolverConfig::default() };
+    assert_eq!(solve_preds(&preds, &sig, &starved), SolveResult::Unknown);
+}
+
+#[test]
+fn intsolve_budget_is_shared_across_branches() {
+    // Many disequalities chew through branch-and-bound nodes; a tiny budget
+    // must surface Unknown rather than a wrong verdict.
+    let mut p = IntProblem::new(2);
+    p.eq(vec![3, 3], 7); // no integer solution
+    let mut tiny = Budget::new(1);
+    match solver::solve_int(&p, &mut tiny) {
+        IntResult::Unknown | IntResult::Unsat => {}
+        IntResult::Sat(m) => panic!("impossible model {m:?}"),
+    }
+}
+
+#[test]
+fn mixed_scalar_and_element_system() {
+    // x == a[0] + a[1] && x > 5 && len(a) == 2
+    let sig = FuncSig::from_pairs([("a", Ty::ArrayInt), ("x", Ty::Int)]);
+    let a = Place::param("a");
+    let sum = Term::int_elem(a.clone(), Term::int(0)).add(Term::int_elem(a.clone(), Term::int(1)));
+    let preds = vec![
+        Pred::cmp(CmpOp::Eq, Term::var("x"), sum),
+        Pred::cmp(CmpOp::Gt, Term::var("x"), Term::int(5)),
+        Pred::cmp(CmpOp::Eq, Term::len(a), Term::int(2)),
+    ];
+    match solve_preds(&preds, &sig, &cfg()) {
+        SolveResult::Sat(m) => {
+            let Some(InputValue::ArrayInt(Some(items))) = m.get("a") else { panic!() };
+            let Some(InputValue::Int(x)) = m.get("x") else { panic!() };
+            assert_eq!(items[0] + items[1], *x);
+            assert!(*x > 5);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn is_space_conflict_detected() {
+    // is_space(c) && c == 97 is unsatisfiable.
+    let sig = FuncSig::from_pairs([("s", Ty::Str)]);
+    let c = Term::char_at(Place::param("s"), Term::int(0));
+    let preds = vec![
+        Pred::IsSpace { arg: c.clone(), positive: true },
+        Pred::cmp(CmpOp::Eq, c, Term::int(97)),
+    ];
+    assert_eq!(solve_preds(&preds, &sig, &cfg()), SolveResult::Unsat);
+}
+
+#[test]
+fn boolean_parameter_in_model() {
+    let sig = FuncSig::from_pairs([("go", Ty::Bool), ("x", Ty::Int)]);
+    let preds = vec![
+        Pred::BoolVar { name: "go".into(), positive: false },
+        Pred::cmp(CmpOp::Eq, Term::var("x"), Term::int(-3)),
+    ];
+    match solve_preds(&preds, &sig, &cfg()) {
+        SolveResult::Sat(m) => {
+            assert_eq!(m.get("go"), Some(&InputValue::Bool(false)));
+            assert_eq!(m.get("x"), Some(&InputValue::Int(-3)));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn unknown_parameter_name_is_rejected_gracefully() {
+    // Predicates over a name the signature does not declare: the solver must
+    // not fabricate inputs for it.
+    let sig = FuncSig::from_pairs([("x", Ty::Int)]);
+    let preds = vec![Pred::is_null(Place::param("ghost"))];
+    assert!(matches!(
+        solve_preds(&preds, &sig, &cfg()),
+        SolveResult::Unknown | SolveResult::Unsat
+    ));
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the solver: agreement with brute-force search
+//! over small windows, and model soundness by construction.
+
+use minilang::{InputValue, MethodEntryState, Ty};
+use proptest::prelude::*;
+use solver::{solve_preds, FuncSig, SolveResult, SolverConfig};
+use symbolic::eval::eval_on_state;
+use symbolic::{CmpOp, Formula, Pred, Term};
+
+fn sig_xy() -> FuncSig {
+    FuncSig::from_pairs([("x", Ty::Int), ("y", Ty::Int)])
+}
+
+fn term_xy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-6i64..=6).prop_map(Term::int),
+        Just(Term::var("x")),
+        Just(Term::var("y")),
+    ];
+    leaf.prop_recursive(1, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), -3i64..=3).prop_map(|(a, k)| a.mul(k)),
+            (inner.clone(), prop_oneof![Just(2i64), Just(3)]).prop_map(|(a, k)| a.div(k)),
+            (inner, prop_oneof![Just(2i64), Just(5)]).prop_map(|(a, k)| a.rem(k)),
+        ]
+    })
+}
+
+fn pred_xy() -> impl Strategy<Value = Pred> {
+    let cmp = prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne)
+    ];
+    (cmp, term_xy(), term_xy()).prop_map(|(op, a, b)| Pred::cmp(op, a, b))
+}
+
+fn satisfied(preds: &[Pred], x: i64, y: i64) -> bool {
+    let st = MethodEntryState::from_pairs([
+        ("x".to_string(), InputValue::Int(x)),
+        ("y".to_string(), InputValue::Int(y)),
+    ]);
+    preds.iter().all(|p| eval_on_state(&Formula::pred(p.clone()), &st) == Ok(true))
+}
+
+proptest! {
+    // Debug-mode exact-rational arithmetic makes each solve expensive; a
+    // moderate case count keeps the suite fast while release runs (and CI
+    // with PROPTEST_CASES) can crank it up.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Whenever brute force finds a model in [-8, 8]², the solver must not
+    /// say Unsat; whenever the solver returns Sat, the model satisfies the
+    /// conjunction (the solver re-validates internally, but assert anyway).
+    #[test]
+    fn agrees_with_window_brute_force(preds in proptest::collection::vec(pred_xy(), 1..4)) {
+        let mut witness = None;
+        'outer: for x in -8..=8 {
+            for y in -8..=8 {
+                if satisfied(&preds, x, y) {
+                    witness = Some((x, y));
+                    break 'outer;
+                }
+            }
+        }
+        match solve_preds(&preds, &sig_xy(), &SolverConfig::default()) {
+            SolveResult::Sat(model) => {
+                let all = preds.iter().all(|p| {
+                    eval_on_state(&Formula::pred(p.clone()), &model) == Ok(true)
+                });
+                prop_assert!(all, "model {model} violates the conjunction");
+            }
+            SolveResult::Unsat => {
+                prop_assert!(witness.is_none(), "solver said Unsat but {witness:?} satisfies");
+            }
+            SolveResult::Unknown => {}
+        }
+    }
+
+    /// A conjunction together with its own negated first element is Unsat.
+    #[test]
+    fn pred_and_negation_unsat(p in pred_xy()) {
+        let preds = vec![p.clone(), p.negated()];
+        match solve_preds(&preds, &sig_xy(), &SolverConfig::default()) {
+            SolveResult::Sat(m) => {
+                // Only possible if evaluation is undefined — impossible for
+                // pure int terms.
+                prop_assert!(false, "sat on contradiction: {m}");
+            }
+            SolveResult::Unsat | SolveResult::Unknown => {}
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Integration tests for the theory layer: predicates → models.
+
+use minilang::{InputValue, Ty};
+use solver::{solve_preds, FuncSig, SolveResult, SolverConfig};
+use symbolic::eval::eval_on_state;
+use symbolic::{CmpOp, Formula, Place, Pred, Term};
+
+fn sig_fig1() -> FuncSig {
+    FuncSig::from_pairs([
+        ("s", Ty::ArrayStr),
+        ("a", Ty::Int),
+        ("b", Ty::Int),
+        ("c", Ty::Int),
+        ("d", Ty::Int),
+    ])
+}
+
+fn cfg() -> SolverConfig {
+    SolverConfig::default()
+}
+
+fn assert_sat_model(preds: &[Pred], sig: &FuncSig) -> minilang::MethodEntryState {
+    match solve_preds(preds, sig, &cfg()) {
+        SolveResult::Sat(m) => {
+            // Every predicate must evaluate true on the model.
+            for p in preds {
+                let f = Formula::pred(p.clone());
+                assert_eq!(eval_on_state(&f, &m), Ok(true), "model {m} falsifies {p}");
+            }
+            m
+        }
+        other => panic!("expected Sat, got {other:?}"),
+    }
+}
+
+#[test]
+fn solves_fig1_failing_path_condition() {
+    // c > 0 && d + 1 > 0 && s != null && 0 < len(s) && s[0] == null
+    let s = Place::param("s");
+    let preds = vec![
+        Pred::cmp(CmpOp::Gt, Term::var("c"), Term::int(0)),
+        Pred::cmp(CmpOp::Gt, Term::var("d").add(Term::int(1)), Term::int(0)),
+        Pred::not_null(s.clone()),
+        Pred::cmp(CmpOp::Lt, Term::int(0), Term::len(s.clone())),
+        Pred::is_null(Place::elem(s, 0)),
+    ];
+    let m = assert_sat_model(&preds, &sig_fig1());
+    let Some(InputValue::ArrayStr(Some(items))) = m.get("s") else {
+        panic!("s should be a non-null [str]: {m}");
+    };
+    assert!(!items.is_empty());
+    assert!(items[0].is_none(), "s[0] must be null");
+}
+
+#[test]
+fn null_conflict_is_unsat() {
+    let s = Place::param("s");
+    let preds = vec![Pred::is_null(s.clone()), Pred::not_null(s)];
+    assert_eq!(solve_preds(&preds, &sig_fig1(), &cfg()), SolveResult::Unsat);
+}
+
+#[test]
+fn deref_of_null_place_is_unsat() {
+    // s == null && 0 < len(s): the length dereference forces s non-null.
+    let s = Place::param("s");
+    let preds = vec![
+        Pred::is_null(s.clone()),
+        Pred::cmp(CmpOp::Lt, Term::int(0), Term::len(s)),
+    ];
+    assert_eq!(solve_preds(&preds, &sig_fig1(), &cfg()), SolveResult::Unsat);
+}
+
+#[test]
+fn arithmetic_conflict_is_unsat() {
+    let preds = vec![
+        Pred::cmp(CmpOp::Gt, Term::var("a"), Term::int(5)),
+        Pred::cmp(CmpOp::Lt, Term::var("a"), Term::int(3)),
+    ];
+    assert_eq!(solve_preds(&preds, &sig_fig1(), &cfg()), SolveResult::Unsat);
+}
+
+#[test]
+fn disequality_splits() {
+    let preds = vec![
+        Pred::cmp(CmpOp::Ne, Term::var("a"), Term::int(0)),
+        Pred::cmp(CmpOp::Ge, Term::var("a"), Term::int(0)),
+    ];
+    let m = assert_sat_model(&preds, &sig_fig1());
+    let Some(InputValue::Int(a)) = m.get("a") else { panic!() };
+    assert!(*a >= 1);
+}
+
+#[test]
+fn bounds_wellformedness_grows_arrays() {
+    // Mentioning s[2] forces len(s) >= 3.
+    let s = Place::param("s");
+    let preds = vec![Pred::not_null(Place::elem(s, 2))];
+    let m = assert_sat_model(&preds, &sig_fig1());
+    let Some(InputValue::ArrayStr(Some(items))) = m.get("s") else { panic!() };
+    assert!(items.len() >= 3);
+    assert!(items[2].is_some());
+}
+
+#[test]
+fn unconstrained_params_default_small() {
+    let preds = vec![Pred::cmp(CmpOp::Eq, Term::var("a"), Term::int(7))];
+    let m = assert_sat_model(&preds, &sig_fig1());
+    assert_eq!(m.get("a"), Some(&InputValue::Int(7)));
+    assert_eq!(m.get("b"), Some(&InputValue::Int(0)));
+    assert_eq!(m.get("s"), Some(&InputValue::ArrayStr(None)));
+}
+
+#[test]
+fn is_space_positive_picks_space_code() {
+    let sig = FuncSig::from_pairs([("v", Ty::Str)]);
+    let v = Place::param("v");
+    let preds = vec![
+        Pred::cmp(CmpOp::Gt, Term::len(v.clone()), Term::int(0)),
+        Pred::IsSpace { arg: Term::char_at(v.clone(), Term::int(0)), positive: true },
+    ];
+    let m = assert_sat_model(&preds, &sig);
+    let Some(InputValue::Str(Some(chars))) = m.get("v") else { panic!() };
+    assert!([32, 9, 10, 13].contains(&chars[0]));
+}
+
+#[test]
+fn is_space_negative_avoids_space_codes() {
+    let sig = FuncSig::from_pairs([("v", Ty::Str)]);
+    let v = Place::param("v");
+    let preds = vec![
+        Pred::IsSpace { arg: Term::char_at(v.clone(), Term::int(0)), positive: false },
+        // Pressure the solver toward the space region to prove it dodges it:
+        Pred::cmp(CmpOp::Ge, Term::char_at(v.clone(), Term::int(0)), Term::int(9)),
+        Pred::cmp(CmpOp::Le, Term::char_at(v, Term::int(0)), Term::int(32)),
+    ];
+    let m = assert_sat_model(&preds, &sig);
+    let Some(InputValue::Str(Some(chars))) = m.get("v") else { panic!() };
+    assert!(![32, 9, 10, 13].contains(&chars[0]));
+}
+
+#[test]
+fn bool_params_resolve() {
+    let sig = FuncSig::from_pairs([("flag", Ty::Bool), ("x", Ty::Int)]);
+    let preds = vec![Pred::BoolVar { name: "flag".into(), positive: true }];
+    let m = assert_sat_model(&preds, &sig);
+    assert_eq!(m.get("flag"), Some(&InputValue::Bool(true)));
+    let conflict = vec![
+        Pred::BoolVar { name: "flag".into(), positive: true },
+        Pred::BoolVar { name: "flag".into(), positive: false },
+    ];
+    assert_eq!(solve_preds(&conflict, &sig, &cfg()), SolveResult::Unsat);
+}
+
+#[test]
+fn division_sign_cases() {
+    // a / 2 == 3 → a ∈ {6, 7}
+    let sig = FuncSig::from_pairs([("a", Ty::Int)]);
+    let preds = vec![Pred::cmp(CmpOp::Eq, Term::var("a").div(2), Term::int(3))];
+    let m = assert_sat_model(&preds, &sig);
+    let Some(InputValue::Int(a)) = m.get("a") else { panic!() };
+    assert!(*a == 6 || *a == 7);
+}
+
+#[test]
+fn negative_dividend_division() {
+    // a / 2 == -3 → a ∈ {-6, -7}
+    let sig = FuncSig::from_pairs([("a", Ty::Int)]);
+    let preds = vec![Pred::cmp(CmpOp::Eq, Term::var("a").div(2), Term::int(-3))];
+    let m = assert_sat_model(&preds, &sig);
+    let Some(InputValue::Int(a)) = m.get("a") else { panic!() };
+    assert!(*a == -6 || *a == -7, "got {a}");
+}
+
+#[test]
+fn remainder_constraint() {
+    // a % 3 == 2 && a >= 0 && a <= 10 → a ∈ {2, 5, 8}
+    let sig = FuncSig::from_pairs([("a", Ty::Int)]);
+    let preds = vec![
+        Pred::cmp(CmpOp::Eq, Term::var("a").rem(3), Term::int(2)),
+        Pred::cmp(CmpOp::Ge, Term::var("a"), Term::int(0)),
+        Pred::cmp(CmpOp::Le, Term::var("a"), Term::int(10)),
+    ];
+    let m = assert_sat_model(&preds, &sig);
+    let Some(InputValue::Int(a)) = m.get("a") else { panic!() };
+    assert!([2, 5, 8].contains(a), "got {a}");
+}
+
+#[test]
+fn int_array_elements_in_models() {
+    // a != null && a[0] + a[1] == 10 && a[0] > a[1]
+    let sig = FuncSig::from_pairs([("a", Ty::ArrayInt)]);
+    let a = Place::param("a");
+    let e0 = Term::int_elem(a.clone(), Term::int(0));
+    let e1 = Term::int_elem(a.clone(), Term::int(1));
+    let preds = vec![
+        Pred::not_null(a),
+        Pred::cmp(CmpOp::Eq, e0.clone().add(e1.clone()), Term::int(10)),
+        Pred::cmp(CmpOp::Gt, e0, e1),
+    ];
+    let m = assert_sat_model(&preds, &sig);
+    let Some(InputValue::ArrayInt(Some(items))) = m.get("a") else { panic!() };
+    assert!(items.len() >= 2);
+    assert_eq!(items[0] + items[1], 10);
+    assert!(items[0] > items[1]);
+}
+
+#[test]
+fn string_length_via_strlen() {
+    // strlen(s) == 4 with char constraints
+    let sig = FuncSig::from_pairs([("s", Ty::Str)]);
+    let s = Place::param("s");
+    let preds = vec![
+        Pred::cmp(CmpOp::Eq, Term::len(s.clone()), Term::int(4)),
+        Pred::cmp(CmpOp::Eq, Term::char_at(s.clone(), Term::int(3)), Term::int(122)),
+    ];
+    let m = assert_sat_model(&preds, &sig);
+    let Some(InputValue::Str(Some(chars))) = m.get("s") else { panic!() };
+    assert_eq!(chars.len(), 4);
+    assert_eq!(chars[3], 122);
+}
+
+#[test]
+fn nested_string_element_constraints() {
+    // s[1] != null && strlen(s[1]) == 2
+    let sig = FuncSig::from_pairs([("s", Ty::ArrayStr)]);
+    let s = Place::param("s");
+    let elem = Place::elem(s, 1);
+    let preds = vec![
+        Pred::not_null(elem.clone()),
+        Pred::cmp(CmpOp::Eq, Term::len(elem), Term::int(2)),
+    ];
+    let m = assert_sat_model(&preds, &sig);
+    let Some(InputValue::ArrayStr(Some(items))) = m.get("s") else { panic!() };
+    assert!(items.len() >= 2);
+    assert_eq!(items[1].as_ref().map(|v| v.len()), Some(2));
+}
+
+#[test]
+fn trivially_false_pred_short_circuits() {
+    let preds = vec![Pred::Const(false)];
+    assert_eq!(solve_preds(&preds, &sig_fig1(), &cfg()), SolveResult::Unsat);
+}
+
+#[test]
+fn empty_conjunction_yields_seed_like_model() {
+    let m = assert_sat_model(&[], &sig_fig1());
+    assert_eq!(m.get("s"), Some(&InputValue::ArrayStr(None)));
+    assert_eq!(m.get("a"), Some(&InputValue::Int(0)));
+}

@@ -1,0 +1,286 @@
+//! `Algorithmia.GeneralDataStr` — array-backed stack / queue / ring-buffer
+//! operations from the Algorithmia project's general data-structures
+//! namespace.
+
+use crate::{GroundTruth, SubjectMethod};
+use minilang::CheckKind;
+
+const NS: &str = "Algorithmia.GeneralDataStr";
+const SUBJ: &str = "Algorithmia";
+
+/// The namespace's methods.
+pub fn methods() -> Vec<SubjectMethod> {
+    vec![
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "stack_pop",
+            source: "
+fn stack_pop(stack [int], top int) -> int {
+    return stack[top - 1];
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "stack == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "stack != null && (top < 1 || top - 1 >= len(stack))",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "queue_front",
+            source: "
+fn queue_front(q [int], head int, count int) -> int {
+    assert(count > 0);
+    return q[head];
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::AssertFail,
+                    nth: 0,
+                    alpha: "count <= 0",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "count > 0 && q == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "count > 0 && q != null && (head < 0 || head >= len(q))",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "ring_get",
+            source: "
+fn ring_get(buf [int], idx int) -> int {
+    // fixed capacity-8 ring buffer
+    return buf[idx % 8];
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "buf == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    // Truncated % keeps the dividend's sign: negative idx
+                    // (except multiples of 8) underflows, short buffers
+                    // overflow.
+                    alpha: "buf != null && (idx % 8 < 0 || idx % 8 >= len(buf))",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "append",
+            source: "
+fn append(a [int], used int, v int) {
+    a[used] = v;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "a != null && (used < 0 || used >= len(a))",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "first_len",
+            source: "
+fn first_len(items [str]) -> int {
+    return strlen(items[0]);
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "items == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "items != null && len(items) == 0",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 1,
+                    alpha: "items != null && len(items) >= 1 && items[0] == null",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "total_key_length",
+            source: "
+fn total_key_length(keys [str]) -> int {
+    let total = 0;
+    for (let i = 0; i < len(keys); i = i + 1) {
+        total = total + strlen(keys[i]);
+    }
+    return total;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "keys == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 2,
+                    alpha: "keys != null && exists i. i < len(keys) && keys[i] == null",
+                    quantified: true,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "pop_many",
+            source: "
+fn pop_many(stack [int], top int, k int) -> int {
+    let s = 0;
+    for (let j = 1; j <= k; j = j + 1) {
+        s = s + stack[top - j];
+    }
+    return s;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "k >= 1 && stack == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    // Indices top-1, top-2, …, top-k are consecutive, so the
+                    // run fails iff the range [top-k, top-1] leaves bounds.
+                    alpha: "k >= 1 && stack != null && (top - 1 >= len(stack) || top - k < 0)",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "deque_back",
+            source: "
+fn deque_back(q [int], head int, count int) -> int {
+    assert(count > 0);
+    return q[head + count - 1];
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::AssertFail,
+                    nth: 0,
+                    alpha: "count <= 0",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "count > 0 && q == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "count > 0 && q != null \
+                            && (head + count - 1 < 0 || head + count - 1 >= len(q))",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "hash_bucket",
+            source: "
+fn hash_bucket(keys [str], h int) -> str {
+    return keys[h % 16];
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "keys == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "keys != null && (h % 16 < 0 || h % 16 >= len(keys))",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "resize_copy",
+            source: "
+fn resize_copy(a [int], n int) -> [int] {
+    let out = new_int_array(n);
+    let limit = len(a);
+    if (n < limit) { limit = n; }
+    for (let i = 0; i < limit; i = i + 1) {
+        out[i] = a[i];
+    }
+    return out;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NegativeSize,
+                    nth: 0,
+                    alpha: "n < 0",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "n >= 0 && a == null",
+                    quantified: false,
+                },
+            ],
+        },
+    ]
+}

@@ -1,0 +1,303 @@
+//! `Algorithmia.Sorting` — sorting routines ported from the Algorithmia
+//! project's sorting namespace: comparison sorts over `[int]`, a
+//! string-length sort over `[str]`, and small pivot/median helpers.
+
+use crate::{GroundTruth, SubjectMethod};
+use minilang::CheckKind;
+
+const NS: &str = "Algorithmia.Sorting";
+const SUBJ: &str = "Algorithmia";
+
+/// The namespace's methods.
+pub fn methods() -> Vec<SubjectMethod> {
+    vec![
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "bubble_sort",
+            source: "
+fn bubble_sort(a [int]) {
+    let n = len(a);
+    for (let i = 0; i < n; i = i + 1) {
+        for (let j = 0; j + 1 < n - i; j = j + 1) {
+            if (a[j] > a[j + 1]) {
+                let t = a[j];
+                a[j] = a[j + 1];
+                a[j + 1] = t;
+            }
+        }
+    }
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "a == null",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "insertion_sort",
+            source: "
+fn insertion_sort(a [int]) {
+    let n = len(a);
+    let i = 1;
+    while (i < n) {
+        let key = a[i];
+        let j = i - 1;
+        while (j >= 0 && a[j] > key) {
+            a[j + 1] = a[j];
+            j = j - 1;
+        }
+        a[j + 1] = key;
+        i = i + 1;
+    }
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "a == null",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "is_sorted_at",
+            source: "
+fn is_sorted_at(a [int], i int) -> bool {
+    return a[i] <= a[i + 1];
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "a != null && (i < 0 || i >= len(a))",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 1,
+                    alpha: "a != null && i >= 0 && i < len(a) && i + 1 >= len(a)",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "median_of_three",
+            source: "
+fn median_of_three(a [int]) -> int {
+    let lo = a[0];
+    let mid = a[len(a) / 2];
+    let hi = a[len(a) - 1];
+    if (lo > mid) { let t = lo; lo = mid; mid = t; }
+    if (mid > hi) { let t = mid; mid = hi; hi = t; }
+    if (lo > mid) { let t = lo; lo = mid; mid = t; }
+    return mid;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "a != null && len(a) == 0",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "sort_strings_by_length",
+            source: "
+fn sort_strings_by_length(s [str]) {
+    let n = len(s);
+    for (let i = 0; i < n; i = i + 1) {
+        for (let j = 0; j + 1 < n - i; j = j + 1) {
+            if (strlen(s[j]) > strlen(s[j + 1])) {
+                let t = s[j];
+                s[j] = s[j + 1];
+                s[j + 1] = t;
+            }
+        }
+    }
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "s == null",
+                    quantified: false,
+                },
+                // strlen(s[j]) — the first element-null dereference.
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 2,
+                    // Single-element arrays never compare, so a null element
+                    // only fails from length 2 upward.
+                    alpha: "s != null && len(s) >= 2 && exists i. i < len(s) && s[i] == null",
+                    quantified: true,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "count_inversions_bounded",
+            // The inversion count is a data-dependent aggregate: the target
+            // precondition is not expressible in the first-order template
+            // language, so no ground truth is annotated for the assert (the
+            // paper's "complex loop" category).
+            source: "
+fn count_inversions_bounded(a [int], limit int) -> int {
+    if (a == null) { return 0; }
+    let count = 0;
+    for (let i = 0; i < len(a); i = i + 1) {
+        for (let j = i + 1; j < len(a); j = j + 1) {
+            if (a[i] > a[j]) { count = count + 1; }
+        }
+    }
+    assert(count <= limit);
+    return count;
+}",
+            truths: vec![],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "swap_range_prefix",
+            source: "
+fn swap_range_prefix(a [int], k int) {
+    // reverse the first k elements
+    let lo = 0;
+    let hi = k - 1;
+    while (lo < hi) {
+        let t = a[lo];
+        a[lo] = a[hi];
+        a[hi] = t;
+        lo = lo + 1;
+        hi = hi - 1;
+    }
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "k >= 2 && a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    // a[lo] with lo = 0 on an empty array.
+                    alpha: "k >= 2 && a != null && len(a) == 0",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 2,
+                    // the a[hi] read (site #2: the write's own check is #1
+                    // but the value is evaluated first): hi = k-1 past the
+                    // end on the first iteration.
+                    alpha: "k >= 2 && a != null && len(a) >= 1 && k - 1 >= len(a)",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "gnome_sort",
+            source: "
+fn gnome_sort(a [int]) {
+    let i = 0;
+    while (i < len(a)) {
+        if (i == 0 || a[i] >= a[i - 1]) {
+            i = i + 1;
+        } else {
+            let t = a[i];
+            a[i] = a[i - 1];
+            a[i - 1] = t;
+            i = i - 1;
+        }
+    }
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "a == null",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "partition_pivot",
+            source: "
+fn partition_pivot(a [int], p int) -> int {
+    let pivot = a[p];
+    let smaller = 0;
+    for (let i = 0; i < len(a); i = i + 1) {
+        if (a[i] < pivot) { smaller = smaller + 1; }
+    }
+    return smaller;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "a != null && (p < 0 || p >= len(a))",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "min_index_from",
+            source: "
+fn min_index_from(a [int], k int) -> int {
+    let best = k;
+    let v = a[k];
+    for (let i = k + 1; i < len(a); i = i + 1) {
+        if (a[i] < v) { v = a[i]; best = i; }
+    }
+    return best;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "a != null && (k < 0 || k >= len(a))",
+                    quantified: false,
+                },
+            ],
+        },
+    ]
+}

@@ -1,0 +1,285 @@
+//! `CodeContracts.ArrayPurityI` — array-focused cccheck regression tests:
+//! element-wise contracts, range manipulation, and the quantified cases the
+//! static analyzer's array abstract domains target.
+
+use crate::{GroundTruth, SubjectMethod};
+use minilang::CheckKind;
+
+const NS: &str = "CodeContracts.ArrayPurityI";
+const SUBJ: &str = "CodeContracts";
+
+/// The namespace's methods.
+pub fn methods() -> Vec<SubjectMethod> {
+    vec![
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "sum_array",
+            source: "
+fn sum_array(a [int]) -> int {
+    let s = 0;
+    for (let i = 0; i < len(a); i = i + 1) {
+        s = s + a[i];
+    }
+    return s;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "a == null",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "inverse_sum",
+            // The paper's own illustration: each element is a denominator;
+            // the violated property is "no element is zero".
+            source: "
+fn inverse_sum(a [int]) -> int {
+    let s = 0;
+    for (let i = 0; i < len(a); i = i + 1) {
+        s = s + 100 / a[i];
+    }
+    return s;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::DivByZero,
+                    nth: 0,
+                    alpha: "a != null && exists i. i < len(a) && a[i] == 0",
+                    quantified: true,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "find_nonzero",
+            source: "
+fn find_nonzero(a [int]) -> int {
+    let i = 0;
+    while (i < len(a)) {
+        if (a[i] != 0) { return i; }
+        i = i + 1;
+    }
+    return 100 / 0;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::DivByZero,
+                    nth: 0,
+                    alpha: "a != null && (forall i. (0 <= i && i < len(a)) ==> a[i] == 0)",
+                    quantified: true,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "copy_range",
+            source: "
+fn copy_range(src [int], dst [int], n int) {
+    for (let i = 0; i < n; i = i + 1) {
+        dst[i] = src[i];
+    }
+}",
+            truths: vec![
+                // src[i] is evaluated before the dst write's own checks.
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 1,
+                    alpha: "n >= 1 && src == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "n >= 1 && src != null && len(src) >= 1 && dst == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 1,
+                    alpha: "n >= 1 && src != null && dst != null \
+                            && len(src) < n && len(dst) >= len(src)",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "n >= 1 && src != null && dst != null \
+                            && len(dst) < n && len(dst) < len(src)",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "zero_fill_window",
+            source: "
+fn zero_fill_window(a [int], from int, to int) {
+    for (let i = from; i < to; i = i + 1) {
+        a[i] = 0;
+    }
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "from < to && a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "from < to && a != null && (from < 0 || to > len(a))",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "last_of_each",
+            // A genuinely hard quantified case: the first failing row
+            // depends on the order of two different failure modes (null row
+            // vs empty row), so the correct precondition needs nested
+            // quantifiers — outside the template language.
+            source: "
+fn last_of_each(rows [str]) -> int {
+    let s = 0;
+    for (let i = 0; i < len(rows); i = i + 1) {
+        s = s + char_at(rows[i], strlen(rows[i]) - 1);
+    }
+    return s;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "rows == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    // A null row fails at strlen's null check (NullDeref site
+                    // order: len(rows) #0, the two rows[i] array checks #1
+                    // and #2, strlen #3, char_at #4).
+                    kind: CheckKind::NullDeref,
+                    nth: 3,
+                    alpha: "rows != null && exists i. (i < len(rows) && rows[i] == null \
+                            && (forall j. (0 <= j && j < i) \
+                                ==> (rows[j] != null && strlen(rows[j]) > 0)))",
+                    quantified: true,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "scale_elements",
+            source: "
+fn scale_elements(a [int], f int) {
+    for (let i = 0; i < len(a); i = i + 1) {
+        a[i] = a[i] * f;
+    }
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "a == null",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "first_equals_last",
+            source: "
+fn first_equals_last(a [int]) -> bool {
+    return a[0] == a[len(a) - 1];
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "a != null && len(a) == 0",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "reverse_in_place",
+            source: "
+fn reverse_in_place(a [int]) {
+    let lo = 0;
+    let hi = len(a) - 1;
+    while (lo < hi) {
+        let t = a[lo];
+        a[lo] = a[hi];
+        a[hi] = t;
+        lo = lo + 1;
+        hi = hi - 1;
+    }
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "a == null",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "sum_until_negative",
+            source: "
+fn sum_until_negative(a [int]) -> int {
+    let s = 0;
+    let i = 0;
+    while (i < len(a) && a[i] >= 0) {
+        s = s + a[i];
+        i = i + 1;
+    }
+    return s / (len(a) - i + 1) + 100 / (len(a) - i);
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::DivByZero,
+                    nth: 1,
+                    // the scan exhausts iff every element is non-negative
+                    alpha: "a != null && (forall i. (0 <= i && i < len(a)) ==> a[i] >= 0)",
+                    quantified: true,
+                },
+            ],
+        },
+    ]
+}

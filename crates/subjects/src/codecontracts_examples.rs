@@ -1,0 +1,179 @@
+//! `CodeContracts.ExamplesPuri` — small scalar examples in the style of the
+//! cccheck regression tests' purity examples: arithmetic guards, division
+//! gates, simple asserted contracts.
+
+use crate::{GroundTruth, SubjectMethod};
+use minilang::CheckKind;
+
+const NS: &str = "CodeContracts.ExamplesPuri";
+const SUBJ: &str = "CodeContracts";
+
+/// The namespace's methods.
+pub fn methods() -> Vec<SubjectMethod> {
+    vec![
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "safe_div",
+            source: "
+fn safe_div(x int, y int) -> int {
+    return x / y;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::DivByZero,
+                nth: 0,
+                alpha: "y == 0",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "guarded_div",
+            source: "
+fn guarded_div(x int, y int) -> int {
+    if (x > 10) {
+        return x / y;
+    }
+    return 0;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::DivByZero,
+                nth: 0,
+                // FixIt's last-branch-only precondition misses the guard.
+                alpha: "x > 10 && y == 0",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "countdown",
+            source: "
+fn countdown(n int) {
+    while (n > 0) {
+        n = n - 1;
+    }
+    assert(n == 0);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "n < 0",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "midpoint",
+            source: "
+fn midpoint(lo int, hi int) -> int {
+    assert(lo <= hi);
+    return lo + (hi - lo) / 2;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "lo > hi",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "clamp",
+            source: "
+fn clamp(x int, lo int, hi int) -> int {
+    assert(lo <= hi);
+    if (x < lo) { return lo; }
+    if (x > hi) { return hi; }
+    return x;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "lo > hi",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "years_since",
+            source: "
+fn years_since(y int) -> int {
+    return 36500 / (y - 2000);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::DivByZero,
+                nth: 0,
+                alpha: "y == 2000",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "abs_gate",
+            source: "
+fn abs_gate(x int, y int) -> int {
+    // fails when |x| equals y
+    return 100 / (abs(x) - y);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::DivByZero,
+                nth: 0,
+                alpha: "(x >= 0 && x == y) || (x < 0 && 0 - x == y)",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "weekday_gate",
+            source: "
+fn weekday_gate(d int) -> int {
+    assert(d >= 0 && d < 7);
+    return d + 1;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "d < 0 || d >= 7",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "percent",
+            source: "
+fn percent(x int, total int) -> int {
+    return x * 100 / total;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::DivByZero,
+                nth: 0,
+                alpha: "total == 0",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "interval_width",
+            source: "
+fn interval_width(lo int, hi int) -> int {
+    assert(hi - lo >= 0);
+    return hi - lo;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "hi < lo",
+                quantified: false,
+            }],
+        },
+    ]
+}

@@ -1,0 +1,229 @@
+//! `CodeContracts.PreInference` — cccheck regression tests that stress the
+//! precondition-inference machinery directly: layered guards, expression
+//! preservation across mutations, disjunctive contracts, and the
+//! no-passing-tests corner.
+
+use crate::{GroundTruth, SubjectMethod};
+use minilang::CheckKind;
+
+const NS: &str = "CodeContracts.PreInference";
+const SUBJ: &str = "CodeContracts";
+
+/// The namespace's methods.
+pub fn methods() -> Vec<SubjectMethod> {
+    vec![
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "requires_positive",
+            source: "
+fn requires_positive(x int) -> int {
+    assert(x > 0);
+    return x;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "x <= 0",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "requires_nonnull",
+            source: "
+fn requires_nonnull(s str) -> int {
+    return strlen(s);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "s == null",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "requires_range",
+            source: "
+fn requires_range(i int, n int) -> int {
+    if (n >= 0) {
+        assert(i >= 0 && i < n);
+        return i;
+    }
+    return 0;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "n >= 0 && (i < 0 || i >= n)",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "requires_sum",
+            source: "
+fn requires_sum(x int, y int) -> int {
+    assert(x + y != 10);
+    return x + y;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "x + y == 10",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "disjunctive_guard",
+            source: "
+fn disjunctive_guard(a int, b int) -> int {
+    if (a > 0) {
+        assert(b > 0);
+        return a + b;
+    } else {
+        assert(b < 0);
+        return a - b;
+    }
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::AssertFail,
+                    nth: 0,
+                    alpha: "a > 0 && b <= 0",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::AssertFail,
+                    nth: 1,
+                    alpha: "a <= 0 && b >= 0",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "incr_gate",
+            // Expression preservation: the reachability of the division
+            // depends on `d` *after* the conditional increment (the paper's
+            // c / d+1 pattern from Figure 1, isolated).
+            source: "
+fn incr_gate(c int, d int) -> int {
+    if (c > 0) { d = d + 1; }
+    if (d > 0) {
+        return 1 / (c + 5);
+    }
+    return 0;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::DivByZero,
+                nth: 0,
+                // c == -5 implies the increment did not happen.
+                alpha: "c == -5 && d > 0",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "always_fails",
+            // Every input fails: no passing paths exist, the corner the
+            // paper notes PreInfer handles poorly while DySy still answers.
+            source: "
+fn always_fails(x int) -> int {
+    let zero = x - x;
+    return 1 / zero;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::DivByZero,
+                nth: 0,
+                alpha: "true",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "modulo_requires",
+            source: "
+fn modulo_requires(k int) -> int {
+    assert(k % 3 == 1);
+    return k / 3;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "k % 3 != 1",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "nested_guards",
+            source: "
+fn nested_guards(x int, y int, z int) -> int {
+    if (x > 0) {
+        if (y > x) {
+            assert(z != y);
+            return z;
+        }
+    }
+    return 0;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "x > 0 && y > x && z == y",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "loop_then_requires",
+            source: "
+fn loop_then_requires(n int) -> int {
+    let i = 0;
+    while (i < n) {
+        i = i + 1;
+    }
+    assert(n <= 5);
+    return i;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "n > 5",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "either_null_gate",
+            source: "
+fn either_null_gate(s str, t str) -> int {
+    if (s == null) {
+        return strlen(t);
+    }
+    return strlen(s);
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "s == null && t == null",
+                    quantified: false,
+                },
+            ],
+        },
+    ]
+}

@@ -1,0 +1,312 @@
+//! `DSA.Algorithm` — methods ported from the Data Structures and Algorithms
+//! (DSA) project, including the paper's Figure 2 case study
+//! (`reverse_words`).
+
+use crate::{GroundTruth, SubjectMethod};
+use minilang::CheckKind;
+
+const NS: &str = "DSA.Algorithm";
+const SUBJ: &str = "DSA";
+
+/// The Figure 2 case study on its own (used by the `reverse_words` example).
+pub fn reverse_words() -> SubjectMethod {
+    SubjectMethod {
+        namespace: NS,
+        subject: SUBJ,
+        name: "reverse_words",
+        // A faithful port of DSA's ReverseWords (paper Fig. 2): the
+        // StringBuilder is an int-array buffer; the method returns the
+        // output length. The paper's Line-23 IndexOutOfRangeException is the
+        // `sb[sb_len - 1]` read on an empty buffer — which happens exactly
+        // when every character of `value` is whitespace (or the string is
+        // empty).
+        source: "
+fn reverse_words(value str) -> int {
+    let n = strlen(value);
+    let sb = new_int_array(n + 1);
+    let sb_len = 0;
+    let last = n - 1;
+    let start = last;
+    while (last >= 0) {
+        while (start >= 0 && is_space(char_at(value, start))) {
+            start = start - 1;
+        }
+        last = start;
+        while (start >= 0 && !is_space(char_at(value, start))) {
+            start = start - 1;
+        }
+        for (let i = start + 1; i < last + 1; i = i + 1) {
+            sb[sb_len] = char_at(value, i);
+            sb_len = sb_len + 1;
+        }
+        if (start > 0) {
+            sb[sb_len] = 32;
+            sb_len = sb_len + 1;
+        }
+        last = start - 1;
+        start = last;
+    }
+    let last_char = sb[sb_len - 1];
+    if (is_space(last_char)) { sb_len = sb_len - 1; }
+    return sb_len;
+}",
+        truths: vec![
+            GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "value == null",
+                quantified: false,
+            },
+            GroundTruth {
+                // sb[sb_len - 1] — the 6th IndexOutOfRange site: two char_at
+                // reads in the word scans (#0, #1), the copy-loop char_at
+                // (#2), two sb writes (#3, #4), then this read (#5).
+                kind: CheckKind::IndexOutOfRange,
+                nth: 5,
+                alpha: "value != null \
+                        && (forall i. (0 <= i && i < strlen(value)) ==> is_space(char_at(value, i)))",
+                quantified: true,
+            },
+        ],
+    }
+}
+
+/// The namespace's methods.
+pub fn methods() -> Vec<SubjectMethod> {
+    vec![
+        reverse_words(),
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "binary_search",
+            source: "
+fn binary_search(a [int], key int) -> int {
+    let lo = 0;
+    let hi = len(a) - 1;
+    while (lo <= hi) {
+        let mid = lo + (hi - lo) / 2;
+        if (a[mid] == key) { return mid; }
+        if (a[mid] < key) { lo = mid + 1; } else { hi = mid - 1; }
+    }
+    return -1;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "a == null",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "max_element",
+            source: "
+fn max_element(a [int]) -> int {
+    let m = a[0];
+    for (let i = 1; i < len(a); i = i + 1) {
+        if (a[i] > m) { m = a[i]; }
+    }
+    return m;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "a != null && len(a) == 0",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "char_at_checked",
+            source: "
+fn char_at_checked(s str, i int) -> int {
+    return char_at(s, i);
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "s == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "s != null && (i < 0 || i >= strlen(s))",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "leading_space_gate",
+            source: "
+fn leading_space_gate(s str) -> int {
+    // skip leading whitespace, then divide by the remaining length
+    let i = 0;
+    while (i < strlen(s) && is_space(char_at(s, i))) {
+        i = i + 1;
+    }
+    return 100 / (strlen(s) - i);
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "s == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::DivByZero,
+                    nth: 0,
+                    // the scan consumes the whole string iff every character
+                    // is whitespace (vacuously: the empty string)
+                    alpha: "s != null \
+                            && (forall i. (0 <= i && i < strlen(s)) ==> is_space(char_at(s, i)))",
+                    quantified: true,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "average_positive",
+            // The divisor is a data-dependent count — the target
+            // precondition (at least one positive element) is quantified but
+            // the path conditions tie it to the count arithmetic; annotated
+            // with the quantified ground truth to score the approaches.
+            source: "
+fn average_positive(a [int]) -> int {
+    let sum = 0;
+    let count = 0;
+    for (let i = 0; i < len(a); i = i + 1) {
+        if (a[i] > 0) {
+            sum = sum + a[i];
+            count = count + 1;
+        }
+    }
+    return sum / count;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::DivByZero,
+                    nth: 0,
+                    alpha: "a != null && (forall i. (0 <= i && i < len(a)) ==> a[i] <= 0)",
+                    quantified: true,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "word_count",
+            source: "
+fn word_count(s str) -> int {
+    let words = 0;
+    let in_word = 0;
+    for (let i = 0; i < strlen(s); i = i + 1) {
+        if (is_space(char_at(s, i))) {
+            in_word = 0;
+        } else {
+            if (in_word == 0) { words = words + 1; }
+            in_word = 1;
+        }
+    }
+    return words;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "s == null",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "power_of_two_gate",
+            source: "
+fn power_of_two_gate(k int) -> int {
+    let p = 1;
+    let i = 0;
+    while (i < k) {
+        p = p * 2;
+        i = i + 1;
+    }
+    return 100 / (p - 8);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::DivByZero,
+                nth: 0,
+                // 2^3 == 8: exactly k == 3 trips the gate.
+                alpha: "k == 3",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "last_index_of_char",
+            source: "
+fn last_index_of_char(s str, c int) -> int {
+    let i = strlen(s) - 1;
+    while (i >= 0) {
+        if (char_at(s, i) == c) { return i; }
+        i = i - 1;
+    }
+    return 1 / 0;
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "s == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::DivByZero,
+                    nth: 0,
+                    alpha: "s != null \
+                            && (forall i. (0 <= i && i < strlen(s)) ==> char_at(s, i) != c)",
+                    quantified: true,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "sum_char_codes",
+            source: "
+fn sum_char_codes(s str) -> int {
+    let total = 0;
+    for (let i = 0; i < strlen(s); i = i + 1) {
+        total = total + char_at(s, i);
+    }
+    return total;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "s == null",
+                quantified: false,
+            }],
+        },
+    ]
+}

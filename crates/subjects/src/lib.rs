@@ -1,0 +1,252 @@
+//! # subjects
+//!
+//! The evaluation corpus: MiniLang ports mirroring the paper's four subject
+//! suites (Table III) organized into the seven namespaces of Table V —
+//! `Algorithmia.Sorting`, `Algorithmia.GeneralDataStr`, `DSA.Algorithm`,
+//! `CodeContracts.ExamplesPuri`, `CodeContracts.PreInference`,
+//! `CodeContracts.ArrayPurityI`, and `SVComp.SVCompCSharp`. Every method is
+//! annotated with hand-written ground-truth *failure conditions* (`α*`, in
+//! the spec DSL) per assertion-containing location; the ground-truth
+//! precondition is `ψ* = ¬α*`.
+//!
+//! The original C# sources are not reproducible verbatim; these are
+//! reimplementations of representative methods from each suite, chosen so
+//! every phenomenon the paper measures occurs in the corpus: ACLs before /
+//! inside / after loops, quantified ground truths (the Table VI
+//! collection-element cases), complex loops outside the template language,
+//! and methods whose every input fails.
+
+pub mod algorithmia_gds;
+pub mod algorithmia_sorting;
+pub mod codecontracts_array;
+pub mod codecontracts_examples;
+pub mod codecontracts_preinf;
+pub mod dsa_algorithm;
+pub mod motivating;
+pub mod svcomp;
+
+use minilang::{check_sites, CheckId, CheckKind, Func, TypedProgram};
+use symbolic::{parse_spec, Formula};
+
+/// A ground-truth annotation for one assertion-containing location,
+/// identified by its check kind and its syntactic occurrence index among the
+/// entry function's sites of that kind.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    pub kind: CheckKind,
+    /// 0-based occurrence among the entry function's sites of this kind, in
+    /// syntactic order.
+    pub nth: usize,
+    /// The failure condition `α*` in the spec DSL (`ψ* = ¬α*`).
+    pub alpha: &'static str,
+    /// Whether the target precondition needs a quantifier (Table VI).
+    pub quantified: bool,
+}
+
+/// One benchmark method.
+#[derive(Debug, Clone)]
+pub struct SubjectMethod {
+    /// Table V namespace, e.g. `"Algorithmia.Sorting"`.
+    pub namespace: &'static str,
+    /// Table III subject, e.g. `"Algorithmia"`.
+    pub subject: &'static str,
+    /// Entry-point function name.
+    pub name: &'static str,
+    /// Full MiniLang source (entry point plus helpers).
+    pub source: &'static str,
+    /// Ground truths for the ACLs the test generator is expected to trigger.
+    pub truths: Vec<GroundTruth>,
+}
+
+impl SubjectMethod {
+    /// Compiles the method's source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to compile — corpus sources are
+    /// validated by the crate's tests.
+    pub fn compile(&self) -> TypedProgram {
+        minilang::compile(self.source)
+            .unwrap_or_else(|e| panic!("subject {}::{} does not compile: {e}", self.namespace, self.name))
+    }
+
+    /// The entry function within a compiled program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry function is missing (validated by crate tests).
+    pub fn func<'a>(&self, program: &'a TypedProgram) -> &'a Func {
+        program.func(self.name).expect("entry function exists")
+    }
+
+    /// Resolves the `(kind, nth)` annotation key for a triggered ACL.
+    fn annotation_key(&self, program: &TypedProgram, acl: CheckId) -> Option<(CheckKind, usize)> {
+        let func = self.func(program);
+        let mut counter = 0usize;
+        for s in check_sites(func) {
+            if s.id.kind == acl.kind {
+                if s.id == acl {
+                    return Some((acl.kind, counter));
+                }
+                counter += 1;
+            }
+        }
+        None
+    }
+
+    /// Resolves the ground-truth failure condition `α*` for a triggered ACL.
+    /// Returns `None` when the ACL carries no annotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stored spec does not parse (validated by crate tests).
+    pub fn truth_alpha(&self, program: &TypedProgram, acl: CheckId) -> Option<Formula> {
+        let (kind, nth) = self.annotation_key(program, acl)?;
+        let gt = self.truths.iter().find(|t| t.kind == kind && t.nth == nth)?;
+        let func = self.func(program);
+        Some(parse_spec(gt.alpha, func).unwrap_or_else(|e| {
+            panic!("bad ground truth for {}::{} ({kind}, #{nth}): {e}", self.namespace, self.name)
+        }))
+    }
+
+    /// Whether a triggered ACL is annotated as a collection-element case.
+    pub fn truth_quantified(&self, program: &TypedProgram, acl: CheckId) -> Option<bool> {
+        let (kind, nth) = self.annotation_key(program, acl)?;
+        self.truths.iter().find(|t| t.kind == kind && t.nth == nth).map(|t| t.quantified)
+    }
+}
+
+/// The whole corpus, in Table V namespace order.
+pub fn all_subjects() -> Vec<SubjectMethod> {
+    let mut out = Vec::new();
+    out.extend(algorithmia_sorting::methods());
+    out.extend(algorithmia_gds::methods());
+    out.extend(dsa_algorithm::methods());
+    out.extend(codecontracts_examples::methods());
+    out.extend(codecontracts_preinf::methods());
+    out.extend(codecontracts_array::methods());
+    out.extend(svcomp::methods());
+    out
+}
+
+/// The namespaces in Table V row order.
+pub const NAMESPACES: [&str; 7] = [
+    "Algorithmia.Sorting",
+    "Algorithmia.GeneralDataStr",
+    "DSA.Algorithm",
+    "CodeContracts.ExamplesPuri",
+    "CodeContracts.PreInference",
+    "CodeContracts.ArrayPurityI",
+    "SVComp.SVCompCSharp",
+];
+
+/// The subjects in Table III row order.
+pub const SUBJECTS: [&str; 4] = ["Algorithmia", "CodeContracts", "DSA", "SVComp"];
+
+/// Per-subject corpus characteristics for Table III.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubjectStats {
+    pub subject: &'static str,
+    pub namespaces: usize,
+    pub methods: usize,
+    pub lines: usize,
+    pub files: usize,
+}
+
+/// Computes Table III's characteristics from the corpus. "Files" counts
+/// subject methods (each is one translation unit); "methods" counts `fn`
+/// definitions including helpers.
+pub fn corpus_stats() -> Vec<SubjectStats> {
+    let subjects = all_subjects();
+    SUBJECTS
+        .iter()
+        .map(|&subject| {
+            let methods: Vec<&SubjectMethod> =
+                subjects.iter().filter(|m| m.subject == subject).collect();
+            let mut namespaces: Vec<&str> = methods.iter().map(|m| m.namespace).collect();
+            namespaces.sort_unstable();
+            namespaces.dedup();
+            let lines = methods.iter().map(|m| m.source.lines().count()).sum();
+            let fn_count = methods.iter().map(|m| m.source.matches("fn ").count()).sum();
+            SubjectStats {
+                subject,
+                namespaces: namespaces.len(),
+                methods: fn_count,
+                lines,
+                files: methods.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every corpus source compiles, every ground truth parses, and every
+    /// annotated (kind, nth) pair resolves to a static check site.
+    #[test]
+    fn corpus_is_well_formed() {
+        let subjects = all_subjects();
+        assert!(!subjects.is_empty());
+        for m in &subjects {
+            let tp = m.compile();
+            let func = m.func(&tp);
+            let sites = check_sites(func);
+            for t in &m.truths {
+                let of_kind: Vec<_> = sites.iter().filter(|s| s.id.kind == t.kind).collect();
+                assert!(
+                    t.nth < of_kind.len(),
+                    "{}::{}: annotation ({}, #{}) has no matching site (only {} of that kind)",
+                    m.namespace,
+                    m.name,
+                    t.kind,
+                    t.nth,
+                    of_kind.len()
+                );
+                let acl = of_kind[t.nth].id;
+                let alpha = m.truth_alpha(&tp, acl).expect("resolves");
+                assert_eq!(
+                    alpha.is_quantified(),
+                    t.quantified,
+                    "{}::{}: quantified flag disagrees with α* for ({}, #{})",
+                    m.namespace,
+                    m.name,
+                    t.kind,
+                    t.nth
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn namespaces_cover_table_v() {
+        let subjects = all_subjects();
+        for ns in NAMESPACES {
+            assert!(subjects.iter().any(|m| m.namespace == ns), "namespace {ns} has no methods");
+        }
+    }
+
+    #[test]
+    fn stats_are_nonempty_for_all_subjects() {
+        for s in corpus_stats() {
+            assert!(s.methods > 0, "{}", s.subject);
+            assert!(s.lines > 0);
+            assert!(s.namespaces > 0);
+        }
+    }
+
+    #[test]
+    fn entry_functions_exist_and_have_checkable_sites() {
+        for m in all_subjects() {
+            let tp = m.compile();
+            let func = m.func(&tp);
+            assert!(
+                !check_sites(func).is_empty(),
+                "{}::{} has no check sites at all",
+                m.namespace,
+                m.name
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The paper's Figure 1 motivating example, with its two ground-truth
+//! preconditions (Lines 3 and 5 of the figure). Not part of the Table V
+//! corpus — exposed separately for the quickstart example and tests.
+
+use crate::{GroundTruth, SubjectMethod};
+use minilang::CheckKind;
+
+/// Figure 1's `example` method.
+pub fn motivating() -> SubjectMethod {
+    SubjectMethod {
+        namespace: "Motivating",
+        subject: "Motivating",
+        name: "example",
+        source: "
+fn example(s [str], a int, b int, c int, d int) -> int {
+    let sum = 0;
+    if (a > 0) { b = b + 1; }
+    if (c > 0) { d = d + 1; }
+    if (b > 0) { sum = sum + 1; }
+    if (d > 0) {
+        for (let i = 0; i < len(s); i = i + 1) {
+            sum = sum + strlen(s[i]);
+        }
+        return sum;
+    }
+    return sum;
+}",
+        truths: vec![
+            // Paper Line 3: the exception at (paper) Lines 14-15 — here the
+            // `len(s)` dereference of a null `s`.
+            GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "((c > 0 && d + 1 > 0) || (c <= 0 && d > 0)) && s == null",
+                quantified: false,
+            },
+            // Paper Line 5: the exception at (paper) Lines 16-17 — here the
+            // `strlen(s[i])` dereference of a null element.
+            GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 2,
+                alpha: "((c > 0 && d + 1 > 0) || (c <= 0 && d > 0)) && s != null \
+                        && exists i. i < len(s) && s[i] == null",
+                quantified: true,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motivating_example_compiles_and_truths_resolve() {
+        let m = motivating();
+        let tp = m.compile();
+        let func = m.func(&tp);
+        let sites = minilang::check_sites(func);
+        let nulls: Vec<_> = sites.iter().filter(|s| s.id.kind == CheckKind::NullDeref).collect();
+        assert_eq!(nulls.len(), 3); // len(s), s[i], strlen(s[i])
+        assert!(m.truth_alpha(&tp, nulls[0].id).is_some());
+        assert!(m.truth_alpha(&tp, nulls[2].id).is_some());
+        assert!(m.truth_alpha(&tp, nulls[1].id).is_none());
+    }
+}

@@ -1,0 +1,262 @@
+//! `SVComp.SVCompCSharp` — patterns from the SV-COMP `array-examples`,
+//! `loop-acceleration`, and `array-industry-pattern` suites (the C
+//! benchmarks the paper translated to C#): per-element assertions, strided
+//! loops, search-then-use idioms, and loop-acceleration arithmetic.
+
+use crate::{GroundTruth, SubjectMethod};
+use minilang::CheckKind;
+
+const NS: &str = "SVComp.SVCompCSharp";
+const SUBJ: &str = "SVComp";
+
+/// The namespace's methods.
+pub fn methods() -> Vec<SubjectMethod> {
+    vec![
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "all_equal_42",
+            // array-examples/standard_allEqual-style: asserts every element.
+            source: "
+fn all_equal_42(a [int]) {
+    for (let i = 0; i < len(a); i = i + 1) {
+        assert(a[i] == 42);
+    }
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::AssertFail,
+                    nth: 0,
+                    alpha: "a != null && exists i. i < len(a) && a[i] != 42",
+                    quantified: true,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "paired_zero",
+            // standard_two_index-style: the violated property ranges over
+            // two arrays at once — outside the single-collection template
+            // language (a Table VI case PreInfer does not handle).
+            source: "
+fn paired_zero(a [int], b [int]) {
+    if (a == null || b == null) { return; }
+    if (len(a) != len(b)) { return; }
+    for (let i = 0; i < len(a); i = i + 1) {
+        assert(a[i] + b[i] != 0);
+    }
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "a != null && b != null && len(a) == len(b) \
+                        && exists i. i < len(a) && a[i] + b[i] == 0",
+                quantified: true,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "even_positions_zero",
+            // loop-acceleration stride-2 pattern: the existential family
+            // skips odd indices, outside the shipped Existential template.
+            source: "
+fn even_positions_zero(a [int]) {
+    let i = 0;
+    while (i < len(a)) {
+        assert(a[i] == 0);
+        i = i + 2;
+    }
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::AssertFail,
+                    nth: 0,
+                    alpha: "a != null && exists i. (i < len(a) && i % 2 == 0 && a[i] != 0)",
+                    quantified: true,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "find_first_zero_div",
+            // search-then-use: the scan exhausts iff no zero exists.
+            source: "
+fn find_first_zero_div(a [int], x int) -> int {
+    let i = 0;
+    while (i < len(a) && a[i] != 0) {
+        i = i + 1;
+    }
+    return x / (i - len(a));
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::DivByZero,
+                    nth: 0,
+                    alpha: "a != null && (forall i. (0 <= i && i < len(a)) ==> a[i] != 0)",
+                    quantified: true,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "stride_gate",
+            // loop-acceleration arithmetic: i advances by 3; the assert
+            // holds iff n is a non-positive or exact multiple. Every path
+            // pins a concrete iteration count, so neither finite disjunction
+            // generalizes — hard for all approaches.
+            source: "
+fn stride_gate(n int) {
+    let i = 0;
+    while (i < n) {
+        i = i + 3;
+    }
+    assert(i == n || n <= 0);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "n > 0 && n % 3 != 0",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "min_is_first",
+            // array-industry-pattern: the violated property compares
+            // elements against a[0], an offset family starting at index 1.
+            source: "
+fn min_is_first(a [int]) {
+    if (a == null) { return; }
+    if (len(a) == 0) { return; }
+    let m = a[0];
+    for (let i = 1; i < len(a); i = i + 1) {
+        assert(a[i] >= m);
+    }
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "a != null && len(a) >= 1 \
+                        && exists i. (1 <= i && i < len(a) && a[i] < a[0])",
+                quantified: true,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "bounded_sum_gate",
+            source: "
+fn bounded_sum_gate(k int) -> int {
+    // loop-acceleration: sum of 1..k, then a gate on the closed form
+    let s = 0;
+    let i = 1;
+    while (i <= k) {
+        s = s + i;
+        i = i + 1;
+    }
+    assert(s != 10);
+    return s;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                // 1+2+3+4 == 10: only k == 4 trips the gate.
+                alpha: "k == 4",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "first_half_zero",
+            // The quantified domain is len/2, outside the shipped templates'
+            // `i < len(a)` bound — another Table VI case PreInfer misses.
+            source: "
+fn first_half_zero(a [int]) {
+    for (let i = 0; i < len(a) / 2; i = i + 1) {
+        assert(a[i] == 0);
+    }
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::AssertFail,
+                    nth: 0,
+                    alpha: "a != null && exists i. (i < len(a) / 2 && a[i] != 0)",
+                    quantified: true,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "two_phase_parity",
+            source: "
+fn two_phase_parity(n int) {
+    let j = n;
+    while (j > 0) {
+        j = j - 2;
+    }
+    assert(j == 0);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "(n > 0 && n % 2 != 0) || n < 0",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "nonempty_required",
+            source: "
+fn nonempty_required(a [int]) -> int {
+    assert(len(a) > 0);
+    return a[0];
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::AssertFail,
+                    nth: 0,
+                    alpha: "a != null && len(a) == 0",
+                    quantified: false,
+                },
+            ],
+        },
+    ]
+}

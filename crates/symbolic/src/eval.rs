@@ -1,0 +1,446 @@
+//! Concrete evaluation of terms, predicates and formulas over a
+//! [`MethodEntryState`].
+//!
+//! This is how the reproduction checks preconditions dynamically: whether an
+//! inferred `ψ` *validates* a method execution (Definition 4) is `s(ψ)`,
+//! evaluated right here. `&&`/`||`/`==>` short-circuit left to right, so
+//! guarded formulas like `s == null || strlen-based …` evaluate totally.
+
+use crate::formula::{Formula, Quantifier};
+use crate::pred::{Pred, SPACE_CODES};
+use crate::term::{Place, SymVar, Term};
+use minilang::{InputValue, MethodEntryState};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why an evaluation is undefined on a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Dereferencing a null string/array.
+    NullDeref(String),
+    /// Index outside `0..len`.
+    OutOfBounds { place: String, index: i64, len: i64 },
+    /// A variable not bound by the state or an enclosing quantifier.
+    Unbound(String),
+    /// A place or variable used at the wrong type.
+    TypeMismatch(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::NullDeref(what) => write!(f, "null dereference of {what}"),
+            EvalError::OutOfBounds { place, index, len } => {
+                write!(f, "index {index} out of bounds for {place} (len {len})")
+            }
+            EvalError::Unbound(name) => write!(f, "unbound variable {name}"),
+            EvalError::TypeMismatch(what) => write!(f, "type mismatch at {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+type EvalResult<T> = Result<T, EvalError>;
+
+/// Evaluation environment: the entry state plus quantifier-bound ints.
+#[derive(Debug, Clone)]
+pub struct Env<'a> {
+    state: &'a MethodEntryState,
+    bound: HashMap<String, i64>,
+}
+
+impl<'a> Env<'a> {
+    /// Environment with no bound variables.
+    pub fn new(state: &'a MethodEntryState) -> Self {
+        Env { state, bound: HashMap::new() }
+    }
+
+    fn with_bound(&self, name: &str, value: i64) -> Env<'a> {
+        let mut bound = self.bound.clone();
+        bound.insert(name.to_string(), value);
+        Env { state: self.state, bound }
+    }
+
+    fn int_var(&self, name: &str) -> EvalResult<i64> {
+        if let Some(&v) = self.bound.get(name) {
+            return Ok(v);
+        }
+        match self.state.get(name) {
+            Some(InputValue::Int(v)) => Ok(*v),
+            Some(_) => Err(EvalError::TypeMismatch(name.to_string())),
+            None => Err(EvalError::Unbound(name.to_string())),
+        }
+    }
+}
+
+/// A resolved nullable reference: either null or concrete contents.
+enum RefValue<'a> {
+    StrVal(Option<&'a Vec<i64>>),
+    ArrInt(Option<&'a Vec<i64>>),
+    ArrStr(Option<&'a Vec<Option<Vec<i64>>>>),
+}
+
+fn resolve_place<'a>(place: &Place, env: &Env<'a>) -> EvalResult<RefValue<'a>> {
+    match place {
+        Place::Param(name) => match env.state.get(name) {
+            Some(InputValue::Str(s)) => Ok(RefValue::StrVal(s.as_ref())),
+            Some(InputValue::ArrayInt(a)) => Ok(RefValue::ArrInt(a.as_ref())),
+            Some(InputValue::ArrayStr(a)) => Ok(RefValue::ArrStr(a.as_ref())),
+            Some(_) => Err(EvalError::TypeMismatch(name.clone())),
+            None => Err(EvalError::Unbound(name.clone())),
+        },
+        Place::Elem(base, ix) => {
+            let k = eval_term(ix, env)?;
+            match resolve_place(base, env)? {
+                RefValue::ArrStr(None) => Err(EvalError::NullDeref(base.to_string())),
+                RefValue::ArrStr(Some(items)) => {
+                    if k < 0 || k as usize >= items.len() {
+                        return Err(EvalError::OutOfBounds {
+                            place: base.to_string(),
+                            index: k,
+                            len: items.len() as i64,
+                        });
+                    }
+                    Ok(RefValue::StrVal(items[k as usize].as_ref()))
+                }
+                _ => Err(EvalError::TypeMismatch(place.to_string())),
+            }
+        }
+    }
+}
+
+/// Evaluates an integer term.
+pub fn eval_term(t: &Term, env: &Env<'_>) -> EvalResult<i64> {
+    match t {
+        Term::Const(v) => Ok(*v),
+        Term::Var(v) => eval_var(v, env),
+        Term::Add(a, b) => Ok(eval_term(a, env)?.wrapping_add(eval_term(b, env)?)),
+        Term::Sub(a, b) => Ok(eval_term(a, env)?.wrapping_sub(eval_term(b, env)?)),
+        Term::Neg(a) => Ok(eval_term(a, env)?.wrapping_neg()),
+        Term::Mul(k, a) => Ok(eval_term(a, env)?.wrapping_mul(*k)),
+        Term::Div(a, k) => Ok(eval_term(a, env)?.wrapping_div(*k)),
+        Term::Rem(a, k) => Ok(eval_term(a, env)?.wrapping_rem(*k)),
+    }
+}
+
+fn eval_var(v: &SymVar, env: &Env<'_>) -> EvalResult<i64> {
+    match v {
+        SymVar::Int(name) => env.int_var(name),
+        SymVar::Len(place) => match resolve_place(place, env)? {
+            RefValue::StrVal(None) | RefValue::ArrInt(None) | RefValue::ArrStr(None) => {
+                Err(EvalError::NullDeref(place.to_string()))
+            }
+            RefValue::StrVal(Some(s)) => Ok(s.len() as i64),
+            RefValue::ArrInt(Some(a)) => Ok(a.len() as i64),
+            RefValue::ArrStr(Some(a)) => Ok(a.len() as i64),
+        },
+        SymVar::IntElem(place, ix) => {
+            let k = eval_term(ix, env)?;
+            match resolve_place(place, env)? {
+                RefValue::ArrInt(None) => Err(EvalError::NullDeref(place.to_string())),
+                RefValue::ArrInt(Some(a)) => {
+                    if k < 0 || k as usize >= a.len() {
+                        Err(EvalError::OutOfBounds { place: place.to_string(), index: k, len: a.len() as i64 })
+                    } else {
+                        Ok(a[k as usize])
+                    }
+                }
+                _ => Err(EvalError::TypeMismatch(place.to_string())),
+            }
+        }
+        SymVar::Char(place, ix) => {
+            let k = eval_term(ix, env)?;
+            match resolve_place(place, env)? {
+                RefValue::StrVal(None) => Err(EvalError::NullDeref(place.to_string())),
+                RefValue::StrVal(Some(s)) => {
+                    if k < 0 || k as usize >= s.len() {
+                        Err(EvalError::OutOfBounds { place: place.to_string(), index: k, len: s.len() as i64 })
+                    } else {
+                        Ok(s[k as usize])
+                    }
+                }
+                _ => Err(EvalError::TypeMismatch(place.to_string())),
+            }
+        }
+    }
+}
+
+/// Evaluates an atomic predicate.
+pub fn eval_pred(p: &Pred, env: &Env<'_>) -> EvalResult<bool> {
+    match p {
+        Pred::Cmp(op, a, b) => Ok(op.eval(eval_term(a, env)?, eval_term(b, env)?)),
+        Pred::Null { place, positive } => {
+            let is_null = match resolve_place(place, env)? {
+                RefValue::StrVal(v) => v.is_none(),
+                RefValue::ArrInt(v) => v.is_none(),
+                RefValue::ArrStr(v) => v.is_none(),
+            };
+            Ok(is_null == *positive)
+        }
+        Pred::BoolVar { name, positive } => match env.state.get(name) {
+            Some(InputValue::Bool(b)) => Ok(*b == *positive),
+            Some(_) => Err(EvalError::TypeMismatch(name.clone())),
+            None => Err(EvalError::Unbound(name.clone())),
+        },
+        Pred::IsSpace { arg, positive } => {
+            let v = eval_term(arg, env)?;
+            Ok(SPACE_CODES.contains(&v) == *positive)
+        }
+        Pred::Const(b) => Ok(*b),
+    }
+}
+
+/// The quantifier index domain for `body` under `env`: `0 .. D` where `D` is
+/// the maximum length among the non-null array/string roots the body
+/// mentions.
+fn quant_domain(body: &Formula, env: &Env<'_>) -> i64 {
+    let mut preds = Vec::new();
+    body.collect_preds(&mut preds);
+    let mut roots: Vec<String> = Vec::new();
+    let push_root = |roots: &mut Vec<String>, place: &crate::term::Place| {
+        let r = place.root().to_string();
+        if !roots.contains(&r) {
+            roots.push(r);
+        }
+    };
+    for p in preds {
+        let mut terms: Vec<&Term> = Vec::new();
+        match p {
+            Pred::Cmp(_, a, b) => {
+                terms.push(a);
+                terms.push(b);
+            }
+            Pred::Null { place, .. } => push_root(&mut roots, place),
+            Pred::IsSpace { arg, .. } => terms.push(arg),
+            Pred::BoolVar { .. } | Pred::Const(_) => {}
+        }
+        for t in terms {
+            let mut vars = Vec::new();
+            t.collect_vars(&mut vars);
+            for v in vars {
+                if let Some(place) = v.place() {
+                    push_root(&mut roots, place);
+                }
+            }
+        }
+    }
+    let mut max = 0i64;
+    for root in roots {
+        let len = match env.state.get(&root) {
+            Some(InputValue::Str(Some(s))) => s.len() as i64,
+            Some(InputValue::ArrayInt(Some(a))) => a.len() as i64,
+            Some(InputValue::ArrayStr(Some(a))) => a.len() as i64,
+            _ => 0,
+        };
+        max = max.max(len);
+    }
+    max
+}
+
+/// Evaluates a formula under an environment.
+///
+/// # Errors
+///
+/// Propagates [`EvalError`] from any sub-expression that had to be evaluated
+/// (short-circuiting avoids evaluating guarded operands).
+pub fn eval_formula(formula: &Formula, env: &Env<'_>) -> EvalResult<bool> {
+    match formula {
+        Formula::Pred(p) => eval_pred(p, env),
+        Formula::Not(inner) => Ok(!eval_formula(inner, env)?),
+        Formula::And(parts) => {
+            for p in parts {
+                if !eval_formula(p, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(parts) => {
+            for p in parts {
+                if eval_formula(p, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Implies(a, b) => {
+            if !eval_formula(a, env)? {
+                Ok(true)
+            } else {
+                eval_formula(b, env)
+            }
+        }
+        Formula::Quant { q, var, body } => {
+            let d = quant_domain(body, env);
+            match q {
+                Quantifier::Exists => {
+                    for i in 0..d {
+                        if eval_formula(body, &env.with_bound(var, i))? {
+                            return Ok(true);
+                        }
+                    }
+                    Ok(false)
+                }
+                Quantifier::Forall => {
+                    for i in 0..d {
+                        if !eval_formula(body, &env.with_bound(var, i))? {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a formula directly on a state (no bound variables).
+pub fn eval_on_state(formula: &Formula, state: &MethodEntryState) -> EvalResult<bool> {
+    eval_formula(formula, &Env::new(state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::CmpOp;
+
+    fn state_fig1(s: InputValue, a: i64, b: i64, c: i64, d: i64) -> MethodEntryState {
+        MethodEntryState::from_pairs([
+            ("s".to_string(), s),
+            ("a".to_string(), InputValue::Int(a)),
+            ("b".to_string(), InputValue::Int(b)),
+            ("c".to_string(), InputValue::Int(c)),
+            ("d".to_string(), InputValue::Int(d)),
+        ])
+    }
+
+    /// The paper's Fig. 1 Line 5 ground truth:
+    /// `((c>0 && d+1>0) || (c<=0 && d>0)) && s != null && ∃i. i<len(s) && s[i]==null`
+    /// …negated yields the precondition; here we evaluate the *failure
+    /// condition* α directly.
+    fn fig1_alpha() -> Formula {
+        let s = Place::param("s");
+        let guard = Formula::or([
+            Formula::and([
+                Formula::pred(Pred::cmp(CmpOp::Gt, Term::var("c"), Term::int(0))),
+                Formula::pred(Pred::cmp(CmpOp::Gt, Term::var("d").add(Term::int(1)), Term::int(0))),
+            ]),
+            Formula::and([
+                Formula::pred(Pred::cmp(CmpOp::Le, Term::var("c"), Term::int(0))),
+                Formula::pred(Pred::cmp(CmpOp::Gt, Term::var("d"), Term::int(0))),
+            ]),
+        ]);
+        let quantified = Formula::exists(
+            "i",
+            Formula::and([
+                Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::len(s.clone()))),
+                Formula::pred(Pred::is_null(Place::Elem(Box::new(s.clone()), Box::new(Term::var("i"))))),
+            ]),
+        );
+        Formula::and([guard, Formula::pred(Pred::not_null(s)), quantified])
+    }
+
+    #[test]
+    fn fig1_failing_test_tf1_satisfies_alpha() {
+        // t_f1: (s: {null}, a: 1, b: 0, c: 1, d: 0)
+        let st = state_fig1(InputValue::ArrayStr(Some(vec![None])), 1, 0, 1, 0);
+        assert_eq!(eval_on_state(&fig1_alpha(), &st), Ok(true));
+    }
+
+    #[test]
+    fn fig1_failing_test_tf3_satisfies_alpha() {
+        // t_f3: (s: {"a","a",null}, a: 1, b: 0, c: 1, d: 0)
+        let a = Some(vec![97i64]);
+        let st = state_fig1(InputValue::ArrayStr(Some(vec![a.clone(), a, None])), 1, 0, 1, 0);
+        assert_eq!(eval_on_state(&fig1_alpha(), &st), Ok(true));
+    }
+
+    #[test]
+    fn fig1_passing_state_fails_alpha() {
+        // all elements non-null → no exception at Line 16
+        let a = Some(vec![97i64]);
+        let st = state_fig1(InputValue::ArrayStr(Some(vec![a.clone(), a])), 1, 0, 1, 0);
+        assert_eq!(eval_on_state(&fig1_alpha(), &st), Ok(false));
+        // s null → guarded by s != null (Line 14's exception, not Line 16's)
+        let st = state_fig1(InputValue::ArrayStr(None), 1, 0, 1, 0);
+        assert_eq!(eval_on_state(&fig1_alpha(), &st), Ok(false));
+    }
+
+    #[test]
+    fn short_circuit_guards_null() {
+        // s == null || strlen(s) > 0 — must not error when s is null.
+        let s = Place::param("s");
+        let f = Formula::or([
+            Formula::pred(Pred::is_null(s.clone())),
+            Formula::pred(Pred::cmp(CmpOp::Gt, Term::len(s), Term::int(0))),
+        ]);
+        let st = MethodEntryState::from_pairs([("s", InputValue::Str(None))]);
+        assert_eq!(eval_on_state(&f, &st), Ok(true));
+    }
+
+    #[test]
+    fn unguarded_null_deref_errors() {
+        let s = Place::param("s");
+        let f = Formula::pred(Pred::cmp(CmpOp::Gt, Term::len(s), Term::int(0)));
+        let st = MethodEntryState::from_pairs([("s", InputValue::Str(None))]);
+        assert!(matches!(eval_on_state(&f, &st), Err(EvalError::NullDeref(_))));
+    }
+
+    #[test]
+    fn forall_over_string_characters() {
+        // forall i. (i < strlen(v)) ==> is_space(char_at(v, i))
+        let v = Place::param("v");
+        let f = Formula::forall(
+            "i",
+            Formula::implies(
+                Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::len(v.clone()))),
+                Formula::pred(Pred::IsSpace {
+                    arg: Term::char_at(v.clone(), Term::var("i")),
+                    positive: true,
+                }),
+            ),
+        );
+        let all_spaces = MethodEntryState::from_pairs([("v", InputValue::str_from("  \t"))]);
+        assert_eq!(eval_on_state(&f, &all_spaces), Ok(true));
+        let mixed = MethodEntryState::from_pairs([("v", InputValue::str_from(" a "))]);
+        assert_eq!(eval_on_state(&f, &mixed), Ok(false));
+        // Empty string: vacuous truth.
+        let empty = MethodEntryState::from_pairs([("v", InputValue::str_from(""))]);
+        assert_eq!(eval_on_state(&f, &empty), Ok(true));
+    }
+
+    #[test]
+    fn exists_on_empty_domain_is_false() {
+        let f = Formula::exists("i", Formula::t());
+        let st = MethodEntryState::from_pairs([("x", InputValue::Int(5))]);
+        assert_eq!(eval_on_state(&f, &st), Ok(false));
+    }
+
+    #[test]
+    fn bound_variable_shadows_parameter() {
+        // parameter i = 100; exists i in 0..len(a) with a[i] == 0
+        let a = Place::param("a");
+        let f = Formula::exists(
+            "i",
+            Formula::pred(Pred::cmp(
+                CmpOp::Eq,
+                Term::int_elem(a.clone(), Term::var("i")),
+                Term::int(0),
+            )),
+        );
+        let st = MethodEntryState::from_pairs([
+            ("i".to_string(), InputValue::Int(100)),
+            ("a".to_string(), InputValue::ArrayInt(Some(vec![5, 0, 7]))),
+        ]);
+        assert_eq!(eval_on_state(&f, &st), Ok(true));
+    }
+
+    #[test]
+    fn div_rem_truncate_like_rust() {
+        let env_state = MethodEntryState::from_pairs([("x", InputValue::Int(-7))]);
+        let env = Env::new(&env_state);
+        assert_eq!(eval_term(&Term::var("x").div(2), &env), Ok(-3));
+        assert_eq!(eval_term(&Term::var("x").rem(2), &env), Ok(-1));
+    }
+}

@@ -1,0 +1,37 @@
+//! # symbolic
+//!
+//! Symbolic expressions, predicates, path conditions and first-order
+//! formulas for the PreInfer (DSN 2018) reproduction: the shared vocabulary
+//! between the concolic executor (which *produces* path conditions), the
+//! constraint solver (which consumes canonical linear forms), and the
+//! PreInfer core (which prunes and generalizes path conditions into
+//! precondition formulas).
+//!
+//! ```
+//! use symbolic::{Formula, Pred, CmpOp, Term, Place};
+//!
+//! // exists i. i < len(s) && s[i] == null — the Fig. 1 quantified condition
+//! let s = Place::param("s");
+//! let alpha = Formula::exists("i", Formula::and([
+//!     Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::len(s.clone()))),
+//!     Formula::pred(Pred::is_null(Place::Elem(Box::new(s), Box::new(Term::var("i"))))),
+//! ]));
+//! assert_eq!(alpha.to_string(), "exists i. i < len(s) && s[i] == null");
+//! assert_eq!(alpha.complexity(), 2);
+//! ```
+
+pub mod eval;
+pub mod formula;
+pub mod linform;
+pub mod path;
+pub mod pred;
+pub mod spec;
+pub mod term;
+
+pub use eval::{eval_formula, eval_on_state, eval_pred, eval_term, Env, EvalError};
+pub use formula::{Formula, Quantifier};
+pub use linform::{canon_pred, lin_of_term, preds_equivalent, CanonPred, LinExpr, Monomial};
+pub use path::{EntryKind, PathCondition, PathEntry, PathOutcome};
+pub use pred::{CmpOp, Pred, SPACE_CODES};
+pub use spec::{parse_spec, parse_spec_with_sig, SpecError};
+pub use term::{Place, SymVar, Term};

@@ -1,0 +1,645 @@
+//! A small specification DSL for writing (ground-truth) preconditions.
+//!
+//! The evaluation corpus annotates every assertion-containing location with a
+//! hand-written ground-truth precondition, exactly like the paper's authors
+//! derived theirs by inspection. Examples:
+//!
+//! ```text
+//! s == null || c <= 0 && d <= 0
+//! exists i. i < len(s) && s[i] == null
+//! forall i. (0 <= i && i < len(a)) ==> a[i] != 0
+//! value == null || exists i. i < strlen(value) && !is_space(char_at(value, i))
+//! ```
+//!
+//! Parsing needs the method signature: `s[i]` is a string *place* when
+//! `s: [str]` but an integer *term* when `s: [int]`.
+
+use crate::formula::Formula;
+use crate::pred::{CmpOp, Pred};
+use crate::term::{Place, Term};
+use minilang::{Func, Ty};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A spec-parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses a formula against a function signature.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] on lexical/syntactic problems, unknown identifiers,
+/// or type-incoherent constructs (e.g. `x == null` for `x: int`).
+pub fn parse_spec(src: &str, func: &Func) -> Result<Formula, SpecError> {
+    let sig: HashMap<String, Ty> = func.params.iter().map(|p| (p.name.clone(), p.ty)).collect();
+    parse_spec_with_sig(src, &sig)
+}
+
+/// Parses a formula against an explicit name→type signature.
+///
+/// # Errors
+///
+/// See [`parse_spec`].
+pub fn parse_spec_with_sig(src: &str, sig: &HashMap<String, Ty>) -> Result<Formula, SpecError> {
+    let tokens = lex(src)?;
+    let mut p = SpecParser { tokens, pos: 0, sig, bound: Vec::new() };
+    let f = p.formula()?;
+    if p.peek() != &STok::Eof {
+        return p.err("trailing input");
+    }
+    Ok(f)
+}
+
+// ---- lexer ----------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum STok {
+    Int(i64),
+    Ident(String),
+    Exists,
+    Forall,
+    True,
+    False,
+    Null,
+    Dot,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Implies,
+    AndAnd,
+    OrOr,
+    Bang,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    Eof,
+}
+
+fn lex(src: &str) -> Result<Vec<(STok, usize)>, SpecError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let start = i;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                text.push(chars[i]);
+                i += 1;
+            }
+            let v = text
+                .parse::<i64>()
+                .map_err(|_| SpecError { message: format!("bad integer {text}"), offset: start })?;
+            out.push((STok::Int(v), start));
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut text = String::new();
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                text.push(chars[i]);
+                i += 1;
+            }
+            let tok = match text.as_str() {
+                "exists" => STok::Exists,
+                "forall" => STok::Forall,
+                "true" => STok::True,
+                "false" => STok::False,
+                "null" => STok::Null,
+                _ => STok::Ident(text),
+            };
+            out.push((tok, start));
+            continue;
+        }
+        let two = if i + 1 < chars.len() { Some(chars[i + 1]) } else { None };
+        let three = if i + 2 < chars.len() { Some(chars[i + 2]) } else { None };
+        let (tok, width) = match (c, two, three) {
+            ('=', Some('='), Some('>')) => (STok::Implies, 3),
+            ('=', Some('='), _) => (STok::EqEq, 2),
+            ('!', Some('='), _) => (STok::NotEq, 2),
+            ('<', Some('='), _) => (STok::Le, 2),
+            ('>', Some('='), _) => (STok::Ge, 2),
+            ('&', Some('&'), _) => (STok::AndAnd, 2),
+            ('|', Some('|'), _) => (STok::OrOr, 2),
+            ('.', _, _) => (STok::Dot, 1),
+            ('(', _, _) => (STok::LParen, 1),
+            (')', _, _) => (STok::RParen, 1),
+            ('[', _, _) => (STok::LBracket, 1),
+            (']', _, _) => (STok::RBracket, 1),
+            (',', _, _) => (STok::Comma, 1),
+            ('!', _, _) => (STok::Bang, 1),
+            ('+', _, _) => (STok::Plus, 1),
+            ('-', _, _) => (STok::Minus, 1),
+            ('*', _, _) => (STok::Star, 1),
+            ('/', _, _) => (STok::Slash, 1),
+            ('%', _, _) => (STok::Percent, 1),
+            ('<', _, _) => (STok::Lt, 1),
+            ('>', _, _) => (STok::Gt, 1),
+            other => {
+                return Err(SpecError { message: format!("unexpected character {:?}", other.0), offset: start })
+            }
+        };
+        out.push((tok, start));
+        i += width;
+    }
+    out.push((STok::Eof, src.len()));
+    Ok(out)
+}
+
+// ---- parser ----------------------------------------------------------------
+
+/// Either an integer term or a nullable place, during parsing.
+#[derive(Debug, Clone)]
+enum PV {
+    T(Term),
+    P(Place),
+}
+
+struct SpecParser<'a> {
+    tokens: Vec<(STok, usize)>,
+    pos: usize,
+    sig: &'a HashMap<String, Ty>,
+    bound: Vec<String>,
+}
+
+impl<'a> SpecParser<'a> {
+    fn peek(&self) -> &STok {
+        &self.tokens[self.pos].0
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].1
+    }
+
+    fn bump(&mut self) -> STok {
+        let t = self.tokens[self.pos].0.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &STok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: STok) -> Result<(), SpecError> {
+        if self.peek() == &t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, SpecError> {
+        Err(SpecError { message: message.into(), offset: self.offset() })
+    }
+
+    fn formula(&mut self) -> Result<Formula, SpecError> {
+        // implies is right-associative and lowest precedence
+        let lhs = self.or_formula()?;
+        if self.eat(&STok::Implies) {
+            let rhs = self.formula()?;
+            return Ok(Formula::implies(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn or_formula(&mut self) -> Result<Formula, SpecError> {
+        let mut parts = vec![self.and_formula()?];
+        while self.eat(&STok::OrOr) {
+            parts.push(self.and_formula()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().expect("one element"))
+        } else {
+            Ok(Formula::Or(parts))
+        }
+    }
+
+    fn and_formula(&mut self) -> Result<Formula, SpecError> {
+        let mut parts = vec![self.not_formula()?];
+        while self.eat(&STok::AndAnd) {
+            parts.push(self.not_formula()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().expect("one element"))
+        } else {
+            Ok(Formula::And(parts))
+        }
+    }
+
+    fn not_formula(&mut self) -> Result<Formula, SpecError> {
+        if self.eat(&STok::Bang) {
+            let inner = self.not_formula()?;
+            return Ok(inner.negated());
+        }
+        if matches!(self.peek(), STok::Exists | STok::Forall) {
+            let q = self.bump();
+            let STok::Ident(var) = self.bump() else {
+                return self.err("expected bound variable name");
+            };
+            self.expect(STok::Dot)?;
+            self.bound.push(var.clone());
+            let body = self.formula()?;
+            self.bound.pop();
+            return Ok(match q {
+                STok::Exists => Formula::exists(var, body),
+                _ => Formula::forall(var, body),
+            });
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Formula, SpecError> {
+        match self.peek().clone() {
+            STok::True => {
+                self.bump();
+                return Ok(Formula::t());
+            }
+            STok::False => {
+                self.bump();
+                return Ok(Formula::f());
+            }
+            STok::LParen => {
+                // Could be a parenthesized formula or a parenthesized term
+                // starting a comparison. Try the comparison first.
+                let save = self.pos;
+                if let Ok(f) = self.try_cmp_atom() {
+                    return Ok(f);
+                }
+                self.pos = save;
+                self.expect(STok::LParen)?;
+                let f = self.formula()?;
+                self.expect(STok::RParen)?;
+                return Ok(f);
+            }
+            STok::Ident(name) if name == "is_space" => {
+                self.bump();
+                self.expect(STok::LParen)?;
+                let t = self.term()?;
+                self.expect(STok::RParen)?;
+                return Ok(Formula::pred(Pred::IsSpace { arg: t, positive: true }));
+            }
+            STok::Ident(name)
+                if self.sig.get(&name) == Some(&Ty::Bool) && !self.bound.contains(&name) =>
+            {
+                // Bare boolean parameter — but only when not followed by a
+                // comparison (booleans cannot be compared in the DSL).
+                self.bump();
+                return Ok(Formula::pred(Pred::BoolVar { name, positive: true }));
+            }
+            _ => {}
+        }
+        self.try_cmp_atom()
+    }
+
+    /// Parses `term cmp term`, `place == null`, or `place != null`.
+    fn try_cmp_atom(&mut self) -> Result<Formula, SpecError> {
+        let lhs = self.pv()?;
+        let op = match self.peek() {
+            STok::Lt => CmpOp::Lt,
+            STok::Le => CmpOp::Le,
+            STok::Gt => CmpOp::Gt,
+            STok::Ge => CmpOp::Ge,
+            STok::EqEq => CmpOp::Eq,
+            STok::NotEq => CmpOp::Ne,
+            _ => return self.err("expected comparison operator"),
+        };
+        self.bump();
+        if self.eat(&STok::Null) {
+            let PV::P(place) = lhs else {
+                return self.err("only str/array places compare to null");
+            };
+            return Ok(Formula::pred(match op {
+                CmpOp::Eq => Pred::is_null(place),
+                CmpOp::Ne => Pred::not_null(place),
+                _ => return self.err("null compares only with == / !="),
+            }));
+        }
+        let PV::T(lt) = lhs else {
+            return self.err("places compare only to null");
+        };
+        let rt = self.term()?;
+        Ok(Formula::pred(Pred::cmp(op, lt, rt)))
+    }
+
+    fn term(&mut self) -> Result<Term, SpecError> {
+        match self.pv()? {
+            PV::T(t) => Ok(t),
+            PV::P(_) => self.err("expected an integer term, found a str/array place"),
+        }
+    }
+
+    fn pv(&mut self) -> Result<PV, SpecError> {
+        self.additive()
+    }
+
+    fn additive(&mut self) -> Result<PV, SpecError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let sub = match self.peek() {
+                STok::Plus => false,
+                STok::Minus => true,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            let (PV::T(a), PV::T(b)) = (lhs, rhs) else {
+                return self.err("arithmetic requires integer terms");
+            };
+            lhs = PV::T(if sub { a.sub(b) } else { a.add(b) });
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<PV, SpecError> {
+        let mut lhs = self.unary_pv()?;
+        loop {
+            let op = match self.peek() {
+                STok::Star => '*',
+                STok::Slash => '/',
+                STok::Percent => '%',
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_pv()?;
+            let (PV::T(a), PV::T(b)) = (lhs.clone(), rhs) else {
+                return self.err("arithmetic requires integer terms");
+            };
+            lhs = PV::T(match op {
+                '*' => match (a.as_const(), b.as_const()) {
+                    (Some(k), _) => b.mul(k),
+                    (_, Some(k)) => a.mul(k),
+                    _ => return self.err("nonlinear multiplication not supported in specs"),
+                },
+                '/' => match b.as_const() {
+                    Some(k) if k != 0 => a.div(k),
+                    Some(_) => return self.err("division by zero in spec"),
+                    None => return self.err("division requires a constant divisor"),
+                },
+                _ => match b.as_const() {
+                    Some(k) if k != 0 => a.rem(k),
+                    Some(_) => return self.err("remainder by zero in spec"),
+                    None => return self.err("remainder requires a constant divisor"),
+                },
+            });
+        }
+    }
+
+    fn unary_pv(&mut self) -> Result<PV, SpecError> {
+        if self.eat(&STok::Minus) {
+            let inner = self.unary_pv()?;
+            let PV::T(t) = inner else {
+                return self.err("cannot negate a place");
+            };
+            return Ok(PV::T(t.neg()));
+        }
+        self.postfix_pv()
+    }
+
+    fn postfix_pv(&mut self) -> Result<PV, SpecError> {
+        let mut base = self.primary_pv()?;
+        while self.peek() == &STok::LBracket {
+            self.bump();
+            let ix = self.term()?;
+            self.expect(STok::RBracket)?;
+            base = match base {
+                PV::P(place) => {
+                    // Type of the element depends on the root's type.
+                    match self.place_ty(&place)? {
+                        Ty::ArrayInt => PV::T(Term::int_elem(place, ix)),
+                        Ty::ArrayStr => PV::P(Place::Elem(Box::new(place), Box::new(ix))),
+                        other => return self.err(format!("cannot index into {other}")),
+                    }
+                }
+                PV::T(_) => return self.err("cannot index an integer term"),
+            };
+        }
+        Ok(base)
+    }
+
+    /// The type of a place: a `Param` has its signature type; an `Elem` of a
+    /// `[str]` place is `str`.
+    fn place_ty(&self, place: &Place) -> Result<Ty, SpecError> {
+        match place {
+            Place::Param(name) => {
+                self.sig.get(name).copied().ok_or(SpecError {
+                    message: format!("unknown parameter {name}"),
+                    offset: self.offset(),
+                })
+            }
+            Place::Elem(..) => Ok(Ty::Str),
+        }
+    }
+
+    fn primary_pv(&mut self) -> Result<PV, SpecError> {
+        match self.bump() {
+            STok::Int(v) => Ok(PV::T(Term::int(v))),
+            STok::LParen => {
+                let inner = self.pv()?;
+                self.expect(STok::RParen)?;
+                Ok(inner)
+            }
+            STok::Ident(name) => {
+                match name.as_str() {
+                    "len" => {
+                        self.expect(STok::LParen)?;
+                        let PV::P(place) = self.pv()? else {
+                            return self.err("len expects an array place");
+                        };
+                        if !self.place_ty(&place)?.is_array() {
+                            return self.err("len expects an array (use strlen for str)");
+                        }
+                        self.expect(STok::RParen)?;
+                        return Ok(PV::T(Term::len(place)));
+                    }
+                    "strlen" => {
+                        self.expect(STok::LParen)?;
+                        let PV::P(place) = self.pv()? else {
+                            return self.err("strlen expects a str place");
+                        };
+                        if self.place_ty(&place)? != Ty::Str {
+                            return self.err("strlen expects a str (use len for arrays)");
+                        }
+                        self.expect(STok::RParen)?;
+                        return Ok(PV::T(Term::len(place)));
+                    }
+                    "char_at" => {
+                        self.expect(STok::LParen)?;
+                        let PV::P(place) = self.pv()? else {
+                            return self.err("char_at expects a str place");
+                        };
+                        if self.place_ty(&place)? != Ty::Str {
+                            return self.err("char_at expects a str");
+                        }
+                        self.expect(STok::Comma)?;
+                        let ix = self.term()?;
+                        self.expect(STok::RParen)?;
+                        return Ok(PV::T(Term::char_at(place, ix)));
+                    }
+                    _ => {}
+                }
+                if self.bound.contains(&name) {
+                    return Ok(PV::T(Term::var(name)));
+                }
+                match self.sig.get(&name) {
+                    Some(Ty::Int) => Ok(PV::T(Term::var(name))),
+                    Some(Ty::Str) | Some(Ty::ArrayInt) | Some(Ty::ArrayStr) => {
+                        Ok(PV::P(Place::param(name)))
+                    }
+                    Some(Ty::Bool) => self.err(format!("boolean `{name}` used as a term")),
+                    Some(Ty::Void) | None => self.err(format!("unknown identifier `{name}`")),
+                }
+            }
+            other => self.err(format!("unexpected token {other:?} in term")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::parse_program;
+
+    fn func(src: &str) -> Func {
+        let p = parse_program(src).unwrap();
+        p.funcs[0].clone()
+    }
+
+    fn fig1_func() -> Func {
+        func("fn example(s [str], a int, b int, c int, d int) -> int { return 0; }")
+    }
+
+    #[test]
+    fn parses_fig1_ground_truth_line5() {
+        let f = fig1_func();
+        let spec = "((c > 0 && d + 1 > 0) || (c <= 0 && d > 0)) && s != null \
+                    && exists i. i < len(s) && s[i] == null";
+        let formula = parse_spec(spec, &f).unwrap();
+        assert!(formula.is_quantified());
+        // top-level ∧ (2) + outer ∨ (1) + two inner ∧ (2) + ∃ (1) + body ∧ (1)
+        assert_eq!(formula.complexity(), 7);
+    }
+
+    #[test]
+    fn parses_fig1_ground_truth_line3() {
+        let f = fig1_func();
+        let spec = "((c > 0 && d + 1 > 0) || (c <= 0 && d > 0)) && s == null";
+        let formula = parse_spec(spec, &f).unwrap();
+        assert!(!formula.is_quantified());
+    }
+
+    #[test]
+    fn parses_reverse_words_ground_truth() {
+        let f = func("fn reverse_words(value str) -> str { return null; }");
+        let spec = "value == null || exists i. i < strlen(value) && !is_space(char_at(value, i))";
+        let formula = parse_spec(spec, &f).unwrap();
+        assert!(formula.is_quantified());
+    }
+
+    #[test]
+    fn parses_forall_with_implication() {
+        let f = func("fn f(a [int]) { return; }");
+        let spec = "forall i. (0 <= i && i < len(a)) ==> a[i] != 0";
+        let formula = parse_spec(spec, &f).unwrap();
+        assert_eq!(formula.to_string(), "forall i. (0 <= i && i < len(a) ==> a[i] != 0)");
+    }
+
+    #[test]
+    fn int_array_elements_are_terms() {
+        let f = func("fn f(a [int], i int) { return; }");
+        assert!(parse_spec("a[i] > 3", &f).is_ok());
+        assert!(parse_spec("a[i] == null", &f).is_err());
+    }
+
+    #[test]
+    fn str_array_elements_are_places() {
+        let f = func("fn f(s [str], i int) { return; }");
+        assert!(parse_spec("s[i] == null", &f).is_ok());
+        assert!(parse_spec("strlen(s[i]) > 0", &f).is_ok());
+        assert!(parse_spec("s[i] > 3", &f).is_err());
+    }
+
+    #[test]
+    fn bool_params_are_atoms() {
+        let f = func("fn f(flag bool, x int) { return; }");
+        assert!(parse_spec("flag && x > 0", &f).is_ok());
+        assert!(parse_spec("!flag || x > 0", &f).is_ok());
+        assert!(parse_spec("flag + 1 > 0", &f).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_identifiers() {
+        let f = func("fn f(x int) { return; }");
+        assert!(parse_spec("y > 0", &f).is_err());
+    }
+
+    #[test]
+    fn rejects_nonlinear_multiplication() {
+        let f = func("fn f(x int, y int) { return; }");
+        assert!(parse_spec("x * y > 0", &f).is_err());
+        assert!(parse_spec("2 * x > 0", &f).is_ok());
+        assert!(parse_spec("x * 2 > 0", &f).is_ok());
+    }
+
+    #[test]
+    fn modulo_template_parses() {
+        let f = func("fn f(a [int]) { return; }");
+        let spec = "forall i. (0 <= i && i < len(a) && i % 2 == 0) ==> a[i] > 0";
+        assert!(parse_spec(spec, &f).is_ok());
+    }
+
+    #[test]
+    fn parenthesized_term_comparisons() {
+        let f = func("fn f(x int, y int) { return; }");
+        assert!(parse_spec("(x + y) * 2 < 10", &f).is_ok());
+        assert!(parse_spec("(x < 1) && (y < 2)", &f).is_ok());
+    }
+
+    #[test]
+    fn evaluates_round_trip() {
+        use crate::eval::eval_on_state;
+        use minilang::{InputValue, MethodEntryState};
+        let f = func("fn f(a [int]) { return; }");
+        let spec = "a == null || forall i. (0 <= i && i < len(a)) ==> a[i] != 0";
+        let formula = parse_spec(spec, &f).unwrap();
+        let ok = MethodEntryState::from_pairs([("a", InputValue::ArrayInt(Some(vec![1, 2])))]);
+        let bad = MethodEntryState::from_pairs([("a", InputValue::ArrayInt(Some(vec![1, 0])))]);
+        let nul = MethodEntryState::from_pairs([("a", InputValue::ArrayInt(None))]);
+        assert_eq!(eval_on_state(&formula, &ok), Ok(true));
+        assert_eq!(eval_on_state(&formula, &bad), Ok(false));
+        assert_eq!(eval_on_state(&formula, &nul), Ok(true));
+    }
+}

@@ -1,0 +1,378 @@
+//! Integer-valued symbolic terms over method inputs.
+//!
+//! Every leaf denotes a component of the *method-entry state*: an `int`
+//! parameter, the length of a (string or array) input, an integer array
+//! element, or a character of a string input. Indices are themselves terms,
+//! so quantified formulas can mention `s[i]`, `s[i + 1]`, etc.; in path
+//! conditions produced by the concolic executor indices are always constant.
+
+use std::fmt;
+
+/// A nullable input *place*: a string or array parameter, or a string
+/// element of a `[str]` parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Place {
+    /// A reference-typed parameter (`str`, `[int]`, `[str]`).
+    Param(String),
+    /// The string element `base[index]` of a `[str]` place.
+    Elem(Box<Place>, Box<Term>),
+}
+
+impl Place {
+    /// Convenience constructor for a parameter place.
+    pub fn param(name: impl Into<String>) -> Place {
+        Place::Param(name.into())
+    }
+
+    /// Convenience constructor for an element place with a constant index.
+    pub fn elem(base: Place, index: i64) -> Place {
+        Place::Elem(Box::new(base), Box::new(Term::int(index)))
+    }
+
+    /// The root parameter name of this place.
+    pub fn root(&self) -> &str {
+        match self {
+            Place::Param(name) => name,
+            Place::Elem(base, _) => base.root(),
+        }
+    }
+
+    /// Whether the place mentions the given (bound or input) int variable.
+    pub fn mentions_var(&self, name: &str) -> bool {
+        match self {
+            Place::Param(_) => false,
+            Place::Elem(base, ix) => base.mentions_var(name) || ix.mentions_var(name),
+        }
+    }
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Place::Param(name) => write!(f, "{name}"),
+            Place::Elem(base, ix) => write!(f, "{base}[{ix}]"),
+        }
+    }
+}
+
+/// A symbolic scalar variable: the atoms of the integer theory.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SymVar {
+    /// An `int` parameter, or a quantifier-bound integer variable.
+    Int(String),
+    /// `len(place)` for arrays, `strlen(place)` for strings.
+    Len(Place),
+    /// `place[index]` where `place` is an `[int]` input.
+    IntElem(Place, Box<Term>),
+    /// `char_at(place, index)` where `place` is a `str` input.
+    Char(Place, Box<Term>),
+}
+
+impl SymVar {
+    /// Whether the variable (transitively) mentions the named int variable.
+    pub fn mentions_var(&self, name: &str) -> bool {
+        match self {
+            SymVar::Int(n) => n == name,
+            SymVar::Len(p) => p.mentions_var(name),
+            SymVar::IntElem(p, ix) | SymVar::Char(p, ix) => p.mentions_var(name) || ix.mentions_var(name),
+        }
+    }
+
+    /// The place dereferenced by this variable, if any.
+    pub fn place(&self) -> Option<&Place> {
+        match self {
+            SymVar::Int(_) => None,
+            SymVar::Len(p) | SymVar::IntElem(p, _) | SymVar::Char(p, _) => Some(p),
+        }
+    }
+}
+
+impl fmt::Display for SymVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymVar::Int(name) => write!(f, "{name}"),
+            SymVar::Len(p) => write!(f, "len({p})"),
+            SymVar::IntElem(p, ix) => write!(f, "{p}[{ix}]"),
+            SymVar::Char(p, ix) => write!(f, "char_at({p}, {ix})"),
+        }
+    }
+}
+
+/// An integer-valued symbolic term.
+///
+/// `Mul` keeps one side constant and `Div`/`Rem` keep constant divisors: the
+/// concolic executor pins (concretizes) the other operand when needed, so
+/// terms stay within the linear fragment the solver understands.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    Const(i64),
+    Var(SymVar),
+    Add(Box<Term>, Box<Term>),
+    Sub(Box<Term>, Box<Term>),
+    Neg(Box<Term>),
+    /// `k * t` with constant `k`.
+    Mul(i64, Box<Term>),
+    /// `t / k`, truncated toward zero, with constant `k != 0`.
+    Div(Box<Term>, i64),
+    /// `t % k`, sign of the dividend, with constant `k != 0`.
+    Rem(Box<Term>, i64),
+}
+
+#[allow(clippy::should_implement_trait)] // `add`/`sub`/… are deliberate builder names: they
+// fold constants and normalize, which operator impls must not silently do.
+impl Term {
+    /// Constant term.
+    pub fn int(v: i64) -> Term {
+        Term::Const(v)
+    }
+
+    /// Integer input (or bound) variable.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(SymVar::Int(name.into()))
+    }
+
+    /// `len(place)`.
+    pub fn len(place: Place) -> Term {
+        Term::Var(SymVar::Len(place))
+    }
+
+    /// `place[index]` for an `[int]` place.
+    pub fn int_elem(place: Place, index: Term) -> Term {
+        Term::Var(SymVar::IntElem(place, Box::new(index)))
+    }
+
+    /// `char_at(place, index)`.
+    pub fn char_at(place: Place, index: Term) -> Term {
+        Term::Var(SymVar::Char(place, Box::new(index)))
+    }
+
+    /// `self + rhs` with light constant folding.
+    pub fn add(self, rhs: Term) -> Term {
+        match (self, rhs) {
+            (Term::Const(a), Term::Const(b)) => Term::Const(a.wrapping_add(b)),
+            (t, Term::Const(0)) | (Term::Const(0), t) => t,
+            (a, b) => Term::Add(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `self - rhs` with light constant folding.
+    pub fn sub(self, rhs: Term) -> Term {
+        match (self, rhs) {
+            (Term::Const(a), Term::Const(b)) => Term::Const(a.wrapping_sub(b)),
+            (t, Term::Const(0)) => t,
+            (a, b) => Term::Sub(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// `-self` with light constant folding.
+    pub fn neg(self) -> Term {
+        match self {
+            Term::Const(a) => Term::Const(a.wrapping_neg()),
+            Term::Neg(inner) => *inner,
+            t => Term::Neg(Box::new(t)),
+        }
+    }
+
+    /// `k * self` with light constant folding.
+    pub fn mul(self, k: i64) -> Term {
+        match (k, self) {
+            (_, Term::Const(a)) => Term::Const(a.wrapping_mul(k)),
+            (0, _) => Term::Const(0),
+            (1, t) => t,
+            (k, t) => Term::Mul(k, Box::new(t)),
+        }
+    }
+
+    /// `self / k` (truncating). `k` must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`; the concolic executor only builds divisions after
+    /// the divide-by-zero check passed.
+    pub fn div(self, k: i64) -> Term {
+        assert!(k != 0, "symbolic division by zero");
+        match self {
+            Term::Const(a) => Term::Const(a.wrapping_div(k)),
+            t => Term::Div(Box::new(t), k),
+        }
+    }
+
+    /// `self % k`. `k` must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn rem(self, k: i64) -> Term {
+        assert!(k != 0, "symbolic remainder by zero");
+        match self {
+            Term::Const(a) => Term::Const(a.wrapping_rem(k)),
+            t => Term::Rem(Box::new(t), k),
+        }
+    }
+
+    /// Whether the term is a constant.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            Term::Const(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether the term mentions the named int variable (free occurrence).
+    pub fn mentions_var(&self, name: &str) -> bool {
+        match self {
+            Term::Const(_) => false,
+            Term::Var(v) => v.mentions_var(name),
+            Term::Add(a, b) | Term::Sub(a, b) => a.mentions_var(name) || b.mentions_var(name),
+            Term::Neg(a) | Term::Mul(_, a) | Term::Div(a, _) | Term::Rem(a, _) => a.mentions_var(name),
+        }
+    }
+
+    /// Substitutes every occurrence of int variable `name` by `replacement`.
+    pub fn subst_var(&self, name: &str, replacement: &Term) -> Term {
+        match self {
+            Term::Const(_) => self.clone(),
+            Term::Var(v) => match v {
+                SymVar::Int(n) if n == name => replacement.clone(),
+                SymVar::Int(_) => self.clone(),
+                SymVar::Len(p) => Term::Var(SymVar::Len(subst_place(p, name, replacement))),
+                SymVar::IntElem(p, ix) => Term::Var(SymVar::IntElem(
+                    subst_place(p, name, replacement),
+                    Box::new(ix.subst_var(name, replacement)),
+                )),
+                SymVar::Char(p, ix) => Term::Var(SymVar::Char(
+                    subst_place(p, name, replacement),
+                    Box::new(ix.subst_var(name, replacement)),
+                )),
+            },
+            Term::Add(a, b) => a.subst_var(name, replacement).add(b.subst_var(name, replacement)),
+            Term::Sub(a, b) => a.subst_var(name, replacement).sub(b.subst_var(name, replacement)),
+            Term::Neg(a) => a.subst_var(name, replacement).neg(),
+            Term::Mul(k, a) => a.subst_var(name, replacement).mul(*k),
+            Term::Div(a, k) => a.subst_var(name, replacement).div(*k),
+            Term::Rem(a, k) => a.subst_var(name, replacement).rem(*k),
+        }
+    }
+
+    /// Collects all scalar variables occurring in the term.
+    pub fn collect_vars(&self, out: &mut Vec<SymVar>) {
+        match self {
+            Term::Const(_) => {}
+            Term::Var(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+                collect_place_vars(v, out);
+            }
+            Term::Add(a, b) | Term::Sub(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Term::Neg(a) | Term::Mul(_, a) | Term::Div(a, _) | Term::Rem(a, _) => a.collect_vars(out),
+        }
+    }
+}
+
+fn subst_place(p: &Place, name: &str, replacement: &Term) -> Place {
+    match p {
+        Place::Param(_) => p.clone(),
+        Place::Elem(base, ix) => Place::Elem(
+            Box::new(subst_place(base, name, replacement)),
+            Box::new(ix.subst_var(name, replacement)),
+        ),
+    }
+}
+
+fn collect_place_vars(v: &SymVar, out: &mut Vec<SymVar>) {
+    match v {
+        SymVar::Int(_) => {}
+        SymVar::Len(p) => collect_in_place(p, out),
+        SymVar::IntElem(p, ix) | SymVar::Char(p, ix) => {
+            collect_in_place(p, out);
+            ix.collect_vars(out);
+        }
+    }
+}
+
+fn collect_in_place(p: &Place, out: &mut Vec<SymVar>) {
+    if let Place::Elem(base, ix) = p {
+        collect_in_place(base, out);
+        ix.collect_vars(out);
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(v) => write!(f, "{v}"),
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Add(a, b) => write!(f, "({a} + {b})"),
+            Term::Sub(a, b) => write!(f, "({a} - {b})"),
+            Term::Neg(a) => write!(f, "-({a})"),
+            Term::Mul(k, a) => write!(f, "({k} * {a})"),
+            Term::Div(a, k) => write!(f, "({a} / {k})"),
+            Term::Rem(a, k) => write!(f, "({a} % {k})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_fold_constants() {
+        assert_eq!(Term::int(2).add(Term::int(3)), Term::int(5));
+        assert_eq!(Term::var("x").add(Term::int(0)), Term::var("x"));
+        assert_eq!(Term::var("x").mul(1), Term::var("x"));
+        assert_eq!(Term::var("x").mul(0), Term::int(0));
+        assert_eq!(Term::int(7).div(2), Term::int(3));
+        assert_eq!(Term::int(-7).rem(2), Term::int(-1));
+        assert_eq!(Term::var("x").neg().neg(), Term::var("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "symbolic division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Term::var("x").div(0);
+    }
+
+    #[test]
+    fn substitution_reaches_indices_and_places() {
+        // s[i] with s : [str]; substitute i := 2
+        let place = Place::Elem(Box::new(Place::param("s")), Box::new(Term::var("i")));
+        let t = Term::len(place);
+        let t2 = t.subst_var("i", &Term::int(2));
+        assert_eq!(t2.to_string(), "len(s[2])");
+        assert!(!t2.mentions_var("i"));
+        assert!(t.mentions_var("i"));
+    }
+
+    #[test]
+    fn mentions_var_on_scalars() {
+        let t = Term::var("a").add(Term::var("b").mul(3));
+        assert!(t.mentions_var("a"));
+        assert!(t.mentions_var("b"));
+        assert!(!t.mentions_var("c"));
+    }
+
+    #[test]
+    fn collect_vars_dedups() {
+        let t = Term::var("x").add(Term::var("x")).add(Term::len(Place::param("a")));
+        let mut vars = Vec::new();
+        t.collect_vars(&mut vars);
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = Term::int_elem(Place::param("a"), Term::int(3)).add(Term::int(1));
+        assert_eq!(t.to_string(), "(a[3] + 1)");
+    }
+
+    #[test]
+    fn place_root_traverses_elements() {
+        let p = Place::elem(Place::param("s"), 4);
+        assert_eq!(p.root(), "s");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the symbolic layer: negation involutions,
+//! canonicalization soundness (evaluation-preserving), and formula algebra.
+
+use minilang::{InputValue, MethodEntryState};
+use proptest::prelude::*;
+use symbolic::eval::{eval_pred, Env};
+use symbolic::{canon_pred, CmpOp, Formula, Place, Pred, Term};
+
+/// Strategy: small integer terms over variables x, y and the length/element
+/// space of one array `a`.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-20i64..=20).prop_map(Term::int),
+        Just(Term::var("x")),
+        Just(Term::var("y")),
+        Just(Term::len(Place::param("a"))),
+        (0i64..3).prop_map(|k| Term::int_elem(Place::param("a"), Term::int(k))),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), -4i64..=4).prop_map(|(a, k)| a.mul(k)),
+            (inner.clone(), prop_oneof![Just(-3i64), Just(-2), Just(2), Just(3), Just(5)])
+                .prop_map(|(a, k)| a.div(k)),
+            (inner.clone(), prop_oneof![Just(2i64), Just(3), Just(7)]).prop_map(|(a, k)| a.rem(k)),
+            inner.prop_map(|a| a.neg()),
+        ]
+    })
+}
+
+fn pred_strategy() -> impl Strategy<Value = Pred> {
+    let cmp = prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne)
+    ];
+    prop_oneof![
+        (cmp, term_strategy(), term_strategy()).prop_map(|(op, a, b)| Pred::cmp(op, a, b)),
+        proptest::bool::ANY.prop_map(|p| Pred::Null { place: Place::param("a"), positive: p }),
+        (term_strategy(), proptest::bool::ANY)
+            .prop_map(|(t, p)| Pred::IsSpace { arg: t, positive: p }),
+    ]
+}
+
+fn state_strategy() -> impl Strategy<Value = MethodEntryState> {
+    (
+        -10i64..=10,
+        -10i64..=10,
+        proptest::option::of(proptest::collection::vec(-5i64..=5, 3..=5)),
+    )
+        .prop_map(|(x, y, a)| {
+            MethodEntryState::from_pairs([
+                ("x".to_string(), InputValue::Int(x)),
+                ("y".to_string(), InputValue::Int(y)),
+                ("a".to_string(), InputValue::ArrayInt(a)),
+            ])
+        })
+}
+
+proptest! {
+    /// Negation is a semantic complement wherever evaluation is defined.
+    #[test]
+    fn negation_complements_evaluation(p in pred_strategy(), st in state_strategy()) {
+        let env = Env::new(&st);
+        if let (Ok(v), Ok(nv)) = (eval_pred(&p, &env), eval_pred(&p.negated(), &env)) {
+            prop_assert_eq!(v, !nv);
+        }
+    }
+
+    /// Double negation is the identity, structurally.
+    #[test]
+    fn negation_is_involutive(p in pred_strategy()) {
+        prop_assert_eq!(p.negated().negated(), p);
+    }
+
+    /// Canonicalization respects semantics: two predicates with equal
+    /// canonical forms evaluate identically on every state.
+    #[test]
+    fn canonical_equality_implies_semantic_equality(
+        p in pred_strategy(),
+        q in pred_strategy(),
+        st in state_strategy(),
+    ) {
+        if canon_pred(&p) == canon_pred(&q) {
+            let env = Env::new(&st);
+            let (vp, vq) = (eval_pred(&p, &env), eval_pred(&q, &env));
+            // Errors can only arise from array dereferences; equal canonical
+            // forms dereference the same places.
+            prop_assert_eq!(vp.ok(), vq.ok());
+        }
+    }
+
+    /// Canonicalization commutes with negation.
+    #[test]
+    fn canon_commutes_with_negation(p in pred_strategy()) {
+        prop_assert_eq!(canon_pred(&p.negated()), canon_pred(&p).negated());
+    }
+
+    /// Formula negation flips evaluation and preserves the complexity
+    /// metric's scale (atomic negations are free; De Morgan preserves
+    /// connective counts).
+    #[test]
+    fn formula_negation_flips(parts in proptest::collection::vec(pred_strategy(), 1..4), st in state_strategy()) {
+        let f = Formula::and(parts.into_iter().map(Formula::pred));
+        let n = f.negated();
+        let env_state = st;
+        if let (Ok(v), Ok(nv)) = (
+            symbolic::eval_on_state(&f, &env_state),
+            symbolic::eval_on_state(&n, &env_state),
+        ) {
+            prop_assert_eq!(v, !nv);
+        }
+        prop_assert_eq!(n.negated().complexity(), f.complexity());
+    }
+
+    /// The spec DSL round-trips through Display for quantifier-free
+    /// formulas: parse(print(f)) is semantically equal to f on all probes.
+    #[test]
+    fn display_reparse_semantic_roundtrip(
+        parts in proptest::collection::vec(pred_strategy(), 1..3),
+        st in state_strategy(),
+    ) {
+        use minilang::Ty;
+        use std::collections::HashMap;
+        let f = Formula::or(parts.into_iter().map(Formula::pred));
+        let printed = f.to_string();
+        let sig: HashMap<String, Ty> = [
+            ("x".to_string(), Ty::Int),
+            ("y".to_string(), Ty::Int),
+            ("a".to_string(), Ty::ArrayInt),
+        ]
+        .into();
+        // The DSL accepts everything the printer emits for this fragment.
+        let reparsed = symbolic::parse_spec_with_sig(&printed, &sig)
+            .unwrap_or_else(|e| panic!("unparseable {printed:?}: {e}"));
+        let v1 = symbolic::eval_on_state(&f, &st).ok();
+        let v2 = symbolic::eval_on_state(&reparsed, &st).ok();
+        prop_assert_eq!(v1, v2, "{}", printed);
+    }
+}

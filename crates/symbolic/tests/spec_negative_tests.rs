@@ -1,0 +1,120 @@
+//! Negative and boundary tests for the spec DSL parser, plus evaluation
+//! checks on the corpus's more intricate ground-truth shapes.
+
+use minilang::{parse_program, Func, InputValue, MethodEntryState, Ty};
+use std::collections::HashMap;
+use symbolic::{eval_on_state, parse_spec, parse_spec_with_sig};
+
+fn func(src: &str) -> Func {
+    parse_program(src).unwrap().funcs[0].clone()
+}
+
+#[test]
+fn rejects_syntax_garbage() {
+    let f = func("fn f(x int) { return; }");
+    for bad in [
+        "",
+        "x >",
+        "x > 1 &&",
+        "exists . x > 1",
+        "exists i x > 1",
+        "forall i. ",
+        "(x > 1",
+        "x ? 1",
+        "x == ",
+        "null == null == null",
+    ] {
+        assert!(parse_spec(bad, &f).is_err(), "{bad:?} should not parse");
+    }
+}
+
+#[test]
+fn rejects_type_misuse() {
+    let f = func("fn f(x int, s str, a [int], b bool) { return; }");
+    for bad in [
+        "x == null",        // int vs null
+        "s > 1",            // place as term
+        "len(x) > 0",       // len of int
+        "strlen(a) > 0",    // strlen of array
+        "char_at(a, 0) > 0",// char_at of array
+        "is_space(s)",      // is_space of place
+        "b > 0",            // bool as term
+        "a[0] == null",     // int element vs null
+        "x / y > 1",        // unknown identifier y
+    ] {
+        assert!(parse_spec(bad, &f).is_err(), "{bad:?} should not parse");
+    }
+}
+
+#[test]
+fn nested_quantifiers_parse_and_evaluate() {
+    let f = func("fn f(rows [str]) { return; }");
+    let spec = "exists i. (i < len(rows) && rows[i] == null \
+                && (forall j. (0 <= j && j < i) ==> rows[j] != null))";
+    let formula = parse_spec(spec, &f).unwrap();
+    // rows = ["a", null]: the first null row is at 1 and row 0 is non-null.
+    let hit = MethodEntryState::from_pairs([(
+        "rows",
+        InputValue::ArrayStr(Some(vec![Some(vec![97]), None])),
+    )]);
+    assert_eq!(eval_on_state(&formula, &hit), Ok(true));
+    // rows = [null, "a"]: the null row is first, vacuous inner forall.
+    let first = MethodEntryState::from_pairs([(
+        "rows",
+        InputValue::ArrayStr(Some(vec![None, Some(vec![97])])),
+    )]);
+    assert_eq!(eval_on_state(&formula, &first), Ok(true));
+    // rows all non-null: false.
+    let none = MethodEntryState::from_pairs([(
+        "rows",
+        InputValue::ArrayStr(Some(vec![Some(vec![97])])),
+    )]);
+    assert_eq!(eval_on_state(&formula, &none), Ok(false));
+}
+
+#[test]
+fn shadowed_bound_variable_inside_nested_quantifier() {
+    let f = func("fn f(a [int]) { return; }");
+    // The inner `i` shadows the outer one.
+    let spec = "exists i. (i < len(a) && (forall i. (0 <= i && i < len(a)) ==> a[i] >= 0))";
+    let formula = parse_spec(spec, &f).unwrap();
+    let pos = MethodEntryState::from_pairs([("a", InputValue::ArrayInt(Some(vec![1, 2])))]);
+    assert_eq!(eval_on_state(&formula, &pos), Ok(true));
+    let neg = MethodEntryState::from_pairs([("a", InputValue::ArrayInt(Some(vec![1, -2])))]);
+    assert_eq!(eval_on_state(&formula, &neg), Ok(false));
+}
+
+#[test]
+fn every_corpus_ground_truth_parses_and_is_guarded() {
+    // Re-parse every annotation and evaluate it on a bank of edgy states:
+    // none may produce an evaluation error that an Ok short-circuit should
+    // have guarded (errors are only acceptable when a guard is *meant* to
+    // block, i.e. never for these totally-guarded specs on null inputs).
+    for m in subjects::all_subjects() {
+        let tp = m.compile();
+        let f = m.func(&tp);
+        let sig: HashMap<String, Ty> = f.params.iter().map(|p| (p.name.clone(), p.ty)).collect();
+        for t in &m.truths {
+            let formula = parse_spec_with_sig(t.alpha, &sig)
+                .unwrap_or_else(|e| panic!("{}::{}: {e}", m.namespace, m.name));
+            // All-null / all-zero state: evaluation must be total.
+            let state = MethodEntryState::seed_for(f);
+            let v = eval_on_state(&formula, &state);
+            assert!(
+                v.is_ok(),
+                "{}::{}: α* = {:?} is unguarded on the seed state: {v:?}",
+                m.namespace,
+                m.name,
+                t.alpha
+            );
+        }
+    }
+}
+
+#[test]
+fn sig_variant_entry_point() {
+    let sig: HashMap<String, Ty> = [("n".to_string(), Ty::Int)].into();
+    let f = parse_spec_with_sig("n % 3 == 1 || n < 0", &sig).unwrap();
+    let st = MethodEntryState::from_pairs([("n", InputValue::Int(4))]);
+    assert_eq!(eval_on_state(&f, &st), Ok(true));
+}

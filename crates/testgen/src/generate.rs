@@ -1,0 +1,201 @@
+//! Pex-like generational test generation.
+//!
+//! Starting from the all-defaults seed (plus a few random fuzz seeds), the
+//! engine repeatedly *flips* a branch of an explored path: it asks the
+//! solver for inputs satisfying `φ₁ ∧ … ∧ φ_{j-1} ∧ ¬φ_j`, executes the
+//! model concolically, and enqueues the new path's suffix for further
+//! flipping. Implicit-check branches are flipped too — that is exactly how
+//! the engine discovers failing tests (inputs violating a check).
+
+use crate::suite::{Suite, TestRun};
+use concolic::{run_concolic, ConcolicConfig};
+use minilang::{InputValue, MethodEntryState, Ty, TypedProgram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use solver::{solve_preds, FuncSig, SolveResult, SolverConfig};
+use std::collections::HashSet;
+use symbolic::{canon_pred, CanonPred, Pred};
+
+/// Test-generation configuration.
+#[derive(Debug, Clone)]
+pub struct TestGenConfig {
+    /// Maximum number of executed tests per method.
+    pub max_runs: usize,
+    /// Maximum branch-flip attempts (solver calls).
+    pub max_flips: usize,
+    /// Maximum flips attempted per branch site (bounds loop unrolling, like
+    /// Pex's per-branch fairness bounds).
+    pub max_flips_per_site: usize,
+    /// Deepest path position considered for flipping.
+    pub max_flip_depth: usize,
+    /// Extra random fuzz seeds beside the defaults seed.
+    pub random_seeds: usize,
+    /// RNG seed (the whole pipeline is deterministic given this).
+    pub rng_seed: u64,
+    /// Concolic executor budget.
+    pub concolic: ConcolicConfig,
+    /// Solver budget.
+    pub solver: SolverConfig,
+}
+
+impl Default for TestGenConfig {
+    fn default() -> Self {
+        TestGenConfig {
+            max_runs: 140,
+            max_flips: 600,
+            max_flips_per_site: 8,
+            max_flip_depth: 48,
+            random_seeds: 6,
+            rng_seed: 0x5EED,
+            concolic: ConcolicConfig::default(),
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+/// Generates a test suite for `func_name` by generational exploration.
+///
+/// # Panics
+///
+/// Panics if the function does not exist in the program.
+pub fn generate_tests(program: &TypedProgram, func_name: &str, cfg: &TestGenConfig) -> Suite {
+    let func = program.func(func_name).unwrap_or_else(|| panic!("unknown function {func_name}"));
+    let sig = FuncSig::of(func);
+    let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
+
+    let mut suite = Suite::default();
+    let mut seen_states: HashSet<MethodEntryState> = HashSet::new();
+    let mut seen_paths: HashSet<Vec<CanonPred>> = HashSet::new();
+    let mut attempted_flips: HashSet<Vec<CanonPred>> = HashSet::new();
+    let mut site_flips: std::collections::HashMap<minilang::NodeId, usize> = Default::default();
+    // Work queue of (run index, entry index to flip).
+    let mut queue: std::collections::VecDeque<(usize, usize)> = Default::default();
+
+    let execute = |state: MethodEntryState,
+                       suite: &mut Suite,
+                       seen_states: &mut HashSet<MethodEntryState>,
+                       seen_paths: &mut HashSet<Vec<CanonPred>>|
+     -> Option<usize> {
+        if !seen_states.insert(state.clone()) {
+            return None;
+        }
+        let outcome = run_concolic(program, func_name, &state, &cfg.concolic);
+        let signature: Vec<CanonPred> = outcome.path.entries.iter().map(|e| e.canon()).collect();
+        let fresh_path = seen_paths.insert(signature);
+        let run = TestRun::new(state, outcome);
+        suite.runs.push(run);
+        if fresh_path {
+            Some(suite.runs.len() - 1)
+        } else {
+            None
+        }
+    };
+
+    // Seeds: all-defaults plus random fuzz.
+    let mut seeds = vec![MethodEntryState::seed_for(func)];
+    for _ in 0..cfg.random_seeds {
+        seeds.push(random_state(func, &mut rng));
+    }
+    for seed in seeds {
+        if suite.len() >= cfg.max_runs {
+            break;
+        }
+        if let Some(idx) = execute(seed, &mut suite, &mut seen_states, &mut seen_paths) {
+            for j in 0..suite.runs[idx].path.entries.len() {
+                queue.push_back((idx, j));
+            }
+        }
+    }
+
+    let mut flips = 0usize;
+    while let Some((run_idx, j)) = queue.pop_front() {
+        if suite.len() >= cfg.max_runs || flips >= cfg.max_flips {
+            break;
+        }
+        if j >= cfg.max_flip_depth {
+            continue;
+        }
+        let entries = &suite.runs[run_idx].path.entries;
+        let Some(entry) = entries.get(j) else { continue };
+        if !entry.kind.is_branch() {
+            continue; // pins are not decisions
+        }
+        let site_count = site_flips.entry(entry.site).or_insert(0);
+        if *site_count >= cfg.max_flips_per_site {
+            continue;
+        }
+        *site_count += 1;
+        // Constraint: prefix (including pins) plus the negated predicate.
+        let mut preds: Vec<Pred> = entries[..j].iter().map(|e| e.pred.clone()).collect();
+        preds.push(entry.pred.negated());
+        let flip_sig: Vec<CanonPred> = preds.iter().map(canon_pred).collect();
+        if !attempted_flips.insert(flip_sig) {
+            continue;
+        }
+        flips += 1;
+        match solve_preds(&preds, &sig, &cfg.solver) {
+            SolveResult::Sat(model) => {
+                if let Some(idx) = execute(model, &mut suite, &mut seen_states, &mut seen_paths) {
+                    // Expand only the suffix the new path discovered.
+                    let new_len = suite.runs[idx].path.entries.len();
+                    for k in j..new_len {
+                        queue.push_back((idx, k));
+                    }
+                }
+            }
+            SolveResult::Unsat | SolveResult::Unknown => {}
+        }
+    }
+    suite
+}
+
+/// A random input state for fuzz seeding.
+fn random_state(func: &minilang::Func, rng: &mut StdRng) -> MethodEntryState {
+    let mut state = MethodEntryState::new();
+    for p in &func.params {
+        state.set(&p.name, random_value(p.ty, rng));
+    }
+    state
+}
+
+fn random_value(ty: Ty, rng: &mut StdRng) -> InputValue {
+    match ty {
+        Ty::Int => InputValue::Int(rng.gen_range(-8..=8)),
+        Ty::Bool => InputValue::Bool(rng.gen_bool(0.5)),
+        Ty::Str => {
+            if rng.gen_bool(0.25) {
+                InputValue::Str(None)
+            } else {
+                InputValue::Str(Some(random_chars(rng)))
+            }
+        }
+        Ty::ArrayInt => {
+            if rng.gen_bool(0.25) {
+                InputValue::ArrayInt(None)
+            } else {
+                let len = rng.gen_range(0..=4);
+                InputValue::ArrayInt(Some((0..len).map(|_| rng.gen_range(-5..=5)).collect()))
+            }
+        }
+        Ty::ArrayStr => {
+            if rng.gen_bool(0.25) {
+                InputValue::ArrayStr(None)
+            } else {
+                let len = rng.gen_range(0..=4);
+                InputValue::ArrayStr(Some(
+                    (0..len)
+                        .map(|_| if rng.gen_bool(0.3) { None } else { Some(random_chars(rng)) })
+                        .collect(),
+                ))
+            }
+        }
+        Ty::Void => unreachable!("void parameter"),
+    }
+}
+
+fn random_chars(rng: &mut StdRng) -> Vec<i64> {
+    let len = rng.gen_range(0..=4);
+    (0..len)
+        .map(|_| if rng.gen_bool(0.3) { 32 } else { rng.gen_range(97..=99) })
+        .collect()
+}

@@ -1,0 +1,90 @@
+//! Generated test suites and their per-ACL partitions.
+
+use concolic::ConcolicOutcome;
+use minilang::{CheckId, Func, MethodEntryState, NodeId};
+use std::collections::HashSet;
+use symbolic::{PathCondition, PathOutcome};
+
+/// One executed test: the input state and the observed path.
+#[derive(Debug, Clone)]
+pub struct TestRun {
+    pub state: MethodEntryState,
+    pub path: PathCondition,
+    pub visited_blocks: HashSet<NodeId>,
+}
+
+impl TestRun {
+    /// Builds a run from a concolic outcome.
+    pub fn new(state: MethodEntryState, outcome: ConcolicOutcome) -> TestRun {
+        TestRun { state, path: outcome.path, visited_blocks: outcome.visited_blocks }
+    }
+
+    /// Whether this run failed (at any check).
+    pub fn failed(&self) -> bool {
+        self.path.outcome.failed_check().is_some()
+    }
+}
+
+/// A generated suite for one method under test.
+#[derive(Debug, Clone, Default)]
+pub struct Suite {
+    pub runs: Vec<TestRun>,
+}
+
+impl Suite {
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no tests were generated.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// All assertion-containing locations triggered (violated) by at least
+    /// one run, in first-trigger order — the paper's *exception-throwing
+    /// locations* for this method.
+    pub fn triggered_acls(&self) -> Vec<CheckId> {
+        let mut out = Vec::new();
+        for r in &self.runs {
+            if let Some(id) = r.path.outcome.failed_check() {
+                if !out.contains(&id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// Partitions the suite for one ACL `e` per Section V-B: a test is
+    /// failing iff its execution reaches `e` *and* violates it; passing iff
+    /// it does not reach `e`, or reaches without violating. Out-of-fuel runs
+    /// are excluded from both sets.
+    pub fn partition(&self, acl: CheckId) -> (Vec<&TestRun>, Vec<&TestRun>) {
+        let mut pass = Vec::new();
+        let mut fail = Vec::new();
+        for r in &self.runs {
+            match r.path.outcome {
+                PathOutcome::OutOfFuel => continue,
+                PathOutcome::Failed(f) if f == acl => fail.push(r),
+                // A run that failed at a *different* location still passed
+                // this one (it either reached-without-violating or never
+                // reached it).
+                PathOutcome::Failed(_) | PathOutcome::Completed => pass.push(r),
+            }
+        }
+        (pass, fail)
+    }
+
+    /// Block coverage (percent) of the union of runs against `func`'s
+    /// blocks — the Table IV metric.
+    pub fn coverage_percent(&self, func: &Func) -> f64 {
+        let blocks = minilang::block_ids(func);
+        let mut visited = HashSet::new();
+        for r in &self.runs {
+            visited.extend(r.visited_blocks.iter().copied());
+        }
+        minilang::coverage_percent(&blocks, &visited)
+    }
+}

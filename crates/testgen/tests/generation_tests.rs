@@ -1,0 +1,125 @@
+//! End-to-end tests of the generational test generator.
+
+use minilang::{compile, CheckKind, LoopPos};
+use testgen::{generate_tests, TestGenConfig};
+
+const FIG1: &str = "
+fn example(s [str], a int, b int, c int, d int) -> int {
+    let sum = 0;
+    if (a > 0) { b = b + 1; }
+    if (c > 0) { d = d + 1; }
+    if (b > 0) { sum = sum + 1; }
+    if (d > 0) {
+        for (let i = 0; i < len(s); i = i + 1) {
+            sum = sum + strlen(s[i]);
+        }
+        return sum;
+    }
+    return sum;
+}";
+
+#[test]
+fn discovers_both_fig1_failures() {
+    let tp = compile(FIG1).unwrap();
+    let suite = generate_tests(&tp, "example", &TestGenConfig::default());
+    let acls = suite.triggered_acls();
+    let kinds: Vec<CheckKind> = acls.iter().map(|a| a.kind).collect();
+    // The Line-14 analogue (null `s` dereferenced by len) and the Line-16
+    // analogue (null element dereferenced by strlen) must both be found.
+    assert!(
+        kinds.iter().filter(|k| **k == CheckKind::NullDeref).count() >= 2,
+        "expected both NullDeref ACLs, got {acls:?}"
+    );
+    // Partition sanity for the element ACL: failing tests exist, passing
+    // tests exist, and no run is in both sets.
+    let elem_acl = *acls
+        .iter()
+        .find(|a| {
+            let (_, fail) = suite.partition(**a);
+            fail.iter().any(|r| {
+                r.path.last_branch().map(|e| e.pred.to_string().contains("[")).unwrap_or(false)
+            })
+        })
+        .expect("element ACL triggered");
+    let (pass, fail) = suite.partition(elem_acl);
+    assert!(!pass.is_empty());
+    assert!(!fail.is_empty());
+    assert_eq!(pass.len() + fail.len(), suite.runs.len());
+}
+
+#[test]
+fn coverage_reaches_all_blocks_of_fig1() {
+    let tp = compile(FIG1).unwrap();
+    let suite = generate_tests(&tp, "example", &TestGenConfig::default());
+    let cov = suite.coverage_percent(tp.func("example").unwrap());
+    assert!(cov > 99.0, "expected full block coverage, got {cov:.2}%");
+}
+
+#[test]
+fn finds_division_by_zero() {
+    let tp = compile("fn f(x int, y int) -> int { if (x > 2) { return x / y; } return 0; }").unwrap();
+    let suite = generate_tests(&tp, "f", &TestGenConfig::default());
+    let acls = suite.triggered_acls();
+    assert!(acls.iter().any(|a| a.kind == CheckKind::DivByZero), "{acls:?}");
+    // The failing test must satisfy the guard x > 2.
+    let acl = *acls.iter().find(|a| a.kind == CheckKind::DivByZero).unwrap();
+    let (_, fail) = suite.partition(acl);
+    for run in fail {
+        let Some(minilang::InputValue::Int(x)) = run.state.get("x") else { panic!() };
+        let Some(minilang::InputValue::Int(y)) = run.state.get("y") else { panic!() };
+        assert!(*x > 2 && *y == 0, "bad failing input {}", run.state);
+    }
+}
+
+#[test]
+fn finds_assert_violation_behind_arithmetic() {
+    let tp =
+        compile("fn f(x int) { let y = x * 3 + 1; assert(y != 13); }").unwrap();
+    let suite = generate_tests(&tp, "f", &TestGenConfig::default());
+    let acls = suite.triggered_acls();
+    assert!(
+        acls.iter().any(|a| a.kind == CheckKind::AssertFail),
+        "solver should find x = 4: {acls:?}"
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let tp = compile(FIG1).unwrap();
+    let a = generate_tests(&tp, "example", &TestGenConfig::default());
+    let b = generate_tests(&tp, "example", &TestGenConfig::default());
+    let sa: Vec<String> = a.runs.iter().map(|r| r.state.to_string()).collect();
+    let sb: Vec<String> = b.runs.iter().map(|r| r.state.to_string()).collect();
+    assert_eq!(sa, sb);
+}
+
+#[test]
+fn loop_exit_paths_explored() {
+    // Quantified-precondition shape: failure only when all elements are even.
+    let src = "
+        fn all_even_fails(a [int]) -> int {
+            if (a == null) { return 0; }
+            let i = 0;
+            while (i < len(a)) {
+                if (a[i] % 2 != 0) { return i; }
+                i = i + 1;
+            }
+            if (len(a) > 0) { assert(false); }
+            return -1;
+        }";
+    let tp = compile(src).unwrap();
+    let suite = generate_tests(&tp, "all_even_fails", &TestGenConfig::default());
+    let acls = suite.triggered_acls();
+    assert!(acls.iter().any(|a| a.kind == CheckKind::AssertFail), "{acls:?}");
+}
+
+#[test]
+fn acl_loop_positions_available_for_table5() {
+    let tp = compile(FIG1).unwrap();
+    let sites = minilang::check_sites(tp.func("example").unwrap());
+    let suite = generate_tests(&tp, "example", &TestGenConfig::default());
+    for acl in suite.triggered_acls() {
+        let site = sites.iter().find(|s| s.id == acl).expect("triggered ACL is a static site");
+        assert_eq!(site.loop_pos, LoopPos::InsideLoop);
+    }
+}

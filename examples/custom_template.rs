@@ -1,0 +1,65 @@
+//! Extending the generalization-template registry (paper §IV-B: "our
+//! technique can be easily extended with more templates").
+//!
+//! A method that checks every *even-indexed* element defeats the shipped
+//! Existential/Universal templates; registering the paper's suggested
+//! step template (`∀i. (0 ≤ i < len(a) ∧ i % 2 == 0) ⇒ φ(a[i])`) makes the
+//! family generalize.
+//!
+//! Run with: `cargo run --example custom_template`
+
+use preinfer::preinfer_core::{PreInferConfig, StepTemplate};
+use preinfer::prelude::*;
+
+const SOURCE: &str = "
+fn even_slots_blank(grid [int]) -> int {
+    // even positions are separators and must be zero; odd carry data
+    let i = 0;
+    while (i < len(grid)) {
+        if (grid[i] != 0) { return i; }
+        i = i + 2;
+    }
+    return 100 / 0;
+}";
+
+fn main() {
+    let tp = compile(SOURCE).expect("compiles");
+    let suite = generate_tests(&tp, "even_slots_blank", &TestGenConfig::default());
+    let acl = suite
+        .triggered_acls()
+        .into_iter()
+        .find(|a| a.kind == preinfer::minilang::CheckKind::DivByZero)
+        .expect("the sentinel division fails");
+    println!("ACL under analysis: {acl} (reached when every even slot is zero)\n");
+
+    // 1) Default templates: the stride-2 family does not match.
+    let default_inference =
+        infer_precondition(&tp, "even_slots_blank", acl, &suite, &PreInferConfig::default())
+            .expect("failing tests exist");
+    println!("-- default registry (Existential + Universal) --");
+    println!("   quantified: {}", default_inference.precondition.quantified);
+    println!("   ψ: {}\n", default_inference.precondition.psi);
+
+    // 2) Registry extended with the even-index step template.
+    let mut cfg = PreInferConfig::default();
+    cfg.templates.push(Box::new(StepTemplate { step: 2, offset: 0 }));
+    let extended = infer_precondition(&tp, "even_slots_blank", acl, &suite, &cfg)
+        .expect("failing tests exist");
+    println!("-- registry + StepTemplate {{ step: 2, offset: 0 }} --");
+    println!("   quantified: {}", extended.precondition.quantified);
+    println!("   ψ: {}", extended.precondition.psi);
+
+    assert!(
+        extended.precondition.quantified,
+        "the step template should generalize the stride-2 family"
+    );
+    assert!(
+        extended.precondition.psi.complexity() <= default_inference.precondition.psi.complexity(),
+        "generalization should not make the precondition more complex"
+    );
+    println!(
+        "\ncomplexity: {} (default) → {} (with step template)",
+        default_inference.precondition.psi.complexity(),
+        extended.precondition.psi.complexity()
+    );
+}

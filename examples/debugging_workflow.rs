@@ -1,0 +1,59 @@
+//! The introduction's debugging story: a generated test fails, the
+//! developer asks for a precondition, inserts it as a guard, and the
+//! failures are blocked while every passing behaviour survives.
+//!
+//! Run with: `cargo run --example debugging_workflow`
+
+use preinfer::prelude::*;
+
+const SOURCE: &str = "
+fn lookup_score(scores [int], id int) -> int {
+    // fragile lookup used by a report generator
+    return scores[id * 2 + 1];
+}";
+
+fn main() {
+    let tp = compile(SOURCE).expect("compiles");
+
+    // Step 1: automated test generation surfaces failures.
+    let suite = generate_tests(&tp, "lookup_score", &TestGenConfig::default());
+    println!("generated {} tests; failing locations:", suite.len());
+    for acl in suite.triggered_acls() {
+        let (_, fail) = suite.partition(acl);
+        println!("  {acl}: {} failing test(s), e.g. {}", fail.len(), fail[0].state);
+    }
+    println!();
+
+    // Step 2: infer a precondition for each failure.
+    let mut guards: Vec<preinfer::symbolic::Formula> = Vec::new();
+    for acl in suite.triggered_acls() {
+        let inferred =
+            infer_precondition(&tp, "lookup_score", acl, &suite, &PreInferConfig::default())
+                .expect("failing tests exist");
+        println!("ψ for {acl}: {}", inferred.precondition.psi);
+        guards.push(inferred.precondition.psi);
+    }
+    println!();
+
+    // Step 3: "insert" the guards — re-run the whole suite through them.
+    let guarded = |state: &MethodEntryState| guards.iter().all(|g| preinfer::preinfer_core::validates(g, state));
+    let mut blocked_failing = 0usize;
+    let mut admitted_failing = 0usize;
+    let mut blocked_passing = 0usize;
+    let mut admitted_passing = 0usize;
+    for run in &suite.runs {
+        let failed = run.failed();
+        match (failed, guarded(&run.state)) {
+            (true, false) => blocked_failing += 1,
+            (true, true) => admitted_failing += 1,
+            (false, false) => blocked_passing += 1,
+            (false, true) => admitted_passing += 1,
+        }
+    }
+    println!("after inserting the guards:");
+    println!("  failing tests blocked:  {blocked_failing} (admitted: {admitted_failing})");
+    println!("  passing tests admitted: {admitted_passing} (blocked: {blocked_passing})");
+    assert_eq!(admitted_failing, 0, "a guard admitted a failing input");
+    assert_eq!(blocked_passing, 0, "a guard blocked a passing input");
+    println!("\nall failures blocked, no passing behaviour lost — ship the guard.");
+}

@@ -1,0 +1,160 @@
+//! The `preinfer` command-line tool: infer preconditions for a MiniLang
+//! program the way the paper's prototype extends Pex.
+//!
+//! ```text
+//! preinfer path/to/program.ml [--fn NAME] [--baselines] [--tests N] [--verbose]
+//! ```
+//!
+//! Generates a test suite for the function (default: the first one), then
+//! prints, for every assertion-containing location the suite triggers, the
+//! inferred precondition `ψ`, the failure condition `α`, pruning statistics
+//! and suite-based quality. `--baselines` additionally prints FixIt's and
+//! DySy's inferences for comparison.
+
+use preinfer::prelude::*;
+use std::process::ExitCode;
+
+struct Options {
+    path: String,
+    func: Option<String>,
+    baselines: bool,
+    max_runs: Option<usize>,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: preinfer <program.ml> [--fn NAME] [--baselines] [--tests N] [--verbose]\n\
+         \n\
+         Infers preconditions for every assertion-containing location that\n\
+         generated tests can make fail, per the PreInfer (DSN 2018) pipeline."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts =
+        Options { path: String::new(), func: None, baselines: false, max_runs: None, verbose: false };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fn" => opts.func = args.next().or_else(|| usage()),
+            "--baselines" => opts.baselines = true,
+            "--verbose" => opts.verbose = true,
+            "--tests" => {
+                opts.max_runs = Some(
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+                )
+            }
+            "--help" | "-h" => usage(),
+            other if opts.path.is_empty() && !other.starts_with('-') => {
+                opts.path = other.to_string()
+            }
+            _ => usage(),
+        }
+    }
+    if opts.path.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let source = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("preinfer: cannot read {}: {e}", opts.path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match minilang::compile(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("preinfer: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let func_name = match &opts.func {
+        Some(name) => {
+            if program.func(name).is_none() {
+                eprintln!("preinfer: no function `{name}` in {}", opts.path);
+                return ExitCode::FAILURE;
+            }
+            name.clone()
+        }
+        None => program.program().funcs[0].name.clone(),
+    };
+
+    let mut tg = TestGenConfig::default();
+    if let Some(n) = opts.max_runs {
+        tg.max_runs = n;
+    }
+    println!("generating tests for `{func_name}` …");
+    let suite = generate_tests(&program, &func_name, &tg);
+    let func = program.func(&func_name).expect("checked above");
+    println!(
+        "{} tests, {:.1}% block coverage, {} exception-throwing location(s)\n",
+        suite.len(),
+        suite.coverage_percent(func),
+        suite.triggered_acls().len()
+    );
+    if suite.triggered_acls().is_empty() {
+        println!("no failures found — nothing to infer.");
+        return ExitCode::SUCCESS;
+    }
+
+    for acl in suite.triggered_acls() {
+        let (pass, fail) = suite.partition(acl);
+        println!("── {acl} ─ {} failing / {} passing tests", fail.len(), pass.len());
+        if opts.verbose {
+            for f in fail.iter().take(3) {
+                println!("   e.g. failing input {}", f.state);
+            }
+        }
+        match infer_precondition(&program, &func_name, acl, &suite, &PreInferConfig::default()) {
+            None => println!("   (no failing tests reached this location)"),
+            Some(inf) => {
+                println!("   PreInfer ψ: {}", inf.precondition.psi);
+                if opts.verbose {
+                    println!("   PreInfer α: {}", inf.precondition.alpha);
+                    println!(
+                        "   pruning: {} examined, {} removed, {} kept by c-depend, {} by d-impact, {} by the guard, {} dynamic runs",
+                        inf.prune_stats.examined,
+                        inf.prune_stats.removed,
+                        inf.prune_stats.kept_c_depend,
+                        inf.prune_stats.kept_d_impact,
+                        inf.prune_stats.kept_guard,
+                        inf.prune_stats.dynamic_runs,
+                    );
+                }
+                let blocked = fail
+                    .iter()
+                    .filter(|r| !preinfer::preinfer_core::validates(&inf.precondition.psi, &r.state))
+                    .count();
+                let admitted = pass
+                    .iter()
+                    .filter(|r| preinfer::preinfer_core::validates(&inf.precondition.psi, &r.state))
+                    .count();
+                println!(
+                    "   blocks {blocked}/{} failing and admits {admitted}/{} passing tests (|ψ| = {})",
+                    fail.len(),
+                    pass.len(),
+                    inf.precondition.psi.complexity()
+                );
+            }
+        }
+        if opts.baselines {
+            if let Some(p) = infer_fixit(acl, &suite) {
+                println!("   FixIt    ψ: {}", p.psi);
+            }
+            if let Some(p) = infer_dysy(acl, &suite) {
+                let s = p.psi.to_string();
+                let shown = if s.len() > 160 { format!("{}… [{} chars]", &s[..160], s.len()) } else { s };
+                println!("   DySy     ψ: {shown}");
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,141 @@
+//! Workspace-level integration tests: the full pipeline over representative
+//! corpus methods, the motivating example, and the baselines' documented
+//! behaviours.
+
+use preinfer::prelude::*;
+use preinfer::report::{evaluate_method, EvalConfig};
+
+/// The motivating example's two ground truths are recovered end to end —
+/// the paper's §II walkthrough as an executable assertion.
+#[test]
+fn motivating_example_both_acls_correct() {
+    let m = preinfer::subjects::motivating::motivating();
+    let r = evaluate_method(&m, &EvalConfig::default());
+    let nulls: Vec<_> = r.acls.iter().filter(|a| a.kind == "NullReference").collect();
+    assert_eq!(nulls.len(), 2, "both Fig. 1 ACLs trigger");
+    for acl in nulls {
+        assert!(acl.preinfer.both(), "{}: ψ = {}", acl.method, acl.preinfer.psi);
+        assert_eq!(acl.preinfer.correct, Some(true), "{}: ψ = {}", acl.method, acl.preinfer.psi);
+    }
+    // The quantified ACL is a collection-element case and PreInfer
+    // quantifies it; FixIt cannot (Table VI).
+    let quant = r.acls.iter().find(|a| a.quantified_target == Some(true)).unwrap();
+    assert!(quant.preinfer.quantified);
+    assert!(!quant.fixit.quantified);
+}
+
+/// Figure 2 (`reverse_words`): the Universal template recovers the paper's
+/// quantified ground truth.
+#[test]
+fn reverse_words_case_study() {
+    let m = preinfer::subjects::dsa_algorithm::reverse_words();
+    let r = evaluate_method(&m, &EvalConfig::default());
+    let ioor = r
+        .acls
+        .iter()
+        .find(|a| a.kind == "IndexOutOfRange" && a.quantified_target == Some(true))
+        .expect("the Fig. 2 ACL triggers");
+    assert!(ioor.preinfer.quantified, "ψ = {}", ioor.preinfer.psi);
+    assert!(ioor.preinfer.both(), "ψ = {}", ioor.preinfer.psi);
+    assert_eq!(ioor.preinfer.correct, Some(true), "ψ = {}", ioor.preinfer.psi);
+    assert_eq!(ioor.fixit.correct, Some(false), "FixIt cannot quantify");
+}
+
+/// On a guard-dependent failure, FixIt is sufficient but not necessary
+/// (location reachability), while PreInfer is both — the paper's core
+/// comparison, on one method.
+#[test]
+fn guarded_division_separates_approaches() {
+    let m = preinfer::subjects::all_subjects()
+        .into_iter()
+        .find(|m| m.name == "guarded_div")
+        .unwrap();
+    let r = evaluate_method(&m, &EvalConfig::default());
+    let acl = r.acls.iter().find(|a| a.kind == "DivideByZero").unwrap();
+    assert!(acl.preinfer.both());
+    assert_eq!(acl.preinfer.correct, Some(true));
+    assert!(acl.fixit.sufficient && !acl.fixit.necessary);
+}
+
+/// The no-passing-paths corner: DySy blocks everything (ψ = false) and is
+/// trivially sufficient; PreInfer has no witnesses to prune with.
+#[test]
+fn always_fails_corner() {
+    let m = preinfer::subjects::all_subjects()
+        .into_iter()
+        .find(|m| m.name == "always_fails")
+        .unwrap();
+    let r = evaluate_method(&m, &EvalConfig::default());
+    let acl = r.acls.iter().find(|a| a.kind == "DivideByZero").unwrap();
+    assert!(acl.dysy.sufficient);
+    assert_eq!(acl.dysy.psi, "false");
+    assert!(acl.preinfer.sufficient, "everything fails; any under-approximation suffices");
+}
+
+/// DySy's complexity blow-up (Figure 3's story) on a branchy method.
+#[test]
+fn dysy_complexity_blowup() {
+    let m = preinfer::subjects::all_subjects()
+        .into_iter()
+        .find(|m| m.name == "disjunctive_guard")
+        .unwrap();
+    let r = evaluate_method(&m, &EvalConfig::default());
+    for acl in &r.acls {
+        assert!(
+            acl.dysy.complexity >= acl.preinfer.complexity,
+            "{}: DySy {} < PreInfer {}",
+            acl.method,
+            acl.dysy.complexity,
+            acl.preinfer.complexity
+        );
+    }
+}
+
+/// The inferred precondition for every scored corpus ACL never admits a
+/// failing suite state while PreInfer reports it sufficient — internal
+/// consistency between the pipeline and the metrics.
+#[test]
+fn sufficiency_is_consistent_with_validates() {
+    let cfg = EvalConfig::default();
+    for name in ["stack_pop", "median_of_three", "requires_range"] {
+        let m = preinfer::subjects::all_subjects().into_iter().find(|m| m.name == name).unwrap();
+        let tp = m.compile();
+        let suite = generate_tests(&tp, m.name, &cfg.testgen);
+        for acl in suite.triggered_acls() {
+            let Some(inf) = infer_precondition(&tp, m.name, acl, &suite, &PreInferConfig::default())
+            else {
+                continue;
+            };
+            let (_, fail) = suite.partition(acl);
+            for run in fail {
+                assert!(
+                    !preinfer::preinfer_core::validates(&inf.precondition.psi, &run.state),
+                    "{name}: ψ admits failing input {}",
+                    run.state
+                );
+            }
+        }
+    }
+}
+
+/// Paper-shape regression: over a slice of the corpus, PreInfer's #Both
+/// strictly dominates FixIt's.
+#[test]
+fn preinfer_dominates_fixit_on_slice() {
+    let picks = ["bubble_sort", "stack_pop", "inverse_sum", "guarded_div", "all_equal_42", "queue_front"];
+    let methods: Vec<_> = preinfer::subjects::all_subjects()
+        .into_iter()
+        .filter(|m| picks.contains(&m.name))
+        .collect();
+    let cfg = EvalConfig::default();
+    let mut p_both = 0usize;
+    let mut f_both = 0usize;
+    for m in &methods {
+        let r = evaluate_method(m, &cfg);
+        for acl in &r.acls {
+            p_both += acl.preinfer.both() as usize;
+            f_both += acl.fixit.both() as usize;
+        }
+    }
+    assert!(p_both > f_both, "PreInfer {p_both} vs FixIt {f_both}");
+}
