@@ -66,9 +66,7 @@ mod tests {
         // Necessity check against the suite: a passing run with x<=2, y=0
         // exists (the all-zero seed), and FixIt wrongly blocks it.
         let (pass, _) = suite.partition(acl);
-        let violates_necessity = pass
-            .iter()
-            .any(|r| !preinfer_core::validates(&pre.psi, &r.state));
+        let violates_necessity = pass.iter().any(|r| !preinfer_core::validates(&pre.psi, &r.state));
         assert!(violates_necessity);
     }
 

@@ -100,16 +100,21 @@ fn bench_pruning_ablations(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("full_dynamic", |b| {
         b.iter(|| {
-            black_box(prune_failing_paths(&tp, "example", acl, &pass, &fail, &PruneConfig::default()))
+            black_box(prune_failing_paths(
+                &tp,
+                "example",
+                acl,
+                &pass,
+                &fail,
+                &PruneConfig::default(),
+            ))
         });
     });
     // Ablation: witnesses only from the suite (no manufactured deviations).
     let static_cfg =
         PruneConfig { dynamic_witnesses: false, verify_removals: false, ..Default::default() };
     g.bench_function("static_witnesses_only", |b| {
-        b.iter(|| {
-            black_box(prune_failing_paths(&tp, "example", acl, &pass, &fail, &static_cfg))
-        });
+        b.iter(|| black_box(prune_failing_paths(&tp, "example", acl, &pass, &fail, &static_cfg)));
     });
     g.finish();
 }

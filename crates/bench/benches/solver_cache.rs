@@ -1,0 +1,100 @@
+//! Benchmarks for the canonicalizing solver cache and the parallel
+//! inference driver: solver-level warm-cache speedup, and end-to-end
+//! inference serial/uncached vs cached vs cached+parallel.
+
+use concolic::{run_concolic, ConcolicConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use minilang::{compile, InputValue, MethodEntryState, TypedProgram};
+use preinfer_core::{infer_all_preconditions, PreInferConfig};
+use solver::{solve_preds, solve_preds_with, FuncSig, SolverCache, SolverConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use symbolic::Pred;
+use testgen::{generate_tests, Suite, TestGenConfig};
+
+const FIG1: &str = "
+fn example(s [str], a int, b int, c int, d int) -> int {
+    let sum = 0;
+    if (a > 0) { b = b + 1; }
+    if (c > 0) { d = d + 1; }
+    if (b > 0) { sum = sum + 1; }
+    if (d > 0) {
+        for (let i = 0; i < len(s); i = i + 1) {
+            sum = sum + strlen(s[i]);
+        }
+        return sum;
+    }
+    return sum;
+}";
+
+fn fig1() -> (TypedProgram, Suite) {
+    let tp = compile(FIG1).unwrap();
+    let suite = generate_tests(&tp, "example", &TestGenConfig::default());
+    (tp, suite)
+}
+
+fn infer_cfg(cache: bool, jobs: usize) -> PreInferConfig {
+    let mut cfg = PreInferConfig::default();
+    cfg.prune.solver_cache = cache.then(|| Arc::new(SolverCache::new()));
+    cfg.prune.jobs = jobs;
+    cfg
+}
+
+/// Solver level: repeated solves of one concrete path condition, uncached
+/// vs through a warm cache (the steady-state hit path).
+fn bench_cache_hit_path(c: &mut Criterion) {
+    let (tp, _) = fig1();
+    let func = tp.func("example").unwrap();
+    let sig = FuncSig::of(func);
+    let a = Some(vec![97i64]);
+    let state = MethodEntryState::from_pairs([
+        ("s".to_string(), InputValue::ArrayStr(Some(vec![a.clone(), a, None]))),
+        ("a".to_string(), InputValue::Int(1)),
+        ("b".to_string(), InputValue::Int(0)),
+        ("c".to_string(), InputValue::Int(1)),
+        ("d".to_string(), InputValue::Int(0)),
+    ]);
+    let out = run_concolic(&tp, "example", &state, &ConcolicConfig::default());
+    let preds: Vec<Pred> = out.path.entries.iter().map(|e| e.pred.clone()).collect();
+    let solver_cfg = SolverConfig::default();
+    c.bench_function("solve_path_uncached", |b| {
+        b.iter(|| black_box(solve_preds(&preds, &sig, &solver_cfg)));
+    });
+    let cache = SolverCache::new();
+    let _ = solve_preds_with(&preds, &sig, &solver_cfg, Some(&cache)); // warm
+    c.bench_function("solve_path_warm_cache", |b| {
+        b.iter(|| black_box(solve_preds_with(&preds, &sig, &solver_cfg, Some(&cache)).0));
+    });
+}
+
+/// End to end: all-ACL inference on the motivating example, the three
+/// configurations the CLI exposes. A fresh cache per iteration, so the
+/// cached numbers include the misses that warm it.
+fn bench_inference_configs(c: &mut Criterion) {
+    let (tp, suite) = fig1();
+    let mut g = c.benchmark_group("infer_fig1");
+    g.sample_size(10);
+    g.bench_function("serial_uncached", |b| {
+        b.iter(|| {
+            let cfg = infer_cfg(false, 1);
+            black_box(infer_all_preconditions(&tp, "example", &suite, &cfg, 1))
+        });
+    });
+    g.bench_function("serial_cached", |b| {
+        b.iter(|| {
+            let cfg = infer_cfg(true, 1);
+            black_box(infer_all_preconditions(&tp, "example", &suite, &cfg, 1))
+        });
+    });
+    let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    g.bench_function("parallel_cached", |b| {
+        b.iter(|| {
+            let cfg = infer_cfg(true, jobs);
+            black_box(infer_all_preconditions(&tp, "example", &suite, &cfg, jobs))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache_hit_path, bench_inference_configs);
+criterion_main!(benches);

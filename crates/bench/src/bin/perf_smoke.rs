@@ -1,0 +1,177 @@
+//! Perf smoke: times end-to-end inference with the solver cache and the
+//! parallel driver against the serial/uncached baseline and emits
+//! `BENCH_solver_cache.json` in the working directory.
+//!
+//! This is the quick, scriptable counterpart of `cargo bench -p bench
+//! --bench solver_cache`: a handful of repetitions per configuration, the
+//! minimum wall-clock kept (least-noise estimator), plus the cache's
+//! hit/miss counters from the cached run.
+
+use preinfer_core::{infer_all_preconditions, PreInferConfig};
+use report::{evaluate_corpus, EvalConfig};
+use solver::{CacheStats, SolverCache};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+use subjects::SubjectMethod;
+use testgen::{generate_tests, TestGenConfig};
+
+const REPS: usize = 3;
+
+struct CaseResult {
+    name: String,
+    serial_uncached_ns: u128,
+    serial_cached_ns: u128,
+    parallel_cached_ns: u128,
+    stats: CacheStats,
+}
+
+fn time_inference(
+    m: &SubjectMethod,
+    tp: &minilang::TypedProgram,
+    suite: &testgen::Suite,
+    cache: Option<Arc<SolverCache>>,
+    jobs: usize,
+) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..REPS {
+        if let Some(c) = &cache {
+            c.clear(); // each rep pays the warm-up misses again
+        }
+        let mut cfg = PreInferConfig::default();
+        cfg.prune.solver_cache = cache.clone();
+        cfg.prune.jobs = jobs;
+        let start = Instant::now();
+        let out = infer_all_preconditions(tp, m.name, suite, &cfg, jobs);
+        best = best.min(start.elapsed().as_nanos());
+        assert!(!out.is_empty(), "{} inferred nothing", m.name);
+    }
+    best
+}
+
+fn run_case(m: &SubjectMethod, jobs: usize) -> CaseResult {
+    let tp = m.compile();
+    let suite = generate_tests(&tp, m.name, &TestGenConfig::default());
+    let serial_uncached_ns = time_inference(m, &tp, &suite, None, 1);
+    let cache = Arc::new(SolverCache::new());
+    let serial_cached_ns = time_inference(m, &tp, &suite, Some(cache.clone()), 1);
+    let parallel_cache = Arc::new(SolverCache::new());
+    let parallel_cached_ns = time_inference(m, &tp, &suite, Some(parallel_cache.clone()), jobs);
+    // Stats from the final serial-cached repetition: one full inference's
+    // traffic against an initially empty cache.
+    CaseResult {
+        name: format!("{}::{}", m.namespace, m.name),
+        serial_uncached_ns,
+        serial_cached_ns,
+        parallel_cached_ns,
+        stats: cache.stats(),
+    }
+}
+
+/// The `paper_tables` workload: the full Section V protocol
+/// ([`evaluate_corpus`]: generation, inference, both baselines, scoring)
+/// over a representative corpus slice, as the table benches run it.
+fn run_tables_case(jobs: usize) -> CaseResult {
+    let names = ["bubble_sort", "guarded_div", "stack_pop", "inverse_sum", "binary_search"];
+    let methods: Vec<SubjectMethod> =
+        subjects::all_subjects().into_iter().filter(|m| names.contains(&m.name)).collect();
+    let timed = |solver_cache: bool, jobs: usize| -> (u128, u64, u64) {
+        let mut best = u128::MAX;
+        let (mut hits, mut misses) = (0, 0);
+        for _ in 0..REPS {
+            let cfg = EvalConfig { jobs, solver_cache, ..EvalConfig::default() };
+            let start = Instant::now();
+            let results = evaluate_corpus(&methods, &cfg);
+            best = best.min(start.elapsed().as_nanos());
+            hits = results.iter().map(|r| r.solver_cache_hits).sum();
+            misses = results.iter().map(|r| r.solver_cache_misses).sum();
+        }
+        (best, hits, misses)
+    };
+    let (serial_uncached_ns, _, _) = timed(false, 1);
+    let (serial_cached_ns, hits, misses) = timed(true, 1);
+    let (parallel_cached_ns, _, _) = timed(true, jobs);
+    CaseResult {
+        name: format!("paper_tables::{}_method_slice", methods.len()),
+        serial_uncached_ns,
+        serial_cached_ns,
+        parallel_cached_ns,
+        stats: CacheStats { hits, misses, evictions: 0, entries: 0 },
+    }
+}
+
+fn ratio(base: u128, improved: u128) -> f64 {
+    if improved == 0 {
+        return 0.0;
+    }
+    base as f64 / improved as f64
+}
+
+fn main() {
+    let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut picks = vec![subjects::motivating::motivating()];
+    let all = subjects::all_subjects();
+    for name in ["bubble_sort", "inverse_sum", "binary_search"] {
+        if let Some(m) = all.iter().find(|m| m.name == name) {
+            picks.push(m.clone());
+        }
+    }
+
+    let mut results: Vec<CaseResult> = picks.iter().map(|m| run_case(m, jobs)).collect();
+    results.push(run_tables_case(jobs));
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"cases\": [");
+    for (i, r) in results.iter().enumerate() {
+        let hit_rate = r.stats.hit_rate();
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"case\": \"{}\",", r.name);
+        let _ = writeln!(
+            json,
+            "      \"serial_uncached_ms\": {:.3},",
+            r.serial_uncached_ns as f64 / 1e6
+        );
+        let _ =
+            writeln!(json, "      \"serial_cached_ms\": {:.3},", r.serial_cached_ns as f64 / 1e6);
+        let _ = writeln!(
+            json,
+            "      \"parallel_cached_ms\": {:.3},",
+            r.parallel_cached_ns as f64 / 1e6
+        );
+        let _ = writeln!(json, "      \"cache_hits\": {},", r.stats.hits);
+        let _ = writeln!(json, "      \"cache_misses\": {},", r.stats.misses);
+        let _ = writeln!(json, "      \"cache_hit_rate\": {hit_rate:.4},");
+        let _ = writeln!(
+            json,
+            "      \"speedup_cache\": {:.3},",
+            ratio(r.serial_uncached_ns, r.serial_cached_ns)
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup_cache_parallel\": {:.3}",
+            ratio(r.serial_uncached_ns, r.parallel_cached_ns)
+        );
+        let _ = write!(json, "    }}");
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_solver_cache.json", &json).expect("write BENCH_solver_cache.json");
+
+    println!("perf smoke: {jobs} thread(s), best of {REPS} reps per configuration");
+    for r in &results {
+        println!(
+            "  {:<44} serial {:>8.2} ms | cached {:>8.2} ms ({:.2}x) | parallel+cached {:>8.2} ms ({:.2}x) | hit rate {:.1}%",
+            r.name,
+            r.serial_uncached_ns as f64 / 1e6,
+            r.serial_cached_ns as f64 / 1e6,
+            ratio(r.serial_uncached_ns, r.serial_cached_ns),
+            r.parallel_cached_ns as f64 / 1e6,
+            ratio(r.serial_uncached_ns, r.parallel_cached_ns),
+            r.stats.hit_rate() * 100.0,
+        );
+    }
+    println!("wrote BENCH_solver_cache.json");
+}

@@ -120,10 +120,9 @@ pub fn materialize(input: &minilang::InputValue, place: Place) -> CVal {
     match input {
         InputValue::Int(v) => CVal::Int(*v, Term::Var(symbolic::SymVar::Int(place_name(&place)))),
         InputValue::Bool(b) => CVal::Bool(*b, Some(place_name(&place))),
-        InputValue::Str(s) => CVal::Str(CStr {
-            val: s.as_ref().map(|cs| Rc::new(cs.clone())),
-            origin: Some(place),
-        }),
+        InputValue::Str(s) => {
+            CVal::Str(CStr { val: s.as_ref().map(|cs| Rc::new(cs.clone())), origin: Some(place) })
+        }
         InputValue::ArrayInt(a) => match a {
             None => CVal::ArrInt(None, Some(place)),
             Some(xs) => {
@@ -132,7 +131,11 @@ pub fn materialize(input: &minilang::InputValue, place: Place) -> CVal {
                     .enumerate()
                     .map(|(k, &v)| (v, Term::int_elem(place.clone(), Term::int(k as i64))))
                     .collect();
-                let obj = ArrIntObj { cells, len_term: Term::len(place.clone()), origin: Some(place.clone()) };
+                let obj = ArrIntObj {
+                    cells,
+                    len_term: Term::len(place.clone()),
+                    origin: Some(place.clone()),
+                };
                 CVal::ArrInt(Some(Rc::new(RefCell::new(obj))), Some(place))
             }
         },
@@ -147,7 +150,11 @@ pub fn materialize(input: &minilang::InputValue, place: Place) -> CVal {
                         origin: Some(Place::elem(place.clone(), k as i64)),
                     })
                     .collect();
-                let obj = ArrStrObj { cells, len_term: Term::len(place.clone()), origin: Some(place.clone()) };
+                let obj = ArrStrObj {
+                    cells,
+                    len_term: Term::len(place.clone()),
+                    origin: Some(place.clone()),
+                };
                 CVal::ArrStr(Some(Rc::new(RefCell::new(obj))), Some(place))
             }
         },
@@ -179,10 +186,8 @@ mod tests {
 
     #[test]
     fn materialize_str_array_elements_have_places() {
-        let v = materialize(
-            &InputValue::ArrayStr(Some(vec![None, Some(vec![97])])),
-            Place::param("s"),
-        );
+        let v =
+            materialize(&InputValue::ArrayStr(Some(vec![None, Some(vec![97])])), Place::param("s"));
         let CVal::ArrStr(Some(obj), _) = &v else { panic!() };
         let obj = obj.borrow();
         assert!(obj.cells[0].val.is_none());

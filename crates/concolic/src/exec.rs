@@ -67,13 +67,8 @@ pub fn run_concolic(
 ) -> ConcolicOutcome {
     let func = program.func(func_name).unwrap_or_else(|| panic!("unknown function {func_name}"));
     assert!(state.conforms_to(func), "state {state} does not conform to {func_name}");
-    let mut m = Exec {
-        program,
-        config,
-        fuel: config.fuel,
-        entries: Vec::new(),
-        visited: HashSet::new(),
-    };
+    let mut m =
+        Exec { program, config, fuel: config.fuel, entries: Vec::new(), visited: HashSet::new() };
     let mut env: HashMap<String, CVal> = HashMap::new();
     for p in &func.params {
         let place = Place::param(p.name.clone());
@@ -272,11 +267,10 @@ impl<'a> Exec<'a> {
     }
 
     fn retag_assert(&mut self, mark: usize, check: CheckId, result: bool, span: Span) {
-        let retagged = self
-            .entries
-            .len()
-            .checked_sub(1)
-            .filter(|&last| last >= mark && self.entries[last].kind == EntryKind::ExplicitBranch);
+        let retagged =
+            self.entries.len().checked_sub(1).filter(|&last| {
+                last >= mark && self.entries[last].kind == EntryKind::ExplicitBranch
+            });
         match retagged {
             Some(last) => self.entries[last].kind = EntryKind::Check(check),
             None => {
@@ -315,7 +309,9 @@ impl<'a> Exec<'a> {
                     self.eval_condition(r, frame)
                 }
             }
-            ExprKind::Binary(op, l, r) if matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) => {
+            ExprKind::Binary(op, l, r)
+                if matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) =>
+            {
                 let (lc, lt) = self.eval(l, frame)?.as_int();
                 let (rc, rt) = self.eval(r, frame)?.as_int();
                 let cmp = match op {
@@ -353,7 +349,14 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn eval_equality(&mut self, e: &Expr, op: BinOp, l: &Expr, r: &Expr, frame: &mut Frame) -> R<bool> {
+    fn eval_equality(
+        &mut self,
+        e: &Expr,
+        op: BinOp,
+        l: &Expr,
+        r: &Expr,
+        frame: &mut Frame,
+    ) -> R<bool> {
         let want_eq = op == BinOp::Eq;
         let lv = self.eval(l, frame)?;
         let rv = self.eval(r, frame)?;
@@ -372,12 +375,12 @@ impl<'a> Exec<'a> {
             }
             _ => {
                 // Reference vs null (the only reference comparison allowed).
-                let (refv, _nullv) = if lv.is_null() && lv.ref_origin().is_none() && rv.ref_origin().is_some()
-                {
-                    (&rv, &lv)
-                } else {
-                    (&lv, &rv)
-                };
+                let (refv, _nullv) =
+                    if lv.is_null() && lv.ref_origin().is_none() && rv.ref_origin().is_some() {
+                        (&rv, &lv)
+                    } else {
+                        (&lv, &rv)
+                    };
                 let is_null = refv.is_null();
                 // The other side is the null literal (typechecked), so the
                 // comparison result is `is_null`.
@@ -400,7 +403,9 @@ impl<'a> Exec<'a> {
         match &e.kind {
             ExprKind::IntLit(v) => Ok(CVal::Int(*v, Term::int(*v))),
             ExprKind::BoolLit(b) => Ok(CVal::Bool(*b, None)),
-            ExprKind::StrLit(s) => Ok(CVal::Str(CStr::literal(s.chars().map(|c| c as i64).collect()))),
+            ExprKind::StrLit(s) => {
+                Ok(CVal::Str(CStr::literal(s.chars().map(|c| c as i64).collect())))
+            }
             ExprKind::Null => Ok(match self.program.ty_of(e.id) {
                 Ty::ArrayInt => CVal::ArrInt(None, None),
                 Ty::ArrayStr => CVal::ArrStr(None, None),
@@ -411,8 +416,7 @@ impl<'a> Exec<'a> {
                 let (c, t) = self.eval(inner, frame)?.as_int();
                 Ok(CVal::Int(c.wrapping_neg(), t.neg()))
             }
-            ExprKind::Unary(UnOp::Not, _)
-            | ExprKind::Binary(BinOp::And | BinOp::Or, ..) => {
+            ExprKind::Unary(UnOp::Not, _) | ExprKind::Binary(BinOp::And | BinOp::Or, ..) => {
                 let c = self.eval_condition(e, frame)?;
                 Ok(CVal::Bool(c, None))
             }
@@ -456,7 +460,14 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn eval_arith(&mut self, e: &Expr, op: BinOp, l: &Expr, r: &Expr, frame: &mut Frame) -> R<CVal> {
+    fn eval_arith(
+        &mut self,
+        e: &Expr,
+        op: BinOp,
+        l: &Expr,
+        r: &Expr,
+        frame: &mut Frame,
+    ) -> R<CVal> {
         let (lc, lt) = self.eval(l, frame)?.as_int();
         let (rc, rt) = self.eval(r, frame)?.as_int();
         match op {
@@ -539,7 +550,12 @@ impl<'a> Exec<'a> {
         if idx_t.as_const().is_none() {
             self.record_branch(Pred::cmp(CmpOp::Ge, idx_t.clone(), Term::int(0)), node, span);
         }
-        self.record_check_pass(Pred::cmp(CmpOp::Lt, idx_t.clone(), len_t.clone()), check, node, span);
+        self.record_check_pass(
+            Pred::cmp(CmpOp::Lt, idx_t.clone(), len_t.clone()),
+            check,
+            node,
+            span,
+        );
         Ok(())
     }
 
@@ -666,7 +682,12 @@ impl<'a> Exec<'a> {
                     let pred = Pred::cmp(CmpOp::Lt, nt, Term::int(0));
                     return Err(self.record_check_fail(pred, check, e.id, e.span));
                 }
-                self.record_check_pass(Pred::cmp(CmpOp::Ge, nt.clone(), Term::int(0)), check, e.id, e.span);
+                self.record_check_pass(
+                    Pred::cmp(CmpOp::Ge, nt.clone(), Term::int(0)),
+                    check,
+                    e.id,
+                    e.span,
+                );
                 if b == Builtin::NewIntArray {
                     let cells = vec![(0i64, Term::int(0)); nc as usize];
                     let obj = ArrIntObj { cells, len_term: nt, origin: None };

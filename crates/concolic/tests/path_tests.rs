@@ -50,15 +50,8 @@ fn table1_path_condition_for_tf1() {
     let preds: Vec<String> = out.path.entries.iter().map(|e| e.pred.to_string()).collect();
     // The paper's Table I sequence (we additionally record benign duplicate
     // checks at the element access; canonical dedup removes them later).
-    let expected_subsequence = [
-        "a > 0",
-        "c > 0",
-        "(b + 1) > 0",
-        "(d + 1) > 0",
-        "s != null",
-        "0 < len(s)",
-        "s[0] == null",
-    ];
+    let expected_subsequence =
+        ["a > 0", "c > 0", "(b + 1) > 0", "(d + 1) > 0", "s != null", "0 < len(s)", "s[0] == null"];
     let mut pos = 0;
     for want in expected_subsequence {
         pos = preds[pos..]
@@ -305,9 +298,6 @@ fn is_space_on_literal_strings_is_concrete() {
         &ConcolicConfig::default(),
     );
     // No symbolic content from the literal: only constant checks remain.
-    assert!(out
-        .path
-        .entries
-        .iter()
-        .all(|e| !matches!(e.kind, EntryKind::ExplicitBranch) || !e.pred.to_string().contains("is_space")));
+    assert!(out.path.entries.iter().all(|e| !matches!(e.kind, EntryKind::ExplicitBranch)
+        || !e.pred.to_string().contains("is_space")));
 }

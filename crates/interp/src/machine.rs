@@ -90,15 +90,13 @@ pub fn run(
 ) -> ExecOutcome {
     let func = program.func(func_name).unwrap_or_else(|| panic!("unknown function {func_name}"));
     assert!(state.conforms_to(func), "state {state} does not conform to {func_name}");
-    let mut m = Machine {
-        program,
-        config,
-        fuel: config.fuel,
-        visited: HashSet::new(),
-    };
+    let mut m = Machine { program, config, fuel: config.fuel, visited: HashSet::new() };
     let mut env: HashMap<String, Value> = HashMap::new();
     for p in &func.params {
-        env.insert(p.name.clone(), Value::from_input(state.get(&p.name).expect("conforming state")));
+        env.insert(
+            p.name.clone(),
+            Value::from_input(state.get(&p.name).expect("conforming state")),
+        );
     }
     let result = match m.exec_block(&func.body, &mut Frame { env, depth: 0 }) {
         Ok(Flow::Return(v)) => ExecResult::Completed(v),
@@ -219,20 +217,18 @@ impl<'a> Machine<'a> {
                     Ok(Flow::Normal)
                 }
             }
-            StmtKind::While { cond, body } => {
-                loop {
-                    self.tick()?;
-                    let c = self.eval(cond, frame)?.as_bool().expect("typechecked cond");
-                    if !c {
-                        return Ok(Flow::Normal);
-                    }
-                    match self.exec_block(body, frame)? {
-                        Flow::Normal | Flow::Continue => {}
-                        Flow::Break => return Ok(Flow::Normal),
-                        Flow::Return(v) => return Ok(Flow::Return(v)),
-                    }
+            StmtKind::While { cond, body } => loop {
+                self.tick()?;
+                let c = self.eval(cond, frame)?.as_bool().expect("typechecked cond");
+                if !c {
+                    return Ok(Flow::Normal);
                 }
-            }
+                match self.exec_block(body, frame)? {
+                    Flow::Normal | Flow::Continue => {}
+                    Flow::Break => return Ok(Flow::Normal),
+                    Flow::Return(v) => return Ok(Flow::Return(v)),
+                }
+            },
             StmtKind::Assert { cond } => {
                 let c = self.eval(cond, frame)?.as_bool().expect("typechecked cond");
                 if c {
@@ -258,7 +254,14 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn store_elem(&mut self, node: NodeId, span: Span, arr: &Value, idx: i64, v: Value) -> Exec<()> {
+    fn store_elem(
+        &mut self,
+        node: NodeId,
+        span: Span,
+        arr: &Value,
+        idx: i64,
+        v: Value,
+    ) -> Exec<()> {
         // `null` literals evaluate to a single polymorphic null (is_null),
         // so null checks match any variant before shape dispatch.
         if arr.is_null() {
@@ -302,7 +305,9 @@ impl<'a> Machine<'a> {
         match &e.kind {
             ExprKind::IntLit(v) => Ok(Value::Int(*v)),
             ExprKind::BoolLit(b) => Ok(Value::Bool(*b)),
-            ExprKind::StrLit(s) => Ok(Value::Str(Some(Rc::new(s.chars().map(|c| c as i64).collect())))),
+            ExprKind::StrLit(s) => {
+                Ok(Value::Str(Some(Rc::new(s.chars().map(|c| c as i64).collect()))))
+            }
             ExprKind::Null => {
                 // The checked placeholder type is Str; any nullable works.
                 match self.program.ty_of(e.id) {
@@ -353,7 +358,14 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn eval_binary(&mut self, e: &Expr, op: BinOp, l: &Expr, r: &Expr, frame: &mut Frame) -> Exec<Value> {
+    fn eval_binary(
+        &mut self,
+        e: &Expr,
+        op: BinOp,
+        l: &Expr,
+        r: &Expr,
+        frame: &mut Frame,
+    ) -> Exec<Value> {
         // Short-circuit boolean operators first.
         match op {
             BinOp::And => {
@@ -384,7 +396,12 @@ impl<'a> Machine<'a> {
                     BinOp::Mul => a.wrapping_mul(b),
                     BinOp::Div | BinOp::Rem => {
                         if b == 0 {
-                            return Err(self.fail(e.id, CheckKind::DivByZero, e.span, "division by zero"));
+                            return Err(self.fail(
+                                e.id,
+                                CheckKind::DivByZero,
+                                e.span,
+                                "division by zero",
+                            ));
                         }
                         if op == BinOp::Div {
                             a.wrapping_div(b)
@@ -455,7 +472,13 @@ impl<'a> Machine<'a> {
         }
     }
 
-    fn eval_builtin(&mut self, e: &Expr, b: Builtin, args: &[Expr], frame: &mut Frame) -> Exec<Value> {
+    fn eval_builtin(
+        &mut self,
+        e: &Expr,
+        b: Builtin,
+        args: &[Expr],
+        frame: &mut Frame,
+    ) -> Exec<Value> {
         match b {
             Builtin::Len => {
                 let v = self.eval(&args[0], frame)?;
@@ -507,7 +530,12 @@ impl<'a> Machine<'a> {
             Builtin::NewIntArray => {
                 let n = self.eval(&args[0], frame)?.as_int().expect("typechecked");
                 if n < 0 {
-                    Err(self.fail(e.id, CheckKind::NegativeSize, e.span, format!("negative size {n}")))
+                    Err(self.fail(
+                        e.id,
+                        CheckKind::NegativeSize,
+                        e.span,
+                        format!("negative size {n}"),
+                    ))
                 } else {
                     Ok(Value::ArrayInt(Some(Rc::new(std::cell::RefCell::new(vec![0; n as usize])))))
                 }
@@ -515,9 +543,17 @@ impl<'a> Machine<'a> {
             Builtin::NewStrArray => {
                 let n = self.eval(&args[0], frame)?.as_int().expect("typechecked");
                 if n < 0 {
-                    Err(self.fail(e.id, CheckKind::NegativeSize, e.span, format!("negative size {n}")))
+                    Err(self.fail(
+                        e.id,
+                        CheckKind::NegativeSize,
+                        e.span,
+                        format!("negative size {n}"),
+                    ))
                 } else {
-                    Ok(Value::ArrayStr(Some(Rc::new(std::cell::RefCell::new(vec![None; n as usize])))))
+                    Ok(Value::ArrayStr(Some(Rc::new(std::cell::RefCell::new(vec![
+                        None;
+                        n as usize
+                    ])))))
                 }
             }
             Builtin::Abs => {
@@ -767,12 +803,14 @@ mod tests {
     #[test]
     fn char_at_and_strlen() {
         let src = "fn f(s str) -> int { return char_at(s, strlen(s) - 1); }";
-        let out = run_src(src, "f", MethodEntryState::from_pairs([("s", InputValue::str_from("xyz"))]));
+        let out =
+            run_src(src, "f", MethodEntryState::from_pairs([("s", InputValue::str_from("xyz"))]));
         match out.result {
             ExecResult::Completed(Value::Int(v)) => assert_eq!(v, 'z' as i64),
             other => panic!("{other:?}"),
         }
-        let empty = run_src(src, "f", MethodEntryState::from_pairs([("s", InputValue::str_from(""))]));
+        let empty =
+            run_src(src, "f", MethodEntryState::from_pairs([("s", InputValue::str_from(""))]));
         match empty.result {
             ExecResult::Failed(e) => assert_eq!(e.check.kind, CheckKind::IndexOutOfRange),
             other => panic!("{other:?}"),

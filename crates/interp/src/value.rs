@@ -76,8 +76,10 @@ impl fmt::Display for Value {
             Value::Bool(b) => write!(f, "{b}"),
             Value::Str(None) | Value::ArrayInt(None) | Value::ArrayStr(None) => write!(f, "null"),
             Value::Str(Some(cs)) => {
-                let text: String =
-                    cs.iter().map(|&c| char::from_u32(c.max(0) as u32).unwrap_or('\u{FFFD}')).collect();
+                let text: String = cs
+                    .iter()
+                    .map(|&c| char::from_u32(c.max(0) as u32).unwrap_or('\u{FFFD}'))
+                    .collect();
                 write!(f, "{text:?}")
             }
             Value::ArrayInt(Some(a)) => write!(f, "{:?}", a.borrow()),

@@ -89,10 +89,7 @@ fn arrays_alias_through_call_boundaries() {
             poke(a);
             return a[0];
         }";
-    assert_eq!(
-        expect_int(exec(src, vec![("a", InputValue::ArrayInt(Some(vec![1])))])),
-        99
-    );
+    assert_eq!(expect_int(exec(src, vec![("a", InputValue::ArrayInt(Some(vec![1])))])), 99);
 }
 
 #[test]
@@ -109,10 +106,7 @@ fn int_arguments_are_by_value() {
 #[test]
 fn wrapping_arithmetic_matches_rust() {
     let src = "fn f(x int) -> int { return x + 1; }";
-    assert_eq!(
-        expect_int(exec(src, vec![("x", InputValue::Int(i64::MAX))])),
-        i64::MIN
-    );
+    assert_eq!(expect_int(exec(src, vec![("x", InputValue::Int(i64::MAX))])), i64::MIN);
 }
 
 #[test]

@@ -190,9 +190,15 @@ pub enum ExprKind {
     /// `a[i]` — implicit null + bounds checks at this node.
     Index(Box<Expr>, Box<Expr>),
     /// Call of a user function (checked non-builtin name).
-    Call { name: String, args: Vec<Expr> },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// Call of a [`Builtin`], resolved at parse time.
-    BuiltinCall { builtin: Builtin, args: Vec<Expr> },
+    BuiltinCall {
+        builtin: Builtin,
+        args: Vec<Expr>,
+    },
 }
 
 /// Assignment left-hand sides.
@@ -217,18 +223,40 @@ pub struct Stmt {
 /// step, handled by the desugaring's loop structure).
 #[derive(Debug, Clone, PartialEq)]
 pub enum StmtKind {
-    Let { name: String, ty: Option<Ty>, init: Expr },
-    Assign { target: AssignTarget, value: Expr },
-    If { cond: Expr, then_blk: Block, else_blk: Option<Block> },
-    While { cond: Expr, body: Block },
-    Assert { cond: Expr },
-    Return { value: Option<Expr> },
+    Let {
+        name: String,
+        ty: Option<Ty>,
+        init: Expr,
+    },
+    Assign {
+        target: AssignTarget,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then_blk: Block,
+        else_blk: Option<Block>,
+    },
+    While {
+        cond: Expr,
+        body: Block,
+    },
+    Assert {
+        cond: Expr,
+    },
+    Return {
+        value: Option<Expr>,
+    },
     Break,
     Continue,
-    Expr { expr: Expr },
+    Expr {
+        expr: Expr,
+    },
     /// A bare block, introduced by `for`-desugaring to scope the loop
     /// variable. Executing it has no control-flow effect of its own.
-    BlockStmt { block: Block },
+    BlockStmt {
+        block: Block,
+    },
 }
 
 /// A `{ ... }` sequence of statements; the unit of basic-block coverage.

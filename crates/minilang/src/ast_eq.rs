@@ -32,10 +32,14 @@ pub fn expr_eq(a: &Expr, b: &Expr) -> bool {
 /// Structural equality of statements.
 pub fn stmt_eq(a: &Stmt, b: &Stmt) -> bool {
     match (&a.kind, &b.kind) {
-        (StmtKind::Let { name: n1, ty: t1, init: i1 }, StmtKind::Let { name: n2, ty: t2, init: i2 }) => {
-            n1 == n2 && t1 == t2 && expr_eq(i1, i2)
-        }
-        (StmtKind::Assign { target: t1, value: v1 }, StmtKind::Assign { target: t2, value: v2 }) => {
+        (
+            StmtKind::Let { name: n1, ty: t1, init: i1 },
+            StmtKind::Let { name: n2, ty: t2, init: i2 },
+        ) => n1 == n2 && t1 == t2 && expr_eq(i1, i2),
+        (
+            StmtKind::Assign { target: t1, value: v1 },
+            StmtKind::Assign { target: t2, value: v2 },
+        ) => {
             let targets = match (t1, t2) {
                 (AssignTarget::Var(x), AssignTarget::Var(y)) => x == y,
                 (

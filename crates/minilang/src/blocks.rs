@@ -38,7 +38,10 @@ fn collect(b: &Block, out: &mut Vec<NodeId>) {
 /// Block coverage of one function execution set: `visited / total`, in
 /// percent. Returns 100.0 for functions with no blocks (impossible: the body
 /// always counts).
-pub fn coverage_percent(total_blocks: &[NodeId], visited: &std::collections::HashSet<NodeId>) -> f64 {
+pub fn coverage_percent(
+    total_blocks: &[NodeId],
+    visited: &std::collections::HashSet<NodeId>,
+) -> f64 {
     if total_blocks.is_empty() {
         return 100.0;
     }

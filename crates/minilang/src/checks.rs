@@ -179,7 +179,11 @@ impl<'a> Walker<'a> {
 
     fn expr(&mut self, e: &Expr) {
         match &e.kind {
-            ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::StrLit(_) | ExprKind::Null | ExprKind::Var(_) => {}
+            ExprKind::IntLit(_)
+            | ExprKind::BoolLit(_)
+            | ExprKind::StrLit(_)
+            | ExprKind::Null
+            | ExprKind::Var(_) => {}
             ExprKind::Unary(_, inner) => self.expr(inner),
             ExprKind::Binary(op, l, r) => {
                 self.expr(l);
@@ -247,7 +251,8 @@ mod tests {
         let sites = sites_of(src, "example");
         // len(s): NullDeref inside loop condition; s[i]: NullDeref+Bounds
         // inside the loop; strlen(s[i]): NullDeref inside the loop.
-        let kinds: Vec<(CheckKind, LoopPos)> = sites.iter().map(|s| (s.id.kind, s.loop_pos)).collect();
+        let kinds: Vec<(CheckKind, LoopPos)> =
+            sites.iter().map(|s| (s.id.kind, s.loop_pos)).collect();
         assert!(kinds.contains(&(CheckKind::NullDeref, LoopPos::InsideLoop)));
         assert!(kinds.contains(&(CheckKind::IndexOutOfRange, LoopPos::InsideLoop)));
         assert_eq!(sites.iter().filter(|s| s.id.kind == CheckKind::NullDeref).count(), 3);

@@ -33,7 +33,10 @@ pub mod token;
 pub mod tyck;
 pub mod value;
 
-pub use ast::{AssignTarget, BinOp, Block, Builtin, Expr, ExprKind, Func, Param, Program, Stmt, StmtKind, Ty, UnOp};
+pub use ast::{
+    AssignTarget, BinOp, Block, Builtin, Expr, ExprKind, Func, Param, Program, Stmt, StmtKind, Ty,
+    UnOp,
+};
 pub use blocks::{block_ids, coverage_percent};
 pub use checks::{check_sites, program_check_sites, CheckId, CheckKind, CheckSite, LoopPos};
 pub use parser::{parse_expr, parse_program, ParseError};

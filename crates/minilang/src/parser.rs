@@ -44,12 +44,18 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     while p.peek() != &Tok::Eof {
         let f = p.func()?;
         if funcs.iter().any(|g| g.name == f.name) {
-            return Err(ParseError { message: format!("duplicate function `{}`", f.name), span: f.span });
+            return Err(ParseError {
+                message: format!("duplicate function `{}`", f.name),
+                span: f.span,
+            });
         }
         funcs.push(f);
     }
     if funcs.is_empty() {
-        return Err(ParseError { message: "expected at least one function".into(), span: Span::new(1, 1) });
+        return Err(ParseError {
+            message: "expected at least one function".into(),
+            span: Span::new(1, 1),
+        });
     }
     let count = p.ids.count();
     Ok(Program::new(funcs, count))
@@ -187,7 +193,10 @@ impl Parser {
                 let inner = match self.peek() {
                     Tok::TyInt => Ty::ArrayInt,
                     Tok::TyStr => Ty::ArrayStr,
-                    other => return self.err(format!("expected `int` or `str` in array type, found `{other}`")),
+                    other => {
+                        return self
+                            .err(format!("expected `int` or `str` in array type, found `{other}`"))
+                    }
                 };
                 self.bump();
                 self.expect(Tok::RBracket)?;
@@ -269,10 +278,17 @@ impl Parser {
                 let id = self.fresh();
                 self.bump();
                 match self.loops.last() {
-                    None => return Err(ParseError { message: "`continue` outside of loop".into(), span }),
+                    None => {
+                        return Err(ParseError {
+                            message: "`continue` outside of loop".into(),
+                            span,
+                        })
+                    }
                     Some(LoopKind::For) => {
                         return Err(ParseError {
-                            message: "`continue` directly inside `for` is not supported (use `while`)".into(),
+                            message:
+                                "`continue` directly inside `for` is not supported (use `while`)"
+                                    .into(),
                             span,
                         })
                     }
@@ -385,7 +401,9 @@ impl Parser {
     fn expr_to_target(&self, e: Expr) -> Result<AssignTarget, ParseError> {
         match e.kind {
             ExprKind::Var(name) => Ok(AssignTarget::Var(name)),
-            ExprKind::Index(array, index) => Ok(AssignTarget::Index { array: *array, index: *index }),
+            ExprKind::Index(array, index) => {
+                Ok(AssignTarget::Index { array: *array, index: *index })
+            }
             _ => Err(ParseError { message: "invalid assignment target".into(), span: e.span }),
         }
     }
@@ -403,7 +421,8 @@ impl Parser {
             self.bump();
             let rhs = self.and_expr()?;
             let id = self.fresh();
-            lhs = Expr { kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), id, span };
+            lhs =
+                Expr { kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)), id, span };
         }
         Ok(lhs)
     }
@@ -415,7 +434,8 @@ impl Parser {
             self.bump();
             let rhs = self.cmp_expr()?;
             let id = self.fresh();
-            lhs = Expr { kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), id, span };
+            lhs =
+                Expr { kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)), id, span };
         }
         Ok(lhs)
     }
@@ -637,7 +657,8 @@ mod tests {
 
     #[test]
     fn continue_in_while_inside_for_allowed() {
-        let src = "fn f(n int) { for (let i = 0; i < n; i = i + 1) { while (i > 2) { continue; } } }";
+        let src =
+            "fn f(n int) { for (let i = 0; i < n; i = i + 1) { while (i > 2) { continue; } } }";
         // NOTE: infinite at runtime, but syntactically legal.
         assert!(parse_program(src).is_ok());
     }
@@ -674,14 +695,19 @@ mod tests {
     #[test]
     fn user_call_parses() {
         let e = parse_expr("helper(1, x)").unwrap();
-        assert!(matches!(e.kind, ExprKind::Call { ref name, ref args } if name == "helper" && args.len() == 2));
+        assert!(
+            matches!(e.kind, ExprKind::Call { ref name, ref args } if name == "helper" && args.len() == 2)
+        );
     }
 
     #[test]
     fn index_assignment() {
         let p = parse_ok("fn f(a [int]) { a[0] = 1; }");
         let f = p.func("f").unwrap();
-        assert!(matches!(f.body.stmts[0].kind, StmtKind::Assign { target: AssignTarget::Index { .. }, .. }));
+        assert!(matches!(
+            f.body.stmts[0].kind,
+            StmtKind::Assign { target: AssignTarget::Index { .. }, .. }
+        ));
     }
 
     #[test]

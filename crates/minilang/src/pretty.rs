@@ -69,7 +69,9 @@ fn stmt_to_string_into(s: &Stmt, level: usize, out: &mut String) {
         }
         StmtKind::Assign { target, value } => {
             match target {
-                AssignTarget::Var(name) => write!(out, "{name} = {};", expr_to_string(value)).unwrap(),
+                AssignTarget::Var(name) => {
+                    write!(out, "{name} = {};", expr_to_string(value)).unwrap()
+                }
                 AssignTarget::Index { array, index } => write!(
                     out,
                     "{}[{}] = {};",
@@ -180,10 +182,8 @@ fn expr_prec(e: &Expr, min: u8, out: &mut String) {
             }
             // Comparisons are non-associative in the grammar: a nested
             // comparison on the LEFT also needs parentheses.
-            let nonassoc = matches!(
-                op,
-                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
-            );
+            let nonassoc =
+                matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne);
             expr_prec(l, if nonassoc { p + 1 } else { p }, out);
             write!(out, " {} ", op.symbol()).unwrap();
             // Right operand at p+1: binaries render left-associatively.

@@ -164,14 +164,20 @@ impl<'a> Checker<'a> {
                         if !got.matches(*declared) {
                             return self.err(
                                 s.span,
-                                format!("let `{name}`: declared {declared} but initializer is {}", got.describe()),
+                                format!(
+                                    "let `{name}`: declared {declared} but initializer is {}",
+                                    got.describe()
+                                ),
                             );
                         }
                         *declared
                     }
                     (None, CheckedTy::Known(t)) => t,
                     (None, CheckedTy::Null) => {
-                        return self.err(s.span, format!("let `{name}` = null requires a type annotation"));
+                        return self.err(
+                            s.span,
+                            format!("let `{name}` = null requires a type annotation"),
+                        );
                     }
                 };
                 if var_ty == Ty::Void {
@@ -187,12 +193,18 @@ impl<'a> Checker<'a> {
                 match target {
                     AssignTarget::Var(name) => {
                         let Some(var_ty) = scopes.lookup(name) else {
-                            return self.err(s.span, format!("assignment to undeclared variable `{name}`"));
+                            return self.err(
+                                s.span,
+                                format!("assignment to undeclared variable `{name}`"),
+                            );
                         };
                         if !value_ty.matches(var_ty) {
                             return self.err(
                                 s.span,
-                                format!("cannot assign {} to `{name}: {var_ty}`", value_ty.describe()),
+                                format!(
+                                    "cannot assign {} to `{name}: {var_ty}`",
+                                    value_ty.describe()
+                                ),
                             );
                         }
                         Ok(())
@@ -212,7 +224,10 @@ impl<'a> Checker<'a> {
                         if !value_ty.matches(elem) {
                             return self.err(
                                 s.span,
-                                format!("cannot store {} into element of {arr_ty}", value_ty.describe()),
+                                format!(
+                                    "cannot store {} into element of {arr_ty}",
+                                    value_ty.describe()
+                                ),
                             );
                         }
                         Ok(())
@@ -241,7 +256,13 @@ impl<'a> Checker<'a> {
                     if got.matches(want) {
                         Ok(())
                     } else {
-                        self.err(s.span, format!("return type mismatch: expected {want}, found {}", got.describe()))
+                        self.err(
+                            s.span,
+                            format!(
+                                "return type mismatch: expected {want}, found {}",
+                                got.describe()
+                            ),
+                        )
                     }
                 }
             },
@@ -289,8 +310,12 @@ impl<'a> Checker<'a> {
                 match op {
                     UnOp::Neg if it.matches(Ty::Int) => CheckedTy::Known(Ty::Int),
                     UnOp::Not if it.matches(Ty::Bool) => CheckedTy::Known(Ty::Bool),
-                    UnOp::Neg => return self.err(e.span, format!("cannot negate {}", it.describe())),
-                    UnOp::Not => return self.err(e.span, format!("cannot apply `!` to {}", it.describe())),
+                    UnOp::Neg => {
+                        return self.err(e.span, format!("cannot negate {}", it.describe()))
+                    }
+                    UnOp::Not => {
+                        return self.err(e.span, format!("cannot apply `!` to {}", it.describe()))
+                    }
                 }
             }
             ExprKind::Binary(op, l, r) => {
@@ -305,7 +330,8 @@ impl<'a> Checker<'a> {
                     return self.err(e.span, "cannot index null");
                 };
                 let Some(elem) = at.elem() else {
-                    return self.err(e.span, format!("cannot index into {at} (use char_at for str)"));
+                    return self
+                        .err(e.span, format!("cannot index into {at} (use char_at for str)"));
                 };
                 if !it.matches(Ty::Int) {
                     return self.err(e.span, "array index must be int");
@@ -326,14 +352,24 @@ impl<'a> Checker<'a> {
                 if callee.params.len() != args.len() {
                     return self.err(
                         e.span,
-                        format!("`{name}` expects {} argument(s), got {}", callee.params.len(), args.len()),
+                        format!(
+                            "`{name}` expects {} argument(s), got {}",
+                            callee.params.len(),
+                            args.len()
+                        ),
                     );
                 }
                 let want: Vec<Ty> = callee.params.iter().map(|p| p.ty).collect();
                 for (a, w) in args.iter().zip(want) {
                     let got = self.check_expr(a, scopes)?;
                     if !got.matches(w) {
-                        return self.err(a.span, format!("argument type mismatch: expected {w}, found {}", got.describe()));
+                        return self.err(
+                            a.span,
+                            format!(
+                                "argument type mismatch: expected {w}, found {}",
+                                got.describe()
+                            ),
+                        );
                     }
                 }
                 CheckedTy::Known(callee.ret)
@@ -342,9 +378,18 @@ impl<'a> Checker<'a> {
         self.record(e, t)
     }
 
-    fn check_binary(&self, span: Span, op: BinOp, lt: CheckedTy, rt: CheckedTy) -> Result<CheckedTy, TypeError> {
+    fn check_binary(
+        &self,
+        span: Span,
+        op: BinOp,
+        lt: CheckedTy,
+        rt: CheckedTy,
+    ) -> Result<CheckedTy, TypeError> {
         use BinOp::*;
-        let both_int = lt.matches(Ty::Int) && rt.matches(Ty::Int) && lt != CheckedTy::Null && rt != CheckedTy::Null;
+        let both_int = lt.matches(Ty::Int)
+            && rt.matches(Ty::Int)
+            && lt != CheckedTy::Null
+            && rt != CheckedTy::Null;
         match op {
             Add | Sub | Mul | Div | Rem => {
                 if both_int {
@@ -361,7 +406,11 @@ impl<'a> Checker<'a> {
                 }
             }
             And | Or => {
-                if lt.matches(Ty::Bool) && rt.matches(Ty::Bool) && lt != CheckedTy::Null && rt != CheckedTy::Null {
+                if lt.matches(Ty::Bool)
+                    && rt.matches(Ty::Bool)
+                    && lt != CheckedTy::Null
+                    && rt != CheckedTy::Null
+                {
                     Ok(CheckedTy::Known(Ty::Bool))
                 } else {
                     self.err(span, format!("`{}` requires bool operands", op.symbol()))
@@ -372,7 +421,8 @@ impl<'a> Checker<'a> {
                     (CheckedTy::Known(Ty::Int), CheckedTy::Known(Ty::Int)) => true,
                     (CheckedTy::Known(Ty::Bool), CheckedTy::Known(Ty::Bool)) => true,
                     // Reference comparisons exist only against `null`.
-                    (CheckedTy::Known(t), CheckedTy::Null) | (CheckedTy::Null, CheckedTy::Known(t)) => t.is_nullable(),
+                    (CheckedTy::Known(t), CheckedTy::Null)
+                    | (CheckedTy::Null, CheckedTy::Known(t)) => t.is_nullable(),
                     (CheckedTy::Null, CheckedTy::Null) => true,
                     _ => false,
                 };
@@ -393,12 +443,20 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn check_builtin(&self, span: Span, b: Builtin, args: &[CheckedTy]) -> Result<CheckedTy, TypeError> {
+    fn check_builtin(
+        &self,
+        span: Span,
+        b: Builtin,
+        args: &[CheckedTy],
+    ) -> Result<CheckedTy, TypeError> {
         let arity = |n: usize| -> Result<(), TypeError> {
             if args.len() == n {
                 Ok(())
             } else {
-                Err(TypeError { message: format!("`{}` expects {n} argument(s), got {}", b.name(), args.len()), span })
+                Err(TypeError {
+                    message: format!("`{}` expects {n} argument(s), got {}", b.name(), args.len()),
+                    span,
+                })
             }
         };
         match b {
@@ -406,7 +464,8 @@ impl<'a> Checker<'a> {
                 arity(1)?;
                 match args[0] {
                     CheckedTy::Known(t) if t.is_array() => Ok(CheckedTy::Known(Ty::Int)),
-                    other => self.err(span, format!("`len` expects an array, found {}", other.describe())),
+                    other => self
+                        .err(span, format!("`len` expects an array, found {}", other.describe())),
                 }
             }
             Builtin::StrLen => {
@@ -419,7 +478,10 @@ impl<'a> Checker<'a> {
             }
             Builtin::CharAt => {
                 arity(2)?;
-                if args[0].matches(Ty::Str) && args[1].matches(Ty::Int) && args[1] != CheckedTy::Null {
+                if args[0].matches(Ty::Str)
+                    && args[1].matches(Ty::Int)
+                    && args[1] != CheckedTy::Null
+                {
                     Ok(CheckedTy::Known(Ty::Int))
                 } else {
                     self.err(span, "`char_at` expects (str, int)")

@@ -130,7 +130,9 @@ impl MethodEntryState {
 
     /// The all-defaults seed state for a function's signature.
     pub fn seed_for(func: &Func) -> Self {
-        Self::from_pairs(func.params.iter().map(|p| (p.name.clone(), InputValue::default_for(p.ty))))
+        Self::from_pairs(
+            func.params.iter().map(|p| (p.name.clone(), InputValue::default_for(p.ty))),
+        )
     }
 
     /// Sets (or replaces) one assignment.

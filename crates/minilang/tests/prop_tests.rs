@@ -35,8 +35,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             Just(BinOp::Or),
         ];
         prop_oneof![
-            (bin, inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| mk(ExprKind::Binary(op, Box::new(l), Box::new(r)))),
+            (bin, inner.clone(), inner.clone()).prop_map(|(op, l, r)| mk(ExprKind::Binary(
+                op,
+                Box::new(l),
+                Box::new(r)
+            ))),
             (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone())
                 .prop_map(|(op, e)| mk(ExprKind::Unary(op, Box::new(e)))),
             (inner.clone(), inner.clone())

@@ -30,7 +30,10 @@ pub struct TemplateMatch {
 }
 
 /// A generalization template over reduced failing path conditions.
-pub trait Template {
+///
+/// `Send + Sync` so a template registry can be shared by the parallel
+/// inference driver's worker threads (templates are stateless matchers).
+pub trait Template: Send + Sync {
     /// A short name for diagnostics.
     fn name(&self) -> &'static str;
 
@@ -100,7 +103,8 @@ pub fn generalize_path(
         // of previous formulas are only used for ordering, which stays stable
         // enough for display purposes.
     }
-    let mut parts: Vec<Formula> = work.entries.iter().map(|e| Formula::pred(e.pred.clone())).collect();
+    let mut parts: Vec<Formula> =
+        work.entries.iter().map(|e| Formula::pred(e.pred.clone())).collect();
     for (_, f) in formulas {
         parts.push(f);
     }
@@ -140,7 +144,9 @@ pub fn index_occurrences(pred: &Pred) -> Vec<(Place, i64)> {
                 walk_term(a, push);
                 walk_term(b, push);
             }
-            Term::Neg(a) | Term::Mul(_, a) | Term::Div(a, _) | Term::Rem(a, _) => walk_term(a, push),
+            Term::Neg(a) | Term::Mul(_, a) | Term::Div(a, _) | Term::Rem(a, _) => {
+                walk_term(a, push)
+            }
         }
     }
     fn walk_var(v: &SymVar, push: &mut dyn FnMut(&Place, i64)) {
@@ -215,8 +221,12 @@ pub fn abstract_index(pred: &Pred, place: &Place, k: i64, var: &str) -> Option<P
 fn map_pred(pred: &Pred, f: &mut dyn FnMut(&Place, &Term) -> Option<Term>) -> Pred {
     match pred {
         Pred::Cmp(op, a, b) => Pred::Cmp(*op, map_term(a, f), map_term(b, f)),
-        Pred::Null { place, positive } => Pred::Null { place: map_place(place, f), positive: *positive },
-        Pred::IsSpace { arg, positive } => Pred::IsSpace { arg: map_term(arg, f), positive: *positive },
+        Pred::Null { place, positive } => {
+            Pred::Null { place: map_place(place, f), positive: *positive }
+        }
+        Pred::IsSpace { arg, positive } => {
+            Pred::IsSpace { arg: map_term(arg, f), positive: *positive }
+        }
         Pred::BoolVar { .. } | Pred::Const(_) => pred.clone(),
     }
 }
@@ -272,12 +282,7 @@ fn canons(path: &ReducedPath) -> Vec<CanonPred> {
 /// Indices of entries canonically equal to `pred`.
 fn find_all(canon_list: &[CanonPred], pred: &Pred) -> Vec<usize> {
     let c = canon_pred(pred);
-    canon_list
-        .iter()
-        .enumerate()
-        .filter(|(_, x)| **x == c)
-        .map(|(k, _)| k)
-        .collect()
+    canon_list.iter().enumerate().filter(|(_, x)| **x == c).map(|(k, _)| k).collect()
 }
 
 /// The domain predicate `k < len(place)`.
@@ -543,9 +548,8 @@ mod tests {
         // All three elements are zero and the loop exhausted the array:
         // a[0]==0 ∧ 1<len ∧ a[1]==0 ∧ 2<len ∧ a[2]==0 ∧ 3>=len → ∀.
         let a = Place::param("a");
-        let elem_zero = |k: i64| {
-            Pred::cmp(CmpOp::Eq, Term::int_elem(a.clone(), Term::int(k)), Term::int(0))
-        };
+        let elem_zero =
+            |k: i64| Pred::cmp(CmpOp::Eq, Term::int_elem(a.clone(), Term::int(k)), Term::int(0));
         let entries = vec![
             check_entry(Pred::not_null(a.clone()), 1),
             entry(bound_pred(&a, 0), 2),
@@ -561,19 +565,15 @@ mod tests {
             MethodEntryState::from_pairs([("a", InputValue::ArrayInt(Some(vec![0, 0, 0])))]);
         let path = ReducedPath { entries, state };
         let m = UniversalTemplate.instantiate(&path).expect("matches");
-        assert_eq!(
-            m.formula.to_string(),
-            "forall i. (0 <= i && i < len(a) ==> a[i] == 0)"
-        );
+        assert_eq!(m.formula.to_string(), "forall i. (0 <= i && i < len(a) ==> a[i] == 0)");
         assert!(m.subsumed.len() >= 7);
     }
 
     #[test]
     fn step_template_matches_even_indices() {
         let a = Place::param("a");
-        let elem_zero = |k: i64| {
-            Pred::cmp(CmpOp::Eq, Term::int_elem(a.clone(), Term::int(k)), Term::int(0))
-        };
+        let elem_zero =
+            |k: i64| Pred::cmp(CmpOp::Eq, Term::int_elem(a.clone(), Term::int(k)), Term::int(0));
         let entries = vec![
             check_entry(Pred::not_null(a.clone()), 1),
             entry(elem_zero(0), 3),
@@ -616,10 +616,8 @@ mod tests {
     fn char_families_generalize_for_reverse_words_shape() {
         // All characters whitespace, string exhausted → universal over chars.
         let v = Place::param("value");
-        let ws = |k: i64| Pred::IsSpace {
-            arg: Term::char_at(v.clone(), Term::int(k)),
-            positive: true,
-        };
+        let ws =
+            |k: i64| Pred::IsSpace { arg: Term::char_at(v.clone(), Term::int(k)), positive: true };
         let entries = vec![
             check_entry(Pred::not_null(v.clone()), 1),
             entry(ws(0), 2),

@@ -17,6 +17,7 @@
 
 pub mod generalize;
 pub mod metrics;
+pub mod par;
 pub mod pipeline;
 pub mod precondition;
 pub mod pruning;
@@ -26,6 +27,7 @@ pub use generalize::{
     ExistentialTemplate, GeneralizedPath, StepTemplate, Template, TemplateMatch, UniversalTemplate,
 };
 pub use metrics::{evaluate_precondition, random_probe, validates, PrecondQuality, ProbeConfig};
-pub use pipeline::{infer_precondition, Inference, PreInferConfig};
+pub use par::map_parallel;
+pub use pipeline::{infer_all_preconditions, infer_precondition, Inference, PreInferConfig};
 pub use precondition::{assemble, InferredPrecondition};
 pub use pruning::{prune_failing_paths, PruneConfig, PruneStats, ReducedPath};

@@ -122,9 +122,9 @@ pub fn random_probe(func: &Func, rng: &mut StdRng) -> MethodEntryState {
 
 fn random_probe_value(ty: Ty, rng: &mut StdRng) -> InputValue {
     match ty {
-        Ty::Int => InputValue::Int(*[-7, -2, -1, 0, 1, 2, 3, 5, 11]
-            .get(rng.gen_range(0..9))
-            .expect("in range")),
+        Ty::Int => InputValue::Int(
+            *[-7, -2, -1, 0, 1, 2, 3, 5, 11].get(rng.gen_range(0..9usize)).expect("in range"),
+        ),
         Ty::Bool => InputValue::Bool(rng.gen_bool(0.5)),
         Ty::Str => match rng.gen_range(0..5) {
             0 => InputValue::Str(None),
@@ -136,9 +136,7 @@ fn random_probe_value(ty: Ty, rng: &mut StdRng) -> InputValue {
             1 => InputValue::ArrayInt(Some(vec![])),
             _ => {
                 let len = rng.gen_range(1..=4);
-                InputValue::ArrayInt(Some(
-                    (0..len).map(|_| rng.gen_range(-3..=3)).collect(),
-                ))
+                InputValue::ArrayInt(Some((0..len).map(|_| rng.gen_range(-3..=3)).collect()))
             }
         },
         Ty::ArrayStr => match rng.gen_range(0..5) {
@@ -159,9 +157,7 @@ fn random_probe_value(ty: Ty, rng: &mut StdRng) -> InputValue {
 
 fn probe_chars(rng: &mut StdRng) -> Vec<i64> {
     let len = rng.gen_range(1..=4);
-    (0..len)
-        .map(|_| if rng.gen_bool(0.4) { 32 } else { rng.gen_range(97..=99) })
-        .collect()
+    (0..len).map(|_| if rng.gen_bool(0.4) { 32 } else { rng.gen_range(97..=99) }).collect()
 }
 
 #[cfg(test)]
@@ -180,18 +176,39 @@ mod tests {
         let pass_refs: Vec<&MethodEntryState> = passing.iter().collect();
         let fail_refs: Vec<&MethodEntryState> = failing.iter().collect();
         let truth = parse_spec("x != 3", &func).unwrap();
-        let q = evaluate_precondition(&truth, &func, &pass_refs, &fail_refs, Some(&truth), &ProbeConfig::default());
+        let q = evaluate_precondition(
+            &truth,
+            &func,
+            &pass_refs,
+            &fail_refs,
+            Some(&truth),
+            &ProbeConfig::default(),
+        );
         assert!(q.sufficient && q.necessary);
         assert_eq!(q.correct, Some(true));
         assert_eq!(q.relative_complexity, Some(0.0));
         // A too-strong precondition: sufficient but not necessary.
         let strong = parse_spec("x > 10", &func).unwrap();
-        let q = evaluate_precondition(&strong, &func, &pass_refs, &fail_refs, Some(&truth), &ProbeConfig::default());
+        let q = evaluate_precondition(
+            &strong,
+            &func,
+            &pass_refs,
+            &fail_refs,
+            Some(&truth),
+            &ProbeConfig::default(),
+        );
         assert!(q.sufficient && !q.necessary);
         assert_eq!(q.correct, Some(false));
         // A too-weak precondition: necessary but not sufficient.
         let weak = parse_spec("true", &func).unwrap();
-        let q = evaluate_precondition(&weak, &func, &pass_refs, &fail_refs, Some(&truth), &ProbeConfig::default());
+        let q = evaluate_precondition(
+            &weak,
+            &func,
+            &pass_refs,
+            &fail_refs,
+            Some(&truth),
+            &ProbeConfig::default(),
+        );
         assert!(!q.sufficient && q.necessary);
     }
 
@@ -208,7 +225,14 @@ mod tests {
         let fail_refs: Vec<&MethodEntryState> = failing.iter().collect();
         let truth = parse_spec("x >= 0", &func).unwrap();
         let candidate = parse_spec("x != -1", &func).unwrap();
-        let q = evaluate_precondition(&candidate, &func, &pass_refs, &fail_refs, Some(&truth), &ProbeConfig::default());
+        let q = evaluate_precondition(
+            &candidate,
+            &func,
+            &pass_refs,
+            &fail_refs,
+            Some(&truth),
+            &ProbeConfig::default(),
+        );
         assert!(q.both(), "agrees on the tiny suite");
         assert_eq!(q.correct, Some(false), "probes expose the difference");
     }
@@ -224,12 +248,10 @@ mod tests {
         )
         .unwrap();
         let func = tp.func("f").unwrap().clone();
-        let truth = parse_spec(
-            "s == null || !(exists i. i < len(s) && s[i] == null)",
-            &func,
-        )
-        .unwrap();
-        let q = evaluate_precondition(&truth, &func, &[], &[], Some(&truth), &ProbeConfig::default());
+        let truth =
+            parse_spec("s == null || !(exists i. i < len(s) && s[i] == null)", &func).unwrap();
+        let q =
+            evaluate_precondition(&truth, &func, &[], &[], Some(&truth), &ProbeConfig::default());
         assert_eq!(q.correct, Some(true));
     }
 }

@@ -1,0 +1,72 @@
+//! A minimal scoped-thread fan-out used by the parallel inference driver.
+//!
+//! The standard library only (no rayon): workers claim items through an
+//! atomic index and write each result into its input's slot, so the output
+//! order equals the input order no matter which worker finishes first.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Maps `f` over `items` on up to `workers` scoped threads, returning the
+/// results in input order. With `workers <= 1` (or one item) the map runs
+/// on the calling thread. `f` must be freely callable from any worker;
+/// item-to-worker assignment is scheduling-dependent, so any observable
+/// output of `f` beyond its return value must not depend on which worker
+/// runs it.
+pub fn map_parallel<T: Sync, R: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().expect("result slot") = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("result slot").expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = map_parallel(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<usize> = (0..37).collect();
+        let serial = map_parallel(&items, 1, |&x| x * x + 1);
+        let parallel = map_parallel(&items, 5, |&x| x * x + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = map_parallel(&[] as &[i32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = map_parallel(&[1, 2], 16, |&x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+}

@@ -72,12 +72,34 @@ pub fn infer_precondition(
     let (reduced, prune_stats) =
         prune_failing_paths(program, func_name, acl, &passing, &failing, &cfg.prune);
     let passing_states: Vec<&MethodEntryState> = passing.iter().map(|r| &r.state).collect();
-    let disjuncts: Vec<GeneralizedPath> = reduced
-        .iter()
-        .map(|r| generalize_path(r, &cfg.templates, &passing_states))
-        .collect();
+    let disjuncts: Vec<GeneralizedPath> =
+        reduced.iter().map(|r| generalize_path(r, &cfg.templates, &passing_states)).collect();
     let precondition = assemble(&disjuncts);
     Some(Inference { precondition, prune_stats, disjuncts })
+}
+
+/// Runs PreInfer for *every* ACL the suite triggers, fanning the per-ACL
+/// [`infer_precondition`] calls across `jobs` worker threads.
+///
+/// Results are returned sorted by ACL id, regardless of which worker
+/// finished first, and each inference is independent of scheduling:
+/// per-path pruning uses private witness pools, and any shared
+/// [`solver::SolverCache`] in `cfg.prune` stores only values that are pure
+/// functions of their canonical keys. `jobs = 1` and `jobs = N` therefore
+/// produce identical output (the determinism tests lock this in).
+pub fn infer_all_preconditions(
+    program: &TypedProgram,
+    func_name: &str,
+    suite: &Suite,
+    cfg: &PreInferConfig,
+    jobs: usize,
+) -> Vec<(CheckId, Inference)> {
+    let mut acls = suite.triggered_acls();
+    acls.sort();
+    let results: Vec<Option<Inference>> = crate::par::map_parallel(&acls, jobs, |acl| {
+        infer_precondition(program, func_name, *acl, suite, cfg)
+    });
+    acls.into_iter().zip(results).filter_map(|(acl, inf)| inf.map(|inf| (acl, inf))).collect()
 }
 
 #[cfg(test)]
@@ -113,7 +135,10 @@ mod tests {
             .find(|a| {
                 let (_, fail) = suite.partition(*a);
                 fail.iter().any(|r| {
-                    r.path.last_branch().map(|e| e.pred.to_string().starts_with("s[")).unwrap_or(false)
+                    r.path
+                        .last_branch()
+                        .map(|e| e.pred.to_string().starts_with("s["))
+                        .unwrap_or(false)
                 })
             })
             .expect("element ACL triggered");
@@ -164,11 +189,9 @@ mod tests {
             .expect("null-s ACL triggered");
         let inf = infer_precondition(&tp, "example", acl, &suite, &PreInferConfig::default())
             .expect("failing tests exist");
-        let truth_alpha = symbolic::parse_spec(
-            "((c > 0 && d + 1 > 0) || (c <= 0 && d > 0)) && s == null",
-            &func,
-        )
-        .unwrap();
+        let truth_alpha =
+            symbolic::parse_spec("((c > 0 && d + 1 > 0) || (c <= 0 && d > 0)) && s == null", &func)
+                .unwrap();
         let (pass, fail) = suite.partition(acl);
         let pass_states: Vec<_> = pass.iter().map(|r| &r.state).collect();
         let fail_states: Vec<_> = fail.iter().map(|r| &r.state).collect();

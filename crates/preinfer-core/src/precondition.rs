@@ -71,10 +71,8 @@ pub fn assemble(paths: &[GeneralizedPath]) -> InferredPrecondition {
     }
     // Drop duplicate and subsumed disjuncts: if D2's parts are a subset of
     // D1's, then D1 ⇒ D2 and D1 is redundant in the disjunction.
-    let keys: Vec<std::collections::BTreeSet<String>> = disjuncts
-        .iter()
-        .map(|d| d.iter().map(|f| f.to_string()).collect())
-        .collect();
+    let keys: Vec<std::collections::BTreeSet<String>> =
+        disjuncts.iter().map(|d| d.iter().map(|f| f.to_string()).collect()).collect();
     let mut keep = vec![true; disjuncts.len()];
     for i in 0..disjuncts.len() {
         if !keep[i] {

@@ -17,7 +17,8 @@
 
 use concolic::{run_concolic, ConcolicConfig};
 use minilang::{CheckId, MethodEntryState, TypedProgram};
-use solver::{solve_preds, FuncSig, SolveResult, SolverConfig};
+use solver::{solve_preds_with, CacheLookup, FuncSig, SolveResult, SolverCache, SolverConfig};
+use std::sync::Arc;
 use symbolic::eval::{eval_pred, Env};
 use symbolic::{canon_pred, EntryKind, PathCondition, PathEntry, Pred};
 use testgen::TestRun;
@@ -28,7 +29,10 @@ pub struct PruneConfig {
     /// Manufacture deviation witnesses with the solver + one execution when
     /// the suite has none (the "dynamic" in dynamic predicate pruning).
     pub dynamic_witnesses: bool,
-    /// Budget for manufactured witnesses per ACL.
+    /// Budget for manufactured witnesses per failing path. (Per *path*, not
+    /// per ACL: each path prunes against its own private witness extension,
+    /// which is what makes per-path pruning order-independent and therefore
+    /// parallelizable — see DESIGN.md, "Parallelism & caching".)
     pub max_dynamic_runs: usize,
     /// Enforce the §III-A guard (reject removals admitting a passing state).
     pub passing_guard: bool,
@@ -42,6 +46,13 @@ pub struct PruneConfig {
     pub solver: SolverConfig,
     /// Executor budget for witness runs.
     pub concolic: ConcolicConfig,
+    /// Shared canonicalizing memo table fronting every solver call. Cached
+    /// verdicts are pure functions of the canonical query, so sharing the
+    /// cache across paths, ACLs, and threads never changes any result.
+    pub solver_cache: Option<Arc<SolverCache>>,
+    /// Worker threads for per-failing-path pruning. `0` or `1` is serial;
+    /// any value produces identical output (paths are pruned independently).
+    pub jobs: usize,
 }
 
 impl Default for PruneConfig {
@@ -53,6 +64,8 @@ impl Default for PruneConfig {
             verify_removals: true,
             solver: SolverConfig::default(),
             concolic: ConcolicConfig::default(),
+            solver_cache: None,
+            jobs: 1,
         }
     }
 }
@@ -75,12 +88,47 @@ pub struct PruneStats {
     pub kept_guard: usize,
     pub removed: usize,
     pub dynamic_runs: usize,
+    /// Solver-cache hits observed by this invocation's own solver calls.
+    /// Whether a given call hits depends on what earlier traffic (possibly
+    /// from other threads) populated, so these are diagnostics, not part of
+    /// the deterministic output contract.
+    pub solver_cache_hits: usize,
+    /// Solver-cache misses observed by this invocation's own solver calls.
+    pub solver_cache_misses: usize,
+}
+
+impl PruneStats {
+    /// Accumulates another invocation's counters into `self`.
+    pub fn merge(&mut self, other: &PruneStats) {
+        self.examined += other.examined;
+        self.kept_c_depend += other.kept_c_depend;
+        self.kept_d_impact += other.kept_d_impact;
+        self.kept_guard += other.kept_guard;
+        self.removed += other.removed;
+        self.dynamic_runs += other.dynamic_runs;
+        self.solver_cache_hits += other.solver_cache_hits;
+        self.solver_cache_misses += other.solver_cache_misses;
+    }
+
+    fn count_lookup(&mut self, lookup: CacheLookup) {
+        match lookup {
+            CacheLookup::Hit => self.solver_cache_hits += 1,
+            CacheLookup::Miss => self.solver_cache_misses += 1,
+            CacheLookup::Bypass => {}
+        }
+    }
 }
 
 /// Prunes every failing path of `acl`.
 ///
 /// `passing` and `failing` are the suite partition for this ACL (Section
 /// V-B); the returned reductions are in the same order as `failing`.
+///
+/// Each failing path is pruned against the same immutable *base* witness
+/// pool (every collected path) plus a private extension of manufactured
+/// witnesses, so the result for a path does not depend on which other paths
+/// were pruned before it. That independence makes the per-path fan-out
+/// (`cfg.jobs > 1`) produce byte-identical output to the serial run.
 pub fn prune_failing_paths(
     program: &TypedProgram,
     func_name: &str,
@@ -91,15 +139,13 @@ pub fn prune_failing_paths(
 ) -> (Vec<ReducedPath>, PruneStats) {
     let func = program.func(func_name).expect("known function");
     let sig = FuncSig::of(func);
-    let mut stats = PruneStats::default();
-    // Witness pool: all collected paths (passing and failing), extended by
-    // dynamically manufactured runs.
-    let mut pool: Vec<PathCondition> =
+    // Base witness pool: all collected paths (passing and failing).
+    let base_pool: Vec<PathCondition> =
         passing.iter().chain(failing.iter()).map(|r| r.path.clone()).collect();
     let passing_states: Vec<&MethodEntryState> = passing.iter().map(|r| &r.state).collect();
 
-    let mut out = Vec::with_capacity(failing.len());
-    for run in failing {
+    let prune_run = |run: &TestRun| -> (ReducedPath, PruneStats) {
+        let mut stats = PruneStats::default();
         let reduced = prune_one(
             program,
             func_name,
@@ -107,11 +153,21 @@ pub fn prune_failing_paths(
             acl,
             &run.path,
             &passing_states,
-            &mut pool,
+            &base_pool,
             cfg,
             &mut stats,
         );
-        out.push(ReducedPath { entries: reduced, state: run.state.clone() });
+        (ReducedPath { entries: reduced, state: run.state.clone() }, stats)
+    };
+
+    let results: Vec<(ReducedPath, PruneStats)> =
+        crate::par::map_parallel(failing, cfg.jobs, |run| prune_run(run));
+
+    let mut stats = PruneStats::default();
+    let mut out = Vec::with_capacity(results.len());
+    for (reduced, s) in results {
+        stats.merge(&s);
+        out.push(reduced);
     }
     (out, stats)
 }
@@ -124,7 +180,7 @@ fn prune_one(
     acl: CheckId,
     path: &PathCondition,
     passing_states: &[&MethodEntryState],
-    pool: &mut Vec<PathCondition>,
+    base_pool: &[PathCondition],
     cfg: &PruneConfig,
     stats: &mut PruneStats,
 ) -> Vec<PathEntry> {
@@ -132,6 +188,15 @@ fn prune_one(
     if n == 0 {
         return Vec::new();
     }
+    // Witnesses manufactured while pruning *this* path. Kept private so the
+    // reduction is a function of (path, base pool) alone.
+    let mut local_pool: Vec<PathCondition> = Vec::new();
+    let solve = |preds: &[Pred], stats: &mut PruneStats| -> SolveResult {
+        let (result, lookup) =
+            solve_preds_with(preds, sig, &cfg.solver, cfg.solver_cache.as_deref());
+        stats.count_lookup(lookup);
+        result
+    };
     // kept[j] - whether entry j survives. The last branch entry (the
     // assertion-violating condition) is always kept; pins are resolved last.
     let mut kept = vec![true; n];
@@ -143,8 +208,10 @@ fn prune_one(
     // Compare violating conditions up to collection-element position: the
     // same violated property at a different iteration is *not* an expression
     // change (otherwise any loop program defeats pruning).
-    let last_canon =
-        canon_pred(&crate::generalize::abstract_all_indices(&path.entries[last_branch_idx].pred, "_ix"));
+    let last_canon = canon_pred(&crate::generalize::abstract_all_indices(
+        &path.entries[last_branch_idx].pred,
+        "_ix",
+    ));
 
     for j in (0..n).rev() {
         if j == last_branch_idx {
@@ -158,7 +225,7 @@ fn prune_one(
         if cfg.dynamic_witnesses && stats.dynamic_runs < cfg.max_dynamic_runs {
             let mut preds: Vec<Pred> = path.entries[..j].iter().map(|e| e.pred.clone()).collect();
             preds.push(path.entries[j].pred.negated());
-            if solve_preds(&preds, sig, &cfg.solver) == SolveResult::Unsat {
+            if solve(&preds, stats) == SolveResult::Unsat {
                 kept[j] = false;
                 if std::env::var_os("PREINFER_DEBUG").is_some() {
                     eprintln!("  IMPLIED-REMOVED [{j}] {}", path.entries[j].pred);
@@ -171,46 +238,53 @@ fn prune_one(
         // no deviating paths to probe, so pins go straight to the removal
         // guard/verification below (and fall back to "keep" without it).
         if !is_pin {
-        // --- c-depend: does some deviation at j still reach the ACL? ------
-        let mut reaches_witness = find_deviation(pool, path, j, |q| q.reaches_check(acl));
-        if !reaches_witness && cfg.dynamic_witnesses && stats.dynamic_runs < cfg.max_dynamic_runs {
-            if let Some(newly) = manufacture(program, func_name, sig, acl, path, j, cfg, stats) {
-                let reaches = newly.reaches_check(acl);
-                pool.push(newly);
-                reaches_witness = reaches_witness || reaches;
+            // --- c-depend: does some deviation at j still reach the ACL? ------
+            let mut reaches_witness =
+                find_deviation(base_pool, &local_pool, path, j, |q| q.reaches_check(acl));
+            if !reaches_witness
+                && cfg.dynamic_witnesses
+                && stats.dynamic_runs < cfg.max_dynamic_runs
+            {
+                if let Some(newly) = manufacture(program, func_name, sig, acl, path, j, cfg, stats)
+                {
+                    let reaches = newly.reaches_check(acl);
+                    local_pool.push(newly);
+                    reaches_witness = reaches_witness || reaches;
+                }
             }
-        }
-        if !reaches_witness {
-            // No deviation reaches the location: c-depend holds — keep.
-            stats.kept_c_depend += 1;
-            continue;
-        }
-        // --- d-impact: does some deviation change the violating expression?
-        // Element-family predicates (those dereferencing a collection at a
-        // constant index) compare violating conditions *positionally*: a
-        // deviation failing at a different element is an expression change,
-        // which is what keeps the overly specific families alive for the
-        // generalization step (Section IV-B's premise). Scalar predicates
-        // compare up to element position, so loop-length diversity in the
-        // suite cannot block their pruning.
-        let positional = !crate::generalize::index_occurrences(&path.entries[j].pred).is_empty();
-        let d_impact = find_deviation(pool, path, j, |q| {
-            q.outcome.failed_check() == Some(acl)
-                && q.last_branch()
-                    .map(|e| {
-                        if positional {
-                            canon_pred(&e.pred) != canon_pred(&path.entries[last_branch_idx].pred)
-                        } else {
-                            canon_pred(&crate::generalize::abstract_all_indices(&e.pred, "_ix"))
-                                != last_canon
-                        }
-                    })
-                    .unwrap_or(false)
-        });
-        if d_impact {
-            stats.kept_d_impact += 1;
-            continue;
-        }
+            if !reaches_witness {
+                // No deviation reaches the location: c-depend holds — keep.
+                stats.kept_c_depend += 1;
+                continue;
+            }
+            // --- d-impact: does some deviation change the violating expression?
+            // Element-family predicates (those dereferencing a collection at a
+            // constant index) compare violating conditions *positionally*: a
+            // deviation failing at a different element is an expression change,
+            // which is what keeps the overly specific families alive for the
+            // generalization step (Section IV-B's premise). Scalar predicates
+            // compare up to element position, so loop-length diversity in the
+            // suite cannot block their pruning.
+            let positional =
+                !crate::generalize::index_occurrences(&path.entries[j].pred).is_empty();
+            let d_impact = find_deviation(base_pool, &local_pool, path, j, |q| {
+                q.outcome.failed_check() == Some(acl)
+                    && q.last_branch()
+                        .map(|e| {
+                            if positional {
+                                canon_pred(&e.pred)
+                                    != canon_pred(&path.entries[last_branch_idx].pred)
+                            } else {
+                                canon_pred(&crate::generalize::abstract_all_indices(&e.pred, "_ix"))
+                                    != last_canon
+                            }
+                        })
+                        .unwrap_or(false)
+            });
+            if d_impact {
+                stats.kept_d_impact += 1;
+                continue;
+            }
         } else if !cfg.verify_removals && !cfg.passing_guard {
             // Without the dynamic machinery pins stay (soundness default).
             continue;
@@ -236,15 +310,14 @@ fn prune_one(
                 .map(|(_, e)| e.pred.clone())
                 .collect();
             preds.push(path.entries[j].pred.negated());
-            let verdict = match solve_preds(&preds, sig, &cfg.solver) {
+            let verdict = match solve(&preds, stats) {
                 SolveResult::Unsat => Removal::Lossless,
                 SolveResult::Unknown => Removal::Rejected,
                 SolveResult::Sat(model) => {
                     stats.dynamic_runs += 1;
                     let out = run_concolic(program, func_name, &model, &cfg.concolic);
                     let fails_here = out.path.outcome.failed_check() == Some(acl);
-                    let path_for_pool = out.path;
-                    pool.push(path_for_pool);
+                    local_pool.push(out.path);
                     if fails_here {
                         Removal::Accepted
                     } else {
@@ -268,12 +341,7 @@ fn prune_one(
     // verification (or, without it, conservatism) decided they must stay —
     // other removals may lean on them as logical support, so no post-hoc
     // relevance filtering is applied.
-    path.entries
-        .iter()
-        .enumerate()
-        .filter(|(j, _)| kept[*j])
-        .map(|(_, e)| e.clone())
-        .collect()
+    path.entries.iter().enumerate().filter(|(j, _)| kept[*j]).map(|(_, e)| e.clone()).collect()
 }
 
 /// Verdict of the removal-verification step.
@@ -292,21 +360,19 @@ enum Removal {
 /// Evaluation errors (guarded dereferences) count as "not satisfied".
 fn satisfied_by(entries: &[PathEntry], kept: &[bool], state: &MethodEntryState) -> bool {
     let env = Env::new(state);
-    entries
-        .iter()
-        .zip(kept)
-        .filter(|(_, &k)| k)
-        .all(|(e, _)| eval_pred(&e.pred, &env) == Ok(true))
+    entries.iter().zip(kept).filter(|(_, &k)| k).all(|(e, _)| eval_pred(&e.pred, &env) == Ok(true))
 }
 
-/// Searches the pool for a path deviating from `path` at `j` satisfying `f`.
+/// Searches the base pool and this path's local extension for a path
+/// deviating from `path` at `j` satisfying `f`.
 fn find_deviation(
-    pool: &[PathCondition],
+    base_pool: &[PathCondition],
+    local_pool: &[PathCondition],
     path: &PathCondition,
     j: usize,
     f: impl Fn(&PathCondition) -> bool,
 ) -> bool {
-    pool.iter().any(|q| path.deviates_at(q, j) && f(q))
+    base_pool.iter().chain(local_pool).any(|q| path.deviates_at(q, j) && f(q))
 }
 
 /// Manufactures a deviation witness for position `j`: solves
@@ -338,7 +404,14 @@ fn manufacture(
     let mut last = None;
     for with_suffix in [true, false] {
         stats.dynamic_runs += 1;
-        if let SolveResult::Sat(model) = solve_preds(&prefix_neg(with_suffix), sig, &cfg.solver) {
+        let (solved, lookup) = solve_preds_with(
+            &prefix_neg(with_suffix),
+            sig,
+            &cfg.solver,
+            cfg.solver_cache.as_deref(),
+        );
+        stats.count_lookup(lookup);
+        if let SolveResult::Sat(model) = solved {
             let out = run_concolic(program, func_name, &model, &cfg.concolic);
             let reaches = out.path.reaches_check(acl);
             last = Some(out.path);
@@ -403,19 +476,9 @@ mod tests {
         let tf1_out = run_concolic(&tp, "example", &tf1_state, &ConcolicConfig::default());
         assert_eq!(tf1_out.path.outcome.failed_check(), Some(acl), "t_f1 fails at the element ACL");
         let tf1 = TestRun::new(tf1_state, tf1_out);
-        let (reduced, _stats) = prune_failing_paths(
-            &tp,
-            "example",
-            acl,
-            &pass,
-            &[&tf1],
-            &PruneConfig::default(),
-        );
-        let kept: Vec<String> = reduced[0]
-            .entries
-            .iter()
-            .map(|e| e.pred.to_string())
-            .collect();
+        let (reduced, _stats) =
+            prune_failing_paths(&tp, "example", acl, &pass, &[&tf1], &PruneConfig::default());
+        let kept: Vec<String> = reduced[0].entries.iter().map(|e| e.pred.to_string()).collect();
         assert!(!kept.contains(&"a > 0".to_string()), "a > 0 must be pruned: {kept:?}");
         assert!(!kept.contains(&"(b + 1) > 0".to_string()), "b + 1 > 0 must be pruned: {kept:?}");
         for want in ["c > 0", "(d + 1) > 0", "s != null", "0 < len(s)", "s[0] == null"] {
@@ -447,12 +510,15 @@ mod tests {
 
     #[test]
     fn last_branch_is_always_kept() {
-        let tp = minilang::compile("fn f(x int, y int) -> int { if (x > 0) { assert(y != 3); } return 0; }")
-            .unwrap();
+        let tp = minilang::compile(
+            "fn f(x int, y int) -> int { if (x > 0) { assert(y != 3); } return 0; }",
+        )
+        .unwrap();
         let suite = generate_tests(&tp, "f", &TestGenConfig::default());
         let acl = suite.triggered_acls()[0];
         let (pass, fail) = suite.partition(acl);
-        let (reduced, _) = prune_failing_paths(&tp, "f", acl, &pass, &fail, &PruneConfig::default());
+        let (reduced, _) =
+            prune_failing_paths(&tp, "f", acl, &pass, &fail, &PruneConfig::default());
         for r in &reduced {
             let last = r.entries.last().expect("non-empty reduction");
             assert_eq!(last.pred.to_string(), "y == 3");
@@ -467,7 +533,8 @@ mod tests {
         let suite = generate_tests(&tp, "f", &TestGenConfig::default());
         let acl = suite.triggered_acls()[0];
         let (pass, fail) = suite.partition(acl);
-        let cfg = PruneConfig { passing_guard: false, dynamic_witnesses: false, ..Default::default() };
+        let cfg =
+            PruneConfig { passing_guard: false, dynamic_witnesses: false, ..Default::default() };
         let (reduced, _) = prune_failing_paths(&tp, "f", acl, &pass, &fail, &cfg);
         assert!(!reduced.is_empty());
         assert_eq!(reduced[0].entries.last().unwrap().pred.to_string(), "x == 1");

@@ -31,8 +31,18 @@ fn main() {
     if needs_eval {
         eprintln!("evaluating corpus ({} methods)…", subjects::all_subjects().len());
         let start = std::time::Instant::now();
-        let results = evaluate_corpus(&subjects::all_subjects(), &EvalConfig::default());
-        eprintln!("done in {:.1}s", start.elapsed().as_secs_f64());
+        let cfg = EvalConfig::default();
+        let results = evaluate_corpus(&subjects::all_subjects(), &cfg);
+        let hits: u64 = results.iter().map(|r| r.solver_cache_hits).sum();
+        let misses: u64 = results.iter().map(|r| r.solver_cache_misses).sum();
+        eprintln!(
+            "done in {:.1}s ({} threads; solver cache: {} hits / {} misses, {:.1}% hit rate)",
+            start.elapsed().as_secs_f64(),
+            cfg.jobs,
+            hits,
+            misses,
+            if hits + misses == 0 { 0.0 } else { 100.0 * hits as f64 / (hits + misses) as f64 },
+        );
         if want("4") {
             println!("{}", report::table_4(&results));
         }
@@ -46,7 +56,7 @@ fn main() {
             println!("{}", report::figure_3(&results));
         }
         if let Some(path) = json_path {
-            let json = serde_json::to_string_pretty(&results).expect("serializable results");
+            let json = report::results_to_json(&results);
             std::fs::write(&path, json).expect("write JSON results");
             eprintln!("wrote {path}");
         }

@@ -5,18 +5,19 @@ use baselines::{infer_dysy, infer_fixit};
 use interp::{run, ExecResult, InterpConfig};
 use minilang::{check_sites, CheckId, LoopPos, MethodEntryState, TypedProgram};
 use preinfer_core::{
-    evaluate_precondition, infer_precondition, random_probe, PreInferConfig, PrecondQuality,
-    ProbeConfig,
+    evaluate_precondition, infer_precondition, map_parallel, random_probe, PreInferConfig,
+    PrecondQuality, ProbeConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use solver::SolverCache;
+use std::sync::Arc;
 use subjects::SubjectMethod;
 use symbolic::Formula;
 use testgen::{generate_tests, TestGenConfig};
 
 /// The three approaches, in the tables' column order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Approach {
     PreInfer,
     FixIt,
@@ -38,7 +39,7 @@ impl Approach {
 }
 
 /// One approach's scored result at one ACL.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ApproachResult {
     pub sufficient: bool,
     pub necessary: bool,
@@ -59,14 +60,13 @@ impl ApproachResult {
 }
 
 /// Scored results for one triggered ACL.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AclResult {
     pub namespace: String,
     pub subject: String,
     pub method: String,
     pub kind: String,
     pub loop_pos_label: String,
-    #[serde(skip)]
     pub loop_pos: LoopPos,
     /// Whether the ground truth needs a quantifier (Table VI membership);
     /// `None` when the ACL carries no annotation.
@@ -88,13 +88,18 @@ impl AclResult {
 }
 
 /// Per-method evaluation output.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MethodResult {
     pub namespace: String,
     pub subject: String,
     pub method: String,
     pub coverage_percent: f64,
     pub tests: usize,
+    /// Solver-cache hits observed while evaluating this method (0 when the
+    /// cache is disabled). Diagnostics: hit counts depend on traffic order.
+    pub solver_cache_hits: u64,
+    /// Solver-cache misses observed while evaluating this method.
+    pub solver_cache_misses: u64,
     pub acls: Vec<AclResult>,
 }
 
@@ -108,6 +113,11 @@ pub struct EvalConfig {
     /// precondition" validation: each probe state is executed and labelled
     /// passing/failing per ACL by what actually happens.
     pub check_probes: usize,
+    /// Worker threads for [`evaluate_corpus`] (methods are independent, so
+    /// any value produces identical results). `0`/`1` is serial.
+    pub jobs: usize,
+    /// Front every solver call with a per-method canonicalizing cache.
+    pub solver_cache: bool,
 }
 
 impl Default for EvalConfig {
@@ -116,6 +126,8 @@ impl Default for EvalConfig {
             testgen: TestGenConfig::default(),
             probes: ProbeConfig::default(),
             check_probes: 150,
+            jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            solver_cache: true,
         }
     }
 }
@@ -154,7 +166,14 @@ fn render_psi(psi: &Formula) -> String {
 pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
     let tp = m.compile();
     let func = m.func(&tp).clone();
-    let suite = generate_tests(&tp, m.name, &cfg.testgen);
+    // Per-method cache: test generation, pruning and the baselines all hit
+    // the same predicate families, so hit rates are high within a method.
+    let cache = cfg.solver_cache.then(|| Arc::new(SolverCache::new()));
+    let mut testgen_cfg = cfg.testgen.clone();
+    testgen_cfg.solver_cache = cache.clone();
+    let mut infer_cfg = PreInferConfig::default();
+    infer_cfg.prune.solver_cache = cache.clone();
+    let suite = generate_tests(&tp, m.name, &testgen_cfg);
     let coverage = suite.coverage_percent(&func);
     let sites = check_sites(&func);
     let probes = classified_probes(&tp, &func, cfg);
@@ -198,7 +217,7 @@ pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
             }
         };
 
-        let preinfer = infer_precondition(&tp, m.name, acl, &suite, &PreInferConfig::default())
+        let preinfer = infer_precondition(&tp, m.name, acl, &suite, &infer_cfg)
             .map(|inf| score(&inf.precondition.psi, inf.precondition.quantified))
             .unwrap_or_else(|| score(&Formula::t(), false));
         let fixit = infer_fixit(acl, &suite)
@@ -221,19 +240,25 @@ pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
             dysy,
         });
     }
+    let cache_stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
     MethodResult {
         namespace: m.namespace.to_string(),
         subject: m.subject.to_string(),
         method: m.name.to_string(),
         coverage_percent: coverage,
         tests: suite.len(),
+        solver_cache_hits: cache_stats.hits,
+        solver_cache_misses: cache_stats.misses,
         acls,
     }
 }
 
-/// Runs the protocol over a set of methods.
+/// Runs the protocol over a set of methods, fanning methods across
+/// `cfg.jobs` worker threads. Methods are evaluated independently (each
+/// with its own suite, probes, and solver cache), so the results are
+/// identical for any thread count; output order follows `methods`.
 pub fn evaluate_corpus(methods: &[SubjectMethod], cfg: &EvalConfig) -> Vec<MethodResult> {
-    methods.iter().map(|m| evaluate_method(m, cfg)).collect()
+    map_parallel(methods, cfg.jobs, |m| evaluate_method(m, cfg))
 }
 
 #[cfg(test)]

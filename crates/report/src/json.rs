@@ -1,0 +1,149 @@
+//! Hand-rolled JSON rendering for evaluation results.
+//!
+//! The offline build environment has no `serde`, so the per-ACL results are
+//! serialized by hand. The shape matches what `#[derive(Serialize)]` used
+//! to produce for `Vec<MethodResult>`, keeping downstream consumers of
+//! `tables --json` working.
+
+use crate::eval::{AclResult, ApproachResult, MethodResult};
+use std::fmt::Write;
+
+/// Serializes the full evaluation output as pretty-printed JSON.
+pub fn results_to_json(results: &[MethodResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in results.iter().enumerate() {
+        write_method(&mut out, m, 1);
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push(']');
+    out
+}
+
+fn write_method(out: &mut String, m: &MethodResult, level: usize) {
+    let pad = Indent(level);
+    let inner = Indent(level + 1);
+    let _ = writeln!(out, "{pad}{{");
+    let _ = writeln!(out, "{inner}\"namespace\": {},", json_str(&m.namespace));
+    let _ = writeln!(out, "{inner}\"subject\": {},", json_str(&m.subject));
+    let _ = writeln!(out, "{inner}\"method\": {},", json_str(&m.method));
+    let _ = writeln!(out, "{inner}\"coverage_percent\": {},", json_f64(m.coverage_percent));
+    let _ = writeln!(out, "{inner}\"tests\": {},", m.tests);
+    let _ = writeln!(out, "{inner}\"solver_cache_hits\": {},", m.solver_cache_hits);
+    let _ = writeln!(out, "{inner}\"solver_cache_misses\": {},", m.solver_cache_misses);
+    if m.acls.is_empty() {
+        let _ = writeln!(out, "{inner}\"acls\": []");
+    } else {
+        let _ = writeln!(out, "{inner}\"acls\": [");
+        for (i, a) in m.acls.iter().enumerate() {
+            write_acl(out, a, level + 2);
+            out.push_str(if i + 1 < m.acls.len() { ",\n" } else { "\n" });
+        }
+        let _ = writeln!(out, "{inner}]");
+    }
+    let _ = write!(out, "{pad}}}");
+}
+
+fn write_acl(out: &mut String, a: &AclResult, level: usize) {
+    let pad = Indent(level);
+    let inner = Indent(level + 1);
+    let _ = writeln!(out, "{pad}{{");
+    let _ = writeln!(out, "{inner}\"namespace\": {},", json_str(&a.namespace));
+    let _ = writeln!(out, "{inner}\"subject\": {},", json_str(&a.subject));
+    let _ = writeln!(out, "{inner}\"method\": {},", json_str(&a.method));
+    let _ = writeln!(out, "{inner}\"kind\": {},", json_str(&a.kind));
+    let _ = writeln!(out, "{inner}\"loop_pos_label\": {},", json_str(&a.loop_pos_label));
+    let _ = writeln!(out, "{inner}\"quantified_target\": {},", json_opt_bool(a.quantified_target));
+    let _ = write!(out, "{inner}\"preinfer\": ");
+    write_approach(out, &a.preinfer, level + 1);
+    out.push_str(",\n");
+    let _ = write!(out, "{inner}\"fixit\": ");
+    write_approach(out, &a.fixit, level + 1);
+    out.push_str(",\n");
+    let _ = write!(out, "{inner}\"dysy\": ");
+    write_approach(out, &a.dysy, level + 1);
+    out.push('\n');
+    let _ = write!(out, "{pad}}}");
+}
+
+fn write_approach(out: &mut String, r: &ApproachResult, level: usize) {
+    let pad = Indent(level);
+    let inner = Indent(level + 1);
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "{inner}\"sufficient\": {},", r.sufficient);
+    let _ = writeln!(out, "{inner}\"necessary\": {},", r.necessary);
+    let _ = writeln!(out, "{inner}\"correct\": {},", json_opt_bool(r.correct));
+    let _ = writeln!(out, "{inner}\"complexity\": {},", r.complexity);
+    let rel = match r.relative_complexity {
+        Some(v) => json_f64(v),
+        None => "null".to_string(),
+    };
+    let _ = writeln!(out, "{inner}\"relative_complexity\": {rel},");
+    let _ = writeln!(out, "{inner}\"quantified\": {},", r.quantified);
+    let _ = writeln!(out, "{inner}\"psi\": {}", json_str(&r.psi));
+    let _ = write!(out, "{pad}}}");
+}
+
+struct Indent(usize);
+
+impl std::fmt::Display for Indent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for _ in 0..self.0 {
+            f.write_str("  ")?;
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string per RFC 8259.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{v}` prints integral floats without a fraction ("75" not
+        // "75.0"), which JSON still parses as a number.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_bool(v: Option<bool>) -> String {
+    match v {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_results_render_as_empty_array() {
+        assert_eq!(results_to_json(&[]), "[\n]");
+    }
+}

@@ -14,12 +14,16 @@
 //! that handles nullness, well-formedness, and disjunctive atoms, and that
 //! re-validates every model by concrete evaluation before returning it.
 
+pub mod cache;
 pub mod intsolve;
 pub mod rational;
 pub mod simplex;
 pub mod theory;
 
+pub use cache::{CacheLookup, CacheStats, CanonQuery, SolverCache};
 pub use intsolve::{satisfies, solve_int, Budget, IntProblem, IntResult};
 pub use rational::Rat;
 pub use simplex::{solve_lp, Lp, LpResult};
-pub use theory::{solve_preds, FuncSig, SolveResult, SolverConfig};
+pub use theory::{
+    solve_preds, solve_preds_cached, solve_preds_with, FuncSig, SolveResult, SolverConfig,
+};

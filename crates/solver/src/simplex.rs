@@ -230,7 +230,8 @@ mod tests {
     #[test]
     fn trivial_feasible_minimum() {
         // min x  s.t.  x <= 10, -x <= -3  (i.e. x >= 3)
-        let lp = Lp { num_vars: 1, rows: vec![row(&[1], 10), row(&[-1], -3)], objective: vec![r(1)] };
+        let lp =
+            Lp { num_vars: 1, rows: vec![row(&[1], 10), row(&[-1], -3)], objective: vec![r(1)] };
         match solve_lp(&lp) {
             LpResult::Optimal { x, obj } => {
                 assert_eq!(x[0], r(3));
@@ -243,7 +244,8 @@ mod tests {
     #[test]
     fn infeasible_system() {
         // x <= 1 and x >= 3
-        let lp = Lp { num_vars: 1, rows: vec![row(&[1], 1), row(&[-1], -3)], objective: vec![r(0)] };
+        let lp =
+            Lp { num_vars: 1, rows: vec![row(&[1], 1), row(&[-1], -3)], objective: vec![r(0)] };
         assert_eq!(solve_lp(&lp), LpResult::Infeasible);
     }
 

@@ -16,13 +16,14 @@
 //!    concretely evaluating every input predicate; a model that fails
 //!    re-validation is reported as `Unknown`, never returned.
 
+use crate::cache::{CacheLookup, CanonQuery, SolverCache};
 use crate::intsolve::{solve_int, Budget, IntProblem, IntResult};
 use minilang::{Func, InputValue, MethodEntryState, Ty};
+use std::collections::{BTreeMap, HashMap};
 use symbolic::eval::{eval_pred, Env};
-use symbolic::linform::{canon_pred, lin_of_term, CanonPred, LinExpr, Monomial};
+use symbolic::linform::{lin_of_term, CanonPred, LinExpr, Monomial};
 use symbolic::pred::Pred;
 use symbolic::term::{Place, SymVar, Term};
-use std::collections::{BTreeMap, HashMap};
 
 /// Signature of the method under test: parameter names and types, in order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,24 +90,69 @@ impl SolveResult {
 }
 
 /// Solves the conjunction of `preds` for inputs typed by `sig`.
+///
+/// The query is canonicalized first (α-renamed to positional placeholders,
+/// predicates canonicalized, sorted, de-duplicated — see [`CanonQuery`]), so
+/// the verdict *and the model* depend only on the canonical form: permuting
+/// the conjunction or renaming the parameters cannot change the answer.
+/// That invariance is what lets [`solve_preds_cached`] return memoized
+/// results that are bit-identical to a fresh solve.
 pub fn solve_preds(preds: &[Pred], sig: &FuncSig, cfg: &SolverConfig) -> SolveResult {
-    let mut builder = Builder::new(sig, cfg);
-    for p in preds {
-        if builder.add_canon(canon_pred(p)).is_err() {
-            return SolveResult::Unsat;
-        }
-    }
-    let result = builder.solve();
+    solve_preds_with(preds, sig, cfg, None).0
+}
+
+/// [`solve_preds`] fronted by a [`SolverCache`].
+pub fn solve_preds_cached(
+    preds: &[Pred],
+    sig: &FuncSig,
+    cfg: &SolverConfig,
+    cache: &SolverCache,
+) -> SolveResult {
+    solve_preds_with(preds, sig, cfg, Some(cache)).0
+}
+
+/// [`solve_preds`] with an optional cache, also reporting whether the
+/// lookup hit ([`CacheLookup::Bypass`] when `cache` is `None`).
+pub fn solve_preds_with(
+    preds: &[Pred],
+    sig: &FuncSig,
+    cfg: &SolverConfig,
+    cache: Option<&SolverCache>,
+) -> (SolveResult, CacheLookup) {
+    let q = CanonQuery::build(preds, sig, cfg);
+    let (canonical, lookup) = match cache {
+        Some(c) => c.solve(&q, cfg),
+        None => (q.solve(cfg), CacheLookup::Bypass),
+    };
+    let result = q.uncanonicalize(canonical);
     // Soundness net: re-validate any model against the original predicates.
+    // This runs on the caller side (not inside the cache) so cached entries
+    // stay pure functions of their canonical keys.
     if let SolveResult::Sat(state) = &result {
         let env = Env::new(state);
         for p in preds {
             if eval_pred(p, &env) != Ok(true) {
-                return SolveResult::Unknown;
+                return (SolveResult::Unknown, lookup);
             }
         }
     }
-    result
+    (result, lookup)
+}
+
+/// Solves an already-canonical conjunction. Used by [`CanonQuery::solve`];
+/// callers want [`solve_preds`].
+pub(crate) fn solve_canonical(
+    preds: &[CanonPred],
+    sig: &FuncSig,
+    cfg: &SolverConfig,
+) -> SolveResult {
+    let mut builder = Builder::new(sig, cfg);
+    for p in preds {
+        if builder.add_canon(p.clone()).is_err() {
+            return SolveResult::Unsat;
+        }
+    }
+    builder.solve()
 }
 
 /// Marker for early unsatisfiability during constraint building.
@@ -151,12 +197,10 @@ impl<'a> Builder<'a> {
         match p {
             CanonPred::Const(true) => Ok(()),
             CanonPred::Const(false) => Err(UnsatErr),
-            CanonPred::Bool { name, positive } => {
-                match self.bools.insert(name.clone(), positive) {
-                    Some(prev) if prev != positive => Err(UnsatErr),
-                    _ => Ok(()),
-                }
-            }
+            CanonPred::Bool { name, positive } => match self.bools.insert(name.clone(), positive) {
+                Some(prev) if prev != positive => Err(UnsatErr),
+                _ => Ok(()),
+            },
             CanonPred::Null { place, positive } => self.decide_null(place, positive),
             CanonPred::Le(e) => {
                 self.register_expr(&e)?;
@@ -335,9 +379,9 @@ impl<'a> Builder<'a> {
         let kabs = k.abs();
         // Case A: inner >= 0 → 0 <= r <= |k|-1
         let a = vec![
-            inner.scale(-1),                                   // -inner <= 0
-            re.scale(-1),                                      // -r <= 0
-            re.add(&LinExpr::constant(-(kabs - 1))),           // r <= |k|-1
+            inner.scale(-1),                         // -inner <= 0
+            re.scale(-1),                            // -r <= 0
+            re.add(&LinExpr::constant(-(kabs - 1))), // r <= |k|-1
         ];
         // Case B: inner <= 0 → -(|k|-1) <= r <= 0
         let b = vec![
@@ -370,7 +414,12 @@ impl<'a> Builder<'a> {
         }
     }
 
-    fn dfs(&mut self, choices: &[Vec<Alternative>], picked: &mut Vec<usize>, budget: &mut Budget) -> DfsResult {
+    fn dfs(
+        &mut self,
+        choices: &[Vec<Alternative>],
+        picked: &mut Vec<usize>,
+        budget: &mut Budget,
+    ) -> DfsResult {
         if picked.len() == choices.len() {
             return self.solve_leaf(choices, picked, budget);
         }
@@ -395,7 +444,12 @@ impl<'a> Builder<'a> {
         }
     }
 
-    fn solve_leaf(&mut self, choices: &[Vec<Alternative>], picked: &[usize], budget: &mut Budget) -> DfsResult {
+    fn solve_leaf(
+        &mut self,
+        choices: &[Vec<Alternative>],
+        picked: &[usize],
+        budget: &mut Budget,
+    ) -> DfsResult {
         let n = self.columns.len();
         let mut problem = IntProblem::new(n);
         let add_expr = |p: &mut IntProblem, e: &LinExpr| {

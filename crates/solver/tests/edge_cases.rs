@@ -31,10 +31,7 @@ fn chain_conflicts_with_null_decision() {
     // s == null together with a dereference of s[0] is unsatisfiable.
     let sig = FuncSig::from_pairs([("s", Ty::ArrayStr)]);
     let elem = Place::elem(Place::param("s"), 0);
-    let preds = vec![
-        Pred::is_null(Place::param("s")),
-        Pred::not_null(elem),
-    ];
+    let preds = vec![Pred::is_null(Place::param("s")), Pred::not_null(elem)];
     assert_eq!(solve_preds(&preds, &sig, &cfg()), SolveResult::Unsat);
 }
 
@@ -146,8 +143,5 @@ fn unknown_parameter_name_is_rejected_gracefully() {
     // not fabricate inputs for it.
     let sig = FuncSig::from_pairs([("x", Ty::Int)]);
     let preds = vec![Pred::is_null(Place::param("ghost"))];
-    assert!(matches!(
-        solve_preds(&preds, &sig, &cfg()),
-        SolveResult::Unknown | SolveResult::Unsat
-    ));
+    assert!(matches!(solve_preds(&preds, &sig, &cfg()), SolveResult::Unknown | SolveResult::Unsat));
 }

@@ -12,11 +12,8 @@ fn sig_xy() -> FuncSig {
 }
 
 fn term_xy() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        (-6i64..=6).prop_map(Term::int),
-        Just(Term::var("x")),
-        Just(Term::var("y")),
-    ];
+    let leaf =
+        prop_oneof![(-6i64..=6).prop_map(Term::int), Just(Term::var("x")), Just(Term::var("y")),];
     leaf.prop_recursive(1, 8, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),

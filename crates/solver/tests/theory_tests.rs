@@ -63,10 +63,7 @@ fn null_conflict_is_unsat() {
 fn deref_of_null_place_is_unsat() {
     // s == null && 0 < len(s): the length dereference forces s non-null.
     let s = Place::param("s");
-    let preds = vec![
-        Pred::is_null(s.clone()),
-        Pred::cmp(CmpOp::Lt, Term::int(0), Term::len(s)),
-    ];
+    let preds = vec![Pred::is_null(s.clone()), Pred::cmp(CmpOp::Lt, Term::int(0), Term::len(s))];
     assert_eq!(solve_preds(&preds, &sig_fig1(), &cfg()), SolveResult::Unsat);
 }
 
@@ -225,10 +222,8 @@ fn nested_string_element_constraints() {
     let sig = FuncSig::from_pairs([("s", Ty::ArrayStr)]);
     let s = Place::param("s");
     let elem = Place::elem(s, 1);
-    let preds = vec![
-        Pred::not_null(elem.clone()),
-        Pred::cmp(CmpOp::Eq, Term::len(elem), Term::int(2)),
-    ];
+    let preds =
+        vec![Pred::not_null(elem.clone()), Pred::cmp(CmpOp::Eq, Term::len(elem), Term::int(2))];
     let m = assert_sat_model(&preds, &sig);
     let Some(InputValue::ArrayStr(Some(items))) = m.get("s") else { panic!() };
     assert!(items.len() >= 2);

@@ -216,14 +216,12 @@ fn either_null_gate(s str, t str) -> int {
     }
     return strlen(s);
 }",
-            truths: vec![
-                GroundTruth {
-                    kind: CheckKind::NullDeref,
-                    nth: 0,
-                    alpha: "s == null && t == null",
-                    quantified: false,
-                },
-            ],
+            truths: vec![GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "s == null && t == null",
+                quantified: false,
+            }],
         },
     ]
 }

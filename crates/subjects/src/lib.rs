@@ -66,8 +66,9 @@ impl SubjectMethod {
     /// Panics if the embedded source fails to compile — corpus sources are
     /// validated by the crate's tests.
     pub fn compile(&self) -> TypedProgram {
-        minilang::compile(self.source)
-            .unwrap_or_else(|e| panic!("subject {}::{} does not compile: {e}", self.namespace, self.name))
+        minilang::compile(self.source).unwrap_or_else(|e| {
+            panic!("subject {}::{} does not compile: {e}", self.namespace, self.name)
+        })
     }
 
     /// The entry function within a compiled program.

@@ -141,7 +141,11 @@ fn eval_var(v: &SymVar, env: &Env<'_>) -> EvalResult<i64> {
                 RefValue::ArrInt(None) => Err(EvalError::NullDeref(place.to_string())),
                 RefValue::ArrInt(Some(a)) => {
                     if k < 0 || k as usize >= a.len() {
-                        Err(EvalError::OutOfBounds { place: place.to_string(), index: k, len: a.len() as i64 })
+                        Err(EvalError::OutOfBounds {
+                            place: place.to_string(),
+                            index: k,
+                            len: a.len() as i64,
+                        })
                     } else {
                         Ok(a[k as usize])
                     }
@@ -155,7 +159,11 @@ fn eval_var(v: &SymVar, env: &Env<'_>) -> EvalResult<i64> {
                 RefValue::StrVal(None) => Err(EvalError::NullDeref(place.to_string())),
                 RefValue::StrVal(Some(s)) => {
                     if k < 0 || k as usize >= s.len() {
-                        Err(EvalError::OutOfBounds { place: place.to_string(), index: k, len: s.len() as i64 })
+                        Err(EvalError::OutOfBounds {
+                            place: place.to_string(),
+                            index: k,
+                            len: s.len() as i64,
+                        })
                     } else {
                         Ok(s[k as usize])
                     }
@@ -335,7 +343,10 @@ mod tests {
             "i",
             Formula::and([
                 Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::len(s.clone()))),
-                Formula::pred(Pred::is_null(Place::Elem(Box::new(s.clone()), Box::new(Term::var("i"))))),
+                Formula::pred(Pred::is_null(Place::Elem(
+                    Box::new(s.clone()),
+                    Box::new(Term::var("i")),
+                ))),
             ]),
         );
         Formula::and([guard, Formula::pred(Pred::not_null(s)), quantified])

@@ -261,7 +261,9 @@ impl CanonPred {
             CanonPred::Null { place, positive } => {
                 CanonPred::Null { place: place.clone(), positive: !positive }
             }
-            CanonPred::Bool { name, positive } => CanonPred::Bool { name: name.clone(), positive: !positive },
+            CanonPred::Bool { name, positive } => {
+                CanonPred::Bool { name: name.clone(), positive: !positive }
+            }
             CanonPred::IsSpace { arg, positive } => {
                 CanonPred::IsSpace { arg: arg.clone(), positive: !positive }
             }
@@ -349,8 +351,12 @@ pub fn canon_pred(p: &Pred) -> CanonPred {
                 CmpOp::Ne => canon_eq(la.sub(&lb), false),
             }
         }
-        Pred::Null { place, positive } => CanonPred::Null { place: place.clone(), positive: *positive },
-        Pred::BoolVar { name, positive } => CanonPred::Bool { name: name.clone(), positive: *positive },
+        Pred::Null { place, positive } => {
+            CanonPred::Null { place: place.clone(), positive: *positive }
+        }
+        Pred::BoolVar { name, positive } => {
+            CanonPred::Bool { name: name.clone(), positive: *positive }
+        }
         Pred::IsSpace { arg, positive } => {
             CanonPred::IsSpace { arg: lin_of_term(arg), positive: *positive }
         }
@@ -381,11 +387,7 @@ mod tests {
             Term::int_elem(s.clone(), v("j").add(Term::int(1))),
             Term::int(97),
         );
-        let b = Pred::cmp(
-            CmpOp::Eq,
-            Term::int_elem(s, Term::int(1).add(v("j"))),
-            Term::int(97),
-        );
+        let b = Pred::cmp(CmpOp::Eq, Term::int_elem(s, Term::int(1).add(v("j"))), Term::int(97));
         // NOTE: indices inside IntElem are Terms compared structurally;
         // constructor folding turns both into j + 1 only if built identically.
         // Here Add(j,1) vs Add(1,j) differ structurally, so the canonical

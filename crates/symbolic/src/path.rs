@@ -68,7 +68,9 @@ impl fmt::Display for PathEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
             EntryKind::ExplicitBranch => write!(f, "{} [line {}]", self.pred, self.span.line),
-            EntryKind::Check(id) => write!(f, "{} [line {}, {}]", self.pred, self.span.line, id.kind),
+            EntryKind::Check(id) => {
+                write!(f, "{} [line {}, {}]", self.pred, self.span.line, id.kind)
+            }
             EntryKind::Pin => write!(f, "{} [pin]", self.pred),
         }
     }
@@ -280,7 +282,11 @@ mod tests {
             outcome: PathOutcome::Completed,
         };
         let p2 = PathCondition {
-            entries: vec![entry(Pred::cmp(CmpOp::Le, Term::var("a"), Term::int(0)), 1, EntryKind::ExplicitBranch)],
+            entries: vec![entry(
+                Pred::cmp(CmpOp::Le, Term::var("a"), Term::int(0)),
+                1,
+                EntryKind::ExplicitBranch,
+            )],
             outcome: PathOutcome::Completed,
         };
         assert!(p1.shares_prefix(&p2, 1));

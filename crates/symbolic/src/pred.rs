@@ -107,9 +107,15 @@ impl Pred {
     pub fn negated(&self) -> Pred {
         match self {
             Pred::Cmp(op, a, b) => Pred::Cmp(op.negated(), a.clone(), b.clone()),
-            Pred::Null { place, positive } => Pred::Null { place: place.clone(), positive: !positive },
-            Pred::BoolVar { name, positive } => Pred::BoolVar { name: name.clone(), positive: !positive },
-            Pred::IsSpace { arg, positive } => Pred::IsSpace { arg: arg.clone(), positive: !positive },
+            Pred::Null { place, positive } => {
+                Pred::Null { place: place.clone(), positive: !positive }
+            }
+            Pred::BoolVar { name, positive } => {
+                Pred::BoolVar { name: name.clone(), positive: !positive }
+            }
+            Pred::IsSpace { arg, positive } => {
+                Pred::IsSpace { arg: arg.clone(), positive: !positive }
+            }
             Pred::Const(b) => Pred::Const(!b),
         }
     }
@@ -147,10 +153,9 @@ impl Pred {
             Pred::Cmp(op, a, b) => {
                 Pred::Cmp(*op, a.subst_var(name, replacement), b.subst_var(name, replacement))
             }
-            Pred::Null { place, positive } => Pred::Null {
-                place: subst_place_var(place, name, replacement),
-                positive: *positive,
-            },
+            Pred::Null { place, positive } => {
+                Pred::Null { place: subst_place_var(place, name, replacement), positive: *positive }
+            }
             Pred::BoolVar { .. } | Pred::Const(_) => self.clone(),
             Pred::IsSpace { arg, positive } => {
                 Pred::IsSpace { arg: arg.subst_var(name, replacement), positive: *positive }

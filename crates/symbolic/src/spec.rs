@@ -162,7 +162,10 @@ fn lex(src: &str) -> Result<Vec<(STok, usize)>, SpecError> {
             ('<', _, _) => (STok::Lt, 1),
             ('>', _, _) => (STok::Gt, 1),
             other => {
-                return Err(SpecError { message: format!("unexpected character {:?}", other.0), offset: start })
+                return Err(SpecError {
+                    message: format!("unexpected character {:?}", other.0),
+                    offset: start,
+                })
             }
         };
         out.push((tok, start));
@@ -454,12 +457,10 @@ impl<'a> SpecParser<'a> {
     /// `[str]` place is `str`.
     fn place_ty(&self, place: &Place) -> Result<Ty, SpecError> {
         match place {
-            Place::Param(name) => {
-                self.sig.get(name).copied().ok_or(SpecError {
-                    message: format!("unknown parameter {name}"),
-                    offset: self.offset(),
-                })
-            }
+            Place::Param(name) => self.sig.get(name).copied().ok_or(SpecError {
+                message: format!("unknown parameter {name}"),
+                offset: self.offset(),
+            }),
             Place::Elem(..) => Ok(Ty::Str),
         }
     }

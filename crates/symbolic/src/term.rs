@@ -74,7 +74,9 @@ impl SymVar {
         match self {
             SymVar::Int(n) => n == name,
             SymVar::Len(p) => p.mentions_var(name),
-            SymVar::IntElem(p, ix) | SymVar::Char(p, ix) => p.mentions_var(name) || ix.mentions_var(name),
+            SymVar::IntElem(p, ix) | SymVar::Char(p, ix) => {
+                p.mentions_var(name) || ix.mentions_var(name)
+            }
         }
     }
 
@@ -119,7 +121,7 @@ pub enum Term {
 }
 
 #[allow(clippy::should_implement_trait)] // `add`/`sub`/… are deliberate builder names: they
-// fold constants and normalize, which operator impls must not silently do.
+                                         // fold constants and normalize, which operator impls must not silently do.
 impl Term {
     /// Constant term.
     pub fn int(v: i64) -> Term {
@@ -224,7 +226,9 @@ impl Term {
             Term::Const(_) => false,
             Term::Var(v) => v.mentions_var(name),
             Term::Add(a, b) | Term::Sub(a, b) => a.mentions_var(name) || b.mentions_var(name),
-            Term::Neg(a) | Term::Mul(_, a) | Term::Div(a, _) | Term::Rem(a, _) => a.mentions_var(name),
+            Term::Neg(a) | Term::Mul(_, a) | Term::Div(a, _) | Term::Rem(a, _) => {
+                a.mentions_var(name)
+            }
         }
     }
 
@@ -268,7 +272,9 @@ impl Term {
                 a.collect_vars(out);
                 b.collect_vars(out);
             }
-            Term::Neg(a) | Term::Mul(_, a) | Term::Div(a, _) | Term::Rem(a, _) => a.collect_vars(out),
+            Term::Neg(a) | Term::Mul(_, a) | Term::Div(a, _) | Term::Rem(a, _) => {
+                a.collect_vars(out)
+            }
         }
     }
 }

@@ -47,11 +47,7 @@ fn pred_strategy() -> impl Strategy<Value = Pred> {
 }
 
 fn state_strategy() -> impl Strategy<Value = MethodEntryState> {
-    (
-        -10i64..=10,
-        -10i64..=10,
-        proptest::option::of(proptest::collection::vec(-5i64..=5, 3..=5)),
-    )
+    (-10i64..=10, -10i64..=10, proptest::option::of(proptest::collection::vec(-5i64..=5, 3..=5)))
         .prop_map(|(x, y, a)| {
             MethodEntryState::from_pairs([
                 ("x".to_string(), InputValue::Int(x)),

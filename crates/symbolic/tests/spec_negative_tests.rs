@@ -32,15 +32,15 @@ fn rejects_syntax_garbage() {
 fn rejects_type_misuse() {
     let f = func("fn f(x int, s str, a [int], b bool) { return; }");
     for bad in [
-        "x == null",        // int vs null
-        "s > 1",            // place as term
-        "len(x) > 0",       // len of int
-        "strlen(a) > 0",    // strlen of array
-        "char_at(a, 0) > 0",// char_at of array
-        "is_space(s)",      // is_space of place
-        "b > 0",            // bool as term
-        "a[0] == null",     // int element vs null
-        "x / y > 1",        // unknown identifier y
+        "x == null",         // int vs null
+        "s > 1",             // place as term
+        "len(x) > 0",        // len of int
+        "strlen(a) > 0",     // strlen of array
+        "char_at(a, 0) > 0", // char_at of array
+        "is_space(s)",       // is_space of place
+        "b > 0",             // bool as term
+        "a[0] == null",      // int element vs null
+        "x / y > 1",         // unknown identifier y
     ] {
         assert!(parse_spec(bad, &f).is_err(), "{bad:?} should not parse");
     }
@@ -65,10 +65,8 @@ fn nested_quantifiers_parse_and_evaluate() {
     )]);
     assert_eq!(eval_on_state(&formula, &first), Ok(true));
     // rows all non-null: false.
-    let none = MethodEntryState::from_pairs([(
-        "rows",
-        InputValue::ArrayStr(Some(vec![Some(vec![97])])),
-    )]);
+    let none =
+        MethodEntryState::from_pairs([("rows", InputValue::ArrayStr(Some(vec![Some(vec![97])])))]);
     assert_eq!(eval_on_state(&formula, &none), Ok(false));
 }
 

@@ -12,8 +12,9 @@ use concolic::{run_concolic, ConcolicConfig};
 use minilang::{InputValue, MethodEntryState, Ty, TypedProgram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use solver::{solve_preds, FuncSig, SolveResult, SolverConfig};
+use solver::{solve_preds_with, FuncSig, SolveResult, SolverCache, SolverConfig};
 use std::collections::HashSet;
+use std::sync::Arc;
 use symbolic::{canon_pred, CanonPred, Pred};
 
 /// Test-generation configuration.
@@ -36,6 +37,10 @@ pub struct TestGenConfig {
     pub concolic: ConcolicConfig,
     /// Solver budget.
     pub solver: SolverConfig,
+    /// Canonicalizing memo table fronting branch-flip solver calls; safe to
+    /// share with the inference pipeline (entries are pure functions of the
+    /// canonical query, so sharing never changes generated suites).
+    pub solver_cache: Option<Arc<SolverCache>>,
 }
 
 impl Default for TestGenConfig {
@@ -49,6 +54,7 @@ impl Default for TestGenConfig {
             rng_seed: 0x5EED,
             concolic: ConcolicConfig::default(),
             solver: SolverConfig::default(),
+            solver_cache: None,
         }
     }
 }
@@ -72,9 +78,9 @@ pub fn generate_tests(program: &TypedProgram, func_name: &str, cfg: &TestGenConf
     let mut queue: std::collections::VecDeque<(usize, usize)> = Default::default();
 
     let execute = |state: MethodEntryState,
-                       suite: &mut Suite,
-                       seen_states: &mut HashSet<MethodEntryState>,
-                       seen_paths: &mut HashSet<Vec<CanonPred>>|
+                   suite: &mut Suite,
+                   seen_states: &mut HashSet<MethodEntryState>,
+                   seen_paths: &mut HashSet<Vec<CanonPred>>|
      -> Option<usize> {
         if !seen_states.insert(state.clone()) {
             return None;
@@ -133,7 +139,7 @@ pub fn generate_tests(program: &TypedProgram, func_name: &str, cfg: &TestGenConf
             continue;
         }
         flips += 1;
-        match solve_preds(&preds, &sig, &cfg.solver) {
+        match solve_preds_with(&preds, &sig, &cfg.solver, cfg.solver_cache.as_deref()).0 {
             SolveResult::Sat(model) => {
                 if let Some(idx) = execute(model, &mut suite, &mut seen_states, &mut seen_paths) {
                     // Expand only the suffix the new path discovered.
@@ -195,7 +201,5 @@ fn random_value(ty: Ty, rng: &mut StdRng) -> InputValue {
 
 fn random_chars(rng: &mut StdRng) -> Vec<i64> {
     let len = rng.gen_range(0..=4);
-    (0..len)
-        .map(|_| if rng.gen_bool(0.3) { 32 } else { rng.gen_range(97..=99) })
-        .collect()
+    (0..len).map(|_| if rng.gen_bool(0.3) { 32 } else { rng.gen_range(97..=99) }).collect()
 }

@@ -57,7 +57,8 @@ fn coverage_reaches_all_blocks_of_fig1() {
 
 #[test]
 fn finds_division_by_zero() {
-    let tp = compile("fn f(x int, y int) -> int { if (x > 2) { return x / y; } return 0; }").unwrap();
+    let tp =
+        compile("fn f(x int, y int) -> int { if (x > 2) { return x / y; } return 0; }").unwrap();
     let suite = generate_tests(&tp, "f", &TestGenConfig::default());
     let acls = suite.triggered_acls();
     assert!(acls.iter().any(|a| a.kind == CheckKind::DivByZero), "{acls:?}");
@@ -73,8 +74,7 @@ fn finds_division_by_zero() {
 
 #[test]
 fn finds_assert_violation_behind_arithmetic() {
-    let tp =
-        compile("fn f(x int) { let y = x * 3 + 1; assert(y != 13); }").unwrap();
+    let tp = compile("fn f(x int) { let y = x * 3 + 1; assert(y != 13); }").unwrap();
     let suite = generate_tests(&tp, "f", &TestGenConfig::default());
     let acls = suite.triggered_acls();
     assert!(

@@ -36,7 +36,9 @@ fn main() {
     println!();
 
     // Step 3: "insert" the guards — re-run the whole suite through them.
-    let guarded = |state: &MethodEntryState| guards.iter().all(|g| preinfer::preinfer_core::validates(g, state));
+    let guarded = |state: &MethodEntryState| {
+        guards.iter().all(|g| preinfer::preinfer_core::validates(g, state))
+    };
     let mut blocked_failing = 0usize;
     let mut admitted_failing = 0usize;
     let mut blocked_passing = 0usize;

@@ -35,8 +35,9 @@ fn main() {
         let (pass, fail) = suite.partition(acl);
         println!("  suite: {} passing / {} failing tests", pass.len(), fail.len());
 
-        let inferred = infer_precondition(&tp, subject.name, acl, &suite, &PreInferConfig::default())
-            .expect("failing tests exist");
+        let inferred =
+            infer_precondition(&tp, subject.name, acl, &suite, &PreInferConfig::default())
+                .expect("failing tests exist");
         println!("  inferred α: {}", inferred.precondition.alpha);
         println!("  inferred ψ: {}", inferred.precondition.psi);
         println!(

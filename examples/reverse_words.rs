@@ -38,8 +38,9 @@ fn main() {
 
     for acl in suite.triggered_acls() {
         let Some(truth_alpha) = subject.truth_alpha(&tp, acl) else { continue };
-        let inferred = infer_precondition(&tp, subject.name, acl, &suite, &PreInferConfig::default())
-            .expect("failing tests exist");
+        let inferred =
+            infer_precondition(&tp, subject.name, acl, &suite, &PreInferConfig::default())
+                .expect("failing tests exist");
         println!("ACL {acl}");
         println!("  inferred ψ: {}", inferred.precondition.psi);
         let truth_psi = truth_alpha.negated();

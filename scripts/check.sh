@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, the full test suite, and the
+# solver-cache perf smoke (writes BENCH_solver_cache.json in the repo root).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "== perf smoke (BENCH_solver_cache.json)"
+cargo build --release -p bench --quiet
+./target/release/perf_smoke
+
+echo "== OK"

@@ -2,49 +2,78 @@
 //! program the way the paper's prototype extends Pex.
 //!
 //! ```text
-//! preinfer path/to/program.ml [--fn NAME] [--baselines] [--tests N] [--verbose]
+//! preinfer path/to/program.ml [--fn NAME] [--baselines] [--tests N]
+//!          [--jobs N] [--no-solver-cache] [--verbose]
 //! ```
 //!
 //! Generates a test suite for the function (default: the first one), then
 //! prints, for every assertion-containing location the suite triggers, the
 //! inferred precondition `ψ`, the failure condition `α`, pruning statistics
-//! and suite-based quality. `--baselines` additionally prints FixIt's and
-//! DySy's inferences for comparison.
+//! and suite-based quality. Inference for the locations runs on `--jobs`
+//! worker threads (default: all cores) sharing a canonicalizing solver
+//! cache; both knobs only affect speed, never results. `--baselines`
+//! additionally prints FixIt's and DySy's inferences for comparison.
 
 use preinfer::prelude::*;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Options {
     path: String,
     func: Option<String>,
     baselines: bool,
     max_runs: Option<usize>,
+    jobs: usize,
+    solver_cache: bool,
     verbose: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: preinfer <program.ml> [--fn NAME] [--baselines] [--tests N] [--verbose]\n\
+        "usage: preinfer <program.ml> [--fn NAME] [--baselines] [--tests N]\n\
+         \x20               [--jobs N] [--no-solver-cache] [--verbose]\n\
          \n\
          Infers preconditions for every assertion-containing location that\n\
-         generated tests can make fail, per the PreInfer (DSN 2018) pipeline."
+         generated tests can make fail, per the PreInfer (DSN 2018) pipeline.\n\
+         \n\
+         --jobs N           worker threads for per-ACL inference (default:\n\
+         \x20                  all cores; results are identical for any N)\n\
+         --no-solver-cache  disable the canonicalizing solver query cache"
     );
     std::process::exit(2);
 }
 
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
-    let mut opts =
-        Options { path: String::new(), func: None, baselines: false, max_runs: None, verbose: false };
+    let mut opts = Options {
+        path: String::new(),
+        func: None,
+        baselines: false,
+        max_runs: None,
+        jobs: default_jobs(),
+        solver_cache: true,
+        verbose: false,
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--fn" => opts.func = args.next().or_else(|| usage()),
             "--baselines" => opts.baselines = true,
             "--verbose" => opts.verbose = true,
+            "--no-solver-cache" => opts.solver_cache = false,
             "--tests" => {
-                opts.max_runs = Some(
-                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-                )
+                opts.max_runs =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--jobs" => {
+                opts.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
             }
             "--help" | "-h" => usage(),
             other if opts.path.is_empty() && !other.starts_with('-') => {
@@ -86,10 +115,12 @@ fn main() -> ExitCode {
         None => program.program().funcs[0].name.clone(),
     };
 
+    let cache = opts.solver_cache.then(|| Arc::new(SolverCache::new()));
     let mut tg = TestGenConfig::default();
     if let Some(n) = opts.max_runs {
         tg.max_runs = n;
     }
+    tg.solver_cache = cache.clone();
     println!("generating tests for `{func_name}` …");
     let suite = generate_tests(&program, &func_name, &tg);
     let func = program.func(&func_name).expect("checked above");
@@ -104,7 +135,15 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    for acl in suite.triggered_acls() {
+    let mut cfg = PreInferConfig::default();
+    cfg.prune.solver_cache = cache.clone();
+    cfg.prune.jobs = opts.jobs;
+    let start = std::time::Instant::now();
+    let inferred = infer_all_preconditions(&program, &func_name, &suite, &cfg, opts.jobs);
+    let elapsed = start.elapsed();
+
+    for (acl, inf) in &inferred {
+        let acl = *acl;
         let (pass, fail) = suite.partition(acl);
         println!("── {acl} ─ {} failing / {} passing tests", fail.len(), pass.len());
         if opts.verbose {
@@ -112,49 +151,68 @@ fn main() -> ExitCode {
                 println!("   e.g. failing input {}", f.state);
             }
         }
-        match infer_precondition(&program, &func_name, acl, &suite, &PreInferConfig::default()) {
-            None => println!("   (no failing tests reached this location)"),
-            Some(inf) => {
-                println!("   PreInfer ψ: {}", inf.precondition.psi);
-                if opts.verbose {
-                    println!("   PreInfer α: {}", inf.precondition.alpha);
-                    println!(
-                        "   pruning: {} examined, {} removed, {} kept by c-depend, {} by d-impact, {} by the guard, {} dynamic runs",
-                        inf.prune_stats.examined,
-                        inf.prune_stats.removed,
-                        inf.prune_stats.kept_c_depend,
-                        inf.prune_stats.kept_d_impact,
-                        inf.prune_stats.kept_guard,
-                        inf.prune_stats.dynamic_runs,
-                    );
-                }
-                let blocked = fail
-                    .iter()
-                    .filter(|r| !preinfer::preinfer_core::validates(&inf.precondition.psi, &r.state))
-                    .count();
-                let admitted = pass
-                    .iter()
-                    .filter(|r| preinfer::preinfer_core::validates(&inf.precondition.psi, &r.state))
-                    .count();
-                println!(
-                    "   blocks {blocked}/{} failing and admits {admitted}/{} passing tests (|ψ| = {})",
-                    fail.len(),
-                    pass.len(),
-                    inf.precondition.psi.complexity()
-                );
-            }
+        println!("   PreInfer ψ: {}", inf.precondition.psi);
+        if opts.verbose {
+            println!("   PreInfer α: {}", inf.precondition.alpha);
+            println!(
+                "   pruning: {} examined, {} removed, {} kept by c-depend, {} by d-impact, {} by the guard, {} dynamic runs, {} cache hits / {} misses",
+                inf.prune_stats.examined,
+                inf.prune_stats.removed,
+                inf.prune_stats.kept_c_depend,
+                inf.prune_stats.kept_d_impact,
+                inf.prune_stats.kept_guard,
+                inf.prune_stats.dynamic_runs,
+                inf.prune_stats.solver_cache_hits,
+                inf.prune_stats.solver_cache_misses,
+            );
         }
+        let blocked = fail
+            .iter()
+            .filter(|r| !preinfer::preinfer_core::validates(&inf.precondition.psi, &r.state))
+            .count();
+        let admitted = pass
+            .iter()
+            .filter(|r| preinfer::preinfer_core::validates(&inf.precondition.psi, &r.state))
+            .count();
+        println!(
+            "   blocks {blocked}/{} failing and admits {admitted}/{} passing tests (|ψ| = {})",
+            fail.len(),
+            pass.len(),
+            inf.precondition.psi.complexity()
+        );
         if opts.baselines {
             if let Some(p) = infer_fixit(acl, &suite) {
                 println!("   FixIt    ψ: {}", p.psi);
             }
             if let Some(p) = infer_dysy(acl, &suite) {
                 let s = p.psi.to_string();
-                let shown = if s.len() > 160 { format!("{}… [{} chars]", &s[..160], s.len()) } else { s };
+                let shown =
+                    if s.len() > 160 { format!("{}… [{} chars]", &s[..160], s.len()) } else { s };
                 println!("   DySy     ψ: {shown}");
             }
         }
         println!();
+    }
+
+    print!(
+        "inferred {} precondition(s) in {:.2}s on {} thread(s)",
+        inferred.len(),
+        elapsed.as_secs_f64(),
+        opts.jobs
+    );
+    match &cache {
+        Some(c) => {
+            let s = c.stats();
+            println!(
+                "; solver cache: {} hits / {} misses ({:.0}% hit rate), {} entries, {} evicted",
+                s.hits,
+                s.misses,
+                100.0 * s.hit_rate(),
+                s.entries,
+                s.evictions
+            );
+        }
+        None => println!("; solver cache disabled"),
     }
     ExitCode::SUCCESS
 }

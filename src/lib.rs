@@ -54,9 +54,13 @@ pub mod prelude {
     pub use interp::{run, InterpConfig};
     pub use minilang::{compile, InputValue, MethodEntryState};
     pub use preinfer_core::{
-        evaluate_precondition, infer_precondition, PreInferConfig, ProbeConfig,
+        evaluate_precondition, infer_all_preconditions, infer_precondition, PreInferConfig,
+        ProbeConfig,
     };
-    pub use solver::{solve_preds, FuncSig, SolveResult, SolverConfig};
+    pub use solver::{
+        solve_preds, solve_preds_cached, CacheStats, FuncSig, SolveResult, SolverCache,
+        SolverConfig,
+    };
     pub use symbolic::{parse_spec, Formula, PathCondition, Pred};
     pub use testgen::{generate_tests, TestGenConfig};
 }

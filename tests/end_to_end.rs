@@ -46,10 +46,8 @@ fn reverse_words_case_study() {
 /// comparison, on one method.
 #[test]
 fn guarded_division_separates_approaches() {
-    let m = preinfer::subjects::all_subjects()
-        .into_iter()
-        .find(|m| m.name == "guarded_div")
-        .unwrap();
+    let m =
+        preinfer::subjects::all_subjects().into_iter().find(|m| m.name == "guarded_div").unwrap();
     let r = evaluate_method(&m, &EvalConfig::default());
     let acl = r.acls.iter().find(|a| a.kind == "DivideByZero").unwrap();
     assert!(acl.preinfer.both());
@@ -61,10 +59,8 @@ fn guarded_division_separates_approaches() {
 /// trivially sufficient; PreInfer has no witnesses to prune with.
 #[test]
 fn always_fails_corner() {
-    let m = preinfer::subjects::all_subjects()
-        .into_iter()
-        .find(|m| m.name == "always_fails")
-        .unwrap();
+    let m =
+        preinfer::subjects::all_subjects().into_iter().find(|m| m.name == "always_fails").unwrap();
     let r = evaluate_method(&m, &EvalConfig::default());
     let acl = r.acls.iter().find(|a| a.kind == "DivideByZero").unwrap();
     assert!(acl.dysy.sufficient);
@@ -102,7 +98,8 @@ fn sufficiency_is_consistent_with_validates() {
         let tp = m.compile();
         let suite = generate_tests(&tp, m.name, &cfg.testgen);
         for acl in suite.triggered_acls() {
-            let Some(inf) = infer_precondition(&tp, m.name, acl, &suite, &PreInferConfig::default())
+            let Some(inf) =
+                infer_precondition(&tp, m.name, acl, &suite, &PreInferConfig::default())
             else {
                 continue;
             };
@@ -122,7 +119,8 @@ fn sufficiency_is_consistent_with_validates() {
 /// strictly dominates FixIt's.
 #[test]
 fn preinfer_dominates_fixit_on_slice() {
-    let picks = ["bubble_sort", "stack_pop", "inverse_sum", "guarded_div", "all_equal_42", "queue_front"];
+    let picks =
+        ["bubble_sort", "stack_pop", "inverse_sum", "guarded_div", "all_equal_42", "queue_front"];
     let methods: Vec<_> = preinfer::subjects::all_subjects()
         .into_iter()
         .filter(|m| picks.contains(&m.name))

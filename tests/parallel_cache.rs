@@ -1,0 +1,145 @@
+//! The determinism / differential contract of the parallel inference
+//! pipeline and the canonicalizing solver cache.
+//!
+//! Two properties are locked in, end to end, over the evaluation corpus:
+//!
+//! 1. **Differential**: fronting the solver with the [`SolverCache`] never
+//!    changes an answer. Every path-condition prefix the corpus produces
+//!    gets the same verdict (and the same model, bit for bit) from the
+//!    cached and the cache-bypassing entry points, and the inferred `ψ`
+//!    renders identically with the cache on and off.
+//! 2. **Determinism**: `infer_all_preconditions` produces identical output
+//!    (same ACLs, same disjunct order, same rendered `α`/`ψ`, same pruning
+//!    counters) for `jobs = 1` and `jobs = 8`, with a shared cache in play.
+//!
+//! Both properties hold by construction — the cache stores only values
+//! that are pure functions of their canonical keys, and per-path pruning
+//! uses private witness pools — but these tests are the executable form of
+//! that argument.
+
+use preinfer::prelude::*;
+use preinfer_core::Inference;
+use solver::solve_preds_with;
+use std::sync::Arc;
+
+/// Runs inference for every triggered ACL with the given cache setting and
+/// job count, rendering each result to a comparable summary string.
+fn infer_corpus_summaries(
+    m: &subjects::SubjectMethod,
+    use_cache: bool,
+    jobs: usize,
+) -> Vec<String> {
+    let tp = m.compile();
+    let suite = generate_tests(&tp, m.name, &TestGenConfig::default());
+    let mut cfg = PreInferConfig::default();
+    cfg.prune.solver_cache = use_cache.then(|| Arc::new(SolverCache::new()));
+    cfg.prune.jobs = jobs;
+    infer_all_preconditions(&tp, m.name, &suite, &cfg, jobs)
+        .iter()
+        .map(|(acl, inf)| summarize(m.name, *acl, inf))
+        .collect()
+}
+
+/// Everything observable about one inference except the cache counters
+/// (hit/miss splits depend on traffic order, which is scheduling-dependent
+/// and explicitly outside the determinism contract).
+fn summarize(method: &str, acl: minilang::CheckId, inf: &Inference) -> String {
+    let s = &inf.prune_stats;
+    let disjuncts: Vec<String> = inf
+        .disjuncts
+        .iter()
+        .map(|d| {
+            let parts: Vec<String> = d.parts.iter().map(|p| p.to_string()).collect();
+            format!("[{}]{}", parts.join(" && "), if d.quantified { "Q" } else { "" })
+        })
+        .collect();
+    format!(
+        "{method} {acl:?} psi={} alpha={} quantified={} ndisj={} disjuncts={} \
+         examined={} kept_c={} kept_d={} kept_g={} removed={} runs={}",
+        inf.precondition.psi,
+        inf.precondition.alpha,
+        inf.precondition.quantified,
+        inf.precondition.disjuncts,
+        disjuncts.join(" | "),
+        s.examined,
+        s.kept_c_depend,
+        s.kept_d_impact,
+        s.kept_guard,
+        s.removed,
+        s.dynamic_runs,
+    )
+}
+
+/// Differential, solver level: for every subject, every branch-prefix of
+/// every executed path gets the same verdict and model through the cache as
+/// around it.
+#[test]
+fn cached_and_uncached_solver_agree_on_corpus_queries() {
+    let solver_cfg = SolverConfig::default();
+    let mut queries = 0usize;
+    for m in subjects::all_subjects() {
+        let tp = m.compile();
+        let func = m.func(&tp);
+        let sig = FuncSig::of(func);
+        let suite = generate_tests(&tp, m.name, &TestGenConfig::default());
+        // One shared cache per subject, warmed as we go: later queries
+        // exercise the hit path, earlier ones the miss path.
+        let cache = SolverCache::new();
+        for run in &suite.runs {
+            let preds: Vec<Pred> = run.path.entries.iter().map(|e| e.pred.clone()).collect();
+            for n in 1..=preds.len() {
+                let prefix = &preds[..n];
+                let cached = solve_preds_with(prefix, &sig, &solver_cfg, Some(&cache)).0;
+                let uncached = solve_preds(prefix, &sig, &solver_cfg);
+                assert_eq!(
+                    cached, uncached,
+                    "subject {}::{} diverges on prefix {:?}",
+                    m.namespace, m.name, prefix
+                );
+                queries += 1;
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "prefix chains never re-hit the cache: {stats:?}");
+    }
+    assert!(queries > 100, "corpus produced only {queries} queries");
+}
+
+/// Differential, pipeline level: for every subject, the inferred `ψ` (and
+/// everything else observable about the inference) renders identically
+/// with the cache on and off.
+#[test]
+fn inferred_psi_identical_with_cache_on_and_off() {
+    for m in subjects::all_subjects() {
+        let with_cache = infer_corpus_summaries(&m, true, 1);
+        let without_cache = infer_corpus_summaries(&m, false, 1);
+        assert_eq!(
+            with_cache, without_cache,
+            "cache changed inference output for {}::{}",
+            m.namespace, m.name
+        );
+    }
+}
+
+/// Determinism: `jobs = 1` and `jobs = 8` produce identical inference
+/// output — same ACLs in the same order, same disjunct order, same rendered
+/// formulas — on the motivating example and two corpus subjects.
+#[test]
+fn jobs_1_and_jobs_8_produce_identical_inference() {
+    let all = subjects::all_subjects();
+    let picks = [
+        subjects::motivating::motivating(),
+        all.iter().find(|m| m.name == "bubble_sort").expect("bubble_sort in corpus").clone(),
+        all.iter().find(|m| m.name == "inverse_sum").expect("inverse_sum in corpus").clone(),
+    ];
+    for m in picks {
+        let serial = infer_corpus_summaries(&m, true, 1);
+        let parallel = infer_corpus_summaries(&m, true, 8);
+        assert!(!serial.is_empty(), "{}::{} triggered no ACLs", m.namespace, m.name);
+        assert_eq!(
+            serial, parallel,
+            "thread count changed inference output for {}::{}",
+            m.namespace, m.name
+        );
+    }
+}

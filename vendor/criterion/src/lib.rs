@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API subset its benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`), [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Instead of criterion's statistical machinery it reports the
+//! mean, minimum and maximum wall-clock time over `sample_size` samples,
+//! which is enough to track the perf trajectory recorded in
+//! `BENCH_solver_cache.json`.
+//!
+//! A benchmark name filter can be passed on the command line exactly like
+//! criterion's substring filter (`cargo bench -- solver`).
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One timed sample: runs the routine `iters` times.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back runs of `f`.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A single benchmark's aggregated measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/name` or bare `name`).
+    pub id: String,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest sample's per-iteration time.
+    pub min: Duration,
+    /// Slowest sample's per-iteration time.
+    pub max: Duration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip flags cargo/the harness passes (e.g. `--bench`); the first
+        // bare argument is a substring filter, like criterion's.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter, sample_size: 20, measurements: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run(name.to_string(), sample_size, f);
+        self
+    }
+
+    /// Opens a named group whose benches share settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { c: self, name: name.to_string(), sample_size }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up sample sizes the iteration count so one sample takes
+        // roughly 50ms (and at least one iteration).
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let warm = b.elapsed.max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(50).as_nanos() / warm.as_nanos()).clamp(1, 10_000) as u64;
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size.max(1) {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            per_iter.push(b.elapsed / iters as u32);
+        }
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        let min = *per_iter.iter().min().expect("at least one sample");
+        let max = *per_iter.iter().max().expect("at least one sample");
+        println!(
+            "{id:<48} time: [{} {} {}]  ({} samples × {iters} iters)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            per_iter.len(),
+        );
+        self.measurements.push(Measurement { id, mean, min, max });
+    }
+}
+
+/// A group of related benchmarks (subset of criterion's).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size;
+        self.c.run(id, sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = Criterion { filter: None, sample_size: 3, measurements: Vec::new() };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].mean >= c.measurements()[0].min);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_filter_applies() {
+        let mut c =
+            Criterion { filter: Some("keep".into()), sample_size: 2, measurements: Vec::new() };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("keep_me", |b| b.iter(|| ()));
+        g.bench_function("skip_me", |b| b.iter(|| ()));
+        g.finish();
+        assert_eq!(c.measurements().len(), 1);
+        assert_eq!(c.measurements()[0].id, "g/keep_me");
+    }
+}

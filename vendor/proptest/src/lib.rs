@@ -1,0 +1,613 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of proptest it uses: the [`strategy::Strategy`] combinators
+//! (`prop_map`, `prop_recursive`, `boxed`, tuples, ranges, `Just`,
+//! `Union`/`prop_oneof!`, `collection::vec`, `option::of`, `bool::ANY`,
+//! `num::u64::ANY`), the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros, [`test_runner::TestRunner`] and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports the generated inputs as-is.
+//! * **Fixed deterministic seed** per test function (plus the case index),
+//!   so failures reproduce exactly; `PROPTEST_CASES` still scales the case
+//!   count.
+//! * `prop_recursive(depth, …)` expands the recursion eagerly `depth`
+//!   times instead of targeting an expected size.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The random source handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// Why a value could not be produced (kept for API compatibility; the
+    /// shim never fails to generate).
+    #[derive(Debug, Clone)]
+    pub struct Reason(pub String);
+
+    impl std::fmt::Display for Reason {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Test-loop configuration (subset of proptest's).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// The case count, after applying the `PROPTEST_CASES` override.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; the shim trims it because the
+            // heaviest properties here run an exact-rational solver per
+            // case in debug builds. PROPTEST_CASES cranks it back up.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drives value generation for strategies.
+    pub struct TestRunner {
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed, documented seed.
+        pub fn deterministic() -> Self {
+            TestRunner { rng: TestRng::seed_from_u64(0x5EED_CAFE) }
+        }
+
+        /// A runner seeded explicitly (used by the [`crate::proptest!`]
+        /// macro so each test function gets a distinct stream).
+        pub fn from_seed(seed: u64) -> Self {
+            TestRunner { rng: TestRng::seed_from_u64(seed) }
+        }
+
+        /// The underlying random source.
+        pub fn rng_mut(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::{Reason, TestRng, TestRunner};
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A generated value. The real crate's value trees support shrinking;
+    /// the shim's just hold the value.
+    pub struct ValueTree<T> {
+        value: T,
+    }
+
+    impl<T: Clone> ValueTree<T> {
+        /// The current (only) value.
+        pub fn current(&self) -> T {
+            self.value.clone()
+        }
+    }
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Clone + std::fmt::Debug + 'static;
+
+        /// Draws one value.
+        fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Produces a (non-shrinking) value tree.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<ValueTree<Self::Value>, Reason>
+        where
+            Self: Sized,
+        {
+            Ok(ValueTree { value: self.gen(runner.rng_mut()) })
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            T: Clone + std::fmt::Debug + 'static,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy behind a cheap clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: Rc::new(self) }
+        }
+
+        /// Builds recursive values: `expand` receives a strategy for the
+        /// inner (smaller) level and returns one level of structure above
+        /// it. The shim expands eagerly `depth` times from the leaf
+        /// strategy; `_desired_size` and `_expected_branch` are accepted
+        /// for signature compatibility.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            expand: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut levels = vec![leaf.clone()];
+            let mut cur = leaf;
+            for _ in 0..depth {
+                cur = expand(cur).boxed();
+                levels.push(cur.clone());
+            }
+            // Mix all depths so generated values vary in size.
+            Union::new(levels).boxed()
+        }
+    }
+
+    /// A clonable, type-erased strategy handle.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { inner: Rc::clone(&self.inner) }
+        }
+    }
+
+    impl<T: Clone + std::fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn gen(&self, rng: &mut TestRng) -> T {
+            self.inner.gen(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + std::fmt::Debug + 'static> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        T: Clone + std::fmt::Debug + 'static,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn gen(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.gen(rng))
+        }
+    }
+
+    /// Uniform choice between same-typed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: Clone + std::fmt::Debug + 'static> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen(&self, rng: &mut TestRng) -> T {
+            let ix = rng.gen_range(0..self.arms.len());
+            self.arms[ix].gen(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.gen(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// A `Vec` of strategies generates element-wise (proptest compat).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen(&self, rng: &mut TestRng) -> Self::Value {
+            self.iter().map(|s| s.gen(rng)).collect()
+        }
+    }
+
+    /// String literals act as regex strategies in proptest. The shim
+    /// supports the one shape the workspace uses: a single character class
+    /// with a `{min,max}` repetition, e.g. `"[ -~]{0,60}"`.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn gen(&self, rng: &mut TestRng) -> String {
+            let (chars, min, max) = parse_class_repeat(self)
+                .unwrap_or_else(|| panic!("unsupported regex strategy {self:?} (shim)"));
+            let n = rng.gen_range(min..=max);
+            (0..n).map(|_| chars[rng.gen_range(0..chars.len())]).collect()
+        }
+    }
+
+    /// Parses `[<class>]{min,max}` into (alphabet, min, max).
+    fn parse_class_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = reps.split_once(',')?;
+        let (min, max) = (lo.parse().ok()?, hi.parse().ok()?);
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i] as u32, class[i + 2] as u32);
+                for c in a..=b {
+                    alphabet.push(char::from_u32(c)?);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() || min > max {
+            return None;
+        }
+        Some((alphabet, min, max))
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An inclusive element-count window.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// The result of [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A vector of `size`-many values drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.min..=self.size.max);
+            (0..n).map(|_| self.elem.gen(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The result of [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` a quarter of the time, otherwise `Some` of the inner value.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn gen(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.gen(rng))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Either boolean, uniformly.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn gen(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod num {
+    pub mod u64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use rand::RngCore;
+
+        /// The strategy type behind [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Any `u64`, uniformly.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u64;
+
+            fn gen(&self, rng: &mut TestRng) -> u64 {
+                rng.next_u64()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategy arms producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Fails the current property case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Fails the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // Distinct deterministic stream per test function.
+                let seed = {
+                    let name = concat!(module_path!(), "::", stringify!($name));
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x100_0000_01b3);
+                    }
+                    h
+                };
+                let mut runner = $crate::test_runner::TestRunner::from_seed(seed);
+                for case in 0..config.effective_cases() {
+                    $(let $arg = $crate::strategy::Strategy::gen(&($strat), runner.rng_mut());)+
+                    let inputs = ($(::core::clone::Clone::clone(&$arg),)+);
+                    let outcome: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest case {case} failed: {msg}\n  inputs ({}): {:?}",
+                            stringify!($($arg),+),
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// The property-test entry macro (subset of proptest's syntax: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `fn` items whose
+/// arguments are `name in strategy` bindings).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn ranges_tuples_and_maps_generate() {
+        let s = (0i64..10, 0i64..=3).prop_map(|(a, b)| a * 10 + b);
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..100 {
+            let v = s.gen(runner.rng_mut());
+            assert!((0..=93).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf(i64),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i64..5).prop_map(T::Leaf);
+        let tree = leaf.prop_recursive(3, 20, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut runner = TestRunner::deterministic();
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = tree.gen(runner.rng_mut());
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, T::Node(..));
+        }
+        assert!(saw_node, "recursion never expanded");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(v in crate::collection::vec(0i32..100, 0..6)) {
+            prop_assert!(v.len() < 6);
+            prop_assert_eq!(v.len(), v.iter().map(|_| 1usize).sum::<usize>());
+        }
+    }
+}
