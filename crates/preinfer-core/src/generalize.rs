@@ -43,9 +43,18 @@ pub trait Template: Send + Sync {
     fn instantiate(&self, path: &ReducedPath) -> Option<TemplateMatch>;
 }
 
-/// The default template registry: Existential then Universal.
+/// The default template registry: Existential, Universal, then the paper's
+/// sketched even/odd-index step instances. The engine picks the validating
+/// match with the largest subsumption, and ties keep the earlier template,
+/// so the step instances only fire where the plain Universal cannot (an
+/// every-other-element family has no witnesses at the skipped indices).
 pub fn default_templates() -> Vec<Box<dyn Template>> {
-    vec![Box::new(ExistentialTemplate), Box::new(UniversalTemplate)]
+    vec![
+        Box::new(ExistentialTemplate),
+        Box::new(UniversalTemplate),
+        Box::new(StepTemplate { step: 2, offset: 0 }),
+        Box::new(StepTemplate { step: 2, offset: 1 }),
+    ]
 }
 
 /// A reduced path after generalization: an ordered conjunction of formula

@@ -229,6 +229,45 @@ mod tests {
         );
     }
 
+    /// The even-index step template (in the default registry) fires end to
+    /// end on an every-other-element loop: the failing family `a[0] == 0,
+    /// a[2] == 0, …` has no witnesses at odd indices, so the plain
+    /// Universal cannot generalize it, and `StepTemplate { step: 2,
+    /// offset: 0 }` produces `∀i. (0 ≤ i ∧ i < len(a) ∧ i % 2 == 0) ⟹
+    /// a[i] == 0`.
+    #[test]
+    fn step_template_fires_on_every_other_element_loop() {
+        const SRC: &str = "
+            fn even_elems_zero(a [int]) -> int {
+                let nonzero = 0;
+                for (let i = 0; i < len(a); i = i + 2) {
+                    if (a[i] != 0) { nonzero = nonzero + 1; }
+                }
+                return 100 / nonzero;
+            }";
+        let tp = minilang::compile(SRC).unwrap();
+        let suite = generate_tests(&tp, "even_elems_zero", &TestGenConfig::default());
+        let acl = suite
+            .triggered_acls()
+            .into_iter()
+            .find(|a| a.kind == minilang::CheckKind::DivByZero)
+            .expect("division ACL triggered");
+        let inf =
+            infer_precondition(&tp, "even_elems_zero", acl, &suite, &PreInferConfig::default())
+                .expect("failing tests exist");
+        assert!(inf.precondition.quantified, "alpha: {}", inf.precondition.alpha);
+        let alpha = inf.precondition.alpha.to_string();
+        assert!(
+            alpha.contains("(i % 2) == 0") && alpha.contains("a[i] == 0"),
+            "step template did not fire: alpha = {alpha}"
+        );
+        // The suite cannot fool the quantified disjunct: every failing test
+        // is blocked, and no passing test is.
+        let (pass, fail) = suite.partition(acl);
+        assert!(fail.iter().all(|r| !crate::metrics::validates(&inf.precondition.psi, &r.state)));
+        assert!(pass.iter().all(|r| crate::metrics::validates(&inf.precondition.psi, &r.state)));
+    }
+
     #[test]
     fn no_failing_tests_means_no_inference() {
         let tp = minilang::compile("fn f(x int) -> int { return x + 1; }").unwrap();

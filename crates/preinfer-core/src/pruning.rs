@@ -217,6 +217,11 @@ fn prune_one(
         if j == last_branch_idx {
             continue;
         }
+        if cfg.solver.deadline.expired() {
+            // Deadline passed: keep every remaining predicate (sound, just
+            // less reduced) rather than issuing further solver calls.
+            break;
+        }
         let is_pin = path.entries[j].kind == EntryKind::Pin;
         stats.examined += 1;
         // --- implied predicates: if `prefix ∧ ¬φ_j` is unsatisfiable, φ_j

@@ -10,7 +10,7 @@ use preinfer_core::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use solver::SolverCache;
+use solver::{Deadline, SolverCache};
 use std::sync::Arc;
 use subjects::SubjectMethod;
 use symbolic::Formula;
@@ -100,6 +100,11 @@ pub struct MethodResult {
     pub solver_cache_hits: u64,
     /// Solver-cache misses observed while evaluating this method.
     pub solver_cache_misses: u64,
+    /// Whether the per-method deadline ([`EvalConfig::timeout_ms`]) expired
+    /// while evaluating this method. A timed-out result is still sound —
+    /// test generation stops early and pruning keeps predicates — but may
+    /// be less reduced than an unbounded run.
+    pub timed_out: bool,
     pub acls: Vec<AclResult>,
 }
 
@@ -118,6 +123,10 @@ pub struct EvalConfig {
     pub jobs: usize,
     /// Front every solver call with a per-method canonicalizing cache.
     pub solver_cache: bool,
+    /// Per-method wall-clock deadline in milliseconds; `None` is unbounded.
+    /// Checked between solver calls, so no single method can hang its
+    /// worker; expiry is surfaced as [`MethodResult::timed_out`].
+    pub timeout_ms: Option<u64>,
 }
 
 impl Default for EvalConfig {
@@ -128,6 +137,7 @@ impl Default for EvalConfig {
             check_probes: 150,
             jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             solver_cache: true,
+            timeout_ms: None,
         }
     }
 }
@@ -169,10 +179,13 @@ pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
     // Per-method cache: test generation, pruning and the baselines all hit
     // the same predicate families, so hit rates are high within a method.
     let cache = cfg.solver_cache.then(|| Arc::new(SolverCache::new()));
+    let deadline = cfg.timeout_ms.map(Deadline::after_ms).unwrap_or_default();
     let mut testgen_cfg = cfg.testgen.clone();
     testgen_cfg.solver_cache = cache.clone();
+    testgen_cfg.solver.deadline = deadline.clone();
     let mut infer_cfg = PreInferConfig::default();
     infer_cfg.prune.solver_cache = cache.clone();
+    infer_cfg.prune.solver.deadline = deadline.clone();
     let suite = generate_tests(&tp, m.name, &testgen_cfg);
     let coverage = suite.coverage_percent(&func);
     let sites = check_sites(&func);
@@ -249,6 +262,7 @@ pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
         tests: suite.len(),
         solver_cache_hits: cache_stats.hits,
         solver_cache_misses: cache_stats.misses,
+        timed_out: deadline.expired(),
         acls,
     }
 }

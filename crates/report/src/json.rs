@@ -30,6 +30,7 @@ fn write_method(out: &mut String, m: &MethodResult, level: usize) {
     let _ = writeln!(out, "{inner}\"tests\": {},", m.tests);
     let _ = writeln!(out, "{inner}\"solver_cache_hits\": {},", m.solver_cache_hits);
     let _ = writeln!(out, "{inner}\"solver_cache_misses\": {},", m.solver_cache_misses);
+    let _ = writeln!(out, "{inner}\"timed_out\": {},", m.timed_out);
     if m.acls.is_empty() {
         let _ = writeln!(out, "{inner}\"acls\": []");
     } else {

@@ -1,0 +1,326 @@
+//! `preinfer-client` — CLI client and load generator for `preinferd`.
+//!
+//! ```text
+//! preinfer-client --addr HOST:PORT ping
+//! preinfer-client --addr HOST:PORT stats
+//! preinfer-client --addr HOST:PORT infer program.ml [--fn NAME]
+//!                 [--deadline-ms N] [--tests N] [--jobs N]
+//! preinfer-client --addr HOST:PORT corpus [NAME] [--check-offline]
+//! preinfer-client --addr HOST:PORT load --requests N --concurrency C
+//!                 [--deadline-ms N] [--out BENCH_server.json]
+//! ```
+//!
+//! * `infer` submits one program and prints the served preconditions.
+//! * `corpus` submits evaluation-corpus subjects by name (all of them
+//!   without a NAME); with `--check-offline` it also runs the offline
+//!   pipeline locally and exits non-zero unless every served ψ is
+//!   byte-identical — the scriptable form of the differential test.
+//! * `load` is the load generator: C connections submitting N requests
+//!   total, reporting throughput and latency quantiles to stdout and to a
+//!   `BENCH_server.json` file.
+
+use server::{served_psis, Client, Histogram, InferRequest};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: preinfer-client --addr HOST:PORT <command>\n\
+         \n\
+         commands:\n\
+         \x20 ping                              liveness check\n\
+         \x20 stats                             cache counters + latency histograms\n\
+         \x20 infer FILE [--fn NAME] [--deadline-ms N] [--tests N] [--jobs N]\n\
+         \x20 corpus [NAME] [--check-offline]   submit corpus subject(s);\n\
+         \x20                                   --check-offline diffs against the\n\
+         \x20                                   local offline pipeline\n\
+         \x20 load --requests N --concurrency C [--deadline-ms N] [--out FILE]\n\
+         \x20                                   load generator (default out:\n\
+         \x20                                   BENCH_server.json)"
+    );
+    std::process::exit(2);
+}
+
+struct Common {
+    addr: String,
+    rest: Vec<String>,
+}
+
+fn parse_common() -> Common {
+    let mut addr = None;
+    let mut rest = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = args.next(),
+            "--help" | "-h" => usage(),
+            _ => rest.push(a),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    if rest.is_empty() {
+        usage();
+    }
+    Common { addr, rest }
+}
+
+fn flag_value(rest: &[String], flag: &str) -> Option<String> {
+    rest.iter().position(|a| a == flag).and_then(|i| rest.get(i + 1).cloned())
+}
+
+fn parse_u64_flag(rest: &[String], flag: &str) -> Option<u64> {
+    flag_value(rest, flag).map(|v| v.parse().unwrap_or_else(|_| usage()))
+}
+
+fn main() -> ExitCode {
+    let c = parse_common();
+    match c.rest[0].as_str() {
+        "ping" => simple(&c.addr, |cl| cl.ping()),
+        "stats" => simple(&c.addr, |cl| cl.stats()),
+        "infer" => cmd_infer(&c),
+        "corpus" => cmd_corpus(&c),
+        "load" => cmd_load(&c),
+        _ => usage(),
+    }
+}
+
+fn simple(
+    addr: &str,
+    f: impl FnOnce(&mut Client) -> Result<server::json::Json, server::ClientError>,
+) -> ExitCode {
+    let mut cl = match Client::connect(addr) {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("preinfer-client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match f(&mut cl) {
+        Ok(resp) => {
+            println!("{}", render(&resp));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("preinfer-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Re-renders a parsed response (stable field order via BTreeMap).
+fn render(v: &server::json::Json) -> String {
+    use server::json::Json;
+    match v {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => server::json::num(*n),
+        Json::Str(s) => server::json::escape(s),
+        Json::Arr(items) => {
+            format!("[{}]", items.iter().map(render).collect::<Vec<_>>().join(","))
+        }
+        Json::Obj(m) => format!(
+            "{{{}}}",
+            m.iter()
+                .map(|(k, v)| format!("{}:{}", server::json::escape(k), render(v)))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    }
+}
+
+fn infer_request_from_flags(program: String, rest: &[String]) -> InferRequest {
+    InferRequest {
+        program,
+        func: flag_value(rest, "--fn"),
+        deadline_ms: parse_u64_flag(rest, "--deadline-ms"),
+        tests: parse_u64_flag(rest, "--tests").map(|v| v as usize),
+        jobs: parse_u64_flag(rest, "--jobs").unwrap_or(1) as usize,
+    }
+}
+
+fn cmd_infer(c: &Common) -> ExitCode {
+    let Some(path) = c.rest.get(1).filter(|p| !p.starts_with("--")) else { usage() };
+    let program = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("preinfer-client: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let req = infer_request_from_flags(program, &c.rest);
+    simple(&c.addr, move |cl| cl.infer(&req))
+}
+
+fn cmd_corpus(c: &Common) -> ExitCode {
+    let check_offline = c.rest.iter().any(|a| a == "--check-offline");
+    let name = c.rest.get(1).filter(|a| !a.starts_with("--")).cloned();
+    let subjects: Vec<subjects::SubjectMethod> = subjects::all_subjects()
+        .into_iter()
+        .filter(|m| name.as_deref().map(|n| m.name == n).unwrap_or(true))
+        .collect();
+    if subjects.is_empty() {
+        eprintln!("preinfer-client: no corpus subject named {:?}", name.unwrap_or_default());
+        return ExitCode::FAILURE;
+    }
+    let mut cl = match Client::connect(&c.addr) {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("preinfer-client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut mismatches = 0usize;
+    for m in &subjects {
+        let req = InferRequest {
+            program: m.source.to_string(),
+            func: Some(m.name.to_string()),
+            deadline_ms: None,
+            tests: None,
+            jobs: 1,
+        };
+        let resp = match cl.infer(&req) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("preinfer-client: {}: {e}", m.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(served) = served_psis(&resp) else {
+            eprintln!("preinfer-client: {}: server error: {}", m.name, render(&resp));
+            return ExitCode::FAILURE;
+        };
+        if check_offline {
+            let offline = offline_psis(m);
+            if served == offline {
+                println!("{}: OK ({} precondition(s) match offline)", m.name, served.len());
+            } else {
+                mismatches += 1;
+                eprintln!(
+                    "{}: MISMATCH\n  served:  {:?}\n  offline: {:?}",
+                    m.name, served, offline
+                );
+            }
+        } else {
+            println!("{}: {} precondition(s): {:?}", m.name, served.len(), served);
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("preinfer-client: {mismatches} subject(s) diverged from offline");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The offline pipeline's rendered ψ strings for one subject, in ACL order
+/// (mirrors `service::run_infer` exactly, minus the daemon).
+fn offline_psis(m: &subjects::SubjectMethod) -> Vec<String> {
+    let tp = m.compile();
+    let suite = testgen::generate_tests(&tp, m.name, &testgen::TestGenConfig::default());
+    let cfg = preinfer_core::PreInferConfig::default();
+    preinfer_core::infer_all_preconditions(&tp, m.name, &suite, &cfg, 1)
+        .iter()
+        .map(|(_, inf)| inf.precondition.psi.to_string())
+        .collect()
+}
+
+fn cmd_load(c: &Common) -> ExitCode {
+    let requests = parse_u64_flag(&c.rest, "--requests").unwrap_or(50) as usize;
+    let concurrency = (parse_u64_flag(&c.rest, "--concurrency").unwrap_or(4) as usize).max(1);
+    let deadline_ms = parse_u64_flag(&c.rest, "--deadline-ms");
+    let out_path = flag_value(&c.rest, "--out").unwrap_or_else(|| "BENCH_server.json".to_string());
+    // A small, fast subject keeps the loop tight; the warm cache makes
+    // repeat submissions cheap, which is exactly what we are measuring.
+    let subject = subjects::all_subjects()
+        .into_iter()
+        .find(|m| m.name == "guarded_div")
+        .expect("corpus has guarded_div");
+    let program = subject.source.to_string();
+    let func = subject.name.to_string();
+
+    let latency = Arc::new(Histogram::new());
+    let ok = Arc::new(AtomicU64::new(0));
+    let overloaded = Arc::new(AtomicU64::new(0));
+    let timed_out = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..concurrency {
+            let (latency, ok, overloaded, timed_out, failed, next) = (
+                Arc::clone(&latency),
+                Arc::clone(&ok),
+                Arc::clone(&overloaded),
+                Arc::clone(&timed_out),
+                Arc::clone(&failed),
+                Arc::clone(&next),
+            );
+            let (addr, program, func) = (c.addr.clone(), program.clone(), func.clone());
+            scope.spawn(move || {
+                let Ok(mut cl) = Client::connect(&addr) else {
+                    failed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                loop {
+                    if next.fetch_add(1, Ordering::Relaxed) >= requests {
+                        return;
+                    }
+                    let req = InferRequest {
+                        program: program.clone(),
+                        func: Some(func.clone()),
+                        deadline_ms,
+                        tests: None,
+                        jobs: 1,
+                    };
+                    let t0 = Instant::now();
+                    match cl.infer(&req) {
+                        Ok(resp) => {
+                            latency.record(t0.elapsed());
+                            let err = resp.str_field("error");
+                            if err == Some("overloaded") {
+                                overloaded.fetch_add(1, Ordering::Relaxed);
+                            } else if resp.get("ok").and_then(|v| v.as_bool()) == Some(true) {
+                                ok.fetch_add(1, Ordering::Relaxed);
+                                if resp.get("timed_out").and_then(|v| v.as_bool()) == Some(true) {
+                                    timed_out.fetch_add(1, Ordering::Relaxed);
+                                }
+                            } else {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            return; // connection is gone; stop this worker
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let (p50, p90, p99) = latency.percentiles_us();
+    let completed = ok.load(Ordering::Relaxed);
+    let report = server::json::ObjBuilder::new()
+        .str("workload", "guarded_div infer")
+        .u64("requests", requests as u64)
+        .u64("concurrency", concurrency as u64)
+        .u64("completed", completed)
+        .u64("overloaded", overloaded.load(Ordering::Relaxed))
+        .u64("timed_out", timed_out.load(Ordering::Relaxed))
+        .u64("failed", failed.load(Ordering::Relaxed))
+        .f64("wall_s", elapsed)
+        .f64("throughput_rps", if elapsed > 0.0 { completed as f64 / elapsed } else { 0.0 })
+        .f64("p50_ms", p50 as f64 / 1e3)
+        .f64("p90_ms", p90 as f64 / 1e3)
+        .f64("p99_ms", p99 as f64 / 1e3)
+        .f64("mean_ms", latency.mean_us() as f64 / 1e3)
+        .build();
+    println!("{report}");
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("preinfer-client: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,105 @@
+//! `preinferd` — the resident precondition-inference daemon.
+//!
+//! ```text
+//! preinferd [--addr HOST:PORT] [--workers N] [--queue N]
+//!           [--default-deadline-ms N]
+//! ```
+//!
+//! Prints `listening on HOST:PORT` once bound (scripts parse this to learn
+//! the port when binding `:0`). SIGTERM or SIGINT triggers a graceful
+//! shutdown: the acceptor stops admitting, in-flight and queued requests
+//! drain, then the process exits 0.
+
+use server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set from the signal handler; polled by the main thread.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: flip the flag.
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Installs `on_signal` for SIGTERM and SIGINT via the libc `signal(2)`
+/// already linked into every Rust binary (no crate dependency needed in
+/// this offline environment).
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: preinferd [--addr HOST:PORT] [--workers N] [--queue N]\n\
+         \x20                [--default-deadline-ms N]\n\
+         \n\
+         Serves the PreInfer pipeline over the length-prefixed JSON protocol\n\
+         (see PROTOCOL.md). Defaults: --addr 127.0.0.1:0 (prints the bound\n\
+         port), --workers = cores, --queue 64. SIGTERM drains and exits 0."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServerConfig {
+    let mut cfg = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = args.next().unwrap_or_else(|| usage()),
+            "--workers" => {
+                cfg.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--queue" => {
+                cfg.queue_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--default-deadline-ms" => {
+                cfg.default_deadline_ms =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    install_signal_handlers();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("preinferd: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Parsed by scripts; keep the format stable.
+    println!("listening on {}", server.local_addr());
+    let handle = server.handle();
+    while !SIGNALLED.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("preinferd: signal received, draining …");
+    handle.shutdown();
+    server.join();
+    eprintln!("preinferd: drained, bye");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,133 @@
+//! Hand-rolled latency histograms for the `stats` verb.
+//!
+//! Latencies are recorded in microseconds into power-of-two buckets
+//! (bucket `k` holds samples in `[2^(k-1), 2^k)` µs, bucket 0 holds
+//! `[0, 1)`), which gives ≤ 2× quantile error over nine decades for 40
+//! atomic counters — plenty for p50/p90/p99 service dashboards and free of
+//! locks on the record path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: `2^39` µs ≈ 6.4 days caps the top bucket.
+const BUCKETS: usize = 40;
+
+/// A lock-free fixed-bucket latency histogram (microsecond samples).
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound (exclusive) of a bucket, in µs.
+fn bucket_bound(k: usize) -> u64 {
+    if k == 0 {
+        1
+    } else {
+        1u64 << k
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, d: std::time::Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        self.counts[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in µs (0 with no samples).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper bound of the bucket
+    /// containing that rank, in µs. Returns 0 with no samples.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (k, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bound(k);
+            }
+        }
+        bucket_bound(BUCKETS - 1)
+    }
+
+    /// `(p50, p90, p99)` in µs.
+    pub fn percentiles_us(&self) -> (u64, u64, u64) {
+        (self.quantile_us(0.50), self.quantile_us(0.90), self.quantile_us(0.99))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn buckets_are_power_of_two_ranges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let h = Histogram::new();
+        // 90 fast samples (~100 µs), 10 slow (~50 ms).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(50));
+        }
+        assert_eq!(h.count(), 100);
+        let (p50, p90, p99) = h.percentiles_us();
+        assert!((64..=256).contains(&p50), "p50 = {p50}");
+        assert!((64..=256).contains(&p90), "p90 = {p90}");
+        assert!((32_768..=131_072).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p90 && p90 <= p99);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.percentiles_us(), (0, 0, 0));
+        assert_eq!(h.mean_us(), 0);
+    }
+}

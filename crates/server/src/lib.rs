@@ -1,0 +1,24 @@
+//! # server
+//!
+//! The serving layer: `preinferd`, a resident batch precondition-inference
+//! daemon, and the `preinfer-client` CLI / load generator. The daemon
+//! amortizes the canonicalizing [`solver::SolverCache`] across requests —
+//! the warm-cache counterpart of PR 1's per-process parallel pipeline —
+//! behind a length-prefixed JSON protocol (`PROTOCOL.md`) with bounded
+//! admission, per-request deadlines, per-verb latency histograms, and
+//! SIGTERM-triggered graceful drain. See DESIGN.md §6 "Serving layer".
+
+pub mod client;
+pub mod histogram;
+pub mod json;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod service;
+
+pub use client::{served_psis, Client, ClientError};
+pub use histogram::Histogram;
+pub use protocol::{ErrorCode, InferRequest, Request, MAX_FRAME_LEN};
+pub use queue::BoundedQueue;
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use service::{run_infer, InferOutcome};

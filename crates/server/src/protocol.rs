@@ -1,0 +1,337 @@
+//! The `preinferd` wire protocol: length-prefixed JSON frames.
+//!
+//! Every frame is a 4-byte big-endian length `N` followed by exactly `N`
+//! bytes of UTF-8 JSON (one object per frame). `N` must be between 1 and
+//! [`MAX_FRAME_LEN`]; anything else is a framing error and the peer closes
+//! the connection after a typed error response, because the stream can no
+//! longer be resynchronized. The full request/response shapes are
+//! documented in `PROTOCOL.md` at the repository root.
+
+use crate::json::{self, Json, ObjBuilder};
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on one frame's payload (16 MiB). Large enough for any
+/// MiniLang program plus slack, small enough to bound per-connection
+/// memory against hostile length prefixes.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean EOF at a frame boundary — the peer is done.
+    Eof,
+    /// Read timed out while *waiting* for a frame to start (no bytes of
+    /// the length prefix arrived). The connection is still in sync; the
+    /// caller typically polls its shutdown flag and retries.
+    Idle,
+    /// The declared length is zero or exceeds [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+    /// The stream ended or timed out mid-frame; the framing is lost.
+    Truncated,
+    /// The payload is not UTF-8.
+    NotUtf8,
+    /// Any other I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "end of stream"),
+            FrameError::Idle => write!(f, "idle (no frame started)"),
+            FrameError::TooLarge(n) => {
+                write!(f, "declared frame length {n} outside 1..={MAX_FRAME_LEN}")
+            }
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::NotUtf8 => write!(f, "frame payload is not UTF-8"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Reads exactly `buf.len()` bytes, treating timeouts as truncation once
+/// `started` (at least one byte already consumed) and as [`FrameError::Idle`]
+/// otherwise. Interrupted reads are retried.
+fn read_exact_frame(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    mut started: bool,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if started { FrameError::Truncated } else { FrameError::Eof });
+            }
+            Ok(n) => {
+                filled += n;
+                started = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                return Err(if started { FrameError::Truncated } else { FrameError::Idle });
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame, returning its JSON payload as a string.
+pub fn read_frame(r: &mut impl Read) -> Result<String, FrameError> {
+    let mut prefix = [0u8; 4];
+    read_exact_frame(r, &mut prefix, false)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_frame(r, &mut payload, true)?;
+    String::from_utf8(payload).map_err(|_| FrameError::NotUtf8)
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    debug_assert!(!bytes.is_empty() && bytes.len() <= MAX_FRAME_LEN);
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+// ---- requests ---------------------------------------------------------------
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    Ping { id: Option<String> },
+    Stats { id: Option<String> },
+    Infer { id: Option<String>, infer: InferRequest },
+}
+
+/// The `infer` verb's payload.
+#[derive(Debug, Clone)]
+pub struct InferRequest {
+    /// Full MiniLang source text.
+    pub program: String,
+    /// Entry function; defaults to the program's first function.
+    pub func: Option<String>,
+    /// Per-request wall-clock deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// `TestGenConfig::max_runs` override.
+    pub tests: Option<usize>,
+    /// Worker threads for per-ACL inference inside this request.
+    pub jobs: usize,
+}
+
+/// Typed error codes (`PROTOCOL.md`, "Error codes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame or its JSON payload could not be understood.
+    BadRequest,
+    /// The declared frame length was out of range.
+    FrameTooLarge,
+    /// The admission queue is full; retry later.
+    Overloaded,
+    /// The daemon is draining; no new work is admitted.
+    ShuttingDown,
+    /// The submitted program failed to compile.
+    CompileError,
+    /// The daemon dropped the request internally (worker died).
+    Internal,
+}
+
+impl ErrorCode {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::FrameTooLarge => "frame_too_large",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::CompileError => "compile_error",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// Parses a request payload. `Err` carries a human-readable reason for the
+/// `bad_request` response.
+pub fn parse_request(payload: &str) -> Result<Request, String> {
+    let v = json::parse(payload).map_err(|e| e.to_string())?;
+    let id = v.str_field("id").map(str::to_string);
+    match v.str_field("verb") {
+        Some("ping") => Ok(Request::Ping { id }),
+        Some("stats") => Ok(Request::Stats { id }),
+        Some("infer") => {
+            let program = v
+                .str_field("program")
+                .ok_or_else(|| "infer requires a string `program` field".to_string())?
+                .to_string();
+            let func = v.str_field("func").map(str::to_string);
+            let deadline_ms =
+                match v.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => Some(j.as_u64().ok_or_else(|| {
+                        "`deadline_ms` must be a non-negative integer".to_string()
+                    })?),
+                };
+            let tests = match v.get("tests") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(
+                    j.as_u64()
+                        .ok_or_else(|| "`tests` must be a non-negative integer".to_string())?
+                        as usize,
+                ),
+            };
+            let jobs = match v.get("jobs") {
+                None | Some(Json::Null) => 1,
+                Some(j) => j
+                    .as_u64()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "`jobs` must be a positive integer".to_string())?
+                    as usize,
+            };
+            Ok(Request::Infer {
+                id,
+                infer: InferRequest { program, func, deadline_ms, tests, jobs },
+            })
+        }
+        Some(other) => Err(format!("unknown verb `{other}`")),
+        None => Err("missing string `verb` field".to_string()),
+    }
+}
+
+// ---- request rendering (client side) ---------------------------------------
+
+/// Renders a `ping` request.
+pub fn render_ping(id: Option<&str>) -> String {
+    ObjBuilder::new().str("verb", "ping").opt_str("id", id).build()
+}
+
+/// Renders a `stats` request.
+pub fn render_stats(id: Option<&str>) -> String {
+    ObjBuilder::new().str("verb", "stats").opt_str("id", id).build()
+}
+
+/// Renders an `infer` request.
+pub fn render_infer(id: Option<&str>, req: &InferRequest) -> String {
+    let mut b = ObjBuilder::new()
+        .str("verb", "infer")
+        .opt_str("id", id)
+        .str("program", &req.program)
+        .u64("jobs", req.jobs as u64);
+    if let Some(f) = &req.func {
+        b = b.str("func", f);
+    }
+    if let Some(ms) = req.deadline_ms {
+        b = b.u64("deadline_ms", ms);
+    }
+    if let Some(t) = req.tests {
+        b = b.u64("tests", t as u64);
+    }
+    b.build()
+}
+
+/// Renders a typed error response.
+pub fn render_error(id: Option<&str>, code: ErrorCode, message: &str) -> String {
+    ObjBuilder::new()
+        .bool("ok", false)
+        .opt_str("id", id)
+        .str("error", code.as_str())
+        .str("message", message)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"verb\":\"ping\"}").unwrap();
+        write_frame(&mut buf, "{\"verb\":\"stats\"}").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), "{\"verb\":\"ping\"}");
+        assert_eq!(read_frame(&mut r).unwrap(), "{\"verb\":\"stats\"}");
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let mut buf = (u32::MAX).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge(n) if n == u32::MAX as usize));
+    }
+
+    #[test]
+    fn zero_length_is_rejected() {
+        let buf = 0u32.to_be_bytes().to_vec();
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::TooLarge(0))));
+    }
+
+    #[test]
+    fn truncated_payload_is_detected() {
+        let mut buf = 10u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc"); // 3 of 10 declared bytes
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn truncated_prefix_is_detected() {
+        let buf = vec![0u8, 0u8]; // 2 of 4 prefix bytes
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn non_utf8_payload_is_detected() {
+        let mut buf = 2u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(read_frame(&mut Cursor::new(buf)), Err(FrameError::NotUtf8)));
+    }
+
+    #[test]
+    fn requests_round_trip_through_render_and_parse() {
+        let req = InferRequest {
+            program: "fn f(x int) -> int { return 1 / x; }".to_string(),
+            func: Some("f".to_string()),
+            deadline_ms: Some(250),
+            tests: Some(40),
+            jobs: 2,
+        };
+        let Request::Infer { id, infer } = parse_request(&render_infer(Some("r1"), &req)).unwrap()
+        else {
+            panic!("wrong verb")
+        };
+        assert_eq!(id.as_deref(), Some("r1"));
+        assert_eq!(infer.program, req.program);
+        assert_eq!(infer.func, req.func);
+        assert_eq!(infer.deadline_ms, Some(250));
+        assert_eq!(infer.tests, Some(40));
+        assert_eq!(infer.jobs, 2);
+        assert!(matches!(parse_request(&render_ping(None)).unwrap(), Request::Ping { id: None }));
+        assert!(matches!(parse_request(&render_stats(None)).unwrap(), Request::Stats { .. }));
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        for bad in [
+            "[]",
+            "{}",
+            "{\"verb\":\"nope\"}",
+            "{\"verb\":\"infer\"}",
+            "{\"verb\":\"infer\",\"program\":7}",
+            "{\"verb\":\"infer\",\"program\":\"fn\",\"jobs\":0}",
+            "{\"verb\":\"infer\",\"program\":\"fn\",\"deadline_ms\":-4}",
+            "not json",
+        ] {
+            assert!(parse_request(bad).is_err(), "should reject {bad}");
+        }
+    }
+}

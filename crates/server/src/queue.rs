@@ -1,0 +1,124 @@
+//! The bounded admission queue.
+//!
+//! Admission control is the daemon's backpressure mechanism: a request
+//! either gets a queue slot *at admission time* or is rejected immediately
+//! with a typed `overloaded` response. Nothing in the daemon buffers
+//! unboundedly — memory for queued work is `capacity × request size`, and
+//! clients learn about saturation synchronously instead of via timeouts.
+//!
+//! `Mutex<VecDeque> + Condvar` rather than a channel: `try_push` must fail
+//! *without blocking* when full (std's `SyncSender::try_send` would also
+//! work, but it cannot report queue depth, which `stats` exposes).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A bounded MPMC queue with non-blocking admission and timed removal.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    items: Mutex<VecDeque<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            items: Mutex::new(VecDeque::with_capacity(capacity)),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits `item` if a slot is free; returns it back on a full queue.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut q = self.items.lock().expect("queue lock");
+        if q.len() >= self.capacity {
+            return Err(item);
+        }
+        q.push_back(item);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Removes the oldest item, waiting up to `timeout` for one to arrive.
+    /// `None` on timeout — callers poll their shutdown flag and re-enter.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut q = self.items.lock().expect("queue lock");
+        loop {
+            if let Some(item) = q.pop_front() {
+                return Some(item);
+            }
+            let (guard, res) = self.ready.wait_timeout(q, timeout).expect("queue lock");
+            q = guard;
+            if res.timed_out() {
+                return q.pop_front();
+            }
+        }
+    }
+
+    /// Removes the oldest item without waiting (used while draining).
+    pub fn try_pop(&self) -> Option<T> {
+        self.items.lock().expect("queue lock").pop_front()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.lock().expect("queue lock").len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_frees_on_pop() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue returns the item");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_pop(), Some(1));
+        assert!(q.try_push(3).is_ok(), "slot freed");
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_when_starved() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn producers_wake_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_timeout(Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(42u32).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(2));
+    }
+}

@@ -1,0 +1,423 @@
+//! The resident daemon: acceptor, connection handlers, worker pool,
+//! admission control, and graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! * One **acceptor** thread polls a non-blocking [`TcpListener`] (~20 ms
+//!   period) so it can observe the shutdown flag between accepts.
+//! * One **connection** thread per client reads frames with a read
+//!   timeout (idle polls re-check the shutdown flag), answers `ping` and
+//!   `stats` inline, and submits `infer` work to the admission queue —
+//!   waiting for the worker's reply before reading the next frame (one
+//!   in-flight request per connection; concurrency comes from opening
+//!   more connections, as the load generator does).
+//! * A fixed **worker pool** pops jobs and runs inference, all workers
+//!   sharing one warm [`SolverCache`] — the serving layer's whole point:
+//!   request N+1 reuses request N's canonical verdicts, and because
+//!   cached values are pure functions of their keys, served results are
+//!   byte-identical to cold offline runs.
+//!
+//! ## Admission, deadlines, shutdown
+//!
+//! Admission is bounded ([`BoundedQueue`]): a full queue rejects with a
+//! typed `overloaded` response instead of buffering unboundedly. Each
+//! request's deadline starts at admission, so queue wait counts against
+//! it; workers check it between solver calls and return partial results
+//! marked `timed_out` — a deadline can never hang a worker because every
+//! solve is budget-bounded. On shutdown (SIGTERM in the binary, or
+//! [`ServerHandle::shutdown`]), the acceptor stops admitting, connection
+//! threads reject new work with `shutting_down`, workers drain the queue
+//! to empty, and `join` returns once every thread has exited.
+
+use crate::histogram::Histogram;
+use crate::protocol::{
+    self, render_error, ErrorCode, FrameError, InferRequest, Request, MAX_FRAME_LEN,
+};
+use crate::queue::BoundedQueue;
+use crate::service;
+use solver::{Deadline, SolverCache};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL_PERIOD: Duration = Duration::from_millis(20);
+
+/// Socket read timeout: long enough that a slow-but-live client streaming
+/// a frame body is not cut off, short enough to bound drain time.
+const READ_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing `infer` jobs.
+    pub workers: usize,
+    /// Admission-queue capacity (requests waiting for a worker).
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+            queue_capacity: 64,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Monotonic counters for the `stats` verb.
+#[derive(Debug, Default)]
+pub struct Counters {
+    pub connections: AtomicU64,
+    pub requests: AtomicU64,
+    pub infers_ok: AtomicU64,
+    pub infer_errors: AtomicU64,
+    pub overloaded: AtomicU64,
+    pub timed_out: AtomicU64,
+    pub bad_requests: AtomicU64,
+}
+
+/// Per-verb latency histograms.
+#[derive(Debug, Default)]
+pub struct VerbLatency {
+    pub infer: Histogram,
+    pub stats: Histogram,
+    pub ping: Histogram,
+}
+
+/// One admitted unit of work.
+struct Job {
+    id: Option<String>,
+    request: InferRequest,
+    deadline: Deadline,
+    admitted_at: Instant,
+    reply: mpsc::Sender<String>,
+}
+
+/// State shared by every thread.
+struct Shared {
+    shutdown: AtomicBool,
+    /// Set by the acceptor once every connection thread has exited; the
+    /// workers wait for it so that a request admitted in the instant the
+    /// shutdown flag flips is still drained, not orphaned.
+    conns_done: AtomicBool,
+    queue: BoundedQueue<Job>,
+    cache: Arc<SolverCache>,
+    counters: Counters,
+    latency: VerbLatency,
+    default_deadline_ms: Option<u64>,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A cloneable trigger for graceful shutdown.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful shutdown: stop admitting, drain, exit.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A running daemon.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the daemon.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            conns_done: AtomicBool::new(false),
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            cache: Arc::new(SolverCache::new()),
+            counters: Counters::default(),
+            latency: VerbLatency::default(),
+            default_deadline_ms: cfg.default_deadline_ms,
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, &shared))
+        };
+        Ok(Server { shared, local_addr, acceptor, workers })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A shutdown trigger usable from signal handlers and tests.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// The shared solver cache (exposed for tests and diagnostics).
+    pub fn cache(&self) -> Arc<SolverCache> {
+        Arc::clone(&self.shared.cache)
+    }
+
+    /// Blocks until the daemon has fully drained and every thread exited.
+    /// Call [`ServerHandle::shutdown`] (or deliver SIGTERM to the binary)
+    /// first, or this never returns.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+// ---- acceptor ---------------------------------------------------------------
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || {
+                    let _ = connection_loop(stream, &shared);
+                });
+                let mut guard = conns.lock().expect("conns lock");
+                guard.retain(|h| !h.is_finished());
+                guard.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL_PERIOD),
+            Err(_) => std::thread::sleep(POLL_PERIOD),
+        }
+    }
+    // Final sweep: connections the kernel already completed in the accept
+    // backlog get a thread too — they will be answered with typed
+    // `shutting_down` errors rather than a connection reset.
+    while let Ok((stream, _)) = listener.accept() {
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            let _ = connection_loop(stream, &shared);
+        });
+        conns.lock().expect("conns lock").push(handle);
+    }
+    // Drain: wait for every connection thread (each observes the flag
+    // within one read timeout and finishes its in-flight request first).
+    let handles = std::mem::take(&mut *conns.lock().expect("conns lock"));
+    for h in handles {
+        let _ = h.join();
+    }
+    shared.conns_done.store(true, Ordering::SeqCst);
+}
+
+// ---- connection handling ----------------------------------------------------
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    loop {
+        let payload = match protocol::read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(FrameError::Idle) => {
+                if shared.shutting_down() {
+                    return Ok(()); // idle connection at shutdown: close
+                }
+                continue;
+            }
+            Err(FrameError::Eof) => return Ok(()),
+            Err(FrameError::TooLarge(n)) => {
+                // The stream cannot be resynchronized: typed error, close.
+                shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let msg = format!("frame length {n} outside 1..={MAX_FRAME_LEN}");
+                let _ = protocol::write_frame(
+                    &mut writer,
+                    &render_error(None, ErrorCode::FrameTooLarge, &msg),
+                );
+                return Ok(());
+            }
+            Err(FrameError::Truncated) | Err(FrameError::NotUtf8) => {
+                shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = protocol::write_frame(
+                    &mut writer,
+                    &render_error(None, ErrorCode::BadRequest, "malformed frame"),
+                );
+                return Ok(());
+            }
+            Err(FrameError::Io(_)) => return Ok(()),
+        };
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        match protocol::parse_request(&payload) {
+            Ok(Request::Ping { id }) => {
+                let resp = crate::json::ObjBuilder::new()
+                    .bool("ok", true)
+                    .opt_str("id", id.as_deref())
+                    .str("verb", "ping")
+                    .build();
+                protocol::write_frame(&mut writer, &resp)?;
+                shared.latency.ping.record(started.elapsed());
+            }
+            Ok(Request::Stats { id }) => {
+                let resp = render_stats_response(id.as_deref(), shared);
+                protocol::write_frame(&mut writer, &resp)?;
+                shared.latency.stats.record(started.elapsed());
+            }
+            Ok(Request::Infer { id, infer }) => {
+                let resp = submit_infer(id, infer, shared);
+                protocol::write_frame(&mut writer, &resp)?;
+                shared.latency.infer.record(started.elapsed());
+            }
+            Err(reason) => {
+                // Parseable framing, unparseable payload: answer and keep
+                // the connection (the stream is still in sync).
+                shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                protocol::write_frame(
+                    &mut writer,
+                    &render_error(None, ErrorCode::BadRequest, &reason),
+                )?;
+            }
+        }
+    }
+}
+
+/// Admits an `infer` request and waits for its worker reply.
+fn submit_infer(id: Option<String>, request: InferRequest, shared: &Arc<Shared>) -> String {
+    if shared.shutting_down() {
+        return render_error(id.as_deref(), ErrorCode::ShuttingDown, "daemon is draining");
+    }
+    let deadline_ms = request.deadline_ms.or(shared.default_deadline_ms);
+    let deadline = deadline_ms.map(Deadline::after_ms).unwrap_or_default();
+    let (tx, rx) = mpsc::channel();
+    let job = Job { id: id.clone(), request, deadline, admitted_at: Instant::now(), reply: tx };
+    if shared.queue.try_push(job).is_err() {
+        shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+        return render_error(
+            id.as_deref(),
+            ErrorCode::Overloaded,
+            &format!("admission queue full ({} slots)", shared.queue.capacity()),
+        );
+    }
+    // The worker always replies, including during drain; a closed channel
+    // means the pool died, which is itself a typed error.
+    match rx.recv() {
+        Ok(resp) => resp,
+        Err(_) => render_error(id.as_deref(), ErrorCode::Internal, "worker pool unavailable"),
+    }
+}
+
+fn render_stats_response(id: Option<&str>, shared: &Shared) -> String {
+    use crate::json::ObjBuilder;
+    let cache = shared.cache.stats();
+    let c = &shared.counters;
+    let verb = |h: &Histogram| {
+        let (p50, p90, p99) = h.percentiles_us();
+        ObjBuilder::new()
+            .u64("count", h.count())
+            .u64("mean_us", h.mean_us())
+            .u64("p50_us", p50)
+            .u64("p90_us", p90)
+            .u64("p99_us", p99)
+            .build()
+    };
+    ObjBuilder::new()
+        .bool("ok", true)
+        .opt_str("id", id)
+        .str("verb", "stats")
+        .raw(
+            "cache",
+            ObjBuilder::new()
+                .u64("hits", cache.hits)
+                .u64("misses", cache.misses)
+                .u64("entries", cache.entries)
+                .u64("evictions", cache.evictions)
+                .f64("hit_rate", cache.hit_rate())
+                .build(),
+        )
+        .raw(
+            "counters",
+            ObjBuilder::new()
+                .u64("connections", c.connections.load(Ordering::Relaxed))
+                .u64("requests", c.requests.load(Ordering::Relaxed))
+                .u64("infers_ok", c.infers_ok.load(Ordering::Relaxed))
+                .u64("infer_errors", c.infer_errors.load(Ordering::Relaxed))
+                .u64("overloaded", c.overloaded.load(Ordering::Relaxed))
+                .u64("timed_out", c.timed_out.load(Ordering::Relaxed))
+                .u64("bad_requests", c.bad_requests.load(Ordering::Relaxed))
+                .u64("queue_depth", shared.queue.len() as u64)
+                .build(),
+        )
+        .raw(
+            "latency",
+            ObjBuilder::new()
+                .raw("infer", verb(&shared.latency.infer))
+                .raw("stats", verb(&shared.latency.stats))
+                .raw("ping", verb(&shared.latency.ping))
+                .build(),
+        )
+        .build()
+}
+
+// ---- workers ----------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let Some(job) = shared.queue.pop_timeout(POLL_PERIOD) else {
+            // Exit only after every connection thread has gone: a request
+            // admitted in the same instant the flag flipped still drains.
+            if shared.shutting_down()
+                && shared.conns_done.load(Ordering::SeqCst)
+                && shared.queue.is_empty()
+            {
+                return;
+            }
+            continue;
+        };
+        let queue_ms = job.admitted_at.elapsed().as_secs_f64() * 1e3;
+        let response = match service::run_infer(&job.request, &shared.cache, &job.deadline) {
+            Ok(outcome) => {
+                shared.counters.infers_ok.fetch_add(1, Ordering::Relaxed);
+                if outcome.timed_out {
+                    shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                }
+                service::render_infer_response(job.id.as_deref(), &outcome, queue_ms, &shared.cache)
+            }
+            Err(e) => {
+                shared.counters.infer_errors.fetch_add(1, Ordering::Relaxed);
+                render_error(job.id.as_deref(), e.code, &e.message)
+            }
+        };
+        // The connection thread may have vanished (client hung up); the
+        // work is simply discarded then.
+        let _ = job.reply.send(response);
+    }
+}

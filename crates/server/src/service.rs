@@ -1,0 +1,253 @@
+//! Request execution: one `infer` request against the shared warm cache.
+//!
+//! This is the bridge between the wire protocol and the offline pipeline.
+//! The invariant the differential tests lock in: an `infer` response's ψ
+//! strings are byte-identical to what the offline
+//! [`preinfer_core::infer_all_preconditions`] run produces for the same
+//! program, because the shared [`SolverCache`] only memoizes values that
+//! are pure functions of their canonical keys (PR 1's contract) — serving
+//! from a warm cache amortizes cost without ever changing an answer.
+
+use crate::json::ObjBuilder;
+use crate::protocol::{ErrorCode, InferRequest};
+use preinfer_core::PreInferConfig;
+use solver::{Deadline, SolverCache};
+use std::sync::Arc;
+use std::time::Instant;
+use testgen::{generate_tests, TestGenConfig};
+
+/// One inferred ACL in an `infer` response.
+#[derive(Debug, Clone)]
+pub struct AclOutcome {
+    /// Debug-rendered check id (stable across offline/served runs).
+    pub acl: String,
+    /// The check kind label (e.g. `DivideByZero`).
+    pub kind: String,
+    /// Rendered inferred precondition.
+    pub psi: String,
+    /// Rendered failure condition.
+    pub alpha: String,
+    pub quantified: bool,
+    /// Pruning counters: examined / removed / dynamic runs.
+    pub examined: usize,
+    pub removed: usize,
+    pub dynamic_runs: usize,
+}
+
+/// A completed `infer` request.
+#[derive(Debug, Clone)]
+pub struct InferOutcome {
+    pub func: String,
+    pub tests: usize,
+    pub coverage_percent: f64,
+    pub acls: Vec<AclOutcome>,
+    /// Whether the per-request deadline expired mid-run (partial result).
+    pub timed_out: bool,
+    /// Inference wall-clock, milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// A failed `infer` request (typed; never a panic).
+#[derive(Debug, Clone)]
+pub struct ServiceError {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+/// Runs one `infer` request to completion. `deadline` must already be
+/// running (the clock starts at admission, so queue wait counts against
+/// the request's budget).
+pub fn run_infer(
+    req: &InferRequest,
+    cache: &Arc<SolverCache>,
+    deadline: &Deadline,
+) -> Result<InferOutcome, ServiceError> {
+    let start = Instant::now();
+    let program = minilang::compile(&req.program)
+        .map_err(|e| ServiceError { code: ErrorCode::CompileError, message: e.to_string() })?;
+    let func_name = match &req.func {
+        Some(name) => {
+            if program.func(name).is_none() {
+                return Err(ServiceError {
+                    code: ErrorCode::BadRequest,
+                    message: format!("no function `{name}` in program"),
+                });
+            }
+            name.clone()
+        }
+        None => match program.program().funcs.first() {
+            Some(f) => f.name.clone(),
+            None => {
+                return Err(ServiceError {
+                    code: ErrorCode::BadRequest,
+                    message: "program has no functions".to_string(),
+                })
+            }
+        },
+    };
+
+    let mut tg = TestGenConfig::default();
+    if let Some(n) = req.tests {
+        tg.max_runs = n;
+    }
+    tg.solver_cache = Some(cache.clone());
+    tg.solver.deadline = deadline.clone();
+    let suite = generate_tests(&program, &func_name, &tg);
+    let func = program.func(&func_name).expect("checked above");
+    let coverage = suite.coverage_percent(func);
+
+    let mut cfg = PreInferConfig::default();
+    cfg.prune.solver_cache = Some(cache.clone());
+    cfg.prune.solver.deadline = deadline.clone();
+    cfg.prune.jobs = req.jobs;
+    let inferred =
+        preinfer_core::infer_all_preconditions(&program, &func_name, &suite, &cfg, req.jobs);
+
+    let acls = inferred
+        .iter()
+        .map(|(acl, inf)| AclOutcome {
+            acl: format!("{acl:?}"),
+            kind: acl.kind.to_string(),
+            psi: inf.precondition.psi.to_string(),
+            alpha: inf.precondition.alpha.to_string(),
+            quantified: inf.precondition.quantified,
+            examined: inf.prune_stats.examined,
+            removed: inf.prune_stats.removed,
+            dynamic_runs: inf.prune_stats.dynamic_runs,
+        })
+        .collect();
+
+    Ok(InferOutcome {
+        func: func_name,
+        tests: suite.len(),
+        coverage_percent: coverage,
+        acls,
+        timed_out: deadline.expired(),
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// Renders a successful `infer` response frame.
+pub fn render_infer_response(
+    id: Option<&str>,
+    out: &InferOutcome,
+    queue_ms: f64,
+    cache: &SolverCache,
+) -> String {
+    let acls: Vec<String> = out
+        .acls
+        .iter()
+        .map(|a| {
+            ObjBuilder::new()
+                .str("acl", &a.acl)
+                .str("kind", &a.kind)
+                .str("psi", &a.psi)
+                .str("alpha", &a.alpha)
+                .bool("quantified", a.quantified)
+                .raw(
+                    "prune",
+                    ObjBuilder::new()
+                        .u64("examined", a.examined as u64)
+                        .u64("removed", a.removed as u64)
+                        .u64("dynamic_runs", a.dynamic_runs as u64)
+                        .build(),
+                )
+                .build()
+        })
+        .collect();
+    let stats = cache.stats();
+    ObjBuilder::new()
+        .bool("ok", true)
+        .opt_str("id", id)
+        .str("verb", "infer")
+        .str("func", &out.func)
+        .u64("tests", out.tests as u64)
+        .f64("coverage_percent", out.coverage_percent)
+        .bool("timed_out", out.timed_out)
+        .f64("elapsed_ms", out.elapsed_ms)
+        .f64("queue_ms", queue_ms)
+        .arr("acls", acls)
+        .raw(
+            "cache",
+            ObjBuilder::new()
+                .u64("hits", stats.hits)
+                .u64("misses", stats.misses)
+                .u64("entries", stats.entries)
+                .f64("hit_rate", stats.hit_rate())
+                .build(),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(program: &str) -> InferRequest {
+        InferRequest {
+            program: program.to_string(),
+            func: None,
+            deadline_ms: None,
+            tests: None,
+            jobs: 1,
+        }
+    }
+
+    #[test]
+    fn infers_the_guarded_div_shape() {
+        let cache = Arc::new(SolverCache::new());
+        let out =
+            run_infer(&req("fn f(x int) -> int { return 10 / x; }"), &cache, &Deadline::none())
+                .unwrap();
+        assert_eq!(out.func, "f");
+        assert!(!out.timed_out);
+        assert_eq!(out.acls.len(), 1);
+        assert_eq!(out.acls[0].psi, "x != 0");
+        assert!(cache.stats().misses > 0, "inference went through the shared cache");
+    }
+
+    #[test]
+    fn compile_errors_are_typed() {
+        let cache = Arc::new(SolverCache::new());
+        let err = run_infer(&req("fn f( {"), &cache, &Deadline::none()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::CompileError);
+        let err = run_infer(
+            &InferRequest {
+                func: Some("missing".into()),
+                ..req("fn f(x int) -> int { return x; }")
+            },
+            &cache,
+            &Deadline::none(),
+        )
+        .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn expired_deadline_yields_partial_timed_out_result() {
+        let cache = Arc::new(SolverCache::new());
+        let deadline = Deadline::after_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let out = run_infer(
+            &req("fn f(x int, y int) -> int { if (x > 0) { return 10 / y; } return 0; }"),
+            &cache,
+            &deadline,
+        )
+        .unwrap();
+        assert!(out.timed_out, "deadline was already expired at admission");
+    }
+
+    #[test]
+    fn response_renders_as_valid_json() {
+        let cache = Arc::new(SolverCache::new());
+        let out =
+            run_infer(&req("fn f(x int) -> int { return 10 / x; }"), &cache, &Deadline::none())
+                .unwrap();
+        let rendered = render_infer_response(Some("id-1"), &out, 0.5, &cache);
+        let v = crate::json::parse(&rendered).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.str_field("verb"), Some("infer"));
+        let acls = v.get("acls").unwrap().as_array().unwrap();
+        assert_eq!(acls[0].str_field("psi"), Some("x != 0"));
+    }
+}

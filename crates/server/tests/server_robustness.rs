@@ -1,0 +1,129 @@
+//! Protocol robustness: hostile byte streams — malformed frames, truncated
+//! payloads, oversized length prefixes, mid-stream disconnects — must
+//! produce typed error responses or a clean close, never a panic or a
+//! wedged daemon. Every property finishes by proving the daemon still
+//! answers a fresh `ping`.
+
+use proptest::prelude::*;
+use server::{Client, Server, ServerConfig, MAX_FRAME_LEN};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+
+/// One daemon shared by every property case in this process. It is never
+/// shut down — the process exit reaps its threads — because what we are
+/// testing is precisely that no hostile input can take it down first.
+fn daemon_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let server = Server::start(ServerConfig { workers: 2, ..ServerConfig::default() })
+            .expect("bind loopback");
+        let addr = server.local_addr();
+        Box::leak(Box::new(server));
+        addr
+    })
+}
+
+fn connect() -> Client {
+    Client::connect(&daemon_addr().to_string()).expect("connect to shared daemon")
+}
+
+/// The daemon is alive iff a fresh connection's ping round-trips.
+fn assert_daemon_alive() {
+    let resp = connect().ping().expect("daemon must still answer ping");
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn garbage_payload_gets_typed_error_and_connection_survives(
+        payload in "[ -~]{1,60}",
+    ) {
+        let mut cl = connect();
+        let resp = cl.round_trip(&payload);
+        match resp {
+            Ok(v) => {
+                // Whatever the junk parsed to, the answer is a typed frame:
+                // either a successful verb (the junk accidentally spelled
+                // one) or a `bad_request` error — never a raw close.
+                let ok = v.get("ok").and_then(|j| j.as_bool());
+                prop_assert!(
+                    ok == Some(true) || v.str_field("error") == Some("bad_request"),
+                    "unexpected response {v:?}"
+                );
+            }
+            Err(e) => return Err(format!("daemon closed on in-sync junk: {e}")),
+        }
+        // The stream stayed in sync: the same connection still works.
+        let ping = cl.ping().map_err(|e| format!("connection wedged: {e}"))?;
+        prop_assert_eq!(ping.get("ok").and_then(|v| v.as_bool()), Some(true));
+        assert_daemon_alive();
+    }
+
+    #[test]
+    fn mid_stream_disconnects_never_wedge_the_daemon(
+        declared in 1u32..=4096,
+        sent in 0usize..64,
+        cut_prefix in proptest::bool::ANY,
+    ) {
+        let addr = daemon_addr();
+        {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            if cut_prefix {
+                // Disconnect inside the 4-byte length prefix itself.
+                let _ = s.write_all(&declared.to_be_bytes()[..2]);
+            } else {
+                // Valid prefix, then strictly fewer payload bytes than
+                // declared, then hang up.
+                let body = vec![b'x'; sent.min(declared as usize - 1)];
+                let _ = s.write_all(&declared.to_be_bytes());
+                let _ = s.write_all(&body);
+            }
+            // Dropping the stream closes it: the daemon sees EOF mid-frame.
+        }
+        assert_daemon_alive();
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_with_a_typed_error(
+        excess in 1u64..=(u32::MAX as u64 - MAX_FRAME_LEN as u64),
+    ) {
+        let declared = (MAX_FRAME_LEN as u64 + excess) as u32;
+        let mut cl = connect();
+        cl.stream_mut().write_all(&declared.to_be_bytes()).expect("send prefix");
+        // The daemon must answer without waiting for the (absurd) payload.
+        let resp = cl.read_response().map_err(|e| format!("no typed error: {e}"))?;
+        prop_assert_eq!(resp.str_field("error"), Some("frame_too_large"));
+        assert_daemon_alive();
+    }
+
+    #[test]
+    fn arbitrary_byte_blobs_never_take_the_daemon_down(
+        blob in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        let addr = daemon_addr();
+        {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let _ = s.write_all(&blob);
+            // Close without reading: whatever the daemon made of the bytes
+            // (typed error, truncation, or a valid frame), it must shrug
+            // off the disconnect.
+        }
+        assert_daemon_alive();
+    }
+}
+
+/// Non-property companion: a non-UTF-8 payload inside a well-formed frame
+/// is a `bad_request`, and the daemon survives.
+#[test]
+fn non_utf8_payload_is_a_typed_error() {
+    let mut cl = connect();
+    let bad = [0xFFu8, 0xFE, 0x01];
+    cl.stream_mut().write_all(&(bad.len() as u32).to_be_bytes()).unwrap();
+    cl.stream_mut().write_all(&bad).unwrap();
+    let resp = cl.read_response().expect("typed error frame");
+    assert_eq!(resp.str_field("error"), Some("bad_request"));
+    assert_daemon_alive();
+}

@@ -15,12 +15,14 @@
 //! re-validates every model by concrete evaluation before returning it.
 
 pub mod cache;
+pub mod deadline;
 pub mod intsolve;
 pub mod rational;
 pub mod simplex;
 pub mod theory;
 
 pub use cache::{CacheLookup, CacheStats, CanonQuery, SolverCache};
+pub use deadline::Deadline;
 pub use intsolve::{satisfies, solve_int, Budget, IntProblem, IntResult};
 pub use rational::Rat;
 pub use simplex::{solve_lp, Lp, LpResult};

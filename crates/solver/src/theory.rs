@@ -60,11 +60,20 @@ pub struct SolverConfig {
     pub budget_nodes: u64,
     /// Largest array/string length the model builder will materialize.
     pub max_model_len: i64,
+    /// Wall-clock deadline checked *between* solves: once expired, entry
+    /// points return [`SolveResult::Unknown`] without solving (and without
+    /// touching the cache, so memoized verdicts stay pure functions of
+    /// their keys). Not part of the cache key.
+    pub deadline: crate::deadline::Deadline,
 }
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { budget_nodes: 20_000, max_model_len: 4_096 }
+        SolverConfig {
+            budget_nodes: 20_000,
+            max_model_len: 4_096,
+            deadline: crate::deadline::Deadline::none(),
+        }
     }
 }
 
@@ -119,6 +128,12 @@ pub fn solve_preds_with(
     cfg: &SolverConfig,
     cache: Option<&SolverCache>,
 ) -> (SolveResult, CacheLookup) {
+    // Deadline gate: answered before canonicalization so an expired request
+    // neither solves nor inserts anything into the cache. `Unknown` is the
+    // conservative verdict every caller already handles.
+    if cfg.deadline.expired() {
+        return (SolveResult::Unknown, CacheLookup::Bypass);
+    }
     let q = CanonQuery::build(preds, sig, cfg);
     let (canonical, lookup) = match cache {
         Some(c) => c.solve(&q, cfg),

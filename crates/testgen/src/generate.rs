@@ -118,6 +118,11 @@ pub fn generate_tests(program: &TypedProgram, func_name: &str, cfg: &TestGenConf
         if suite.len() >= cfg.max_runs || flips >= cfg.max_flips {
             break;
         }
+        if cfg.solver.deadline.expired() {
+            // Out of wall-clock budget: the suite so far is a valid (if
+            // smaller) suite — stop exploring instead of burning the queue.
+            break;
+        }
         if j >= cfg.max_flip_depth {
             continue;
         }

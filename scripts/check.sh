@@ -17,4 +17,28 @@ echo "== perf smoke (BENCH_solver_cache.json)"
 cargo build --release -p bench --quiet
 ./target/release/perf_smoke
 
+echo "== server smoke (preinferd + preinfer-client)"
+cargo build --release -p server --quiet
+./target/release/preinferd --addr 127.0.0.1:0 >server_smoke.out 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f server_smoke.out' EXIT
+# Wait for the bound-port announcement (port 0 → OS-assigned).
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^listening on //p' server_smoke.out | head -n1)"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "preinferd never announced its address"; exit 1; }
+# A corpus slice, each served ψ checked byte-for-byte against the offline
+# pipeline (the client exits non-zero on any divergence).
+for SUBJECT in guarded_div reverse_words binary_search; do
+    ./target/release/preinfer-client --addr "$ADDR" corpus "$SUBJECT" --check-offline
+done
+# SIGTERM must drain and exit 0.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "preinferd exited non-zero after SIGTERM"; exit 1; }
+trap - EXIT
+rm -f server_smoke.out
+
 echo "== OK"

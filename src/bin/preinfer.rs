@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! preinfer path/to/program.ml [--fn NAME] [--baselines] [--tests N]
-//!          [--jobs N] [--no-solver-cache] [--verbose]
+//!          [--jobs N] [--no-solver-cache] [--timeout-ms N] [--verbose]
 //! ```
 //!
 //! Generates a test suite for the function (default: the first one), then
@@ -25,20 +25,24 @@ struct Options {
     max_runs: Option<usize>,
     jobs: usize,
     solver_cache: bool,
+    timeout_ms: Option<u64>,
     verbose: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: preinfer <program.ml> [--fn NAME] [--baselines] [--tests N]\n\
-         \x20               [--jobs N] [--no-solver-cache] [--verbose]\n\
+         \x20               [--jobs N] [--no-solver-cache] [--timeout-ms N] [--verbose]\n\
          \n\
          Infers preconditions for every assertion-containing location that\n\
          generated tests can make fail, per the PreInfer (DSN 2018) pipeline.\n\
          \n\
          --jobs N           worker threads for per-ACL inference (default:\n\
          \x20                  all cores; results are identical for any N)\n\
-         --no-solver-cache  disable the canonicalizing solver query cache"
+         --no-solver-cache  disable the canonicalizing solver query cache\n\
+         --timeout-ms N     wall-clock deadline for the whole run, checked\n\
+         \x20                  between solver calls; a partial (still sound)\n\
+         \x20                  result is reported as timed out"
     );
     std::process::exit(2);
 }
@@ -56,6 +60,7 @@ fn parse_args() -> Options {
         max_runs: None,
         jobs: default_jobs(),
         solver_cache: true,
+        timeout_ms: None,
         verbose: false,
     };
     while let Some(a) = args.next() {
@@ -74,6 +79,10 @@ fn parse_args() -> Options {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| usage())
+            }
+            "--timeout-ms" => {
+                opts.timeout_ms =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
             }
             "--help" | "-h" => usage(),
             other if opts.path.is_empty() && !other.starts_with('-') => {
@@ -116,11 +125,13 @@ fn main() -> ExitCode {
     };
 
     let cache = opts.solver_cache.then(|| Arc::new(SolverCache::new()));
+    let deadline = opts.timeout_ms.map(Deadline::after_ms).unwrap_or_default();
     let mut tg = TestGenConfig::default();
     if let Some(n) = opts.max_runs {
         tg.max_runs = n;
     }
     tg.solver_cache = cache.clone();
+    tg.solver.deadline = deadline.clone();
     println!("generating tests for `{func_name}` …");
     let suite = generate_tests(&program, &func_name, &tg);
     let func = program.func(&func_name).expect("checked above");
@@ -138,6 +149,7 @@ fn main() -> ExitCode {
     let mut cfg = PreInferConfig::default();
     cfg.prune.solver_cache = cache.clone();
     cfg.prune.jobs = opts.jobs;
+    cfg.prune.solver.deadline = deadline.clone();
     let start = std::time::Instant::now();
     let inferred = infer_all_preconditions(&program, &func_name, &suite, &cfg, opts.jobs);
     let elapsed = start.elapsed();
@@ -200,6 +212,12 @@ fn main() -> ExitCode {
         elapsed.as_secs_f64(),
         opts.jobs
     );
+    if deadline.expired() {
+        print!(
+            " [TIMED OUT after {} ms — results are partial but sound]",
+            opts.timeout_ms.unwrap()
+        );
+    }
     match &cache {
         Some(c) => {
             let s = c.stats();

@@ -58,7 +58,7 @@ pub mod prelude {
         ProbeConfig,
     };
     pub use solver::{
-        solve_preds, solve_preds_cached, CacheStats, FuncSig, SolveResult, SolverCache,
+        solve_preds, solve_preds_cached, CacheStats, Deadline, FuncSig, SolveResult, SolverCache,
         SolverConfig,
     };
     pub use symbolic::{parse_spec, Formula, PathCondition, Pred};
