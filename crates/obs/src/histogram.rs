@@ -1,4 +1,5 @@
-//! Hand-rolled latency histograms for the `stats` verb.
+//! Hand-rolled latency histograms, shared by the CLI's stage-timing
+//! breakdown and `preinferd`'s `stats` verb.
 //!
 //! Latencies are recorded in microseconds into power-of-two buckets
 //! (bucket `k` holds samples in `[2^(k-1), 2^k)` µs, bucket 0 holds
@@ -33,12 +34,14 @@ fn bucket_of(us: u64) -> usize {
     ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
 }
 
-/// Upper bound (exclusive) of a bucket, in µs.
+/// Upper bound (inclusive) of a bucket, in µs: bucket 0 holds only the
+/// zero-microsecond samples (its bound is 0), bucket `k` tops out at
+/// `2^k − 1`.
 fn bucket_bound(k: usize) -> u64 {
     if k == 0 {
-        1
+        0
     } else {
-        1u64 << k
+        (1u64 << k) - 1
     }
 }
 
@@ -60,13 +63,19 @@ impl Histogram {
         self.total.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded samples, in µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
     /// Mean latency in µs (0 with no samples).
     pub fn mean_us(&self) -> u64 {
         self.sum_us.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
     }
 
-    /// The `q`-quantile (`0 < q <= 1`) as the upper bound of the bucket
-    /// containing that rank, in µs. Returns 0 with no samples.
+    /// The `q`-quantile (`0 < q <= 1`) as the *inclusive* upper bound of
+    /// the bucket containing that rank, in µs — so the reported quantile
+    /// never exceeds every recorded sample. Returns 0 with no samples.
     pub fn quantile_us(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -125,9 +134,26 @@ mod tests {
     }
 
     #[test]
+    fn quantile_is_an_inclusive_bound() {
+        // Regression: a constant 100 µs stream used to report p50 = 128 µs
+        // — the bucket's *exclusive* bound, above every recorded sample.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100));
+        }
+        assert_eq!(h.quantile_us(0.50), 127);
+        assert_eq!(h.quantile_us(0.99), 127);
+        // Bucket 0 holds only zero-µs samples; its inclusive bound is 0.
+        let z = Histogram::new();
+        z.record(Duration::ZERO);
+        assert_eq!(z.quantile_us(0.50), 0);
+    }
+
+    #[test]
     fn empty_histogram_reports_zeros() {
         let h = Histogram::new();
         assert_eq!(h.percentiles_us(), (0, 0, 0));
         assert_eq!(h.mean_us(), 0);
+        assert_eq!(h.sum_us(), 0);
     }
 }

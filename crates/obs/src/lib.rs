@@ -1,0 +1,21 @@
+//! # obs
+//!
+//! Std-only observability for the PreInfer pipeline: structured spans and
+//! events ([`TraceSink`], [`SpanGuard`]) attributing wall-clock to the
+//! pipeline stages ([`Stage`]), and the lock-free power-of-two latency
+//! [`Histogram`] shared by the CLI trace footer and `preinferd`'s `stats`
+//! verb.
+//!
+//! The crate depends on nothing but `std`, so every layer of the pipeline
+//! (solver, testgen, preinfer-core, report, server) can thread an
+//! `Option<Arc<TraceSink>>` through its config without dependency cycles.
+//! The central invariant — locked in by the trace-neutrality differential
+//! tests — is **zero cost when disabled**: a `None` sink means no
+//! allocation, no locking, and not even a clock read on any hot path (see
+//! [`maybe_span`] and [`recording_sink`]).
+
+pub mod histogram;
+pub mod sink;
+
+pub use histogram::Histogram;
+pub use sink::{maybe_span, recording_sink, SpanGuard, Stage, StageSnapshot, TraceSink, Val};

@@ -1,0 +1,430 @@
+//! Structured spans and events for the PreInfer pipeline.
+//!
+//! A [`TraceSink`] comes in two modes:
+//!
+//! * **aggregate** ([`TraceSink::aggregate`]) — per-[`Stage`] latency
+//!   [`Histogram`]s only. Recording a span is a few relaxed atomic adds;
+//!   no line is ever allocated. This is what `report::evaluate_method` and
+//!   `preinferd` run with.
+//! * **recording** ([`TraceSink::recording`]) — additionally buffers one
+//!   JSON-lines event per span start/end, solver call, and pipeline
+//!   decision, for `preinfer --trace-out FILE`.
+//!
+//! Pipeline code holds an `Option<Arc<TraceSink>>`; the helpers
+//! [`maybe_span`] and [`recording_sink`] keep the disabled path free of
+//! clock reads, allocation and locking, and the recording-only event
+//! plumbing (which renders predicates to strings) free even in aggregate
+//! mode. The trace-neutrality differential tests assert the stronger
+//! end-to-end property: inferred ψ is byte-identical with tracing on or
+//! off.
+//!
+//! Span nesting is tracked per thread: a span started while another is
+//! open on the same thread records that span as its parent. Stage
+//! histograms therefore attribute *inclusive* time (a `prune` span's
+//! duration contains its nested `solver` calls); the JSON-lines output
+//! carries the parent links needed to subtract.
+
+use crate::histogram::Histogram;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The pipeline stages the sink attributes time to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Pex-like branch-flipping test generation.
+    TestGen,
+    /// Per-ACL suite partition into passing/failing runs.
+    Partition,
+    /// Per-failing-path dynamic predicate pruning.
+    Prune,
+    /// Collection-element template generalization.
+    Generalize,
+    /// ψ assembly (dedup, subsumption, negation).
+    Assemble,
+    /// §III-A passing-guard checks (pruning and template validation).
+    PassingGuard,
+    /// Individual solver calls (always nested in another stage).
+    Solver,
+}
+
+const STAGES: usize = 7;
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; STAGES] = [
+        Stage::TestGen,
+        Stage::Partition,
+        Stage::Prune,
+        Stage::Generalize,
+        Stage::Assemble,
+        Stage::PassingGuard,
+        Stage::Solver,
+    ];
+
+    /// The stable snake_case label used in JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::TestGen => "testgen",
+            Stage::Partition => "partition",
+            Stage::Prune => "prune",
+            Stage::Generalize => "generalize",
+            Stage::Assemble => "assemble",
+            Stage::PassingGuard => "passing_guard",
+            Stage::Solver => "solver",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One event field value. Strings are borrowed so callers only build them
+/// inside a [`recording_sink`] guard.
+#[derive(Debug, Clone, Copy)]
+pub enum Val<'a> {
+    /// Unsigned integer.
+    U(u64),
+    /// String (JSON-escaped on render).
+    S(&'a str),
+    /// Boolean.
+    B(bool),
+}
+
+/// Aggregated timings for one stage, as observed at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageSnapshot {
+    pub count: u64,
+    pub total_us: u64,
+    pub mean_us: u64,
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+}
+
+/// A sink for pipeline spans and events. See the module docs for the two
+/// modes; share it as an `Arc` (configs hold `Option<Arc<TraceSink>>`).
+#[derive(Debug)]
+pub struct TraceSink {
+    record: bool,
+    stages: [Histogram; STAGES],
+    next_span: std::sync::atomic::AtomicU64,
+    lines: Mutex<Vec<String>>,
+}
+
+thread_local! {
+    /// Open span ids on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+impl TraceSink {
+    /// An aggregate-only sink: per-stage histograms, no event lines.
+    pub fn aggregate() -> TraceSink {
+        TraceSink {
+            record: false,
+            stages: std::array::from_fn(|_| Histogram::new()),
+            next_span: std::sync::atomic::AtomicU64::new(0),
+            lines: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A recording sink: histograms plus buffered JSON-lines events.
+    pub fn recording() -> TraceSink {
+        TraceSink { record: true, ..TraceSink::aggregate() }
+    }
+
+    /// Whether this sink buffers JSON-lines events. Callers must check
+    /// this (via [`recording_sink`]) before building event field strings,
+    /// so aggregate mode never pays for rendering.
+    pub fn is_recording(&self) -> bool {
+        self.record
+    }
+
+    /// Opens a span for `stage`; the returned guard records the duration
+    /// into the stage histogram (and emits `span_start`/`span_end` events
+    /// when recording) on drop.
+    pub fn span(&self, stage: Stage) -> SpanGuard<'_> {
+        let id = self.next_span.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        if self.record {
+            let mut body = format!("\"id\":{id},");
+            match parent {
+                Some(p) => {
+                    let _ = write!(body, "\"parent\":{p},");
+                }
+                None => body.push_str("\"parent\":null,"),
+            }
+            let _ = write!(body, "\"stage\":\"{}\"", stage.label());
+            self.push_line("span_start", &body);
+        }
+        SpanGuard { sink: self, stage, id, start: Instant::now() }
+    }
+
+    /// Records one recording-mode event. A no-op in aggregate mode (but
+    /// prefer guarding with [`recording_sink`] so field strings are not
+    /// even built). The event is stamped with the innermost open span on
+    /// this thread, if any.
+    pub fn event(&self, ev: &str, fields: &[(&str, Val<'_>)]) {
+        if !self.record {
+            return;
+        }
+        let span = SPAN_STACK.with(|s| s.borrow().last().copied());
+        let mut body = String::with_capacity(64);
+        match span {
+            Some(id) => {
+                let _ = write!(body, "\"span\":{id}");
+            }
+            None => body.push_str("\"span\":null"),
+        }
+        for (name, val) in fields {
+            body.push(',');
+            push_json_str(&mut body, name);
+            body.push(':');
+            match val {
+                Val::U(v) => {
+                    let _ = write!(body, "{v}");
+                }
+                Val::B(v) => {
+                    let _ = write!(body, "{v}");
+                }
+                Val::S(v) => push_json_str(&mut body, v),
+            }
+        }
+        self.push_line(ev, &body);
+    }
+
+    /// Records one solver call: duration into the solver-stage histogram,
+    /// plus (when recording) a `solver_call` event carrying the predicate
+    /// count, verdict and cache-lookup labels.
+    pub fn solver_call(
+        &self,
+        preds: usize,
+        verdict: &'static str,
+        lookup: &'static str,
+        dur: Duration,
+    ) {
+        self.stages[Stage::Solver.index()].record(dur);
+        if self.record {
+            self.event(
+                "solver_call",
+                &[
+                    ("preds", Val::U(preds as u64)),
+                    ("verdict", Val::S(verdict)),
+                    ("lookup", Val::S(lookup)),
+                    ("dur_us", Val::U(dur.as_micros().min(u64::MAX as u128) as u64)),
+                ],
+            );
+        }
+    }
+
+    /// The latency histogram for one stage.
+    pub fn stage_histogram(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage.index()]
+    }
+
+    /// An aggregated snapshot for one stage.
+    pub fn snapshot(&self, stage: Stage) -> StageSnapshot {
+        let h = &self.stages[stage.index()];
+        let (p50_us, p90_us, p99_us) = h.percentiles_us();
+        StageSnapshot {
+            count: h.count(),
+            total_us: h.sum_us(),
+            mean_us: h.mean_us(),
+            p50_us,
+            p90_us,
+            p99_us,
+        }
+    }
+
+    /// Snapshots for every stage, in pipeline order.
+    pub fn stages(&self) -> impl Iterator<Item = (Stage, StageSnapshot)> + '_ {
+        Stage::ALL.iter().map(|&s| (s, self.snapshot(s)))
+    }
+
+    /// A copy of the buffered JSON-lines events (empty in aggregate mode).
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("trace lines").clone()
+    }
+
+    /// Writes the buffered events as JSON lines.
+    pub fn write_jsonl(&self, w: &mut dyn std::io::Write) -> std::io::Result<()> {
+        for line in self.lines.lock().expect("trace lines").iter() {
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Appends one line; `seq` is the line's position, assigned under the
+    /// buffer lock so it is strictly increasing in output order even when
+    /// several worker threads record concurrently.
+    fn push_line(&self, ev: &str, body: &str) {
+        let mut lines = self.lines.lock().expect("trace lines");
+        let seq = lines.len();
+        let mut line = String::with_capacity(body.len() + ev.len() + 24);
+        let _ = write!(line, "{{\"ev\":");
+        push_json_str(&mut line, ev);
+        let _ = write!(line, ",\"seq\":{seq},");
+        line.push_str(body);
+        line.push('}');
+        lines.push(line);
+    }
+}
+
+/// A RAII span handle from [`TraceSink::span`]; dropping it closes the
+/// span and records the elapsed time against the stage.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    sink: &'a TraceSink,
+    stage: Stage,
+    id: u64,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let dur = self.start.elapsed();
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards are scoped, so the innermost entry is ours; tolerate
+            // out-of-order drops (e.g. via std::mem::drop) defensively.
+            if let Some(pos) = s.iter().rposition(|&id| id == self.id) {
+                s.remove(pos);
+            }
+        });
+        self.sink.stages[self.stage.index()].record(dur);
+        if self.sink.record {
+            let mut body = format!("\"id\":{},", self.id);
+            let _ = write!(
+                body,
+                "\"stage\":\"{}\",\"dur_us\":{}",
+                self.stage.label(),
+                dur.as_micros().min(u64::MAX as u128) as u64
+            );
+            self.sink.push_line("span_end", &body);
+        }
+    }
+}
+
+/// Opens a span when a sink is present; the `None` path costs nothing
+/// (no clock read, no allocation, no locking).
+pub fn maybe_span<'a>(sink: &'a Option<Arc<TraceSink>>, stage: Stage) -> Option<SpanGuard<'a>> {
+    sink.as_ref().map(|s| s.span(stage))
+}
+
+/// The sink, only when present *and* recording — the guard callers use
+/// before building event field strings, so neither the disabled path nor
+/// aggregate mode pays for rendering.
+pub fn recording_sink(sink: &Option<Arc<TraceSink>>) -> Option<&TraceSink> {
+    match sink {
+        Some(s) if s.is_recording() => Some(s),
+        _ => None,
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_mode_buffers_no_lines() {
+        let sink = TraceSink::aggregate();
+        {
+            let _s = sink.span(Stage::Prune);
+            sink.event("prune_decision", &[("decision", Val::S("removed"))]);
+            sink.solver_call(3, "unsat", "miss", Duration::from_micros(5));
+        }
+        assert!(sink.lines().is_empty(), "aggregate mode must not buffer events");
+        assert_eq!(sink.snapshot(Stage::Prune).count, 1);
+        assert_eq!(sink.snapshot(Stage::Solver).count, 1);
+    }
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let sink = TraceSink::recording();
+        {
+            let _outer = sink.span(Stage::Prune);
+            {
+                let _inner = sink.span(Stage::PassingGuard);
+                sink.event("probe", &[("n", Val::U(1))]);
+            }
+            let _sibling = sink.span(Stage::PassingGuard);
+        }
+        let lines = sink.lines();
+        // span_start(1,parent=null), span_start(2,parent=1), event(span=2),
+        // span_end(2), span_start(3,parent=1), span_end(3), span_end(1).
+        assert_eq!(lines.len(), 7, "{lines:#?}");
+        assert!(lines[0].contains("\"ev\":\"span_start\"") && lines[0].contains("\"parent\":null"));
+        assert!(lines[1].contains("\"parent\":1"), "{}", lines[1]);
+        assert!(lines[2].contains("\"ev\":\"probe\"") && lines[2].contains("\"span\":2"));
+        assert!(lines[3].contains("\"ev\":\"span_end\"") && lines[3].contains("\"id\":2"));
+        assert!(lines[4].contains("\"parent\":1"), "nesting must pop on drop: {}", lines[4]);
+        assert!(lines[6].contains("\"id\":1"));
+        // Sequence numbers match buffer order.
+        for (i, l) in lines.iter().enumerate() {
+            assert!(l.contains(&format!("\"seq\":{i},")), "{l}");
+        }
+    }
+
+    #[test]
+    fn stage_time_lands_in_the_right_histogram() {
+        let sink = TraceSink::aggregate();
+        {
+            let _s = sink.span(Stage::TestGen);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = sink.snapshot(Stage::TestGen);
+        assert_eq!(snap.count, 1);
+        assert!(snap.total_us >= 2_000, "slept 2ms, recorded {} µs", snap.total_us);
+        assert_eq!(sink.snapshot(Stage::Generalize), StageSnapshot::default());
+    }
+
+    #[test]
+    fn event_strings_are_json_escaped() {
+        let sink = TraceSink::recording();
+        sink.event("note", &[("pred", Val::S("s[\"x\"] != null\\path\n"))]);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].contains(r#""pred":"s[\"x\"] != null\\path\n""#),
+            "escaping failed: {}",
+            lines[0]
+        );
+    }
+
+    #[test]
+    fn maybe_span_and_recording_sink_are_none_when_disabled() {
+        let none: Option<Arc<TraceSink>> = None;
+        assert!(maybe_span(&none, Stage::Solver).is_none());
+        assert!(recording_sink(&none).is_none());
+        let agg = Some(Arc::new(TraceSink::aggregate()));
+        assert!(maybe_span(&agg, Stage::Solver).is_some());
+        assert!(recording_sink(&agg).is_none(), "aggregate sinks must not trigger rendering");
+        let rec = Some(Arc::new(TraceSink::recording()));
+        assert!(recording_sink(&rec).is_some());
+    }
+}

@@ -80,23 +80,55 @@ pub fn generalize_path(
     templates: &[Box<dyn Template>],
     passing_states: &[&MethodEntryState],
 ) -> GeneralizedPath {
+    generalize_path_traced(path, templates, passing_states, &None)
+}
+
+/// [`generalize_path`] with an observation-only trace sink: template
+/// applications emit `template_match` events when recording, and the §III-A
+/// validation runs under a `passing_guard` span. Tracing never changes
+/// which templates fire.
+pub fn generalize_path_traced(
+    path: &ReducedPath,
+    templates: &[Box<dyn Template>],
+    passing_states: &[&MethodEntryState],
+    trace: &Option<std::sync::Arc<obs::TraceSink>>,
+) -> GeneralizedPath {
     // Work on a shrinking copy of the path.
     let mut work = path.clone();
     let mut formulas: Vec<(usize, Formula)> = Vec::new(); // (anchor entry position, formula)
     let mut quantified = false;
     loop {
-        let mut best: Option<TemplateMatch> = None;
+        let mut best: Option<(&'static str, TemplateMatch)> = None;
         for t in templates {
             if let Some(m) = t.instantiate(&work) {
                 if m.subsumed.len() >= 2
-                    && best.as_ref().map(|b| m.subsumed.len() > b.subsumed.len()).unwrap_or(true)
-                    && validates(&work, &m, passing_states)
+                    && best
+                        .as_ref()
+                        .map(|(_, b)| m.subsumed.len() > b.subsumed.len())
+                        .unwrap_or(true)
                 {
-                    best = Some(m);
+                    let validated = {
+                        let _guard_span = obs::maybe_span(trace, obs::Stage::PassingGuard);
+                        validates(&work, &m, passing_states)
+                    };
+                    if validated {
+                        best = Some((t.name(), m));
+                    }
                 }
             }
         }
-        let Some(m) = best else { break };
+        let Some((name, m)) = best else { break };
+        if let Some(sink) = obs::recording_sink(trace) {
+            let formula = m.formula.to_string();
+            sink.event(
+                "template_match",
+                &[
+                    ("template", obs::Val::S(name)),
+                    ("subsumed", obs::Val::U(m.subsumed.len() as u64)),
+                    ("formula", obs::Val::S(&formula)),
+                ],
+            );
+        }
         quantified = true;
         let anchor = *m.subsumed.iter().min().expect("non-empty subsumption");
         // Remove subsumed entries; remember the formula at the anchor.

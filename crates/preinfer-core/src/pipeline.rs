@@ -1,7 +1,7 @@
 //! The end-to-end PreInfer pipeline (Section IV): collect path conditions
 //! from the shared test suite, prune, generalize, assemble.
 
-use crate::generalize::{default_templates, generalize_path, GeneralizedPath, Template};
+use crate::generalize::{default_templates, generalize_path_traced, GeneralizedPath, Template};
 use crate::precondition::{assemble, InferredPrecondition};
 use crate::pruning::{prune_failing_paths, PruneConfig, PruneStats};
 use minilang::{CheckId, MethodEntryState, TypedProgram};
@@ -47,7 +47,22 @@ pub fn infer_precondition(
     suite: &Suite,
     cfg: &PreInferConfig,
 ) -> Option<Inference> {
-    let (passing, failing) = suite.partition(acl);
+    let trace = &cfg.prune.trace;
+    let (passing, failing) = {
+        let _span = obs::maybe_span(trace, obs::Stage::Partition);
+        suite.partition(acl)
+    };
+    if let Some(sink) = obs::recording_sink(trace) {
+        let acl_str = format!("{acl}");
+        sink.event(
+            "partition",
+            &[
+                ("acl", obs::Val::S(&acl_str)),
+                ("passing", obs::Val::U(passing.len() as u64)),
+                ("failing", obs::Val::U(failing.len() as u64)),
+            ],
+        );
+    }
     if failing.is_empty() {
         return None;
     }
@@ -66,16 +81,48 @@ pub fn infer_precondition(
                 quantified: false,
             })
             .collect();
-        let precondition = assemble(&disjuncts);
+        let precondition = {
+            let _span = obs::maybe_span(trace, obs::Stage::Assemble);
+            assemble(&disjuncts)
+        };
+        emit_psi(trace, &precondition, disjuncts.len());
         return Some(Inference { precondition, prune_stats: Default::default(), disjuncts });
     }
     let (reduced, prune_stats) =
         prune_failing_paths(program, func_name, acl, &passing, &failing, &cfg.prune);
     let passing_states: Vec<&MethodEntryState> = passing.iter().map(|r| &r.state).collect();
-    let disjuncts: Vec<GeneralizedPath> =
-        reduced.iter().map(|r| generalize_path(r, &cfg.templates, &passing_states)).collect();
-    let precondition = assemble(&disjuncts);
+    let disjuncts: Vec<GeneralizedPath> = reduced
+        .iter()
+        .map(|r| {
+            let _span = obs::maybe_span(trace, obs::Stage::Generalize);
+            generalize_path_traced(r, &cfg.templates, &passing_states, trace)
+        })
+        .collect();
+    let precondition = {
+        let _span = obs::maybe_span(trace, obs::Stage::Assemble);
+        assemble(&disjuncts)
+    };
+    emit_psi(trace, &precondition, disjuncts.len());
     Some(Inference { precondition, prune_stats, disjuncts })
+}
+
+/// Emits the final `psi` event (recording sinks only).
+fn emit_psi(
+    trace: &Option<std::sync::Arc<obs::TraceSink>>,
+    precondition: &InferredPrecondition,
+    disjuncts: usize,
+) {
+    if let Some(sink) = obs::recording_sink(trace) {
+        let psi = precondition.psi.to_string();
+        sink.event(
+            "psi",
+            &[
+                ("psi", obs::Val::S(&psi)),
+                ("quantified", obs::Val::B(precondition.quantified)),
+                ("disjuncts", obs::Val::U(disjuncts as u64)),
+            ],
+        );
+    }
 }
 
 /// Runs PreInfer for *every* ACL the suite triggers, fanning the per-ACL

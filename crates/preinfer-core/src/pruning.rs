@@ -53,6 +53,10 @@ pub struct PruneConfig {
     /// Worker threads for per-failing-path pruning. `0` or `1` is serial;
     /// any value produces identical output (paths are pruned independently).
     pub jobs: usize,
+    /// Observation-only trace sink: wraps each failing path's pruning in a
+    /// `prune` span and, when recording, emits one `prune_decision` event
+    /// per kept/removed predicate. Never influences what is pruned.
+    pub trace: Option<Arc<obs::TraceSink>>,
 }
 
 impl Default for PruneConfig {
@@ -66,6 +70,7 @@ impl Default for PruneConfig {
             concolic: ConcolicConfig::default(),
             solver_cache: None,
             jobs: 1,
+            trace: None,
         }
     }
 }
@@ -145,6 +150,7 @@ pub fn prune_failing_paths(
     let passing_states: Vec<&MethodEntryState> = passing.iter().map(|r| &r.state).collect();
 
     let prune_run = |run: &TestRun| -> (ReducedPath, PruneStats) {
+        let _span = obs::maybe_span(&cfg.trace, obs::Stage::Prune);
         let mut stats = PruneStats::default();
         let reduced = prune_one(
             program,
@@ -157,6 +163,16 @@ pub fn prune_failing_paths(
             cfg,
             &mut stats,
         );
+        if let Some(sink) = obs::recording_sink(&cfg.trace) {
+            sink.event(
+                "path_pruned",
+                &[
+                    ("entries", obs::Val::U(run.path.entries.len() as u64)),
+                    ("kept", obs::Val::U(reduced.len() as u64)),
+                    ("removed", obs::Val::U(stats.removed as u64)),
+                ],
+            );
+        }
         (ReducedPath { entries: reduced, state: run.state.clone() }, stats)
     };
 
@@ -197,6 +213,20 @@ fn prune_one(
         stats.count_lookup(lookup);
         result
     };
+    // One `prune_decision` event per examined predicate when recording.
+    let decision = |kind: &'static str, j: usize| {
+        if let Some(sink) = obs::recording_sink(&cfg.trace) {
+            let pred = path.entries[j].pred.to_string();
+            sink.event(
+                "prune_decision",
+                &[
+                    ("decision", obs::Val::S(kind)),
+                    ("idx", obs::Val::U(j as u64)),
+                    ("pred", obs::Val::S(&pred)),
+                ],
+            );
+        }
+    };
     // kept[j] - whether entry j survives. The last branch entry (the
     // assertion-violating condition) is always kept; pins are resolved last.
     let mut kept = vec![true; n];
@@ -236,6 +266,7 @@ fn prune_one(
                     eprintln!("  IMPLIED-REMOVED [{j}] {}", path.entries[j].pred);
                 }
                 stats.removed += 1;
+                decision("implied", j);
                 continue;
             }
         }
@@ -260,6 +291,7 @@ fn prune_one(
             if !reaches_witness {
                 // No deviation reaches the location: c-depend holds — keep.
                 stats.kept_c_depend += 1;
+                decision("c_depend", j);
                 continue;
             }
             // --- d-impact: does some deviation change the violating expression?
@@ -288,6 +320,7 @@ fn prune_one(
             });
             if d_impact {
                 stats.kept_d_impact += 1;
+                decision("d_impact", j);
                 continue;
             }
         } else if !cfg.verify_removals && !cfg.passing_guard {
@@ -297,11 +330,14 @@ fn prune_one(
         // --- §III-A guard: removal must not admit a passing state. ---------
         kept[j] = false;
         if cfg.passing_guard {
-            let admits =
-                passing_states.iter().any(|state| satisfied_by(&path.entries, &kept, state));
+            let admits = {
+                let _guard_span = obs::maybe_span(&cfg.trace, obs::Stage::PassingGuard);
+                passing_states.iter().any(|state| satisfied_by(&path.entries, &kept, state))
+            };
             if admits {
                 kept[j] = true;
                 stats.kept_guard += 1;
+                decision("guard", j);
                 continue;
             }
         }
@@ -330,9 +366,21 @@ fn prune_one(
                     }
                 }
             };
+            if let Some(sink) = obs::recording_sink(&cfg.trace) {
+                let label = match verdict {
+                    Removal::Lossless => "lossless",
+                    Removal::Accepted => "accepted",
+                    Removal::Rejected => "rejected",
+                };
+                sink.event(
+                    "verify",
+                    &[("idx", obs::Val::U(j as u64)), ("verdict", obs::Val::S(label))],
+                );
+            }
             if verdict == Removal::Rejected {
                 kept[j] = true;
                 stats.kept_guard += 1;
+                decision("guard", j);
                 continue;
             }
         }
@@ -340,6 +388,7 @@ fn prune_one(
             eprintln!("  REMOVED [{j}] {}", path.entries[j].pred);
         }
         stats.removed += 1;
+        decision("removed", j);
     }
 
     // Pins that survive the loop are load-bearing: the removal

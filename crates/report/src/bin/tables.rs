@@ -43,6 +43,22 @@ fn main() {
             misses,
             if hits + misses == 0 { 0.0 } else { 100.0 * hits as f64 / (hits + misses) as f64 },
         );
+        // Per-stage totals across all methods (from the aggregate sinks).
+        let mut stage_totals: std::collections::BTreeMap<&'static str, (u64, u64)> =
+            Default::default();
+        for r in &results {
+            for t in &r.stage_timings {
+                let e = stage_totals.entry(t.stage).or_insert((0, 0));
+                e.0 += t.count;
+                e.1 += t.total_us;
+            }
+        }
+        if !stage_totals.is_empty() {
+            eprintln!("stage breakdown (all methods):");
+            for (stage, (count, total_us)) in &stage_totals {
+                eprintln!("  {stage:>14}: {count:>7} spans, {:.2}s", *total_us as f64 / 1e6);
+            }
+        }
         if want("4") {
             println!("{}", report::table_4(&results));
         }

@@ -87,6 +87,21 @@ impl AclResult {
     }
 }
 
+/// Aggregated timing for one pipeline stage while evaluating a method.
+/// Derived from an aggregate [`obs::TraceSink`]; purely diagnostic — the
+/// timings never feed back into inference.
+#[derive(Debug, Clone)]
+pub struct StageTiming {
+    /// Stage label (`test_gen`, `prune`, `solver`, …).
+    pub stage: &'static str,
+    pub count: u64,
+    pub total_us: u64,
+    pub mean_us: u64,
+    pub p50_us: u64,
+    pub p90_us: u64,
+    pub p99_us: u64,
+}
+
 /// Per-method evaluation output.
 #[derive(Debug, Clone)]
 pub struct MethodResult {
@@ -105,6 +120,10 @@ pub struct MethodResult {
     /// test generation stops early and pruning keeps predicates — but may
     /// be less reduced than an unbounded run.
     pub timed_out: bool,
+    /// Per-stage timing breakdown (stages with zero samples are omitted;
+    /// empty when [`EvalConfig::trace`] is off). Diagnostics only — every
+    /// other field is byte-identical with tracing on or off.
+    pub stage_timings: Vec<StageTiming>,
     pub acls: Vec<AclResult>,
 }
 
@@ -127,6 +146,11 @@ pub struct EvalConfig {
     /// Checked between solver calls, so no single method can hang its
     /// worker; expiry is surfaced as [`MethodResult::timed_out`].
     pub timeout_ms: Option<u64>,
+    /// Collect per-stage timing aggregates into
+    /// [`MethodResult::stage_timings`] (an aggregate sink: histograms only,
+    /// no event buffering). Timings are diagnostics; every other result
+    /// field is identical with tracing on or off.
+    pub trace: bool,
 }
 
 impl Default for EvalConfig {
@@ -138,6 +162,7 @@ impl Default for EvalConfig {
             jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             solver_cache: true,
             timeout_ms: None,
+            trace: true,
         }
     }
 }
@@ -180,12 +205,18 @@ pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
     // the same predicate families, so hit rates are high within a method.
     let cache = cfg.solver_cache.then(|| Arc::new(SolverCache::new()));
     let deadline = cfg.timeout_ms.map(Deadline::after_ms).unwrap_or_default();
+    // Aggregate sink: per-stage histograms only, no per-event buffering.
+    let sink = cfg.trace.then(|| Arc::new(obs::TraceSink::aggregate()));
     let mut testgen_cfg = cfg.testgen.clone();
     testgen_cfg.solver_cache = cache.clone();
     testgen_cfg.solver.deadline = deadline.clone();
+    testgen_cfg.solver.trace = sink.clone();
+    testgen_cfg.trace = sink.clone();
     let mut infer_cfg = PreInferConfig::default();
     infer_cfg.prune.solver_cache = cache.clone();
     infer_cfg.prune.solver.deadline = deadline.clone();
+    infer_cfg.prune.solver.trace = sink.clone();
+    infer_cfg.prune.trace = sink.clone();
     let suite = generate_tests(&tp, m.name, &testgen_cfg);
     let coverage = suite.coverage_percent(&func);
     let sites = check_sites(&func);
@@ -254,6 +285,23 @@ pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
         });
     }
     let cache_stats = cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+    let stage_timings = sink
+        .as_ref()
+        .map(|s| {
+            s.stages()
+                .filter(|(_, snap)| snap.count > 0)
+                .map(|(stage, snap)| StageTiming {
+                    stage: stage.label(),
+                    count: snap.count,
+                    total_us: snap.total_us,
+                    mean_us: snap.mean_us,
+                    p50_us: snap.p50_us,
+                    p90_us: snap.p90_us,
+                    p99_us: snap.p99_us,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     MethodResult {
         namespace: m.namespace.to_string(),
         subject: m.subject.to_string(),
@@ -263,6 +311,7 @@ pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
         solver_cache_hits: cache_stats.hits,
         solver_cache_misses: cache_stats.misses,
         timed_out: deadline.expired(),
+        stage_timings,
         acls,
     }
 }

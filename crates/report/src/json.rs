@@ -5,7 +5,7 @@
 //! to produce for `Vec<MethodResult>`, keeping downstream consumers of
 //! `tables --json` working.
 
-use crate::eval::{AclResult, ApproachResult, MethodResult};
+use crate::eval::{AclResult, ApproachResult, MethodResult, StageTiming};
 use std::fmt::Write;
 
 /// Serializes the full evaluation output as pretty-printed JSON.
@@ -31,6 +31,16 @@ fn write_method(out: &mut String, m: &MethodResult, level: usize) {
     let _ = writeln!(out, "{inner}\"solver_cache_hits\": {},", m.solver_cache_hits);
     let _ = writeln!(out, "{inner}\"solver_cache_misses\": {},", m.solver_cache_misses);
     let _ = writeln!(out, "{inner}\"timed_out\": {},", m.timed_out);
+    // Rendered on a single line: timing values vary run to run, so
+    // differential consumers can drop this one line and compare the rest.
+    let _ = write!(out, "{inner}\"stage_timings\": [");
+    for (i, t) in m.stage_timings.iter().enumerate() {
+        write_stage_timing(out, t);
+        if i + 1 < m.stage_timings.len() {
+            out.push_str(", ");
+        }
+    }
+    out.push_str("],\n");
     if m.acls.is_empty() {
         let _ = writeln!(out, "{inner}\"acls\": []");
     } else {
@@ -42,6 +52,21 @@ fn write_method(out: &mut String, m: &MethodResult, level: usize) {
         let _ = writeln!(out, "{inner}]");
     }
     let _ = write!(out, "{pad}}}");
+}
+
+fn write_stage_timing(out: &mut String, t: &StageTiming) {
+    let _ = write!(
+        out,
+        "{{\"stage\": {}, \"count\": {}, \"total_us\": {}, \"mean_us\": {}, \
+         \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}}}",
+        json_str(t.stage),
+        t.count,
+        t.total_us,
+        t.mean_us,
+        t.p50_us,
+        t.p90_us,
+        t.p99_us
+    );
 }
 
 fn write_acl(out: &mut String, a: &AclResult, level: usize) {

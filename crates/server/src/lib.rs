@@ -9,7 +9,6 @@
 //! SIGTERM-triggered graceful drain. See DESIGN.md §6 "Serving layer".
 
 pub mod client;
-pub mod histogram;
 pub mod json;
 pub mod protocol;
 pub mod queue;
@@ -17,7 +16,7 @@ pub mod server;
 pub mod service;
 
 pub use client::{served_psis, Client, ClientError};
-pub use histogram::Histogram;
+pub use obs::Histogram;
 pub use protocol::{ErrorCode, InferRequest, Request, MAX_FRAME_LEN};
 pub use queue::BoundedQueue;
 pub use server::{Server, ServerConfig, ServerHandle};

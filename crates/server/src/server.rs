@@ -29,12 +29,12 @@
 //! threads reject new work with `shutting_down`, workers drain the queue
 //! to empty, and `join` returns once every thread has exited.
 
-use crate::histogram::Histogram;
 use crate::protocol::{
     self, render_error, ErrorCode, FrameError, InferRequest, Request, MAX_FRAME_LEN,
 };
 use crate::queue::BoundedQueue;
 use crate::service;
+use obs::Histogram;
 use solver::{Deadline, SolverCache};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -114,6 +114,10 @@ struct Shared {
     cache: Arc<SolverCache>,
     counters: Counters,
     latency: VerbLatency,
+    /// Aggregate pipeline-stage histograms shared by every worker (no
+    /// per-event buffering — recording sinks are a CLI concern). Served by
+    /// the `stats` verb.
+    trace: Arc<obs::TraceSink>,
     default_deadline_ms: Option<u64>,
 }
 
@@ -157,6 +161,7 @@ impl Server {
             cache: Arc::new(SolverCache::new()),
             counters: Counters::default(),
             latency: VerbLatency::default(),
+            trace: Arc::new(obs::TraceSink::aggregate()),
             default_deadline_ms: cfg.default_deadline_ms,
         });
         let workers = (0..cfg.workers.max(1))
@@ -360,9 +365,27 @@ fn render_stats_response(id: Option<&str>, shared: &Shared) -> String {
                 .u64("misses", cache.misses)
                 .u64("entries", cache.entries)
                 .u64("evictions", cache.evictions)
+                .u64("evicted_entries", cache.evicted_entries)
                 .f64("hit_rate", cache.hit_rate())
                 .build(),
         )
+        .raw("stages", {
+            let mut b = ObjBuilder::new();
+            for (stage, snap) in shared.trace.stages() {
+                b = b.raw(
+                    stage.label(),
+                    ObjBuilder::new()
+                        .u64("count", snap.count)
+                        .u64("total_us", snap.total_us)
+                        .u64("mean_us", snap.mean_us)
+                        .u64("p50_us", snap.p50_us)
+                        .u64("p90_us", snap.p90_us)
+                        .u64("p99_us", snap.p99_us)
+                        .build(),
+                );
+            }
+            b.build()
+        })
         .raw(
             "counters",
             ObjBuilder::new()
@@ -403,7 +426,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             continue;
         };
         let queue_ms = job.admitted_at.elapsed().as_secs_f64() * 1e3;
-        let response = match service::run_infer(&job.request, &shared.cache, &job.deadline) {
+        let trace = Some(Arc::clone(&shared.trace));
+        let response = match service::run_infer(&job.request, &shared.cache, &job.deadline, &trace)
+        {
             Ok(outcome) => {
                 shared.counters.infers_ok.fetch_add(1, Ordering::Relaxed);
                 if outcome.timed_out {

@@ -56,11 +56,13 @@ pub struct ServiceError {
 
 /// Runs one `infer` request to completion. `deadline` must already be
 /// running (the clock starts at admission, so queue wait counts against
-/// the request's budget).
+/// the request's budget). `trace` is an observation-only sink (the daemon
+/// passes its shared aggregate sink; it never changes any answer).
 pub fn run_infer(
     req: &InferRequest,
     cache: &Arc<SolverCache>,
     deadline: &Deadline,
+    trace: &Option<Arc<obs::TraceSink>>,
 ) -> Result<InferOutcome, ServiceError> {
     let start = Instant::now();
     let program = minilang::compile(&req.program)
@@ -92,6 +94,8 @@ pub fn run_infer(
     }
     tg.solver_cache = Some(cache.clone());
     tg.solver.deadline = deadline.clone();
+    tg.solver.trace = trace.clone();
+    tg.trace = trace.clone();
     let suite = generate_tests(&program, &func_name, &tg);
     let func = program.func(&func_name).expect("checked above");
     let coverage = suite.coverage_percent(func);
@@ -99,6 +103,8 @@ pub fn run_infer(
     let mut cfg = PreInferConfig::default();
     cfg.prune.solver_cache = Some(cache.clone());
     cfg.prune.solver.deadline = deadline.clone();
+    cfg.prune.solver.trace = trace.clone();
+    cfg.prune.trace = trace.clone();
     cfg.prune.jobs = req.jobs;
     let inferred =
         preinfer_core::infer_all_preconditions(&program, &func_name, &suite, &cfg, req.jobs);
@@ -196,9 +202,13 @@ mod tests {
     #[test]
     fn infers_the_guarded_div_shape() {
         let cache = Arc::new(SolverCache::new());
-        let out =
-            run_infer(&req("fn f(x int) -> int { return 10 / x; }"), &cache, &Deadline::none())
-                .unwrap();
+        let out = run_infer(
+            &req("fn f(x int) -> int { return 10 / x; }"),
+            &cache,
+            &Deadline::none(),
+            &None,
+        )
+        .unwrap();
         assert_eq!(out.func, "f");
         assert!(!out.timed_out);
         assert_eq!(out.acls.len(), 1);
@@ -209,7 +219,7 @@ mod tests {
     #[test]
     fn compile_errors_are_typed() {
         let cache = Arc::new(SolverCache::new());
-        let err = run_infer(&req("fn f( {"), &cache, &Deadline::none()).unwrap_err();
+        let err = run_infer(&req("fn f( {"), &cache, &Deadline::none(), &None).unwrap_err();
         assert_eq!(err.code, ErrorCode::CompileError);
         let err = run_infer(
             &InferRequest {
@@ -218,6 +228,7 @@ mod tests {
             },
             &cache,
             &Deadline::none(),
+            &None,
         )
         .unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
@@ -232,6 +243,7 @@ mod tests {
             &req("fn f(x int, y int) -> int { if (x > 0) { return 10 / y; } return 0; }"),
             &cache,
             &deadline,
+            &None,
         )
         .unwrap();
         assert!(out.timed_out, "deadline was already expired at admission");
@@ -240,9 +252,13 @@ mod tests {
     #[test]
     fn response_renders_as_valid_json() {
         let cache = Arc::new(SolverCache::new());
-        let out =
-            run_infer(&req("fn f(x int) -> int { return 10 / x; }"), &cache, &Deadline::none())
-                .unwrap();
+        let out = run_infer(
+            &req("fn f(x int) -> int { return 10 / x; }"),
+            &cache,
+            &Deadline::none(),
+            &None,
+        )
+        .unwrap();
         let rendered = render_infer_response(Some("id-1"), &out, 0.5, &cache);
         let v = crate::json::parse(&rendered).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));

@@ -25,7 +25,7 @@
 
 use crate::theory::{FuncSig, SolveResult, SolverConfig};
 use minilang::{MethodEntryState, Ty};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -143,12 +143,27 @@ pub enum CacheLookup {
     Bypass,
 }
 
+impl CacheLookup {
+    /// Short lowercase label for diagnostics and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheLookup::Hit => "hit",
+            CacheLookup::Miss => "miss",
+            CacheLookup::Bypass => "bypass",
+        }
+    }
+}
+
 /// Counters and size of a [`SolverCache`], as observed at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Number of eviction *events* (full-shard scans). Each event drops one
+    /// or more entries; see [`CacheStats::evicted_entries`].
     pub evictions: u64,
+    /// Total entries dropped across all eviction events.
+    pub evicted_entries: u64,
     pub entries: u64,
 }
 
@@ -164,18 +179,40 @@ impl CacheStats {
     }
 }
 
+/// One cached verdict plus its second-chance bit.
+struct Entry {
+    result: SolveResult,
+    /// Set on every hit, cleared when an eviction scan passes over the
+    /// entry — a hot entry survives the scan, a cold one is dropped.
+    referenced: bool,
+}
+
+/// One independently locked shard: the memo map plus an insertion-order
+/// queue driving segmented (second-chance) eviction. `order` holds exactly
+/// the keys of `map`.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    order: VecDeque<CacheKey>,
+}
+
 /// A thread-safe memo table from canonical queries to solver verdicts.
 ///
 /// Sharded: each shard is an independently locked `HashMap`, so concurrent
 /// workers rarely contend. Entries never change once inserted (values are
-/// pure functions of keys); when a shard reaches its capacity it is flushed
-/// wholesale, which only costs recomputation, never correctness.
+/// pure functions of keys); when a shard reaches its capacity, a
+/// second-chance scan drops the cold half — recently hit entries are
+/// re-queued, so a warm working set survives sustained churn instead of
+/// being flushed wholesale. Eviction only costs recomputation, never
+/// correctness.
 pub struct SolverCache {
-    shards: Vec<Mutex<HashMap<CacheKey, SolveResult>>>,
+    shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Eviction events (scans), not entries; see `evicted_entries`.
     evictions: AtomicU64,
+    evicted_entries: AtomicU64,
 }
 
 impl Default for SolverCache {
@@ -193,15 +230,16 @@ impl SolverCache {
     /// A cache bounded to roughly `max_entries` entries.
     pub fn with_capacity(max_entries: usize) -> SolverCache {
         SolverCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_capacity: (max_entries / SHARDS).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            evicted_entries: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, SolveResult>> {
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         // Take high bits: the low bits pick HashMap buckets within a shard.
@@ -213,21 +251,49 @@ impl SolverCache {
     /// whether the lookup hit.
     pub fn solve(&self, q: &CanonQuery, cfg: &SolverConfig) -> (SolveResult, CacheLookup) {
         let shard = self.shard(q.key());
-        if let Some(cached) = shard.lock().expect("cache shard").get(q.key()) {
+        if let Some(e) = shard.lock().expect("cache shard").map.get_mut(q.key()) {
+            e.referenced = true;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (cached.clone(), CacheLookup::Hit);
+            return (e.result.clone(), CacheLookup::Hit);
         }
         // Solve outside the lock: queries can be slow, and two threads
         // racing on the same key compute the same value anyway.
         let result = q.solve(cfg);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut guard = shard.lock().expect("cache shard");
-        if guard.len() >= self.per_shard_capacity && !guard.contains_key(q.key()) {
-            self.evictions.fetch_add(guard.len() as u64, Ordering::Relaxed);
-            guard.clear();
+        if guard.map.len() >= self.per_shard_capacity && !guard.map.contains_key(q.key()) {
+            self.evict_cold_half(&mut guard);
         }
-        guard.insert(q.key().clone(), result.clone());
+        let entry = Entry { result: result.clone(), referenced: false };
+        if guard.map.insert(q.key().clone(), entry).is_none() {
+            guard.order.push_back(q.key().clone());
+        }
         (result, CacheLookup::Miss)
+    }
+
+    /// Second-chance eviction: walk the shard's insertion queue, re-queuing
+    /// recently hit entries (clearing their bit) and dropping cold ones,
+    /// until the shard is at half capacity. One call is one eviction
+    /// *event*; the dropped entries are counted separately.
+    fn evict_cold_half(&self, shard: &mut Shard) {
+        let target = self.per_shard_capacity / 2;
+        let mut dropped = 0u64;
+        while shard.map.len() > target {
+            let Some(key) = shard.order.pop_front() else { break };
+            match shard.map.get_mut(&key) {
+                Some(e) if e.referenced => {
+                    e.referenced = false;
+                    shard.order.push_back(key);
+                }
+                Some(_) => {
+                    shard.map.remove(&key);
+                    dropped += 1;
+                }
+                None => {}
+            }
+        }
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.evicted_entries.fetch_add(dropped, Ordering::Relaxed);
     }
 
     /// A snapshot of the counters and current size.
@@ -236,7 +302,12 @@ impl SolverCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| s.lock().expect("cache shard").len() as u64).sum(),
+            evicted_entries: self.evicted_entries.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard").map.len() as u64)
+                .sum(),
         }
     }
 
@@ -245,12 +316,15 @@ impl SolverCache {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.evicted_entries.store(0, Ordering::Relaxed);
     }
 
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("cache shard").clear();
+            let mut shard = s.lock().expect("cache shard");
+            shard.map.clear();
+            shard.order.clear();
         }
         self.reset_stats();
     }
@@ -389,18 +463,44 @@ mod tests {
     }
 
     #[test]
-    fn eviction_flushes_a_full_shard() {
+    fn eviction_is_segmented_and_counts_events_and_entries() {
         let cfg = SolverConfig::default();
-        // Tiny capacity: every shard holds one entry.
-        let cache = SolverCache::with_capacity(SHARDS);
+        // Tiny capacity: every shard holds two entries.
+        let cache = SolverCache::with_capacity(SHARDS * 2);
         for k in 0..64 {
             let p = Pred::cmp(CmpOp::Gt, Term::var("a"), Term::int(k));
             let q = CanonQuery::build(&[p], &sig_ab(), &cfg);
             cache.solve(&q, &cfg);
         }
         let s = cache.stats();
-        assert!(s.evictions > 0, "64 distinct keys into {SHARDS} slots must evict");
-        assert!(s.entries <= SHARDS as u64);
+        assert!(s.evictions > 0, "64 distinct keys into {} slots must evict", SHARDS * 2);
+        assert!(s.evicted_entries >= s.evictions, "every event drops at least one entry");
+        assert!(s.entries <= (SHARDS * 2) as u64);
+        assert_eq!(
+            s.entries + s.evicted_entries,
+            s.misses,
+            "every miss either stays resident or was counted as evicted"
+        );
+    }
+
+    #[test]
+    fn second_chance_keeps_the_hot_entry_resident() {
+        // Regression: eviction used to flush the *entire* shard when full,
+        // so a steadily re-hit entry was discarded along with the cold
+        // churn. The second-chance scan must keep it resident throughout.
+        let cfg = SolverConfig::default();
+        let cache = SolverCache::with_capacity(SHARDS * 2);
+        let hot = CanonQuery::build(&[gt0("a")], &sig_ab(), &cfg);
+        cache.solve(&hot, &cfg);
+        for k in 1..=96 {
+            let p = Pred::cmp(CmpOp::Gt, Term::var("a"), Term::int(k));
+            let q = CanonQuery::build(&[p], &sig_ab(), &cfg);
+            cache.solve(&q, &cfg);
+            // Touch the hot entry every round, as daemon traffic would.
+            let (_, lookup) = cache.solve(&hot, &cfg);
+            assert_eq!(lookup, CacheLookup::Hit, "hot entry evicted after {k} cold inserts");
+        }
+        assert!(cache.stats().evictions > 0, "cold churn must have triggered evictions");
     }
 
     #[test]

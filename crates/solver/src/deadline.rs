@@ -71,8 +71,17 @@ impl Deadline {
     }
 
     /// Time left, `None` when no deadline is set, `Some(0)` when expired.
+    /// Observing an exhausted budget latches the trip flag, exactly like
+    /// [`Deadline::expired`] — a caller that paces itself via `remaining()`
+    /// alone still gets its timeout reported.
     pub fn remaining(&self) -> Option<Duration> {
-        self.at.map(|at| at.saturating_duration_since(Instant::now()))
+        self.at.map(|at| {
+            let left = at.saturating_duration_since(Instant::now());
+            if left == Duration::ZERO {
+                self.tripped.store(true, Ordering::Relaxed);
+            }
+            left
+        })
     }
 }
 
@@ -97,6 +106,21 @@ mod tests {
         assert!(clone.expired());
         assert!(d.was_tripped(), "trip flag is shared across clones");
         assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn remaining_latches_the_trip_flag_on_expiry() {
+        // Regression: a caller that budgets work via `remaining()` alone
+        // used to observe `Some(0)` without the flag ever latching, so its
+        // work was cut short yet the request reported `timed_out: false`.
+        let d = Deadline::at(Instant::now() - Duration::from_millis(1));
+        let clone = d.clone();
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        assert!(clone.was_tripped(), "remaining() must latch the shared flag");
+        // A live deadline does not trip.
+        let live = Deadline::after_ms(60_000);
+        assert!(live.remaining().unwrap() > Duration::ZERO);
+        assert!(!live.was_tripped());
     }
 
     #[test]

@@ -16,14 +16,21 @@ pub struct Rat {
     den: i128,
 }
 
-fn gcd(a: i128, b: i128) -> i128 {
-    let (mut a, mut b) = (a.abs(), b.abs());
+fn gcd_u(mut a: u128, mut b: u128) -> u128 {
     while b != 0 {
         let t = a % b;
         a = b;
         b = t;
     }
     a
+}
+
+/// gcd of the magnitudes, as an `i128`. Computed over `u128` so
+/// `i128::MIN` inputs never overflow mid-computation; panics only if the
+/// gcd itself has no `i128` representation (both magnitudes `2^127`,
+/// impossible here since denominators are positive).
+fn gcd(a: i128, b: i128) -> i128 {
+    i128::try_from(gcd_u(a.unsigned_abs(), b.unsigned_abs())).expect("rational overflow in gcd")
 }
 
 impl Rat {
@@ -36,12 +43,25 @@ impl Rat {
     ///
     /// # Panics
     ///
-    /// Panics if `den == 0`.
+    /// Panics if `den == 0`, or if the normalized value has no `i128`
+    /// representation (an `i128::MIN` magnitude forced positive, e.g.
+    /// `Rat::new(i128::MIN, -1)`). Normalization works on `u128`
+    /// magnitudes, so `i128::MIN` inputs that *do* have a representable
+    /// result (e.g. `Rat::new(i128::MIN, 1)`) are exact rather than
+    /// overflowing `sign * num` on the way.
     pub fn new(num: i128, den: i128) -> Rat {
         assert!(den != 0, "rational with zero denominator");
-        let g = gcd(num, den).max(1);
-        let sign = if den < 0 { -1 } else { 1 };
-        Rat { num: sign * num / g, den: sign * den / g }
+        let neg = (num < 0) != (den < 0);
+        let (num_mag, den_mag) = (num.unsigned_abs(), den.unsigned_abs());
+        let g = gcd_u(num_mag, den_mag).max(1);
+        let (num_mag, den_mag) = (num_mag / g, den_mag / g);
+        let den = i128::try_from(den_mag).expect("rational overflow in new");
+        let num = if neg {
+            0i128.checked_sub_unsigned(num_mag).expect("rational overflow in new")
+        } else {
+            i128::try_from(num_mag).expect("rational overflow in new")
+        };
+        Rat { num, den }
     }
 
     /// An integer as a rational.
@@ -109,8 +129,12 @@ impl Rat {
     }
 
     /// Absolute value.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the unrepresentable `|i128::MIN|` numerator.
     pub fn abs(&self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den }
+        Rat { num: self.num.checked_abs().expect("rational overflow in abs"), den: self.den }
     }
 }
 
@@ -163,7 +187,7 @@ impl Div for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat { num: self.num.checked_neg().expect("rational overflow in neg"), den: self.den }
     }
 }
 
@@ -242,5 +266,37 @@ mod tests {
     #[should_panic(expected = "zero denominator")]
     fn zero_denominator_panics() {
         let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn min_magnitude_inputs_normalize_exactly() {
+        // Regression: normalization used `sign * num / g`, which overflows
+        // for `num == i128::MIN` even when the *result* is representable —
+        // wrapping silently in builds without overflow checks.
+        assert_eq!(Rat::new(i128::MIN, 1).num(), i128::MIN);
+        assert_eq!(Rat::new(i128::MIN, 1).den(), 1);
+        assert_eq!(Rat::new(i128::MIN, 2).num(), i128::MIN / 2);
+        assert_eq!(Rat::new(0, i128::MIN), Rat::ZERO);
+        assert_eq!(Rat::new(i128::MIN, i128::MIN), Rat::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "rational overflow in new")]
+    fn unrepresentable_normalization_panics_loudly() {
+        // `-i128::MIN` has no i128 representation: the module contract is a
+        // loud panic, never a silent wrap.
+        let _ = Rat::new(i128::MIN, -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rational overflow in neg")]
+    fn negating_min_magnitude_panics_loudly() {
+        let _ = -Rat::new(i128::MIN, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rational overflow in abs")]
+    fn abs_of_min_magnitude_panics_loudly() {
+        let _ = Rat::new(i128::MIN, 1).abs();
     }
 }

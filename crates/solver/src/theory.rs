@@ -65,6 +65,11 @@ pub struct SolverConfig {
     /// touching the cache, so memoized verdicts stay pure functions of
     /// their keys). Not part of the cache key.
     pub deadline: crate::deadline::Deadline,
+    /// Per-call instrumentation: every [`solve_preds_with`] call records
+    /// its predicate count, verdict, [`CacheLookup`] and duration. Like
+    /// the deadline, observation-only — never part of the cache key, and
+    /// `None` (the default) costs nothing, not even a clock read.
+    pub trace: Option<std::sync::Arc<obs::TraceSink>>,
 }
 
 impl Default for SolverConfig {
@@ -73,6 +78,7 @@ impl Default for SolverConfig {
             budget_nodes: 20_000,
             max_model_len: 4_096,
             deadline: crate::deadline::Deadline::none(),
+            trace: None,
         }
     }
 }
@@ -94,6 +100,15 @@ impl SolveResult {
         match self {
             SolveResult::Sat(m) => Some(m),
             _ => None,
+        }
+    }
+
+    /// Short lowercase label for diagnostics and trace events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SolveResult::Sat(_) => "sat",
+            SolveResult::Unsat => "unsat",
+            SolveResult::Unknown => "unknown",
         }
     }
 }
@@ -134,22 +149,24 @@ pub fn solve_preds_with(
     if cfg.deadline.expired() {
         return (SolveResult::Unknown, CacheLookup::Bypass);
     }
+    let start = cfg.trace.as_ref().map(|_| std::time::Instant::now());
     let q = CanonQuery::build(preds, sig, cfg);
     let (canonical, lookup) = match cache {
         Some(c) => c.solve(&q, cfg),
         None => (q.solve(cfg), CacheLookup::Bypass),
     };
-    let result = q.uncanonicalize(canonical);
+    let mut result = q.uncanonicalize(canonical);
     // Soundness net: re-validate any model against the original predicates.
     // This runs on the caller side (not inside the cache) so cached entries
     // stay pure functions of their canonical keys.
     if let SolveResult::Sat(state) = &result {
         let env = Env::new(state);
-        for p in preds {
-            if eval_pred(p, &env) != Ok(true) {
-                return (SolveResult::Unknown, lookup);
-            }
+        if preds.iter().any(|p| eval_pred(p, &env) != Ok(true)) {
+            result = SolveResult::Unknown;
         }
+    }
+    if let (Some(sink), Some(start)) = (cfg.trace.as_ref(), start) {
+        sink.solver_call(preds.len(), result.label(), lookup.label(), start.elapsed());
     }
     (result, lookup)
 }

@@ -41,6 +41,10 @@ pub struct TestGenConfig {
     /// share with the inference pipeline (entries are pure functions of the
     /// canonical query, so sharing never changes generated suites).
     pub solver_cache: Option<Arc<SolverCache>>,
+    /// Observation-only trace sink: wraps the whole generation in a
+    /// `test_gen` span and emits one `flip` event per branch-flip attempt
+    /// when recording. Never influences which tests are generated.
+    pub trace: Option<Arc<obs::TraceSink>>,
 }
 
 impl Default for TestGenConfig {
@@ -55,6 +59,7 @@ impl Default for TestGenConfig {
             concolic: ConcolicConfig::default(),
             solver: SolverConfig::default(),
             solver_cache: None,
+            trace: None,
         }
     }
 }
@@ -66,6 +71,7 @@ impl Default for TestGenConfig {
 /// Panics if the function does not exist in the program.
 pub fn generate_tests(program: &TypedProgram, func_name: &str, cfg: &TestGenConfig) -> Suite {
     let func = program.func(func_name).unwrap_or_else(|| panic!("unknown function {func_name}"));
+    let _span = obs::maybe_span(&cfg.trace, obs::Stage::TestGen);
     let sig = FuncSig::of(func);
     let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
 
@@ -144,7 +150,19 @@ pub fn generate_tests(program: &TypedProgram, func_name: &str, cfg: &TestGenConf
             continue;
         }
         flips += 1;
-        match solve_preds_with(&preds, &sig, &cfg.solver, cfg.solver_cache.as_deref()).0 {
+        let verdict = solve_preds_with(&preds, &sig, &cfg.solver, cfg.solver_cache.as_deref()).0;
+        if let Some(sink) = obs::recording_sink(&cfg.trace) {
+            let site = format!("{:?}", entry.site);
+            sink.event(
+                "flip",
+                &[
+                    ("site", obs::Val::S(&site)),
+                    ("depth", obs::Val::U(j as u64)),
+                    ("verdict", obs::Val::S(verdict.label())),
+                ],
+            );
+        }
+        match verdict {
             SolveResult::Sat(model) => {
                 if let Some(idx) = execute(model, &mut suite, &mut seen_states, &mut seen_paths) {
                     // Expand only the suffix the new path discovered.
@@ -156,6 +174,12 @@ pub fn generate_tests(program: &TypedProgram, func_name: &str, cfg: &TestGenConf
             }
             SolveResult::Unsat | SolveResult::Unknown => {}
         }
+    }
+    if let Some(sink) = obs::recording_sink(&cfg.trace) {
+        sink.event(
+            "testgen_done",
+            &[("runs", obs::Val::U(suite.len() as u64)), ("flips", obs::Val::U(flips as u64))],
+        );
     }
     suite
 }

@@ -16,6 +16,41 @@ cargo test --workspace -q
 echo "== perf smoke (BENCH_solver_cache.json)"
 cargo build --release -p bench --quiet
 ./target/release/perf_smoke
+# Disabled tracing must cost nothing: the gap between the two untraced
+# samples in the trace_overhead footer is pure run-to-run noise and must
+# stay within ±2%.
+python3 - <<'EOF'
+import json
+overhead = json.load(open("BENCH_solver_cache.json"))["trace_overhead"]
+pct = overhead["disabled_overhead_percent"]
+assert abs(pct) <= 2.0, f"disabled-tracing overhead {pct:+.2f}% exceeds 2%"
+print(f"trace overhead gate: disabled {pct:+.2f}% (limit ±2%)")
+EOF
+
+echo "== trace smoke (preinfer --trace-out)"
+cargo build --release --bin preinfer --quiet
+cat > trace_smoke.ml <<'EOF'
+fn lookup(table [int], key int) -> int {
+    if (key < 0) { return -1; }
+    return table[key % 4];
+}
+EOF
+./target/release/preinfer trace_smoke.ml --jobs 1 --trace-out trace_smoke.jsonl
+# Every line must parse as JSON, and with --jobs 1 the pipeline runs
+# inline, so the top-level stage spans are disjoint: their durations must
+# sum to no more than the run event's wall clock.
+python3 - <<'EOF'
+import json
+lines = [json.loads(l) for l in open("trace_smoke.jsonl")]
+assert lines, "empty trace"
+top = {e["id"] for e in lines if e["ev"] == "span_start" and e.get("parent") is None}
+spans = sum(e["dur_us"] for e in lines if e["ev"] == "span_end" and e["id"] in top)
+run = next(e for e in lines if e["ev"] == "run")
+assert spans <= run["dur_us"], f"stage spans ({spans} us) exceed wall clock ({run['dur_us']} us)"
+print(f"trace smoke: {len(lines)} events, {len(top)} top-level spans, "
+      f"{spans} of {run['dur_us']} us inside top-level stages")
+EOF
+rm -f trace_smoke.ml trace_smoke.jsonl
 
 echo "== server smoke (preinferd + preinfer-client)"
 cargo build --release -p server --quiet

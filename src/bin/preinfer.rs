@@ -4,6 +4,7 @@
 //! ```text
 //! preinfer path/to/program.ml [--fn NAME] [--baselines] [--tests N]
 //!          [--jobs N] [--no-solver-cache] [--timeout-ms N] [--verbose]
+//!          [--trace-out FILE]
 //! ```
 //!
 //! Generates a test suite for the function (default: the first one), then
@@ -27,12 +28,14 @@ struct Options {
     solver_cache: bool,
     timeout_ms: Option<u64>,
     verbose: bool,
+    trace_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: preinfer <program.ml> [--fn NAME] [--baselines] [--tests N]\n\
          \x20               [--jobs N] [--no-solver-cache] [--timeout-ms N] [--verbose]\n\
+         \x20               [--trace-out FILE]\n\
          \n\
          Infers preconditions for every assertion-containing location that\n\
          generated tests can make fail, per the PreInfer (DSN 2018) pipeline.\n\
@@ -42,7 +45,11 @@ fn usage() -> ! {
          --no-solver-cache  disable the canonicalizing solver query cache\n\
          --timeout-ms N     wall-clock deadline for the whole run, checked\n\
          \x20                  between solver calls; a partial (still sound)\n\
-         \x20                  result is reported as timed out"
+         \x20                  result is reported as timed out\n\
+         --trace-out FILE   record a structured JSON-lines trace of every\n\
+         \x20                  pipeline stage (spans, per-decision events,\n\
+         \x20                  solver calls) to FILE; results are identical\n\
+         \x20                  with or without tracing"
     );
     std::process::exit(2);
 }
@@ -62,6 +69,7 @@ fn parse_args() -> Options {
         solver_cache: true,
         timeout_ms: None,
         verbose: false,
+        trace_out: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -84,6 +92,7 @@ fn parse_args() -> Options {
                 opts.timeout_ms =
                     Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
             }
+            "--trace-out" => opts.trace_out = args.next().or_else(|| usage()),
             "--help" | "-h" => usage(),
             other if opts.path.is_empty() && !other.starts_with('-') => {
                 opts.path = other.to_string()
@@ -126,12 +135,18 @@ fn main() -> ExitCode {
 
     let cache = opts.solver_cache.then(|| Arc::new(SolverCache::new()));
     let deadline = opts.timeout_ms.map(Deadline::after_ms).unwrap_or_default();
+    // Recording sink when a trace file is requested: buffers every span and
+    // event as a JSON line. Observation-only — ψ is identical either way.
+    let sink = opts.trace_out.as_ref().map(|_| Arc::new(preinfer::obs::TraceSink::recording()));
+    let run_start = std::time::Instant::now();
     let mut tg = TestGenConfig::default();
     if let Some(n) = opts.max_runs {
         tg.max_runs = n;
     }
     tg.solver_cache = cache.clone();
     tg.solver.deadline = deadline.clone();
+    tg.solver.trace = sink.clone();
+    tg.trace = sink.clone();
     println!("generating tests for `{func_name}` …");
     let suite = generate_tests(&program, &func_name, &tg);
     let func = program.func(&func_name).expect("checked above");
@@ -143,6 +158,7 @@ fn main() -> ExitCode {
     );
     if suite.triggered_acls().is_empty() {
         println!("no failures found — nothing to infer.");
+        finish_trace(&opts, &sink, &func_name, run_start, 0);
         return ExitCode::SUCCESS;
     }
 
@@ -150,6 +166,8 @@ fn main() -> ExitCode {
     cfg.prune.solver_cache = cache.clone();
     cfg.prune.jobs = opts.jobs;
     cfg.prune.solver.deadline = deadline.clone();
+    cfg.prune.solver.trace = sink.clone();
+    cfg.prune.trace = sink.clone();
     let start = std::time::Instant::now();
     let inferred = infer_all_preconditions(&program, &func_name, &suite, &cfg, opts.jobs);
     let elapsed = start.elapsed();
@@ -222,15 +240,63 @@ fn main() -> ExitCode {
         Some(c) => {
             let s = c.stats();
             println!(
-                "; solver cache: {} hits / {} misses ({:.0}% hit rate), {} entries, {} evicted",
+                "; solver cache: {} hits / {} misses ({:.0}% hit rate), {} entries, {} evicted in {} sweep(s)",
                 s.hits,
                 s.misses,
                 100.0 * s.hit_rate(),
                 s.entries,
+                s.evicted_entries,
                 s.evictions
             );
         }
         None => println!("; solver cache disabled"),
     }
+    finish_trace(&opts, &sink, &func_name, run_start, inferred.len());
     ExitCode::SUCCESS
+}
+
+/// Stamps the final `run` event, writes the JSON-lines trace file, and
+/// prints the per-stage timing breakdown. No-op without `--trace-out`.
+fn finish_trace(
+    opts: &Options,
+    sink: &Option<Arc<preinfer::obs::TraceSink>>,
+    func_name: &str,
+    run_start: std::time::Instant,
+    acls: usize,
+) {
+    let (Some(path), Some(sink)) = (&opts.trace_out, sink) else { return };
+    sink.event(
+        "run",
+        &[
+            ("func", preinfer::obs::Val::S(func_name)),
+            ("dur_us", preinfer::obs::Val::U(run_start.elapsed().as_micros() as u64)),
+            ("acls", preinfer::obs::Val::U(acls as u64)),
+        ],
+    );
+    match std::fs::File::create(path) {
+        Ok(mut f) => {
+            if let Err(e) = sink.write_jsonl(&mut f) {
+                eprintln!("preinfer: cannot write trace to {path}: {e}");
+            } else {
+                println!("wrote {} trace event(s) to {path}", sink.lines().len());
+            }
+        }
+        Err(e) => eprintln!("preinfer: cannot create {path}: {e}"),
+    }
+    println!("stage breakdown:");
+    for (stage, snap) in sink.stages() {
+        if snap.count == 0 {
+            continue;
+        }
+        println!(
+            "  {:>14}: {:>6} × mean {} µs (p50 {} / p90 {} / p99 {}), total {:.3}s",
+            stage.label(),
+            snap.count,
+            snap.mean_us,
+            snap.p50_us,
+            snap.p90_us,
+            snap.p99_us,
+            snap.total_us as f64 / 1e6,
+        );
+    }
 }

@@ -10,6 +10,8 @@
 //!   formulas, the complexity metric, and the ground-truth spec DSL.
 //! * [`solver`] — the constraint solver (simplex + branch & bound + theory
 //!   layer) standing in for the SMT solver behind Pex.
+//! * [`obs`] — observability: structured spans, stage counters and latency
+//!   histograms threaded through every pipeline stage (zero-cost when off).
 //! * [`interp`] / [`concolic`] — concrete and concolic execution.
 //! * [`testgen`] — Pex-like generational test generation.
 //! * [`preinfer_core`] — the paper's contribution: dynamic predicate
@@ -40,6 +42,7 @@ pub use baselines;
 pub use concolic;
 pub use interp;
 pub use minilang;
+pub use obs;
 pub use preinfer_core;
 pub use report;
 pub use solver;
