@@ -1,6 +1,7 @@
 //! Perf smoke: times end-to-end inference with the solver cache and the
 //! parallel driver against the serial/uncached baseline and emits
-//! `BENCH_solver_cache.json` in the working directory.
+//! `BENCH_solver_cache.json` in the working directory, plus a tiered-vs-
+//! simplex-only backend comparison emitted as `BENCH_solver_tiers.json`.
 //!
 //! This is the quick, scriptable counterpart of `cargo bench -p bench
 //! --bench solver_cache`: a handful of repetitions per configuration, the
@@ -9,7 +10,7 @@
 
 use preinfer_core::{infer_all_preconditions, PreInferConfig};
 use report::{evaluate_corpus, EvalConfig};
-use solver::{CacheStats, SolverCache};
+use solver::{BackendKind, CacheStats, SolverCache, TierSnapshot};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -97,6 +98,54 @@ fn run_tables_case(jobs: usize) -> CaseResult {
         serial_cached_ns,
         parallel_cached_ns,
         stats: CacheStats { hits, misses, evictions: 0, evicted_entries: 0, entries: 0 },
+    }
+}
+
+/// The tiered-backend comparison: the same Section V slice as
+/// [`run_tables_case`], solver cache *off* (every query executes, so the
+/// timing difference is pure backend cost and the counters reflect raw
+/// query traffic), tiered vs simplex-only.
+struct SolverTiersResult {
+    tiered_ms: f64,
+    simplex_only_ms: f64,
+    tiers: TierSnapshot,
+}
+
+/// Times the corpus-slice workload under both backend stacks. Reps are
+/// interleaved (tiered, simplex, tiered, simplex, …) so machine-level
+/// drift hits both configurations the same way; the minimum per
+/// configuration is kept.
+fn run_solver_tiers_case() -> SolverTiersResult {
+    let names = ["bubble_sort", "guarded_div", "stack_pop", "inverse_sum", "binary_search"];
+    let methods: Vec<SubjectMethod> =
+        subjects::all_subjects().into_iter().filter(|m| names.contains(&m.name)).collect();
+    let run = |backend: BackendKind| -> (u128, TierSnapshot) {
+        let cfg = EvalConfig {
+            jobs: 1,
+            solver_cache: false,
+            solver_backend: backend,
+            ..EvalConfig::default()
+        };
+        let start = Instant::now();
+        let results = evaluate_corpus(&methods, &cfg);
+        let elapsed = start.elapsed().as_nanos();
+        let tiers =
+            results.iter().fold(TierSnapshot::default(), |acc, r| acc.plus(&r.solver_tiers));
+        (elapsed, tiers)
+    };
+    let (mut tiered_ns, mut simplex_ns) = (u128::MAX, u128::MAX);
+    let mut tiers = TierSnapshot::default();
+    for _ in 0..REPS {
+        let (t, snapshot) = run(BackendKind::Tiered);
+        tiered_ns = tiered_ns.min(t);
+        tiers = snapshot; // identical every rep: counters are per-run
+        let (s, _) = run(BackendKind::Simplex);
+        simplex_ns = simplex_ns.min(s);
+    }
+    SolverTiersResult {
+        tiered_ms: tiered_ns as f64 / 1e6,
+        simplex_only_ms: simplex_ns as f64 / 1e6,
+        tiers,
     }
 }
 
@@ -273,6 +322,26 @@ fn main() {
 
     std::fs::write("BENCH_solver_cache.json", &json).expect("write BENCH_solver_cache.json");
 
+    let st = run_solver_tiers_case();
+    let t = &st.tiers;
+    let mut tiers_json = String::from("{\n");
+    let _ = writeln!(tiers_json, "  \"case\": \"paper_tables::5_method_slice\",");
+    let _ = writeln!(tiers_json, "  \"reps\": {REPS},");
+    let _ = writeln!(tiers_json, "  \"tiered_ms\": {:.3},", st.tiered_ms);
+    let _ = writeln!(tiers_json, "  \"simplex_only_ms\": {:.3},", st.simplex_only_ms);
+    let _ = writeln!(
+        tiers_json,
+        "  \"tiered_vs_simplex_ratio\": {:.4},",
+        st.tiered_ms / st.simplex_only_ms
+    );
+    let _ = writeln!(tiers_json, "  \"answered_by_syntactic\": {},", t.answered_by_syntactic);
+    let _ = writeln!(tiers_json, "  \"answered_by_interval\": {},", t.answered_by_interval);
+    let _ = writeln!(tiers_json, "  \"answered_by_simplex\": {},", t.answered_by_simplex);
+    let _ = writeln!(tiers_json, "  \"escalations\": {},", t.escalations);
+    let _ = writeln!(tiers_json, "  \"tier1_answer_rate\": {:.4}", t.tier1_rate());
+    tiers_json.push_str("}\n");
+    std::fs::write("BENCH_solver_tiers.json", &tiers_json).expect("write BENCH_solver_tiers.json");
+
     println!("perf smoke: {jobs} thread(s), best of {REPS} reps per configuration");
     for r in &results {
         println!(
@@ -291,5 +360,17 @@ fn main() {
          ({disabled_overhead_percent:+.2}% noise) | aggregate sink {aggregate_ms:.2} ms \
          ({aggregate_overhead_percent:+.2}%)"
     );
-    println!("wrote BENCH_solver_cache.json");
+    println!(
+        "  solver tiers: tiered {:.2} ms vs simplex-only {:.2} ms ({:.3}x) | \
+         {} syntactic / {} interval / {} simplex, {} escalation(s) ({:.1}% above simplex)",
+        st.tiered_ms,
+        st.simplex_only_ms,
+        st.tiered_ms / st.simplex_only_ms,
+        t.answered_by_syntactic,
+        t.answered_by_interval,
+        t.answered_by_simplex,
+        t.escalations,
+        100.0 * t.tier1_rate(),
+    );
+    println!("wrote BENCH_solver_cache.json and BENCH_solver_tiers.json");
 }

@@ -202,12 +202,14 @@ impl TraceSink {
 
     /// Records one solver call: duration into the solver-stage histogram,
     /// plus (when recording) a `solver_call` event carrying the predicate
-    /// count, verdict and cache-lookup labels.
+    /// count, verdict, cache-lookup and answering-tier labels. `tier` is
+    /// `"none"` for calls that never reached a backend (expired deadline).
     pub fn solver_call(
         &self,
         preds: usize,
         verdict: &'static str,
         lookup: &'static str,
+        tier: &'static str,
         dur: Duration,
     ) {
         self.stages[Stage::Solver.index()].record(dur);
@@ -218,6 +220,7 @@ impl TraceSink {
                     ("preds", Val::U(preds as u64)),
                     ("verdict", Val::S(verdict)),
                     ("lookup", Val::S(lookup)),
+                    ("tier", Val::S(tier)),
                     ("dur_us", Val::U(dur.as_micros().min(u64::MAX as u128) as u64)),
                 ],
             );
@@ -356,7 +359,7 @@ mod tests {
         {
             let _s = sink.span(Stage::Prune);
             sink.event("prune_decision", &[("decision", Val::S("removed"))]);
-            sink.solver_call(3, "unsat", "miss", Duration::from_micros(5));
+            sink.solver_call(3, "unsat", "miss", "syntactic", Duration::from_micros(5));
         }
         assert!(sink.lines().is_empty(), "aggregate mode must not buffer events");
         assert_eq!(sink.snapshot(Stage::Prune).count, 1);

@@ -10,7 +10,7 @@ use preinfer_core::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use solver::{Deadline, SolverCache};
+use solver::{BackendKind, Deadline, SolverCache, TierCounters, TierSnapshot};
 use std::sync::Arc;
 use subjects::SubjectMethod;
 use symbolic::Formula;
@@ -124,6 +124,10 @@ pub struct MethodResult {
     /// empty when [`EvalConfig::trace`] is off). Diagnostics only — every
     /// other field is byte-identical with tracing on or off.
     pub stage_timings: Vec<StageTiming>,
+    /// Per-tier solver answer counts for this method (executed solves
+    /// only — cache hits replay tiers without counting). Diagnostics:
+    /// like cache hit counts, the split depends on traffic order.
+    pub solver_tiers: TierSnapshot,
     pub acls: Vec<AclResult>,
 }
 
@@ -142,6 +146,10 @@ pub struct EvalConfig {
     pub jobs: usize,
     /// Front every solver call with a per-method canonicalizing cache.
     pub solver_cache: bool,
+    /// Solver backend stack ([`BackendKind::Tiered`] by default). Verdicts
+    /// — and therefore every scored field — are identical for either
+    /// value; only speed and tier attribution differ.
+    pub solver_backend: BackendKind,
     /// Per-method wall-clock deadline in milliseconds; `None` is unbounded.
     /// Checked between solver calls, so no single method can hang its
     /// worker; expiry is surfaced as [`MethodResult::timed_out`].
@@ -161,6 +169,7 @@ impl Default for EvalConfig {
             check_probes: 150,
             jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             solver_cache: true,
+            solver_backend: BackendKind::default(),
             timeout_ms: None,
             trace: true,
         }
@@ -207,15 +216,21 @@ pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
     let deadline = cfg.timeout_ms.map(Deadline::after_ms).unwrap_or_default();
     // Aggregate sink: per-stage histograms only, no per-event buffering.
     let sink = cfg.trace.then(|| Arc::new(obs::TraceSink::aggregate()));
+    // One tier-counter set per method, shared by generation and pruning.
+    let tiers = Arc::new(TierCounters::default());
     let mut testgen_cfg = cfg.testgen.clone();
     testgen_cfg.solver_cache = cache.clone();
     testgen_cfg.solver.deadline = deadline.clone();
     testgen_cfg.solver.trace = sink.clone();
+    testgen_cfg.solver.backend = cfg.solver_backend;
+    testgen_cfg.solver.tiers = tiers.clone();
     testgen_cfg.trace = sink.clone();
     let mut infer_cfg = PreInferConfig::default();
     infer_cfg.prune.solver_cache = cache.clone();
     infer_cfg.prune.solver.deadline = deadline.clone();
     infer_cfg.prune.solver.trace = sink.clone();
+    infer_cfg.prune.solver.backend = cfg.solver_backend;
+    infer_cfg.prune.solver.tiers = tiers.clone();
     infer_cfg.prune.trace = sink.clone();
     let suite = generate_tests(&tp, m.name, &testgen_cfg);
     let coverage = suite.coverage_percent(&func);
@@ -312,6 +327,7 @@ pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
         solver_cache_misses: cache_stats.misses,
         timed_out: deadline.expired(),
         stage_timings,
+        solver_tiers: tiers.snapshot(),
         acls,
     }
 }

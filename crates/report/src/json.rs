@@ -41,6 +41,16 @@ fn write_method(out: &mut String, m: &MethodResult, level: usize) {
         }
     }
     out.push_str("],\n");
+    // Also one line: the tier split is scheduling-dependent under a shared
+    // cache (which tier *executes* a query depends on who misses first).
+    let t = &m.solver_tiers;
+    let _ = writeln!(
+        out,
+        "{inner}\"solver_tiers\": {{\"answered_by_syntactic\": {}, \
+         \"answered_by_interval\": {}, \"answered_by_simplex\": {}, \
+         \"escalations\": {}}},",
+        t.answered_by_syntactic, t.answered_by_interval, t.answered_by_simplex, t.escalations
+    );
     if m.acls.is_empty() {
         let _ = writeln!(out, "{inner}\"acls\": []");
     } else {

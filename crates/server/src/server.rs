@@ -35,7 +35,7 @@ use crate::protocol::{
 use crate::queue::BoundedQueue;
 use crate::service;
 use obs::Histogram;
-use solver::{Deadline, SolverCache};
+use solver::{Deadline, SolverCache, TierCounters};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -118,6 +118,9 @@ struct Shared {
     /// per-event buffering — recording sinks are a CLI concern). Served by
     /// the `stats` verb.
     trace: Arc<obs::TraceSink>,
+    /// Which solver tier answered each executed query, summed across all
+    /// workers for the daemon's lifetime. Served by the `stats` verb.
+    tiers: Arc<TierCounters>,
     default_deadline_ms: Option<u64>,
 }
 
@@ -162,6 +165,7 @@ impl Server {
             counters: Counters::default(),
             latency: VerbLatency::default(),
             trace: Arc::new(obs::TraceSink::aggregate()),
+            tiers: Arc::new(TierCounters::default()),
             default_deadline_ms: cfg.default_deadline_ms,
         });
         let workers = (0..cfg.workers.max(1))
@@ -369,6 +373,16 @@ fn render_stats_response(id: Option<&str>, shared: &Shared) -> String {
                 .f64("hit_rate", cache.hit_rate())
                 .build(),
         )
+        .raw("solver_tiers", {
+            let t = shared.tiers.snapshot();
+            ObjBuilder::new()
+                .u64("answered_by_syntactic", t.answered_by_syntactic)
+                .u64("answered_by_interval", t.answered_by_interval)
+                .u64("answered_by_simplex", t.answered_by_simplex)
+                .u64("escalations", t.escalations)
+                .f64("tier1_rate", t.tier1_rate())
+                .build()
+        })
         .raw("stages", {
             let mut b = ObjBuilder::new();
             for (stage, snap) in shared.trace.stages() {
@@ -427,8 +441,13 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         let queue_ms = job.admitted_at.elapsed().as_secs_f64() * 1e3;
         let trace = Some(Arc::clone(&shared.trace));
-        let response = match service::run_infer(&job.request, &shared.cache, &job.deadline, &trace)
-        {
+        let response = match service::run_infer(
+            &job.request,
+            &shared.cache,
+            &job.deadline,
+            &trace,
+            &shared.tiers,
+        ) {
             Ok(outcome) => {
                 shared.counters.infers_ok.fetch_add(1, Ordering::Relaxed);
                 if outcome.timed_out {

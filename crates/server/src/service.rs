@@ -11,7 +11,7 @@
 use crate::json::ObjBuilder;
 use crate::protocol::{ErrorCode, InferRequest};
 use preinfer_core::PreInferConfig;
-use solver::{Deadline, SolverCache};
+use solver::{Deadline, SolverCache, TierCounters};
 use std::sync::Arc;
 use std::time::Instant;
 use testgen::{generate_tests, TestGenConfig};
@@ -57,12 +57,15 @@ pub struct ServiceError {
 /// Runs one `infer` request to completion. `deadline` must already be
 /// running (the clock starts at admission, so queue wait counts against
 /// the request's budget). `trace` is an observation-only sink (the daemon
-/// passes its shared aggregate sink; it never changes any answer).
+/// passes its shared aggregate sink; it never changes any answer), and
+/// `tiers` accumulates which solver tier answered each executed query —
+/// the daemon shares one set across workers and serves it under `stats`.
 pub fn run_infer(
     req: &InferRequest,
     cache: &Arc<SolverCache>,
     deadline: &Deadline,
     trace: &Option<Arc<obs::TraceSink>>,
+    tiers: &Arc<TierCounters>,
 ) -> Result<InferOutcome, ServiceError> {
     let start = Instant::now();
     let program = minilang::compile(&req.program)
@@ -95,6 +98,7 @@ pub fn run_infer(
     tg.solver_cache = Some(cache.clone());
     tg.solver.deadline = deadline.clone();
     tg.solver.trace = trace.clone();
+    tg.solver.tiers = tiers.clone();
     tg.trace = trace.clone();
     let suite = generate_tests(&program, &func_name, &tg);
     let func = program.func(&func_name).expect("checked above");
@@ -104,6 +108,7 @@ pub fn run_infer(
     cfg.prune.solver_cache = Some(cache.clone());
     cfg.prune.solver.deadline = deadline.clone();
     cfg.prune.solver.trace = trace.clone();
+    cfg.prune.solver.tiers = tiers.clone();
     cfg.prune.trace = trace.clone();
     cfg.prune.jobs = req.jobs;
     let inferred =
@@ -202,11 +207,13 @@ mod tests {
     #[test]
     fn infers_the_guarded_div_shape() {
         let cache = Arc::new(SolverCache::new());
+        let tiers = Arc::new(TierCounters::default());
         let out = run_infer(
             &req("fn f(x int) -> int { return 10 / x; }"),
             &cache,
             &Deadline::none(),
             &None,
+            &tiers,
         )
         .unwrap();
         assert_eq!(out.func, "f");
@@ -214,12 +221,14 @@ mod tests {
         assert_eq!(out.acls.len(), 1);
         assert_eq!(out.acls[0].psi, "x != 0");
         assert!(cache.stats().misses > 0, "inference went through the shared cache");
+        assert!(tiers.snapshot().total() > 0, "tier attribution flowed through the service");
     }
 
     #[test]
     fn compile_errors_are_typed() {
         let cache = Arc::new(SolverCache::new());
-        let err = run_infer(&req("fn f( {"), &cache, &Deadline::none(), &None).unwrap_err();
+        let tiers = Arc::new(TierCounters::default());
+        let err = run_infer(&req("fn f( {"), &cache, &Deadline::none(), &None, &tiers).unwrap_err();
         assert_eq!(err.code, ErrorCode::CompileError);
         let err = run_infer(
             &InferRequest {
@@ -229,6 +238,7 @@ mod tests {
             &cache,
             &Deadline::none(),
             &None,
+            &tiers,
         )
         .unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
@@ -244,6 +254,7 @@ mod tests {
             &cache,
             &deadline,
             &None,
+            &Arc::new(TierCounters::default()),
         )
         .unwrap();
         assert!(out.timed_out, "deadline was already expired at admission");
@@ -257,6 +268,7 @@ mod tests {
             &cache,
             &Deadline::none(),
             &None,
+            &Arc::new(TierCounters::default()),
         )
         .unwrap();
         let rendered = render_infer_response(Some("id-1"), &out, 0.5, &cache);

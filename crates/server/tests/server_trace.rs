@@ -4,7 +4,7 @@
 //! per-stage latency histograms fed by the daemon's aggregate sink.
 
 use server::{json, run_infer, Client, InferRequest, Server, ServerConfig};
-use solver::{Deadline, SolverCache};
+use solver::{Deadline, SolverCache, TierCounters};
 use std::sync::Arc;
 
 fn motivating_request() -> InferRequest {
@@ -23,8 +23,14 @@ fn run_infer_trace_lines_parse_with_the_servers_own_parser() {
     let cache = Arc::new(SolverCache::new());
     let sink = Arc::new(obs::TraceSink::recording());
     let trace = Some(sink.clone());
-    run_infer(&motivating_request(), &cache, &Deadline::default(), &trace)
-        .expect("inference succeeds");
+    run_infer(
+        &motivating_request(),
+        &cache,
+        &Deadline::default(),
+        &trace,
+        &Arc::new(TierCounters::default()),
+    )
+    .expect("inference succeeds");
     let lines = sink.lines();
     assert!(!lines.is_empty(), "recording sink captured nothing");
     for line in lines.iter() {
@@ -39,6 +45,13 @@ fn run_infer_trace_lines_parse_with_the_servers_own_parser() {
                 assert!(
                     v.str_field("verdict").is_some() && v.str_field("lookup").is_some(),
                     "solver_call lacks verdict/lookup labels"
+                );
+                assert!(
+                    matches!(
+                        v.str_field("tier"),
+                        Some("syntactic" | "interval" | "simplex" | "none")
+                    ),
+                    "solver_call lacks a tier label"
                 );
             }
             _ => {}
@@ -58,6 +71,16 @@ fn stats_verb_serves_stage_histograms() {
         cache.get("evicted_entries").and_then(|v| v.as_u64()).is_some(),
         "stats.cache lacks evicted_entries"
     );
+    let tiers = stats.get("solver_tiers").expect("stats carries solver tier attribution");
+    let mut answered = 0;
+    for field in ["answered_by_syntactic", "answered_by_interval", "answered_by_simplex"] {
+        answered += tiers
+            .get(field)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("stats.solver_tiers lacks {field}"));
+    }
+    assert!(answered > 0, "no solver query was attributed to any tier after an inference");
+    assert!(tiers.get("escalations").and_then(|v| v.as_u64()).is_some());
     let stages = stats.get("stages").expect("stats carries per-stage histograms");
     for stage in ["testgen", "partition", "prune", "generalize", "assemble", "solver"] {
         let s = stages.get(stage).unwrap_or_else(|| panic!("stats.stages lacks {stage}"));

@@ -1,0 +1,238 @@
+//! The backend seam of the tiered solver: the [`TheoryBackend`] trait,
+//! tier attribution, and the simplex reference backend.
+//!
+//! A backend receives an already-canonical conjunction (built by
+//! [`crate::canon::CanonQuery`]) and either *decides* it — returning a
+//! verdict plus the [`Tier`] that answered — or *escalates*, declaring the
+//! query outside its fragment. The dispatcher in [`crate::theory`] walks
+//! backends cheapest-first: the interval backend first, then the
+//! simplex/branch-and-bound backend, which always decides (possibly with
+//! `Unknown`). Escalation is verdict-preserving by construction: a backend
+//! may only decide when the next backend down would return the same answer
+//! (and, for `Sat`, the same model) — that invariant is what keeps the
+//! tiered and simplex-only configurations byte-identical, and it is locked
+//! in by the backend differential tests.
+//!
+//! Every *executed* decision is attributed to a tier via [`TierCounters`]
+//! (relaxed atomics shared through [`SolverConfig::tiers`]); cache hits
+//! replay the stored tier label in trace events without re-counting, so
+//! the counters measure work actually done.
+
+use crate::theory::{FuncSig, SolveResult, SolverConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use symbolic::linform::CanonPred;
+
+/// Which backend stack a solve runs through. Part of the cache key: a
+/// cached verdict (and its tier) must stay a pure function of its key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BackendKind {
+    /// Interval tier first, escalating to simplex (the default).
+    #[default]
+    Tiered,
+    /// Every query goes straight to simplex/branch-and-bound.
+    Simplex,
+}
+
+impl BackendKind {
+    /// Short lowercase label for flags, stats, and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Tiered => "tiered",
+            BackendKind::Simplex => "simplex",
+        }
+    }
+
+    /// Parses a `--solver-backend` flag value.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "tiered" => Some(BackendKind::Tiered),
+            "simplex" => Some(BackendKind::Simplex),
+            _ => None,
+        }
+    }
+}
+
+/// The layer that actually answered a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Tier 0: decided syntactically on the canonical conjunct list
+    /// (constant falsehood, complementary pair).
+    Syntactic,
+    /// Tier 1: decided by per-monomial bounds propagation.
+    Interval,
+    /// Tier 2: the full simplex + branch-and-bound stack.
+    Simplex,
+}
+
+impl Tier {
+    /// Short lowercase label for trace events and stats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Syntactic => "syntactic",
+            Tier::Interval => "interval",
+            Tier::Simplex => "simplex",
+        }
+    }
+}
+
+/// What a backend did with a canonical query.
+#[derive(Debug, Clone)]
+pub enum BackendAnswer {
+    /// The backend decided the query at the given tier.
+    Decided { result: SolveResult, tier: Tier },
+    /// Outside this backend's fragment — hand the query to the next tier.
+    Escalate,
+}
+
+/// A pluggable decision procedure over canonical conjunctions. The seam
+/// future backends (portfolio, external SMT) plug into — see ROADMAP.
+pub trait TheoryBackend {
+    /// Short lowercase backend name.
+    fn name(&self) -> &'static str;
+
+    /// Decides or escalates. A `Decided` answer must match what the
+    /// bottom (simplex) backend would return for the same query under the
+    /// same config — verdict *and* model.
+    fn solve(&self, preds: &[CanonPred], sig: &FuncSig, cfg: &SolverConfig) -> BackendAnswer;
+}
+
+/// The bottom of the stack: the existing simplex + branch-and-bound path.
+/// Always decides (possibly `Unknown` on budget exhaustion or unsupported
+/// shapes); never escalates.
+pub struct SimplexBackend;
+
+impl TheoryBackend for SimplexBackend {
+    fn name(&self) -> &'static str {
+        "simplex"
+    }
+
+    fn solve(&self, preds: &[CanonPred], sig: &FuncSig, cfg: &SolverConfig) -> BackendAnswer {
+        BackendAnswer::Decided {
+            result: crate::builder::solve_via_simplex(preds, sig, cfg),
+            tier: Tier::Simplex,
+        }
+    }
+}
+
+/// Per-tier answer counters, shared across every solve that carries the
+/// same [`SolverConfig::tiers`] handle. Relaxed atomics: the counters are
+/// diagnostics, never synchronization.
+#[derive(Debug, Default)]
+pub struct TierCounters {
+    syntactic: AtomicU64,
+    interval: AtomicU64,
+    simplex: AtomicU64,
+    escalations: AtomicU64,
+}
+
+impl TierCounters {
+    /// Records one decided query at `tier`.
+    pub fn count(&self, tier: Tier) {
+        match tier {
+            Tier::Syntactic => &self.syntactic,
+            Tier::Interval => &self.interval,
+            Tier::Simplex => &self.simplex,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one escalation (a backend handed the query down).
+    pub fn count_escalation(&self) {
+        self.escalations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> TierSnapshot {
+        TierSnapshot {
+            answered_by_syntactic: self.syntactic.load(Ordering::Relaxed),
+            answered_by_interval: self.interval.load(Ordering::Relaxed),
+            answered_by_simplex: self.simplex.load(Ordering::Relaxed),
+            escalations: self.escalations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.syntactic.store(0, Ordering::Relaxed);
+        self.interval.store(0, Ordering::Relaxed);
+        self.simplex.store(0, Ordering::Relaxed);
+        self.escalations.store(0, Ordering::Relaxed);
+    }
+}
+
+/// [`TierCounters`] as observed at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierSnapshot {
+    pub answered_by_syntactic: u64,
+    pub answered_by_interval: u64,
+    pub answered_by_simplex: u64,
+    /// Queries the interval backend handed down. Counted separately from
+    /// `answered_by_simplex` so `tiered` and `simplex` runs stay comparable
+    /// (a simplex-only run has zero escalations by definition).
+    pub escalations: u64,
+}
+
+impl TierSnapshot {
+    /// Total decided queries.
+    pub fn total(&self) -> u64 {
+        self.answered_by_syntactic + self.answered_by_interval + self.answered_by_simplex
+    }
+
+    /// Queries answered without touching simplex (tier 0 + tier 1).
+    pub fn tier1(&self) -> u64 {
+        self.answered_by_syntactic + self.answered_by_interval
+    }
+
+    /// Fraction of decided queries answered above simplex; 0 when idle.
+    pub fn tier1_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.tier1() as f64 / total as f64
+        }
+    }
+
+    /// Component-wise sum (for aggregating per-method snapshots).
+    pub fn plus(&self, other: &TierSnapshot) -> TierSnapshot {
+        TierSnapshot {
+            answered_by_syntactic: self.answered_by_syntactic + other.answered_by_syntactic,
+            answered_by_interval: self.answered_by_interval + other.answered_by_interval,
+            answered_by_simplex: self.answered_by_simplex + other.answered_by_simplex,
+            escalations: self.escalations + other.escalations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_snapshot_and_rate() {
+        let c = TierCounters::default();
+        c.count(Tier::Syntactic);
+        c.count(Tier::Interval);
+        c.count(Tier::Interval);
+        c.count(Tier::Simplex);
+        c.count_escalation();
+        let s = c.snapshot();
+        assert_eq!(
+            (s.answered_by_syntactic, s.answered_by_interval, s.answered_by_simplex, s.escalations),
+            (1, 2, 1, 1)
+        );
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.tier1(), 3);
+        assert!((s.tier1_rate() - 0.75).abs() < 1e-12);
+        c.reset();
+        assert_eq!(c.snapshot(), TierSnapshot::default());
+    }
+
+    #[test]
+    fn backend_kind_parses_and_labels() {
+        assert_eq!(BackendKind::parse("tiered"), Some(BackendKind::Tiered));
+        assert_eq!(BackendKind::parse("simplex"), Some(BackendKind::Simplex));
+        assert_eq!(BackendKind::parse("z3"), None);
+        assert_eq!(BackendKind::default().label(), "tiered");
+    }
+}

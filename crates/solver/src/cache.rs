@@ -1,136 +1,35 @@
 //! A canonicalizing, thread-safe memo table for [`solve_preds`] queries.
 //!
-//! Two conjunctions that differ only in predicate order, duplicated
-//! conjuncts, syntactic spelling (`a > 0` vs `0 < a`), or parameter names
-//! (an order-preserving α-renaming of the signature) denote the same
-//! constraint problem. The cache key is the *canonical query*: every
-//! parameter is renamed to a positional placeholder (`%0`, `%1`, …
-//! following signature order — `%` cannot start a MiniLang identifier, so
-//! placeholders never collide with real names), every predicate is
-//! canonicalized with [`canon_pred`], and the resulting list is sorted and
-//! de-duplicated. The solver configuration knobs that can change the
-//! verdict (`budget_nodes`, `max_model_len`) are part of the key.
+//! The cache key is the *canonical query* defined by [`crate::canon`] —
+//! the cache imports the normal form, it does not define it. The solver
+//! configuration knobs that can change the verdict (`budget_nodes`,
+//! `max_model_len`, the backend stack) are part of the key.
 //!
 //! The cached value is the solver's verdict **on the canonical query
 //! itself** — models bind the placeholder names, and callers rename them
-//! back. This makes every cache entry a pure function of its key: which
-//! thread (or which α-equivalent call site) inserted it first can never be
-//! observed, which is what makes the parallel inference driver
-//! deterministic (see DESIGN.md, "Parallelism & caching").
+//! back — plus the [`Tier`] that answered, so hits replay the original
+//! attribution in trace events. This makes every cache entry a pure
+//! function of its key: which thread (or which α-equivalent call site)
+//! inserted it first can never be observed, which is what makes the
+//! parallel inference driver deterministic (see DESIGN.md, "Parallelism &
+//! caching").
 //!
 //! No invalidation exists because none is needed: a query's verdict depends
 //! only on the query, never on mutable external state.
 //!
 //! [`solve_preds`]: crate::theory::solve_preds
 
-use crate::theory::{FuncSig, SolveResult, SolverConfig};
-use minilang::{MethodEntryState, Ty};
+use crate::backend::Tier;
+use crate::canon::{CacheKey, CanonQuery};
+use crate::theory::{SolveResult, SolverConfig};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use symbolic::linform::{canon_pred, CanonPred};
-use symbolic::pred::Pred;
-use symbolic::term::{Place, SymVar, Term};
 
 /// Number of independently locked shards. A power of two; high bits of the
 /// key hash pick the shard so the table scales with thread count.
 const SHARDS: usize = 16;
-
-/// The canonical form of one solver query: the cache key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct CacheKey {
-    /// Renamed, canonicalized, sorted, de-duplicated conjuncts.
-    preds: Vec<CanonPred>,
-    /// Parameter types in signature order (names are positional).
-    tys: Vec<Ty>,
-    /// Solver budget — a bigger budget can turn `Unknown` into a verdict.
-    budget_nodes: u64,
-    /// Model-size ceiling — can turn `Sat` into `Unknown`.
-    max_model_len: i64,
-}
-
-/// A solver query together with its canonical form and the renaming needed
-/// to translate models back to the caller's parameter names.
-#[derive(Debug, Clone)]
-pub struct CanonQuery {
-    key: CacheKey,
-    canon_sig: FuncSig,
-    /// `(caller name, placeholder name)` pairs in signature order.
-    back: Vec<(String, String)>,
-}
-
-impl CanonQuery {
-    /// Canonicalizes a query: α-rename to positional placeholders, apply
-    /// [`canon_pred`], sort, de-duplicate, and drop trivial truths.
-    pub fn build(preds: &[Pred], sig: &FuncSig, cfg: &SolverConfig) -> CanonQuery {
-        let mut rename: HashMap<&str, String> = HashMap::new();
-        let mut back = Vec::new();
-        let mut tys = Vec::new();
-        for (i, (name, ty)) in sig.params().enumerate() {
-            let placeholder = format!("%{i}");
-            rename.insert(name, placeholder.clone());
-            back.push((name.to_string(), placeholder));
-            tys.push(ty);
-        }
-        let mut canon: Vec<CanonPred> =
-            preds.iter().map(|p| canon_pred(&rename_pred(p, &rename))).collect();
-        canon.sort();
-        canon.dedup();
-        canon.retain(|p| *p != CanonPred::Const(true));
-        let canon_sig =
-            FuncSig::from_pairs(back.iter().map(|(_, ph)| ph.clone()).zip(tys.iter().copied()));
-        CanonQuery {
-            key: CacheKey {
-                preds: canon,
-                tys,
-                budget_nodes: cfg.budget_nodes,
-                max_model_len: cfg.max_model_len,
-            },
-            canon_sig,
-            back,
-        }
-    }
-
-    /// The cache key.
-    pub fn key(&self) -> &CacheKey {
-        &self.key
-    }
-
-    /// The canonical conjuncts.
-    pub fn canon_preds(&self) -> &[CanonPred] {
-        &self.key.preds
-    }
-
-    /// The placeholder-named signature the canonical query is solved under.
-    pub fn canon_sig(&self) -> &FuncSig {
-        &self.canon_sig
-    }
-
-    /// Solves the canonical query directly (no cache).
-    pub fn solve(&self, cfg: &SolverConfig) -> SolveResult {
-        crate::theory::solve_canonical(&self.key.preds, &self.canon_sig, cfg)
-    }
-
-    /// Translates a canonical verdict back to the caller's parameter names.
-    /// Returns `Unknown` if the canonical model is missing a placeholder
-    /// (defensive — `build_model` always assigns every parameter).
-    pub fn uncanonicalize(&self, canonical: SolveResult) -> SolveResult {
-        match canonical {
-            SolveResult::Sat(canon_state) => {
-                let mut state = MethodEntryState::new();
-                for (caller, placeholder) in &self.back {
-                    match canon_state.get(placeholder) {
-                        Some(v) => state.set(caller.clone(), v.clone()),
-                        None => return SolveResult::Unknown,
-                    }
-                }
-                SolveResult::Sat(state)
-            }
-            other => other,
-        }
-    }
-}
 
 /// What the cache did for one lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,9 +78,13 @@ impl CacheStats {
     }
 }
 
-/// One cached verdict plus its second-chance bit.
+/// One cached verdict, the tier that answered it, and its second-chance
+/// bit. The tier is as pure a function of the key as the verdict is (the
+/// backend stack is part of the key), so hits replaying it stay
+/// deterministic.
 struct Entry {
     result: SolveResult,
+    tier: Tier,
     /// Set on every hit, cleared when an eviction scan passes over the
     /// entry — a hot entry survives the scan, a cold one is dropped.
     referenced: bool,
@@ -247,28 +150,29 @@ impl SolverCache {
     }
 
     /// Looks up the canonical query, solving and inserting on a miss.
-    /// Returns the **canonical** verdict (placeholder-named model) plus
-    /// whether the lookup hit.
-    pub fn solve(&self, q: &CanonQuery, cfg: &SolverConfig) -> (SolveResult, CacheLookup) {
+    /// Returns the **canonical** verdict (placeholder-named model), whether
+    /// the lookup hit, and the tier that answered (stored with the entry,
+    /// so hits report the tier of the original solve).
+    pub fn solve(&self, q: &CanonQuery, cfg: &SolverConfig) -> (SolveResult, CacheLookup, Tier) {
         let shard = self.shard(q.key());
         if let Some(e) = shard.lock().expect("cache shard").map.get_mut(q.key()) {
             e.referenced = true;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (e.result.clone(), CacheLookup::Hit);
+            return (e.result.clone(), CacheLookup::Hit, e.tier);
         }
         // Solve outside the lock: queries can be slow, and two threads
         // racing on the same key compute the same value anyway.
-        let result = q.solve(cfg);
+        let (result, tier) = q.solve(cfg);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut guard = shard.lock().expect("cache shard");
         if guard.map.len() >= self.per_shard_capacity && !guard.map.contains_key(q.key()) {
             self.evict_cold_half(&mut guard);
         }
-        let entry = Entry { result: result.clone(), referenced: false };
+        let entry = Entry { result: result.clone(), tier, referenced: false };
         if guard.map.insert(q.key().clone(), entry).is_none() {
             guard.order.push_back(q.key().clone());
         }
-        (result, CacheLookup::Miss)
+        (result, CacheLookup::Miss, tier)
     }
 
     /// Second-chance eviction: walk the shard's insertion queue, re-queuing
@@ -336,65 +240,13 @@ impl std::fmt::Debug for SolverCache {
     }
 }
 
-// ---- α-renaming -------------------------------------------------------------
-
-fn rename_str(name: &str, map: &HashMap<&str, String>) -> String {
-    map.get(name).cloned().unwrap_or_else(|| name.to_string())
-}
-
-fn rename_place(p: &Place, map: &HashMap<&str, String>) -> Place {
-    match p {
-        Place::Param(name) => Place::Param(rename_str(name, map)),
-        Place::Elem(base, ix) => {
-            Place::Elem(Box::new(rename_place(base, map)), Box::new(rename_term(ix, map)))
-        }
-    }
-}
-
-fn rename_symvar(v: &SymVar, map: &HashMap<&str, String>) -> SymVar {
-    match v {
-        SymVar::Int(name) => SymVar::Int(rename_str(name, map)),
-        SymVar::Len(p) => SymVar::Len(rename_place(p, map)),
-        SymVar::IntElem(p, ix) => {
-            SymVar::IntElem(rename_place(p, map), Box::new(rename_term(ix, map)))
-        }
-        SymVar::Char(p, ix) => SymVar::Char(rename_place(p, map), Box::new(rename_term(ix, map))),
-    }
-}
-
-fn rename_term(t: &Term, map: &HashMap<&str, String>) -> Term {
-    match t {
-        Term::Const(v) => Term::Const(*v),
-        Term::Var(v) => Term::Var(rename_symvar(v, map)),
-        Term::Add(a, b) => Term::Add(Box::new(rename_term(a, map)), Box::new(rename_term(b, map))),
-        Term::Sub(a, b) => Term::Sub(Box::new(rename_term(a, map)), Box::new(rename_term(b, map))),
-        Term::Neg(a) => Term::Neg(Box::new(rename_term(a, map))),
-        Term::Mul(k, a) => Term::Mul(*k, Box::new(rename_term(a, map))),
-        Term::Div(a, k) => Term::Div(Box::new(rename_term(a, map)), *k),
-        Term::Rem(a, k) => Term::Rem(Box::new(rename_term(a, map)), *k),
-    }
-}
-
-fn rename_pred(p: &Pred, map: &HashMap<&str, String>) -> Pred {
-    match p {
-        Pred::Cmp(op, a, b) => Pred::Cmp(*op, rename_term(a, map), rename_term(b, map)),
-        Pred::Null { place, positive } => {
-            Pred::Null { place: rename_place(place, map), positive: *positive }
-        }
-        Pred::BoolVar { name, positive } => {
-            Pred::BoolVar { name: rename_str(name, map), positive: *positive }
-        }
-        Pred::IsSpace { arg, positive } => {
-            Pred::IsSpace { arg: rename_term(arg, map), positive: *positive }
-        }
-        Pred::Const(b) => Pred::Const(*b),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symbolic::pred::CmpOp;
+    use crate::theory::FuncSig;
+    use minilang::Ty;
+    use symbolic::pred::{CmpOp, Pred};
+    use symbolic::term::Term;
 
     fn sig_ab() -> FuncSig {
         FuncSig::from_pairs([("a", Ty::Int), ("b", Ty::Int)])
@@ -405,61 +257,31 @@ mod tests {
     }
 
     #[test]
-    fn permutation_yields_same_key() {
-        let cfg = SolverConfig::default();
-        let q1 = CanonQuery::build(&[gt0("a"), gt0("b")], &sig_ab(), &cfg);
-        let q2 = CanonQuery::build(&[gt0("b"), gt0("a")], &sig_ab(), &cfg);
-        assert_eq!(q1.key(), q2.key());
-    }
-
-    #[test]
-    fn alpha_renaming_yields_same_key() {
-        let cfg = SolverConfig::default();
-        let q1 = CanonQuery::build(&[gt0("a"), gt0("b")], &sig_ab(), &cfg);
-        let sig_xy = FuncSig::from_pairs([("x", Ty::Int), ("y", Ty::Int)]);
-        let q2 = CanonQuery::build(&[gt0("x"), gt0("y")], &sig_xy, &cfg);
-        assert_eq!(q1.key(), q2.key());
-    }
-
-    #[test]
-    fn different_constraints_yield_different_keys() {
-        let cfg = SolverConfig::default();
-        let q1 = CanonQuery::build(&[gt0("a")], &sig_ab(), &cfg);
-        let q2 = CanonQuery::build(&[gt0("b")], &sig_ab(), &cfg);
-        assert_ne!(q1.key(), q2.key(), "a > 0 and b > 0 constrain different positions");
-    }
-
-    #[test]
-    fn syntactic_variants_yield_same_key() {
-        let cfg = SolverConfig::default();
-        let q1 = CanonQuery::build(&[gt0("a")], &sig_ab(), &cfg);
-        let flipped = Pred::cmp(CmpOp::Lt, Term::int(0), Term::var("a"));
-        let q2 = CanonQuery::build(&[flipped, gt0("a")], &sig_ab(), &cfg);
-        assert_eq!(q1.key(), q2.key(), "flip + duplicate canonicalize away");
-    }
-
-    #[test]
-    fn budget_is_part_of_the_key() {
-        let cfg = SolverConfig::default();
-        let tight = SolverConfig { budget_nodes: 1, ..SolverConfig::default() };
-        let q1 = CanonQuery::build(&[gt0("a")], &sig_ab(), &cfg);
-        let q2 = CanonQuery::build(&[gt0("a")], &sig_ab(), &tight);
-        assert_ne!(q1.key(), q2.key());
-    }
-
-    #[test]
     fn cache_hits_and_counts() {
         let cfg = SolverConfig::default();
         let cache = SolverCache::new();
         let q = CanonQuery::build(&[gt0("a")], &sig_ab(), &cfg);
-        let (r1, l1) = cache.solve(&q, &cfg);
-        let (r2, l2) = cache.solve(&q, &cfg);
+        let (r1, l1, t1) = cache.solve(&q, &cfg);
+        let (r2, l2, t2) = cache.solve(&q, &cfg);
         assert_eq!(l1, CacheLookup::Miss);
         assert_eq!(l2, CacheLookup::Hit);
         assert_eq!(r1, r2);
+        assert_eq!(t1, t2, "a hit replays the tier of the original solve");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn hits_do_not_recount_tiers() {
+        let cfg = SolverConfig::default();
+        let cache = SolverCache::new();
+        let q = CanonQuery::build(&[gt0("a")], &sig_ab(), &cfg);
+        cache.solve(&q, &cfg);
+        let after_miss = cfg.tiers.snapshot();
+        assert_eq!(after_miss.total(), 1, "the miss executed exactly one solve");
+        cache.solve(&q, &cfg);
+        assert_eq!(cfg.tiers.snapshot(), after_miss, "hits replay tiers without counting");
     }
 
     #[test]
@@ -497,22 +319,9 @@ mod tests {
             let q = CanonQuery::build(&[p], &sig_ab(), &cfg);
             cache.solve(&q, &cfg);
             // Touch the hot entry every round, as daemon traffic would.
-            let (_, lookup) = cache.solve(&hot, &cfg);
+            let (_, lookup, _) = cache.solve(&hot, &cfg);
             assert_eq!(lookup, CacheLookup::Hit, "hot entry evicted after {k} cold inserts");
         }
         assert!(cache.stats().evictions > 0, "cold churn must have triggered evictions");
-    }
-
-    #[test]
-    fn canonical_model_renames_back() {
-        let cfg = SolverConfig::default();
-        let q = CanonQuery::build(&[gt0("a")], &sig_ab(), &cfg);
-        let canonical = q.solve(&cfg);
-        let model = canonical.model().expect("a > 0 is satisfiable").clone();
-        assert!(model.get("%0").is_some(), "canonical model binds placeholders");
-        let back = q.uncanonicalize(SolveResult::Sat(model));
-        let state = back.model().expect("still Sat");
-        assert!(state.get("a").is_some() && state.get("b").is_some());
-        assert!(state.get("%0").is_none());
     }
 }

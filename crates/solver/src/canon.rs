@@ -1,0 +1,259 @@
+//! The canonicalization front-end: one normal form shared by the cache
+//! key and the solve path.
+//!
+//! Two conjunctions that differ only in predicate order, duplicated
+//! conjuncts, syntactic spelling (`a > 0` vs `0 < a`), or parameter names
+//! (an order-preserving α-renaming of the signature) denote the same
+//! constraint problem. The canonical form renames every parameter to a
+//! positional placeholder (`%0`, `%1`, … following signature order — `%`
+//! cannot start a MiniLang identifier, so placeholders never collide with
+//! real names), canonicalizes every predicate with [`canon_pred`], and
+//! sorts and de-duplicates the resulting list.
+//!
+//! Every backend consumes this form: the interval tier's complementary-pair
+//! scan relies on canonical negation being a structural match, and the
+//! cache keys on the same [`CacheKey`] the solve path is answered under —
+//! there is exactly one definition of "the same query" in the crate.
+
+use crate::backend::{BackendKind, Tier};
+use crate::theory::{FuncSig, SolveResult, SolverConfig};
+use minilang::{MethodEntryState, Ty};
+use std::collections::HashMap;
+use symbolic::linform::{canon_pred, CanonPred};
+use symbolic::pred::Pred;
+use symbolic::term::{Place, SymVar, Term};
+
+/// The canonical form of one solver query: the cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Renamed, canonicalized, sorted, de-duplicated conjuncts.
+    preds: Vec<CanonPred>,
+    /// Parameter types in signature order (names are positional).
+    tys: Vec<Ty>,
+    /// Solver budget — a bigger budget can turn `Unknown` into a verdict.
+    budget_nodes: u64,
+    /// Model-size ceiling — can turn `Sat` into `Unknown`.
+    max_model_len: i64,
+    /// Backend stack the verdict was produced by. Tiered and simplex-only
+    /// runs agree on verdicts, but the *answering tier* stored with each
+    /// entry is backend-dependent, so it is part of the key.
+    backend: BackendKind,
+}
+
+/// A solver query together with its canonical form and the renaming needed
+/// to translate models back to the caller's parameter names.
+#[derive(Debug, Clone)]
+pub struct CanonQuery {
+    key: CacheKey,
+    canon_sig: FuncSig,
+    /// `(caller name, placeholder name)` pairs in signature order.
+    back: Vec<(String, String)>,
+}
+
+impl CanonQuery {
+    /// Canonicalizes a query: α-rename to positional placeholders, apply
+    /// [`canon_pred`], sort, de-duplicate, and drop trivial truths.
+    pub fn build(preds: &[Pred], sig: &FuncSig, cfg: &SolverConfig) -> CanonQuery {
+        let mut rename: HashMap<&str, String> = HashMap::new();
+        let mut back = Vec::new();
+        let mut tys = Vec::new();
+        for (i, (name, ty)) in sig.params().enumerate() {
+            let placeholder = format!("%{i}");
+            rename.insert(name, placeholder.clone());
+            back.push((name.to_string(), placeholder));
+            tys.push(ty);
+        }
+        let mut canon: Vec<CanonPred> =
+            preds.iter().map(|p| canon_pred(&rename_pred(p, &rename))).collect();
+        canon.sort();
+        canon.dedup();
+        canon.retain(|p| *p != CanonPred::Const(true));
+        let canon_sig =
+            FuncSig::from_pairs(back.iter().map(|(_, ph)| ph.clone()).zip(tys.iter().copied()));
+        CanonQuery {
+            key: CacheKey {
+                preds: canon,
+                tys,
+                budget_nodes: cfg.budget_nodes,
+                max_model_len: cfg.max_model_len,
+                backend: cfg.backend,
+            },
+            canon_sig,
+            back,
+        }
+    }
+
+    /// The cache key.
+    pub fn key(&self) -> &CacheKey {
+        &self.key
+    }
+
+    /// The canonical conjuncts.
+    pub fn canon_preds(&self) -> &[CanonPred] {
+        &self.key.preds
+    }
+
+    /// The placeholder-named signature the canonical query is solved under.
+    pub fn canon_sig(&self) -> &FuncSig {
+        &self.canon_sig
+    }
+
+    /// Solves the canonical query directly (no cache), reporting the tier
+    /// that answered.
+    pub fn solve(&self, cfg: &SolverConfig) -> (SolveResult, Tier) {
+        crate::theory::solve_canonical(&self.key.preds, &self.canon_sig, cfg)
+    }
+
+    /// Translates a canonical verdict back to the caller's parameter names.
+    /// Returns `Unknown` if the canonical model is missing a placeholder
+    /// (defensive — `build_model` always assigns every parameter).
+    pub fn uncanonicalize(&self, canonical: SolveResult) -> SolveResult {
+        match canonical {
+            SolveResult::Sat(canon_state) => {
+                let mut state = MethodEntryState::new();
+                for (caller, placeholder) in &self.back {
+                    match canon_state.get(placeholder) {
+                        Some(v) => state.set(caller.clone(), v.clone()),
+                        None => return SolveResult::Unknown,
+                    }
+                }
+                SolveResult::Sat(state)
+            }
+            other => other,
+        }
+    }
+}
+
+// ---- α-renaming -------------------------------------------------------------
+
+fn rename_str(name: &str, map: &HashMap<&str, String>) -> String {
+    map.get(name).cloned().unwrap_or_else(|| name.to_string())
+}
+
+fn rename_place(p: &Place, map: &HashMap<&str, String>) -> Place {
+    match p {
+        Place::Param(name) => Place::Param(rename_str(name, map)),
+        Place::Elem(base, ix) => {
+            Place::Elem(Box::new(rename_place(base, map)), Box::new(rename_term(ix, map)))
+        }
+    }
+}
+
+fn rename_symvar(v: &SymVar, map: &HashMap<&str, String>) -> SymVar {
+    match v {
+        SymVar::Int(name) => SymVar::Int(rename_str(name, map)),
+        SymVar::Len(p) => SymVar::Len(rename_place(p, map)),
+        SymVar::IntElem(p, ix) => {
+            SymVar::IntElem(rename_place(p, map), Box::new(rename_term(ix, map)))
+        }
+        SymVar::Char(p, ix) => SymVar::Char(rename_place(p, map), Box::new(rename_term(ix, map))),
+    }
+}
+
+fn rename_term(t: &Term, map: &HashMap<&str, String>) -> Term {
+    match t {
+        Term::Const(v) => Term::Const(*v),
+        Term::Var(v) => Term::Var(rename_symvar(v, map)),
+        Term::Add(a, b) => Term::Add(Box::new(rename_term(a, map)), Box::new(rename_term(b, map))),
+        Term::Sub(a, b) => Term::Sub(Box::new(rename_term(a, map)), Box::new(rename_term(b, map))),
+        Term::Neg(a) => Term::Neg(Box::new(rename_term(a, map))),
+        Term::Mul(k, a) => Term::Mul(*k, Box::new(rename_term(a, map))),
+        Term::Div(a, k) => Term::Div(Box::new(rename_term(a, map)), *k),
+        Term::Rem(a, k) => Term::Rem(Box::new(rename_term(a, map)), *k),
+    }
+}
+
+fn rename_pred(p: &Pred, map: &HashMap<&str, String>) -> Pred {
+    match p {
+        Pred::Cmp(op, a, b) => Pred::Cmp(*op, rename_term(a, map), rename_term(b, map)),
+        Pred::Null { place, positive } => {
+            Pred::Null { place: rename_place(place, map), positive: *positive }
+        }
+        Pred::BoolVar { name, positive } => {
+            Pred::BoolVar { name: rename_str(name, map), positive: *positive }
+        }
+        Pred::IsSpace { arg, positive } => {
+            Pred::IsSpace { arg: rename_term(arg, map), positive: *positive }
+        }
+        Pred::Const(b) => Pred::Const(*b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbolic::pred::CmpOp;
+
+    fn sig_ab() -> FuncSig {
+        FuncSig::from_pairs([("a", Ty::Int), ("b", Ty::Int)])
+    }
+
+    fn gt0(name: &str) -> Pred {
+        Pred::cmp(CmpOp::Gt, Term::var(name), Term::int(0))
+    }
+
+    #[test]
+    fn permutation_yields_same_key() {
+        let cfg = SolverConfig::default();
+        let q1 = CanonQuery::build(&[gt0("a"), gt0("b")], &sig_ab(), &cfg);
+        let q2 = CanonQuery::build(&[gt0("b"), gt0("a")], &sig_ab(), &cfg);
+        assert_eq!(q1.key(), q2.key());
+    }
+
+    #[test]
+    fn alpha_renaming_yields_same_key() {
+        let cfg = SolverConfig::default();
+        let q1 = CanonQuery::build(&[gt0("a"), gt0("b")], &sig_ab(), &cfg);
+        let sig_xy = FuncSig::from_pairs([("x", Ty::Int), ("y", Ty::Int)]);
+        let q2 = CanonQuery::build(&[gt0("x"), gt0("y")], &sig_xy, &cfg);
+        assert_eq!(q1.key(), q2.key());
+    }
+
+    #[test]
+    fn different_constraints_yield_different_keys() {
+        let cfg = SolverConfig::default();
+        let q1 = CanonQuery::build(&[gt0("a")], &sig_ab(), &cfg);
+        let q2 = CanonQuery::build(&[gt0("b")], &sig_ab(), &cfg);
+        assert_ne!(q1.key(), q2.key(), "a > 0 and b > 0 constrain different positions");
+    }
+
+    #[test]
+    fn syntactic_variants_yield_same_key() {
+        let cfg = SolverConfig::default();
+        let q1 = CanonQuery::build(&[gt0("a")], &sig_ab(), &cfg);
+        let flipped = Pred::cmp(CmpOp::Lt, Term::int(0), Term::var("a"));
+        let q2 = CanonQuery::build(&[flipped, gt0("a")], &sig_ab(), &cfg);
+        assert_eq!(q1.key(), q2.key(), "flip + duplicate canonicalize away");
+    }
+
+    #[test]
+    fn budget_is_part_of_the_key() {
+        let cfg = SolverConfig::default();
+        let tight = SolverConfig { budget_nodes: 1, ..SolverConfig::default() };
+        let q1 = CanonQuery::build(&[gt0("a")], &sig_ab(), &cfg);
+        let q2 = CanonQuery::build(&[gt0("a")], &sig_ab(), &tight);
+        assert_ne!(q1.key(), q2.key());
+    }
+
+    #[test]
+    fn backend_is_part_of_the_key() {
+        let tiered = SolverConfig::default();
+        let simplex = SolverConfig { backend: BackendKind::Simplex, ..SolverConfig::default() };
+        let q1 = CanonQuery::build(&[gt0("a")], &sig_ab(), &tiered);
+        let q2 = CanonQuery::build(&[gt0("a")], &sig_ab(), &simplex);
+        assert_ne!(q1.key(), q2.key(), "tier attribution is backend-dependent");
+    }
+
+    #[test]
+    fn canonical_model_renames_back() {
+        let cfg = SolverConfig::default();
+        let q = CanonQuery::build(&[gt0("a")], &sig_ab(), &cfg);
+        let (canonical, _) = q.solve(&cfg);
+        let model = canonical.model().expect("a > 0 is satisfiable").clone();
+        assert!(model.get("%0").is_some(), "canonical model binds placeholders");
+        let back = q.uncanonicalize(SolveResult::Sat(model));
+        let state = back.model().expect("still Sat");
+        assert!(state.get("a").is_some() && state.get("b").is_some());
+        assert!(state.get("%0").is_none());
+    }
+}

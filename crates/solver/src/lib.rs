@@ -10,19 +10,35 @@
 //!
 //! Architecture (bottom-up): exact rational arithmetic ([`rational`]), a
 //! two-phase simplex ([`simplex`]), integer branch & bound with an L1
-//! small-model objective ([`intsolve`]), and the theory layer ([`theory`])
-//! that handles nullness, well-formedness, and disjunctive atoms, and that
-//! re-validates every model by concrete evaluation before returning it.
+//! small-model objective ([`intsolve`]), the simplex-tier constraint
+//! builder (private `builder` module) that handles nullness,
+//! well-formedness, and disjunctive atoms, and the tiered front of the
+//! crate: a shared canonicalization front-end ([`canon`]) feeding
+//! pluggable, escalating backends ([`backend`], [`interval`]) dispatched
+//! by the theory layer ([`theory`]), which re-validates every model by
+//! concrete evaluation before returning it. The [`cache`] memoizes
+//! canonical verdicts together with the tier that answered them.
 
+pub mod backend;
 pub mod cache;
+pub mod canon;
 pub mod deadline;
+pub mod interval;
 pub mod intsolve;
 pub mod rational;
 pub mod simplex;
 pub mod theory;
 
-pub use cache::{CacheLookup, CacheStats, CanonQuery, SolverCache};
+mod builder;
+mod model;
+
+pub use backend::{
+    BackendAnswer, BackendKind, SimplexBackend, TheoryBackend, Tier, TierCounters, TierSnapshot,
+};
+pub use cache::{CacheLookup, CacheStats, SolverCache};
+pub use canon::{CacheKey, CanonQuery};
 pub use deadline::Deadline;
+pub use interval::IntervalBackend;
 pub use intsolve::{satisfies, solve_int, Budget, IntProblem, IntResult};
 pub use rational::Rat;
 pub use simplex::{solve_lp, Lp, LpResult};

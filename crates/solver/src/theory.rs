@@ -1,29 +1,31 @@
-//! The theory layer: from path-condition predicates to integer constraints
-//! and back to MiniLang method-entry states.
+//! The theory layer's front door: configuration, entry points, and the
+//! tier dispatcher.
 //!
-//! Responsibilities:
+//! A query arrives as a conjunction of [`Pred`]s over a [`FuncSig`]. It is
+//! canonicalized by [`CanonQuery`] (the same normal form the cache keys
+//! on), then dispatched through the configured backend stack: under
+//! [`BackendKind::Tiered`] the [`IntervalBackend`] runs first and
+//! escalates out-of-fragment queries to the [`SimplexBackend`]; under
+//! [`BackendKind::Simplex`] every query goes straight to the bottom tier.
+//! Escalation is verdict-preserving (see [`crate::backend`]), so both
+//! configurations return byte-identical results — the tiered stack is
+//! purely a fast path.
 //!
-//! 1. **Boolean/nullness atoms** — decided eagerly; conflicts are UNSAT.
-//! 2. **Well-formedness** — every dereferenced place implies its base is
-//!    non-null and every index is within bounds; lengths are non-negative;
-//!    characters lie in the Unicode scalar range. This mirrors the fact that
-//!    the concrete execution that produced (or will follow) the path really
-//!    performs those dereferences.
-//! 3. **Choice atoms** — `!=` splits into `< / >`, `is_space` into its code
-//!    points, truncated `/`/`%` into sign cases — explored by DFS.
-//! 4. **Model construction** — the integer assignment plus the nullness map
-//!    is concretized into a [`MethodEntryState`], then *re-validated* by
-//!    concretely evaluating every input predicate; a model that fails
-//!    re-validation is reported as `Unknown`, never returned.
+//! Every model is *re-validated* by concretely evaluating the original
+//! predicates before being returned; a model that fails re-validation is
+//! reported as `Unknown`, never returned.
 
-use crate::cache::{CacheLookup, CanonQuery, SolverCache};
-use crate::intsolve::{solve_int, Budget, IntProblem, IntResult};
-use minilang::{Func, InputValue, MethodEntryState, Ty};
-use std::collections::{BTreeMap, HashMap};
+use crate::backend::{
+    BackendAnswer, BackendKind, SimplexBackend, TheoryBackend, Tier, TierCounters,
+};
+use crate::cache::{CacheLookup, SolverCache};
+use crate::canon::CanonQuery;
+use crate::interval::IntervalBackend;
+use minilang::{Func, MethodEntryState, Ty};
+use std::sync::Arc;
 use symbolic::eval::{eval_pred, Env};
-use symbolic::linform::{lin_of_term, CanonPred, LinExpr, Monomial};
+use symbolic::linform::CanonPred;
 use symbolic::pred::Pred;
-use symbolic::term::{Place, SymVar, Term};
 
 /// Signature of the method under test: parameter names and types, in order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,16 +62,27 @@ pub struct SolverConfig {
     pub budget_nodes: u64,
     /// Largest array/string length the model builder will materialize.
     pub max_model_len: i64,
+    /// Which backend stack answers queries. Part of the cache key (the
+    /// stored tier label is backend-dependent); verdicts are identical
+    /// either way, so this is a performance/attribution knob, not a
+    /// semantic one.
+    pub backend: BackendKind,
+    /// Per-tier answer counters, shared by every solve that clones this
+    /// config. Observation-only — never part of the cache key. Callers
+    /// that want one set of numbers across test generation and pruning
+    /// install the same `Arc` in both configs.
+    pub tiers: Arc<TierCounters>,
     /// Wall-clock deadline checked *between* solves: once expired, entry
     /// points return [`SolveResult::Unknown`] without solving (and without
     /// touching the cache, so memoized verdicts stay pure functions of
     /// their keys). Not part of the cache key.
     pub deadline: crate::deadline::Deadline,
     /// Per-call instrumentation: every [`solve_preds_with`] call records
-    /// its predicate count, verdict, [`CacheLookup`] and duration. Like
-    /// the deadline, observation-only — never part of the cache key, and
-    /// `None` (the default) costs nothing, not even a clock read.
-    pub trace: Option<std::sync::Arc<obs::TraceSink>>,
+    /// its predicate count, verdict, [`CacheLookup`], answering tier and
+    /// duration. Like the deadline, observation-only — never part of the
+    /// cache key, and `None` (the default) costs nothing, not even a
+    /// clock read.
+    pub trace: Option<Arc<obs::TraceSink>>,
 }
 
 impl Default for SolverConfig {
@@ -77,6 +90,8 @@ impl Default for SolverConfig {
         SolverConfig {
             budget_nodes: 20_000,
             max_model_len: 4_096,
+            backend: BackendKind::default(),
+            tiers: Arc::new(TierCounters::default()),
             deadline: crate::deadline::Deadline::none(),
             trace: None,
         }
@@ -145,15 +160,29 @@ pub fn solve_preds_with(
 ) -> (SolveResult, CacheLookup) {
     // Deadline gate: answered before canonicalization so an expired request
     // neither solves nor inserts anything into the cache. `Unknown` is the
-    // conservative verdict every caller already handles.
+    // conservative verdict every caller already handles. The call is still
+    // traced (verdict label `deadline`) so traces count every solver call
+    // even under deadline pressure.
     if cfg.deadline.expired() {
+        if let Some(sink) = cfg.trace.as_ref() {
+            sink.solver_call(
+                preds.len(),
+                "deadline",
+                CacheLookup::Bypass.label(),
+                "none",
+                std::time::Duration::ZERO,
+            );
+        }
         return (SolveResult::Unknown, CacheLookup::Bypass);
     }
     let start = cfg.trace.as_ref().map(|_| std::time::Instant::now());
     let q = CanonQuery::build(preds, sig, cfg);
-    let (canonical, lookup) = match cache {
+    let (canonical, lookup, tier) = match cache {
         Some(c) => c.solve(&q, cfg),
-        None => (q.solve(cfg), CacheLookup::Bypass),
+        None => {
+            let (r, t) = q.solve(cfg);
+            (r, CacheLookup::Bypass, t)
+        }
     };
     let mut result = q.uncanonicalize(canonical);
     // Soundness net: re-validate any model against the original predicates.
@@ -166,450 +195,41 @@ pub fn solve_preds_with(
         }
     }
     if let (Some(sink), Some(start)) = (cfg.trace.as_ref(), start) {
-        sink.solver_call(preds.len(), result.label(), lookup.label(), start.elapsed());
+        sink.solver_call(
+            preds.len(),
+            result.label(),
+            lookup.label(),
+            tier.label(),
+            start.elapsed(),
+        );
     }
     (result, lookup)
 }
 
-/// Solves an already-canonical conjunction. Used by [`CanonQuery::solve`];
+/// Dispatches an already-canonical conjunction through the configured
+/// backend stack, attributing the answer to the tier that produced it.
+/// Counters tick only here — on work actually executed — so cache hits
+/// replay tiers without re-counting. Used by [`CanonQuery::solve`];
 /// callers want [`solve_preds`].
 pub(crate) fn solve_canonical(
     preds: &[CanonPred],
     sig: &FuncSig,
     cfg: &SolverConfig,
-) -> SolveResult {
-    let mut builder = Builder::new(sig, cfg);
-    for p in preds {
-        if builder.add_canon(p.clone()).is_err() {
-            return SolveResult::Unsat;
-        }
-    }
-    builder.solve()
-}
-
-/// Marker for early unsatisfiability during constraint building.
-#[derive(Debug)]
-struct UnsatErr;
-
-/// One alternative of a choice: a set of extra `expr ≤ 0` rows.
-type Alternative = Vec<LinExpr>;
-
-struct Builder<'a> {
-    sig: &'a FuncSig,
-    cfg: &'a SolverConfig,
-    /// Monomial → integer-variable column.
-    columns: BTreeMap<Monomial, usize>,
-    /// Hard rows: `expr ≤ 0`.
-    hard: Vec<LinExpr>,
-    /// Choice atoms: pick exactly one alternative each.
-    choices: Vec<Vec<Alternative>>,
-    /// Nullness decisions: place → is-null.
-    nulls: BTreeMap<Place, bool>,
-    /// Boolean parameter decisions.
-    bools: BTreeMap<String, bool>,
-    /// Div/Rem groups already expanded.
-    divrem_done: Vec<(LinExpr, i64)>,
-}
-
-impl<'a> Builder<'a> {
-    fn new(sig: &'a FuncSig, cfg: &'a SolverConfig) -> Self {
-        Builder {
-            sig,
-            cfg,
-            columns: BTreeMap::new(),
-            hard: Vec::new(),
-            choices: Vec::new(),
-            nulls: BTreeMap::new(),
-            bools: BTreeMap::new(),
-            divrem_done: Vec::new(),
-        }
-    }
-
-    fn add_canon(&mut self, p: CanonPred) -> Result<(), UnsatErr> {
-        match p {
-            CanonPred::Const(true) => Ok(()),
-            CanonPred::Const(false) => Err(UnsatErr),
-            CanonPred::Bool { name, positive } => match self.bools.insert(name.clone(), positive) {
-                Some(prev) if prev != positive => Err(UnsatErr),
-                _ => Ok(()),
-            },
-            CanonPred::Null { place, positive } => self.decide_null(place, positive),
-            CanonPred::Le(e) => {
-                self.register_expr(&e)?;
-                self.hard.push(e);
-                Ok(())
+) -> (SolveResult, Tier) {
+    if cfg.backend == BackendKind::Tiered {
+        match IntervalBackend.solve(preds, sig, cfg) {
+            BackendAnswer::Decided { result, tier } => {
+                cfg.tiers.count(tier);
+                return (result, tier);
             }
-            CanonPred::Eq(e) => {
-                self.register_expr(&e)?;
-                self.hard.push(e.clone());
-                self.hard.push(e.scale(-1));
-                Ok(())
-            }
-            CanonPred::Ne(e) => {
-                self.register_expr(&e)?;
-                // e <= -1  OR  -e <= -1
-                let a = e.add(&LinExpr::constant(1)); // e + 1 <= 0 ⇔ e <= -1
-                let b = e.scale(-1).add(&LinExpr::constant(1));
-                self.choices.push(vec![vec![a], vec![b]]);
-                Ok(())
-            }
-            CanonPred::IsSpace { arg, positive } => {
-                self.register_expr(&arg)?;
-                if positive {
-                    // arg ∈ {9, 10, 13, 32}
-                    let alts = [32i64, 9, 10, 13]
-                        .iter()
-                        .map(|&code| {
-                            let diff = arg.add(&LinExpr::constant(-code));
-                            vec![diff.clone(), diff.scale(-1)]
-                        })
-                        .collect();
-                    self.choices.push(alts);
-                } else {
-                    // arg ∈ (−∞,8] ∪ [11,12] ∪ [14,31] ∪ [33,∞)
-                    let le = |bound: i64| arg.add(&LinExpr::constant(-bound)); // arg - bound <= 0
-                    let ge = |bound: i64| arg.scale(-1).add(&LinExpr::constant(bound)); // bound - arg <= 0
-                    self.choices.push(vec![
-                        vec![le(8)],
-                        vec![ge(11), le(12)],
-                        vec![ge(14), le(31)],
-                        vec![ge(33)],
-                    ]);
-                }
-                Ok(())
-            }
+            BackendAnswer::Escalate => cfg.tiers.count_escalation(),
         }
     }
-
-    fn decide_null(&mut self, place: Place, is_null: bool) -> Result<(), UnsatErr> {
-        // Dereference the *base* chain (not the place itself).
-        if let Place::Elem(base, ix) = &place {
-            self.deref_place(base)?;
-            self.bound_index(base, ix)?;
-        }
-        match self.nulls.insert(place, is_null) {
-            Some(prev) if prev != is_null => Err(UnsatErr),
-            _ => Ok(()),
-        }
-    }
-
-    /// Marks a place as dereferenced: itself non-null, bases recursively
-    /// non-null, and indices within bounds.
-    fn deref_place(&mut self, place: &Place) -> Result<(), UnsatErr> {
-        if self.nulls.insert(place.clone(), false) == Some(true) {
-            return Err(UnsatErr);
-        }
-        if let Place::Elem(base, ix) = place {
-            self.deref_place(base)?;
-            self.bound_index(base, ix)?;
-        }
-        Ok(())
-    }
-
-    /// Adds `0 ≤ ix` and `ix ≤ len(base) − 1`.
-    fn bound_index(&mut self, base: &Place, ix: &Term) -> Result<(), UnsatErr> {
-        let ixe = lin_of_term(ix);
-        self.register_expr(&ixe)?;
-        let len = self.len_expr(base)?;
-        // -ix <= 0
-        self.hard.push(ixe.scale(-1));
-        // ix - len + 1 <= 0
-        self.hard.push(ixe.sub(&len).add(&LinExpr::constant(1)));
-        Ok(())
-    }
-
-    /// The length variable expression for a place, registering it (and its
-    /// well-formedness) on first use.
-    fn len_expr(&mut self, place: &Place) -> Result<LinExpr, UnsatErr> {
-        let var = SymVar::Len(place.clone());
-        let mono = Monomial::Var(var);
-        if !self.columns.contains_key(&mono) {
-            let idx = self.columns.len();
-            self.columns.insert(mono.clone(), idx);
-            let mut e = LinExpr::zero();
-            // -len <= 0
-            e = e.sub(&mono_expr(&mono));
-            self.hard.push(e);
-            self.deref_place(place)?;
-        }
-        Ok(mono_expr(&mono))
-    }
-
-    /// Registers every monomial of an expression: allocates columns, adds
-    /// well-formedness, and expands Div/Rem groups.
-    fn register_expr(&mut self, e: &LinExpr) -> Result<(), UnsatErr> {
-        let monos: Vec<Monomial> = e.terms().map(|(m, _)| m.clone()).collect();
-        for m in monos {
-            self.register_mono(&m)?;
-        }
-        Ok(())
-    }
-
-    fn register_mono(&mut self, m: &Monomial) -> Result<(), UnsatErr> {
-        if self.columns.contains_key(m) {
-            return Ok(());
-        }
-        let idx = self.columns.len();
-        self.columns.insert(m.clone(), idx);
-        match m {
-            Monomial::Var(v) => self.register_var_wf(v)?,
-            Monomial::Div(inner, k) | Monomial::Rem(inner, k) => {
-                self.register_expr(inner)?;
-                self.expand_divrem(inner, *k)?;
-            }
-        }
-        Ok(())
-    }
-
-    fn register_var_wf(&mut self, v: &SymVar) -> Result<(), UnsatErr> {
-        match v {
-            SymVar::Int(_) => Ok(()),
-            SymVar::Len(place) => {
-                // -len <= 0 plus place dereference.
-                let e = mono_expr(&Monomial::Var(v.clone())).scale(-1);
-                self.hard.push(e);
-                self.deref_place(place)
-            }
-            SymVar::IntElem(place, ix) => {
-                self.deref_place(place)?;
-                self.bound_index(place, ix)
-            }
-            SymVar::Char(place, ix) => {
-                self.deref_place(place)?;
-                self.bound_index(place, ix)?;
-                // 0 <= char <= 0x10FFFF
-                let c = mono_expr(&Monomial::Var(v.clone()));
-                self.hard.push(c.scale(-1));
-                self.hard.push(c.add(&LinExpr::constant(-0x10FFFF)));
-                Ok(())
-            }
-        }
-    }
-
-    /// Ties `q = inner / k`, `r = inner % k` together:
-    /// `inner == k·q + r`, with a sign choice on the dividend.
-    fn expand_divrem(&mut self, inner: &LinExpr, k: i64) -> Result<(), UnsatErr> {
-        if self.divrem_done.iter().any(|(e, kk)| e == inner && *kk == k) {
-            return Ok(());
-        }
-        self.divrem_done.push((inner.clone(), k));
-        let q = Monomial::Div(Box::new(inner.clone()), k);
-        let r = Monomial::Rem(Box::new(inner.clone()), k);
-        // Ensure both columns exist (without re-expanding).
-        for m in [&q, &r] {
-            if !self.columns.contains_key(m) {
-                let idx = self.columns.len();
-                self.columns.insert(m.clone(), idx);
-            }
-        }
-        let qe = mono_expr(&q);
-        let re = mono_expr(&r);
-        // inner - k*q - r == 0
-        let tie = inner.sub(&qe.scale(k)).sub(&re);
-        self.hard.push(tie.clone());
-        self.hard.push(tie.scale(-1));
-        let kabs = k.abs();
-        // Case A: inner >= 0 → 0 <= r <= |k|-1
-        let a = vec![
-            inner.scale(-1),                         // -inner <= 0
-            re.scale(-1),                            // -r <= 0
-            re.add(&LinExpr::constant(-(kabs - 1))), // r <= |k|-1
-        ];
-        // Case B: inner <= 0 → -(|k|-1) <= r <= 0
-        let b = vec![
-            inner.clone(),                                     // inner <= 0
-            re.clone(),                                        // r <= 0
-            re.scale(-1).add(&LinExpr::constant(-(kabs - 1))), // -r <= |k|-1
-        ];
-        self.choices.push(vec![a, b]);
-        Ok(())
-    }
-
-    // ---- search ----------------------------------------------------------
-
-    fn solve(mut self) -> SolveResult {
-        // Consistency of the null map against the signature: only nullable
-        // parameters may appear as places.
-        for (place, _) in self.nulls.iter() {
-            if self.sig.ty_of(place.root()).is_none() {
-                return SolveResult::Unknown;
-            }
-        }
-        let mut budget = Budget::new(self.cfg.budget_nodes);
-        let choices = std::mem::take(&mut self.choices);
-        let mut picked: Vec<usize> = Vec::new();
-        let r = self.dfs(&choices, &mut picked, &mut budget);
-        match r {
-            DfsResult::Sat(model) => model,
-            DfsResult::Unsat => SolveResult::Unsat,
-            DfsResult::Unknown => SolveResult::Unknown,
-        }
-    }
-
-    fn dfs(
-        &mut self,
-        choices: &[Vec<Alternative>],
-        picked: &mut Vec<usize>,
-        budget: &mut Budget,
-    ) -> DfsResult {
-        if picked.len() == choices.len() {
-            return self.solve_leaf(choices, picked, budget);
-        }
-        let level = picked.len();
-        let mut saw_unknown = false;
-        for alt in 0..choices[level].len() {
-            picked.push(alt);
-            match self.dfs(choices, picked, budget) {
-                DfsResult::Sat(m) => {
-                    picked.pop();
-                    return DfsResult::Sat(m);
-                }
-                DfsResult::Unknown => saw_unknown = true,
-                DfsResult::Unsat => {}
-            }
-            picked.pop();
-        }
-        if saw_unknown {
-            DfsResult::Unknown
-        } else {
-            DfsResult::Unsat
-        }
-    }
-
-    fn solve_leaf(
-        &mut self,
-        choices: &[Vec<Alternative>],
-        picked: &[usize],
-        budget: &mut Budget,
-    ) -> DfsResult {
-        let n = self.columns.len();
-        let mut problem = IntProblem::new(n);
-        let add_expr = |p: &mut IntProblem, e: &LinExpr| {
-            let mut row = vec![0i64; n];
-            for (m, c) in e.terms() {
-                let idx = self.columns[m];
-                row[idx] += c;
-            }
-            p.le(row, -e.constant_part());
-        };
-        for e in &self.hard {
-            add_expr(&mut problem, e);
-        }
-        for (level, &alt) in picked.iter().enumerate() {
-            for e in &choices[level][alt] {
-                add_expr(&mut problem, e);
-            }
-        }
-        match solve_int(&problem, budget) {
-            IntResult::Unsat => DfsResult::Unsat,
-            IntResult::Unknown => DfsResult::Unknown,
-            IntResult::Sat(values) => {
-                let assign: HashMap<Monomial, i64> =
-                    self.columns.iter().map(|(m, &i)| (m.clone(), values[i])).collect();
-                match build_model(self.sig, &assign, &self.nulls, &self.bools, self.cfg) {
-                    Some(state) => DfsResult::Sat(SolveResult::Sat(state)),
-                    None => DfsResult::Unknown,
-                }
-            }
-        }
-    }
-}
-
-enum DfsResult {
-    Sat(SolveResult),
-    Unsat,
-    Unknown,
-}
-
-fn mono_expr(m: &Monomial) -> LinExpr {
-    LinExpr::mono(m.clone())
-}
-
-// ---- model construction ----------------------------------------------------
-
-fn build_model(
-    sig: &FuncSig,
-    assign: &HashMap<Monomial, i64>,
-    nulls: &BTreeMap<Place, bool>,
-    bools: &BTreeMap<String, bool>,
-    cfg: &SolverConfig,
-) -> Option<MethodEntryState> {
-    let mut state = MethodEntryState::new();
-    for (name, ty) in sig.params() {
-        let place = Place::param(name);
-        let value = match ty {
-            Ty::Int => InputValue::Int(lookup_int(assign, &SymVar::Int(name.to_string()))),
-            Ty::Bool => InputValue::Bool(bools.get(name).copied().unwrap_or(false)),
-            Ty::Str => InputValue::Str(build_str(&place, assign, nulls, cfg)?),
-            Ty::ArrayInt => {
-                if is_null(&place, nulls) {
-                    InputValue::ArrayInt(None)
-                } else {
-                    let len = place_len(&place, assign, cfg)?;
-                    let mut items = vec![0i64; len];
-                    for (k, slot) in items.iter_mut().enumerate() {
-                        let var = SymVar::IntElem(place.clone(), Box::new(Term::int(k as i64)));
-                        if let Some(&v) = assign.get(&Monomial::Var(var)) {
-                            *slot = v;
-                        }
-                    }
-                    InputValue::ArrayInt(Some(items))
-                }
-            }
-            Ty::ArrayStr => {
-                if is_null(&place, nulls) {
-                    InputValue::ArrayStr(None)
-                } else {
-                    let len = place_len(&place, assign, cfg)?;
-                    let mut items = Vec::with_capacity(len);
-                    for k in 0..len {
-                        let elem = Place::elem(place.clone(), k as i64);
-                        items.push(build_str(&elem, assign, nulls, cfg)?);
-                    }
-                    InputValue::ArrayStr(Some(items))
-                }
-            }
-            Ty::Void => return None,
-        };
-        state.set(name, value);
-    }
-    Some(state)
-}
-
-fn is_null(place: &Place, nulls: &BTreeMap<Place, bool>) -> bool {
-    // Undecided places default to null — the smallest model, matching the
-    // test generator's all-defaults seed.
-    nulls.get(place).copied().unwrap_or(true)
-}
-
-fn lookup_int(assign: &HashMap<Monomial, i64>, v: &SymVar) -> i64 {
-    assign.get(&Monomial::Var(v.clone())).copied().unwrap_or(0)
-}
-
-fn place_len(place: &Place, assign: &HashMap<Monomial, i64>, cfg: &SolverConfig) -> Option<usize> {
-    let len = lookup_int(assign, &SymVar::Len(place.clone()));
-    if len < 0 || len > cfg.max_model_len {
-        return None;
-    }
-    Some(len as usize)
-}
-
-fn build_str(
-    place: &Place,
-    assign: &HashMap<Monomial, i64>,
-    nulls: &BTreeMap<Place, bool>,
-    cfg: &SolverConfig,
-) -> Option<Option<Vec<i64>>> {
-    if is_null(place, nulls) {
-        return Some(None);
-    }
-    let len = place_len(place, assign, cfg)?;
-    let mut chars = vec![97i64; len]; // default: 'a'
-    for (k, slot) in chars.iter_mut().enumerate() {
-        let var = SymVar::Char(place.clone(), Box::new(Term::int(k as i64)));
-        if let Some(&v) = assign.get(&Monomial::Var(var)) {
-            *slot = v;
-        }
-    }
-    Some(Some(chars))
+    let result = match SimplexBackend.solve(preds, sig, cfg) {
+        BackendAnswer::Decided { result, .. } => result,
+        // The bottom tier never escalates; be conservative if it ever did.
+        BackendAnswer::Escalate => SolveResult::Unknown,
+    };
+    cfg.tiers.count(Tier::Simplex);
+    (result, Tier::Simplex)
 }

@@ -1,0 +1,183 @@
+//! The tiered dispatch contract: which tier answers what, escalation
+//! accounting, model equality across backends, and the deadline-path
+//! trace regression.
+
+use minilang::Ty;
+use solver::{
+    solve_preds, solve_preds_with, BackendKind, Deadline, FuncSig, SolveResult, SolverConfig,
+    TierCounters,
+};
+use std::sync::Arc;
+use symbolic::{CmpOp, Place, Pred, Term};
+
+fn sig() -> FuncSig {
+    FuncSig::from_pairs([("x", Ty::Int), ("y", Ty::Int), ("s", Ty::ArrayStr)])
+}
+
+fn cfg(backend: BackendKind) -> SolverConfig {
+    SolverConfig { backend, ..SolverConfig::default() }
+}
+
+fn snapshot(cfg: &SolverConfig) -> solver::TierSnapshot {
+    cfg.tiers.snapshot()
+}
+
+/// Regression for the deadline fast path: an expired deadline used to
+/// return before the `solver_call` trace event was emitted, so traces
+/// under-counted solver calls exactly when deadline pressure made them
+/// interesting. The call must now be traced with the `deadline` verdict
+/// and a `none` tier.
+#[test]
+fn expired_deadline_call_still_emits_a_solver_call_event() {
+    let sink = Arc::new(obs::TraceSink::recording());
+    let mut c = cfg(BackendKind::Tiered);
+    c.deadline = Deadline::after_ms(0);
+    c.trace = Some(sink.clone());
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    assert!(c.deadline.expired());
+    let preds = [Pred::cmp(CmpOp::Gt, Term::var("x"), Term::int(0))];
+    let (result, _) = solve_preds_with(&preds, &sig(), &c, None);
+    assert_eq!(result, SolveResult::Unknown);
+    let lines = sink.lines();
+    let call = lines
+        .iter()
+        .find(|l| l.contains("\"ev\":\"solver_call\""))
+        .expect("expired-deadline solve emitted no solver_call event");
+    assert!(call.contains("\"verdict\":\"deadline\""), "wrong verdict label: {call}");
+    assert!(call.contains("\"tier\":\"none\""), "wrong tier label: {call}");
+    assert!(call.contains("\"lookup\":\"bypass\""), "wrong lookup label: {call}");
+    // And nothing was counted as an executed solve.
+    assert_eq!(snapshot(&c).total(), 0);
+}
+
+/// A complementary nullness pair is decided by tier 0 without touching
+/// simplex.
+#[test]
+fn syntactic_tier_answers_complementary_null_pair() {
+    let c = cfg(BackendKind::Tiered);
+    let s = Place::param("s");
+    let preds = [Pred::is_null(s.clone()), Pred::not_null(s)];
+    assert_eq!(solve_preds(&preds, &sig(), &c), SolveResult::Unsat);
+    let t = snapshot(&c);
+    assert_eq!(t.answered_by_syntactic, 1);
+    assert_eq!(t.answered_by_simplex, 0);
+    assert_eq!(t.escalations, 0);
+}
+
+/// Disjoint unit bounds on one variable are refuted by interval
+/// propagation (tier 1), not by the simplex tier.
+#[test]
+fn interval_tier_answers_empty_box_unsat() {
+    let c = cfg(BackendKind::Tiered);
+    let preds = [
+        Pred::cmp(CmpOp::Gt, Term::var("x"), Term::int(5)),
+        Pred::cmp(CmpOp::Lt, Term::var("x"), Term::int(3)),
+    ];
+    assert_eq!(solve_preds(&preds, &sig(), &c), SolveResult::Unsat);
+    let t = snapshot(&c);
+    assert_eq!(t.answered_by_interval, 1);
+    assert_eq!(t.answered_by_simplex, 0);
+}
+
+/// A pure box query is answered Sat by tier 1 with the *same model*
+/// branch-and-bound would build: the L1-minimal clamp toward zero.
+#[test]
+fn interval_tier_box_model_is_byte_identical_to_simplex() {
+    let preds = [
+        Pred::cmp(CmpOp::Ge, Term::var("x"), Term::int(2)),
+        Pred::cmp(CmpOp::Le, Term::var("y"), Term::int(-1)),
+        Pred::not_null(Place::param("s")),
+    ];
+    let tiered_cfg = cfg(BackendKind::Tiered);
+    let simplex_cfg = cfg(BackendKind::Simplex);
+    let tiered = solve_preds(&preds, &sig(), &tiered_cfg);
+    let simplex = solve_preds(&preds, &sig(), &simplex_cfg);
+    assert_eq!(tiered, simplex, "backends disagree on a box query");
+    let model = tiered.model().expect("box query is satisfiable");
+    assert_eq!(model.to_string(), simplex.model().unwrap().to_string());
+    assert_eq!(snapshot(&tiered_cfg).answered_by_interval, 1);
+    assert_eq!(snapshot(&simplex_cfg).answered_by_simplex, 1);
+    assert_eq!(snapshot(&simplex_cfg).tier1(), 0);
+}
+
+/// Out-of-fragment queries (a disequality needs a case split) escalate,
+/// and both the escalation and the simplex answer are counted.
+#[test]
+fn disequality_escalates_to_simplex() {
+    let c = cfg(BackendKind::Tiered);
+    let preds = [Pred::cmp(CmpOp::Ne, Term::var("x"), Term::int(0))];
+    assert!(matches!(solve_preds(&preds, &sig(), &c), SolveResult::Sat(_)));
+    let t = snapshot(&c);
+    assert_eq!(t.escalations, 1);
+    assert_eq!(t.answered_by_simplex, 1);
+    assert_eq!(t.tier1(), 0);
+}
+
+/// With a zero node budget the simplex tier answers Unknown even on a
+/// trivially satisfiable box; the interval tier must escalate rather
+/// than answer Sat, or the backends would diverge.
+#[test]
+fn zero_budget_box_escalates_and_stays_unknown() {
+    let mut tiered_cfg = cfg(BackendKind::Tiered);
+    tiered_cfg.budget_nodes = 0;
+    let mut simplex_cfg = cfg(BackendKind::Simplex);
+    simplex_cfg.budget_nodes = 0;
+    let preds = [Pred::cmp(CmpOp::Ge, Term::var("x"), Term::int(2))];
+    let tiered = solve_preds(&preds, &sig(), &tiered_cfg);
+    assert_eq!(tiered, solve_preds(&preds, &sig(), &simplex_cfg));
+    assert_eq!(tiered, SolveResult::Unknown);
+    assert_eq!(snapshot(&tiered_cfg).escalations, 1);
+}
+
+/// A nullness constraint on a parameter missing from the signature makes
+/// the simplex builder answer Unknown; the interval tier must not claim
+/// the (otherwise syntactic) contradiction.
+#[test]
+fn unknown_root_contradiction_matches_simplex_unknown() {
+    let ghost = Place::param("ghost");
+    let preds =
+        [Pred::is_null(ghost.clone()), Pred::cmp(CmpOp::Lt, Term::int(0), Term::len(ghost))];
+    let tiered = solve_preds(&preds, &sig(), &cfg(BackendKind::Tiered));
+    let simplex = solve_preds(&preds, &sig(), &cfg(BackendKind::Simplex));
+    assert_eq!(tiered, simplex, "backends disagree when a root is missing from the signature");
+}
+
+/// Under the simplex-only backend every executed solve is attributed to
+/// the bottom tier and nothing ever escalates.
+#[test]
+fn simplex_backend_attributes_everything_to_simplex() {
+    let c = cfg(BackendKind::Simplex);
+    let queries: [&[Pred]; 3] = [
+        &[Pred::cmp(CmpOp::Gt, Term::var("x"), Term::int(5))],
+        &[
+            Pred::cmp(CmpOp::Gt, Term::var("x"), Term::int(5)),
+            Pred::cmp(CmpOp::Lt, Term::var("x"), Term::int(3)),
+        ],
+        &[Pred::is_null(Place::param("s")), Pred::not_null(Place::param("s"))],
+    ];
+    for preds in queries {
+        solve_preds(preds, &sig(), &c);
+    }
+    let t = snapshot(&c);
+    assert_eq!(t.answered_by_simplex, 3);
+    assert_eq!(t.tier1(), 0);
+    assert_eq!(t.escalations, 0);
+}
+
+/// Two configs sharing one `Arc<TierCounters>` accumulate into the same
+/// numbers — the pattern the CLI and daemon rely on.
+#[test]
+fn shared_counters_accumulate_across_configs() {
+    let tiers = Arc::new(TierCounters::default());
+    let mut a = cfg(BackendKind::Tiered);
+    a.tiers = tiers.clone();
+    let mut b = cfg(BackendKind::Tiered);
+    b.tiers = tiers.clone();
+    let unsat = [
+        Pred::cmp(CmpOp::Gt, Term::var("x"), Term::int(5)),
+        Pred::cmp(CmpOp::Lt, Term::var("x"), Term::int(3)),
+    ];
+    solve_preds(&unsat, &sig(), &a);
+    solve_preds(&unsat, &sig(), &b);
+    assert_eq!(tiers.snapshot().answered_by_interval, 2);
+}

@@ -85,6 +85,17 @@ impl LinExpr {
         self.terms.len()
     }
 
+    /// Decomposes a single-monomial expression as `(monomial, coeff, constant)`
+    /// — the shape interval reasoning consumes (`k·m + c`). `None` when the
+    /// expression is constant or mentions more than one monomial.
+    pub fn as_unit(&self) -> Option<(&Monomial, i64, i64)> {
+        if self.terms.len() != 1 {
+            return None;
+        }
+        let (m, &k) = self.terms.iter().next()?;
+        Some((m, k, self.constant))
+    }
+
     fn add_term(&mut self, m: Monomial, coeff: i64) {
         if coeff == 0 {
             return;

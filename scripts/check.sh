@@ -13,7 +13,7 @@ cargo clippy --workspace --all-targets --quiet -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
-echo "== perf smoke (BENCH_solver_cache.json)"
+echo "== perf smoke (BENCH_solver_cache.json, BENCH_solver_tiers.json)"
 cargo build --release -p bench --quiet
 ./target/release/perf_smoke
 # Disabled tracing must cost nothing: the gap between the two untraced
@@ -25,6 +25,21 @@ overhead = json.load(open("BENCH_solver_cache.json"))["trace_overhead"]
 pct = overhead["disabled_overhead_percent"]
 assert abs(pct) <= 2.0, f"disabled-tracing overhead {pct:+.2f}% exceeds 2%"
 print(f"trace overhead gate: disabled {pct:+.2f}% (limit ±2%)")
+EOF
+# The tiered backend must carry its weight: never more than 2% slower
+# than simplex-only on the corpus slice (it should be faster), and the
+# cheap tiers must answer at least 25% of executed queries.
+python3 - <<'EOF'
+import json
+t = json.load(open("BENCH_solver_tiers.json"))
+ratio = t["tiered_ms"] / t["simplex_only_ms"]
+assert ratio <= 1.02, (
+    f"tiered backend {t['tiered_ms']:.2f} ms is {100 * (ratio - 1):.1f}% slower "
+    f"than simplex-only {t['simplex_only_ms']:.2f} ms (limit +2%)")
+rate = t["tier1_answer_rate"]
+assert rate >= 0.25, f"tier-1 answer rate {rate:.1%} below the 25% floor"
+print(f"solver tiers gate: tiered/simplex {ratio:.3f}x (limit 1.02), "
+      f"tier-1 rate {rate:.1%} (floor 25%)")
 EOF
 
 echo "== trace smoke (preinfer --trace-out)"

@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! preinfer path/to/program.ml [--fn NAME] [--baselines] [--tests N]
-//!          [--jobs N] [--no-solver-cache] [--timeout-ms N] [--verbose]
-//!          [--trace-out FILE]
+//!          [--jobs N] [--no-solver-cache] [--solver-backend tiered|simplex]
+//!          [--timeout-ms N] [--verbose] [--trace-out FILE]
 //! ```
 //!
 //! Generates a test suite for the function (default: the first one), then
@@ -26,6 +26,7 @@ struct Options {
     max_runs: Option<usize>,
     jobs: usize,
     solver_cache: bool,
+    backend: BackendKind,
     timeout_ms: Option<u64>,
     verbose: bool,
     trace_out: Option<String>,
@@ -34,8 +35,8 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: preinfer <program.ml> [--fn NAME] [--baselines] [--tests N]\n\
-         \x20               [--jobs N] [--no-solver-cache] [--timeout-ms N] [--verbose]\n\
-         \x20               [--trace-out FILE]\n\
+         \x20               [--jobs N] [--no-solver-cache] [--solver-backend B]\n\
+         \x20               [--timeout-ms N] [--verbose] [--trace-out FILE]\n\
          \n\
          Infers preconditions for every assertion-containing location that\n\
          generated tests can make fail, per the PreInfer (DSN 2018) pipeline.\n\
@@ -43,6 +44,11 @@ fn usage() -> ! {
          --jobs N           worker threads for per-ACL inference (default:\n\
          \x20                  all cores; results are identical for any N)\n\
          --no-solver-cache  disable the canonicalizing solver query cache\n\
+         --solver-backend B solver backend stack: `tiered` (default — the\n\
+         \x20                  interval tier answers cheap queries, escalating\n\
+         \x20                  to simplex) or `simplex` (every query goes\n\
+         \x20                  straight to simplex); results are identical,\n\
+         \x20                  only speed and tier attribution differ\n\
          --timeout-ms N     wall-clock deadline for the whole run, checked\n\
          \x20                  between solver calls; a partial (still sound)\n\
          \x20                  result is reported as timed out\n\
@@ -67,6 +73,7 @@ fn parse_args() -> Options {
         max_runs: None,
         jobs: default_jobs(),
         solver_cache: true,
+        backend: BackendKind::default(),
         timeout_ms: None,
         verbose: false,
         trace_out: None,
@@ -77,6 +84,10 @@ fn parse_args() -> Options {
             "--baselines" => opts.baselines = true,
             "--verbose" => opts.verbose = true,
             "--no-solver-cache" => opts.solver_cache = false,
+            "--solver-backend" => {
+                opts.backend =
+                    args.next().and_then(|v| BackendKind::parse(&v)).unwrap_or_else(|| usage())
+            }
             "--tests" => {
                 opts.max_runs =
                     Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
@@ -143,9 +154,14 @@ fn main() -> ExitCode {
     if let Some(n) = opts.max_runs {
         tg.max_runs = n;
     }
+    // One set of tier counters across test generation and pruning, so the
+    // footer reports the whole run's attribution.
+    let tiers = Arc::new(TierCounters::default());
     tg.solver_cache = cache.clone();
     tg.solver.deadline = deadline.clone();
     tg.solver.trace = sink.clone();
+    tg.solver.backend = opts.backend;
+    tg.solver.tiers = tiers.clone();
     tg.trace = sink.clone();
     println!("generating tests for `{func_name}` …");
     let suite = generate_tests(&program, &func_name, &tg);
@@ -167,6 +183,8 @@ fn main() -> ExitCode {
     cfg.prune.jobs = opts.jobs;
     cfg.prune.solver.deadline = deadline.clone();
     cfg.prune.solver.trace = sink.clone();
+    cfg.prune.solver.backend = opts.backend;
+    cfg.prune.solver.tiers = tiers.clone();
     cfg.prune.trace = sink.clone();
     let start = std::time::Instant::now();
     let inferred = infer_all_preconditions(&program, &func_name, &suite, &cfg, opts.jobs);
@@ -251,6 +269,17 @@ fn main() -> ExitCode {
         }
         None => println!("; solver cache disabled"),
     }
+    let t = tiers.snapshot();
+    println!(
+        "solver backend `{}`: {} syntactic / {} interval / {} simplex answer(s), \
+         {} escalation(s) ({:.0}% answered above simplex)",
+        opts.backend.label(),
+        t.answered_by_syntactic,
+        t.answered_by_interval,
+        t.answered_by_simplex,
+        t.escalations,
+        100.0 * t.tier1_rate(),
+    );
     finish_trace(&opts, &sink, &func_name, run_start, inferred.len());
     ExitCode::SUCCESS
 }

@@ -1,0 +1,100 @@
+//! The backend-differential contract of the tiered solver core: swapping
+//! the backend stack ([`BackendKind::Tiered`] vs [`BackendKind::Simplex`])
+//! is unobservable through the whole pipeline.
+//!
+//! For every subject in the evaluation corpus plus the motivating example,
+//! test generation *and* inference run under both backends, with the
+//! canonicalizing solver cache on and off, and everything observable about
+//! the result — ψ, α, disjunct order, pruning counters — must render
+//! byte-identically across all four configurations. This is the executable
+//! form of the escalation contract in `solver::interval`: the cheap tiers
+//! only decide a query when the simplex tier would provably return the
+//! same verdict and the same model.
+
+use preinfer::prelude::*;
+use preinfer_core::Inference;
+use std::sync::Arc;
+
+/// Runs generation + inference under one backend/cache configuration,
+/// rendering each inference to a comparable summary string (the same
+/// cache-counter-free shape `tests/parallel_cache.rs` compares).
+fn infer_summaries(
+    m: &subjects::SubjectMethod,
+    backend: BackendKind,
+    use_cache: bool,
+) -> Vec<String> {
+    let tp = m.compile();
+    let mut tg = TestGenConfig::default();
+    tg.solver.backend = backend;
+    tg.solver_cache = use_cache.then(|| Arc::new(SolverCache::new()));
+    let suite = generate_tests(&tp, m.name, &tg);
+    let mut cfg = PreInferConfig::default();
+    cfg.prune.solver.backend = backend;
+    cfg.prune.solver_cache = use_cache.then(|| Arc::new(SolverCache::new()));
+    cfg.prune.jobs = 1;
+    infer_all_preconditions(&tp, m.name, &suite, &cfg, 1)
+        .iter()
+        .map(|(acl, inf)| summarize(m.name, *acl, inf))
+        .collect()
+}
+
+fn summarize(method: &str, acl: minilang::CheckId, inf: &Inference) -> String {
+    let s = &inf.prune_stats;
+    let disjuncts: Vec<String> = inf
+        .disjuncts
+        .iter()
+        .map(|d| {
+            let parts: Vec<String> = d.parts.iter().map(|p| p.to_string()).collect();
+            format!("[{}]{}", parts.join(" && "), if d.quantified { "Q" } else { "" })
+        })
+        .collect();
+    format!(
+        "{method} {acl:?} psi={} alpha={} quantified={} ndisj={} disjuncts={} \
+         examined={} kept_c={} kept_d={} kept_g={} removed={} runs={}",
+        inf.precondition.psi,
+        inf.precondition.alpha,
+        inf.precondition.quantified,
+        inf.precondition.disjuncts,
+        disjuncts.join(" | "),
+        s.examined,
+        s.kept_c_depend,
+        s.kept_d_impact,
+        s.kept_guard,
+        s.removed,
+        s.dynamic_runs,
+    )
+}
+
+/// Full-corpus differential: for every subject and the motivating example,
+/// inference output is byte-identical under the tiered and simplex-only
+/// backends, with the solver cache on and off.
+#[test]
+fn tiered_and_simplex_backends_infer_identical_psi_across_the_corpus() {
+    let mut methods = subjects::all_subjects();
+    methods.push(subjects::motivating::motivating());
+    let mut nonempty = 0usize;
+    for m in &methods {
+        let baseline = infer_summaries(m, BackendKind::Simplex, false);
+        for (backend, use_cache) in [
+            (BackendKind::Tiered, false),
+            (BackendKind::Tiered, true),
+            (BackendKind::Simplex, true),
+        ] {
+            let got = infer_summaries(m, backend, use_cache);
+            assert_eq!(
+                got,
+                baseline,
+                "backend {:?} (cache {}) changed inference output for {}::{}",
+                backend,
+                if use_cache { "on" } else { "off" },
+                m.namespace,
+                m.name
+            );
+        }
+        nonempty += usize::from(!baseline.is_empty());
+    }
+    assert!(
+        nonempty > 30,
+        "only {nonempty} corpus methods produced inferences — differential is near-vacuous"
+    );
+}
