@@ -1,0 +1,601 @@
+//! Offline analysis of a recorded JSON-lines trace.
+//!
+//! [`TraceSink`](crate::TraceSink) histograms attribute *inclusive* time —
+//! a `prune` span's duration contains every nested `solver` call — so any
+//! question of the form "where did the time actually go" needs the span
+//! tree back. This module reconstructs it from the `span_start` /
+//! `span_end` parent links, attributes `solver_call` events to the span
+//! they fired in, and derives:
+//!
+//! * per-stage **exclusive self-time** (a span's duration minus its direct
+//!   children and its own solver calls),
+//! * the **critical path** (the heaviest root span, descending into the
+//!   heaviest child at each level),
+//! * the **top-k slowest solver calls** with their tier / cache-lookup /
+//!   predicate-count fields, and
+//! * **folded stacks** (`stage;stage;stage exclusive_us`) consumable by
+//!   standard flamegraph tooling.
+//!
+//! The trace format is the flat JSON-object-per-line stream the sink
+//! itself writes (every value is a string, integer, boolean or null — no
+//! nesting), so the parser here is a small flat-object reader rather than
+//! a full JSON implementation; it is shared by `preinfer --trace-out`'s
+//! stage breakdown and the `preinfer-trace` binary.
+
+use std::collections::BTreeMap;
+
+/// One field value of a flat trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    U(u64),
+    I(i64),
+    F(f64),
+    S(String),
+    B(bool),
+    Null,
+}
+
+impl Field {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Field::U(v) => Some(*v),
+            Field::I(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Field::S(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object line (`{"k":v,...}`, no nested arrays or
+/// objects). `None` on anything malformed — callers skip such lines.
+pub fn parse_flat_line(line: &str) -> Option<BTreeMap<String, Field>> {
+    let bytes = line.trim().as_bytes();
+    let mut p = Flat { bytes, pos: 0 };
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    p.ws();
+    if p.peek() == Some(b'}') {
+        return Some(map);
+    }
+    loop {
+        p.ws();
+        let key = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        let value = p.value()?;
+        map.insert(key, value);
+        p.ws();
+        match p.next_byte()? {
+            b',' => continue,
+            b'}' => break,
+            _ => return None,
+        }
+    }
+    p.ws();
+    if p.pos == p.bytes.len() {
+        Some(map)
+    } else {
+        None
+    }
+}
+
+struct Flat<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Flat<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next_byte(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        (self.next_byte()? == b).then_some(())
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self) -> Option<Field> {
+        match self.peek()? {
+            b'"' => Some(Field::S(self.string()?)),
+            b't' => self.literal("true", Field::B(true)),
+            b'f' => self.literal("false", Field::B(false)),
+            b'n' => self.literal("null", Field::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Field) -> Option<Field> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn number(&mut self) -> Option<Field> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?;
+        if !fractional {
+            if let Ok(v) = s.parse::<u64>() {
+                return Some(Field::U(v));
+            }
+            if let Ok(v) = s.parse::<i64>() {
+                return Some(Field::I(v));
+            }
+        }
+        s.parse::<f64>().ok().filter(|v| v.is_finite()).map(Field::F)
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next_byte()? {
+                b'"' => return Some(out),
+                b'\\' => match self.next_byte()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let end = self.pos.checked_add(4)?;
+                        let hex = self.bytes.get(self.pos..end)?;
+                        let cp = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(cp)?);
+                        self.pos = end;
+                    }
+                    _ => return None,
+                },
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    // Multi-byte UTF-8 scalar: copy its continuation bytes.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).ok()?);
+                    self.pos = end;
+                    let _ = c;
+                }
+            }
+        }
+    }
+}
+
+/// One reconstructed span.
+#[derive(Debug, Clone)]
+pub struct Span {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub stage: String,
+    /// Inclusive duration from `span_end`; 0 for spans never closed.
+    pub dur_us: u64,
+    /// Direct child span ids, in start order.
+    pub children: Vec<u64>,
+    /// Total duration of `solver_call` events fired inside this span
+    /// (not inside a child).
+    pub solver_us: u64,
+    /// Number of such solver calls.
+    pub solver_calls: u64,
+}
+
+/// One `solver_call` event.
+#[derive(Debug, Clone)]
+pub struct SolverCall {
+    /// The span the call fired in, if any.
+    pub span: Option<u64>,
+    pub preds: u64,
+    pub verdict: String,
+    /// Cache-lookup label (`hit` / `miss` / `bypass`).
+    pub lookup: String,
+    /// Answering tier (`syntactic` / `interval` / `simplex` / `none`).
+    pub tier: String,
+    pub dur_us: u64,
+    /// Line number in the input, for stable ordering of equal durations.
+    pub seq: usize,
+}
+
+/// The trailing `run` summary event, when present.
+#[derive(Debug, Clone, Default)]
+pub struct RunInfo {
+    pub func: String,
+    pub dur_us: u64,
+}
+
+/// Per-stage aggregate over the whole trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTotal {
+    pub stage: String,
+    /// Number of spans (for `solver`: number of calls).
+    pub count: u64,
+    /// Sum of span durations (contains nested work).
+    pub inclusive_us: u64,
+    /// Sum of span self-times (children and solver calls subtracted).
+    pub exclusive_us: u64,
+}
+
+/// One step of the critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    pub stage: String,
+    pub id: u64,
+    pub dur_us: u64,
+}
+
+/// A fully reconstructed trace.
+#[derive(Debug, Default)]
+pub struct TraceAnalysis {
+    pub spans: BTreeMap<u64, Span>,
+    /// Spans with no parent, in start order.
+    pub roots: Vec<u64>,
+    pub solver_calls: Vec<SolverCall>,
+    pub run: Option<RunInfo>,
+    /// Total lines seen / lines that failed to parse as flat objects.
+    pub lines: usize,
+    pub skipped: usize,
+}
+
+impl TraceAnalysis {
+    /// Builds the analysis from trace lines. `Err` when no line parsed.
+    pub fn from_lines<'a>(
+        lines: impl IntoIterator<Item = &'a str>,
+    ) -> Result<TraceAnalysis, String> {
+        let mut a = TraceAnalysis::default();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            a.lines += 1;
+            let Some(fields) = parse_flat_line(line) else {
+                a.skipped += 1;
+                continue;
+            };
+            let get_u = |k: &str| fields.get(k).and_then(Field::as_u64);
+            let get_s =
+                |k: &str| fields.get(k).and_then(Field::as_str).unwrap_or_default().to_string();
+            match fields.get("ev").and_then(Field::as_str) {
+                Some("span_start") => {
+                    let Some(id) = get_u("id") else { continue };
+                    let parent = get_u("parent");
+                    if let Some(p) = parent.and_then(|p| a.spans.get_mut(&p)) {
+                        p.children.push(id);
+                    }
+                    if parent.is_none() {
+                        a.roots.push(id);
+                    }
+                    a.spans.insert(
+                        id,
+                        Span {
+                            id,
+                            parent,
+                            stage: get_s("stage"),
+                            dur_us: 0,
+                            children: Vec::new(),
+                            solver_us: 0,
+                            solver_calls: 0,
+                        },
+                    );
+                }
+                Some("span_end") => {
+                    if let Some(span) = get_u("id").and_then(|id| a.spans.get_mut(&id)) {
+                        span.dur_us = get_u("dur_us").unwrap_or(0);
+                    }
+                }
+                Some("solver_call") => {
+                    let call = SolverCall {
+                        span: get_u("span"),
+                        preds: get_u("preds").unwrap_or(0),
+                        verdict: get_s("verdict"),
+                        lookup: get_s("lookup"),
+                        tier: get_s("tier"),
+                        dur_us: get_u("dur_us").unwrap_or(0),
+                        seq: a.lines,
+                    };
+                    if let Some(span) = call.span.and_then(|id| a.spans.get_mut(&id)) {
+                        span.solver_us += call.dur_us;
+                        span.solver_calls += 1;
+                    }
+                    a.solver_calls.push(call);
+                }
+                Some("run") => {
+                    a.run =
+                        Some(RunInfo { func: get_s("func"), dur_us: get_u("dur_us").unwrap_or(0) })
+                }
+                _ => {}
+            }
+        }
+        if a.lines == a.skipped {
+            return Err("no parseable trace lines".to_string());
+        }
+        Ok(a)
+    }
+
+    /// A span's exclusive self-time: inclusive duration minus direct
+    /// children and its own solver calls (saturating — clock jitter can
+    /// make nested sums exceed the parent by a few µs).
+    pub fn exclusive_us(&self, id: u64) -> u64 {
+        let Some(span) = self.spans.get(&id) else { return 0 };
+        let children: u64 =
+            span.children.iter().filter_map(|c| self.spans.get(c)).map(|c| c.dur_us).sum();
+        span.dur_us.saturating_sub(children + span.solver_us)
+    }
+
+    /// Per-stage totals, pipeline-stage order first, then any unknown
+    /// stages alphabetically. `solver` aggregates the solver-call events
+    /// (its time is exclusive by definition).
+    pub fn stage_totals(&self) -> Vec<StageTotal> {
+        let mut by_stage: BTreeMap<&str, StageTotal> = BTreeMap::new();
+        for span in self.spans.values() {
+            let agg = by_stage.entry(span.stage.as_str()).or_insert_with(|| StageTotal {
+                stage: span.stage.clone(),
+                count: 0,
+                inclusive_us: 0,
+                exclusive_us: 0,
+            });
+            agg.count += 1;
+            agg.inclusive_us += span.dur_us;
+            agg.exclusive_us += self.exclusive_us(span.id);
+        }
+        let solver_us: u64 = self.solver_calls.iter().map(|c| c.dur_us).sum();
+        if !self.solver_calls.is_empty() {
+            let agg = by_stage.entry("solver").or_insert_with(|| StageTotal {
+                stage: "solver".to_string(),
+                count: 0,
+                inclusive_us: 0,
+                exclusive_us: 0,
+            });
+            agg.count += self.solver_calls.len() as u64;
+            agg.inclusive_us += solver_us;
+            agg.exclusive_us += solver_us;
+        }
+        let rank = |stage: &str| {
+            crate::Stage::ALL
+                .iter()
+                .position(|s| s.label() == stage)
+                .unwrap_or(crate::Stage::ALL.len())
+        };
+        let mut out: Vec<StageTotal> = by_stage.into_values().collect();
+        out.sort_by(|a, b| rank(&a.stage).cmp(&rank(&b.stage)).then(a.stage.cmp(&b.stage)));
+        out
+    }
+
+    /// Sum of exclusive self-times across all spans plus all solver calls
+    /// — the "where did the time go" total, ≤ wall clock for a single-
+    /// threaded trace.
+    pub fn exclusive_total_us(&self) -> u64 {
+        self.spans.keys().map(|&id| self.exclusive_us(id)).sum::<u64>()
+            + self.solver_calls.iter().map(|c| c.dur_us).sum::<u64>()
+    }
+
+    /// The critical path: starting from the heaviest root span, descend
+    /// into the heaviest direct child until a leaf. Empty without spans.
+    pub fn critical_path(&self) -> Vec<PathStep> {
+        let mut path = Vec::new();
+        let mut cur = self
+            .roots
+            .iter()
+            .filter_map(|id| self.spans.get(id))
+            .max_by_key(|s| (s.dur_us, std::cmp::Reverse(s.id)));
+        while let Some(span) = cur {
+            path.push(PathStep { stage: span.stage.clone(), id: span.id, dur_us: span.dur_us });
+            cur = span
+                .children
+                .iter()
+                .filter_map(|id| self.spans.get(id))
+                .max_by_key(|s| (s.dur_us, std::cmp::Reverse(s.id)));
+        }
+        path
+    }
+
+    /// The `k` slowest solver calls, slowest first (ties: input order).
+    pub fn top_solver_calls(&self, k: usize) -> Vec<&SolverCall> {
+        let mut calls: Vec<&SolverCall> = self.solver_calls.iter().collect();
+        calls.sort_by_key(|c| (std::cmp::Reverse(c.dur_us), c.seq));
+        calls.truncate(k);
+        calls
+    }
+
+    /// Folded stacks: `stage;stage;… exclusive_us`, one entry per distinct
+    /// stack, sorted by stack string — the input format of flamegraph
+    /// tooling. Solver calls fold one level deeper than their span.
+    pub fn folded_stacks(&self) -> Vec<(String, u64)> {
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for span in self.spans.values() {
+            let stack = self.stack_of(span.id);
+            let excl = self.exclusive_us(span.id);
+            if excl > 0 {
+                *folded.entry(stack.clone()).or_insert(0) += excl;
+            }
+            if span.solver_us > 0 {
+                *folded.entry(format!("{stack};solver")).or_insert(0) += span.solver_us;
+            }
+        }
+        // Solver calls outside any span still deserve a frame.
+        let orphan_solver: u64 =
+            self.solver_calls.iter().filter(|c| c.span.is_none()).map(|c| c.dur_us).sum();
+        if orphan_solver > 0 {
+            *folded.entry("solver".to_string()).or_insert(0) += orphan_solver;
+        }
+        folded.into_iter().collect()
+    }
+
+    /// Wall clock: the `run` event when present, else the summed duration
+    /// of root spans.
+    pub fn wall_us(&self) -> u64 {
+        match &self.run {
+            Some(run) if run.dur_us > 0 => run.dur_us,
+            _ => self.roots.iter().filter_map(|id| self.spans.get(id)).map(|s| s.dur_us).sum(),
+        }
+    }
+
+    fn stack_of(&self, id: u64) -> String {
+        let mut stages = Vec::new();
+        let mut cur = self.spans.get(&id);
+        while let Some(span) = cur {
+            stages.push(span.stage.as_str());
+            cur = span.parent.and_then(|p| self.spans.get(&p));
+        }
+        stages.reverse();
+        stages.join(";")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Stage, TraceSink, Val};
+    use std::time::Duration;
+
+    #[test]
+    fn flat_parser_reads_sink_lines() {
+        let m = parse_flat_line(
+            r#"{"ev":"solver_call","seq":3,"span":2,"preds":4,"verdict":"unsat","lookup":"miss","tier":"interval","dur_us":17}"#,
+        )
+        .unwrap();
+        assert_eq!(m["ev"], Field::S("solver_call".into()));
+        assert_eq!(m["span"].as_u64(), Some(2));
+        assert_eq!(m["dur_us"].as_u64(), Some(17));
+        assert_eq!(m["verdict"].as_str(), Some("unsat"));
+        let esc =
+            parse_flat_line(r#"{"pred":"s[\"x\"] != null\\p\n","ok":true,"p":null}"#).unwrap();
+        assert_eq!(esc["pred"].as_str(), Some("s[\"x\"] != null\\p\n"));
+        assert_eq!(esc["ok"], Field::B(true));
+        assert_eq!(esc["p"], Field::Null);
+        assert!(parse_flat_line("not json").is_none());
+        assert!(parse_flat_line(r#"{"a":[1]}"#).is_none(), "nested values are not flat");
+    }
+
+    /// Builds a real recorded trace through the sink, then checks the
+    /// reconstruction subtracts children and solver calls correctly.
+    #[test]
+    fn exclusive_time_subtracts_children_and_solver_calls() {
+        let sink = TraceSink::recording();
+        {
+            let _prune = sink.span(Stage::Prune);
+            std::thread::sleep(Duration::from_millis(4));
+            {
+                let _guard = sink.span(Stage::PassingGuard);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            sink.solver_call(3, "sat", "miss", "simplex", Duration::from_millis(3));
+        }
+        let lines = sink.lines();
+        let a = TraceAnalysis::from_lines(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(a.spans.len(), 2);
+        assert_eq!(a.roots.len(), 1);
+        let root = a.roots[0];
+        let prune = &a.spans[&root];
+        assert_eq!(prune.stage, "prune");
+        assert_eq!(prune.solver_calls, 1);
+        let guard_id = prune.children[0];
+        let excl = a.exclusive_us(root);
+        let guard_dur = a.spans[&guard_id].dur_us;
+        assert_eq!(excl, prune.dur_us - guard_dur - prune.solver_us);
+        // The 4 ms self-sleep is split between exclusive time and the
+        // (synthetic, unslept) 3 ms solver event that gets subtracted.
+        assert!(
+            excl + prune.solver_us >= 3_500,
+            "prune slept ≥4ms outside its child, got excl {excl} + solver {} µs",
+            prune.solver_us
+        );
+        assert!(excl < prune.dur_us, "exclusive must subtract nested work");
+
+        let totals = a.stage_totals();
+        let by_name = |n: &str| totals.iter().find(|t| t.stage == n).unwrap();
+        assert_eq!(by_name("prune").exclusive_us, excl);
+        assert_eq!(by_name("passing_guard").exclusive_us, guard_dur);
+        assert_eq!(by_name("solver").count, 1);
+        assert_eq!(by_name("solver").exclusive_us, 3_000);
+        // Stage order follows the pipeline.
+        assert_eq!(
+            totals.iter().map(|t| t.stage.as_str()).collect::<Vec<_>>(),
+            vec!["prune", "passing_guard", "solver"]
+        );
+
+        let path = a.critical_path();
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].stage, "prune");
+        assert_eq!(path[1].stage, "passing_guard");
+
+        let folded = a.folded_stacks();
+        assert!(folded.iter().any(|(s, _)| s == "prune"));
+        assert!(folded.iter().any(|(s, _)| s == "prune;passing_guard"));
+        assert!(folded.iter().any(|(s, v)| s == "prune;solver" && *v == 3_000));
+        // Folded exclusive values sum to the exclusive total.
+        assert_eq!(folded.iter().map(|(_, v)| v).sum::<u64>(), a.exclusive_total_us());
+    }
+
+    #[test]
+    fn top_solver_calls_sorts_by_duration() {
+        let sink = TraceSink::recording();
+        sink.solver_call(1, "sat", "miss", "interval", Duration::from_micros(5));
+        sink.solver_call(9, "unsat", "miss", "simplex", Duration::from_micros(500));
+        sink.solver_call(2, "sat", "hit", "syntactic", Duration::from_micros(50));
+        let lines = sink.lines();
+        let a = TraceAnalysis::from_lines(lines.iter().map(String::as_str)).unwrap();
+        let top = a.top_solver_calls(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].preds, 9);
+        assert_eq!(top[0].tier, "simplex");
+        assert_eq!(top[1].preds, 2);
+        assert_eq!(top[1].lookup, "hit");
+    }
+
+    #[test]
+    fn run_event_supplies_wall_clock() {
+        let sink = TraceSink::recording();
+        {
+            let _s = sink.span(Stage::TestGen);
+        }
+        sink.event("run", &[("func", Val::S("f")), ("dur_us", Val::U(1234))]);
+        let lines = sink.lines();
+        let a = TraceAnalysis::from_lines(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(a.wall_us(), 1234);
+        assert_eq!(a.run.as_ref().unwrap().func, "f");
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(TraceAnalysis::from_lines([]).is_err());
+        assert!(TraceAnalysis::from_lines(["garbage", "more garbage"]).is_err());
+    }
+}

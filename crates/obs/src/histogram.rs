@@ -10,7 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of buckets: `2^39` µs ≈ 6.4 days caps the top bucket.
-const BUCKETS: usize = 40;
+pub const BUCKETS: usize = 40;
 
 /// A lock-free fixed-bucket latency histogram (microsecond samples).
 #[derive(Debug)]
@@ -96,6 +96,41 @@ impl Histogram {
     pub fn percentiles_us(&self) -> (u64, u64, u64) {
         (self.quantile_us(0.50), self.quantile_us(0.90), self.quantile_us(0.99))
     }
+
+    /// Per-bucket `(inclusive upper bound µs, count)` pairs, in bucket
+    /// order. The registry renders these as cumulative Prometheus buckets.
+    pub fn buckets_us(&self) -> [(u64, u64); BUCKETS] {
+        std::array::from_fn(|k| (bucket_bound(k), self.counts[k].load(Ordering::Relaxed)))
+    }
+
+    /// A point-in-time copy for exposition (buckets plus the sample sum).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot { buckets_us: self.buckets_us(), sum_us: self.sum_us() }
+    }
+
+    /// Adds every sample recorded in `other` into `self` (bucket-wise).
+    /// Used to fold a per-request sink's histograms back into a daemon
+    /// aggregate once the request completes.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (k, c) in other.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                self.counts[k].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total.fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_us.fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// A scrape-time copy of a [`Histogram`], consumed by the metrics
+/// registry's Prometheus renderer.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    /// `(inclusive upper bound µs, count)` per bucket, in bucket order.
+    pub buckets_us: [(u64, u64); BUCKETS],
+    /// Sum of all recorded samples, µs.
+    pub sum_us: u64,
 }
 
 #[cfg(test)]
@@ -147,6 +182,22 @@ mod tests {
         let z = Histogram::new();
         z.record(Duration::ZERO);
         assert_eq!(z.quantile_us(0.50), 0);
+    }
+
+    #[test]
+    fn merge_from_adds_counts_and_sums() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(Duration::from_micros(100));
+        b.record(Duration::from_micros(100));
+        b.record(Duration::from_millis(50));
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum_us(), 100 + 100 + 50_000);
+        let buckets = a.buckets_us();
+        assert_eq!(buckets.iter().map(|(_, c)| c).sum::<u64>(), 3);
+        // The two 100 µs samples share a bucket.
+        assert!(buckets.iter().any(|&(bound, c)| bound == 127 && c == 2));
     }
 
     #[test]

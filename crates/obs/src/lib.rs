@@ -6,6 +6,14 @@
 //! [`Histogram`] shared by the CLI trace footer and `preinferd`'s `stats`
 //! verb.
 //!
+//! Two offline companions complete the layer: the unified
+//! [`MetricsRegistry`] (named counters/gauges/histograms with static
+//! labels, scraped as Prometheus text-format exposition — `preinferd`'s
+//! `metrics` verb), and [`TraceAnalysis`] (span-tree reconstruction of a
+//! recorded JSON-lines trace: exclusive self-time, critical path, top-k
+//! solver calls, folded stacks — shared by `preinfer --trace-out`'s
+//! breakdown and the `preinfer-trace` binary).
+//!
 //! The crate depends on nothing but `std`, so every layer of the pipeline
 //! (solver, testgen, preinfer-core, report, server) can thread an
 //! `Option<Arc<TraceSink>>` through its config without dependency cycles.
@@ -14,8 +22,12 @@
 //! allocation, no locking, and not even a clock read on any hot path (see
 //! [`maybe_span`] and [`recording_sink`]).
 
+pub mod analyze;
 pub mod histogram;
+pub mod registry;
 pub mod sink;
 
-pub use histogram::Histogram;
+pub use analyze::TraceAnalysis;
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{MetricKind, MetricsRegistry};
 pub use sink::{maybe_span, recording_sink, SpanGuard, Stage, StageSnapshot, TraceSink, Val};

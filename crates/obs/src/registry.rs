@@ -1,0 +1,374 @@
+//! A unified metrics registry with Prometheus text-format exposition.
+//!
+//! Every number a process knows — cache counters, solver-tier counters,
+//! verb counters, queue depth, stage histograms — registers here once,
+//! under a stable metric name with static labels, and is scraped from one
+//! place ([`MetricsRegistry::render_prometheus`]) instead of being
+//! hand-assembled per consumer. The registry is *pull-based*: counters and
+//! gauges are closures read at scrape time (the sources keep their own
+//! atomics; registration adds zero cost to any hot path), and histograms
+//! are shared [`Histogram`] handles rendered as cumulative buckets.
+//!
+//! Exposition follows the Prometheus text format, version 0.0.4: one
+//! `# HELP` and `# TYPE` header per metric family, one
+//! `name{label="value"} number` line per series, and for histograms the
+//! `_bucket{le="..."}` / `_sum` / `_count` triplet with cumulative bucket
+//! counts ending in `le="+Inf"`. Families render in registration order;
+//! series within a family in registration order too, so output is
+//! deterministic.
+
+use crate::histogram::HistogramSnapshot;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// The kind of a metric family (drives the `# TYPE` header and which
+/// sources a family accepts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// A value that can go up and down.
+    Gauge,
+    /// A latency [`Histogram`] (microsecond buckets).
+    Histogram,
+}
+
+impl MetricKind {
+    fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Source {
+    Counter(Box<dyn Fn() -> u64 + Send + Sync>),
+    Gauge(Box<dyn Fn() -> f64 + Send + Sync>),
+    Histogram(Box<dyn Fn() -> HistogramSnapshot + Send + Sync>),
+}
+
+struct Series {
+    labels: Vec<(&'static str, String)>,
+    source: Source,
+}
+
+struct Family {
+    name: &'static str,
+    help: &'static str,
+    kind: MetricKind,
+    series: Vec<Series>,
+}
+
+/// A process-wide registry of metric families. Share it as an `Arc`;
+/// registration and scraping both take `&self`.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.lock().expect("metrics registry");
+        f.debug_struct("MetricsRegistry").field("families", &families.len()).finish()
+    }
+}
+
+/// `true` for a legal Prometheus metric name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// `true` for a legal label name: `[a-zA-Z_][a-zA-Z0-9_]*`.
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escapes a label value (`\`, `"` and newlines, per the text format).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers one counter series: `name{labels} = f()` at scrape time.
+    /// Registering the same family name again appends a series (the kind
+    /// and help of the first registration win).
+    ///
+    /// # Panics
+    /// On an invalid metric or label name, or a kind clash with an
+    /// existing family of the same name — both programmer errors.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.register(name, help, MetricKind::Counter, labels, Source::Counter(Box::new(f)));
+    }
+
+    /// Registers one gauge series: `name{labels} = f()` at scrape time.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.register(name, help, MetricKind::Gauge, labels, Source::Gauge(Box::new(f)));
+    }
+
+    /// Registers one histogram series. `f` snapshots the backing
+    /// [`Histogram`](crate::Histogram) at scrape time (typically
+    /// `move || h.snapshot()` over a captured `Arc`), and the snapshot is
+    /// rendered as cumulative `_bucket` / `_sum` / `_count` lines with
+    /// `le` bounds in microseconds — name your metric `*_us` accordingly.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        f: impl Fn() -> HistogramSnapshot + Send + Sync + 'static,
+    ) {
+        self.register(name, help, MetricKind::Histogram, labels, Source::Histogram(Box::new(f)));
+    }
+
+    fn register(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: MetricKind,
+        labels: &[(&'static str, &str)],
+        source: Source,
+    ) {
+        assert!(valid_metric_name(name), "invalid metric name `{name}`");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name `{k}` on `{name}`");
+        }
+        let series =
+            Series { labels: labels.iter().map(|(k, v)| (*k, v.to_string())).collect(), source };
+        let mut families = self.families.lock().expect("metrics registry");
+        match families.iter_mut().find(|f| f.name == name) {
+            Some(fam) => {
+                assert_eq!(fam.kind, kind, "metric `{name}` registered with two kinds");
+                fam.series.push(series);
+            }
+            None => families.push(Family { name, help, kind, series: vec![series] }),
+        }
+    }
+
+    /// Renders every registered family in the Prometheus text format
+    /// (version 0.0.4). Sources are read at call time.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("metrics registry");
+        let mut out = String::with_capacity(families.len() * 128);
+        for fam in families.iter() {
+            let _ = writeln!(out, "# HELP {} {}", fam.name, fam.help);
+            let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.label());
+            for s in &fam.series {
+                match &s.source {
+                    Source::Counter(f) => {
+                        let _ = writeln!(out, "{}{} {}", fam.name, label_set(&s.labels, &[]), f());
+                    }
+                    Source::Gauge(f) => {
+                        let _ =
+                            writeln!(out, "{}{} {}", fam.name, label_set(&s.labels, &[]), num(f()));
+                    }
+                    Source::Histogram(f) => render_histogram(&mut out, fam.name, &s.labels, f()),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders a `{k="v",...}` label set (empty string with no labels);
+/// `extra` appends already-escaped pairs such as `le`.
+fn label_set(labels: &[(&'static str, String)], extra: &[(&str, String)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v))).collect();
+    parts.extend(extra.iter().map(|(k, v)| format!("{k}=\"{v}\"")));
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Renders an `f64` the way Prometheus expects (no exponent surprises for
+/// the integral values we mostly emit).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v > 0.0 {
+        "+Inf".to_string()
+    } else {
+        "-Inf".to_string()
+    }
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(&'static str, String)],
+    snap: HistogramSnapshot,
+) {
+    // Self-consistent snapshot: derive `_count` and `+Inf` from the bucket
+    // sum itself, so a scrape racing `record` never shows count < buckets.
+    let mut cumulative = 0u64;
+    for (bound, count) in snap.buckets_us {
+        cumulative += count;
+        let le = (bound, bound.to_string());
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            label_set(labels, &[("le", le.1.clone())])
+        );
+    }
+    let _ =
+        writeln!(out, "{name}_bucket{} {cumulative}", label_set(labels, &[("le", "+Inf".into())]));
+    let _ = writeln!(out, "{name}_sum{} {}", label_set(labels, &[]), snap.sum_us);
+    let _ = writeln!(out, "{name}_count{} {cumulative}", label_set(labels, &[]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn counters_and_gauges_render_current_values() {
+        let reg = MetricsRegistry::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = Arc::clone(&hits);
+        reg.counter("cache_hits_total", "Cache hits.", &[], move || h2.load(Ordering::Relaxed));
+        reg.gauge("queue_depth", "Requests waiting.", &[], || 3.0);
+        hits.store(7, Ordering::Relaxed);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP cache_hits_total Cache hits.\n"), "{text}");
+        assert!(text.contains("# TYPE cache_hits_total counter\n"), "{text}");
+        assert!(text.contains("\ncache_hits_total 7\n"), "{text}");
+        assert!(text.contains("\nqueue_depth 3\n"), "{text}");
+    }
+
+    #[test]
+    fn series_of_one_family_share_one_header() {
+        let reg = MetricsRegistry::new();
+        reg.counter("tier_answers_total", "Answers per tier.", &[("tier", "interval")], || 2);
+        reg.counter("tier_answers_total", "Answers per tier.", &[("tier", "simplex")], || 5);
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# TYPE tier_answers_total").count(), 1, "{text}");
+        assert!(text.contains("tier_answers_total{tier=\"interval\"} 2\n"), "{text}");
+        assert!(text.contains("tier_answers_total{tier=\"simplex\"} 5\n"), "{text}");
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = Arc::new(Histogram::new());
+        h.record(Duration::from_micros(100)); // bucket bound 127
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_millis(50)); // bucket bound 65535
+        reg.histogram("stage_duration_us", "Stage latency.", &[("stage", "prune")], move || {
+            h.snapshot()
+        });
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE stage_duration_us histogram\n"), "{text}");
+        assert!(
+            text.contains("stage_duration_us_bucket{stage=\"prune\",le=\"127\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stage_duration_us_bucket{stage=\"prune\",le=\"65535\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stage_duration_us_bucket{stage=\"prune\",le=\"+Inf\"} 3\n"),
+            "{text}"
+        );
+        assert!(text.contains("stage_duration_us_sum{stage=\"prune\"} 50200\n"), "{text}");
+        assert!(text.contains("stage_duration_us_count{stage=\"prune\"} 3\n"), "{text}");
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be cumulative: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("g", "Gauge.", &[("path", "a\"b\\c\nd")], || 1.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("g{path=\"a\\\"b\\\\c\\nd\"} 1\n"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_metric_names_panic() {
+        MetricsRegistry::new().counter("9bad", "x", &[], || 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two kinds")]
+    fn kind_clash_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", "x", &[], || 0);
+        reg.gauge("m", "x", &[], || 0.0);
+    }
+
+    #[test]
+    fn every_line_matches_the_text_format() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", "A.", &[("k", "v")], || 1);
+        reg.gauge("b", "B.", &[], || 0.5);
+        let h = Arc::new(Histogram::new());
+        h.record(Duration::from_micros(3));
+        reg.histogram("c_us", "C.", &[], move || h.snapshot());
+        for line in reg.render_prometheus().lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment: {line}"
+                );
+                continue;
+            }
+            // name{labels} value — value parses as a float.
+            let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "unparseable value in: {line}"
+            );
+        }
+    }
+}

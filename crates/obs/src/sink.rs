@@ -232,6 +232,16 @@ impl TraceSink {
         &self.stages[stage.index()]
     }
 
+    /// Folds `other`'s per-stage histograms into this sink's (bucket-wise
+    /// merge; `other`'s buffered lines are untouched). `preinferd` uses
+    /// this so a request traced with its own recording sink still
+    /// contributes to the daemon-lifetime aggregate histograms.
+    pub fn absorb(&self, other: &TraceSink) {
+        for stage in Stage::ALL {
+            self.stages[stage.index()].merge_from(&other.stages[stage.index()]);
+        }
+    }
+
     /// An aggregated snapshot for one stage.
     pub fn snapshot(&self, stage: Stage) -> StageSnapshot {
         let h = &self.stages[stage.index()];
@@ -417,6 +427,20 @@ mod tests {
             "escaping failed: {}",
             lines[0]
         );
+    }
+
+    #[test]
+    fn absorb_folds_stage_histograms_not_lines() {
+        let agg = TraceSink::aggregate();
+        let per_request = TraceSink::recording();
+        {
+            let _s = per_request.span(Stage::Prune);
+            per_request.solver_call(2, "sat", "miss", "interval", Duration::from_micros(9));
+        }
+        agg.absorb(&per_request);
+        assert_eq!(agg.snapshot(Stage::Prune).count, 1);
+        assert_eq!(agg.snapshot(Stage::Solver).count, 1);
+        assert!(agg.lines().is_empty(), "absorb must not copy event lines");
     }
 
     #[test]

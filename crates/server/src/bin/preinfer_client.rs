@@ -3,6 +3,8 @@
 //! ```text
 //! preinfer-client --addr HOST:PORT ping
 //! preinfer-client --addr HOST:PORT stats
+//! preinfer-client --addr HOST:PORT metrics
+//! preinfer-client --addr HOST:PORT trace [--last K | --request-id N]
 //! preinfer-client --addr HOST:PORT infer program.ml [--fn NAME]
 //!                 [--deadline-ms N] [--tests N] [--jobs N]
 //! preinfer-client --addr HOST:PORT corpus [NAME] [--check-offline]
@@ -10,6 +12,11 @@
 //!                 [--deadline-ms N] [--out BENCH_server.json]
 //! ```
 //!
+//! * `metrics` prints the daemon's Prometheus text exposition verbatim
+//!   (pipe it to a scrape file or `promtool check metrics`).
+//! * `trace` prints retained request traces: a summary header per trace on
+//!   stderr, the recorded events as JSON lines on stdout — so
+//!   `preinfer-client trace --last 1 | preinfer-trace -` just works.
 //! * `infer` submits one program and prints the served preconditions.
 //! * `corpus` submits evaluation-corpus subjects by name (all of them
 //!   without a NAME); with `--check-offline` it also runs the offline
@@ -32,6 +39,9 @@ fn usage() -> ! {
          commands:\n\
          \x20 ping                              liveness check\n\
          \x20 stats                             cache counters + latency histograms\n\
+         \x20 metrics                           Prometheus text exposition\n\
+         \x20 trace [--last K | --request-id N] retained request traces (events\n\
+         \x20                                   as JSON lines on stdout)\n\
          \x20 infer FILE [--fn NAME] [--deadline-ms N] [--tests N] [--jobs N]\n\
          \x20 corpus [NAME] [--check-offline]   submit corpus subject(s);\n\
          \x20                                   --check-offline diffs against the\n\
@@ -79,6 +89,8 @@ fn main() -> ExitCode {
     match c.rest[0].as_str() {
         "ping" => simple(&c.addr, |cl| cl.ping()),
         "stats" => simple(&c.addr, |cl| cl.stats()),
+        "metrics" => cmd_metrics(&c),
+        "trace" => cmd_trace(&c),
         "infer" => cmd_infer(&c),
         "corpus" => cmd_corpus(&c),
         "load" => cmd_load(&c),
@@ -128,6 +140,82 @@ fn render(v: &server::json::Json) -> String {
                 .join(",")
         ),
     }
+}
+
+/// `metrics`: print the exposition text verbatim, not re-rendered JSON —
+/// the output is meant for Prometheus tooling.
+fn cmd_metrics(c: &Common) -> ExitCode {
+    let mut cl = match Client::connect(&c.addr) {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("preinfer-client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cl.metrics() {
+        Ok(resp) => match resp.str_field("text") {
+            Some(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("preinfer-client: malformed metrics response: {}", render(&resp));
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("preinfer-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `trace`: summary per trace on stderr, recorded events as JSON lines on
+/// stdout (pipeable straight into `preinfer-trace -`).
+fn cmd_trace(c: &Common) -> ExitCode {
+    use server::TraceSelect;
+    let select = match (parse_u64_flag(&c.rest, "--request-id"), parse_u64_flag(&c.rest, "--last"))
+    {
+        (Some(_), Some(_)) => usage(),
+        (Some(rid), None) => TraceSelect::ById(rid),
+        (None, k) => TraceSelect::Last(k.unwrap_or(1).max(1)),
+    };
+    let mut cl = match Client::connect(&c.addr) {
+        Ok(cl) => cl,
+        Err(e) => {
+            eprintln!("preinfer-client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let resp = match cl.trace(select) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("preinfer-client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(traces) = resp.get("traces").and_then(|t| t.as_array()) else {
+        eprintln!("preinfer-client: malformed trace response: {}", render(&resp));
+        return ExitCode::FAILURE;
+    };
+    if traces.is_empty() {
+        eprintln!("preinfer-client: no retained traces match");
+        return ExitCode::FAILURE;
+    }
+    for t in traces {
+        eprintln!(
+            "# request {} func={} reason={} queue_us={} service_us={}",
+            t.u64_field("request_id").unwrap_or(0),
+            t.str_field("func").unwrap_or("?"),
+            t.str_field("reason").unwrap_or("?"),
+            t.u64_field("queue_us").unwrap_or(0),
+            t.u64_field("service_us").unwrap_or(0),
+        );
+        for ev in t.get("events").and_then(|e| e.as_array()).unwrap_or(&[]) {
+            println!("{}", render(ev));
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn infer_request_from_flags(program: String, rest: &[String]) -> InferRequest {

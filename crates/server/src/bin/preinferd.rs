@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! preinferd [--addr HOST:PORT] [--workers N] [--queue N]
-//!           [--default-deadline-ms N]
+//!           [--default-deadline-ms N] [--trace-sample N]
+//!           [--slow-trace-ms N] [--trace-buffer K]
 //! ```
 //!
 //! Prints `listening on HOST:PORT` once bound (scripts parse this to learn
@@ -41,11 +42,17 @@ fn install_signal_handlers() {
 fn usage() -> ! {
     eprintln!(
         "usage: preinferd [--addr HOST:PORT] [--workers N] [--queue N]\n\
-         \x20                [--default-deadline-ms N]\n\
+         \x20                [--default-deadline-ms N] [--trace-sample N]\n\
+         \x20                [--slow-trace-ms N] [--trace-buffer K]\n\
          \n\
          Serves the PreInfer pipeline over the length-prefixed JSON protocol\n\
          (see PROTOCOL.md). Defaults: --addr 127.0.0.1:0 (prints the bound\n\
-         port), --workers = cores, --queue 64. SIGTERM drains and exits 0."
+         port), --workers = cores, --queue 64. SIGTERM drains and exits 0.\n\
+         \n\
+         Tracing: --trace-sample N head-samples every N-th request\n\
+         (deterministic, 0 = off); --slow-trace-ms T also retains any\n\
+         request slower than T ms; --trace-buffer K (default 64) bounds the\n\
+         retained-trace ring served by the `trace` verb."
     );
     std::process::exit(2);
 }
@@ -73,6 +80,21 @@ fn parse_args() -> ServerConfig {
             "--default-deadline-ms" => {
                 cfg.default_deadline_ms =
                     Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--trace-sample" => {
+                cfg.trace_sample =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--slow-trace-ms" => {
+                cfg.slow_trace_ms =
+                    Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--trace-buffer" => {
+                cfg.trace_buffer = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
             }
             "--help" | "-h" => usage(),
             _ => usage(),

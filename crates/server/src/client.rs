@@ -70,6 +70,16 @@ impl Client {
         self.round_trip(&protocol::render_stats(None))
     }
 
+    /// Scrapes the daemon's Prometheus exposition (the `metrics` verb).
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.round_trip(&protocol::render_metrics(None))
+    }
+
+    /// Fetches retained request traces (the `trace` verb).
+    pub fn trace(&mut self, select: crate::protocol::TraceSelect) -> Result<Json, ClientError> {
+        self.round_trip(&protocol::render_trace(None, select))
+    }
+
     pub fn infer(&mut self, req: &InferRequest) -> Result<Json, ClientError> {
         self.round_trip(&protocol::render_infer(None, req))
     }

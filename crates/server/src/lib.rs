@@ -7,6 +7,13 @@
 //! behind a length-prefixed JSON protocol (`PROTOCOL.md`) with bounded
 //! admission, per-request deadlines, per-verb latency histograms, and
 //! SIGTERM-triggered graceful drain. See DESIGN.md §6 "Serving layer".
+//!
+//! Observability rides on `obs`: every admitted request gets a monotonic
+//! id, deterministic head sampling and slow-request tail capture retain
+//! per-request traces in a bounded ring ([`TraceRing`], the `trace` verb),
+//! and every counter/histogram registers in a unified
+//! [`obs::MetricsRegistry`] scraped by the `metrics` verb as Prometheus
+//! text exposition.
 
 pub mod client;
 pub mod json;
@@ -14,10 +21,12 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod service;
+pub mod trace;
 
 pub use client::{served_psis, Client, ClientError};
 pub use obs::Histogram;
-pub use protocol::{ErrorCode, InferRequest, Request, MAX_FRAME_LEN};
+pub use protocol::{ErrorCode, InferRequest, Request, TraceSelect, MAX_FRAME_LEN};
 pub use queue::BoundedQueue;
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle, ServerLatency};
 pub use service::{run_infer, InferOutcome};
+pub use trace::{RetainReason, SamplingPolicy, StoredTrace, TraceRing};

@@ -108,9 +108,34 @@ pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
 /// A parsed client request.
 #[derive(Debug, Clone)]
 pub enum Request {
-    Ping { id: Option<String> },
-    Stats { id: Option<String> },
-    Infer { id: Option<String>, infer: InferRequest },
+    Ping {
+        id: Option<String>,
+    },
+    Stats {
+        id: Option<String>,
+    },
+    /// Prometheus text-format exposition of the unified metrics registry.
+    Metrics {
+        id: Option<String>,
+    },
+    /// Retained request traces from the sampling ring.
+    Trace {
+        id: Option<String>,
+        select: TraceSelect,
+    },
+    Infer {
+        id: Option<String>,
+        infer: InferRequest,
+    },
+}
+
+/// Which retained traces a `trace` request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSelect {
+    /// The `k` most recent traces, newest first (default `1`).
+    Last(u64),
+    /// The trace of one request id, if still retained.
+    ById(u64),
 }
 
 /// The `infer` verb's payload.
@@ -166,6 +191,32 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
     match v.str_field("verb") {
         Some("ping") => Ok(Request::Ping { id }),
         Some("stats") => Ok(Request::Stats { id }),
+        Some("metrics") => Ok(Request::Metrics { id }),
+        Some("trace") => {
+            let request_id = match v.get("request_id") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(
+                    j.as_u64()
+                        .ok_or_else(|| "`request_id` must be a non-negative integer".to_string())?,
+                ),
+            };
+            let last = match v.get("last") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(
+                    j.as_u64()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| "`last` must be a positive integer".to_string())?,
+                ),
+            };
+            let select = match (request_id, last) {
+                (Some(_), Some(_)) => {
+                    return Err("`trace` takes `last` or `request_id`, not both".to_string())
+                }
+                (Some(rid), None) => TraceSelect::ById(rid),
+                (None, k) => TraceSelect::Last(k.unwrap_or(1)),
+            };
+            Ok(Request::Trace { id, select })
+        }
         Some("infer") => {
             let program = v
                 .str_field("program")
@@ -215,6 +266,21 @@ pub fn render_ping(id: Option<&str>) -> String {
 /// Renders a `stats` request.
 pub fn render_stats(id: Option<&str>) -> String {
     ObjBuilder::new().str("verb", "stats").opt_str("id", id).build()
+}
+
+/// Renders a `metrics` request.
+pub fn render_metrics(id: Option<&str>) -> String {
+    ObjBuilder::new().str("verb", "metrics").opt_str("id", id).build()
+}
+
+/// Renders a `trace` request.
+pub fn render_trace(id: Option<&str>, select: TraceSelect) -> String {
+    let b = ObjBuilder::new().str("verb", "trace").opt_str("id", id);
+    match select {
+        TraceSelect::Last(k) => b.u64("last", k),
+        TraceSelect::ById(rid) => b.u64("request_id", rid),
+    }
+    .build()
 }
 
 /// Renders an `infer` request.
@@ -317,6 +383,32 @@ mod tests {
         assert_eq!(infer.jobs, 2);
         assert!(matches!(parse_request(&render_ping(None)).unwrap(), Request::Ping { id: None }));
         assert!(matches!(parse_request(&render_stats(None)).unwrap(), Request::Stats { .. }));
+        assert!(matches!(parse_request(&render_metrics(None)).unwrap(), Request::Metrics { .. }));
+    }
+
+    #[test]
+    fn trace_requests_select_last_or_request_id() {
+        assert!(matches!(
+            parse_request(&render_trace(None, TraceSelect::Last(5))).unwrap(),
+            Request::Trace { select: TraceSelect::Last(5), .. }
+        ));
+        assert!(matches!(
+            parse_request(&render_trace(Some("t1"), TraceSelect::ById(9))).unwrap(),
+            Request::Trace { select: TraceSelect::ById(9), .. }
+        ));
+        // Default selection: the most recent trace.
+        assert!(matches!(
+            parse_request("{\"verb\":\"trace\"}").unwrap(),
+            Request::Trace { select: TraceSelect::Last(1), .. }
+        ));
+        for bad in [
+            "{\"verb\":\"trace\",\"last\":0}",
+            "{\"verb\":\"trace\",\"last\":-2}",
+            "{\"verb\":\"trace\",\"request_id\":\"x\"}",
+            "{\"verb\":\"trace\",\"last\":1,\"request_id\":1}",
+        ] {
+            assert!(parse_request(bad).is_err(), "should reject {bad}");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A bounded MPMC queue with non-blocking admission and timed removal.
 #[derive(Debug)]
@@ -45,17 +45,24 @@ impl<T> BoundedQueue<T> {
 
     /// Removes the oldest item, waiting up to `timeout` for one to arrive.
     /// `None` on timeout — callers poll their shutdown flag and re-enter.
+    ///
+    /// The wait is against an absolute deadline: a wakeup that finds the
+    /// queue still empty (another consumer won the race, or the condvar
+    /// woke spuriously) re-waits only for the *remaining* time, so
+    /// repeated wakeups can never stretch the total wait beyond `timeout`.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
         let mut q = self.items.lock().expect("queue lock");
         loop {
             if let Some(item) = q.pop_front() {
                 return Some(item);
             }
-            let (guard, res) = self.ready.wait_timeout(q, timeout).expect("queue lock");
-            q = guard;
-            if res.timed_out() {
-                return q.pop_front();
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
             }
+            let (guard, _res) = self.ready.wait_timeout(q, deadline - now).expect("queue lock");
+            q = guard;
         }
     }
 
@@ -112,6 +119,40 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.try_push(42u32).unwrap();
         assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    /// Regression: `pop_timeout` used to restart the full timeout after
+    /// every wakeup that found the queue empty, so a stream of wakeups
+    /// (another consumer winning the race, or spurious condvar wakeups)
+    /// could postpone the deadline indefinitely. The wait must be against
+    /// an absolute deadline.
+    #[test]
+    fn wakeups_without_items_do_not_extend_the_deadline() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        // Hammer the condvar with empty wakeups every few milliseconds —
+        // far more often than the 120 ms timeout.
+        let waker = {
+            let q = Arc::clone(&q);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    q.ready.notify_all();
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+            })
+        };
+        let started = std::time::Instant::now();
+        let got = q.pop_timeout(Duration::from_millis(120));
+        let elapsed = started.elapsed();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        waker.join().unwrap();
+        assert_eq!(got, None);
+        assert!(elapsed >= Duration::from_millis(100), "returned early: {elapsed:?}");
+        assert!(
+            elapsed < Duration::from_millis(2_000),
+            "deadline drifted under repeated wakeups: {elapsed:?}"
+        );
     }
 
     #[test]

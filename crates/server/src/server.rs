@@ -30,11 +30,12 @@
 //! to empty, and `join` returns once every thread has exited.
 
 use crate::protocol::{
-    self, render_error, ErrorCode, FrameError, InferRequest, Request, MAX_FRAME_LEN,
+    self, render_error, ErrorCode, FrameError, InferRequest, Request, TraceSelect, MAX_FRAME_LEN,
 };
 use crate::queue::BoundedQueue;
 use crate::service;
-use obs::Histogram;
+use crate::trace::{SamplingPolicy, StoredTrace, TraceRing};
+use obs::{Histogram, MetricsRegistry};
 use solver::{Deadline, SolverCache, TierCounters};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -61,6 +62,14 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline_ms: Option<u64>,
+    /// Head-sample 1 in N `infer` requests for per-request tracing
+    /// (deterministic on the admission counter; 0 disables).
+    pub trace_sample: u64,
+    /// Tail capture: retain the trace of any request whose service time
+    /// exceeds this many milliseconds, sampled or not.
+    pub slow_trace_ms: Option<u64>,
+    /// Capacity of the retained-trace ring served by the `trace` verb.
+    pub trace_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +79,9 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
             queue_capacity: 64,
             default_deadline_ms: None,
+            trace_sample: 0,
+            slow_trace_ms: None,
+            trace_buffer: 64,
         }
     }
 }
@@ -86,16 +98,23 @@ pub struct Counters {
     pub bad_requests: AtomicU64,
 }
 
-/// Per-verb latency histograms.
+/// Server-side latency histograms: one per verb, plus `queue_wait`
+/// (admission → dequeue) so time spent waiting for a worker is attributed
+/// separately from service time.
 #[derive(Debug, Default)]
-pub struct VerbLatency {
+pub struct ServerLatency {
     pub infer: Histogram,
     pub stats: Histogram,
     pub ping: Histogram,
+    pub metrics: Histogram,
+    pub trace: Histogram,
+    pub queue_wait: Histogram,
 }
 
 /// One admitted unit of work.
 struct Job {
+    /// Monotonic 1-based admission id (assigned in [`submit_infer`]).
+    request_id: u64,
     id: Option<String>,
     request: InferRequest,
     deadline: Deadline,
@@ -103,24 +122,37 @@ struct Job {
     reply: mpsc::Sender<String>,
 }
 
-/// State shared by every thread.
+/// State shared by every thread. The observable pieces (`queue`,
+/// `counters`, `latency`, `trace`, `tiers`, `ring`) are individually
+/// `Arc`'d so the metrics registry's scrape closures can capture them
+/// without holding the whole `Shared` (which owns the registry — a cycle).
 struct Shared {
     shutdown: AtomicBool,
     /// Set by the acceptor once every connection thread has exited; the
     /// workers wait for it so that a request admitted in the instant the
     /// shutdown flag flips is still drained, not orphaned.
     conns_done: AtomicBool,
-    queue: BoundedQueue<Job>,
+    queue: Arc<BoundedQueue<Job>>,
     cache: Arc<SolverCache>,
-    counters: Counters,
-    latency: VerbLatency,
-    /// Aggregate pipeline-stage histograms shared by every worker (no
-    /// per-event buffering — recording sinks are a CLI concern). Served by
-    /// the `stats` verb.
+    counters: Arc<Counters>,
+    latency: Arc<ServerLatency>,
+    /// Aggregate pipeline-stage histograms shared by every worker. Served
+    /// by the `stats` verb. Sampled requests run on their own recording
+    /// sink which is absorbed here on completion, so these lifetime
+    /// histograms stay complete regardless of sampling.
     trace: Arc<obs::TraceSink>,
     /// Which solver tier answered each executed query, summed across all
     /// workers for the daemon's lifetime. Served by the `stats` verb.
     tiers: Arc<TierCounters>,
+    /// Retained per-request traces, served by the `trace` verb.
+    ring: Arc<TraceRing>,
+    /// Deterministic per-request sampling policy (fixed at startup).
+    sampling: SamplingPolicy,
+    /// Unified metrics, served by the `metrics` verb.
+    registry: Arc<MetricsRegistry>,
+    /// Admission counter: ids are 1-based, assigned in [`submit_infer`].
+    next_request_id: AtomicU64,
+    started: Instant,
     default_deadline_ms: Option<u64>,
 }
 
@@ -157,15 +189,35 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let started = Instant::now();
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let cache = Arc::new(SolverCache::new());
+        let counters = Arc::new(Counters::default());
+        let latency = Arc::new(ServerLatency::default());
+        let trace = Arc::new(obs::TraceSink::aggregate());
+        let tiers = Arc::new(TierCounters::default());
+        let ring = Arc::new(TraceRing::new(cfg.trace_buffer));
+        let registry = Arc::new(MetricsRegistry::new());
+        register_metrics(
+            &registry, &cache, &tiers, &counters, &latency, &trace, &queue, &ring, started,
+        );
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             conns_done: AtomicBool::new(false),
-            queue: BoundedQueue::new(cfg.queue_capacity),
-            cache: Arc::new(SolverCache::new()),
-            counters: Counters::default(),
-            latency: VerbLatency::default(),
-            trace: Arc::new(obs::TraceSink::aggregate()),
-            tiers: Arc::new(TierCounters::default()),
+            queue,
+            cache,
+            counters,
+            latency,
+            trace,
+            tiers,
+            ring,
+            sampling: SamplingPolicy {
+                sample: cfg.trace_sample,
+                slow_threshold: cfg.slow_trace_ms.map(Duration::from_millis),
+            },
+            registry,
+            next_request_id: AtomicU64::new(0),
+            started,
             default_deadline_ms: cfg.default_deadline_ms,
         });
         let workers = (0..cfg.workers.max(1))
@@ -301,6 +353,16 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                 protocol::write_frame(&mut writer, &resp)?;
                 shared.latency.stats.record(started.elapsed());
             }
+            Ok(Request::Metrics { id }) => {
+                let resp = render_metrics_response(id.as_deref(), shared);
+                protocol::write_frame(&mut writer, &resp)?;
+                shared.latency.metrics.record(started.elapsed());
+            }
+            Ok(Request::Trace { id, select }) => {
+                let resp = render_trace_response(id.as_deref(), &select, shared);
+                protocol::write_frame(&mut writer, &resp)?;
+                shared.latency.trace.record(started.elapsed());
+            }
             Ok(Request::Infer { id, infer }) => {
                 let resp = submit_infer(id, infer, shared);
                 protocol::write_frame(&mut writer, &resp)?;
@@ -326,8 +388,18 @@ fn submit_infer(id: Option<String>, request: InferRequest, shared: &Arc<Shared>)
     }
     let deadline_ms = request.deadline_ms.or(shared.default_deadline_ms);
     let deadline = deadline_ms.map(Deadline::after_ms).unwrap_or_default();
+    // The admission id is assigned before the push so the job carries it;
+    // a rejected (overloaded) request therefore consumes an id too.
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
     let (tx, rx) = mpsc::channel();
-    let job = Job { id: id.clone(), request, deadline, admitted_at: Instant::now(), reply: tx };
+    let job = Job {
+        request_id,
+        id: id.clone(),
+        request,
+        deadline,
+        admitted_at: Instant::now(),
+        reply: tx,
+    };
     if shared.queue.try_push(job).is_err() {
         shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
         return render_error(
@@ -411,6 +483,8 @@ fn render_stats_response(id: Option<&str>, shared: &Shared) -> String {
                 .u64("timed_out", c.timed_out.load(Ordering::Relaxed))
                 .u64("bad_requests", c.bad_requests.load(Ordering::Relaxed))
                 .u64("queue_depth", shared.queue.len() as u64)
+                .u64("queue_capacity", shared.queue.capacity() as u64)
+                .u64("uptime_s", shared.started.elapsed().as_secs())
                 .build(),
         )
         .raw(
@@ -419,8 +493,63 @@ fn render_stats_response(id: Option<&str>, shared: &Shared) -> String {
                 .raw("infer", verb(&shared.latency.infer))
                 .raw("stats", verb(&shared.latency.stats))
                 .raw("ping", verb(&shared.latency.ping))
+                .raw("metrics", verb(&shared.latency.metrics))
+                .raw("trace", verb(&shared.latency.trace))
+                .raw("queue_wait", verb(&shared.latency.queue_wait))
                 .build(),
         )
+        .raw("traces", {
+            let (head, slow, evicted) = shared.ring.counters();
+            ObjBuilder::new()
+                .u64("sample", shared.sampling.sample)
+                .u64("buffered", shared.ring.len() as u64)
+                .u64("retained_head", head)
+                .u64("retained_slow", slow)
+                .u64("evicted", evicted)
+                .build()
+        })
+        .build()
+}
+
+/// Renders the `metrics` verb: the registry's Prometheus text exposition,
+/// carried as a JSON string field so the frame stays a JSON object.
+fn render_metrics_response(id: Option<&str>, shared: &Shared) -> String {
+    crate::json::ObjBuilder::new()
+        .bool("ok", true)
+        .opt_str("id", id)
+        .str("verb", "metrics")
+        .str("content_type", "text/plain; version=0.0.4")
+        .str("text", &shared.registry.render_prometheus())
+        .build()
+}
+
+/// Renders the `trace` verb: retained traces (newest first for `last`),
+/// each with its recorded events inlined as a JSON array.
+fn render_trace_response(id: Option<&str>, select: &TraceSelect, shared: &Shared) -> String {
+    use crate::json::ObjBuilder;
+    let traces = match select {
+        TraceSelect::Last(k) => shared.ring.last(usize::try_from(*k).unwrap_or(usize::MAX)),
+        TraceSelect::ById(rid) => shared.ring.by_request_id(*rid).into_iter().collect(),
+    };
+    let rendered: Vec<String> = traces
+        .iter()
+        .map(|t| {
+            ObjBuilder::new()
+                .u64("request_id", t.request_id)
+                .str("func", &t.func)
+                .str("reason", t.reason.label())
+                .u64("queue_us", t.queue_us)
+                .u64("service_us", t.service_us)
+                .arr("events", t.lines.clone())
+                .build()
+        })
+        .collect();
+    ObjBuilder::new()
+        .bool("ok", true)
+        .opt_str("id", id)
+        .str("verb", "trace")
+        .u64("buffered", shared.ring.len() as u64)
+        .arr("traces", rendered)
         .build()
 }
 
@@ -439,29 +568,243 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             continue;
         };
-        let queue_ms = job.admitted_at.elapsed().as_secs_f64() * 1e3;
-        let trace = Some(Arc::clone(&shared.trace));
-        let response = match service::run_infer(
-            &job.request,
-            &shared.cache,
-            &job.deadline,
-            &trace,
-            &shared.tiers,
-        ) {
+        let dequeued = Instant::now();
+        let queue_wait = dequeued.duration_since(job.admitted_at);
+        shared.latency.queue_wait.record(queue_wait);
+        let queue_ms = queue_wait.as_secs_f64() * 1e3;
+        // Sampled requests (and all requests under a slow threshold) run
+        // on a private recording sink; everyone else shares the aggregate.
+        // Recording is observation-only — the trace-neutrality tests prove
+        // served ψ identical either way.
+        let recording = shared.sampling.record(job.request_id);
+        let sink = if recording {
+            Arc::new(obs::TraceSink::recording())
+        } else {
+            Arc::clone(&shared.trace)
+        };
+        let trace = Some(Arc::clone(&sink));
+        let result =
+            service::run_infer(&job.request, &shared.cache, &job.deadline, &trace, &shared.tiers);
+        let service_time = dequeued.elapsed();
+        let (response, func) = match result {
             Ok(outcome) => {
                 shared.counters.infers_ok.fetch_add(1, Ordering::Relaxed);
                 if outcome.timed_out {
                     shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
                 }
-                service::render_infer_response(job.id.as_deref(), &outcome, queue_ms, &shared.cache)
+                let resp = service::render_infer_response(
+                    job.id.as_deref(),
+                    job.request_id,
+                    &outcome,
+                    queue_ms,
+                    &shared.cache,
+                );
+                (resp, outcome.func)
             }
             Err(e) => {
                 shared.counters.infer_errors.fetch_add(1, Ordering::Relaxed);
-                render_error(job.id.as_deref(), e.code, &e.message)
+                let func = job.request.func.clone().unwrap_or_default();
+                (render_error(job.id.as_deref(), e.code, &e.message), func)
             }
         };
+        if recording {
+            let queue_us = queue_wait.as_micros().min(u64::MAX as u128) as u64;
+            let service_us = service_time.as_micros().min(u64::MAX as u128) as u64;
+            // Trailing request summary so an exported trace is
+            // self-describing (preinfer-trace reads it as the wall clock).
+            sink.event(
+                "run",
+                &[
+                    ("request_id", obs::Val::U(job.request_id)),
+                    ("func", obs::Val::S(&func)),
+                    ("dur_us", obs::Val::U(service_us)),
+                    ("queue_us", obs::Val::U(queue_us)),
+                ],
+            );
+            // Fold the private sink's stage histograms into the daemon
+            // aggregate so `stats`/`metrics` stay complete under sampling.
+            shared.trace.absorb(&sink);
+            if let Some(reason) = shared.sampling.retain(job.request_id, service_time) {
+                shared.ring.push(StoredTrace {
+                    request_id: job.request_id,
+                    func,
+                    reason,
+                    queue_us,
+                    service_us,
+                    lines: sink.lines(),
+                });
+            }
+        }
         // The connection thread may have vanished (client hung up); the
         // work is simply discarded then.
         let _ = job.reply.send(response);
     }
+}
+
+/// Registers every observable the daemon owns into the unified registry.
+/// Closures capture individual `Arc`s (never `Shared`, which owns the
+/// registry) and read their atomics at scrape time — zero hot-path cost.
+#[allow(clippy::too_many_arguments)]
+fn register_metrics(
+    reg: &MetricsRegistry,
+    cache: &Arc<SolverCache>,
+    tiers: &Arc<TierCounters>,
+    counters: &Arc<Counters>,
+    latency: &Arc<ServerLatency>,
+    trace: &Arc<obs::TraceSink>,
+    queue: &Arc<BoundedQueue<Job>>,
+    ring: &Arc<TraceRing>,
+    started: Instant,
+) {
+    reg.gauge("preinfer_uptime_seconds", "Seconds since the daemon started.", &[], move || {
+        started.elapsed().as_secs_f64()
+    });
+    let q = Arc::clone(queue);
+    reg.gauge("preinfer_queue_depth", "Requests waiting for a worker.", &[], move || {
+        q.len() as f64
+    });
+    let q = Arc::clone(queue);
+    reg.gauge("preinfer_queue_capacity", "Admission queue capacity.", &[], move || {
+        q.capacity() as f64
+    });
+
+    let c = Arc::clone(counters);
+    reg.counter("preinfer_connections_total", "Accepted TCP connections.", &[], move || {
+        c.connections.load(Ordering::Relaxed)
+    });
+    let c = Arc::clone(counters);
+    reg.counter("preinfer_requests_total", "Parsed request frames.", &[], move || {
+        c.requests.load(Ordering::Relaxed)
+    });
+    let c = Arc::clone(counters);
+    reg.counter(
+        "preinfer_bad_requests_total",
+        "Malformed or unparseable requests.",
+        &[],
+        move || c.bad_requests.load(Ordering::Relaxed),
+    );
+    const INFER_HELP: &str = "Completed infer requests by result.";
+    let c = Arc::clone(counters);
+    reg.counter("preinfer_infer_results_total", INFER_HELP, &[("result", "ok")], move || {
+        c.infers_ok.load(Ordering::Relaxed)
+    });
+    let c = Arc::clone(counters);
+    reg.counter("preinfer_infer_results_total", INFER_HELP, &[("result", "error")], move || {
+        c.infer_errors.load(Ordering::Relaxed)
+    });
+    let c = Arc::clone(counters);
+    reg.counter(
+        "preinfer_infer_results_total",
+        INFER_HELP,
+        &[("result", "overloaded")],
+        move || c.overloaded.load(Ordering::Relaxed),
+    );
+    let c = Arc::clone(counters);
+    reg.counter(
+        "preinfer_infer_results_total",
+        INFER_HELP,
+        &[("result", "timed_out")],
+        move || c.timed_out.load(Ordering::Relaxed),
+    );
+
+    const LOOKUP_HELP: &str = "Solver cache lookups by result.";
+    let ca = Arc::clone(cache);
+    reg.counter("preinfer_cache_lookups_total", LOOKUP_HELP, &[("result", "hit")], move || {
+        ca.stats().hits
+    });
+    let ca = Arc::clone(cache);
+    reg.counter("preinfer_cache_lookups_total", LOOKUP_HELP, &[("result", "miss")], move || {
+        ca.stats().misses
+    });
+    let ca = Arc::clone(cache);
+    reg.gauge("preinfer_cache_entries", "Entries resident in the solver cache.", &[], move || {
+        ca.stats().entries as f64
+    });
+    let ca = Arc::clone(cache);
+    reg.counter("preinfer_cache_eviction_sweeps_total", "Cache eviction sweeps.", &[], move || {
+        ca.stats().evictions
+    });
+    let ca = Arc::clone(cache);
+    reg.counter("preinfer_cache_evicted_entries_total", "Entries evicted.", &[], move || {
+        ca.stats().evicted_entries
+    });
+
+    const TIER_HELP: &str = "Solver queries answered, by deciding tier.";
+    let t = Arc::clone(tiers);
+    reg.counter(
+        "preinfer_solver_tier_answers_total",
+        TIER_HELP,
+        &[("tier", "syntactic")],
+        move || t.snapshot().answered_by_syntactic,
+    );
+    let t = Arc::clone(tiers);
+    reg.counter(
+        "preinfer_solver_tier_answers_total",
+        TIER_HELP,
+        &[("tier", "interval")],
+        move || t.snapshot().answered_by_interval,
+    );
+    let t = Arc::clone(tiers);
+    reg.counter(
+        "preinfer_solver_tier_answers_total",
+        TIER_HELP,
+        &[("tier", "simplex")],
+        move || t.snapshot().answered_by_simplex,
+    );
+    let t = Arc::clone(tiers);
+    reg.counter("preinfer_solver_escalations_total", "Tier escalations.", &[], move || {
+        t.snapshot().escalations
+    });
+
+    for stage in obs::Stage::ALL {
+        let tr = Arc::clone(trace);
+        reg.histogram(
+            "preinfer_stage_duration_us",
+            "Pipeline stage wall-clock, microseconds.",
+            &[("stage", stage.label())],
+            move || tr.stage_histogram(stage).snapshot(),
+        );
+    }
+    type VerbSelector = fn(&ServerLatency) -> &Histogram;
+    let verbs: [(&str, VerbSelector); 5] = [
+        ("infer", |l| &l.infer),
+        ("stats", |l| &l.stats),
+        ("ping", |l| &l.ping),
+        ("metrics", |l| &l.metrics),
+        ("trace", |l| &l.trace),
+    ];
+    for (verb, sel) in verbs {
+        let l = Arc::clone(latency);
+        reg.histogram(
+            "preinfer_request_duration_us",
+            "Request service latency by verb, microseconds.",
+            &[("verb", verb)],
+            move || sel(&l).snapshot(),
+        );
+    }
+    let l = Arc::clone(latency);
+    reg.histogram(
+        "preinfer_queue_wait_us",
+        "Admission-to-dequeue wait, microseconds.",
+        &[],
+        move || l.queue_wait.snapshot(),
+    );
+
+    const RETAIN_HELP: &str = "Per-request traces retained, by reason.";
+    let r = Arc::clone(ring);
+    reg.counter("preinfer_traces_retained_total", RETAIN_HELP, &[("reason", "head")], move || {
+        r.counters().0
+    });
+    let r = Arc::clone(ring);
+    reg.counter("preinfer_traces_retained_total", RETAIN_HELP, &[("reason", "slow")], move || {
+        r.counters().1
+    });
+    let r = Arc::clone(ring);
+    reg.counter("preinfer_traces_evicted_total", "Traces evicted from the ring.", &[], move || {
+        r.counters().2
+    });
+    let r = Arc::clone(ring);
+    reg.gauge("preinfer_trace_buffer_entries", "Traces currently retained.", &[], move || {
+        r.len() as f64
+    });
 }

@@ -138,9 +138,12 @@ pub fn run_infer(
     })
 }
 
-/// Renders a successful `infer` response frame.
+/// Renders a successful `infer` response frame. `request_id` is the
+/// daemon's monotonic admission id (echoed so clients can later fetch the
+/// request's retained trace with the `trace` verb).
 pub fn render_infer_response(
     id: Option<&str>,
+    request_id: u64,
     out: &InferOutcome,
     queue_ms: f64,
     cache: &SolverCache,
@@ -171,6 +174,7 @@ pub fn render_infer_response(
         .bool("ok", true)
         .opt_str("id", id)
         .str("verb", "infer")
+        .u64("request_id", request_id)
         .str("func", &out.func)
         .u64("tests", out.tests as u64)
         .f64("coverage_percent", out.coverage_percent)
@@ -271,10 +275,11 @@ mod tests {
             &Arc::new(TierCounters::default()),
         )
         .unwrap();
-        let rendered = render_infer_response(Some("id-1"), &out, 0.5, &cache);
+        let rendered = render_infer_response(Some("id-1"), 42, &out, 0.5, &cache);
         let v = crate::json::parse(&rendered).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(v.str_field("verb"), Some("infer"));
+        assert_eq!(v.u64_field("request_id"), Some(42));
         let acls = v.get("acls").unwrap().as_array().unwrap();
         assert_eq!(acls[0].str_field("psi"), Some("x != 0"));
     }

@@ -1,0 +1,234 @@
+//! Per-request trace sampling and retention.
+//!
+//! The daemon assigns every admitted `infer` request a monotonic id and
+//! decides — deterministically, from that id alone — whether the request
+//! runs with its own recording `TraceSink`:
+//!
+//! * **Head sampling**: with `--trace-sample N`, every N-th request
+//!   (ids 1, N+1, 2N+1, …) records. The decision is a modulus on the
+//!   admission counter — no wall clock, no RNG — so the same request
+//!   sequence samples the same ids on every run and under any worker
+//!   count; the sampling determinism tests pin this.
+//! * **Tail capture**: with `--slow-trace-ms T`, *every* request records
+//!   speculatively, and a trace is retained after completion if the
+//!   request's service time exceeded `T` — the only way to have the trace
+//!   of a request you could not know would be slow. Head-sampled requests
+//!   are always retained.
+//!
+//! Retained traces go into a bounded ring ([`TraceRing`]) that evicts the
+//! oldest entry on overflow, and are served by the `trace` verb
+//! (`{last: K}` / `{request_id: N}`, PROTOCOL.md). Recording is
+//! observation-only: the trace-neutrality differential proves served ψ
+//! byte-identical with sampling on or off.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Why a completed trace was retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetainReason {
+    /// The request id was head-sampled (`--trace-sample`).
+    Head,
+    /// Service time exceeded the slow threshold (`--slow-trace-ms`).
+    Slow,
+}
+
+impl RetainReason {
+    pub fn label(self) -> &'static str {
+        match self {
+            RetainReason::Head => "head",
+            RetainReason::Slow => "slow",
+        }
+    }
+}
+
+/// The deterministic sampling policy (immutable after startup).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SamplingPolicy {
+    /// Head-sample 1 in `sample` requests; 0 disables head sampling.
+    pub sample: u64,
+    /// Retain any request slower than this, regardless of head sampling.
+    pub slow_threshold: Option<Duration>,
+}
+
+impl SamplingPolicy {
+    /// Whether any per-request recording is configured at all.
+    pub fn enabled(&self) -> bool {
+        self.sample > 0 || self.slow_threshold.is_some()
+    }
+
+    /// Whether `request_id` (1-based admission counter) is head-sampled.
+    pub fn head_sampled(&self, request_id: u64) -> bool {
+        self.sample > 0 && (request_id - 1).is_multiple_of(self.sample)
+    }
+
+    /// Whether this request must run with a recording sink. Head-sampled
+    /// requests always do; when a slow threshold is set, every request
+    /// does (tail capture needs the trace before knowing it is slow).
+    pub fn record(&self, request_id: u64) -> bool {
+        self.head_sampled(request_id) || self.slow_threshold.is_some()
+    }
+
+    /// The retention decision once the request finished in `service`.
+    pub fn retain(&self, request_id: u64, service: Duration) -> Option<RetainReason> {
+        if self.head_sampled(request_id) {
+            return Some(RetainReason::Head);
+        }
+        match self.slow_threshold {
+            Some(t) if service > t => Some(RetainReason::Slow),
+            _ => None,
+        }
+    }
+}
+
+/// One retained request trace.
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    pub request_id: u64,
+    /// Entry function of the request (empty when it failed to compile).
+    pub func: String,
+    pub reason: RetainReason,
+    /// Queue wait (admission → dequeue), µs.
+    pub queue_us: u64,
+    /// Service time (dequeue → completion), µs.
+    pub service_us: u64,
+    /// The recorded JSON-lines events, in `seq` order.
+    pub lines: Vec<String>,
+}
+
+/// A bounded ring of completed traces: pushing beyond capacity evicts the
+/// oldest. All methods take `&self` (internal mutex); clones out on read
+/// so the lock is never held while rendering a response.
+#[derive(Debug)]
+pub struct TraceRing {
+    entries: Mutex<VecDeque<StoredTrace>>,
+    capacity: usize,
+    retained_head: AtomicU64,
+    retained_slow: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl TraceRing {
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            entries: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            retained_head: AtomicU64::new(0),
+            retained_slow: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Retains one completed trace, evicting the oldest when full.
+    pub fn push(&self, trace: StoredTrace) {
+        match trace.reason {
+            RetainReason::Head => &self.retained_head,
+            RetainReason::Slow => &self.retained_slow,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("trace ring");
+        while entries.len() >= self.capacity {
+            entries.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push_back(trace);
+    }
+
+    /// The `k` most recent traces, newest first.
+    pub fn last(&self, k: usize) -> Vec<StoredTrace> {
+        let entries = self.entries.lock().expect("trace ring");
+        entries.iter().rev().take(k).cloned().collect()
+    }
+
+    /// The trace of one request, if still retained.
+    pub fn by_request_id(&self, request_id: u64) -> Option<StoredTrace> {
+        let entries = self.entries.lock().expect("trace ring");
+        entries.iter().rev().find(|t| t.request_id == request_id).cloned()
+    }
+
+    /// Number of traces currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("trace ring").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(head-sampled, slow-captured, evicted)` lifetime counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.retained_head.load(Ordering::Relaxed),
+            self.retained_slow.load(Ordering::Relaxed),
+            self.evicted.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stored(id: u64, reason: RetainReason) -> StoredTrace {
+        StoredTrace {
+            request_id: id,
+            func: "f".to_string(),
+            reason,
+            queue_us: 1,
+            service_us: 2,
+            lines: vec![format!("{{\"ev\":\"run\",\"request_id\":{id}}}")],
+        }
+    }
+
+    #[test]
+    fn head_sampling_is_a_pure_function_of_the_id() {
+        let p = SamplingPolicy { sample: 4, slow_threshold: None };
+        let sampled: Vec<u64> = (1..=12).filter(|&id| p.head_sampled(id)).collect();
+        assert_eq!(sampled, vec![1, 5, 9]);
+        assert!(p.record(1) && !p.record(2), "only sampled ids record without a slow threshold");
+        let off = SamplingPolicy::default();
+        assert!(!off.enabled());
+        assert!((1..=100).all(|id| !off.record(id)));
+    }
+
+    #[test]
+    fn slow_threshold_records_everything_but_retains_only_slow() {
+        let p = SamplingPolicy { sample: 0, slow_threshold: Some(Duration::from_millis(10)) };
+        assert!(p.enabled());
+        assert!((1..=5).all(|id| p.record(id)), "tail capture must record speculatively");
+        assert_eq!(p.retain(3, Duration::from_millis(5)), None);
+        assert_eq!(p.retain(3, Duration::from_millis(11)), Some(RetainReason::Slow));
+        // Head sampling wins the label when both apply.
+        let both = SamplingPolicy { sample: 2, slow_threshold: Some(Duration::ZERO) };
+        assert_eq!(both.retain(1, Duration::from_millis(9)), Some(RetainReason::Head));
+        assert_eq!(both.retain(2, Duration::from_millis(9)), Some(RetainReason::Slow));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_serves_newest_first() {
+        let ring = TraceRing::new(2);
+        ring.push(stored(1, RetainReason::Head));
+        ring.push(stored(2, RetainReason::Head));
+        ring.push(stored(3, RetainReason::Slow));
+        assert_eq!(ring.len(), 2);
+        let last = ring.last(10);
+        assert_eq!(last.iter().map(|t| t.request_id).collect::<Vec<_>>(), vec![3, 2]);
+        assert!(ring.by_request_id(1).is_none(), "oldest entry was evicted");
+        assert_eq!(ring.by_request_id(3).unwrap().reason, RetainReason::Slow);
+        assert_eq!(ring.counters(), (2, 1, 1));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = TraceRing::new(0);
+        ring.push(stored(1, RetainReason::Head));
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.len(), 1);
+    }
+}

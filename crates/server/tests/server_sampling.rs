@@ -1,0 +1,256 @@
+//! Per-request tracing contract: head sampling is a deterministic
+//! function of the admission order (same ids sampled on every run, under
+//! any worker count), tail capture retains slow requests even with head
+//! sampling off, the retained-trace ring evicts oldest-first, and — the
+//! invariant everything else rides on — sampling never changes a served ψ.
+
+use server::{served_psis, Client, InferRequest, Server, ServerConfig, TraceSelect};
+
+fn infer_req(program: &str, func: &str) -> InferRequest {
+    InferRequest {
+        program: program.to_string(),
+        func: Some(func.to_string()),
+        deadline_ms: None,
+        tests: None,
+        jobs: 1,
+    }
+}
+
+fn motivating_req() -> InferRequest {
+    let m = subjects::motivating::motivating();
+    infer_req(m.source, m.name)
+}
+
+/// Submits `n` sequential requests and returns the head-sampled request
+/// ids the `trace` verb reports, oldest first.
+fn sampled_ids(cfg: ServerConfig, n: usize) -> Vec<u64> {
+    let server = Server::start(cfg).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let mut cl = Client::connect(&addr).expect("connect");
+    for _ in 0..n {
+        let resp = cl.infer(&motivating_req()).expect("infer round-trip");
+        assert!(served_psis(&resp).is_some(), "inference failed");
+    }
+    let resp = cl.trace(TraceSelect::Last(100)).expect("trace round-trip");
+    let mut ids: Vec<u64> = resp
+        .get("traces")
+        .and_then(|t| t.as_array())
+        .expect("trace verb returns a traces array")
+        .iter()
+        .filter(|t| t.str_field("reason") == Some("head"))
+        .map(|t| t.u64_field("request_id").expect("trace carries request_id"))
+        .collect();
+    ids.reverse(); // the verb serves newest first
+    server.handle().shutdown();
+    server.join();
+    ids
+}
+
+#[test]
+fn head_sampling_is_deterministic_across_runs_and_worker_counts() {
+    let cfg = |workers: usize| ServerConfig { workers, trace_sample: 3, ..ServerConfig::default() };
+    // 1-based admission ids, 1-in-3: requests 1, 4, 7, 10.
+    let expect = vec![1, 4, 7, 10];
+    assert_eq!(sampled_ids(cfg(1), 10), expect);
+    // Same sequence on a fresh daemon: the sampled set is a pure function
+    // of arrival order, not of wall clock, RNG, or scheduling.
+    assert_eq!(sampled_ids(cfg(1), 10), expect);
+    // And independent of parallelism (one connection → sequential
+    // admission regardless of the worker count).
+    assert_eq!(sampled_ids(cfg(4), 10), expect);
+}
+
+#[test]
+fn tail_capture_retains_slow_requests_with_head_sampling_off() {
+    let server = Server::start(ServerConfig {
+        trace_sample: 0,
+        slow_trace_ms: Some(0), // every request is "slow": service > 0 ms
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let mut cl = Client::connect(&addr).expect("connect");
+    cl.infer(&motivating_req()).expect("infer round-trip");
+    let resp = cl.trace(TraceSelect::Last(1)).expect("trace round-trip");
+    let traces = resp.get("traces").and_then(|t| t.as_array()).expect("traces array");
+    assert_eq!(traces.len(), 1, "slow request was not retained");
+    let t = &traces[0];
+    assert_eq!(t.str_field("reason"), Some("slow"));
+    assert_eq!(t.u64_field("request_id"), Some(1));
+    assert!(t.u64_field("service_us").unwrap() > 0);
+    let events = t.get("events").and_then(|e| e.as_array()).expect("events array");
+    assert!(!events.is_empty(), "retained trace carries no events");
+    // The trailing `run` summary makes the export self-describing.
+    let run = events
+        .iter()
+        .find(|e| e.str_field("ev") == Some("run"))
+        .expect("retained trace ends with a run event");
+    assert_eq!(run.u64_field("request_id"), Some(1));
+    assert!(run.u64_field("dur_us").is_some() && run.u64_field("queue_us").is_some());
+    server.handle().shutdown();
+    server.join();
+}
+
+#[test]
+fn trace_ring_evicts_oldest_and_serves_by_request_id() {
+    let server = Server::start(ServerConfig {
+        trace_sample: 1, // retain every request
+        trace_buffer: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let mut cl = Client::connect(&addr).expect("connect");
+    for _ in 0..3 {
+        cl.infer(&motivating_req()).expect("infer round-trip");
+    }
+    let resp = cl.trace(TraceSelect::Last(10)).expect("trace round-trip");
+    let ids: Vec<u64> = resp
+        .get("traces")
+        .and_then(|t| t.as_array())
+        .expect("traces array")
+        .iter()
+        .map(|t| t.u64_field("request_id").unwrap())
+        .collect();
+    assert_eq!(ids, vec![3, 2], "ring must hold the newest two, newest first");
+    // The evicted request is gone; a retained one is fetchable by id.
+    let gone = cl.trace(TraceSelect::ById(1)).expect("trace round-trip");
+    assert_eq!(gone.get("traces").and_then(|t| t.as_array()).unwrap().len(), 0);
+    let kept = cl.trace(TraceSelect::ById(3)).expect("trace round-trip");
+    assert_eq!(kept.get("traces").and_then(|t| t.as_array()).unwrap().len(), 1);
+    // `stats` accounts for the retention and the eviction.
+    let stats = cl.stats().expect("stats round-trip");
+    let traces = stats.get("traces").expect("stats carries a traces object");
+    assert_eq!(traces.u64_field("retained_head"), Some(3));
+    assert_eq!(traces.u64_field("evicted"), Some(1));
+    assert_eq!(traces.u64_field("buffered"), Some(2));
+    server.handle().shutdown();
+    server.join();
+}
+
+#[test]
+fn stats_exposes_uptime_queue_capacity_and_queue_wait() {
+    let server = Server::start(ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let mut cl = Client::connect(&addr).expect("connect");
+    let resp = cl.infer(&motivating_req()).expect("infer round-trip");
+    assert_eq!(resp.u64_field("request_id"), Some(1), "infer response echoes the admission id");
+    let stats = cl.stats().expect("stats round-trip");
+    let counters = stats.get("counters").expect("counters object");
+    assert_eq!(counters.u64_field("queue_capacity"), Some(64));
+    assert!(counters.u64_field("uptime_s").is_some(), "counters lacks uptime_s");
+    let wait =
+        stats.get("latency").and_then(|l| l.get("queue_wait")).expect("latency carries queue_wait");
+    assert!(
+        wait.u64_field("count").unwrap() >= 1,
+        "queue_wait histogram recorded nothing after an inference"
+    );
+    server.handle().shutdown();
+    server.join();
+}
+
+#[test]
+fn metrics_verb_serves_prometheus_exposition() {
+    let server = Server::start(ServerConfig { trace_sample: 1, ..ServerConfig::default() })
+        .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let mut cl = Client::connect(&addr).expect("connect");
+    cl.infer(&motivating_req()).expect("infer round-trip");
+    let resp = cl.metrics().expect("metrics round-trip");
+    assert_eq!(resp.str_field("verb"), Some("metrics"));
+    let text = resp.str_field("text").expect("metrics response carries the exposition text");
+
+    // Cache, tier, stage, verb, queue, and trace series are all present.
+    for needle in [
+        "# TYPE preinfer_cache_lookups_total counter",
+        "preinfer_cache_lookups_total{result=\"hit\"}",
+        "preinfer_cache_lookups_total{result=\"miss\"}",
+        "preinfer_solver_tier_answers_total{tier=\"interval\"}",
+        "preinfer_stage_duration_us_bucket{stage=\"prune\",le=\"+Inf\"}",
+        "preinfer_stage_duration_us_count{stage=\"prune\"}",
+        "preinfer_request_duration_us_bucket{verb=\"infer\",le=\"+Inf\"}",
+        "preinfer_queue_wait_us_count",
+        "preinfer_queue_depth",
+        "preinfer_queue_capacity 64",
+        "preinfer_uptime_seconds",
+        "preinfer_infer_results_total{result=\"ok\"} 1",
+        "preinfer_traces_retained_total{reason=\"head\"} 1",
+        "preinfer_trace_buffer_entries 1",
+    ] {
+        assert!(text.contains(needle), "exposition lacks `{needle}`:\n{text}");
+    }
+
+    // Every line matches the text format: comments are HELP/TYPE, samples
+    // end in a parseable value, histogram bucket counts are cumulative.
+    let mut last_bucket: Option<(String, u64)> = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# ") {
+            assert!(
+                rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                "bad comment line: {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("no value: {line}"));
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+            "unparseable sample value: {line}"
+        );
+        if let Some((name, _)) = series.split_once('{') {
+            if name.ends_with("_bucket") {
+                let v: u64 = value.parse().expect("bucket counts are integers");
+                let key = series.split("le=").next().unwrap_or(series).to_string();
+                if let Some((prev_key, prev)) = &last_bucket {
+                    if *prev_key == key {
+                        assert!(v >= *prev, "bucket counts must be cumulative: {line}");
+                    }
+                }
+                last_bucket = Some((key, v));
+                continue;
+            }
+        }
+        last_bucket = None;
+    }
+    server.handle().shutdown();
+    server.join();
+}
+
+/// The tentpole invariant: per-request recording sinks never change a
+/// served answer. Every corpus subject's ψ is byte-identical between a
+/// daemon that samples every request and one that never samples.
+#[test]
+fn sampling_never_changes_a_served_psi_across_the_corpus() {
+    let sampled = Server::start(ServerConfig {
+        trace_sample: 1,
+        slow_trace_ms: Some(0),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let plain = Server::start(ServerConfig::default()).expect("bind loopback");
+    let mut cl_sampled = Client::connect(&sampled.local_addr().to_string()).expect("connect");
+    let mut cl_plain = Client::connect(&plain.local_addr().to_string()).expect("connect");
+
+    let corpus = subjects::all_subjects();
+    assert!(corpus.len() >= 50, "corpus unexpectedly small: {}", corpus.len());
+    for m in &corpus {
+        let req = infer_req(m.source, m.name);
+        let with = served_psis(&cl_sampled.infer(&req).expect("infer (sampled)"))
+            .unwrap_or_else(|| panic!("{}: sampled daemon errored", m.name));
+        let without = served_psis(&cl_plain.infer(&req).expect("infer (plain)"))
+            .unwrap_or_else(|| panic!("{}: plain daemon errored", m.name));
+        assert_eq!(with, without, "{}: sampling changed a served ψ", m.name);
+    }
+    // Sanity: the sampled daemon actually recorded per-request traces.
+    let stats = cl_sampled.stats().expect("stats round-trip");
+    let retained = stats
+        .get("traces")
+        .and_then(|t| t.get("retained_head"))
+        .and_then(|v| v.as_u64())
+        .expect("stats carries traces.retained_head");
+    assert_eq!(retained, corpus.len() as u64, "every request should have been head-sampled");
+
+    sampled.handle().shutdown();
+    sampled.join();
+    plain.handle().shutdown();
+    plain.join();
+}

@@ -65,13 +65,31 @@ assert spans <= run["dur_us"], f"stage spans ({spans} us) exceed wall clock ({ru
 print(f"trace smoke: {len(lines)} events, {len(top)} top-level spans, "
       f"{spans} of {run['dur_us']} us inside top-level stages")
 EOF
-rm -f trace_smoke.ml trace_smoke.jsonl
+
+echo "== trace analysis smoke (preinfer-trace)"
+cargo build --release --bin preinfer-trace --quiet
+./target/release/preinfer-trace trace_smoke.jsonl --folded - > trace_smoke.txt
+# The analyzer's exclusive self-times are disjoint by construction, so
+# their total can never exceed the run's wall clock.
+python3 - <<'EOF'
+import re
+report = open("trace_smoke.txt").read()
+m = re.search(r"exclusive total ([\d.]+) ms over a ([\d.]+) ms wall clock", report)
+assert m, f"preinfer-trace printed no exclusive-total line:\n{report}"
+excl, wall = float(m.group(1)), float(m.group(2))
+assert excl <= wall, f"exclusive total {excl} ms exceeds wall clock {wall} ms"
+folded = [l for l in report.splitlines() if re.fullmatch(r"[\w;]+ \d+", l)]
+assert folded, f"preinfer-trace emitted no folded stacks:\n{report}"
+print(f"trace analysis smoke: exclusive {excl} ms <= wall {wall} ms, "
+      f"{len(folded)} folded stacks")
+EOF
+rm -f trace_smoke.ml trace_smoke.jsonl trace_smoke.txt
 
 echo "== server smoke (preinferd + preinfer-client)"
 cargo build --release -p server --quiet
-./target/release/preinferd --addr 127.0.0.1:0 >server_smoke.out 2>&1 &
+./target/release/preinferd --addr 127.0.0.1:0 --trace-sample 2 >server_smoke.out 2>&1 &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f server_smoke.out' EXIT
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f server_smoke.out server_metrics.txt server_trace.jsonl' EXIT
 # Wait for the bound-port announcement (port 0 → OS-assigned).
 ADDR=""
 for _ in $(seq 1 100); do
@@ -85,10 +103,38 @@ done
 for SUBJECT in guarded_div reverse_words binary_search; do
     ./target/release/preinfer-client --addr "$ADDR" corpus "$SUBJECT" --check-offline
 done
+# The metrics verb must serve well-formed Prometheus text exposition.
+./target/release/preinfer-client --addr "$ADDR" metrics > server_metrics.txt
+python3 - <<'EOF'
+lines = open("server_metrics.txt").read().splitlines()
+assert lines, "empty metrics exposition"
+names = set()
+for line in lines:
+    if line.startswith("# "):
+        kind, name = line[2:].split(" ", 2)[:2]
+        assert kind in ("HELP", "TYPE"), f"bad comment line: {line}"
+        names.add(name)
+        continue
+    series, value = line.rsplit(" ", 1)
+    assert value == "+Inf" or float(value) >= 0, f"bad sample value: {line}"
+    base = series.split("{")[0]
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = base.removesuffix(suffix)
+    assert base in names, f"sample without HELP/TYPE metadata: {line}"
+for needle in ("preinfer_infer_results_total{result=\"ok\"} 3",
+               "preinfer_queue_capacity 64",
+               "preinfer_traces_retained_total{reason=\"head\"} 2"):
+    assert any(l == needle for l in lines), f"exposition lacks `{needle}`"
+print(f"metrics smoke: {len(lines)} exposition lines, {len(names)} metric families")
+EOF
+# A head-sampled trace must round-trip through the analyzer.
+./target/release/preinfer-client --addr "$ADDR" trace --last 1 > server_trace.jsonl
+./target/release/preinfer-trace server_trace.jsonl | grep -q "exclusive total" \
+    || { echo "preinfer-trace could not analyze a served trace"; exit 1; }
 # SIGTERM must drain and exit 0.
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "preinferd exited non-zero after SIGTERM"; exit 1; }
 trap - EXIT
-rm -f server_smoke.out
+rm -f server_smoke.out server_metrics.txt server_trace.jsonl
 
 echo "== OK"

@@ -312,13 +312,24 @@ fn finish_trace(
         }
         Err(e) => eprintln!("preinfer: cannot create {path}: {e}"),
     }
-    println!("stage breakdown:");
+    // Exclusive self-time per stage via the same span-tree reconstruction
+    // `preinfer-trace` uses (inclusive totals alone double-count nested
+    // work: a `prune` span contains every solver call fired inside it).
+    let lines = sink.lines();
+    let analysis = preinfer::obs::TraceAnalysis::from_lines(lines.iter().map(String::as_str)).ok();
+    let exclusive = |label: &str| {
+        analysis
+            .as_ref()
+            .and_then(|a| a.stage_totals().into_iter().find(|t| t.stage == label))
+            .map(|t| t.exclusive_us)
+    };
+    println!("stage breakdown (excl = self-time, nested work subtracted):");
     for (stage, snap) in sink.stages() {
         if snap.count == 0 {
             continue;
         }
         println!(
-            "  {:>14}: {:>6} × mean {} µs (p50 {} / p90 {} / p99 {}), total {:.3}s",
+            "  {:>14}: {:>6} × mean {} µs (p50 {} / p90 {} / p99 {}), total {:.3}s, excl {:.3}s",
             stage.label(),
             snap.count,
             snap.mean_us,
@@ -326,6 +337,7 @@ fn finish_trace(
             snap.p90_us,
             snap.p99_us,
             snap.total_us as f64 / 1e6,
+            exclusive(stage.label()).unwrap_or(snap.total_us) as f64 / 1e6,
         );
     }
 }

@@ -1,0 +1,177 @@
+//! `preinfer-trace` — offline analysis of a recorded JSON-lines trace.
+//!
+//! ```text
+//! preinfer-trace FILE|- [--top K] [--folded FILE]
+//! ```
+//!
+//! Reads a trace produced by `preinfer --trace-out` or served by
+//! `preinferd`'s `trace` verb (`preinfer-client trace --last 1 |
+//! preinfer-trace -`), reconstructs the span tree from the parent links,
+//! and reports where the time actually went:
+//!
+//! * per-stage totals with **exclusive self-time** (a span's duration
+//!   minus its direct children and its own solver calls) next to the
+//!   inclusive time the histograms report,
+//! * the **critical path** — heaviest root span, descending into the
+//!   heaviest child at each level,
+//! * the **top-k slowest solver calls** (tier, cache lookup, predicate
+//!   count), `--top K` (default 5),
+//! * `--folded FILE` writes folded stacks (`stage;stage exclusive_us`)
+//!   for standard flamegraph tooling (`-` for stdout).
+
+use preinfer::obs::TraceAnalysis;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: preinfer-trace FILE|- [--top K] [--folded FILE]\n\
+         \n\
+         Analyzes a JSON-lines trace (from `preinfer --trace-out` or\n\
+         `preinfer-client trace`): per-stage exclusive self-time, the\n\
+         critical path, the --top K slowest solver calls (default 5), and\n\
+         optionally folded stacks for flamegraphs (--folded FILE, `-` for\n\
+         stdout)."
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    input: String,
+    top: usize,
+    folded: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options { input: String::new(), top: 5, folded: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--top" => {
+                opts.top = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--folded" => opts.folded = args.next().or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            other if opts.input.is_empty() && (other == "-" || !other.starts_with('-')) => {
+                opts.input = other.to_string()
+            }
+            _ => usage(),
+        }
+    }
+    if opts.input.is_empty() {
+        usage();
+    }
+    opts
+}
+
+fn read_input(path: &str) -> std::io::Result<String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf)?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path)
+    }
+}
+
+fn ms(us: u64) -> f64 {
+    us as f64 / 1e3
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let text = match read_input(&opts.input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("preinfer-trace: cannot read {}: {e}", opts.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let a = match TraceAnalysis::from_lines(text.lines()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("preinfer-trace: {}: {e}", opts.input);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(run) = &a.run {
+        println!("run: func={} wall={:.3} ms", run.func, ms(run.dur_us));
+    }
+    println!(
+        "{} event line(s) ({} skipped), {} span(s), {} solver call(s)",
+        a.lines,
+        a.skipped,
+        a.spans.len(),
+        a.solver_calls.len()
+    );
+
+    let totals = a.stage_totals();
+    let excl_total = a.exclusive_total_us();
+    println!("\nstage breakdown (exclusive = self-time, nested work subtracted):");
+    println!("  {:>14} {:>7} {:>14} {:>14} {:>6}", "stage", "count", "inclusive", "exclusive", "%");
+    for t in &totals {
+        let pct =
+            if excl_total > 0 { 100.0 * t.exclusive_us as f64 / excl_total as f64 } else { 0.0 };
+        println!(
+            "  {:>14} {:>7} {:>11.3} ms {:>11.3} ms {:>5.1}%",
+            t.stage,
+            t.count,
+            ms(t.inclusive_us),
+            ms(t.exclusive_us),
+            pct
+        );
+    }
+    println!(
+        "  exclusive total {:.3} ms over a {:.3} ms wall clock",
+        ms(excl_total),
+        ms(a.wall_us())
+    );
+
+    let path = a.critical_path();
+    if !path.is_empty() {
+        println!("\ncritical path (heaviest child at each level):");
+        for (depth, step) in path.iter().enumerate() {
+            println!(
+                "  {:indent$}{} ({:.3} ms, span {})",
+                "",
+                step.stage,
+                ms(step.dur_us),
+                step.id,
+                indent = depth * 2
+            );
+        }
+    }
+
+    let top = a.top_solver_calls(opts.top);
+    if !top.is_empty() {
+        println!("\ntop {} slowest solver call(s):", top.len());
+        for c in &top {
+            println!(
+                "  {:>9.3} ms  tier={:<10} lookup={:<6} preds={:<4} verdict={}",
+                ms(c.dur_us),
+                c.tier,
+                c.lookup,
+                c.preds,
+                c.verdict
+            );
+        }
+    }
+
+    if let Some(out) = &opts.folded {
+        let folded = a.folded_stacks();
+        let mut text = String::new();
+        for (stack, us) in &folded {
+            text.push_str(&format!("{stack} {us}\n"));
+        }
+        if out == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(out, &text) {
+            eprintln!("preinfer-trace: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        } else {
+            println!("\nwrote {} folded stack(s) to {out}", folded.len());
+        }
+    }
+    ExitCode::SUCCESS
+}
