@@ -19,6 +19,10 @@ use testgen::{generate_tests, TestGenConfig};
 
 const REPS: usize = 3;
 
+/// Reps for the incremental-vs-scratch case, which gates on a ratio of two
+/// sub-100ms wall clocks and so needs more samples than the tier timings.
+const INCREMENTAL_REPS: usize = 8;
+
 struct CaseResult {
     name: String,
     serial_uncached_ns: u128,
@@ -146,6 +150,107 @@ fn run_solver_tiers_case() -> SolverTiersResult {
         tiered_ms: tiered_ns as f64 / 1e6,
         simplex_only_ms: simplex_ns as f64 / 1e6,
         tiers,
+    }
+}
+
+/// The incremental-solving comparison: warm [`IncrementalSession`]s vs
+/// from-scratch [`solve_preds_with`] on the *solver workload itself* —
+/// Algorithm 1's implied-check sweeps replayed from the corpus's real
+/// failing paths.
+struct SolverIncrementalResult {
+    incremental_ms: f64,
+    scratch_ms: f64,
+    sweeps: usize,
+    queries: usize,
+}
+
+/// One failing path's implied-check sweep: for entries `e_0 … e_{n-1}`,
+/// the queries `e_0 ∧ … ∧ e_{j-1} ∧ ¬e_j` for `j = n-1` down to `0` —
+/// exactly the per-path query sequence the pruning loop issues.
+struct PathSweep {
+    sig: solver::FuncSig,
+    queries: Vec<Vec<symbolic::pred::Pred>>,
+}
+
+/// Times the incremental session against the scratch entry point on the
+/// corpus's deep failing-path sweeps (paths with at least six entries —
+/// the prefix-sharing regime the session exists for; shallower paths
+/// measure session setup, not sharing). The pipeline around the solver
+/// (interpreter, test generation) is identical in both modes, so this
+/// case replays the solver calls alone: the warm arm pays session
+/// creation, diffing, pushes *and* solves; the scratch arm pays
+/// canonicalization and building per query. Reps are interleaved (warm,
+/// scratch, warm, scratch, …) so machine-level drift hits both arms the
+/// same way; the minimum per arm is kept, and extra reps because the
+/// gate consumes a ratio of two small numbers.
+fn run_solver_incremental_case() -> SolverIncrementalResult {
+    const MIN_PATH_DEPTH: usize = 6;
+    let mut sweeps: Vec<PathSweep> = Vec::new();
+    for m in subjects::all_subjects() {
+        let tp = m.compile();
+        let sig = solver::FuncSig::of(m.func(&tp));
+        let suite = generate_tests(&tp, m.name, &TestGenConfig::default());
+        for run in suite.runs.iter().filter(|r| r.failed()) {
+            let entries = &run.path.entries;
+            if entries.len() < MIN_PATH_DEPTH {
+                continue;
+            }
+            let queries = (0..entries.len())
+                .rev()
+                .map(|j| {
+                    let mut preds: Vec<symbolic::pred::Pred> =
+                        entries[..j].iter().map(|e| e.pred.clone()).collect();
+                    preds.push(entries[j].pred.negated());
+                    preds
+                })
+                .collect();
+            sweeps.push(PathSweep { sig: sig.clone(), queries });
+        }
+    }
+    let queries: usize = sweeps.iter().map(|s| s.queries.len()).sum();
+    assert!(queries > 0, "incremental bench found no deep failing-path sweeps");
+
+    let cfg = solver::SolverConfig::default();
+    let warm = || -> u128 {
+        let start = Instant::now();
+        for sw in &sweeps {
+            let mut session = solver::IncrementalSession::new(&sw.sig, &cfg, None);
+            for q in &sw.queries {
+                let _ = session.solve_preds(q);
+            }
+        }
+        start.elapsed().as_nanos()
+    };
+    let scratch = || -> u128 {
+        let start = Instant::now();
+        for sw in &sweeps {
+            for q in &sw.queries {
+                let _ = solver::solve_preds_with(q, &sw.sig, &cfg, None);
+            }
+        }
+        start.elapsed().as_nanos()
+    };
+    // Warm-up pass doubling as an equivalence spot check (the dedicated
+    // differential suite is the real guarantee; this catches a broken
+    // build before it pollutes the timing).
+    for sw in &sweeps {
+        let mut session = solver::IncrementalSession::new(&sw.sig, &cfg, None);
+        for q in &sw.queries {
+            let (w, _) = session.solve_preds(q);
+            let (s, _) = solver::solve_preds_with(q, &sw.sig, &cfg, None);
+            assert_eq!(w, s, "incremental/scratch divergence in bench workload");
+        }
+    }
+    let (mut incremental_ns, mut scratch_ns) = (u128::MAX, u128::MAX);
+    for _ in 0..INCREMENTAL_REPS {
+        incremental_ns = incremental_ns.min(warm());
+        scratch_ns = scratch_ns.min(scratch());
+    }
+    SolverIncrementalResult {
+        incremental_ms: incremental_ns as f64 / 1e6,
+        scratch_ms: scratch_ns as f64 / 1e6,
+        sweeps: sweeps.len(),
+        queries,
     }
 }
 
@@ -342,6 +447,23 @@ fn main() {
     tiers_json.push_str("}\n");
     std::fs::write("BENCH_solver_tiers.json", &tiers_json).expect("write BENCH_solver_tiers.json");
 
+    let si = run_solver_incremental_case();
+    let mut inc_json = String::from("{\n");
+    let _ = writeln!(inc_json, "  \"case\": \"corpus_failing_paths::algorithm1_sweeps\",");
+    let _ = writeln!(inc_json, "  \"reps\": {INCREMENTAL_REPS},");
+    let _ = writeln!(inc_json, "  \"sweeps\": {},", si.sweeps);
+    let _ = writeln!(inc_json, "  \"queries\": {},", si.queries);
+    let _ = writeln!(inc_json, "  \"incremental_ms\": {:.3},", si.incremental_ms);
+    let _ = writeln!(inc_json, "  \"scratch_ms\": {:.3},", si.scratch_ms);
+    let _ = writeln!(
+        inc_json,
+        "  \"incremental_vs_scratch_ratio\": {:.4}",
+        si.incremental_ms / si.scratch_ms
+    );
+    inc_json.push_str("}\n");
+    std::fs::write("BENCH_solver_incremental.json", &inc_json)
+        .expect("write BENCH_solver_incremental.json");
+
     println!("perf smoke: {jobs} thread(s), best of {REPS} reps per configuration");
     for r in &results {
         println!(
@@ -372,5 +494,16 @@ fn main() {
         t.escalations,
         100.0 * t.tier1_rate(),
     );
-    println!("wrote BENCH_solver_cache.json and BENCH_solver_tiers.json");
+    println!(
+        "  solver incremental: warm sessions {:.2} ms vs scratch {:.2} ms ({:.3}x) \
+         over {} Algorithm-1 sweeps / {} queries",
+        si.incremental_ms,
+        si.scratch_ms,
+        si.incremental_ms / si.scratch_ms,
+        si.sweeps,
+        si.queries,
+    );
+    println!(
+        "wrote BENCH_solver_cache.json, BENCH_solver_tiers.json and BENCH_solver_incremental.json"
+    );
 }

@@ -227,6 +227,36 @@ impl TraceSink {
         }
     }
 
+    /// [`TraceSink::solver_call`] for calls answered through an incremental
+    /// (warm prefix-sharing) solver session: the event additionally carries
+    /// `reused_depth`, the number of stacked predicates the session reused
+    /// from its previous query. Analyzers that predate the field ignore it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solver_call_reused(
+        &self,
+        preds: usize,
+        verdict: &'static str,
+        lookup: &'static str,
+        tier: &'static str,
+        reused_depth: u64,
+        dur: Duration,
+    ) {
+        self.stages[Stage::Solver.index()].record(dur);
+        if self.record {
+            self.event(
+                "solver_call",
+                &[
+                    ("preds", Val::U(preds as u64)),
+                    ("verdict", Val::S(verdict)),
+                    ("lookup", Val::S(lookup)),
+                    ("tier", Val::S(tier)),
+                    ("reused_depth", Val::U(reused_depth)),
+                    ("dur_us", Val::U(dur.as_micros().min(u64::MAX as u128) as u64)),
+                ],
+            );
+        }
+    }
+
     /// The latency histogram for one stage.
     pub fn stage_histogram(&self, stage: Stage) -> &Histogram {
         &self.stages[stage.index()]

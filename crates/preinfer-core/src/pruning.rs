@@ -17,7 +17,10 @@
 
 use concolic::{run_concolic, ConcolicConfig};
 use minilang::{CheckId, MethodEntryState, TypedProgram};
-use solver::{solve_preds_with, CacheLookup, FuncSig, SolveResult, SolverCache, SolverConfig};
+use solver::{
+    solve_preds_with, CacheLookup, FuncSig, IncrementalSession, SolveResult, SolverCache,
+    SolverConfig,
+};
 use std::sync::Arc;
 use symbolic::eval::{eval_pred, Env};
 use symbolic::{canon_pred, EntryKind, PathCondition, PathEntry, Pred};
@@ -207,12 +210,13 @@ fn prune_one(
     // Witnesses manufactured while pruning *this* path. Kept private so the
     // reduction is a function of (path, base pool) alone.
     let mut local_pool: Vec<PathCondition> = Vec::new();
-    let solve = |preds: &[Pred], stats: &mut PruneStats| -> SolveResult {
-        let (result, lookup) =
-            solve_preds_with(preds, sig, &cfg.solver, cfg.solver_cache.as_deref());
-        stats.count_lookup(lookup);
-        result
-    };
+    // All solver queries below conjoin prefixes of this one path, so under
+    // `cfg.solver.incremental` they share a single warm session; answers are
+    // byte-identical to per-call scratch solves.
+    let mut session = cfg
+        .solver
+        .incremental
+        .then(|| IncrementalSession::new(sig, &cfg.solver, cfg.solver_cache.clone()));
     // One `prune_decision` event per examined predicate when recording.
     let decision = |kind: &'static str, j: usize| {
         if let Some(sink) = obs::recording_sink(&cfg.trace) {
@@ -260,7 +264,7 @@ fn prune_one(
         if cfg.dynamic_witnesses && stats.dynamic_runs < cfg.max_dynamic_runs {
             let mut preds: Vec<Pred> = path.entries[..j].iter().map(|e| e.pred.clone()).collect();
             preds.push(path.entries[j].pred.negated());
-            if solve(&preds, stats) == SolveResult::Unsat {
+            if session_solve(&preds, sig, cfg, &mut session, stats) == SolveResult::Unsat {
                 kept[j] = false;
                 if std::env::var_os("PREINFER_DEBUG").is_some() {
                     eprintln!("  IMPLIED-REMOVED [{j}] {}", path.entries[j].pred);
@@ -281,7 +285,8 @@ fn prune_one(
                 && cfg.dynamic_witnesses
                 && stats.dynamic_runs < cfg.max_dynamic_runs
             {
-                if let Some(newly) = manufacture(program, func_name, sig, acl, path, j, cfg, stats)
+                if let Some(newly) =
+                    manufacture(program, func_name, sig, acl, path, j, cfg, &mut session, stats)
                 {
                     let reaches = newly.reaches_check(acl);
                     local_pool.push(newly);
@@ -351,7 +356,7 @@ fn prune_one(
                 .map(|(_, e)| e.pred.clone())
                 .collect();
             preds.push(path.entries[j].pred.negated());
-            let verdict = match solve(&preds, stats) {
+            let verdict = match session_solve(&preds, sig, cfg, &mut session, stats) {
                 SolveResult::Unsat => Removal::Lossless,
                 SolveResult::Unknown => Removal::Rejected,
                 SolveResult::Sat(model) => {
@@ -396,6 +401,25 @@ fn prune_one(
     // other removals may lean on them as logical support, so no post-hoc
     // relevance filtering is applied.
     path.entries.iter().enumerate().filter(|(j, _)| kept[*j]).map(|(_, e)| e.clone()).collect()
+}
+
+/// One pruning solver call: through the path's warm [`IncrementalSession`]
+/// when one is open, through the scratch entry point otherwise. The two
+/// routes return identical verdicts and models (see `solver::incremental`);
+/// cache-lookup accounting lands in `stats` either way.
+fn session_solve(
+    preds: &[Pred],
+    sig: &FuncSig,
+    cfg: &PruneConfig,
+    session: &mut Option<IncrementalSession>,
+    stats: &mut PruneStats,
+) -> SolveResult {
+    let (result, lookup) = match session {
+        Some(s) => s.solve_preds(preds),
+        None => solve_preds_with(preds, sig, &cfg.solver, cfg.solver_cache.as_deref()),
+    };
+    stats.count_lookup(lookup);
+    result
 }
 
 /// Verdict of the removal-verification step.
@@ -445,6 +469,7 @@ fn manufacture(
     path: &PathCondition,
     j: usize,
     cfg: &PruneConfig,
+    session: &mut Option<IncrementalSession>,
     stats: &mut PruneStats,
 ) -> Option<PathCondition> {
     let prefix_neg = |with_suffix: bool| -> Vec<Pred> {
@@ -458,13 +483,7 @@ fn manufacture(
     let mut last = None;
     for with_suffix in [true, false] {
         stats.dynamic_runs += 1;
-        let (solved, lookup) = solve_preds_with(
-            &prefix_neg(with_suffix),
-            sig,
-            &cfg.solver,
-            cfg.solver_cache.as_deref(),
-        );
-        stats.count_lookup(lookup);
+        let solved = session_solve(&prefix_neg(with_suffix), sig, cfg, session, stats);
         if let SolveResult::Sat(model) = solved {
             let out = run_concolic(program, func_name, &model, &cfg.concolic);
             let reaches = out.path.reaches_check(acl);

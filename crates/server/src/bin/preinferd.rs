@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! preinferd [--addr HOST:PORT] [--workers N] [--queue N]
-//!           [--default-deadline-ms N] [--trace-sample N]
-//!           [--slow-trace-ms N] [--trace-buffer K]
+//!           [--default-deadline-ms N] [--incremental on|off]
+//!           [--trace-sample N] [--slow-trace-ms N] [--trace-buffer K]
 //! ```
 //!
 //! Prints `listening on HOST:PORT` once bound (scripts parse this to learn
@@ -42,12 +42,17 @@ fn install_signal_handlers() {
 fn usage() -> ! {
     eprintln!(
         "usage: preinferd [--addr HOST:PORT] [--workers N] [--queue N]\n\
-         \x20                [--default-deadline-ms N] [--trace-sample N]\n\
-         \x20                [--slow-trace-ms N] [--trace-buffer K]\n\
+         \x20                [--default-deadline-ms N] [--incremental on|off]\n\
+         \x20                [--trace-sample N] [--slow-trace-ms N]\n\
+         \x20                [--trace-buffer K]\n\
          \n\
          Serves the PreInfer pipeline over the length-prefixed JSON protocol\n\
          (see PROTOCOL.md). Defaults: --addr 127.0.0.1:0 (prints the bound\n\
          port), --workers = cores, --queue 64. SIGTERM drains and exits 0.\n\
+         \n\
+         --incremental on|off (default on) solves prefix-sharing queries\n\
+         through warm push/pop solver sessions; served results are\n\
+         byte-identical either way — this is a speed knob.\n\
          \n\
          Tracing: --trace-sample N head-samples every N-th request\n\
          (deterministic, 0 = off); --slow-trace-ms T also retains any\n\
@@ -80,6 +85,13 @@ fn parse_args() -> ServerConfig {
             "--default-deadline-ms" => {
                 cfg.default_deadline_ms =
                     Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--incremental" => {
+                cfg.incremental = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
             }
             "--trace-sample" => {
                 cfg.trace_sample =

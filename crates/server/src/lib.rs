@@ -28,5 +28,5 @@ pub use obs::Histogram;
 pub use protocol::{ErrorCode, InferRequest, Request, TraceSelect, MAX_FRAME_LEN};
 pub use queue::BoundedQueue;
 pub use server::{Server, ServerConfig, ServerHandle, ServerLatency};
-pub use service::{run_infer, InferOutcome};
+pub use service::{run_infer, IncrementalPolicy, InferOutcome};
 pub use trace::{RetainReason, SamplingPolicy, StoredTrace, TraceRing};

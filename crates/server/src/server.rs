@@ -34,9 +34,10 @@ use crate::protocol::{
 };
 use crate::queue::BoundedQueue;
 use crate::service;
+use crate::service::IncrementalPolicy;
 use crate::trace::{SamplingPolicy, StoredTrace, TraceRing};
 use obs::{Histogram, MetricsRegistry};
-use solver::{Deadline, SolverCache, TierCounters};
+use solver::{Deadline, IncrementalCounters, SolverCache, TierCounters};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -70,6 +71,9 @@ pub struct ServerConfig {
     pub slow_trace_ms: Option<u64>,
     /// Capacity of the retained-trace ring served by the `trace` verb.
     pub trace_buffer: usize,
+    /// Solve prefix-sharing queries through warm incremental sessions
+    /// (`--incremental`). Speed only — served ψ is identical either way.
+    pub incremental: bool,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +86,7 @@ impl Default for ServerConfig {
             trace_sample: 0,
             slow_trace_ms: None,
             trace_buffer: 64,
+            incremental: true,
         }
     }
 }
@@ -146,6 +151,9 @@ struct Shared {
     tiers: Arc<TierCounters>,
     /// Retained per-request traces, served by the `trace` verb.
     ring: Arc<TraceRing>,
+    /// Incremental-session policy + counters shared by every worker.
+    /// Served by the `stats` verb and the metrics registry.
+    incremental: IncrementalPolicy,
     /// Deterministic per-request sampling policy (fixed at startup).
     sampling: SamplingPolicy,
     /// Unified metrics, served by the `metrics` verb.
@@ -197,9 +205,22 @@ impl Server {
         let trace = Arc::new(obs::TraceSink::aggregate());
         let tiers = Arc::new(TierCounters::default());
         let ring = Arc::new(TraceRing::new(cfg.trace_buffer));
+        let incremental = IncrementalPolicy {
+            enabled: cfg.incremental,
+            stats: Arc::new(IncrementalCounters::default()),
+        };
         let registry = Arc::new(MetricsRegistry::new());
         register_metrics(
-            &registry, &cache, &tiers, &counters, &latency, &trace, &queue, &ring, started,
+            &registry,
+            &cache,
+            &tiers,
+            &counters,
+            &latency,
+            &trace,
+            &queue,
+            &ring,
+            &incremental.stats,
+            started,
         );
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
@@ -211,6 +232,7 @@ impl Server {
             trace,
             tiers,
             ring,
+            incremental,
             sampling: SamplingPolicy {
                 sample: cfg.trace_sample,
                 slow_threshold: cfg.slow_trace_ms.map(Duration::from_millis),
@@ -455,6 +477,18 @@ fn render_stats_response(id: Option<&str>, shared: &Shared) -> String {
                 .f64("tier1_rate", t.tier1_rate())
                 .build()
         })
+        .raw("solver_incremental", {
+            let i = shared.incremental.stats.snapshot();
+            ObjBuilder::new()
+                .bool("enabled", shared.incremental.enabled)
+                .u64("sessions", i.sessions)
+                .u64("queries", i.queries)
+                .u64("pushes", i.pushes)
+                .u64("pops", i.pops)
+                .u64("reused_depth_sum", i.reused_depth_sum)
+                .f64("avg_reused_depth", i.avg_reused_depth())
+                .build()
+        })
         .raw("stages", {
             let mut b = ObjBuilder::new();
             for (stage, snap) in shared.trace.stages() {
@@ -583,8 +617,14 @@ fn worker_loop(shared: &Arc<Shared>) {
             Arc::clone(&shared.trace)
         };
         let trace = Some(Arc::clone(&sink));
-        let result =
-            service::run_infer(&job.request, &shared.cache, &job.deadline, &trace, &shared.tiers);
+        let result = service::run_infer(
+            &job.request,
+            &shared.cache,
+            &job.deadline,
+            &trace,
+            &shared.tiers,
+            &shared.incremental,
+        );
         let service_time = dequeued.elapsed();
         let (response, func) = match result {
             Ok(outcome) => {
@@ -654,6 +694,7 @@ fn register_metrics(
     trace: &Arc<obs::TraceSink>,
     queue: &Arc<BoundedQueue<Job>>,
     ring: &Arc<TraceRing>,
+    incremental: &Arc<IncrementalCounters>,
     started: Instant,
 ) {
     reg.gauge("preinfer_uptime_seconds", "Seconds since the daemon started.", &[], move || {
@@ -755,6 +796,42 @@ fn register_metrics(
     reg.counter("preinfer_solver_escalations_total", "Tier escalations.", &[], move || {
         t.snapshot().escalations
     });
+
+    let i = Arc::clone(incremental);
+    reg.counter(
+        "preinfer_solver_incremental_sessions_total",
+        "Warm incremental solver sessions opened.",
+        &[],
+        move || i.snapshot().sessions,
+    );
+    let i = Arc::clone(incremental);
+    reg.counter(
+        "preinfer_solver_incremental_queries_total",
+        "Solver queries answered through an incremental session.",
+        &[],
+        move || i.snapshot().queries,
+    );
+    let i = Arc::clone(incremental);
+    reg.counter(
+        "preinfer_solver_incremental_pushes_total",
+        "Predicates pushed onto incremental session stacks.",
+        &[],
+        move || i.snapshot().pushes,
+    );
+    let i = Arc::clone(incremental);
+    reg.counter(
+        "preinfer_solver_incremental_pops_total",
+        "Incremental session stack rewinds.",
+        &[],
+        move || i.snapshot().pops,
+    );
+    let i = Arc::clone(incremental);
+    reg.counter(
+        "preinfer_solver_incremental_reused_depth_total",
+        "Stacked predicates reused across incremental queries (sum).",
+        &[],
+        move || i.snapshot().reused_depth_sum,
+    );
 
     for stage in obs::Stage::ALL {
         let tr = Arc::clone(trace);

@@ -11,10 +11,27 @@
 use crate::json::ObjBuilder;
 use crate::protocol::{ErrorCode, InferRequest};
 use preinfer_core::PreInferConfig;
-use solver::{Deadline, SolverCache, TierCounters};
+use solver::{Deadline, IncrementalCounters, SolverCache, TierCounters};
 use std::sync::Arc;
 use std::time::Instant;
 use testgen::{generate_tests, TestGenConfig};
+
+/// Daemon-wide incremental-solving policy, threaded into every request's
+/// solver configs: whether prefix-sharing call sites open warm sessions
+/// (`--incremental`), and the shared counters they report into (served by
+/// `stats` and the `preinfer_solver_incremental_*` metrics family).
+/// Observation + speed only — served ψ is byte-identical either way.
+#[derive(Debug, Clone)]
+pub struct IncrementalPolicy {
+    pub enabled: bool,
+    pub stats: Arc<IncrementalCounters>,
+}
+
+impl Default for IncrementalPolicy {
+    fn default() -> Self {
+        IncrementalPolicy { enabled: true, stats: Arc::new(IncrementalCounters::default()) }
+    }
+}
 
 /// One inferred ACL in an `infer` response.
 #[derive(Debug, Clone)]
@@ -66,6 +83,7 @@ pub fn run_infer(
     deadline: &Deadline,
     trace: &Option<Arc<obs::TraceSink>>,
     tiers: &Arc<TierCounters>,
+    incremental: &IncrementalPolicy,
 ) -> Result<InferOutcome, ServiceError> {
     let start = Instant::now();
     let program = minilang::compile(&req.program)
@@ -99,6 +117,8 @@ pub fn run_infer(
     tg.solver.deadline = deadline.clone();
     tg.solver.trace = trace.clone();
     tg.solver.tiers = tiers.clone();
+    tg.solver.incremental = incremental.enabled;
+    tg.solver.incremental_stats = incremental.stats.clone();
     tg.trace = trace.clone();
     let suite = generate_tests(&program, &func_name, &tg);
     let func = program.func(&func_name).expect("checked above");
@@ -109,6 +129,8 @@ pub fn run_infer(
     cfg.prune.solver.deadline = deadline.clone();
     cfg.prune.solver.trace = trace.clone();
     cfg.prune.solver.tiers = tiers.clone();
+    cfg.prune.solver.incremental = incremental.enabled;
+    cfg.prune.solver.incremental_stats = incremental.stats.clone();
     cfg.prune.trace = trace.clone();
     cfg.prune.jobs = req.jobs;
     let inferred =
@@ -212,12 +234,14 @@ mod tests {
     fn infers_the_guarded_div_shape() {
         let cache = Arc::new(SolverCache::new());
         let tiers = Arc::new(TierCounters::default());
+        let inc = IncrementalPolicy::default();
         let out = run_infer(
             &req("fn f(x int) -> int { return 10 / x; }"),
             &cache,
             &Deadline::none(),
             &None,
             &tiers,
+            &inc,
         )
         .unwrap();
         assert_eq!(out.func, "f");
@@ -226,13 +250,24 @@ mod tests {
         assert_eq!(out.acls[0].psi, "x != 0");
         assert!(cache.stats().misses > 0, "inference went through the shared cache");
         assert!(tiers.snapshot().total() > 0, "tier attribution flowed through the service");
+        let snap = inc.stats.snapshot();
+        assert!(snap.sessions > 0, "incremental sessions flowed through the service");
+        assert!(snap.queries > 0, "session queries were counted");
     }
 
     #[test]
     fn compile_errors_are_typed() {
         let cache = Arc::new(SolverCache::new());
         let tiers = Arc::new(TierCounters::default());
-        let err = run_infer(&req("fn f( {"), &cache, &Deadline::none(), &None, &tiers).unwrap_err();
+        let err = run_infer(
+            &req("fn f( {"),
+            &cache,
+            &Deadline::none(),
+            &None,
+            &tiers,
+            &IncrementalPolicy::default(),
+        )
+        .unwrap_err();
         assert_eq!(err.code, ErrorCode::CompileError);
         let err = run_infer(
             &InferRequest {
@@ -243,6 +278,7 @@ mod tests {
             &Deadline::none(),
             &None,
             &tiers,
+            &IncrementalPolicy::default(),
         )
         .unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
@@ -259,6 +295,7 @@ mod tests {
             &deadline,
             &None,
             &Arc::new(TierCounters::default()),
+            &IncrementalPolicy::default(),
         )
         .unwrap();
         assert!(out.timed_out, "deadline was already expired at admission");
@@ -273,6 +310,7 @@ mod tests {
             &Deadline::none(),
             &None,
             &Arc::new(TierCounters::default()),
+            &IncrementalPolicy::default(),
         )
         .unwrap();
         let rendered = render_infer_response(Some("id-1"), 42, &out, 0.5, &cache);

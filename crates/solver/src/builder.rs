@@ -13,11 +13,27 @@
 //!    points, truncated `/`/`%` into sign cases — explored by DFS.
 //! 4. **Model construction** — via [`crate::model::build_model`], shared
 //!    with the interval tier.
+//!
+//! # Incrementality and order independence
+//!
+//! The builder supports push/pop reuse (see [`crate::incremental`]): a
+//! *trailed* builder logs every map mutation so [`Builder::undo_to`] can
+//! restore any earlier [`BuilderMark`] exactly. Because an incremental
+//! session feeds predicates in *path order* while the scratch path feeds
+//! them in *canonical (sorted) order*, the solve itself must not observe
+//! insertion order. [`Builder::solve_current`] therefore normalizes before
+//! searching: hard rows and choice atoms are sorted, and column indices are
+//! assigned by the sorted monomial order rather than first-registration
+//! order. The accumulated *sets* (columns, null/bool decisions) and
+//! *multisets* (hard rows, choices) are functions of the set of canonical
+//! conjuncts alone, so after normalization a warm solve and a scratch solve
+//! of the same conjunction run the identical search and return byte-identical
+//! verdicts and models.
 
 use crate::intsolve::{solve_int, Budget, IntProblem, IntResult};
 use crate::model::build_model;
 use crate::theory::{FuncSig, SolveResult, SolverConfig};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use symbolic::linform::{lin_of_term, CanonPred, LinExpr, Monomial};
 use symbolic::term::{Place, SymVar, Term};
 
@@ -29,27 +45,46 @@ pub(crate) fn solve_via_simplex(
     sig: &FuncSig,
     cfg: &SolverConfig,
 ) -> SolveResult {
-    let mut builder = Builder::new(sig, cfg);
+    let mut builder = Builder::new(false);
     for p in preds {
         if builder.add_canon(p.clone()).is_err() {
             return SolveResult::Unsat;
         }
     }
-    builder.solve()
+    builder.solve_current(sig, cfg)
 }
 
 /// Marker for early unsatisfiability during constraint building.
 #[derive(Debug)]
-struct UnsatErr;
+pub(crate) struct UnsatErr;
 
 /// One alternative of a choice: a set of extra `expr ≤ 0` rows.
 type Alternative = Vec<LinExpr>;
 
-struct Builder<'a> {
-    sig: &'a FuncSig,
-    cfg: &'a SolverConfig,
-    /// Monomial → integer-variable column.
-    columns: BTreeMap<Monomial, usize>,
+/// One undoable map mutation. Vector growth (hard rows, choices, div/rem
+/// groups) is undone by truncation and needs no per-op record.
+enum TrailOp {
+    /// A monomial column was inserted (it was not present before).
+    Column(Monomial),
+    /// `nulls` was written; the payload is the previous value.
+    Null(Place, Option<bool>),
+    /// `bools` was written; the payload is the previous value.
+    Bool(String, Option<bool>),
+}
+
+/// A restorable point in a trailed builder's mutation history.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BuilderMark {
+    trail: usize,
+    hard: usize,
+    choices: usize,
+    divrem: usize,
+}
+
+pub(crate) struct Builder {
+    /// Monomial columns. Solve-time indices come from the sorted order of
+    /// this set, never from registration order.
+    columns: BTreeSet<Monomial>,
     /// Hard rows: `expr ≤ 0`.
     hard: Vec<LinExpr>,
     /// Choice atoms: pick exactly one alternative each.
@@ -60,30 +95,111 @@ struct Builder<'a> {
     bools: BTreeMap<String, bool>,
     /// Div/Rem groups already expanded.
     divrem_done: Vec<(LinExpr, i64)>,
+    /// Mutation log for [`Builder::undo_to`]; `None` in scratch builders.
+    trail: Option<Vec<TrailOp>>,
 }
 
-impl<'a> Builder<'a> {
-    fn new(sig: &'a FuncSig, cfg: &'a SolverConfig) -> Self {
+impl Builder {
+    pub(crate) fn new(trailed: bool) -> Self {
         Builder {
-            sig,
-            cfg,
-            columns: BTreeMap::new(),
+            columns: BTreeSet::new(),
             hard: Vec::new(),
             choices: Vec::new(),
             nulls: BTreeMap::new(),
             bools: BTreeMap::new(),
             divrem_done: Vec::new(),
+            trail: trailed.then(Vec::new),
         }
     }
 
-    fn add_canon(&mut self, p: CanonPred) -> Result<(), UnsatErr> {
+    /// A restore point covering every structure `add_canon` can touch.
+    pub(crate) fn mark(&self) -> BuilderMark {
+        BuilderMark {
+            trail: self.trail.as_ref().map_or(0, Vec::len),
+            hard: self.hard.len(),
+            choices: self.choices.len(),
+            divrem: self.divrem_done.len(),
+        }
+    }
+
+    /// Rewinds to `mark`, undoing map mutations in reverse order and
+    /// truncating the append-only vectors. Restores the exact state at the
+    /// time of [`Builder::mark`] — including after a failed `add_canon`,
+    /// whose partial mutations are on the trail like any others.
+    pub(crate) fn undo_to(&mut self, mark: &BuilderMark) {
+        self.hard.truncate(mark.hard);
+        self.choices.truncate(mark.choices);
+        self.divrem_done.truncate(mark.divrem);
+        let mut trail = self.trail.take();
+        if let Some(ops) = trail.as_mut() {
+            while ops.len() > mark.trail {
+                match ops.pop().expect("trail length checked") {
+                    TrailOp::Column(m) => {
+                        self.columns.remove(&m);
+                    }
+                    TrailOp::Null(place, prev) => match prev {
+                        Some(v) => {
+                            self.nulls.insert(place, v);
+                        }
+                        None => {
+                            self.nulls.remove(&place);
+                        }
+                    },
+                    TrailOp::Bool(name, prev) => match prev {
+                        Some(v) => {
+                            self.bools.insert(name, v);
+                        }
+                        None => {
+                            self.bools.remove(&name);
+                        }
+                    },
+                }
+            }
+        }
+        self.trail = trail;
+    }
+
+    /// Inserts a column, logging it when new. Returns whether it was new.
+    fn insert_column(&mut self, m: &Monomial) -> bool {
+        if self.columns.insert(m.clone()) {
+            if let Some(t) = &mut self.trail {
+                t.push(TrailOp::Column(m.clone()));
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a nullness decision; a conflicting earlier decision is UNSAT.
+    fn set_null(&mut self, place: Place, value: bool) -> Result<(), UnsatErr> {
+        let prev = self.nulls.insert(place.clone(), value);
+        if let Some(t) = &mut self.trail {
+            t.push(TrailOp::Null(place, prev));
+        }
+        match prev {
+            Some(p) if p != value => Err(UnsatErr),
+            _ => Ok(()),
+        }
+    }
+
+    /// Records a boolean decision; a conflicting earlier decision is UNSAT.
+    fn set_bool(&mut self, name: String, value: bool) -> Result<(), UnsatErr> {
+        let prev = self.bools.insert(name.clone(), value);
+        if let Some(t) = &mut self.trail {
+            t.push(TrailOp::Bool(name, prev));
+        }
+        match prev {
+            Some(p) if p != value => Err(UnsatErr),
+            _ => Ok(()),
+        }
+    }
+
+    pub(crate) fn add_canon(&mut self, p: CanonPred) -> Result<(), UnsatErr> {
         match p {
             CanonPred::Const(true) => Ok(()),
             CanonPred::Const(false) => Err(UnsatErr),
-            CanonPred::Bool { name, positive } => match self.bools.insert(name.clone(), positive) {
-                Some(prev) if prev != positive => Err(UnsatErr),
-                _ => Ok(()),
-            },
+            CanonPred::Bool { name, positive } => self.set_bool(name, positive),
             CanonPred::Null { place, positive } => self.decide_null(place, positive),
             CanonPred::Le(e) => {
                 self.register_expr(&e)?;
@@ -138,18 +254,13 @@ impl<'a> Builder<'a> {
             self.deref_place(base)?;
             self.bound_index(base, ix)?;
         }
-        match self.nulls.insert(place, is_null) {
-            Some(prev) if prev != is_null => Err(UnsatErr),
-            _ => Ok(()),
-        }
+        self.set_null(place, is_null)
     }
 
     /// Marks a place as dereferenced: itself non-null, bases recursively
     /// non-null, and indices within bounds.
     fn deref_place(&mut self, place: &Place) -> Result<(), UnsatErr> {
-        if self.nulls.insert(place.clone(), false) == Some(true) {
-            return Err(UnsatErr);
-        }
+        self.set_null(place.clone(), false)?;
         if let Place::Elem(base, ix) = place {
             self.deref_place(base)?;
             self.bound_index(base, ix)?;
@@ -174,9 +285,7 @@ impl<'a> Builder<'a> {
     fn len_expr(&mut self, place: &Place) -> Result<LinExpr, UnsatErr> {
         let var = SymVar::Len(place.clone());
         let mono = Monomial::Var(var);
-        if !self.columns.contains_key(&mono) {
-            let idx = self.columns.len();
-            self.columns.insert(mono.clone(), idx);
+        if self.insert_column(&mono) {
             let mut e = LinExpr::zero();
             // -len <= 0
             e = e.sub(&mono_expr(&mono));
@@ -197,11 +306,9 @@ impl<'a> Builder<'a> {
     }
 
     fn register_mono(&mut self, m: &Monomial) -> Result<(), UnsatErr> {
-        if self.columns.contains_key(m) {
+        if !self.insert_column(m) {
             return Ok(());
         }
-        let idx = self.columns.len();
-        self.columns.insert(m.clone(), idx);
         match m {
             Monomial::Var(v) => self.register_var_wf(v)?,
             Monomial::Div(inner, k) | Monomial::Rem(inner, k) => {
@@ -248,10 +355,7 @@ impl<'a> Builder<'a> {
         let r = Monomial::Rem(Box::new(inner.clone()), k);
         // Ensure both columns exist (without re-expanding).
         for m in [&q, &r] {
-            if !self.columns.contains_key(m) {
-                let idx = self.columns.len();
-                self.columns.insert(m.clone(), idx);
-            }
+            self.insert_column(m);
         }
         let qe = mono_expr(&q);
         let re = mono_expr(&r);
@@ -278,19 +382,24 @@ impl<'a> Builder<'a> {
 
     // ---- search ----------------------------------------------------------
 
-    fn solve(mut self) -> SolveResult {
+    /// Solves the accumulated constraints without consuming the builder.
+    ///
+    /// Normalizes first (see module docs): column indices follow the sorted
+    /// monomial order and hard rows / choice atoms are sorted, so the search
+    /// depends only on the *set* of canonical conjuncts added, never on the
+    /// order they arrived in. A fresh budget is drawn per call.
+    pub(crate) fn solve_current(&self, sig: &FuncSig, cfg: &SolverConfig) -> SolveResult {
         // Consistency of the null map against the signature: only nullable
         // parameters may appear as places.
         for (place, _) in self.nulls.iter() {
-            if self.sig.ty_of(place.root()).is_none() {
+            if sig.ty_of(place.root()).is_none() {
                 return SolveResult::Unknown;
             }
         }
-        let mut budget = Budget::new(self.cfg.budget_nodes);
-        let choices = std::mem::take(&mut self.choices);
+        let norm = Norm::of(self);
+        let mut budget = Budget::new(cfg.budget_nodes);
         let mut picked: Vec<usize> = Vec::new();
-        let r = self.dfs(&choices, &mut picked, &mut budget);
-        match r {
+        match self.dfs(&norm, &mut picked, &mut budget, sig, cfg) {
             DfsResult::Sat(model) => model,
             DfsResult::Unsat => SolveResult::Unsat,
             DfsResult::Unknown => SolveResult::Unknown,
@@ -298,19 +407,21 @@ impl<'a> Builder<'a> {
     }
 
     fn dfs(
-        &mut self,
-        choices: &[Vec<Alternative>],
+        &self,
+        norm: &Norm<'_>,
         picked: &mut Vec<usize>,
         budget: &mut Budget,
+        sig: &FuncSig,
+        cfg: &SolverConfig,
     ) -> DfsResult {
-        if picked.len() == choices.len() {
-            return self.solve_leaf(choices, picked, budget);
+        if picked.len() == norm.choices.len() {
+            return self.solve_leaf(norm, picked, budget, sig, cfg);
         }
         let level = picked.len();
         let mut saw_unknown = false;
-        for alt in 0..choices[level].len() {
+        for alt in 0..norm.choices[level].len() {
             picked.push(alt);
-            match self.dfs(choices, picked, budget) {
+            match self.dfs(norm, picked, budget, sig, cfg) {
                 DfsResult::Sat(m) => {
                     picked.pop();
                     return DfsResult::Sat(m);
@@ -328,41 +439,64 @@ impl<'a> Builder<'a> {
     }
 
     fn solve_leaf(
-        &mut self,
-        choices: &[Vec<Alternative>],
+        &self,
+        norm: &Norm<'_>,
         picked: &[usize],
         budget: &mut Budget,
+        sig: &FuncSig,
+        cfg: &SolverConfig,
     ) -> DfsResult {
-        let n = self.columns.len();
+        let n = norm.rank.len();
         let mut problem = IntProblem::new(n);
         let add_expr = |p: &mut IntProblem, e: &LinExpr| {
             let mut row = vec![0i64; n];
             for (m, c) in e.terms() {
-                let idx = self.columns[m];
+                let idx = norm.rank[m];
                 row[idx] += c;
             }
             p.le(row, -e.constant_part());
         };
-        for e in &self.hard {
+        for e in &norm.hard {
             add_expr(&mut problem, e);
         }
         for (level, &alt) in picked.iter().enumerate() {
-            for e in &choices[level][alt] {
+            for e in &norm.choices[level][alt] {
                 add_expr(&mut problem, e);
             }
         }
-        match solve_int(&problem, budget) {
+        let solved = solve_int(&problem, budget);
+        match solved {
             IntResult::Unsat => DfsResult::Unsat,
             IntResult::Unknown => DfsResult::Unknown,
             IntResult::Sat(values) => {
                 let assign: HashMap<Monomial, i64> =
-                    self.columns.iter().map(|(m, &i)| (m.clone(), values[i])).collect();
-                match build_model(self.sig, &assign, &self.nulls, &self.bools, self.cfg) {
+                    norm.rank.iter().map(|(&m, &i)| (m.clone(), values[i])).collect();
+                match build_model(sig, &assign, &self.nulls, &self.bools, cfg) {
                     Some(state) => DfsResult::Sat(SolveResult::Sat(state)),
                     None => DfsResult::Unknown,
                 }
             }
         }
+    }
+}
+
+/// The order-normalized view one solve runs against.
+struct Norm<'a> {
+    /// Monomial → column, assigned by sorted monomial order.
+    rank: BTreeMap<&'a Monomial, usize>,
+    hard: Vec<LinExpr>,
+    choices: Vec<Vec<Alternative>>,
+}
+
+impl<'a> Norm<'a> {
+    fn of(b: &'a Builder) -> Norm<'a> {
+        let rank: BTreeMap<&Monomial, usize> =
+            b.columns.iter().enumerate().map(|(i, m)| (m, i)).collect();
+        let mut hard = b.hard.clone();
+        hard.sort_unstable();
+        let mut choices = b.choices.clone();
+        choices.sort_unstable();
+        Norm { rank, hard, choices }
     }
 }
 

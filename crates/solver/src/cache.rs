@@ -154,25 +154,47 @@ impl SolverCache {
     /// the lookup hit, and the tier that answered (stored with the entry,
     /// so hits report the tier of the original solve).
     pub fn solve(&self, q: &CanonQuery, cfg: &SolverConfig) -> (SolveResult, CacheLookup, Tier) {
-        let shard = self.shard(q.key());
-        if let Some(e) = shard.lock().expect("cache shard").map.get_mut(q.key()) {
-            e.referenced = true;
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (e.result.clone(), CacheLookup::Hit, e.tier);
+        if let Some((result, tier)) = self.lookup(q.key()) {
+            return (result, CacheLookup::Hit, tier);
         }
         // Solve outside the lock: queries can be slow, and two threads
         // racing on the same key compute the same value anyway.
-        let (result, tier) = q.solve(cfg);
+        let (result, tier, store_ok) = q.solve_gated(cfg);
+        if store_ok {
+            self.store(q.key(), &result, tier);
+        }
+        (result, CacheLookup::Miss, tier)
+    }
+
+    /// Bare lookup half of [`SolverCache::solve`], for callers (the
+    /// incremental session) that produce the verdict themselves on a miss.
+    /// Counts a hit or a miss; a miss is expected to be followed by
+    /// [`SolverCache::store`] unless the verdict is not memoizable.
+    pub(crate) fn lookup(&self, key: &CacheKey) -> Option<(SolveResult, Tier)> {
+        let shard = self.shard(key);
+        if let Some(e) = shard.lock().expect("cache shard").map.get_mut(key) {
+            e.referenced = true;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some((e.result.clone(), e.tier));
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Bare insert half of [`SolverCache::solve`]: evicts the cold half of
+    /// a full shard, then inserts. The value must be the pure canonical
+    /// verdict of `key` — the same one [`SolverCache::solve`] would have
+    /// computed and stored.
+    pub(crate) fn store(&self, key: &CacheKey, result: &SolveResult, tier: Tier) {
+        let shard = self.shard(key);
         let mut guard = shard.lock().expect("cache shard");
-        if guard.map.len() >= self.per_shard_capacity && !guard.map.contains_key(q.key()) {
+        if guard.map.len() >= self.per_shard_capacity && !guard.map.contains_key(key) {
             self.evict_cold_half(&mut guard);
         }
         let entry = Entry { result: result.clone(), tier, referenced: false };
-        if guard.map.insert(q.key().clone(), entry).is_none() {
-            guard.order.push_back(q.key().clone());
+        if guard.map.insert(key.clone(), entry).is_none() {
+            guard.order.push_back(key.clone());
         }
-        (result, CacheLookup::Miss, tier)
     }
 
     /// Second-chance eviction: walk the shard's insertion queue, re-queuing

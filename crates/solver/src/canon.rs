@@ -50,36 +50,90 @@ pub struct CanonQuery {
     back: Vec<(String, String)>,
 }
 
-impl CanonQuery {
-    /// Canonicalizes a query: α-rename to positional placeholders, apply
-    /// [`canon_pred`], sort, de-duplicate, and drop trivial truths.
-    pub fn build(preds: &[Pred], sig: &FuncSig, cfg: &SolverConfig) -> CanonQuery {
-        let mut rename: HashMap<&str, String> = HashMap::new();
+/// The α-renaming of one signature to positional placeholders, shared by
+/// [`CanonQuery::build`] and the incremental session (which canonicalizes
+/// one predicate at a time against a long-lived renaming).
+#[derive(Debug, Clone)]
+pub(crate) struct Renaming {
+    /// Caller name → placeholder name.
+    pub(crate) map: HashMap<String, String>,
+    /// `(caller name, placeholder name)` pairs in signature order.
+    pub(crate) back: Vec<(String, String)>,
+    /// Parameter types in signature order.
+    pub(crate) tys: Vec<Ty>,
+    /// The placeholder-named signature canonical queries are solved under.
+    pub(crate) canon_sig: FuncSig,
+}
+
+impl Renaming {
+    pub(crate) fn of(sig: &FuncSig) -> Renaming {
+        let mut map = HashMap::new();
         let mut back = Vec::new();
         let mut tys = Vec::new();
         for (i, (name, ty)) in sig.params().enumerate() {
             let placeholder = format!("%{i}");
-            rename.insert(name, placeholder.clone());
+            map.insert(name.to_string(), placeholder.clone());
             back.push((name.to_string(), placeholder));
             tys.push(ty);
         }
-        let mut canon: Vec<CanonPred> =
-            preds.iter().map(|p| canon_pred(&rename_pred(p, &rename))).collect();
+        let canon_sig =
+            FuncSig::from_pairs(back.iter().map(|(_, ph)| ph.clone()).zip(tys.iter().copied()));
+        Renaming { map, back, tys, canon_sig }
+    }
+
+    /// Canonicalizes one predicate under this renaming.
+    pub(crate) fn canon_one(&self, p: &Pred) -> CanonPred {
+        canon_pred(&rename_pred(p, &self.map))
+    }
+}
+
+/// Assembles the cache key for an already-canonical (renamed, sorted,
+/// de-duplicated, truth-free) conjunction.
+pub(crate) fn cache_key(preds: Vec<CanonPred>, tys: Vec<Ty>, cfg: &SolverConfig) -> CacheKey {
+    CacheKey {
+        preds,
+        tys,
+        budget_nodes: cfg.budget_nodes,
+        max_model_len: cfg.max_model_len,
+        backend: cfg.backend,
+    }
+}
+
+/// Translates a canonical verdict back through a `(caller, placeholder)`
+/// mapping. Returns `Unknown` if the canonical model is missing a
+/// placeholder (defensive — `build_model` always assigns every parameter).
+pub(crate) fn uncanonicalize_with(
+    back: &[(String, String)],
+    canonical: SolveResult,
+) -> SolveResult {
+    match canonical {
+        SolveResult::Sat(canon_state) => {
+            let mut state = MethodEntryState::new();
+            for (caller, placeholder) in back {
+                match canon_state.get(placeholder) {
+                    Some(v) => state.set(caller.clone(), v.clone()),
+                    None => return SolveResult::Unknown,
+                }
+            }
+            SolveResult::Sat(state)
+        }
+        other => other,
+    }
+}
+
+impl CanonQuery {
+    /// Canonicalizes a query: α-rename to positional placeholders, apply
+    /// [`canon_pred`], sort, de-duplicate, and drop trivial truths.
+    pub fn build(preds: &[Pred], sig: &FuncSig, cfg: &SolverConfig) -> CanonQuery {
+        let renaming = Renaming::of(sig);
+        let mut canon: Vec<CanonPred> = preds.iter().map(|p| renaming.canon_one(p)).collect();
         canon.sort();
         canon.dedup();
         canon.retain(|p| *p != CanonPred::Const(true));
-        let canon_sig =
-            FuncSig::from_pairs(back.iter().map(|(_, ph)| ph.clone()).zip(tys.iter().copied()));
         CanonQuery {
-            key: CacheKey {
-                preds: canon,
-                tys,
-                budget_nodes: cfg.budget_nodes,
-                max_model_len: cfg.max_model_len,
-                backend: cfg.backend,
-            },
-            canon_sig,
-            back,
+            key: cache_key(canon, renaming.tys, cfg),
+            canon_sig: renaming.canon_sig,
+            back: renaming.back,
         }
     }
 
@@ -101,6 +155,15 @@ impl CanonQuery {
     /// Solves the canonical query directly (no cache), reporting the tier
     /// that answered.
     pub fn solve(&self, cfg: &SolverConfig) -> (SolveResult, Tier) {
+        let (result, tier, _store_ok) = self.solve_gated(cfg);
+        (result, tier)
+    }
+
+    /// [`CanonQuery::solve`], additionally reporting whether the verdict is
+    /// a pure function of the key and may be memoized (`false` exactly when
+    /// the cheap-tier deadline reserve suppressed an escalation — see
+    /// [`crate::theory::solve_canonical`]).
+    pub(crate) fn solve_gated(&self, cfg: &SolverConfig) -> (SolveResult, Tier, bool) {
         crate::theory::solve_canonical(&self.key.preds, &self.canon_sig, cfg)
     }
 
@@ -108,29 +171,17 @@ impl CanonQuery {
     /// Returns `Unknown` if the canonical model is missing a placeholder
     /// (defensive — `build_model` always assigns every parameter).
     pub fn uncanonicalize(&self, canonical: SolveResult) -> SolveResult {
-        match canonical {
-            SolveResult::Sat(canon_state) => {
-                let mut state = MethodEntryState::new();
-                for (caller, placeholder) in &self.back {
-                    match canon_state.get(placeholder) {
-                        Some(v) => state.set(caller.clone(), v.clone()),
-                        None => return SolveResult::Unknown,
-                    }
-                }
-                SolveResult::Sat(state)
-            }
-            other => other,
-        }
+        uncanonicalize_with(&self.back, canonical)
     }
 }
 
 // ---- α-renaming -------------------------------------------------------------
 
-fn rename_str(name: &str, map: &HashMap<&str, String>) -> String {
+fn rename_str(name: &str, map: &HashMap<String, String>) -> String {
     map.get(name).cloned().unwrap_or_else(|| name.to_string())
 }
 
-fn rename_place(p: &Place, map: &HashMap<&str, String>) -> Place {
+fn rename_place(p: &Place, map: &HashMap<String, String>) -> Place {
     match p {
         Place::Param(name) => Place::Param(rename_str(name, map)),
         Place::Elem(base, ix) => {
@@ -139,7 +190,7 @@ fn rename_place(p: &Place, map: &HashMap<&str, String>) -> Place {
     }
 }
 
-fn rename_symvar(v: &SymVar, map: &HashMap<&str, String>) -> SymVar {
+fn rename_symvar(v: &SymVar, map: &HashMap<String, String>) -> SymVar {
     match v {
         SymVar::Int(name) => SymVar::Int(rename_str(name, map)),
         SymVar::Len(p) => SymVar::Len(rename_place(p, map)),
@@ -150,7 +201,7 @@ fn rename_symvar(v: &SymVar, map: &HashMap<&str, String>) -> SymVar {
     }
 }
 
-fn rename_term(t: &Term, map: &HashMap<&str, String>) -> Term {
+fn rename_term(t: &Term, map: &HashMap<String, String>) -> Term {
     match t {
         Term::Const(v) => Term::Const(*v),
         Term::Var(v) => Term::Var(rename_symvar(v, map)),
@@ -163,7 +214,7 @@ fn rename_term(t: &Term, map: &HashMap<&str, String>) -> Term {
     }
 }
 
-fn rename_pred(p: &Pred, map: &HashMap<&str, String>) -> Pred {
+fn rename_pred(p: &Pred, map: &HashMap<String, String>) -> Pred {
     match p {
         Pred::Cmp(op, a, b) => Pred::Cmp(*op, rename_term(a, map), rename_term(b, map)),
         Pred::Null { place, positive } => {

@@ -1,0 +1,487 @@
+//! Incremental prefix-sharing solving: one warm constraint stack per
+//! group of queries that share a prefix.
+//!
+//! Algorithm 1 of the paper (and the branch-flipping test generator) issue
+//! solver calls over *prefixes of the same path condition*: `prefix ∧ ¬φ_j`
+//! for one `j` after another. The scratch path re-canonicalizes and
+//! re-builds the whole prefix for every call — Θ(n²) predicate
+//! canonicalizations per path. An [`IncrementalSession`] instead keeps the
+//! stack alive between calls: predicates are *pushed* once (canonicalized
+//! once, applied to a warm [`Builder`] once) and *popped* back to any
+//! prefix mark by rewinding a mutation trail, so each query pays only for
+//! the predicates that changed.
+//!
+//! # Equivalence contract
+//!
+//! A session must be observationally identical to the scratch path — same
+//! verdicts, same models, same cache entries, same tier attribution:
+//!
+//! - **Order independence.** The warm builder receives predicates in push
+//!   order while the scratch builder receives them in canonical (sorted)
+//!   order; [`Builder::solve_current`] normalizes before searching, so both
+//!   run the identical search (see `builder.rs` module docs).
+//! - **Deduplication.** The session maintains the multiset of canonical
+//!   conjuncts; the builder sees each distinct conjunct exactly once (on
+//!   the push that takes its refcount to one), matching the scratch path's
+//!   sort + dedup. The sorted, duplicate-free view is also what the
+//!   interval tier scans and what the cache key is assembled from — the
+//!   same [`CacheKey`] the scratch path computes.
+//! - **Cache interplay.** Hits bypass the warm builder entirely; misses
+//!   solve warm and store the same pure canonical verdict the scratch path
+//!   would have stored.
+//! - **Laziness.** Builder application is deferred until a query actually
+//!   escalates to the simplex tier, so sessions whose queries are all
+//!   answered by the cache or the cheap tiers never build anything.
+//! - **Poisoning.** If applying a pushed conjunct is immediately UNSAT
+//!   (conflicting bool/null decisions), the builder is rewound to just
+//!   before the offending frame and the session marks the frame poisoned:
+//!   every deeper query is UNSAT (its conjunct set contains the conflict),
+//!   which is exactly what the scratch build would conclude. Popping the
+//!   frame clears the poison.
+
+use crate::backend::{BackendAnswer, BackendKind, TheoryBackend, Tier};
+use crate::builder::{Builder, BuilderMark};
+use crate::cache::{CacheLookup, SolverCache};
+use crate::canon::{cache_key, uncanonicalize_with, Renaming};
+use crate::interval::IntervalBackend;
+use crate::theory::{simplex_starved, FuncSig, SolveResult, SolverConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use symbolic::eval::{eval_pred, Env};
+use symbolic::linform::CanonPred;
+use symbolic::pred::Pred;
+
+/// Shared counters describing incremental-session activity. Observation
+/// only — never part of any cache key and never consulted by the solve
+/// path. Install one `Arc` in every [`SolverConfig`] that should report
+/// into the same numbers (the CLI footer, the daemon's
+/// `preinfer_solver_incremental_*` metrics family).
+#[derive(Debug, Default)]
+pub struct IncrementalCounters {
+    sessions: AtomicU64,
+    queries: AtomicU64,
+    pushes: AtomicU64,
+    pops: AtomicU64,
+    reused_depth: AtomicU64,
+}
+
+impl IncrementalCounters {
+    fn count_session(&self) {
+        self.sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_query(&self, reused_depth: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.reused_depth.fetch_add(reused_depth, Ordering::Relaxed);
+    }
+
+    fn count_push(&self) {
+        self.pushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_pop(&self) {
+        self.pops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn snapshot(&self) -> IncrementalSnapshot {
+        IncrementalSnapshot {
+            sessions: self.sessions.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            pushes: self.pushes.load(Ordering::Relaxed),
+            pops: self.pops.load(Ordering::Relaxed),
+            reused_depth_sum: self.reused_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.sessions.store(0, Ordering::Relaxed);
+        self.queries.store(0, Ordering::Relaxed);
+        self.pushes.store(0, Ordering::Relaxed);
+        self.pops.store(0, Ordering::Relaxed);
+        self.reused_depth.store(0, Ordering::Relaxed);
+    }
+}
+
+/// [`IncrementalCounters`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalSnapshot {
+    /// Sessions opened.
+    pub sessions: u64,
+    /// Queries answered through a session.
+    pub queries: u64,
+    /// Predicates pushed.
+    pub pushes: u64,
+    /// `pop_to` calls that actually rewound the stack.
+    pub pops: u64,
+    /// Total stacked predicates reused across queries (each query reuses
+    /// the frames that survived since the previous query in its session).
+    pub reused_depth_sum: u64,
+}
+
+impl IncrementalSnapshot {
+    /// Mean number of stacked predicates reused per query.
+    pub fn avg_reused_depth(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.reused_depth_sum as f64 / self.queries as f64
+        }
+    }
+}
+
+/// One pushed predicate and what it contributed.
+struct Frame {
+    /// The caller's predicate, retained for model re-validation and for
+    /// longest-common-prefix diffing in [`IncrementalSession::solve_preds`].
+    orig: Pred,
+    /// Its canonical form under the session's α-renaming.
+    canon: CanonPred,
+    /// Whether it participates in the multiset (everything except the
+    /// trivial truth, which canonicalization drops).
+    counted: bool,
+    /// Whether this push took the conjunct's refcount to one — only such
+    /// frames are applied to the warm builder (deduplication).
+    inserted: bool,
+}
+
+/// A warm, reusable solver stack for queries sharing a prefix.
+///
+/// Created per failing path (pruning) or per flip sequence (test
+/// generation). Drive it with [`push`](Self::push) /
+/// [`pop_to`](Self::pop_to) / [`solve`](Self::solve), or let
+/// [`solve_preds`](Self::solve_preds) diff a whole predicate list against
+/// the current stack. Answers are byte-identical to
+/// [`crate::solve_preds_with`] on the same predicates, configuration, and
+/// cache — see the module docs for why.
+pub struct IncrementalSession {
+    renaming: Renaming,
+    cfg: SolverConfig,
+    cache: Option<Arc<SolverCache>>,
+    frames: Vec<Frame>,
+    /// Sorted, duplicate-free multiset view of the stacked canonical
+    /// conjuncts — the canonical conjunction the scratch path would build.
+    /// Scanned by the interval tier and cloned into cache keys.
+    sorted: Vec<CanonPred>,
+    /// `refcounts[i]` is how many stacked frames contribute `sorted[i]`
+    /// (parallel to `sorted`).
+    refcounts: Vec<usize>,
+    /// Warm simplex-tier builder, lazily fed `frames[..applied]`.
+    builder: Builder,
+    /// How many frames have been applied to `builder`.
+    applied: usize,
+    /// `marks[i]` is the builder state just before frame `i` was applied
+    /// (maintained for `i < applied`).
+    marks: Vec<BuilderMark>,
+    /// Index of a frame whose application was immediately UNSAT; set with
+    /// `applied` parked just below it, cleared when the frame is popped.
+    poisoned_at: Option<usize>,
+    /// Frames that have survived since the previous `solve` (the reuse the
+    /// `reused_depth` metric reports).
+    stable_depth: usize,
+    counters: Arc<IncrementalCounters>,
+}
+
+impl IncrementalSession {
+    /// Opens a session for queries typed by `sig`, solved under `cfg`,
+    /// optionally fronted by `cache`.
+    pub fn new(
+        sig: &FuncSig,
+        cfg: &SolverConfig,
+        cache: Option<Arc<SolverCache>>,
+    ) -> IncrementalSession {
+        let counters = cfg.incremental_stats.clone();
+        counters.count_session();
+        IncrementalSession {
+            renaming: Renaming::of(sig),
+            cfg: cfg.clone(),
+            cache,
+            frames: Vec::new(),
+            sorted: Vec::new(),
+            refcounts: Vec::new(),
+            builder: Builder::new(true),
+            applied: 0,
+            marks: Vec::new(),
+            poisoned_at: None,
+            stable_depth: 0,
+            counters,
+        }
+    }
+
+    /// Current stack depth (number of pushed predicates).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// A mark to [`pop_to`](Self::pop_to) later; simply the current depth.
+    pub fn mark(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Pushes one predicate onto the stack. Cost: one canonicalization and
+    /// one sorted insert; the warm builder is only touched when a later
+    /// query escalates to the simplex tier.
+    pub fn push(&mut self, pred: &Pred) {
+        self.counters.count_push();
+        let canon = self.renaming.canon_one(pred);
+        let counted = canon != CanonPred::Const(true);
+        let mut inserted = false;
+        if counted {
+            match self.sorted.binary_search(&canon) {
+                Ok(pos) => self.refcounts[pos] += 1,
+                Err(pos) => {
+                    self.sorted.insert(pos, canon.clone());
+                    self.refcounts.insert(pos, 1);
+                    inserted = true;
+                }
+            }
+        }
+        self.frames.push(Frame { orig: pred.clone(), canon, counted, inserted });
+    }
+
+    /// Pops back to a prefix `mark`, rewinding the warm builder's trail
+    /// past every frame it had applied above the mark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` exceeds the current depth.
+    pub fn pop_to(&mut self, mark: usize) {
+        assert!(mark <= self.frames.len(), "pop_to past the top of the stack");
+        if mark == self.frames.len() {
+            return;
+        }
+        self.counters.count_pop();
+        if self.applied > mark {
+            self.builder.undo_to(&self.marks[mark]);
+            self.marks.truncate(mark);
+            self.applied = mark;
+        }
+        if let Some(p) = self.poisoned_at {
+            if p >= mark {
+                self.poisoned_at = None;
+            }
+        }
+        for f in self.frames.drain(mark..).rev() {
+            if f.counted {
+                let pos = self.sorted.binary_search(&f.canon).expect("conjunct in sorted view");
+                self.refcounts[pos] -= 1;
+                if self.refcounts[pos] == 0 {
+                    self.sorted.remove(pos);
+                    self.refcounts.remove(pos);
+                }
+            }
+        }
+        self.stable_depth = self.stable_depth.min(mark);
+    }
+
+    /// Diffs `preds` against the current stack (longest common prefix,
+    /// comparing the caller's original predicates), pops and pushes the
+    /// difference, and solves. This is the whole-list convenience the
+    /// pruning and test-generation loops call.
+    pub fn solve_preds(&mut self, preds: &[Pred]) -> (SolveResult, CacheLookup) {
+        let mut lcp = 0;
+        while lcp < preds.len() && lcp < self.frames.len() && self.frames[lcp].orig == preds[lcp] {
+            lcp += 1;
+        }
+        self.pop_to(lcp);
+        for p in &preds[lcp..] {
+            self.push(p);
+        }
+        self.solve()
+    }
+
+    /// Solves the conjunction currently on the stack.
+    ///
+    /// Mirrors [`crate::solve_preds_with`] stage for stage: deadline gate,
+    /// cache lookup on the canonical key, tier dispatch (interval first
+    /// under the tiered backend, then the *warm* simplex builder), store of
+    /// the pure canonical verdict, un-renaming, and model re-validation
+    /// against the original predicates.
+    pub fn solve(&mut self) -> (SolveResult, CacheLookup) {
+        let reused = self.stable_depth.min(self.frames.len()) as u64;
+        self.counters.count_query(reused);
+        self.stable_depth = self.frames.len();
+        if self.cfg.deadline.expired() {
+            if let Some(sink) = self.cfg.trace.as_ref() {
+                sink.solver_call_reused(
+                    self.frames.len(),
+                    "deadline",
+                    CacheLookup::Bypass.label(),
+                    "none",
+                    reused,
+                    Duration::ZERO,
+                );
+            }
+            return (SolveResult::Unknown, CacheLookup::Bypass);
+        }
+        let start = self.cfg.trace.as_ref().map(|_| Instant::now());
+        let (canonical, lookup, tier) = match self.cache.clone() {
+            Some(cache) => {
+                let key = cache_key(self.sorted.clone(), self.renaming.tys.clone(), &self.cfg);
+                match cache.lookup(&key) {
+                    // Hits bypass the session: the warm builder is not
+                    // advanced, exactly as the scratch path solves nothing.
+                    Some((result, tier)) => (result, CacheLookup::Hit, tier),
+                    None => {
+                        let (result, tier, store_ok) = self.solve_canonical_warm();
+                        if store_ok {
+                            cache.store(&key, &result, tier);
+                        }
+                        (result, CacheLookup::Miss, tier)
+                    }
+                }
+            }
+            None => {
+                let (result, tier, _store_ok) = self.solve_canonical_warm();
+                (result, CacheLookup::Bypass, tier)
+            }
+        };
+        let mut result = uncanonicalize_with(&self.renaming.back, canonical);
+        // Soundness net, identical to the scratch path: re-validate any
+        // model against the original predicates.
+        if let SolveResult::Sat(state) = &result {
+            let env = Env::new(state);
+            if self.frames.iter().any(|f| eval_pred(&f.orig, &env) != Ok(true)) {
+                result = SolveResult::Unknown;
+            }
+        }
+        if let (Some(sink), Some(start)) = (self.cfg.trace.as_ref(), start) {
+            sink.solver_call_reused(
+                self.frames.len(),
+                result.label(),
+                lookup.label(),
+                tier.label(),
+                reused,
+                start.elapsed(),
+            );
+        }
+        (result, lookup)
+    }
+
+    /// [`crate::theory::solve_canonical`] with the warm builder as the
+    /// bottom tier. Same tier counting, same deadline-reserve gating, same
+    /// memoizability flag.
+    fn solve_canonical_warm(&mut self) -> (SolveResult, Tier, bool) {
+        if self.cfg.backend == BackendKind::Tiered {
+            match IntervalBackend.solve(&self.sorted, &self.renaming.canon_sig, &self.cfg) {
+                BackendAnswer::Decided { result, tier } => {
+                    self.cfg.tiers.count(tier);
+                    return (result, tier, true);
+                }
+                BackendAnswer::Escalate => self.cfg.tiers.count_escalation(),
+            }
+        }
+        if simplex_starved(&self.cfg) {
+            return (SolveResult::Unknown, Tier::Simplex, false);
+        }
+        let result = self.simplex_warm();
+        self.cfg.tiers.count(Tier::Simplex);
+        (result, Tier::Simplex, true)
+    }
+
+    /// Advances the warm builder to the top of the stack and solves. An
+    /// immediately-UNSAT frame rewinds its partial mutations and poisons
+    /// the session at that depth.
+    fn simplex_warm(&mut self) -> SolveResult {
+        if self.poisoned() {
+            return SolveResult::Unsat;
+        }
+        while self.applied < self.frames.len() {
+            let i = self.applied;
+            let mark = self.builder.mark();
+            if self.frames[i].inserted {
+                let canon = self.frames[i].canon.clone();
+                if self.builder.add_canon(canon).is_err() {
+                    self.builder.undo_to(&mark);
+                    self.poisoned_at = Some(i);
+                    return SolveResult::Unsat;
+                }
+            }
+            self.marks.push(mark);
+            self.applied += 1;
+        }
+        self.builder.solve_current(&self.renaming.canon_sig, &self.cfg)
+    }
+
+    /// Whether a poisoned (conflicting) frame is still on the stack.
+    fn poisoned(&self) -> bool {
+        self.poisoned_at.is_some_and(|i| i < self.frames.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory::solve_preds_with;
+    use minilang::Ty;
+    use symbolic::pred::CmpOp;
+    use symbolic::term::Term;
+
+    fn sig() -> FuncSig {
+        FuncSig::from_pairs([("x", Ty::Int), ("y", Ty::Int), ("b", Ty::Bool)])
+    }
+
+    fn cmp(op: CmpOp, a: Term, b: Term) -> Pred {
+        Pred::cmp(op, a, b)
+    }
+
+    fn x() -> Term {
+        Term::var("x")
+    }
+
+    fn y() -> Term {
+        Term::var("y")
+    }
+
+    /// Every prefix of a stack answers identically to a scratch solve.
+    #[test]
+    fn prefixes_match_scratch() {
+        let cfg = SolverConfig::default();
+        let preds = [
+            cmp(CmpOp::Gt, x(), Term::int(0)),
+            cmp(CmpOp::Lt, y(), Term::int(5)),
+            cmp(CmpOp::Gt, Term::add(x(), y()), Term::int(3)),
+            cmp(CmpOp::Le, x(), Term::int(0)), // contradicts the first
+        ];
+        let mut session = IncrementalSession::new(&sig(), &cfg, None);
+        for depth in 0..=preds.len() {
+            let stack = &preds[..depth];
+            let (warm, _) = session.solve_preds(stack);
+            let (scratch, _) = solve_preds_with(stack, &sig(), &cfg, None);
+            assert_eq!(warm, scratch, "depth {depth}");
+        }
+    }
+
+    /// Popping below a poisoned frame clears the poison and later pushes
+    /// solve correctly against the rewound builder.
+    #[test]
+    fn pop_clears_conflicts() {
+        let cfg = SolverConfig::default();
+        let mut session = IncrementalSession::new(&sig(), &cfg, None);
+        session.push(&Pred::BoolVar { name: "b".into(), positive: true });
+        let mark = session.mark();
+        session.push(&Pred::BoolVar { name: "b".into(), positive: false });
+        assert_eq!(session.solve().0, SolveResult::Unsat);
+        session.pop_to(mark);
+        session.push(&cmp(CmpOp::Gt, y(), Term::int(2)));
+        let (result, _) = session.solve();
+        assert!(matches!(result, SolveResult::Sat(_)), "got {result:?}");
+    }
+
+    /// Session misses populate the cache with entries scratch hits on, and
+    /// vice versa — one canonical key space.
+    #[test]
+    fn shares_cache_entries_with_scratch() {
+        let cfg = SolverConfig::default();
+        let cache = Arc::new(SolverCache::new());
+        let preds = vec![cmp(CmpOp::Gt, x(), Term::int(1)), cmp(CmpOp::Lt, y(), Term::int(4))];
+        let mut session = IncrementalSession::new(&sig(), &cfg, Some(cache.clone()));
+        let (warm, first) = session.solve_preds(&preds);
+        assert_eq!(first, CacheLookup::Miss);
+        let (scratch, second) = solve_preds_with(&preds, &sig(), &cfg, Some(&cache));
+        assert_eq!(second, CacheLookup::Hit, "scratch must hit the session's entry");
+        assert_eq!(warm, scratch);
+    }
+}

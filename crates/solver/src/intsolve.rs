@@ -7,7 +7,7 @@
 //! human-readable models, the same bias Pex's model construction shows.
 
 use crate::rational::Rat;
-use crate::simplex::{solve_lp, Lp, LpResult};
+use crate::simplex::{solve_lp_within, Lp, LpResult};
 
 /// A system of integer linear constraints `a · x ≤ b` over free variables.
 #[derive(Debug, Clone, Default)]
@@ -53,22 +53,43 @@ pub enum IntResult {
     Unknown,
 }
 
+/// Simplex work units (tableau cells pivoted over) granted per
+/// branch-and-bound node.
+///
+/// The pool is shared, not per node: a corpus-sized node re-solves its
+/// relaxation in a few pivots over a few-hundred-cell tableau, and
+/// typical searches decide in a handful of nodes, so real queries use a
+/// small fraction of `nodes × 512`. Only adversarial queries — long
+/// degenerate pivot runs over branching-bloated tableaus at every node —
+/// drain it, which is exactly the per-node cost blowup the pool exists
+/// to bound: one exact-rational cell update costs fractions of a
+/// microsecond, so the default 20k-node budget caps total simplex work
+/// at seconds, not minutes.
+const WORK_PER_NODE: u64 = 512;
+
 /// Search budget shared across branch-and-bound nodes (and, at the layer
 /// above, across theory-choice branches).
+///
+/// Two coupled meters: a node count (one per LP relaxation solved) and a
+/// simplex work pool charged by [`solve_lp_within`]. Counting nodes
+/// alone lets a single pathological relaxation burn unbounded time in
+/// pivots; the pool keeps total simplex work proportional to the budget.
 #[derive(Debug, Clone)]
 pub struct Budget {
     nodes: u64,
+    work: u64,
 }
 
 impl Budget {
-    /// A budget allowing `nodes` LP solves.
+    /// A budget allowing `nodes` LP solves and `nodes ×`
+    /// [`WORK_PER_NODE`] simplex work units overall.
     pub fn new(nodes: u64) -> Self {
-        Budget { nodes }
+        Budget { nodes, work: nodes.saturating_mul(WORK_PER_NODE) }
     }
 
     /// Consumes one unit; returns false when exhausted.
     pub fn tick(&mut self) -> bool {
-        if self.nodes == 0 {
+        if self.nodes == 0 || self.work == 0 {
             false
         } else {
             self.nodes -= 1;
@@ -79,6 +100,11 @@ impl Budget {
     /// Remaining units.
     pub fn remaining(&self) -> u64 {
         self.nodes
+    }
+
+    /// The shared simplex work pool, for [`solve_lp_within`].
+    fn work_pool(&mut self) -> &mut u64 {
+        &mut self.work
     }
 }
 
@@ -119,10 +145,15 @@ fn branch(
         return IntResult::Unknown;
     }
     let lp = build_lp(p, extra);
-    let point = match solve_lp(&lp) {
+    let point = match solve_lp_within(&lp, budget.work_pool()) {
         LpResult::Infeasible => return IntResult::Unsat,
         LpResult::Optimal { x, .. } => x,
         LpResult::Unbounded { x } => x, // unreachable with the L1 objective
+        // A simplex resource guard tripped — coefficient-magnitude growth
+        // or an exhausted work pool: no relaxation verdict exists for
+        // this node, which is the same epistemic state as an exhausted
+        // node budget.
+        LpResult::Blowup => return IntResult::Unknown,
     };
     // Recover the free variables and find a fractional one.
     let mut values = Vec::with_capacity(p.num_vars);

@@ -17,12 +17,16 @@
 //! pluggable, escalating backends ([`backend`], [`interval`]) dispatched
 //! by the theory layer ([`theory`]), which re-validates every model by
 //! concrete evaluation before returning it. The [`cache`] memoizes
-//! canonical verdicts together with the tier that answered them.
+//! canonical verdicts together with the tier that answered them, and the
+//! [`incremental`] module keeps a warm, trail-backed builder alive across
+//! queries that share a prefix (one session per failing path / flip
+//! sequence) with answers byte-identical to the scratch path.
 
 pub mod backend;
 pub mod cache;
 pub mod canon;
 pub mod deadline;
+pub mod incremental;
 pub mod interval;
 pub mod intsolve;
 pub mod rational;
@@ -38,6 +42,7 @@ pub use backend::{
 pub use cache::{CacheLookup, CacheStats, SolverCache};
 pub use canon::{CacheKey, CanonQuery};
 pub use deadline::Deadline;
+pub use incremental::{IncrementalCounters, IncrementalSession, IncrementalSnapshot};
 pub use interval::IntervalBackend;
 pub use intsolve::{satisfies, solve_int, Budget, IntProblem, IntResult};
 pub use rational::Rat;

@@ -125,7 +125,16 @@ impl Rat {
     /// Panics on zero.
     pub fn recip(&self) -> Rat {
         assert!(self.num != 0, "reciprocal of zero");
-        Rat::new(self.den, self.num)
+        // Already normalized (gcd(|num|, den) == 1), so inversion is just a
+        // sign move; only the unrepresentable `i128::MIN` numerator needs
+        // the normalizing constructor to panic on its behalf.
+        if self.num > 0 {
+            Rat { num: self.den, den: self.num }
+        } else if self.num != i128::MIN {
+            Rat { num: -self.den, den: -self.num }
+        } else {
+            Rat::new(self.den, self.num)
+        }
     }
 
     /// Absolute value.
@@ -147,6 +156,19 @@ impl Default for Rat {
 impl Add for Rat {
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
+        // Fast paths for the cases that dominate simplex pivoting: a zero
+        // operand or two integers. The normal form is unique, so these
+        // return exactly the value the general path would.
+        if rhs.num == 0 {
+            return self;
+        }
+        if self.num == 0 {
+            return rhs;
+        }
+        if self.den == 1 && rhs.den == 1 {
+            let num = self.num.checked_add(rhs.num).expect("rational overflow in add");
+            return Rat { num, den: 1 };
+        }
         let num = self
             .num
             .checked_mul(rhs.den)
@@ -167,6 +189,22 @@ impl Sub for Rat {
 impl Mul for Rat {
     type Output = Rat;
     fn mul(self, rhs: Rat) -> Rat {
+        // Fast paths mirroring `Add`: zeros, multiplicative identity, and
+        // integer×integer all skip the cross-gcd normalization while
+        // producing the identical (unique) normal form.
+        if self.num == 0 || rhs.num == 0 {
+            return Rat::ZERO;
+        }
+        if self.num == 1 && self.den == 1 {
+            return rhs;
+        }
+        if rhs.num == 1 && rhs.den == 1 {
+            return self;
+        }
+        if self.den == 1 && rhs.den == 1 {
+            let num = self.num.checked_mul(rhs.num).expect("rational overflow in mul");
+            return Rat { num, den: 1 };
+        }
         // Cross-reduce first to delay overflow.
         let g1 = gcd(self.num, rhs.den).max(1);
         let g2 = gcd(rhs.num, self.den).max(1);
@@ -199,6 +237,11 @@ impl PartialOrd for Rat {
 
 impl Ord for Rat {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Equal (positive) denominators — in particular the ubiquitous
+        // integer/integer case — compare by numerator alone.
+        if self.den == other.den {
+            return self.num.cmp(&other.num);
+        }
         let lhs = self.num.checked_mul(other.den).expect("rational overflow in cmp");
         let rhs = other.num.checked_mul(self.den).expect("rational overflow in cmp");
         lhs.cmp(&rhs)

@@ -77,6 +77,25 @@ pub struct SolverConfig {
     /// touching the cache, so memoized verdicts stay pure functions of
     /// their keys). Not part of the cache key.
     pub deadline: crate::deadline::Deadline,
+    /// Cheap-tier deadline reserve, in milliseconds. When a deadline is set
+    /// and less than this much wall clock remains, escalation to the simplex
+    /// tier is suppressed: the syntactic/interval tiers still answer what
+    /// they can (they are orders of magnitude cheaper), while queries that
+    /// would need the bottom tier return [`SolveResult::Unknown`] *without
+    /// being cached* (the verdict depends on the clock, so memoizing it
+    /// would poison the cache's purity). Inactive under
+    /// [`crate::deadline::Deadline::none`]. Not part of the cache key.
+    pub cheap_tier_reserve_ms: u64,
+    /// Route prefix-sharing call sites (pruning, test generation) through a
+    /// warm [`crate::IncrementalSession`] instead of building every query
+    /// from scratch. Verdicts and models are byte-identical either way (the
+    /// simplex builder normalizes before solving), so this is a performance
+    /// knob, not a semantic one. Not part of the cache key.
+    pub incremental: bool,
+    /// Incremental-session counters (sessions opened, queries, pushes,
+    /// pops, reused depth), shared by every session opened under a clone of
+    /// this config. Observation-only — never part of the cache key.
+    pub incremental_stats: Arc<crate::incremental::IncrementalCounters>,
     /// Per-call instrumentation: every [`solve_preds_with`] call records
     /// its predicate count, verdict, [`CacheLookup`], answering tier and
     /// duration. Like the deadline, observation-only — never part of the
@@ -93,6 +112,9 @@ impl Default for SolverConfig {
             backend: BackendKind::default(),
             tiers: Arc::new(TierCounters::default()),
             deadline: crate::deadline::Deadline::none(),
+            cheap_tier_reserve_ms: 10,
+            incremental: true,
+            incremental_stats: Arc::new(crate::incremental::IncrementalCounters::default()),
             trace: None,
         }
     }
@@ -206,24 +228,46 @@ pub fn solve_preds_with(
     (result, lookup)
 }
 
+/// Whether the cheap-tier deadline reserve forbids entering the simplex
+/// tier: a deadline is set and its remaining wall clock is below
+/// [`SolverConfig::cheap_tier_reserve_ms`]. Always `false` without a
+/// deadline.
+pub(crate) fn simplex_starved(cfg: &SolverConfig) -> bool {
+    match cfg.deadline.remaining() {
+        Some(rem) => rem.as_millis() < u128::from(cfg.cheap_tier_reserve_ms),
+        None => false,
+    }
+}
+
 /// Dispatches an already-canonical conjunction through the configured
 /// backend stack, attributing the answer to the tier that produced it.
 /// Counters tick only here — on work actually executed — so cache hits
 /// replay tiers without re-counting. Used by [`CanonQuery::solve`];
 /// callers want [`solve_preds`].
+///
+/// The third return is whether the verdict may be memoized: `false` exactly
+/// when the cheap-tier deadline reserve suppressed an escalation, in which
+/// case the `Unknown` is a function of the clock rather than the query.
 pub(crate) fn solve_canonical(
     preds: &[CanonPred],
     sig: &FuncSig,
     cfg: &SolverConfig,
-) -> (SolveResult, Tier) {
+) -> (SolveResult, Tier, bool) {
     if cfg.backend == BackendKind::Tiered {
         match IntervalBackend.solve(preds, sig, cfg) {
             BackendAnswer::Decided { result, tier } => {
                 cfg.tiers.count(tier);
-                return (result, tier);
+                return (result, tier, true);
             }
             BackendAnswer::Escalate => cfg.tiers.count_escalation(),
         }
+    }
+    // Per-tier deadline budgeting: with the deadline nearly spent, the
+    // cheap tiers above have already answered what they could; refusing
+    // the expensive tier keeps the remaining budget for queries the cheap
+    // tiers *can* still answer instead of sinking it into one simplex run.
+    if simplex_starved(cfg) {
+        return (SolveResult::Unknown, Tier::Simplex, false);
     }
     let result = match SimplexBackend.solve(preds, sig, cfg) {
         BackendAnswer::Decided { result, .. } => result,
@@ -231,5 +275,5 @@ pub(crate) fn solve_canonical(
         BackendAnswer::Escalate => SolveResult::Unknown,
     };
     cfg.tiers.count(Tier::Simplex);
-    (result, Tier::Simplex)
+    (result, Tier::Simplex, true)
 }

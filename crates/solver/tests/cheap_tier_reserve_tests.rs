@@ -1,0 +1,119 @@
+//! Per-tier deadline budgets: when a request's deadline is nearly spent,
+//! the remaining wall clock is reserved for the cheap tiers
+//! (`SolverConfig::cheap_tier_reserve_ms`) instead of being sunk into one
+//! expensive simplex run. The contract under test:
+//!
+//! 1. tier-1-answerable queries still get their full, byte-identical
+//!    answers under a near-expired deadline;
+//! 2. simplex-needing queries degrade to `Unknown` — and that `Unknown`
+//!    is never memoized, because it is a function of the clock, not of
+//!    the query.
+
+use minilang::Ty;
+use solver::{
+    solve_preds, solve_preds_with, BackendKind, CacheLookup, Deadline, FuncSig, SolveResult,
+    SolverCache, SolverConfig, TierCounters,
+};
+use std::sync::Arc;
+use symbolic::{CmpOp, Pred, Term};
+
+fn sig_xy() -> FuncSig {
+    FuncSig::from_pairs([("x", Ty::Int), ("y", Ty::Int)])
+}
+
+/// A deadline that is set and comfortably unexpired (30 s out), paired
+/// with a reserve larger than it (1 h): the solver sees "remaining <
+/// reserve" — simplex starved — while the test never races the clock.
+fn starved_cfg() -> SolverConfig {
+    SolverConfig {
+        deadline: Deadline::after_ms(30_000),
+        cheap_tier_reserve_ms: 3_600_000,
+        ..SolverConfig::default()
+    }
+}
+
+/// Interval-tier material: a box the cheap tier decides by itself.
+fn box_preds() -> Vec<Pred> {
+    vec![
+        Pred::cmp(CmpOp::Ge, Term::var("x"), Term::int(3)),
+        Pred::cmp(CmpOp::Le, Term::var("x"), Term::int(3)),
+    ]
+}
+
+/// Simplex material: a two-variable coupling the interval tier escalates.
+fn coupled_preds() -> Vec<Pred> {
+    vec![
+        Pred::cmp(CmpOp::Le, Term::var("x").add(Term::var("y")), Term::int(5)),
+        Pred::cmp(CmpOp::Ge, Term::var("x").sub(Term::var("y")), Term::int(1)),
+    ]
+}
+
+#[test]
+fn near_expired_deadline_still_yields_tier1_answers() {
+    let tiers = Arc::new(TierCounters::default());
+    let cfg = SolverConfig { tiers: tiers.clone(), ..starved_cfg() };
+    let starved = solve_preds(&box_preds(), &sig_xy(), &cfg);
+    let relaxed = solve_preds(&box_preds(), &sig_xy(), &SolverConfig::default());
+    assert!(matches!(starved, SolveResult::Sat(_)), "tier-1 query starved: {starved:?}");
+    assert_eq!(starved, relaxed, "deadline pressure must not change a tier-1 answer");
+    let snap = tiers.snapshot();
+    assert!(snap.tier1() > 0, "the answer was not attributed to a cheap tier: {snap:?}");
+    assert_eq!(snap.answered_by_simplex, 0, "simplex ran despite the reserve");
+}
+
+#[test]
+fn near_expired_deadline_starves_only_the_simplex_tier() {
+    let tiers = Arc::new(TierCounters::default());
+    let cfg = SolverConfig { tiers: tiers.clone(), ..starved_cfg() };
+    let starved = solve_preds(&coupled_preds(), &sig_xy(), &cfg);
+    assert_eq!(starved, SolveResult::Unknown, "a starved simplex query must degrade to Unknown");
+    assert_eq!(tiers.snapshot().answered_by_simplex, 0, "simplex ran despite the reserve");
+
+    // The same query with no deadline pressure gets its real answer.
+    let relaxed = solve_preds(&coupled_preds(), &sig_xy(), &SolverConfig::default());
+    assert!(matches!(relaxed, SolveResult::Sat(_)), "control query failed: {relaxed:?}");
+}
+
+#[test]
+fn starvation_unknowns_are_never_memoized() {
+    let cache = Arc::new(SolverCache::new());
+
+    // Miss + starved Unknown: the verdict is a function of the clock, so
+    // the cache must not learn it.
+    let (starved, lookup) =
+        solve_preds_with(&coupled_preds(), &sig_xy(), &starved_cfg(), Some(&cache));
+    assert_eq!(starved, SolveResult::Unknown);
+    assert_eq!(lookup, CacheLookup::Miss);
+
+    // Same query, same cache, no deadline pressure: still a miss (nothing
+    // was stored), and now the true verdict is computed and memoized.
+    let (relaxed, lookup) =
+        solve_preds_with(&coupled_preds(), &sig_xy(), &SolverConfig::default(), Some(&cache));
+    assert_eq!(lookup, CacheLookup::Miss, "the starved Unknown leaked into the cache");
+    assert!(matches!(relaxed, SolveResult::Sat(_)), "cached-starvation test control: {relaxed:?}");
+
+    // Third run hits the memoized true verdict.
+    let (hit, lookup) =
+        solve_preds_with(&coupled_preds(), &sig_xy(), &SolverConfig::default(), Some(&cache));
+    assert_eq!(lookup, CacheLookup::Hit);
+    assert_eq!(hit, relaxed);
+}
+
+#[test]
+fn reserve_is_inert_without_a_deadline() {
+    // `cheap_tier_reserve_ms` only means something relative to a deadline;
+    // with none set even an absurd reserve changes nothing.
+    let cfg = SolverConfig { cheap_tier_reserve_ms: 3_600_000, ..SolverConfig::default() };
+    let r = solve_preds(&coupled_preds(), &sig_xy(), &cfg);
+    assert!(matches!(r, SolveResult::Sat(_)), "reserve without deadline interfered: {r:?}");
+}
+
+#[test]
+fn starvation_applies_to_simplex_only_backend_too() {
+    // With `BackendKind::Simplex` there is no cheap tier to fall back on:
+    // the reserve still refuses the expensive run, so everything degrades
+    // to Unknown rather than blowing the deadline.
+    let cfg = SolverConfig { backend: BackendKind::Simplex, ..starved_cfg() };
+    let r = solve_preds(&box_preds(), &sig_xy(), &cfg);
+    assert_eq!(r, SolveResult::Unknown);
+}

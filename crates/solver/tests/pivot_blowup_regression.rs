@@ -1,0 +1,108 @@
+//! Regression: Rem × Mul × Len query shapes must solve at the *default*
+//! node budget.
+//!
+//! `tier_prop_tests` originally had to pin `budget_nodes: 32` because
+//! randomly generated conjunctions mixing `rem`, multiplication, and
+//! `len(a)` drove the exact-rational simplex into coefficient blowup —
+//! every pivot grew the tableau entries, so per-node cost exploded and a
+//! debug-mode run at the default budget could grind for minutes (or panic
+//! on `i128` overflow inside `Rat`). The coefficient-magnitude guard in
+//! `solver::simplex` turns that growth into an early `Blowup` abort that
+//! branch-and-bound reports as `Unknown`, exactly like a budget exhaust.
+//!
+//! This file promotes that formerly budget-bounded property into direct
+//! tests at `SolverConfig::default()`: the adversarial shapes terminate
+//! promptly, the backend knob stays unobservable, and any `Unsat` or
+//! `Sat` answer is still sound.
+
+use minilang::{InputValue, MethodEntryState, Ty};
+use solver::{solve_preds, BackendKind, FuncSig, SolveResult, SolverConfig};
+use symbolic::eval::eval_on_state;
+use symbolic::{CmpOp, Formula, Place, Pred, Term};
+
+fn sig_xy() -> FuncSig {
+    FuncSig::from_pairs([("x", Ty::Int), ("y", Ty::Int), ("a", Ty::ArrayInt)])
+}
+
+fn cfg(backend: BackendKind) -> SolverConfig {
+    // Deliberately the default budget: the whole point is that these
+    // queries no longer need a tiny budget to stay fast.
+    SolverConfig { backend, ..SolverConfig::default() }
+}
+
+fn satisfies(preds: &[Pred], m: &MethodEntryState) -> bool {
+    preds.iter().all(|p| eval_on_state(&Formula::pred(p.clone()), m) == Ok(true))
+}
+
+/// Every predicate true under a brute-force window refutes an Unsat claim;
+/// used to keep the promoted tests sound, not just fast.
+fn window_refutes_unsat(preds: &[Pred]) -> bool {
+    for x in -8i64..=8 {
+        for y in -8i64..=8 {
+            for a in [None, Some(vec![0i64; 2])] {
+                let st = MethodEntryState::from_pairs([
+                    ("x".to_string(), InputValue::Int(x)),
+                    ("y".to_string(), InputValue::Int(y)),
+                    ("a".to_string(), InputValue::ArrayInt(a.clone())),
+                ]);
+                if satisfies(preds, &st) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Nested rem-of-mul-of-len terms: each `rem k` introduces a quotient
+/// variable and a pair of bound rows, and the multiplications scale their
+/// coefficients — the exact shape that used to make pivot cost blow up.
+fn nasty_conjunctions() -> Vec<Vec<Pred>> {
+    let len_a = Term::len(Place::param("a"));
+    let t1 = Term::var("x").mul(3).add(len_a.clone()).rem(5);
+    let t2 = Term::var("y").sub(Term::var("x").mul(2)).rem(2);
+    let t3 = len_a.clone().mul(-3).add(Term::var("y").mul(3)).rem(5);
+    let t4 = t1.clone().mul(-2).add(t3.clone()).rem(2);
+    vec![
+        vec![
+            Pred::cmp(CmpOp::Eq, t1.clone().mul(3), t2.clone().mul(-2).add(Term::int(4))),
+            Pred::cmp(CmpOp::Le, t3.clone().add(t1.clone()), Term::var("x").sub(Term::int(6))),
+            Pred::cmp(CmpOp::Ge, t2.clone().mul(3).sub(t3.clone()), Term::int(-5)),
+        ],
+        vec![
+            Pred::cmp(CmpOp::Lt, t4.clone().mul(3), t1.clone().add(t2.clone())),
+            Pred::cmp(CmpOp::Ne, t3.clone().sub(t4.clone()), Term::int(1)),
+            Pred::not_null(Place::param("a")),
+        ],
+        vec![
+            Pred::cmp(CmpOp::Eq, t1.add(t2).add(t3).add(t4), Term::int(2)),
+            Pred::cmp(CmpOp::Le, Term::var("x"), Term::int(6)),
+            Pred::cmp(CmpOp::Ge, Term::var("y"), Term::int(-6)),
+        ],
+    ]
+}
+
+#[test]
+fn rem_mul_len_shapes_terminate_at_default_budget_with_identical_backends() {
+    for preds in nasty_conjunctions() {
+        let tiered = solve_preds(&preds, &sig_xy(), &cfg(BackendKind::Tiered));
+        let simplex = solve_preds(&preds, &sig_xy(), &cfg(BackendKind::Simplex));
+        assert_eq!(tiered, simplex, "backends diverge on {preds:?}");
+    }
+}
+
+#[test]
+fn rem_mul_len_answers_remain_sound_at_default_budget() {
+    for preds in nasty_conjunctions() {
+        match solve_preds(&preds, &sig_xy(), &cfg(BackendKind::Tiered)) {
+            SolveResult::Unsat => assert!(
+                !window_refutes_unsat(&preds),
+                "Unsat refuted by brute-force window on {preds:?}"
+            ),
+            SolveResult::Sat(m) => {
+                assert!(satisfies(&preds, &m), "model {m} falsifies {preds:?}")
+            }
+            SolveResult::Unknown => {}
+        }
+    }
+}

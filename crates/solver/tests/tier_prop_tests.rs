@@ -19,9 +19,12 @@ fn sig_xy() -> FuncSig {
 }
 
 fn cfg(backend: BackendKind) -> SolverConfig {
-    // A small node budget keeps debug-mode exact-rational solves fast on
-    // adversarial random queries (Rem × Mul × Len mixes make per-node
-    // pivot cost blow up with coefficient growth). The differential
+    // A small node budget keeps 48 proptest cases fast in debug mode.
+    // Adversarial Rem × Mul × Len mixes no longer *need* it — the simplex
+    // magnitude guard and work pool bound per-query cost even at the
+    // default budget (see `pivot_blowup_regression.rs`, where this
+    // strategy's worst shapes run with `SolverConfig::default()`) — but
+    // 48 × ~1.5s worst-case would still be a slow suite. The differential
     // property is budget-uniform — both backends see the same budget — so
     // this costs no coverage, only shifts some verdicts to Unknown.
     SolverConfig { backend, budget_nodes: 32, ..SolverConfig::default() }

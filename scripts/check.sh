@@ -13,7 +13,7 @@ cargo clippy --workspace --all-targets --quiet -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
-echo "== perf smoke (BENCH_solver_cache.json, BENCH_solver_tiers.json)"
+echo "== perf smoke (BENCH_solver_cache.json, BENCH_solver_tiers.json, BENCH_solver_incremental.json)"
 cargo build --release -p bench --quiet
 ./target/release/perf_smoke
 # Disabled tracing must cost nothing: the gap between the two untraced
@@ -40,6 +40,19 @@ rate = t["tier1_answer_rate"]
 assert rate >= 0.25, f"tier-1 answer rate {rate:.1%} below the 25% floor"
 print(f"solver tiers gate: tiered/simplex {ratio:.3f}x (limit 1.02), "
       f"tier-1 rate {rate:.1%} (floor 25%)")
+EOF
+# Warm prefix-sharing sessions must pay for themselves: incremental
+# solving may never be slower than scratch on the corpus slice (it
+# should be meaningfully faster; equivalence of the *answers* is the
+# tests' job — tests/incremental_differential.rs).
+python3 - <<'EOF'
+import json
+inc = json.load(open("BENCH_solver_incremental.json"))
+ratio = inc["incremental_vs_scratch_ratio"]
+assert ratio <= 1.0, (
+    f"incremental solving {inc['incremental_ms']:.2f} ms is slower than "
+    f"scratch {inc['scratch_ms']:.2f} ms ({ratio:.3f}x, limit 1.0)")
+print(f"solver incremental gate: incremental/scratch {ratio:.3f}x (limit 1.0)")
 EOF
 
 echo "== trace smoke (preinfer --trace-out)"

@@ -4,7 +4,8 @@
 //! ```text
 //! preinfer path/to/program.ml [--fn NAME] [--baselines] [--tests N]
 //!          [--jobs N] [--no-solver-cache] [--solver-backend tiered|simplex]
-//!          [--timeout-ms N] [--verbose] [--trace-out FILE]
+//!          [--incremental on|off] [--timeout-ms N] [--verbose]
+//!          [--trace-out FILE]
 //! ```
 //!
 //! Generates a test suite for the function (default: the first one), then
@@ -27,6 +28,7 @@ struct Options {
     jobs: usize,
     solver_cache: bool,
     backend: BackendKind,
+    incremental: bool,
     timeout_ms: Option<u64>,
     verbose: bool,
     trace_out: Option<String>,
@@ -36,7 +38,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: preinfer <program.ml> [--fn NAME] [--baselines] [--tests N]\n\
          \x20               [--jobs N] [--no-solver-cache] [--solver-backend B]\n\
-         \x20               [--timeout-ms N] [--verbose] [--trace-out FILE]\n\
+         \x20               [--incremental on|off] [--timeout-ms N] [--verbose]\n\
+         \x20               [--trace-out FILE]\n\
          \n\
          Infers preconditions for every assertion-containing location that\n\
          generated tests can make fail, per the PreInfer (DSN 2018) pipeline.\n\
@@ -49,6 +52,12 @@ fn usage() -> ! {
          \x20                  to simplex) or `simplex` (every query goes\n\
          \x20                  straight to simplex); results are identical,\n\
          \x20                  only speed and tier attribution differ\n\
+         --incremental B    `on` (default) solves prefix-sharing queries in\n\
+         \x20                  pruning and test generation through one warm\n\
+         \x20                  push/pop solver session per path; `off` builds\n\
+         \x20                  every query from scratch. Results are\n\
+         \x20                  byte-identical either way — this is a speed\n\
+         \x20                  knob, not a semantic one\n\
          --timeout-ms N     wall-clock deadline for the whole run, checked\n\
          \x20                  between solver calls; a partial (still sound)\n\
          \x20                  result is reported as timed out\n\
@@ -74,6 +83,7 @@ fn parse_args() -> Options {
         jobs: default_jobs(),
         solver_cache: true,
         backend: BackendKind::default(),
+        incremental: true,
         timeout_ms: None,
         verbose: false,
         trace_out: None,
@@ -87,6 +97,13 @@ fn parse_args() -> Options {
             "--solver-backend" => {
                 opts.backend =
                     args.next().and_then(|v| BackendKind::parse(&v)).unwrap_or_else(|| usage())
+            }
+            "--incremental" => {
+                opts.incremental = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
             }
             "--tests" => {
                 opts.max_runs =
@@ -157,11 +174,14 @@ fn main() -> ExitCode {
     // One set of tier counters across test generation and pruning, so the
     // footer reports the whole run's attribution.
     let tiers = Arc::new(TierCounters::default());
+    let inc_stats = Arc::new(IncrementalCounters::default());
     tg.solver_cache = cache.clone();
     tg.solver.deadline = deadline.clone();
     tg.solver.trace = sink.clone();
     tg.solver.backend = opts.backend;
     tg.solver.tiers = tiers.clone();
+    tg.solver.incremental = opts.incremental;
+    tg.solver.incremental_stats = inc_stats.clone();
     tg.trace = sink.clone();
     println!("generating tests for `{func_name}` …");
     let suite = generate_tests(&program, &func_name, &tg);
@@ -185,6 +205,8 @@ fn main() -> ExitCode {
     cfg.prune.solver.trace = sink.clone();
     cfg.prune.solver.backend = opts.backend;
     cfg.prune.solver.tiers = tiers.clone();
+    cfg.prune.solver.incremental = opts.incremental;
+    cfg.prune.solver.incremental_stats = inc_stats.clone();
     cfg.prune.trace = sink.clone();
     let start = std::time::Instant::now();
     let inferred = infer_all_preconditions(&program, &func_name, &suite, &cfg, opts.jobs);
@@ -280,6 +302,20 @@ fn main() -> ExitCode {
         t.escalations,
         100.0 * t.tier1_rate(),
     );
+    if opts.incremental {
+        let i = inc_stats.snapshot();
+        println!(
+            "incremental solving: {} session(s), {} queries, {} push(es) / {} pop(s), \
+             mean reused depth {:.1}",
+            i.sessions,
+            i.queries,
+            i.pushes,
+            i.pops,
+            i.avg_reused_depth(),
+        );
+    } else {
+        println!("incremental solving disabled (--incremental off)");
+    }
     finish_trace(&opts, &sink, &func_name, run_start, inferred.len());
     ExitCode::SUCCESS
 }

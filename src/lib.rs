@@ -61,8 +61,9 @@ pub mod prelude {
         ProbeConfig,
     };
     pub use solver::{
-        solve_preds, solve_preds_cached, BackendKind, CacheStats, Deadline, FuncSig, SolveResult,
-        SolverCache, SolverConfig, TierCounters, TierSnapshot,
+        solve_preds, solve_preds_cached, BackendKind, CacheStats, Deadline, FuncSig,
+        IncrementalCounters, IncrementalSession, IncrementalSnapshot, SolveResult, SolverCache,
+        SolverConfig, TierCounters, TierSnapshot,
     };
     pub use symbolic::{parse_spec, Formula, PathCondition, Pred};
     pub use testgen::{generate_tests, TestGenConfig};

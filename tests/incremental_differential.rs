@@ -1,0 +1,112 @@
+//! The incremental-differential contract of the solver core: warm
+//! prefix-sharing sessions (`--incremental on`) are unobservable through
+//! the whole pipeline.
+//!
+//! For every subject in the evaluation corpus plus the motivating
+//! example, test generation *and* inference run with incremental solving
+//! on and off, crossed with the canonicalizing solver cache on and off
+//! and with the tiered and simplex-only backends, and everything
+//! observable about the result — ψ, α, disjunct order, pruning
+//! counters — must render byte-identically across all eight
+//! configurations. This is the executable form of the equivalence
+//! contract in `solver::incremental`: a session's trail-backed builder
+//! normalizes at solve time, so reusing mutations across a path's
+//! queries can never be observed through the solving API, and session
+//! misses store the same pure canonical verdicts the scratch path does.
+
+use preinfer::prelude::*;
+use preinfer_core::Inference;
+use std::sync::Arc;
+
+/// Runs generation + inference under one incremental/backend/cache
+/// configuration, rendering each inference to a comparable summary string
+/// (the same cache-counter-free shape `tests/backend_differential.rs`
+/// compares).
+fn infer_summaries(
+    m: &subjects::SubjectMethod,
+    incremental: bool,
+    backend: BackendKind,
+    use_cache: bool,
+) -> Vec<String> {
+    let tp = m.compile();
+    let mut tg = TestGenConfig::default();
+    tg.solver.incremental = incremental;
+    tg.solver.backend = backend;
+    tg.solver_cache = use_cache.then(|| Arc::new(SolverCache::new()));
+    let suite = generate_tests(&tp, m.name, &tg);
+    let mut cfg = PreInferConfig::default();
+    cfg.prune.solver.incremental = incremental;
+    cfg.prune.solver.backend = backend;
+    cfg.prune.solver_cache = use_cache.then(|| Arc::new(SolverCache::new()));
+    cfg.prune.jobs = 1;
+    infer_all_preconditions(&tp, m.name, &suite, &cfg, 1)
+        .iter()
+        .map(|(acl, inf)| summarize(m.name, *acl, inf))
+        .collect()
+}
+
+fn summarize(method: &str, acl: minilang::CheckId, inf: &Inference) -> String {
+    let s = &inf.prune_stats;
+    let disjuncts: Vec<String> = inf
+        .disjuncts
+        .iter()
+        .map(|d| {
+            let parts: Vec<String> = d.parts.iter().map(|p| p.to_string()).collect();
+            format!("[{}]{}", parts.join(" && "), if d.quantified { "Q" } else { "" })
+        })
+        .collect();
+    format!(
+        "{method} {acl:?} psi={} alpha={} quantified={} ndisj={} disjuncts={} \
+         examined={} kept_c={} kept_d={} kept_g={} removed={} runs={}",
+        inf.precondition.psi,
+        inf.precondition.alpha,
+        inf.precondition.quantified,
+        inf.precondition.disjuncts,
+        disjuncts.join(" | "),
+        s.examined,
+        s.kept_c_depend,
+        s.kept_d_impact,
+        s.kept_guard,
+        s.removed,
+        s.dynamic_runs,
+    )
+}
+
+/// Full-corpus differential: for every subject and the motivating example,
+/// inference output is byte-identical with incremental solving on and off,
+/// crossed with both backends and with the solver cache on and off.
+#[test]
+fn incremental_on_and_off_infer_identical_psi_across_the_corpus() {
+    let mut methods = subjects::all_subjects();
+    methods.push(subjects::motivating::motivating());
+    let mut nonempty = 0usize;
+    for m in &methods {
+        let baseline = infer_summaries(m, false, BackendKind::Simplex, false);
+        for (incremental, backend, use_cache) in [
+            (false, BackendKind::Simplex, true),
+            (false, BackendKind::Tiered, false),
+            (false, BackendKind::Tiered, true),
+            (true, BackendKind::Simplex, false),
+            (true, BackendKind::Simplex, true),
+            (true, BackendKind::Tiered, false),
+            (true, BackendKind::Tiered, true),
+        ] {
+            let got = infer_summaries(m, incremental, backend, use_cache);
+            assert_eq!(
+                got,
+                baseline,
+                "incremental {} (backend {:?}, cache {}) changed inference output for {}::{}",
+                if incremental { "on" } else { "off" },
+                backend,
+                if use_cache { "on" } else { "off" },
+                m.namespace,
+                m.name
+            );
+        }
+        nonempty += usize::from(!baseline.is_empty());
+    }
+    assert!(
+        nonempty > 30,
+        "only {nonempty} corpus methods produced inferences — differential is near-vacuous"
+    );
+}
