@@ -1,0 +1,108 @@
+//! `preinfer-router` — key-affinity sharding front for `preinferd`.
+//!
+//! ```text
+//! preinfer-router --shard HOST:PORT [--shard HOST:PORT ...]
+//!                 [--addr HOST:PORT] [--conns-per-shard N]
+//!                 [--idle-timeout-ms N]
+//! ```
+//!
+//! Prints `listening on HOST:PORT` once bound. SIGTERM/SIGINT drains
+//! downstream connections and exits 0 (shards keep running; stop them
+//! separately).
+
+use server::{Router, RouterConfig};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: preinfer-router --shard HOST:PORT [--shard HOST:PORT ...]\n\
+         \x20                      [--addr HOST:PORT] [--conns-per-shard N]\n\
+         \x20                      [--idle-timeout-ms N]\n\
+         \n\
+         Fronts N preinferd shard daemons with key-affinity routing: every\n\
+         infer request's target method is canonicalized (α-renamed) and\n\
+         hashed, so α-equivalent methods always reach the shard whose\n\
+         caches already hold their verdicts. stats/metrics/trace fan out\n\
+         to every shard and merge; ping answers locally. A shard with no\n\
+         live connection yields a typed `upstream_unavailable` error and\n\
+         is re-dialed with bounded backoff.\n\
+         \n\
+         Shard order is the hash space: restart the router with the same\n\
+         --shard list in the same order to keep affinity.\n\
+         \n\
+         Defaults: --addr 127.0.0.1:0 (prints the bound port),\n\
+         --conns-per-shard 2, --idle-timeout-ms 60000 (0 = off)."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> RouterConfig {
+    let mut cfg = RouterConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = args.next().unwrap_or_else(|| usage()),
+            "--shard" => cfg.shards.push(args.next().unwrap_or_else(|| usage())),
+            "--conns-per-shard" => {
+                cfg.conns_per_shard = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout_ms =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if cfg.shards.is_empty() {
+        usage();
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    install_signal_handlers();
+    let router = match Router::start(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("preinfer-router: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Parsed by scripts; keep the format stable.
+    println!("listening on {}", router.local_addr());
+    let handle = router.handle();
+    while !SIGNALLED.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("preinfer-router: signal received, draining …");
+    handle.shutdown();
+    router.join();
+    eprintln!("preinfer-router: drained, bye");
+    ExitCode::SUCCESS
+}

@@ -1,8 +1,9 @@
 //! `preinferd` — the resident precondition-inference daemon.
 //!
 //! ```text
-//! preinferd [--addr HOST:PORT] [--workers N] [--queue N]
-//!           [--default-deadline-ms N] [--incremental on|off]
+//! preinferd [--addr HOST:PORT] [--io threads|epoll] [--workers N]
+//!           [--queue N] [--default-deadline-ms N] [--idle-timeout-ms N]
+//!           [--incremental on|off] [--memo on|off] [--memo-capacity K]
 //!           [--trace-sample N] [--slow-trace-ms N] [--trace-buffer K]
 //! ```
 //!
@@ -41,8 +42,10 @@ fn install_signal_handlers() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: preinferd [--addr HOST:PORT] [--workers N] [--queue N]\n\
-         \x20                [--default-deadline-ms N] [--incremental on|off]\n\
+        "usage: preinferd [--addr HOST:PORT] [--io threads|epoll] [--workers N]\n\
+         \x20                [--queue N] [--default-deadline-ms N]\n\
+         \x20                [--idle-timeout-ms N] [--incremental on|off]\n\
+         \x20                [--memo on|off] [--memo-capacity K]\n\
          \x20                [--trace-sample N] [--slow-trace-ms N]\n\
          \x20                [--trace-buffer K]\n\
          \n\
@@ -50,9 +53,22 @@ fn usage() -> ! {
          (see PROTOCOL.md). Defaults: --addr 127.0.0.1:0 (prints the bound\n\
          port), --workers = cores, --queue 64. SIGTERM drains and exits 0.\n\
          \n\
+         --io threads (default) runs the original thread-per-connection\n\
+         core; --io epoll runs the event-driven core with request\n\
+         pipelining. Served results are identical either way.\n\
+         \n\
+         --idle-timeout-ms N (default 60000, 0 = off) closes connections\n\
+         that stay silent with no in-flight work, with a typed\n\
+         `idle_timeout` response.\n\
+         \n\
          --incremental on|off (default on) solves prefix-sharing queries\n\
          through warm push/pop solver sessions; served results are\n\
          byte-identical either way — this is a speed knob.\n\
+         \n\
+         --memo on|off (default off) answers repeat requests for an\n\
+         α-equivalent method from the ψ-level response memo without\n\
+         re-running inference; --memo-capacity K (default 4096) bounds it.\n\
+         Memoized outcomes come only from completed (non-timed-out) runs.\n\
          \n\
          Tracing: --trace-sample N head-samples every N-th request\n\
          (deterministic, 0 = off); --slow-trace-ms T also retains any\n\
@@ -68,6 +84,25 @@ fn parse_args() -> ServerConfig {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--addr" => cfg.addr = args.next().unwrap_or_else(|| usage()),
+            "--io" => cfg.io = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout_ms =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--memo" => {
+                cfg.memo = match args.next().as_deref() {
+                    Some("on") => true,
+                    Some("off") => false,
+                    _ => usage(),
+                }
+            }
+            "--memo-capacity" => {
+                cfg.memo_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
             "--workers" => {
                 cfg.workers = args
                     .next()

@@ -1,0 +1,382 @@
+//! The daemon's event-driven connection core (`preinferd --io epoll`).
+//!
+//! One thread runs an epoll loop ([`netcore::Poller`]) that drives the
+//! listener, every client connection, and an eventfd [`netcore::Waker`]:
+//!
+//! * **Accept**: non-blocking accept bursts; each connection becomes a
+//!   [`FramedConn`] registered with read interest.
+//! * **Read**: readiness drains the socket and decodes every complete
+//!   frame ([`FramedConn::read_frames`]); each frame is dispatched — verbs
+//!   other than `infer` answer inline, `infer` goes through the shared
+//!   admission path ([`server::start_infer`]): drain check, memo lookup
+//!   (hits answer inline with no worker hop), then bounded admission with
+//!   [`ReplyTo::Event`]. Connections pipeline freely: many frames may be
+//!   in flight at once and responses are written in completion order (the
+//!   client matches them by `request_id`/`id`, see PROTOCOL.md).
+//! * **Completions**: workers push finished responses onto the
+//!   [`Completions`] queue and wake the loop, which routes each response
+//!   to its connection token (dropped silently if the client vanished).
+//! * **Write**: responses queue into the connection's write buffer;
+//!   whatever the socket refuses stays buffered under `EPOLLOUT`
+//!   interest. A peer that stops reading (backlog past
+//!   [`WRITE_BACKPRESSURE_BYTES`]) or floods requests (in-flight past
+//!   [`MAX_CONN_IN_FLIGHT`]) has its read interest dropped until the
+//!   pressure clears.
+//! * **Idle sweep**: every [`SWEEP`] the loop closes connections that
+//!   have been silent past the configured idle deadline and have no
+//!   in-flight work, with a typed `idle_timeout` response.
+//! * **Drain**: on shutdown the loop does a final accept sweep (backlog
+//!   connections get typed `shutting_down` answers, as in the threaded
+//!   core), stops accepting, keeps serving until each connection has zero
+//!   in-flight work and an empty write buffer, then closes it. When the
+//!   last connection closes it sets `conns_done`, releasing the workers.
+
+use crate::netcore::{ConnError, FramedConn, Interest, Poller, Waker, WRITE_BACKPRESSURE_BYTES};
+use crate::protocol::{self, render_error, ErrorCode, Request};
+use crate::server::{self, InferDisposition, ReplyTo, Shared};
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Reserved poller tokens.
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Idle-deadline sweep period (also the `epoll_wait` timeout, so the loop
+/// observes the shutdown flag at least this often even without a wake).
+const SWEEP_MS: i32 = 100;
+
+/// Per-connection in-flight ceiling: past this the connection's read
+/// interest is dropped (requests already decoded still run; the kernel
+/// socket buffer is the only place further frames can wait).
+const MAX_CONN_IN_FLIGHT: usize = 512;
+
+/// How long a quiescent connection survives after shutdown begins, so a
+/// peer mid-request still gets its typed `shutting_down` answer.
+const DRAIN_GRACE: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// The worker→loop completion channel: finished responses tagged with
+/// their connection token, plus the waker that interrupts `epoll_wait`.
+pub struct Completions {
+    queue: Mutex<Vec<(u64, String)>>,
+    waker: Arc<Waker>,
+}
+
+impl Completions {
+    pub(crate) fn push(&self, token: u64, response: String) {
+        self.queue.lock().expect("completions lock").push((token, response));
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<(u64, String)> {
+        std::mem::take(&mut *self.queue.lock().expect("completions lock"))
+    }
+}
+
+struct Conn {
+    io: FramedConn,
+    /// Interest currently registered in the poller.
+    registered: Interest,
+    /// Requests admitted to the worker pool whose responses have not yet
+    /// been queued for writing.
+    in_flight: usize,
+    /// No further reads; close once `in_flight` is 0 and the write buffer
+    /// has flushed.
+    closing: bool,
+}
+
+impl Conn {
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.closing
+                && self.in_flight < MAX_CONN_IN_FLIGHT
+                && self.io.write_backlog() < WRITE_BACKPRESSURE_BYTES,
+            writable: self.io.wants_write(),
+        }
+    }
+
+    /// A closing connection with nothing left to deliver can be dropped.
+    fn drained(&self) -> bool {
+        self.closing && self.in_flight == 0 && !self.io.wants_write()
+    }
+}
+
+/// Runs the event core until shutdown completes. Takes the role of both
+/// the threaded core's acceptor and all its connection threads; the worker
+/// pool is unchanged.
+pub(crate) fn event_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let poller = match Poller::new() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("preinferd: epoll unavailable: {e}");
+            shared.conns_done.store(true, Ordering::SeqCst);
+            return;
+        }
+    };
+    let waker = match Waker::new() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("preinferd: eventfd unavailable: {e}");
+            shared.conns_done.store(true, Ordering::SeqCst);
+            return;
+        }
+    };
+    if poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ).is_err()
+        || poller.add(waker.fd(), TOKEN_WAKER, Interest::READ).is_err()
+    {
+        eprintln!("preinferd: failed to register event-core fds");
+        shared.conns_done.store(true, Ordering::SeqCst);
+        return;
+    }
+    *shared.wake.lock().expect("wake lock") = Some(Arc::clone(&waker));
+    let completions =
+        Arc::new(Completions { queue: Mutex::new(Vec::new()), waker: Arc::clone(&waker) });
+
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = TOKEN_FIRST_CONN;
+    let mut events = Vec::new();
+    let mut frames = Vec::new();
+    let mut draining = false;
+
+    loop {
+        if shared.shutting_down() && !draining {
+            draining = true;
+            // Final sweep: backlog connections get typed `shutting_down`
+            // answers instead of a reset, then the listener goes quiet.
+            accept_burst(&listener, &poller, shared, &mut conns, &mut next_token);
+            poller.delete(listener.as_raw_fd());
+        }
+        if draining {
+            // Close connections with nothing pending — but give each a
+            // short grace since its last activity so a just-accepted
+            // backlog connection can still send its request and read the
+            // typed `shutting_down` answer (the threaded core's
+            // one-read-timeout parity).
+            let quiet: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| {
+                    c.in_flight == 0
+                        && !c.io.wants_write()
+                        && c.io.last_activity.elapsed() >= DRAIN_GRACE
+                })
+                .map(|(t, _)| *t)
+                .collect();
+            for t in quiet {
+                close_conn(&poller, shared, &mut conns, t);
+            }
+            if conns.is_empty() {
+                break;
+            }
+        }
+
+        if poller.wait(&mut events, SWEEP_MS).is_err() {
+            break;
+        }
+        // Deliver finished work first so freshly writable sockets flush
+        // the newest responses in the same iteration.
+        waker.drain();
+        for (token, response) in completions.drain() {
+            if let Some(conn) = conns.get_mut(&token) {
+                conn.in_flight -= 1;
+                conn.io.queue(&response);
+            }
+        }
+
+        for ev in std::mem::take(&mut events) {
+            match ev.token {
+                TOKEN_LISTENER => {
+                    if !draining {
+                        accept_burst(&listener, &poller, shared, &mut conns, &mut next_token);
+                    }
+                }
+                TOKEN_WAKER => {} // drained above
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else { continue };
+                    if ev.error {
+                        conn.closing = true;
+                        conn.in_flight = 0; // nothing can be delivered anymore
+                        close_conn(&poller, shared, &mut conns, token);
+                        continue;
+                    }
+                    if ev.readable && !conn.closing {
+                        let fault = conn.io.read_frames(&mut frames).err();
+                        // In-sync frames decoded before any fault still
+                        // get dispatched (and answered) first.
+                        for frame in frames.drain(..) {
+                            dispatch(frame, token, conn, shared, &completions);
+                        }
+                        match fault {
+                            None => {}
+                            Some(ConnError::Closed) => {
+                                if conn.io.has_partial_frame() {
+                                    shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                                    conn.io.queue(&render_error(
+                                        None,
+                                        ErrorCode::BadRequest,
+                                        "malformed frame",
+                                    ));
+                                }
+                                conn.closing = true;
+                            }
+                            Some(ConnError::TooLarge(n)) => {
+                                shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                                conn.io.queue(&render_error(
+                                    None,
+                                    ErrorCode::FrameTooLarge,
+                                    &format!(
+                                        "frame length {n} outside 1..={}",
+                                        protocol::MAX_FRAME_LEN
+                                    ),
+                                ));
+                                conn.closing = true;
+                            }
+                            Some(ConnError::NotUtf8) => {
+                                shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                                conn.io.queue(&render_error(
+                                    None,
+                                    ErrorCode::BadRequest,
+                                    "malformed frame",
+                                ));
+                                conn.closing = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Flush, re-arm, and reap every connection whose state changed.
+        // (Iterating all connections each tick is fine at the daemon's
+        // connection counts and keeps the bookkeeping obviously right.)
+        let now = Instant::now();
+        let mut dead = Vec::new();
+        for (&token, conn) in conns.iter_mut() {
+            if let Some(limit) = shared.idle_timeout {
+                if !draining
+                    && !conn.closing
+                    && conn.in_flight == 0
+                    && !conn.io.wants_write()
+                    && now.duration_since(conn.io.last_activity) >= limit
+                {
+                    shared.counters.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    conn.io.queue(&render_error(
+                        None,
+                        ErrorCode::IdleTimeout,
+                        &format!("connection idle past {} ms", limit.as_millis()),
+                    ));
+                    conn.closing = true;
+                }
+            }
+            if conn.io.wants_write() && conn.io.flush().is_err() {
+                conn.in_flight = 0;
+                conn.closing = true;
+                dead.push(token);
+                continue;
+            }
+            if conn.drained() {
+                dead.push(token);
+                continue;
+            }
+            let want = conn.desired_interest();
+            if want != conn.registered
+                && poller.modify(conn.io.stream().as_raw_fd(), token, want).is_ok()
+            {
+                conn.registered = want;
+            }
+        }
+        for token in dead {
+            close_conn(&poller, shared, &mut conns, token);
+        }
+    }
+
+    drop(completions);
+    *shared.wake.lock().expect("wake lock") = None;
+    shared.conns_done.store(true, Ordering::SeqCst);
+}
+
+fn accept_burst(
+    listener: &TcpListener,
+    poller: &Poller,
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    while let Ok((stream, _)) = listener.accept() {
+        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let Ok(io) = FramedConn::new(stream) else {
+            shared.counters.conns_closed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        let token = *next_token;
+        *next_token += 1;
+        if poller.add(io.stream().as_raw_fd(), token, Interest::READ).is_err() {
+            shared.counters.conns_closed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        conns.insert(token, Conn { io, registered: Interest::READ, in_flight: 0, closing: false });
+    }
+}
+
+fn close_conn(poller: &Poller, shared: &Arc<Shared>, conns: &mut HashMap<u64, Conn>, token: u64) {
+    if let Some(conn) = conns.remove(&token) {
+        poller.delete(conn.io.stream().as_raw_fd());
+        shared.counters.conns_closed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Parses and dispatches one request frame. Inline verbs queue their
+/// response immediately; admitted `infer` jobs bump `in_flight` and reply
+/// later through the completion queue.
+fn dispatch(
+    payload: String,
+    token: u64,
+    conn: &mut Conn,
+    shared: &Arc<Shared>,
+    completions: &Arc<Completions>,
+) {
+    shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    match protocol::parse_request(&payload) {
+        Ok(Request::Ping { id }) => {
+            let resp = crate::json::ObjBuilder::new()
+                .bool("ok", true)
+                .opt_str("id", id.as_deref())
+                .str("verb", "ping")
+                .build();
+            conn.io.queue(&resp);
+            shared.latency.ping.record(started.elapsed());
+        }
+        Ok(Request::Stats { id }) => {
+            conn.io.queue(&server::render_stats_response(id.as_deref(), shared));
+            shared.latency.stats.record(started.elapsed());
+        }
+        Ok(Request::Metrics { id }) => {
+            conn.io.queue(&server::render_metrics_response(id.as_deref(), shared));
+            shared.latency.metrics.record(started.elapsed());
+        }
+        Ok(Request::Trace { id, select }) => {
+            conn.io.queue(&server::render_trace_response(id.as_deref(), &select, shared));
+            shared.latency.trace.record(started.elapsed());
+        }
+        Ok(Request::Infer { id, infer }) => {
+            let reply = ReplyTo::Event { token, completions: Arc::clone(completions) };
+            match server::start_infer(id, infer, shared, reply) {
+                InferDisposition::Done(resp) => {
+                    conn.io.queue(&resp);
+                    shared.latency.infer.record(started.elapsed());
+                }
+                InferDisposition::Queued => conn.in_flight += 1,
+            }
+        }
+        Err(reason) => {
+            // Parseable framing, unparseable payload: answer and keep the
+            // connection (the stream is still in sync).
+            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            conn.io.queue(&render_error(None, ErrorCode::BadRequest, &reason));
+        }
+    }
+}

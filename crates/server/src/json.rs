@@ -359,6 +359,27 @@ pub fn num(v: f64) -> String {
     }
 }
 
+/// Re-renders a parsed [`Json`] value (stable field order: object keys
+/// are sorted by the `BTreeMap`).
+pub fn render(v: &Json) -> String {
+    match v {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => num(*n),
+        Json::Str(s) => escape(s),
+        Json::Arr(items) => {
+            format!("[{}]", items.iter().map(render).collect::<Vec<_>>().join(","))
+        }
+        Json::Obj(m) => format!(
+            "{{{}}}",
+            m.iter()
+                .map(|(k, v)| format!("{}:{}", escape(k), render(v)))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    }
+}
+
 /// A tiny single-line JSON object builder for responses.
 #[derive(Debug, Default)]
 pub struct ObjBuilder {

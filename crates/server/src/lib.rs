@@ -16,17 +16,25 @@
 //! text exposition.
 
 pub mod client;
+pub mod eio;
 pub mod json;
+pub mod memo;
+pub mod netcore;
 pub mod protocol;
 pub mod queue;
+pub mod router;
+pub mod routing;
 pub mod server;
 pub mod service;
 pub mod trace;
 
 pub use client::{served_psis, Client, ClientError};
+pub use memo::{MemoKey, MemoStats, ResponseMemo};
 pub use obs::Histogram;
 pub use protocol::{ErrorCode, InferRequest, Request, TraceSelect, MAX_FRAME_LEN};
 pub use queue::BoundedQueue;
-pub use server::{Server, ServerConfig, ServerHandle, ServerLatency};
+pub use router::{Router, RouterConfig, RouterHandle};
+pub use routing::{canonical_method, shard_of, CanonicalMethod};
+pub use server::{IoMode, Server, ServerConfig, ServerHandle, ServerLatency};
 pub use service::{run_infer, IncrementalPolicy, InferOutcome};
 pub use trace::{RetainReason, SamplingPolicy, StoredTrace, TraceRing};

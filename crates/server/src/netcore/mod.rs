@@ -1,0 +1,26 @@
+//! # netcore — the std-only event-driven connection core
+//!
+//! An epoll-backed reactor ([`Poller`], [`Waker`]) plus a framed
+//! non-blocking connection state machine ([`FramedConn`]), built directly
+//! on `epoll(7)`/`eventfd(2)` FFI in the same spirit as the daemon's
+//! `signal(2)` handler — no async runtime, no external crates.
+//!
+//! Two run loops are built on it:
+//!
+//! * the daemon's event core (`server::eio`, selected with
+//!   `preinferd --io epoll`): non-blocking accept, per-connection
+//!   incremental frame decode, request pipelining with worker completions
+//!   delivered back through an eventfd wakeup, write buffering with
+//!   `EAGAIN` backpressure, and per-connection idle deadlines;
+//! * the `preinfer-router` front (`server::router`): the same reactor
+//!   driving downstream client connections and pooled pipelined upstream
+//!   connections to the shard daemons.
+//!
+//! Design notes live in DESIGN.md §6.
+
+pub mod conn;
+pub mod poll;
+mod sys;
+
+pub use conn::{ConnError, FramedConn, WRITE_BACKPRESSURE_BYTES};
+pub use poll::{Event, Interest, Poller, Waker};

@@ -1,0 +1,194 @@
+//! The reactor: a thin safe wrapper over one epoll instance plus an
+//! eventfd waker.
+//!
+//! Tokens are caller-chosen `u64`s carried in `epoll_data`; the poller
+//! never interprets them. Registration is level-triggered — the run loops
+//! re-arm interest explicitly after every state change, which keeps the
+//! connection state machines simple (no starvation bookkeeping for
+//! edge-triggered wakeups) at the cost of a few extra `epoll_ctl` calls.
+
+use super::sys::{self, EpollEvent};
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Arc;
+
+/// Which readiness a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    pub const WRITE: Interest = Interest { readable: false, writable: true };
+
+    fn mask(self) -> u32 {
+        let mut m = sys::EPOLLRDHUP;
+        if self.readable {
+            m |= sys::EPOLLIN;
+        }
+        if self.writable {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+}
+
+/// One delivered readiness record.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Error or hangup: the fd should be serviced and torn down.
+    pub error: bool,
+}
+
+/// An owned epoll instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { epfd: sys::sys_epoll_create1()? })
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let ev = EpollEvent { events: interest.mask(), data: token };
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, Some(ev))
+    }
+
+    /// Changes an existing registration's interest.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let ev = EpollEvent { events: interest.mask(), data: token };
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_MOD, fd, Some(ev))
+    }
+
+    /// Removes a registration. Harmless to call for an fd the kernel
+    /// already dropped (closing an fd deregisters it implicitly).
+    pub fn delete(&self, fd: RawFd) {
+        let _ = sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, None);
+    }
+
+    /// Blocks up to `timeout_ms` for readiness, appending decoded events
+    /// into `out` (cleared first). `EINTR` is retried internally.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        let mut raw = [EpollEvent { events: 0, data: 0 }; 128];
+        let n = sys::sys_epoll_wait(self.epfd, &mut raw, timeout_ms)?;
+        out.clear();
+        for ev in &raw[..n] {
+            // Copy out of the (packed on x86-64) struct before use.
+            let events = ev.events;
+            let token = ev.data;
+            out.push(Event {
+                token,
+                readable: events & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: events & sys::EPOLLOUT != 0,
+                error: events & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::sys_close(self.epfd);
+    }
+}
+
+/// A cross-thread wakeup for a [`Poller`]: worker threads (and signal-
+/// noticing shutdown paths) call [`Waker::wake`], and the run loop — which
+/// registers the eventfd under a reserved token — drains it and processes
+/// whatever queue the wake advertised. `write(2)` on an eventfd is
+/// async-signal-safe and non-blocking, so waking can never stall a worker.
+#[derive(Debug)]
+pub struct Waker {
+    efd: RawFd,
+}
+
+impl Waker {
+    pub fn new() -> io::Result<Arc<Waker>> {
+        Ok(Arc::new(Waker { efd: sys::sys_eventfd()? }))
+    }
+
+    /// The fd to register in the poller (read interest).
+    pub fn fd(&self) -> RawFd {
+        self.efd
+    }
+
+    /// Signals the run loop; coalesces with pending wakes.
+    pub fn wake(&self) {
+        sys::sys_eventfd_write(self.efd);
+    }
+
+    /// Consumes pending wake counts (run loop side).
+    pub fn drain(&self) {
+        sys::sys_eventfd_drain(self.efd);
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::sys_close(self.efd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn waker_readiness_round_trips_through_epoll() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.add(waker.fd(), 7, Interest::READ).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "nothing ready before a wake");
+        waker.wake();
+        waker.wake(); // coalesces
+        poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        waker.drain();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "drained waker is no longer ready");
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 1, Interest::READ).unwrap();
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 2000).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable), "accept readiness");
+
+        let (accepted, _) = listener.accept().unwrap();
+        accepted.set_nonblocking(true).unwrap();
+        poller.add(accepted.as_raw_fd(), 2, Interest { readable: true, writable: true }).unwrap();
+        poller.wait(&mut events, 2000).unwrap();
+        assert!(events.iter().any(|e| e.token == 2 && e.writable), "fresh socket is writable");
+
+        // Narrow to read interest: no spurious writable wakeups.
+        poller.modify(accepted.as_raw_fd(), 2, Interest::READ).unwrap();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(!events.iter().any(|e| e.token == 2));
+        client.write_all(b"x").unwrap();
+        poller.wait(&mut events, 2000).unwrap();
+        assert!(events.iter().any(|e| e.token == 2 && e.readable));
+        poller.delete(accepted.as_raw_fd());
+    }
+}

@@ -168,6 +168,11 @@ pub enum ErrorCode {
     CompileError,
     /// The daemon dropped the request internally (worker died).
     Internal,
+    /// The connection sat idle past the per-connection deadline and is
+    /// being closed.
+    IdleTimeout,
+    /// The router could not reach the shard this request routes to.
+    UpstreamUnavailable,
 }
 
 impl ErrorCode {
@@ -179,6 +184,8 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::CompileError => "compile_error",
             ErrorCode::Internal => "internal",
+            ErrorCode::IdleTimeout => "idle_timeout",
+            ErrorCode::UpstreamUnavailable => "upstream_unavailable",
         }
     }
 }

@@ -1,0 +1,1159 @@
+//! `preinfer-router` — the key-affinity sharding front.
+//!
+//! One event loop (the same [`crate::netcore`] reactor as `--io epoll`)
+//! fronts N `preinferd` shard daemons:
+//!
+//! * **Routing**: every `infer` request's target method is canonicalized
+//!   ([`crate::routing::canonical_method`] — the α-renamed pretty-printed
+//!   source whose hash `solver::affinity_hash` is stable across
+//!   processes) and the request is forwarded to shard
+//!   `hash % shards`. α-equivalent methods therefore always land on the
+//!   same shard — the shard whose solver cache and response memo already
+//!   hold their verdicts. Uncompilable programs route by raw text so the
+//!   typed `compile_error` still comes from a real shard.
+//! * **Forwarding** is opaque: the router rewrites only the request `id`
+//!   (to a private correlation token `r<seq>`) and splices the original
+//!   id back into the response text byte-for-byte, so a routed response
+//!   is byte-identical to a direct-daemon response in every other field —
+//!   the corpus differential test locks this in for every ψ.
+//! * **Pooling/pipelining**: each shard gets a small pool of persistent
+//!   upstream connections; requests pipeline onto them and responses are
+//!   matched by token, so out-of-order completions are fine.
+//! * **Fan-out verbs**: `stats`, `metrics`, and `trace` go to every live
+//!   shard and the responses are merged (`stats` nests each shard's
+//!   report; `metrics` re-labels each shard's Prometheus exposition with
+//!   `shard="i"` and concatenates; `trace` concatenates the retained
+//!   traces). `ping` answers locally — it is the router's liveness.
+//! * **Dead shards**: a request routed to a shard with no live upstream
+//!   connection gets a typed `upstream_unavailable` error immediately;
+//!   in-flight requests on a dying connection get the same. A connector
+//!   thread re-dials lost connections with bounded exponential backoff.
+
+use crate::json::{self, ObjBuilder};
+use crate::netcore::{ConnError, FramedConn, Interest, Poller, Waker, WRITE_BACKPRESSURE_BYTES};
+use crate::protocol::{self, render_error, ErrorCode, Request, TraceSelect};
+use crate::routing;
+use obs::MetricsRegistry;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Sweep period (idle deadlines, shutdown flag) in ms.
+const SWEEP_MS: i32 = 100;
+
+/// Drain grace, mirroring the daemon cores.
+const DRAIN_GRACE: Duration = Duration::from_millis(200);
+
+/// Per-downstream-connection in-flight ceiling before reads pause.
+const MAX_CONN_IN_FLIGHT: usize = 512;
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks a free port.
+    pub addr: String,
+    /// Upstream shard daemon addresses (`HOST:PORT`), in shard order.
+    /// The order is the hash space: the same list in the same order must
+    /// be used across router restarts for affinity to persist.
+    pub shards: Vec<String>,
+    /// Pooled upstream connections per shard.
+    pub conns_per_shard: usize,
+    /// Idle deadline for downstream client connections (0 disables).
+    pub idle_timeout_ms: u64,
+    /// Reconnect backoff floor / ceiling, milliseconds.
+    pub reconnect_min_ms: u64,
+    pub reconnect_max_ms: u64,
+    /// How long `Router::start` waits for every shard to have at least
+    /// one live upstream connection before returning (0 = don't wait).
+    pub wait_ready_ms: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: Vec::new(),
+            conns_per_shard: 2,
+            idle_timeout_ms: 60_000,
+            reconnect_min_ms: 50,
+            reconnect_max_ms: 1_000,
+            wait_ready_ms: 2_000,
+        }
+    }
+}
+
+/// Monotonic router counters (the merged `stats` response's `router`
+/// block and the `preinfer_router_*` metrics family).
+#[derive(Debug, Default)]
+pub struct RouterCounters {
+    pub connections: AtomicU64,
+    pub conns_closed: AtomicU64,
+    pub idle_closed: AtomicU64,
+    pub requests: AtomicU64,
+    pub forwarded: AtomicU64,
+    pub fanouts: AtomicU64,
+    pub unavailable: AtomicU64,
+    pub bad_requests: AtomicU64,
+    pub reconnects: AtomicU64,
+    /// Upstream frames whose correlation token matched nothing (e.g. a
+    /// shard's unsolicited `idle_timeout` notice before it closes a
+    /// quiet pooled connection).
+    pub unmatched: AtomicU64,
+}
+
+impl RouterCounters {
+    pub fn open_connections(&self) -> u64 {
+        self.connections
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.conns_closed.load(Ordering::Relaxed))
+    }
+}
+
+struct RouterShared {
+    shutdown: AtomicBool,
+    wake: Mutex<Option<Arc<Waker>>>,
+    /// (shard, slot) pairs the loop wants re-dialed.
+    connect_requests: Mutex<Vec<(usize, usize)>>,
+    /// Freshly connected upstream streams from the connector thread.
+    connect_results: Mutex<Vec<(usize, usize, TcpStream)>>,
+    counters: Arc<RouterCounters>,
+    /// Live upstream connections across all shards.
+    live_upstreams: AtomicU64,
+    /// Shards with at least one live upstream connection.
+    live_shards: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    started: Instant,
+    cfg: RouterConfig,
+}
+
+impl RouterShared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn wake_loop(&self) {
+        if let Some(w) = &*self.wake.lock().expect("wake lock") {
+            w.wake();
+        }
+    }
+}
+
+/// A cloneable graceful-shutdown trigger.
+#[derive(Clone)]
+pub struct RouterHandle {
+    shared: Arc<RouterShared>,
+}
+
+impl RouterHandle {
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake_loop();
+    }
+}
+
+/// A running router.
+pub struct Router {
+    shared: Arc<RouterShared>,
+    local_addr: SocketAddr,
+    event: JoinHandle<()>,
+    connector: JoinHandle<()>,
+}
+
+impl Router {
+    /// Binds, starts the event loop and the connector thread, and waits
+    /// up to `wait_ready_ms` for every shard to come live.
+    pub fn start(cfg: RouterConfig) -> io::Result<Router> {
+        if cfg.shards.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "no shards configured"));
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let counters = Arc::new(RouterCounters::default());
+        let registry = Arc::new(MetricsRegistry::new());
+        let started = Instant::now();
+        let shared = Arc::new(RouterShared {
+            shutdown: AtomicBool::new(false),
+            wake: Mutex::new(None),
+            connect_requests: Mutex::new(
+                (0..cfg.shards.len())
+                    .flat_map(|s| (0..cfg.conns_per_shard.max(1)).map(move |p| (s, p)))
+                    .collect(),
+            ),
+            connect_results: Mutex::new(Vec::new()),
+            counters: Arc::clone(&counters),
+            live_upstreams: AtomicU64::new(0),
+            live_shards: AtomicU64::new(0),
+            registry,
+            started,
+            cfg,
+        });
+        register_router_metrics(&shared);
+        let connector = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || connector_loop(&shared))
+        };
+        let event = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || event_loop(listener, &shared))
+        };
+        let deadline = Instant::now() + Duration::from_millis(shared.cfg.wait_ready_ms);
+        while shared.live_shards.load(Ordering::SeqCst) < shared.cfg.shards.len() as u64
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(Router { shared, local_addr, event, connector })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Blocks until the router has drained (call
+    /// [`RouterHandle::shutdown`] first).
+    pub fn join(self) {
+        let _ = self.event.join();
+        let _ = self.connector.join();
+    }
+}
+
+fn register_router_metrics(shared: &Arc<RouterShared>) {
+    let reg = &shared.registry;
+    let started = shared.started;
+    reg.gauge("preinfer_uptime_seconds", "Seconds since the router started.", &[], move || {
+        started.elapsed().as_secs_f64()
+    });
+    let c = Arc::clone(&shared.counters);
+    reg.gauge(
+        "preinfer_server_connections",
+        "Currently open downstream connections.",
+        &[],
+        move || c.open_connections() as f64,
+    );
+    const CONN_EVENT_HELP: &str = "Connection lifecycle events.";
+    let c = Arc::clone(&shared.counters);
+    reg.counter(
+        "preinfer_connection_events_total",
+        CONN_EVENT_HELP,
+        &[("event", "accepted")],
+        move || c.connections.load(Ordering::Relaxed),
+    );
+    let c = Arc::clone(&shared.counters);
+    reg.counter(
+        "preinfer_connection_events_total",
+        CONN_EVENT_HELP,
+        &[("event", "closed")],
+        move || c.conns_closed.load(Ordering::Relaxed),
+    );
+    let c = Arc::clone(&shared.counters);
+    reg.counter(
+        "preinfer_connection_events_total",
+        CONN_EVENT_HELP,
+        &[("event", "idle_closed")],
+        move || c.idle_closed.load(Ordering::Relaxed),
+    );
+    let c = Arc::clone(&shared.counters);
+    reg.counter("preinfer_router_requests_total", "Downstream request frames.", &[], move || {
+        c.requests.load(Ordering::Relaxed)
+    });
+    let c = Arc::clone(&shared.counters);
+    reg.counter(
+        "preinfer_router_forwarded_total",
+        "Requests forwarded to a shard.",
+        &[],
+        move || c.forwarded.load(Ordering::Relaxed),
+    );
+    let c = Arc::clone(&shared.counters);
+    reg.counter(
+        "preinfer_router_fanouts_total",
+        "Fan-out verbs (stats/metrics/trace) dispatched to all shards.",
+        &[],
+        move || c.fanouts.load(Ordering::Relaxed),
+    );
+    let c = Arc::clone(&shared.counters);
+    reg.counter(
+        "preinfer_router_unavailable_total",
+        "Requests answered with upstream_unavailable.",
+        &[],
+        move || c.unavailable.load(Ordering::Relaxed),
+    );
+    let c = Arc::clone(&shared.counters);
+    reg.counter(
+        "preinfer_router_reconnects_total",
+        "Upstream connections lost and re-dialed.",
+        &[],
+        move || c.reconnects.load(Ordering::Relaxed),
+    );
+    let s = Arc::clone(shared);
+    reg.gauge(
+        "preinfer_router_upstream_connections",
+        "Live pooled upstream connections.",
+        &[],
+        move || s.live_upstreams.load(Ordering::Relaxed) as f64,
+    );
+    let n = shared.cfg.shards.len() as f64;
+    reg.gauge("preinfer_router_shards", "Configured shard count.", &[], move || n);
+}
+
+// ---- connector thread -------------------------------------------------------
+
+/// Dials lost upstream connections off the event loop (blocking
+/// `connect_timeout`), with per-shard exponential backoff between
+/// attempts, and hands live streams back through `connect_results`.
+fn connector_loop(shared: &Arc<RouterShared>) {
+    struct Attempt {
+        shard: usize,
+        slot: usize,
+        not_before: Instant,
+        backoff: Duration,
+    }
+    let min = Duration::from_millis(shared.cfg.reconnect_min_ms.max(1));
+    let max = Duration::from_millis(shared.cfg.reconnect_max_ms.max(shared.cfg.reconnect_min_ms));
+    let mut queue: Vec<Attempt> = Vec::new();
+    while !shared.shutting_down() {
+        for (shard, slot) in shared.connect_requests.lock().expect("connect requests").drain(..) {
+            queue.push(Attempt { shard, slot, not_before: Instant::now(), backoff: min });
+        }
+        let now = Instant::now();
+        let mut still_waiting = Vec::new();
+        for mut a in queue.drain(..) {
+            if now < a.not_before {
+                still_waiting.push(a);
+                continue;
+            }
+            let addr = &shared.cfg.shards[a.shard];
+            let dialed = addr
+                .parse::<SocketAddr>()
+                .ok()
+                .and_then(|sa| TcpStream::connect_timeout(&sa, Duration::from_millis(500)).ok())
+                .or_else(|| TcpStream::connect(addr.as_str()).ok());
+            match dialed {
+                Some(stream) => {
+                    shared
+                        .connect_results
+                        .lock()
+                        .expect("connect results")
+                        .push((a.shard, a.slot, stream));
+                    shared.wake_loop();
+                }
+                None => {
+                    a.not_before = now + a.backoff;
+                    a.backoff = (a.backoff * 2).min(max);
+                    still_waiting.push(a);
+                }
+            }
+        }
+        queue = still_waiting;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+// ---- event loop -------------------------------------------------------------
+
+/// A downstream (client) connection.
+struct DownConn {
+    io: FramedConn,
+    registered: Interest,
+    /// Client requests forwarded upstream whose responses have not yet
+    /// been queued back.
+    in_flight: usize,
+    closing: bool,
+}
+
+impl DownConn {
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.closing
+                && self.in_flight < MAX_CONN_IN_FLIGHT
+                && self.io.write_backlog() < WRITE_BACKPRESSURE_BYTES,
+            writable: self.io.wants_write(),
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.closing && self.in_flight == 0 && !self.io.wants_write()
+    }
+}
+
+/// An upstream (shard daemon) connection.
+struct UpConn {
+    io: FramedConn,
+    shard: usize,
+    slot: usize,
+    /// Correlation tokens pipelined on this connection and still
+    /// unanswered (failed over to `upstream_unavailable` if it dies).
+    pending: Vec<u64>,
+}
+
+/// One in-flight forwarded request.
+struct Pending {
+    down_token: u64,
+    orig_id: Option<String>,
+    /// `Some` when this sub-request belongs to a fan-out.
+    fan: Option<Rc<RefCell<FanState>>>,
+}
+
+/// One fan-out (stats/metrics/trace) awaiting all shard parts.
+struct FanState {
+    verb: FanVerb,
+    down_token: u64,
+    orig_id: Option<String>,
+    expect: usize,
+    parts: Vec<(usize, String)>,
+    unavailable: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FanVerb {
+    Stats,
+    Metrics,
+    Trace,
+}
+
+struct Shards {
+    /// Per shard: per pool slot, the live upstream conn token.
+    slots: Vec<Vec<Option<u64>>>,
+}
+
+struct Loop<'a> {
+    poller: &'a Poller,
+    shared: &'a Arc<RouterShared>,
+    downs: HashMap<u64, DownConn>,
+    ups: HashMap<u64, UpConn>,
+    shards: Shards,
+    pending: HashMap<u64, Pending>,
+    next_seq: u64,
+    next_token: u64,
+}
+
+fn event_loop(listener: TcpListener, shared: &Arc<RouterShared>) {
+    let poller = match Poller::new() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("preinfer-router: epoll unavailable: {e}");
+            return;
+        }
+    };
+    let waker = match Waker::new() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("preinfer-router: eventfd unavailable: {e}");
+            return;
+        }
+    };
+    if poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ).is_err()
+        || poller.add(waker.fd(), TOKEN_WAKER, Interest::READ).is_err()
+    {
+        eprintln!("preinfer-router: failed to register event fds");
+        return;
+    }
+    *shared.wake.lock().expect("wake lock") = Some(Arc::clone(&waker));
+
+    let nshards = shared.cfg.shards.len();
+    let mut lp = Loop {
+        poller: &poller,
+        shared,
+        downs: HashMap::new(),
+        ups: HashMap::new(),
+        shards: Shards { slots: vec![vec![None; shared.cfg.conns_per_shard.max(1)]; nshards] },
+        pending: HashMap::new(),
+        next_seq: 0,
+        next_token: TOKEN_FIRST_CONN,
+    };
+    let mut events = Vec::new();
+    let mut frames = Vec::new();
+    let mut draining = false;
+
+    loop {
+        if shared.shutting_down() && !draining {
+            draining = true;
+            lp.accept_burst(&listener);
+            poller.delete(listener.as_raw_fd());
+        }
+        if draining {
+            let quiet: Vec<u64> = lp
+                .downs
+                .iter()
+                .filter(|(_, c)| {
+                    c.in_flight == 0
+                        && !c.io.wants_write()
+                        && c.io.last_activity.elapsed() >= DRAIN_GRACE
+                })
+                .map(|(t, _)| *t)
+                .collect();
+            for t in quiet {
+                lp.close_down(t);
+            }
+            if lp.downs.is_empty() {
+                break;
+            }
+        }
+
+        if poller.wait(&mut events, SWEEP_MS).is_err() {
+            break;
+        }
+        waker.drain();
+        lp.adopt_new_upstreams();
+
+        for ev in std::mem::take(&mut events) {
+            match ev.token {
+                TOKEN_LISTENER => {
+                    if !draining {
+                        lp.accept_burst(&listener);
+                    }
+                }
+                TOKEN_WAKER => {}
+                token if lp.ups.contains_key(&token) => {
+                    if ev.error {
+                        lp.fail_upstream(token);
+                        continue;
+                    }
+                    if ev.readable {
+                        let fault =
+                            lp.ups.get_mut(&token).unwrap().io.read_frames(&mut frames).err();
+                        for frame in frames.drain(..) {
+                            lp.on_upstream_frame(token, frame);
+                        }
+                        if fault.is_some() {
+                            lp.fail_upstream(token);
+                        }
+                    }
+                }
+                token => {
+                    let Some(conn) = lp.downs.get_mut(&token) else { continue };
+                    if ev.error {
+                        conn.closing = true;
+                        conn.in_flight = 0;
+                        lp.close_down(token);
+                        continue;
+                    }
+                    if ev.readable && !conn.closing {
+                        let fault = conn.io.read_frames(&mut frames).err();
+                        for frame in frames.drain(..) {
+                            lp.dispatch_down(token, frame);
+                        }
+                        let conn = lp.downs.get_mut(&token).expect("still present");
+                        match fault {
+                            None => {}
+                            Some(ConnError::Closed) => {
+                                if conn.io.has_partial_frame() {
+                                    shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                                    conn.io.queue(&render_error(
+                                        None,
+                                        ErrorCode::BadRequest,
+                                        "malformed frame",
+                                    ));
+                                }
+                                conn.closing = true;
+                            }
+                            Some(ConnError::TooLarge(n)) => {
+                                shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                                conn.io.queue(&render_error(
+                                    None,
+                                    ErrorCode::FrameTooLarge,
+                                    &format!(
+                                        "frame length {n} outside 1..={}",
+                                        protocol::MAX_FRAME_LEN
+                                    ),
+                                ));
+                                conn.closing = true;
+                            }
+                            Some(ConnError::NotUtf8) => {
+                                shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                                conn.io.queue(&render_error(
+                                    None,
+                                    ErrorCode::BadRequest,
+                                    "malformed frame",
+                                ));
+                                conn.closing = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        lp.flush_and_sweep(draining);
+    }
+
+    *shared.wake.lock().expect("wake lock") = None;
+}
+
+impl<'a> Loop<'a> {
+    fn accept_burst(&mut self, listener: &TcpListener) {
+        while let Ok((stream, _)) = listener.accept() {
+            self.shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+            let Ok(io) = FramedConn::new(stream) else {
+                self.shared.counters.conns_closed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            let token = self.next_token;
+            self.next_token += 1;
+            if self.poller.add(io.stream().as_raw_fd(), token, Interest::READ).is_err() {
+                self.shared.counters.conns_closed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.downs.insert(
+                token,
+                DownConn { io, registered: Interest::READ, in_flight: 0, closing: false },
+            );
+        }
+    }
+
+    /// Registers streams the connector thread delivered.
+    fn adopt_new_upstreams(&mut self) {
+        let arrivals: Vec<(usize, usize, TcpStream)> =
+            self.shared.connect_results.lock().expect("connect results").drain(..).collect();
+        for (shard, slot, stream) in arrivals {
+            let Ok(io) = FramedConn::new(stream) else {
+                self.request_reconnect(shard, slot);
+                continue;
+            };
+            let token = self.next_token;
+            self.next_token += 1;
+            if self.poller.add(io.stream().as_raw_fd(), token, Interest::READ).is_err() {
+                self.request_reconnect(shard, slot);
+                continue;
+            }
+            if let Some(prev) = self.shards.slots[shard][slot].replace(token) {
+                // A stale connection still occupied the slot; retire it.
+                self.retire_upstream(prev);
+            }
+            self.ups.insert(token, UpConn { io, shard, slot, pending: Vec::new() });
+            self.shared.live_upstreams.fetch_add(1, Ordering::SeqCst);
+            self.recount_live_shards();
+        }
+    }
+
+    fn recount_live_shards(&self) {
+        let live =
+            self.shards.slots.iter().filter(|slots| slots.iter().any(|s| s.is_some())).count();
+        self.shared.live_shards.store(live as u64, Ordering::SeqCst);
+    }
+
+    fn request_reconnect(&self, shard: usize, slot: usize) {
+        self.shared.connect_requests.lock().expect("connect requests").push((shard, slot));
+    }
+
+    /// The least-loaded live upstream connection for `shard`.
+    fn pick_upstream(&self, shard: usize) -> Option<u64> {
+        self.shards.slots[shard]
+            .iter()
+            .flatten()
+            .copied()
+            .min_by_key(|t| self.ups.get(t).map(|u| u.pending.len()).unwrap_or(usize::MAX))
+    }
+
+    /// Tears an upstream connection down without failing its in-flight
+    /// requests (used when a slot is superseded).
+    fn retire_upstream(&mut self, token: u64) {
+        if let Some(up) = self.ups.remove(&token) {
+            self.poller.delete(up.io.stream().as_raw_fd());
+            self.shared.live_upstreams.fetch_sub(1, Ordering::SeqCst);
+            for seq in up.pending {
+                self.answer_unavailable(seq, up.shard);
+            }
+            self.recount_live_shards();
+        }
+    }
+
+    /// Handles an upstream connection dying: every pipelined request on
+    /// it fails over to a typed `upstream_unavailable`, the slot empties,
+    /// and the connector re-dials with backoff.
+    fn fail_upstream(&mut self, token: u64) {
+        if let Some(up) = self.ups.remove(&token) {
+            self.poller.delete(up.io.stream().as_raw_fd());
+            self.shared.live_upstreams.fetch_sub(1, Ordering::SeqCst);
+            self.shared.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+            self.shards.slots[up.shard][up.slot] = None;
+            self.recount_live_shards();
+            self.request_reconnect(up.shard, up.slot);
+            for seq in up.pending {
+                self.answer_unavailable(seq, up.shard);
+            }
+        }
+    }
+
+    /// Fails one pending request over to `upstream_unavailable`.
+    fn answer_unavailable(&mut self, seq: u64, shard: usize) {
+        let Some(p) = self.pending.remove(&seq) else { return };
+        self.shared.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+        match p.fan {
+            None => {
+                let msg = format!(
+                    "shard {shard} ({}) is unavailable",
+                    self.shared.cfg.shards.get(shard).map(String::as_str).unwrap_or("?")
+                );
+                let resp = render_error(p.orig_id.as_deref(), ErrorCode::UpstreamUnavailable, &msg);
+                self.deliver_down(p.down_token, resp);
+            }
+            Some(fan) => {
+                fan.borrow_mut().unavailable += 1;
+                self.try_finish_fan(&fan);
+            }
+        }
+    }
+
+    /// Queues a response onto a downstream connection (dropped if the
+    /// client has vanished) and releases its in-flight slot.
+    fn deliver_down(&mut self, token: u64, response: String) {
+        if let Some(conn) = self.downs.get_mut(&token) {
+            conn.in_flight = conn.in_flight.saturating_sub(1);
+            conn.io.queue(&response);
+        }
+    }
+
+    fn close_down(&mut self, token: u64) {
+        if let Some(conn) = self.downs.remove(&token) {
+            self.poller.delete(conn.io.stream().as_raw_fd());
+            self.shared.counters.conns_closed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Parses and routes one downstream request frame.
+    fn dispatch_down(&mut self, token: u64, payload: String) {
+        self.shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        match protocol::parse_request(&payload) {
+            Ok(Request::Ping { id }) => {
+                // The router's own liveness, answered locally.
+                let resp = ObjBuilder::new()
+                    .bool("ok", true)
+                    .opt_str("id", id.as_deref())
+                    .str("verb", "ping")
+                    .build();
+                self.deliver_inline(token, resp);
+            }
+            Ok(Request::Infer { id, infer }) => {
+                let shard = routing::shard_of(
+                    &infer.program,
+                    infer.func.as_deref(),
+                    self.shared.cfg.shards.len(),
+                );
+                let Some(up_token) = self.pick_upstream(shard) else {
+                    self.shared.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+                    let msg =
+                        format!("shard {shard} ({}) is unavailable", self.shared.cfg.shards[shard]);
+                    let resp = render_error(id.as_deref(), ErrorCode::UpstreamUnavailable, &msg);
+                    self.deliver_inline(token, resp);
+                    return;
+                };
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let rewritten = protocol::render_infer(Some(&format!("r{seq}")), &infer);
+                let up = self.ups.get_mut(&up_token).expect("picked upstream exists");
+                up.io.queue(&rewritten);
+                up.pending.push(seq);
+                self.pending.insert(seq, Pending { down_token: token, orig_id: id, fan: None });
+                if let Some(conn) = self.downs.get_mut(&token) {
+                    conn.in_flight += 1;
+                }
+                self.shared.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Request::Stats { id }) => self.fan_out(token, id, FanVerb::Stats, None),
+            Ok(Request::Metrics { id }) => self.fan_out(token, id, FanVerb::Metrics, None),
+            Ok(Request::Trace { id, select }) => {
+                self.fan_out(token, id, FanVerb::Trace, Some(select))
+            }
+            Err(reason) => {
+                self.shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let resp = render_error(None, ErrorCode::BadRequest, &reason);
+                self.deliver_inline(token, resp);
+            }
+        }
+    }
+
+    /// Queues a locally produced response without touching in-flight
+    /// accounting (the request never went upstream).
+    fn deliver_inline(&mut self, token: u64, response: String) {
+        if let Some(conn) = self.downs.get_mut(&token) {
+            conn.io.queue(&response);
+        }
+    }
+
+    /// Dispatches a fan-out verb to every live shard and collects.
+    fn fan_out(
+        &mut self,
+        token: u64,
+        id: Option<String>,
+        verb: FanVerb,
+        select: Option<TraceSelect>,
+    ) {
+        self.shared.counters.fanouts.fetch_add(1, Ordering::Relaxed);
+        let nshards = self.shared.cfg.shards.len();
+        let targets: Vec<(usize, Option<u64>)> =
+            (0..nshards).map(|s| (s, self.pick_upstream(s))).collect();
+        let reachable = targets.iter().filter(|(_, t)| t.is_some()).count();
+        if reachable == 0 {
+            self.shared.counters.unavailable.fetch_add(1, Ordering::Relaxed);
+            let resp = render_error(
+                id.as_deref(),
+                ErrorCode::UpstreamUnavailable,
+                "no shard is reachable",
+            );
+            self.deliver_inline(token, resp);
+            return;
+        }
+        let fan = Rc::new(RefCell::new(FanState {
+            verb,
+            down_token: token,
+            orig_id: id,
+            expect: nshards,
+            parts: Vec::new(),
+            unavailable: nshards - reachable,
+        }));
+        if let Some(conn) = self.downs.get_mut(&token) {
+            conn.in_flight += 1;
+        }
+        for (shard, target) in targets {
+            let Some(up_token) = target else { continue };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let rid = format!("r{seq}");
+            let request = match verb {
+                FanVerb::Stats => protocol::render_stats(Some(&rid)),
+                FanVerb::Metrics => protocol::render_metrics(Some(&rid)),
+                FanVerb::Trace => {
+                    protocol::render_trace(Some(&rid), select.unwrap_or(TraceSelect::Last(1)))
+                }
+            };
+            let up = self.ups.get_mut(&up_token).expect("picked upstream exists");
+            up.io.queue(&request);
+            up.pending.push(seq);
+            let _ = shard; // shard is recoverable from the upstream conn
+            self.pending.insert(
+                seq,
+                Pending { down_token: token, orig_id: None, fan: Some(Rc::clone(&fan)) },
+            );
+        }
+        // Every target may already have been unavailable-only; nothing
+        // else completes the fan in that case.
+        self.try_finish_fan(&fan);
+    }
+
+    /// One response frame from a shard: match its correlation token,
+    /// splice the original id back, and deliver or collect.
+    fn on_upstream_frame(&mut self, up_token: u64, raw: String) {
+        let Some((start, end, seq)) = find_correlation_id(&raw) else {
+            // E.g. the shard's typed idle_timeout notice for this pooled
+            // connection; the connection will close and re-dial.
+            self.shared.counters.unmatched.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let Some(p) = self.pending.remove(&seq) else {
+            self.shared.counters.unmatched.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if let Some(up) = self.ups.get_mut(&up_token) {
+            up.pending.retain(|&s| s != seq);
+        }
+        match p.fan {
+            None => {
+                // Splice: replace `"id":"r<seq>"` with the original id,
+                // leaving every other response byte untouched.
+                let replacement = match &p.orig_id {
+                    Some(v) => format!("\"id\":{}", json::escape(v)),
+                    None => "\"id\":null".to_string(),
+                };
+                let spliced = format!("{}{}{}", &raw[..start], replacement, &raw[end..]);
+                self.deliver_down(p.down_token, spliced);
+            }
+            Some(fan) => {
+                let shard = self.ups.get(&up_token).map(|u| u.shard).unwrap_or(0);
+                fan.borrow_mut().parts.push((shard, raw));
+                self.try_finish_fan(&fan);
+            }
+        }
+    }
+
+    /// Completes a fan-out once every shard has answered or failed.
+    fn try_finish_fan(&mut self, fan: &Rc<RefCell<FanState>>) {
+        let done = {
+            let f = fan.borrow();
+            f.parts.len() + f.unavailable >= f.expect
+        };
+        if !done {
+            return;
+        }
+        let mut f = fan.borrow_mut();
+        f.parts.sort_by_key(|(shard, _)| *shard);
+        let response = match f.verb {
+            FanVerb::Stats => merge_stats(&f, self.shared),
+            FanVerb::Metrics => merge_metrics(&f, self.shared),
+            FanVerb::Trace => merge_traces(&f),
+        };
+        let down = f.down_token;
+        // Guard against double completion if both a part arrival and an
+        // unavailable notice raced to finish it.
+        f.expect = usize::MAX;
+        drop(f);
+        self.deliver_down(down, response);
+    }
+
+    /// Flushes every connection, re-arms interest, applies idle
+    /// deadlines, and reaps the dead.
+    fn flush_and_sweep(&mut self, draining: bool) {
+        let now = Instant::now();
+        let idle_limit = (self.shared.cfg.idle_timeout_ms > 0)
+            .then(|| Duration::from_millis(self.shared.cfg.idle_timeout_ms));
+        let mut dead_downs = Vec::new();
+        for (&token, conn) in self.downs.iter_mut() {
+            if let Some(limit) = idle_limit {
+                if !draining
+                    && !conn.closing
+                    && conn.in_flight == 0
+                    && !conn.io.wants_write()
+                    && now.duration_since(conn.io.last_activity) >= limit
+                {
+                    self.shared.counters.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    conn.io.queue(&render_error(
+                        None,
+                        ErrorCode::IdleTimeout,
+                        &format!("connection idle past {} ms", limit.as_millis()),
+                    ));
+                    conn.closing = true;
+                }
+            }
+            if conn.io.wants_write() && conn.io.flush().is_err() {
+                conn.in_flight = 0;
+                conn.closing = true;
+                dead_downs.push(token);
+                continue;
+            }
+            if conn.drained() {
+                dead_downs.push(token);
+                continue;
+            }
+            let want = conn.desired_interest();
+            if want != conn.registered
+                && self.poller.modify(conn.io.stream().as_raw_fd(), token, want).is_ok()
+            {
+                conn.registered = want;
+            }
+        }
+        for token in dead_downs {
+            self.close_down(token);
+        }
+        let mut dead_ups = Vec::new();
+        for (&token, up) in self.ups.iter_mut() {
+            if up.io.wants_write() {
+                match up.io.flush() {
+                    Err(_) => {
+                        dead_ups.push(token);
+                        continue;
+                    }
+                    Ok(flushed) => {
+                        let want = Interest { readable: true, writable: !flushed };
+                        let _ = self.poller.modify(up.io.stream().as_raw_fd(), token, want);
+                    }
+                }
+            }
+        }
+        for token in dead_ups {
+            self.fail_upstream(token);
+        }
+    }
+}
+
+/// Locates the router's correlation token `"id":"r<seq>"` in a raw shard
+/// response, returning the byte range of the whole `"id":"r<seq>"` field
+/// and the parsed sequence number. Raw double quotes cannot occur inside
+/// JSON string values (they render escaped), so this byte pattern can
+/// only be the actual id field.
+fn find_correlation_id(raw: &str) -> Option<(usize, usize, u64)> {
+    const PAT: &str = "\"id\":\"r";
+    let start = raw.find(PAT)?;
+    let digits = &raw.as_bytes()[start + PAT.len()..];
+    let mut n = 0usize;
+    let mut seq: u64 = 0;
+    while n < digits.len() && digits[n].is_ascii_digit() {
+        seq = seq.wrapping_mul(10).wrapping_add(u64::from(digits[n] - b'0'));
+        n += 1;
+    }
+    if n == 0 || digits.get(n) != Some(&b'"') {
+        return None;
+    }
+    Some((start, start + PAT.len() + n + 1, seq))
+}
+
+/// Renders the router block common to merged responses.
+fn router_block(shared: &Arc<RouterShared>) -> String {
+    let c = &shared.counters;
+    ObjBuilder::new()
+        .u64("shards", shared.cfg.shards.len() as u64)
+        .u64("live_upstreams", shared.live_upstreams.load(Ordering::SeqCst))
+        .u64("connections", c.connections.load(Ordering::Relaxed))
+        .u64("conns_closed", c.conns_closed.load(Ordering::Relaxed))
+        .u64("idle_closed", c.idle_closed.load(Ordering::Relaxed))
+        .u64("open_connections", c.open_connections())
+        .u64("requests", c.requests.load(Ordering::Relaxed))
+        .u64("forwarded", c.forwarded.load(Ordering::Relaxed))
+        .u64("fanouts", c.fanouts.load(Ordering::Relaxed))
+        .u64("unavailable", c.unavailable.load(Ordering::Relaxed))
+        .u64("bad_requests", c.bad_requests.load(Ordering::Relaxed))
+        .u64("reconnects", c.reconnects.load(Ordering::Relaxed))
+        .u64("unmatched", c.unmatched.load(Ordering::Relaxed))
+        .u64("uptime_s", shared.started.elapsed().as_secs())
+        .build()
+}
+
+/// Merged `stats`: the router's own counters plus each shard's full
+/// stats response nested verbatim under its shard index.
+fn merge_stats(f: &FanState, shared: &Arc<RouterShared>) -> String {
+    let shards: Vec<String> = f
+        .parts
+        .iter()
+        .map(|(shard, raw)| {
+            ObjBuilder::new()
+                .u64("shard", *shard as u64)
+                .str("addr", &shared.cfg.shards[*shard])
+                .raw("stats", raw.clone())
+                .build()
+        })
+        .collect();
+    ObjBuilder::new()
+        .bool("ok", true)
+        .opt_str("id", f.orig_id.as_deref())
+        .str("verb", "stats")
+        .raw("router", router_block(shared))
+        .u64("shards_unavailable", f.unavailable as u64)
+        .arr("shards", shards)
+        .build()
+}
+
+/// Merged `metrics`: the router's own exposition plus each shard's,
+/// re-labeled with `shard="i"` and de-duplicated `# HELP`/`# TYPE`.
+fn merge_metrics(f: &FanState, shared: &Arc<RouterShared>) -> String {
+    let mut out = String::new();
+    let mut seen_headers = std::collections::HashSet::new();
+    let mut push = |line: &str, out: &mut String| {
+        if line.starts_with("# ") && !seen_headers.insert(line.to_string()) {
+            return;
+        }
+        out.push_str(line);
+        out.push('\n');
+    };
+    for line in shared.registry.render_prometheus().lines() {
+        push(line, &mut out);
+    }
+    for (shard, raw) in &f.parts {
+        let Ok(parsed) = json::parse(raw) else { continue };
+        let Some(text) = parsed.str_field("text") else { continue };
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('#') {
+                push(line, &mut out);
+            } else {
+                push(&relabel_metric_line(line, *shard), &mut out);
+            }
+        }
+    }
+    ObjBuilder::new()
+        .bool("ok", true)
+        .opt_str("id", f.orig_id.as_deref())
+        .str("verb", "metrics")
+        .str("content_type", "text/plain; version=0.0.4")
+        .u64("shards_unavailable", f.unavailable as u64)
+        .str("text", &out)
+        .build()
+}
+
+/// Inserts `shard="i"` as the first label of one Prometheus sample line.
+fn relabel_metric_line(line: &str, shard: usize) -> String {
+    match line.find('{') {
+        Some(brace) => format!("{}{{shard=\"{shard}\",{}", &line[..brace], &line[brace + 1..]),
+        None => match line.find(' ') {
+            Some(space) => {
+                format!("{}{{shard=\"{shard}\"}}{}", &line[..space], &line[space..])
+            }
+            None => line.to_string(),
+        },
+    }
+}
+
+/// Merged `trace`: all shards' retained traces concatenated (each trace
+/// object gains a `shard` field), newest-first within each shard.
+fn merge_traces(f: &FanState) -> String {
+    let mut traces = Vec::new();
+    let mut buffered = 0u64;
+    for (shard, raw) in &f.parts {
+        let Ok(parsed) = json::parse(raw) else { continue };
+        buffered += parsed.u64_field("buffered").unwrap_or(0);
+        if let Some(items) = parsed.get("traces").and_then(|t| t.as_array()) {
+            for t in items {
+                let mut with_shard = t.clone();
+                if let json::Json::Obj(m) = &mut with_shard {
+                    m.insert("shard".to_string(), json::Json::Num(*shard as f64));
+                }
+                traces.push(json::render(&with_shard));
+            }
+        }
+    }
+    ObjBuilder::new()
+        .bool("ok", true)
+        .opt_str("id", f.orig_id.as_deref())
+        .str("verb", "trace")
+        .u64("buffered", buffered)
+        .u64("shards_unavailable", f.unavailable as u64)
+        .arr("traces", traces)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_ids_are_found_and_spliced() {
+        let raw = "{\"ok\":true,\"id\":\"r42\",\"verb\":\"infer\",\"psi\":\"x != 0\"}";
+        let (s, e, seq) = find_correlation_id(raw).expect("token found");
+        assert_eq!(seq, 42);
+        assert_eq!(&raw[s..e], "\"id\":\"r42\"");
+        let spliced = format!("{}{}{}", &raw[..s], "\"id\":\"client-7\"", &raw[e..]);
+        assert_eq!(
+            spliced,
+            "{\"ok\":true,\"id\":\"client-7\",\"verb\":\"infer\",\"psi\":\"x != 0\"}"
+        );
+    }
+
+    #[test]
+    fn correlation_ignores_escaped_lookalikes_in_strings() {
+        // A ψ string that *contains* the pattern renders with escaped
+        // quotes, so the matcher cannot be fooled.
+        let raw = "{\"msg\":\"see \\\"id\\\":\\\"r9\\\"\",\"id\":\"r3\",\"ok\":false}";
+        let (_, _, seq) = find_correlation_id(raw).expect("real id found");
+        assert_eq!(seq, 3);
+        assert!(find_correlation_id("{\"id\":null}").is_none());
+        assert!(find_correlation_id("{\"id\":\"client\"}").is_none());
+        assert!(find_correlation_id("{\"id\":\"r\"}").is_none(), "no digits");
+    }
+
+    #[test]
+    fn metric_lines_gain_the_shard_label() {
+        assert_eq!(
+            relabel_metric_line("preinfer_queue_depth 3", 1),
+            "preinfer_queue_depth{shard=\"1\"} 3"
+        );
+        assert_eq!(
+            relabel_metric_line("preinfer_cache_lookups_total{result=\"hit\"} 9", 0),
+            "preinfer_cache_lookups_total{shard=\"0\",result=\"hit\"} 9"
+        );
+    }
+}

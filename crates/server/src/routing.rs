@@ -1,0 +1,155 @@
+//! Canonical method identity: the key the router shards by and the memo
+//! caches under.
+//!
+//! The canonical rendering of an `infer` request's target method is its
+//! pretty-printed source with every parameter α-renamed to the positional
+//! `%i` placeholders `solver::canon` uses — so two methods that are
+//! α-equivalent (and therefore produce identical solver `CacheKey`s for
+//! every query their inference issues) share one canonical text, one
+//! [`solver::affinity_hash`], one shard, and one memo entry. `%` cannot
+//! begin a MiniLang identifier, so placeholders never collide with real
+//! names, and string literals are skipped by the renamer so a parameter
+//! name appearing inside one is left alone.
+//!
+//! The hash must be stable across processes (router and shards agree on
+//! it forever), which is why it is FNV-1a in `solver::canon` rather than
+//! `DefaultHasher`.
+
+use minilang::func_to_string;
+
+/// A resolved canonical method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalMethod {
+    /// The resolved entry-function name (the program's first function
+    /// when the request named none).
+    pub func: String,
+    /// The α-renamed pretty-printed function source.
+    pub canon: String,
+}
+
+/// Compiles `program`, resolves the entry function the same way the
+/// service does (named, else first), and returns its canonical rendering.
+/// `Err` carries a human-readable reason (compile error, missing
+/// function, empty program).
+pub fn canonical_method(program: &str, func: Option<&str>) -> Result<CanonicalMethod, String> {
+    let typed = minilang::compile(program)?;
+    let f = match func {
+        Some(name) => typed
+            .program()
+            .funcs
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| format!("no function `{name}` in program"))?,
+        None => typed.program().funcs.first().ok_or("program has no functions")?,
+    };
+    let renames: Vec<(String, String)> =
+        f.params.iter().enumerate().map(|(i, p)| (p.name.clone(), format!("%{i}"))).collect();
+    Ok(CanonicalMethod { func: f.name.clone(), canon: rename_idents(&func_to_string(f), &renames) })
+}
+
+/// The shard index an `infer` request routes to. Uncompilable programs
+/// (which every shard would answer with the same `compile_error`) fall
+/// back to hashing the raw `(program, func)` text so routing stays
+/// deterministic and spread.
+pub fn shard_of(program: &str, func: Option<&str>, shards: usize) -> usize {
+    let h = match canonical_method(program, func) {
+        Ok(m) => solver::affinity_hash(&m.canon),
+        Err(_) => solver::affinity_hash(&format!("!{}\u{0}{}", func.unwrap_or(""), program)),
+    };
+    (h % shards.max(1) as u64) as usize
+}
+
+/// Whole-identifier textual renaming over pretty-printed MiniLang source.
+/// Identifier tokens (`[A-Za-z_][A-Za-z0-9_]*`) found in `renames` are
+/// replaced; string literals (`"…"` with backslash escapes) pass through
+/// untouched.
+fn rename_idents(src: &str, renames: &[(String, String)]) -> String {
+    let mut out = String::with_capacity(src.len());
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '"' {
+            // Copy the string literal verbatim, honoring escapes.
+            let start = i;
+            i += 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i = (i + 2).min(bytes.len()),
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.push_str(&src[start..i]);
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let ident = &src[start..i];
+            match renames.iter().find(|(from, _)| from == ident) {
+                Some((_, to)) => out.push_str(to),
+                None => out.push_str(ident),
+            }
+        } else {
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_equivalent_methods_share_a_canonical_text() {
+        let a = canonical_method("fn f(x int, y int) -> int { return x / y; }", None).unwrap();
+        let b = canonical_method("fn f(p int, q int) -> int { return p / q; }", Some("f")).unwrap();
+        assert_eq!(a, b);
+        assert!(a.canon.contains("%0") && a.canon.contains("%1"));
+        assert_eq!(a.func, "f");
+    }
+
+    #[test]
+    fn argument_order_distinguishes_methods() {
+        let a = canonical_method("fn f(x int, y int) -> int { return x / y; }", None).unwrap();
+        let b = canonical_method("fn f(y int, x int) -> int { return x / y; }", None).unwrap();
+        assert_ne!(a.canon, b.canon, "positional renaming keeps distinct methods distinct");
+    }
+
+    #[test]
+    fn entry_resolution_matches_the_service() {
+        let two = "fn g(a int) -> int { return a; }\nfn h(b int) -> int { return b + 1; }";
+        assert_eq!(canonical_method(two, None).unwrap().func, "g");
+        assert_eq!(canonical_method(two, Some("h")).unwrap().func, "h");
+        assert!(canonical_method(two, Some("nope")).is_err());
+        assert!(canonical_method("fn broken(", None).is_err());
+    }
+
+    #[test]
+    fn string_literals_are_not_renamed() {
+        let m = canonical_method(
+            "fn f(x int) -> str { if (x > 0) { return \"x\"; } return null; }",
+            None,
+        )
+        .unwrap();
+        assert!(m.canon.contains("\"x\""), "literal preserved: {}", m.canon);
+        assert!(m.canon.contains("%0 >"), "parameter renamed: {}", m.canon);
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        let src = "fn f(x int) -> int { return 10 / x; }";
+        let s1 = shard_of(src, None, 2);
+        assert_eq!(s1, shard_of(src, None, 2), "stable");
+        assert!(s1 < 2);
+        assert!(shard_of("fn oops(", None, 3) < 3, "uncompilable still routes");
+        // α-equivalent spelling routes identically.
+        assert_eq!(s1, shard_of("fn f(z int) -> int { return 10 / z; }", None, 2));
+    }
+}

@@ -29,10 +29,14 @@
 //! threads reject new work with `shutting_down`, workers drain the queue
 //! to empty, and `join` returns once every thread has exited.
 
+use crate::eio;
+use crate::memo::{MemoKey, ResponseMemo};
+use crate::netcore::Waker;
 use crate::protocol::{
     self, render_error, ErrorCode, FrameError, InferRequest, Request, TraceSelect, MAX_FRAME_LEN,
 };
 use crate::queue::BoundedQueue;
+use crate::routing;
 use crate::service;
 use crate::service::IncrementalPolicy;
 use crate::trace::{SamplingPolicy, StoredTrace, TraceRing};
@@ -52,17 +56,54 @@ const POLL_PERIOD: Duration = Duration::from_millis(20);
 /// a frame body is not cut off, short enough to bound drain time.
 const READ_TIMEOUT: Duration = Duration::from_millis(200);
 
+/// Which connection core drives the daemon's sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// The original thread-per-connection core: blocking reads, one
+    /// in-flight request per connection.
+    #[default]
+    Threads,
+    /// The event-driven core (`server::eio`): one epoll loop drives every
+    /// connection non-blockingly with request pipelining.
+    Epoll,
+}
+
+impl IoMode {
+    pub fn label(&self) -> &'static str {
+        match self {
+            IoMode::Threads => "threads",
+            IoMode::Epoll => "epoll",
+        }
+    }
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<IoMode, String> {
+        match s {
+            "threads" => Ok(IoMode::Threads),
+            "epoll" => Ok(IoMode::Epoll),
+            other => Err(format!("unknown io mode `{other}` (expected `threads` or `epoll`)")),
+        }
+    }
+}
+
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (see [`Server::local_addr`]).
     pub addr: String,
+    /// Connection core (`--io {threads,epoll}`).
+    pub io: IoMode,
     /// Worker threads executing `infer` jobs.
     pub workers: usize,
     /// Admission-queue capacity (requests waiting for a worker).
     pub queue_capacity: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline_ms: Option<u64>,
+    /// Close connections with no in-flight work that have been silent this
+    /// long (typed `idle_timeout` response; 0 disables).
+    pub idle_timeout_ms: u64,
     /// Head-sample 1 in N `infer` requests for per-request tracing
     /// (deterministic on the admission counter; 0 disables).
     pub trace_sample: u64,
@@ -74,19 +115,30 @@ pub struct ServerConfig {
     /// Solve prefix-sharing queries through warm incremental sessions
     /// (`--incremental`). Speed only — served ψ is identical either way.
     pub incremental: bool,
+    /// Serve repeat requests for an α-equivalent method from the ψ-level
+    /// response memo (`--memo`). Off by default: with the memo on, repeat
+    /// requests skip the pipeline entirely, which changes the solver-cache
+    /// traffic the corpus differential tests observe.
+    pub memo: bool,
+    /// Response-memo capacity in entries (FIFO eviction).
+    pub memo_capacity: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            io: IoMode::Threads,
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
             queue_capacity: 64,
             default_deadline_ms: None,
+            idle_timeout_ms: 60_000,
             trace_sample: 0,
             slow_trace_ms: None,
             trace_buffer: 64,
             incremental: true,
+            memo: false,
+            memo_capacity: 4096,
         }
     }
 }
@@ -95,12 +147,27 @@ impl Default for ServerConfig {
 #[derive(Debug, Default)]
 pub struct Counters {
     pub connections: AtomicU64,
+    /// Connections torn down (every accepted connection is eventually
+    /// counted here too; `connections - conns_closed` is the live gauge).
+    pub conns_closed: AtomicU64,
+    /// Subset of `conns_closed`: closed by the per-connection idle
+    /// deadline with a typed `idle_timeout` response.
+    pub idle_closed: AtomicU64,
     pub requests: AtomicU64,
     pub infers_ok: AtomicU64,
     pub infer_errors: AtomicU64,
     pub overloaded: AtomicU64,
     pub timed_out: AtomicU64,
     pub bad_requests: AtomicU64,
+}
+
+impl Counters {
+    /// Currently open connections (accepted minus closed).
+    pub fn open_connections(&self) -> u64 {
+        self.connections
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.conns_closed.load(Ordering::Relaxed))
+    }
 }
 
 /// Server-side latency histograms: one per verb, plus `queue_wait`
@@ -116,56 +183,89 @@ pub struct ServerLatency {
     pub queue_wait: Histogram,
 }
 
+/// Where a worker delivers a finished response.
+pub(crate) enum ReplyTo {
+    /// The threaded core: the connection thread blocks on the channel.
+    Sync(mpsc::Sender<String>),
+    /// The event core: the response is pushed onto the loop's completion
+    /// queue (tagged with the connection token) and the loop is woken.
+    Event { token: u64, completions: Arc<eio::Completions> },
+}
+
+impl ReplyTo {
+    fn send(self, response: String) {
+        match self {
+            // The connection thread may have vanished (client hung up);
+            // the work is simply discarded then.
+            ReplyTo::Sync(tx) => {
+                let _ = tx.send(response);
+            }
+            ReplyTo::Event { token, completions } => completions.push(token, response),
+        }
+    }
+}
+
 /// One admitted unit of work.
-struct Job {
-    /// Monotonic 1-based admission id (assigned in [`submit_infer`]).
-    request_id: u64,
-    id: Option<String>,
-    request: InferRequest,
-    deadline: Deadline,
-    admitted_at: Instant,
-    reply: mpsc::Sender<String>,
+pub(crate) struct Job {
+    /// Monotonic 1-based admission id (assigned in [`start_infer`]).
+    pub(crate) request_id: u64,
+    pub(crate) id: Option<String>,
+    pub(crate) request: InferRequest,
+    pub(crate) deadline: Deadline,
+    pub(crate) admitted_at: Instant,
+    /// The response-memo key, precomputed at admission when the memo is
+    /// enabled and the program compiles (the worker stores its completed
+    /// outcome under it).
+    pub(crate) memo_key: Option<MemoKey>,
+    pub(crate) reply: ReplyTo,
 }
 
 /// State shared by every thread. The observable pieces (`queue`,
 /// `counters`, `latency`, `trace`, `tiers`, `ring`) are individually
 /// `Arc`'d so the metrics registry's scrape closures can capture them
 /// without holding the whole `Shared` (which owns the registry — a cycle).
-struct Shared {
-    shutdown: AtomicBool,
-    /// Set by the acceptor once every connection thread has exited; the
+pub(crate) struct Shared {
+    pub(crate) shutdown: AtomicBool,
+    /// Set by the connection core once every connection has closed; the
     /// workers wait for it so that a request admitted in the instant the
     /// shutdown flag flips is still drained, not orphaned.
-    conns_done: AtomicBool,
-    queue: Arc<BoundedQueue<Job>>,
-    cache: Arc<SolverCache>,
-    counters: Arc<Counters>,
-    latency: Arc<ServerLatency>,
+    pub(crate) conns_done: AtomicBool,
+    pub(crate) queue: Arc<BoundedQueue<Job>>,
+    pub(crate) cache: Arc<SolverCache>,
+    pub(crate) counters: Arc<Counters>,
+    pub(crate) latency: Arc<ServerLatency>,
     /// Aggregate pipeline-stage histograms shared by every worker. Served
     /// by the `stats` verb. Sampled requests run on their own recording
     /// sink which is absorbed here on completion, so these lifetime
     /// histograms stay complete regardless of sampling.
-    trace: Arc<obs::TraceSink>,
+    pub(crate) trace: Arc<obs::TraceSink>,
     /// Which solver tier answered each executed query, summed across all
     /// workers for the daemon's lifetime. Served by the `stats` verb.
-    tiers: Arc<TierCounters>,
+    pub(crate) tiers: Arc<TierCounters>,
     /// Retained per-request traces, served by the `trace` verb.
-    ring: Arc<TraceRing>,
+    pub(crate) ring: Arc<TraceRing>,
     /// Incremental-session policy + counters shared by every worker.
     /// Served by the `stats` verb and the metrics registry.
-    incremental: IncrementalPolicy,
+    pub(crate) incremental: IncrementalPolicy,
     /// Deterministic per-request sampling policy (fixed at startup).
-    sampling: SamplingPolicy,
+    pub(crate) sampling: SamplingPolicy,
     /// Unified metrics, served by the `metrics` verb.
-    registry: Arc<MetricsRegistry>,
-    /// Admission counter: ids are 1-based, assigned in [`submit_infer`].
-    next_request_id: AtomicU64,
-    started: Instant,
-    default_deadline_ms: Option<u64>,
+    pub(crate) registry: Arc<MetricsRegistry>,
+    /// The ψ-level response memo (`--memo`); `None` when disabled.
+    pub(crate) memo: Option<Arc<ResponseMemo>>,
+    /// Idle-close deadline for silent connections; `None` when disabled.
+    pub(crate) idle_timeout: Option<Duration>,
+    /// The event core's waker, registered by the loop at startup so
+    /// [`ServerHandle::shutdown`] can interrupt `epoll_wait` immediately.
+    pub(crate) wake: Mutex<Option<Arc<Waker>>>,
+    /// Admission counter: ids are 1-based, assigned in [`start_infer`].
+    pub(crate) next_request_id: AtomicU64,
+    pub(crate) started: Instant,
+    pub(crate) default_deadline_ms: Option<u64>,
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 }
@@ -180,6 +280,11 @@ impl ServerHandle {
     /// Requests a graceful shutdown: stop admitting, drain, exit.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Interrupt the event core's `epoll_wait` so the drain starts now
+        // rather than at the next sweep tick.
+        if let Some(waker) = &*self.shared.wake.lock().expect("wake lock") {
+            waker.wake();
+        }
     }
 }
 
@@ -209,6 +314,7 @@ impl Server {
             enabled: cfg.incremental,
             stats: Arc::new(IncrementalCounters::default()),
         };
+        let memo = cfg.memo.then(|| Arc::new(ResponseMemo::new(cfg.memo_capacity)));
         let registry = Arc::new(MetricsRegistry::new());
         register_metrics(
             &registry,
@@ -220,6 +326,7 @@ impl Server {
             &queue,
             &ring,
             &incremental.stats,
+            &memo,
             started,
         );
         let shared = Arc::new(Shared {
@@ -238,6 +345,10 @@ impl Server {
                 slow_threshold: cfg.slow_trace_ms.map(Duration::from_millis),
             },
             registry,
+            memo,
+            idle_timeout: (cfg.idle_timeout_ms > 0)
+                .then(|| Duration::from_millis(cfg.idle_timeout_ms)),
+            wake: Mutex::new(None),
             next_request_id: AtomicU64::new(0),
             started,
             default_deadline_ms: cfg.default_deadline_ms,
@@ -250,7 +361,10 @@ impl Server {
             .collect();
         let acceptor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(listener, &shared))
+            match cfg.io {
+                IoMode::Threads => std::thread::spawn(move || accept_loop(listener, &shared)),
+                IoMode::Epoll => std::thread::spawn(move || eio::event_loop(listener, &shared)),
+            }
         };
         Ok(Server { shared, local_addr, acceptor, workers })
     }
@@ -292,6 +406,7 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
                 let shared = Arc::clone(shared);
                 let handle = std::thread::spawn(move || {
                     let _ = connection_loop(stream, &shared);
+                    shared.counters.conns_closed.fetch_add(1, Ordering::Relaxed);
                 });
                 let mut guard = conns.lock().expect("conns lock");
                 guard.retain(|h| !h.is_finished());
@@ -309,6 +424,7 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
         let shared = Arc::clone(shared);
         let handle = std::thread::spawn(move || {
             let _ = connection_loop(stream, &shared);
+            shared.counters.conns_closed.fetch_add(1, Ordering::Relaxed);
         });
         conns.lock().expect("conns lock").push(handle);
     }
@@ -328,12 +444,29 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = stream.try_clone()?;
     let mut writer = stream;
+    let mut last_activity = Instant::now();
     loop {
         let payload = match protocol::read_frame(&mut reader) {
             Ok(p) => p,
             Err(FrameError::Idle) => {
                 if shared.shutting_down() {
                     return Ok(()); // idle connection at shutdown: close
+                }
+                if let Some(limit) = shared.idle_timeout {
+                    if last_activity.elapsed() >= limit {
+                        // Silent past the deadline: typed close so a live
+                        // peer knows why, not a mystery reset.
+                        shared.counters.idle_closed.fetch_add(1, Ordering::Relaxed);
+                        let _ = protocol::write_frame(
+                            &mut writer,
+                            &render_error(
+                                None,
+                                ErrorCode::IdleTimeout,
+                                &format!("connection idle past {} ms", limit.as_millis()),
+                            ),
+                        );
+                        return Ok(());
+                    }
                 }
                 continue;
             }
@@ -359,6 +492,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
             Err(FrameError::Io(_)) => return Ok(()),
         };
         shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        last_activity = Instant::now();
         let started = Instant::now();
         match protocol::parse_request(&payload) {
             Ok(Request::Ping { id }) => {
@@ -403,42 +537,90 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     }
 }
 
-/// Admits an `infer` request and waits for its worker reply.
-fn submit_infer(id: Option<String>, request: InferRequest, shared: &Arc<Shared>) -> String {
+/// The outcome of trying to start an `infer` request.
+pub(crate) enum InferDisposition {
+    /// The response is already known: memo hit, rejection, or drain.
+    Done(String),
+    /// A job was admitted; the response arrives through the [`ReplyTo`].
+    Queued,
+}
+
+/// The shared admission path for both connection cores: drain check, memo
+/// lookup, then bounded admission. On a memo hit the stored completed
+/// outcome is rendered inline — no worker-pool hop at all — which is what
+/// lets the event core answer warm repeat traffic at wire speed.
+pub(crate) fn start_infer(
+    id: Option<String>,
+    request: InferRequest,
+    shared: &Arc<Shared>,
+    reply: ReplyTo,
+) -> InferDisposition {
     if shared.shutting_down() {
-        return render_error(id.as_deref(), ErrorCode::ShuttingDown, "daemon is draining");
+        return InferDisposition::Done(render_error(
+            id.as_deref(),
+            ErrorCode::ShuttingDown,
+            "daemon is draining",
+        ));
+    }
+    // The admission id is assigned before the push so the job carries it;
+    // rejected (overloaded) and memo-served requests consume ids too.
+    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let mut memo_key = None;
+    if let Some(memo) = &shared.memo {
+        // Uncompilable programs get no key: errors are never memoized and
+        // the worker will produce the typed compile_error itself.
+        if let Ok(m) = routing::canonical_method(&request.program, request.func.as_deref()) {
+            let key = MemoKey { canon: m.canon, tests: request.tests };
+            if let Some(entry) = memo.get(&key) {
+                shared.counters.infers_ok.fetch_add(1, Ordering::Relaxed);
+                return InferDisposition::Done(service::render_infer_response(
+                    id.as_deref(),
+                    request_id,
+                    &entry.outcome,
+                    0.0,
+                    &shared.cache,
+                ));
+            }
+            memo_key = Some(key);
+        }
     }
     let deadline_ms = request.deadline_ms.or(shared.default_deadline_ms);
     let deadline = deadline_ms.map(Deadline::after_ms).unwrap_or_default();
-    // The admission id is assigned before the push so the job carries it;
-    // a rejected (overloaded) request therefore consumes an id too.
-    let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
-    let (tx, rx) = mpsc::channel();
     let job = Job {
         request_id,
         id: id.clone(),
         request,
         deadline,
         admitted_at: Instant::now(),
-        reply: tx,
+        memo_key,
+        reply,
     };
     if shared.queue.try_push(job).is_err() {
         shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
-        return render_error(
+        return InferDisposition::Done(render_error(
             id.as_deref(),
             ErrorCode::Overloaded,
             &format!("admission queue full ({} slots)", shared.queue.capacity()),
-        );
+        ));
     }
-    // The worker always replies, including during drain; a closed channel
-    // means the pool died, which is itself a typed error.
-    match rx.recv() {
-        Ok(resp) => resp,
-        Err(_) => render_error(id.as_deref(), ErrorCode::Internal, "worker pool unavailable"),
+    InferDisposition::Queued
+}
+
+/// Admits an `infer` request and waits for its worker reply (the threaded
+/// core's one-in-flight-per-connection path).
+fn submit_infer(id: Option<String>, request: InferRequest, shared: &Arc<Shared>) -> String {
+    let (tx, rx) = mpsc::channel();
+    match start_infer(id.clone(), request, shared, ReplyTo::Sync(tx)) {
+        InferDisposition::Done(resp) => resp,
+        // The worker always replies, including during drain; a closed
+        // channel means the pool died, which is itself a typed error.
+        InferDisposition::Queued => rx.recv().unwrap_or_else(|_| {
+            render_error(id.as_deref(), ErrorCode::Internal, "worker pool unavailable")
+        }),
     }
 }
 
-fn render_stats_response(id: Option<&str>, shared: &Shared) -> String {
+pub(crate) fn render_stats_response(id: Option<&str>, shared: &Shared) -> String {
     use crate::json::ObjBuilder;
     let cache = shared.cache.stats();
     let c = &shared.counters;
@@ -506,10 +688,29 @@ fn render_stats_response(id: Option<&str>, shared: &Shared) -> String {
             }
             b.build()
         })
+        .raw("response_memo", {
+            let b = ObjBuilder::new().bool("enabled", shared.memo.is_some());
+            match &shared.memo {
+                Some(memo) => {
+                    let m = memo.stats();
+                    b.u64("hits", m.hits)
+                        .u64("misses", m.misses)
+                        .u64("inserts", m.inserts)
+                        .u64("evictions", m.evictions)
+                        .u64("entries", m.entries)
+                        .f64("hit_rate", m.hit_rate())
+                        .build()
+                }
+                None => b.build(),
+            }
+        })
         .raw(
             "counters",
             ObjBuilder::new()
                 .u64("connections", c.connections.load(Ordering::Relaxed))
+                .u64("conns_closed", c.conns_closed.load(Ordering::Relaxed))
+                .u64("idle_closed", c.idle_closed.load(Ordering::Relaxed))
+                .u64("open_connections", c.open_connections())
                 .u64("requests", c.requests.load(Ordering::Relaxed))
                 .u64("infers_ok", c.infers_ok.load(Ordering::Relaxed))
                 .u64("infer_errors", c.infer_errors.load(Ordering::Relaxed))
@@ -547,7 +748,7 @@ fn render_stats_response(id: Option<&str>, shared: &Shared) -> String {
 
 /// Renders the `metrics` verb: the registry's Prometheus text exposition,
 /// carried as a JSON string field so the frame stays a JSON object.
-fn render_metrics_response(id: Option<&str>, shared: &Shared) -> String {
+pub(crate) fn render_metrics_response(id: Option<&str>, shared: &Shared) -> String {
     crate::json::ObjBuilder::new()
         .bool("ok", true)
         .opt_str("id", id)
@@ -559,7 +760,11 @@ fn render_metrics_response(id: Option<&str>, shared: &Shared) -> String {
 
 /// Renders the `trace` verb: retained traces (newest first for `last`),
 /// each with its recorded events inlined as a JSON array.
-fn render_trace_response(id: Option<&str>, select: &TraceSelect, shared: &Shared) -> String {
+pub(crate) fn render_trace_response(
+    id: Option<&str>,
+    select: &TraceSelect,
+    shared: &Shared,
+) -> String {
     use crate::json::ObjBuilder;
     let traces = match select {
         TraceSelect::Last(k) => shared.ring.last(usize::try_from(*k).unwrap_or(usize::MAX)),
@@ -639,6 +844,13 @@ fn worker_loop(shared: &Arc<Shared>) {
                     queue_ms,
                     &shared.cache,
                 );
+                // Only clean completions enter the memo: a timed-out
+                // partial must never be replayed to later callers.
+                if !outcome.timed_out {
+                    if let (Some(memo), Some(key)) = (&shared.memo, job.memo_key) {
+                        memo.insert(key, outcome.clone());
+                    }
+                }
                 (resp, outcome.func)
             }
             Err(e) => {
@@ -675,9 +887,13 @@ fn worker_loop(shared: &Arc<Shared>) {
                 });
             }
         }
-        // The connection thread may have vanished (client hung up); the
-        // work is simply discarded then.
-        let _ = job.reply.send(response);
+        // The threaded core records infer latency on the connection
+        // thread; for event-core jobs the worker is the last stop that
+        // knows the request, so record admission→completion here.
+        if matches!(job.reply, ReplyTo::Event { .. }) {
+            shared.latency.infer.record(job.admitted_at.elapsed());
+        }
+        job.reply.send(response);
     }
 }
 
@@ -695,6 +911,7 @@ fn register_metrics(
     queue: &Arc<BoundedQueue<Job>>,
     ring: &Arc<TraceRing>,
     incremental: &Arc<IncrementalCounters>,
+    memo: &Option<Arc<ResponseMemo>>,
     started: Instant,
 ) {
     reg.gauge("preinfer_uptime_seconds", "Seconds since the daemon started.", &[], move || {
@@ -713,6 +930,70 @@ fn register_metrics(
     reg.counter("preinfer_connections_total", "Accepted TCP connections.", &[], move || {
         c.connections.load(Ordering::Relaxed)
     });
+    let c = Arc::clone(counters);
+    reg.gauge("preinfer_server_connections", "Currently open connections.", &[], move || {
+        c.open_connections() as f64
+    });
+    const CONN_EVENT_HELP: &str = "Connection lifecycle events.";
+    let c = Arc::clone(counters);
+    reg.counter(
+        "preinfer_connection_events_total",
+        CONN_EVENT_HELP,
+        &[("event", "accepted")],
+        move || c.connections.load(Ordering::Relaxed),
+    );
+    let c = Arc::clone(counters);
+    reg.counter(
+        "preinfer_connection_events_total",
+        CONN_EVENT_HELP,
+        &[("event", "closed")],
+        move || c.conns_closed.load(Ordering::Relaxed),
+    );
+    let c = Arc::clone(counters);
+    reg.counter(
+        "preinfer_connection_events_total",
+        CONN_EVENT_HELP,
+        &[("event", "idle_closed")],
+        move || c.idle_closed.load(Ordering::Relaxed),
+    );
+    if let Some(memo) = memo {
+        const MEMO_LOOKUP_HELP: &str = "Response-memo lookups by result.";
+        let m = Arc::clone(memo);
+        reg.counter(
+            "preinfer_response_memo_lookups_total",
+            MEMO_LOOKUP_HELP,
+            &[("result", "hit")],
+            move || m.stats().hits,
+        );
+        let m = Arc::clone(memo);
+        reg.counter(
+            "preinfer_response_memo_lookups_total",
+            MEMO_LOOKUP_HELP,
+            &[("result", "miss")],
+            move || m.stats().misses,
+        );
+        let m = Arc::clone(memo);
+        reg.counter(
+            "preinfer_response_memo_inserts_total",
+            "Completed outcomes stored in the response memo.",
+            &[],
+            move || m.stats().inserts,
+        );
+        let m = Arc::clone(memo);
+        reg.counter(
+            "preinfer_response_memo_evictions_total",
+            "Response-memo entries evicted (FIFO).",
+            &[],
+            move || m.stats().evictions,
+        );
+        let m = Arc::clone(memo);
+        reg.gauge(
+            "preinfer_response_memo_entries",
+            "Entries resident in the response memo.",
+            &[],
+            move || m.stats().entries as f64,
+        );
+    }
     let c = Arc::clone(counters);
     reg.counter("preinfer_requests_total", "Parsed request frames.", &[], move || {
         c.requests.load(Ordering::Relaxed)

@@ -3,34 +3,56 @@
 //! produce typed error responses or a clean close, never a panic or a
 //! wedged daemon. Every property finishes by proving the daemon still
 //! answers a fresh `ping`.
+//!
+//! Every property runs against all three serving topologies: the
+//! thread-per-connection core, the epoll event core, and the
+//! `preinfer-router` front (two shards) — hostile bytes must bounce off
+//! each of them identically.
 
 use proptest::prelude::*;
-use server::{Client, Server, ServerConfig, MAX_FRAME_LEN};
+use server::{Client, IoMode, Router, RouterConfig, Server, ServerConfig, MAX_FRAME_LEN};
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::OnceLock;
+use std::time::Duration;
 
-/// One daemon shared by every property case in this process. It is never
-/// shut down — the process exit reaps its threads — because what we are
-/// testing is precisely that no hostile input can take it down first.
-fn daemon_addr() -> SocketAddr {
-    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
-    *ADDR.get_or_init(|| {
-        let server = Server::start(ServerConfig { workers: 2, ..ServerConfig::default() })
-            .expect("bind loopback");
-        let addr = server.local_addr();
-        Box::leak(Box::new(server));
-        addr
+/// The addresses of one threaded daemon, one epoll daemon, and one
+/// two-shard router, shared by every property case in this process. None
+/// are ever shut down — the process exit reaps their threads — because
+/// what we are testing is precisely that no hostile input can take them
+/// down first.
+fn topology_addrs() -> &'static [SocketAddr; 3] {
+    static ADDRS: OnceLock<[SocketAddr; 3]> = OnceLock::new();
+    ADDRS.get_or_init(|| {
+        let start = |io: IoMode| {
+            let server = Server::start(ServerConfig { workers: 2, io, ..ServerConfig::default() })
+                .expect("bind loopback");
+            let addr = server.local_addr();
+            Box::leak(Box::new(server));
+            addr
+        };
+        let threaded = start(IoMode::Threads);
+        let epoll = start(IoMode::Epoll);
+        let shard0 = start(IoMode::Epoll);
+        let shard1 = start(IoMode::Threads);
+        let router = Router::start(RouterConfig {
+            shards: vec![shard0.to_string(), shard1.to_string()],
+            ..RouterConfig::default()
+        })
+        .expect("start router");
+        let router_addr = router.local_addr();
+        Box::leak(Box::new(router));
+        [threaded, epoll, router_addr]
     })
 }
 
-fn connect() -> Client {
-    Client::connect(&daemon_addr().to_string()).expect("connect to shared daemon")
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect(&addr.to_string()).expect("connect to shared daemon")
 }
 
-/// The daemon is alive iff a fresh connection's ping round-trips.
-fn assert_daemon_alive() {
-    let resp = connect().ping().expect("daemon must still answer ping");
+/// A topology is alive iff a fresh connection's ping round-trips.
+fn assert_alive(addr: SocketAddr) {
+    let resp = connect(addr).ping().expect("server must still answer ping");
     assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true));
 }
 
@@ -41,49 +63,52 @@ proptest! {
     fn garbage_payload_gets_typed_error_and_connection_survives(
         payload in "[ -~]{1,60}",
     ) {
-        let mut cl = connect();
-        let resp = cl.round_trip(&payload);
-        match resp {
-            Ok(v) => {
-                // Whatever the junk parsed to, the answer is a typed frame:
-                // either a successful verb (the junk accidentally spelled
-                // one) or a `bad_request` error — never a raw close.
-                let ok = v.get("ok").and_then(|j| j.as_bool());
-                prop_assert!(
-                    ok == Some(true) || v.str_field("error") == Some("bad_request"),
-                    "unexpected response {v:?}"
-                );
+        for &addr in topology_addrs() {
+            let mut cl = connect(addr);
+            let resp = cl.round_trip(&payload);
+            match resp {
+                Ok(v) => {
+                    // Whatever the junk parsed to, the answer is a typed frame:
+                    // either a successful verb (the junk accidentally spelled
+                    // one) or a `bad_request` error — never a raw close.
+                    let ok = v.get("ok").and_then(|j| j.as_bool());
+                    prop_assert!(
+                        ok == Some(true) || v.str_field("error") == Some("bad_request"),
+                        "unexpected response {v:?}"
+                    );
+                }
+                Err(e) => return Err(format!("server closed on in-sync junk: {e}")),
             }
-            Err(e) => return Err(format!("daemon closed on in-sync junk: {e}")),
+            // The stream stayed in sync: the same connection still works.
+            let ping = cl.ping().map_err(|e| format!("connection wedged: {e}"))?;
+            prop_assert_eq!(ping.get("ok").and_then(|v| v.as_bool()), Some(true));
+            assert_alive(addr);
         }
-        // The stream stayed in sync: the same connection still works.
-        let ping = cl.ping().map_err(|e| format!("connection wedged: {e}"))?;
-        prop_assert_eq!(ping.get("ok").and_then(|v| v.as_bool()), Some(true));
-        assert_daemon_alive();
     }
 
     #[test]
-    fn mid_stream_disconnects_never_wedge_the_daemon(
+    fn mid_stream_disconnects_never_wedge_the_server(
         declared in 1u32..=4096,
         sent in 0usize..64,
         cut_prefix in proptest::bool::ANY,
     ) {
-        let addr = daemon_addr();
-        {
-            let mut s = TcpStream::connect(addr).expect("connect");
-            if cut_prefix {
-                // Disconnect inside the 4-byte length prefix itself.
-                let _ = s.write_all(&declared.to_be_bytes()[..2]);
-            } else {
-                // Valid prefix, then strictly fewer payload bytes than
-                // declared, then hang up.
-                let body = vec![b'x'; sent.min(declared as usize - 1)];
-                let _ = s.write_all(&declared.to_be_bytes());
-                let _ = s.write_all(&body);
+        for &addr in topology_addrs() {
+            {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                if cut_prefix {
+                    // Disconnect inside the 4-byte length prefix itself.
+                    let _ = s.write_all(&declared.to_be_bytes()[..2]);
+                } else {
+                    // Valid prefix, then strictly fewer payload bytes than
+                    // declared, then hang up.
+                    let body = vec![b'x'; sent.min(declared as usize - 1)];
+                    let _ = s.write_all(&declared.to_be_bytes());
+                    let _ = s.write_all(&body);
+                }
+                // Dropping the stream closes it: the server sees EOF mid-frame.
             }
-            // Dropping the stream closes it: the daemon sees EOF mid-frame.
+            assert_alive(addr);
         }
-        assert_daemon_alive();
     }
 
     #[test]
@@ -91,39 +116,120 @@ proptest! {
         excess in 1u64..=(u32::MAX as u64 - MAX_FRAME_LEN as u64),
     ) {
         let declared = (MAX_FRAME_LEN as u64 + excess) as u32;
-        let mut cl = connect();
-        cl.stream_mut().write_all(&declared.to_be_bytes()).expect("send prefix");
-        // The daemon must answer without waiting for the (absurd) payload.
-        let resp = cl.read_response().map_err(|e| format!("no typed error: {e}"))?;
-        prop_assert_eq!(resp.str_field("error"), Some("frame_too_large"));
-        assert_daemon_alive();
+        for &addr in topology_addrs() {
+            let mut cl = connect(addr);
+            cl.stream_mut().write_all(&declared.to_be_bytes()).expect("send prefix");
+            // The server must answer without waiting for the (absurd) payload.
+            let resp = cl.read_response().map_err(|e| format!("no typed error: {e}"))?;
+            prop_assert_eq!(resp.str_field("error"), Some("frame_too_large"));
+            assert_alive(addr);
+        }
     }
 
     #[test]
-    fn arbitrary_byte_blobs_never_take_the_daemon_down(
+    fn arbitrary_byte_blobs_never_take_the_server_down(
         blob in proptest::collection::vec(0u8..=255, 0..200),
     ) {
-        let addr = daemon_addr();
-        {
-            let mut s = TcpStream::connect(addr).expect("connect");
-            let _ = s.write_all(&blob);
-            // Close without reading: whatever the daemon made of the bytes
-            // (typed error, truncation, or a valid frame), it must shrug
-            // off the disconnect.
+        for &addr in topology_addrs() {
+            {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                let _ = s.write_all(&blob);
+                // Close without reading: whatever the server made of the bytes
+                // (typed error, truncation, or a valid frame), it must shrug
+                // off the disconnect.
+            }
+            assert_alive(addr);
         }
-        assert_daemon_alive();
     }
 }
 
 /// Non-property companion: a non-UTF-8 payload inside a well-formed frame
-/// is a `bad_request`, and the daemon survives.
+/// is a typed error, and the server survives. (The threaded core answers
+/// `bad_request` with the connection already doomed; the event cores do
+/// the same.)
 #[test]
 fn non_utf8_payload_is_a_typed_error() {
-    let mut cl = connect();
-    let bad = [0xFFu8, 0xFE, 0x01];
-    cl.stream_mut().write_all(&(bad.len() as u32).to_be_bytes()).unwrap();
-    cl.stream_mut().write_all(&bad).unwrap();
-    let resp = cl.read_response().expect("typed error frame");
-    assert_eq!(resp.str_field("error"), Some("bad_request"));
-    assert_daemon_alive();
+    for &addr in topology_addrs() {
+        let mut cl = connect(addr);
+        let bad = [0xFFu8, 0xFE, 0x01];
+        cl.stream_mut().write_all(&(bad.len() as u32).to_be_bytes()).unwrap();
+        cl.stream_mut().write_all(&bad).unwrap();
+        let resp = cl.read_response().expect("typed error frame");
+        assert_eq!(resp.str_field("error"), Some("bad_request"));
+        assert_alive(addr);
+    }
+}
+
+/// Regression (the legacy threaded core used to hold silent connections
+/// open forever): a connection that goes quiet past the idle deadline is
+/// closed with a typed `idle_timeout` error, on every topology.
+#[test]
+fn idle_connections_are_closed_with_a_typed_error() {
+    let start = |io: IoMode| {
+        let server = Server::start(ServerConfig {
+            workers: 1,
+            io,
+            idle_timeout_ms: 300,
+            ..ServerConfig::default()
+        })
+        .expect("bind loopback");
+        let addr = server.local_addr();
+        Box::leak(Box::new(server));
+        addr
+    };
+    let router_over = |shard: SocketAddr| {
+        let router = Router::start(RouterConfig {
+            shards: vec![shard.to_string()],
+            idle_timeout_ms: 300,
+            ..RouterConfig::default()
+        })
+        .expect("start router");
+        let addr = router.local_addr();
+        Box::leak(Box::new(router));
+        addr
+    };
+    let threaded = start(IoMode::Threads);
+    let epoll = start(IoMode::Epoll);
+    let fronted = router_over(threaded);
+    for addr in [threaded, epoll, fronted] {
+        let mut cl = connect(addr);
+        // Prove the connection works, then go silent.
+        assert_eq!(cl.ping().unwrap().get("ok").and_then(|v| v.as_bool()), Some(true));
+        let resp = cl.read_response().expect("typed idle_timeout before close");
+        assert_eq!(resp.str_field("error"), Some("idle_timeout"), "addr {addr}");
+        assert_alive(addr);
+    }
+}
+
+/// A well-formed frame trickled in byte-by-byte is still decoded and
+/// answered: slow writers are *active*, not idle, so the incremental
+/// decoder must buffer the partial frame and the idle deadline must not
+/// fire while bytes keep arriving.
+#[test]
+fn slow_partial_writes_are_decoded_not_idle_closed() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        io: IoMode::Epoll,
+        idle_timeout_ms: 200,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    Box::leak(Box::new(server));
+
+    let mut cl = connect(addr);
+    let payload = br#"{"verb":"ping","id":"slow"}"#;
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    wire.extend_from_slice(payload);
+    // Total transfer time (~31 bytes * 60ms) far exceeds the 200ms idle
+    // deadline; only inter-byte gaps stay under it.
+    for b in wire {
+        cl.stream_mut().write_all(&[b]).expect("slow write");
+        cl.stream_mut().flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    let resp = cl.read_response().expect("slow frame answered");
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(resp.str_field("id"), Some("slow"));
 }

@@ -1,0 +1,235 @@
+//! The sharding front's core contract: a ψ served *through*
+//! `preinfer-router` is byte-identical to what a direct daemon serves and
+//! to what the offline pipeline computes — for every subject in the
+//! evaluation corpus, across two shards — and key-affinity routing sends
+//! repeat submissions of the same method back to the same shard, which is
+//! observable as each shard's cumulative solver-cache hit rate rising on
+//! a second corpus pass.
+
+use server::protocol;
+use server::{
+    served_psis, Client, InferRequest, IoMode, Router, RouterConfig, Server, ServerConfig,
+};
+
+fn start_shard(io: IoMode) -> Server {
+    Server::start(ServerConfig { workers: 1, io, ..ServerConfig::default() })
+        .expect("bind shard daemon")
+}
+
+fn start_router(shards: &[&Server]) -> Router {
+    Router::start(RouterConfig {
+        shards: shards.iter().map(|s| s.local_addr().to_string()).collect(),
+        ..RouterConfig::default()
+    })
+    .expect("start router")
+}
+
+fn infer_req(m: &subjects::SubjectMethod) -> InferRequest {
+    InferRequest {
+        program: m.source.to_string(),
+        func: Some(m.name.to_string()),
+        deadline_ms: None,
+        tests: None,
+        jobs: 1,
+    }
+}
+
+/// The offline pipeline's rendered ψ strings for one subject, in ACL
+/// order — the ground truth every serving topology must match.
+fn offline_psis(m: &subjects::SubjectMethod) -> Vec<String> {
+    let tp = m.compile();
+    let suite = testgen::generate_tests(&tp, m.name, &testgen::TestGenConfig::default());
+    let cfg = preinfer_core::PreInferConfig::default();
+    preinfer_core::infer_all_preconditions(&tp, m.name, &suite, &cfg, 1)
+        .iter()
+        .map(|(_, inf)| inf.precondition.psi.to_string())
+        .collect()
+}
+
+fn solver_hit_rate(cl: &mut Client) -> f64 {
+    let stats = cl.stats().expect("stats round-trip");
+    stats
+        .get("cache")
+        .and_then(|c| c.get("hit_rate"))
+        .and_then(|v| v.as_f64())
+        .expect("stats carries cache.hit_rate")
+}
+
+fn solver_misses(cl: &mut Client) -> u64 {
+    let stats = cl.stats().expect("stats round-trip");
+    stats.get("cache").and_then(|c| c.u64_field("misses")).expect("stats carries cache.misses")
+}
+
+/// Corpus differential across the router, plus the key-affinity claim.
+#[test]
+fn routed_psis_match_direct_and_offline_for_the_whole_corpus() {
+    // One shard on each io core: the router must be oblivious.
+    let shard0 = start_shard(IoMode::Epoll);
+    let shard1 = start_shard(IoMode::Threads);
+    let direct = start_shard(IoMode::Threads);
+    let router = start_router(&[&shard0, &shard1]);
+
+    let mut via_router = Client::connect(&router.local_addr().to_string()).expect("connect");
+    let mut via_direct = Client::connect(&direct.local_addr().to_string()).expect("connect");
+    let mut s0 = Client::connect(&shard0.local_addr().to_string()).expect("connect shard0");
+    let mut s1 = Client::connect(&shard1.local_addr().to_string()).expect("connect shard1");
+
+    let corpus = subjects::all_subjects();
+    assert!(!corpus.is_empty());
+
+    // Pass 1: routed ψ == direct ψ == offline ψ, byte for byte.
+    for m in &corpus {
+        let truth = offline_psis(m);
+        let routed = via_router.infer(&infer_req(m)).expect("infer via router");
+        let directly = via_direct.infer(&infer_req(m)).expect("infer via direct daemon");
+        let routed_psis = served_psis(&routed)
+            .unwrap_or_else(|| panic!("{}: router returned an error response", m.name));
+        let direct_psis = served_psis(&directly)
+            .unwrap_or_else(|| panic!("{}: direct daemon returned an error response", m.name));
+        assert_eq!(routed_psis, truth, "{}: routed ψ diverged from offline", m.name);
+        assert_eq!(routed_psis, direct_psis, "{}: routed ψ diverged from direct", m.name);
+    }
+
+    // Both shards took real traffic (71 subjects hash-split two ways),
+    // and the split is exactly what `shard_of` predicts.
+    let miss0 = solver_misses(&mut s0);
+    let miss1 = solver_misses(&mut s1);
+    assert!(miss0 > 0 && miss1 > 0, "hash split degenerate: {miss0}/{miss1} solver misses");
+    let rate0 = solver_hit_rate(&mut s0);
+    let rate1 = solver_hit_rate(&mut s1);
+
+    // Pass 2, again through the router: affinity must land every subject
+    // on the shard whose solver cache it already warmed, so each shard's
+    // *cumulative* hit rate strictly rises; a misroute would add cold
+    // misses instead.
+    for m in &corpus {
+        let resp = via_router.infer(&infer_req(m)).expect("infer via router (warm)");
+        assert!(served_psis(&resp).is_some(), "{}: warm routed pass failed", m.name);
+    }
+    let rate0b = solver_hit_rate(&mut s0);
+    let rate1b = solver_hit_rate(&mut s1);
+    assert!(rate0b > rate0, "shard0 hit rate must rise ({rate0} -> {rate0b})");
+    assert!(rate1b > rate1, "shard1 hit rate must rise ({rate1} -> {rate1b})");
+
+    router.handle().shutdown();
+    router.join();
+    for s in [shard0, shard1, direct] {
+        s.handle().shutdown();
+        s.join();
+    }
+}
+
+/// A shard with no live connection yields an immediate typed
+/// `upstream_unavailable`; the surviving shard keeps serving.
+#[test]
+fn dead_shard_yields_typed_upstream_unavailable() {
+    let shard0 = start_shard(IoMode::Epoll);
+    let shard1 = start_shard(IoMode::Epoll);
+    let router = start_router(&[&shard0, &shard1]);
+    let mut cl = Client::connect(&router.local_addr().to_string()).expect("connect");
+
+    // Find corpus subjects on each side of the hash split.
+    let corpus = subjects::all_subjects();
+    let on_shard = |want: usize| {
+        corpus
+            .iter()
+            .find(|m| server::shard_of(m.source, Some(m.name), 2) == want)
+            .expect("corpus covers both shards")
+    };
+    let dead_subject = on_shard(0);
+    let live_subject = on_shard(1);
+
+    shard0.handle().shutdown();
+    shard0.join();
+    // Give the router a beat to observe the EOFs on its pooled conns.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    let resp = cl.infer(&infer_req(dead_subject)).expect("typed error round-trip");
+    assert_eq!(resp.str_field("error"), Some("upstream_unavailable"));
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(false));
+
+    let resp = cl.infer(&infer_req(live_subject)).expect("live shard round-trip");
+    assert!(served_psis(&resp).is_some(), "surviving shard must keep serving: {resp:?}");
+
+    router.handle().shutdown();
+    router.join();
+    shard1.handle().shutdown();
+    shard1.join();
+}
+
+/// `stats` and `metrics` fan out to every shard and come back merged:
+/// stats nests each shard's full report under its index, metrics
+/// re-labels each shard's exposition with `shard="i"`.
+#[test]
+fn fanout_verbs_merge_across_shards() {
+    let shard0 = start_shard(IoMode::Threads);
+    let shard1 = start_shard(IoMode::Epoll);
+    let router = start_router(&[&shard0, &shard1]);
+    let mut cl = Client::connect(&router.local_addr().to_string()).expect("connect");
+
+    // Some traffic so the counters are non-trivial.
+    let m = &subjects::all_subjects()[0];
+    cl.infer(&infer_req(m)).expect("infer");
+
+    let stats = cl.stats().expect("merged stats");
+    assert_eq!(stats.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let router_block = stats.get("router").expect("router block");
+    assert_eq!(router_block.u64_field("shards"), Some(2));
+    assert_eq!(router_block.u64_field("forwarded"), Some(1));
+    let shards = stats.get("shards").and_then(|s| s.as_array()).expect("shards array");
+    assert_eq!(shards.len(), 2, "one entry per shard");
+    for (i, entry) in shards.iter().enumerate() {
+        assert_eq!(entry.u64_field("shard"), Some(i as u64));
+        let nested = entry.get("stats").expect("nested shard stats");
+        assert!(nested.get("counters").is_some(), "full shard report nested verbatim");
+    }
+
+    let metrics = cl.metrics().expect("merged metrics");
+    let text = metrics.str_field("text").expect("exposition text");
+    assert!(text.contains("shard=\"0\""), "shard 0 exposition present");
+    assert!(text.contains("shard=\"1\""), "shard 1 exposition present");
+    assert!(text.contains("preinfer_router_requests_total"), "router's own metrics lead the merge");
+    // HELP/TYPE headers are deduplicated across shards.
+    let help_lines = text.lines().filter(|l| l.starts_with("# HELP preinfer_queue_depth")).count();
+    assert_eq!(help_lines, 1, "headers deduped across shards");
+
+    router.handle().shutdown();
+    router.join();
+    for s in [shard0, shard1] {
+        s.handle().shutdown();
+        s.join();
+    }
+}
+
+/// Requests pipelined onto one router connection complete and are
+/// correlated by id even when shards answer out of order.
+#[test]
+fn pipelined_requests_are_answered_by_id() {
+    let shard0 = start_shard(IoMode::Epoll);
+    let shard1 = start_shard(IoMode::Epoll);
+    let router = start_router(&[&shard0, &shard1]);
+    let mut cl = Client::connect(&router.local_addr().to_string()).expect("connect");
+
+    let corpus = subjects::all_subjects();
+    let depth = 8.min(corpus.len());
+    for (i, m) in corpus.iter().take(depth).enumerate() {
+        let frame = protocol::render_infer(Some(&format!("pipe-{i}")), &infer_req(m));
+        protocol::write_frame(cl.stream_mut(), &frame).expect("pipelined write");
+    }
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..depth {
+        let resp = cl.read_response().expect("pipelined response");
+        assert!(served_psis(&resp).is_some(), "pipelined request failed: {resp:?}");
+        let id = resp.str_field("id").expect("id echoed").to_string();
+        assert!(id.starts_with("pipe-"), "original id spliced back, got {id}");
+        assert!(seen.insert(id), "each id answered exactly once");
+    }
+    assert_eq!(seen.len(), depth);
+
+    router.handle().shutdown();
+    router.join();
+    for s in [shard0, shard1] {
+        s.handle().shutdown();
+        s.join();
+    }
+}

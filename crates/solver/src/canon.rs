@@ -230,6 +230,32 @@ fn rename_pred(p: &Pred, map: &HashMap<String, String>) -> Pred {
     }
 }
 
+/// Stable FNV-1a 64-bit hash of a canonical method rendering: the serving
+/// router's key-affinity function.
+///
+/// The router feeds this the target function's pretty-printed source with
+/// every parameter α-renamed to the same positional `%i` placeholders
+/// [`Renaming`] assigns, so two methods that are α-equivalent — and
+/// therefore produce identical [`CacheKey`]s for every solver query their
+/// inference issues — also hash to the same shard. Routing by this hash
+/// turns the per-process [`crate::SolverCache`] into a partitioned global
+/// cache: every caller of the same method lands on the shard that already
+/// holds its canonical verdicts.
+///
+/// FNV-1a is used (rather than `DefaultHasher`) because the value must be
+/// stable across processes, runs, and Rust versions: the router and any
+/// future client-side shard picker have to agree on it forever.
+pub fn affinity_hash(canonical: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in canonical.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

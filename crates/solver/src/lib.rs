@@ -40,7 +40,7 @@ pub use backend::{
     BackendAnswer, BackendKind, SimplexBackend, TheoryBackend, Tier, TierCounters, TierSnapshot,
 };
 pub use cache::{CacheLookup, CacheStats, SolverCache};
-pub use canon::{CacheKey, CanonQuery};
+pub use canon::{affinity_hash, CacheKey, CanonQuery};
 pub use deadline::Deadline;
 pub use incremental::{IncrementalCounters, IncrementalSession, IncrementalSnapshot};
 pub use interval::IntervalBackend;

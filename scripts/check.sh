@@ -140,14 +140,101 @@ for needle in ("preinfer_infer_results_total{result=\"ok\"} 3",
     assert any(l == needle for l in lines), f"exposition lacks `{needle}`"
 print(f"metrics smoke: {len(lines)} exposition lines, {len(names)} metric families")
 EOF
-# A head-sampled trace must round-trip through the analyzer.
+# A head-sampled trace must round-trip through the analyzer. (Analyze to
+# a file, not a pipe: `grep -q` exiting at first match would SIGPIPE the
+# analyzer mid-write, which `pipefail` turns into a spurious failure.)
 ./target/release/preinfer-client --addr "$ADDR" trace --last 1 > server_trace.jsonl
-./target/release/preinfer-trace server_trace.jsonl | grep -q "exclusive total" \
+./target/release/preinfer-trace server_trace.jsonl > server_trace_report.txt
+grep -q "exclusive total" server_trace_report.txt \
     || { echo "preinfer-trace could not analyze a served trace"; exit 1; }
+rm -f server_trace_report.txt
 # SIGTERM must drain and exit 0.
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "preinferd exited non-zero after SIGTERM"; exit 1; }
 trap - EXIT
 rm -f server_smoke.out server_metrics.txt server_trace.jsonl
+
+echo "== router smoke (2 shards + preinfer-router)"
+# Two shard daemons (one per io core) fronted by the key-affinity router;
+# a corpus slice served *through* the router must still be byte-identical
+# to the offline pipeline, and SIGTERM must drain all three processes.
+./target/release/preinferd --addr 127.0.0.1:0 --io epoll >shard0.out 2>&1 &
+SHARD0_PID=$!
+./target/release/preinferd --addr 127.0.0.1:0 --io threads >shard1.out 2>&1 &
+SHARD1_PID=$!
+trap 'kill "$SHARD0_PID" "$SHARD1_PID" 2>/dev/null || true; rm -f shard0.out shard1.out router_smoke.out' EXIT
+SHARD0=""; SHARD1=""
+for _ in $(seq 1 100); do
+    SHARD0="$(sed -n 's/^listening on //p' shard0.out | head -n1)"
+    SHARD1="$(sed -n 's/^listening on //p' shard1.out | head -n1)"
+    [ -n "$SHARD0" ] && [ -n "$SHARD1" ] && break
+    sleep 0.1
+done
+[ -n "$SHARD0" ] && [ -n "$SHARD1" ] || { echo "shard daemons never announced"; exit 1; }
+./target/release/preinfer-router --addr 127.0.0.1:0 --shard "$SHARD0" --shard "$SHARD1" \
+    >router_smoke.out 2>&1 &
+ROUTER_PID=$!
+trap 'kill "$ROUTER_PID" "$SHARD0_PID" "$SHARD1_PID" 2>/dev/null || true; rm -f shard0.out shard1.out router_smoke.out' EXIT
+RADDR=""
+for _ in $(seq 1 100); do
+    RADDR="$(sed -n 's/^listening on //p' router_smoke.out | head -n1)"
+    [ -n "$RADDR" ] && break
+    sleep 0.1
+done
+[ -n "$RADDR" ] || { echo "preinfer-router never announced its address"; exit 1; }
+for SUBJECT in guarded_div reverse_words binary_search; do
+    ./target/release/preinfer-client --addr "$RADDR" corpus "$SUBJECT" --check-offline
+done
+# Merged stats must report both shards live behind the router.
+./target/release/preinfer-client --addr "$RADDR" stats | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+r = s["router"]
+assert r["shards"] == 2, r
+assert len(s["shards"]) == 2, "merged stats must nest both shard reports"
+assert r["unavailable"] == 0, "no request may have failed over"
+print(f"router smoke: 2 shards live, {r['\''forwarded'\'']} requests forwarded")'
+# SIGTERM must drain the router and both shards, all exiting 0.
+kill -TERM "$ROUTER_PID"
+wait "$ROUTER_PID" || { echo "preinfer-router exited non-zero after SIGTERM"; exit 1; }
+kill -TERM "$SHARD0_PID" "$SHARD1_PID"
+wait "$SHARD0_PID" || { echo "shard 0 exited non-zero after SIGTERM"; exit 1; }
+wait "$SHARD1_PID" || { echo "shard 1 exited non-zero after SIGTERM"; exit 1; }
+trap - EXIT
+rm -f shard0.out shard1.out router_smoke.out
+
+echo "== server bench gate (BENCH_server.json, epoll core, pipelined)"
+# The event core exists to lift serving throughput: with 64 pipelined
+# connections and the response memo on, it must clear 4x the 5.4k rps
+# thread-per-connection baseline recorded in ROADMAP.md.
+./target/release/preinferd --addr 127.0.0.1:0 --io epoll --memo on >bench_server.out 2>&1 &
+BENCH_PID=$!
+trap 'kill "$BENCH_PID" 2>/dev/null || true; rm -f bench_server.out' EXIT
+BADDR=""
+for _ in $(seq 1 100); do
+    BADDR="$(sed -n 's/^listening on //p' bench_server.out | head -n1)"
+    [ -n "$BADDR" ] && break
+    sleep 0.1
+done
+[ -n "$BADDR" ] || { echo "bench daemon never announced its address"; exit 1; }
+./target/release/preinfer-client --addr "$BADDR" load \
+    --requests 30000 --concurrency 64 --pipeline 16 \
+    --label-io epoll --label-shards 1 --out BENCH_server.json
+kill -TERM "$BENCH_PID"
+wait "$BENCH_PID" || { echo "bench daemon exited non-zero after SIGTERM"; exit 1; }
+trap - EXIT
+rm -f bench_server.out
+python3 - <<'EOF'
+import json
+b = json.load(open("BENCH_server.json"))
+baseline = 5400.0  # threaded core, 8 unpipelined connections (ROADMAP.md)
+floor = 4 * baseline
+assert b["io_mode"] == "epoll" and b["concurrency"] >= 64, b
+assert b["failed"] == 0, f"bench saw {b['failed']} failed requests"
+rps = b["throughput_rps"]
+assert rps >= floor, f"epoll core {rps:.0f} rps below the {floor:.0f} rps gate (4x {baseline:.0f})"
+print(f"server bench gate: {rps:.0f} rps >= {floor:.0f} ({rps / baseline:.1f}x the threaded baseline), "
+      f"p50 {b['p50_ms']:.1f} ms, p99.9 {b['p999_ms']:.1f} ms")
+EOF
 
 echo "== OK"
