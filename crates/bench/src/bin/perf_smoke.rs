@@ -10,11 +10,12 @@
 
 use preinfer_core::{infer_all_preconditions, PreInferConfig};
 use report::{evaluate_corpus, EvalConfig};
-use solver::{BackendKind, CacheStats, SolverCache, TierSnapshot};
+use solver::{BackendKind, CacheStats, CanonQuery, SolverCache, TierSnapshot};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 use subjects::SubjectMethod;
+use symbolic::linform::{CPred, CanonPred, LinExpr, Monomial};
 use testgen::{generate_tests, TestGenConfig};
 
 const REPS: usize = 3;
@@ -28,47 +29,148 @@ struct CaseResult {
     serial_uncached_ns: u128,
     serial_cached_ns: u128,
     parallel_cached_ns: u128,
+    /// Median of per-rep paired uncached/cached ratios (see
+    /// [`measure_cache_arms`]) — the number the check-script gate consumes.
+    speedup_cache: f64,
+    speedup_cache_parallel: f64,
     stats: CacheStats,
 }
 
-fn time_inference(
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Reps for the cached-vs-uncached cases, whose gate consumes a ratio of
+/// two single-digit-millisecond wall clocks and therefore needs the same
+/// robust treatment as `trace_overhead`, not a best-of-3.
+const CACHE_REPS: usize = 7;
+
+/// How a timed inference sample is configured in [`measure_cache_arms`].
+#[derive(Clone, Copy)]
+enum Arm {
+    Uncached,
+    Cached,
+    Parallel,
+}
+
+/// Robust timings for one cache case. `*_ns` are best-of-all-samples per
+/// arm (the least-noise *time* estimator); the speedups are medians of
+/// per-rep *paired* ratios, each cached/parallel sample compared against
+/// the mean of the two uncached samples bracketing it in time.
+struct ArmStats {
+    uncached_ns: u128,
+    cached_ns: u128,
+    parallel_ns: u128,
+    speedup_cache: f64,
+    speedup_parallel: f64,
+    /// Median |gap| between the two uncached samples of a rep, in percent
+    /// — pure run-to-run noise, used to pick the quietest pass.
+    noise_pct: f64,
+}
+
+/// Samples the three arms bracketed (uncached, cached, uncached,
+/// parallel) per rep so machine-level drift cancels out of the paired
+/// ratios, and a few descheduled reps cannot move the median the way
+/// they move a ratio of two block minima. The first uncached sample laid
+/// down by the caller's warm-up is not part of any rep, so cold-start
+/// costs (page cache, lazy statics, the term interner's dedup map) are
+/// charged to no arm.
+fn measure_cache_arms(mut once: impl FnMut(Arm) -> u128) -> ArmStats {
+    once(Arm::Uncached); // warm-up, untimed
+    let (mut u_min, mut c_min, mut p_min) = (u128::MAX, u128::MAX, u128::MAX);
+    let (mut ratios, mut pratios, mut noises) = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..CACHE_REPS {
+        let u1 = once(Arm::Uncached);
+        let c = once(Arm::Cached);
+        let u2 = once(Arm::Uncached);
+        let p = once(Arm::Parallel);
+        u_min = u_min.min(u1).min(u2);
+        c_min = c_min.min(c);
+        p_min = p_min.min(p);
+        let base = (u1 as f64 + u2 as f64) / 2.0;
+        ratios.push(base / c as f64);
+        pratios.push(base / p as f64);
+        noises.push(100.0 * ((u2 as f64 - u1 as f64) / u1 as f64).abs());
+    }
+    ArmStats {
+        uncached_ns: u_min,
+        cached_ns: c_min,
+        parallel_ns: p_min,
+        speedup_cache: median(ratios),
+        speedup_parallel: median(pratios),
+        noise_pct: median(noises),
+    }
+}
+
+/// Runs `pass` up to four times and keeps the quietest result (smallest
+/// uncached-vs-uncached noise estimate), stopping early once a pass is
+/// quiet enough (≤2%). Same shape as `trace_overhead`'s retry: the
+/// selection criterion is *noise*, never the gated ratio itself, so a
+/// real regression — which shows up in every pass — cannot be retried
+/// away, while one descheduled measurement window can.
+fn quietest_pass(mut pass: impl FnMut() -> ArmStats) -> ArmStats {
+    let mut best = pass();
+    for _ in 0..3 {
+        if best.noise_pct <= 2.0 {
+            break;
+        }
+        let next = pass();
+        if next.noise_pct < best.noise_pct {
+            best = next;
+        }
+    }
+    best
+}
+
+/// One timed inference under the given cache/jobs configuration. The
+/// cache is cleared first so every sample pays the warm-up misses again.
+fn time_inference_once(
     m: &SubjectMethod,
     tp: &minilang::TypedProgram,
     suite: &testgen::Suite,
-    cache: Option<Arc<SolverCache>>,
+    cache: Option<&Arc<SolverCache>>,
     jobs: usize,
 ) -> u128 {
-    let mut best = u128::MAX;
-    for _ in 0..REPS {
-        if let Some(c) = &cache {
-            c.clear(); // each rep pays the warm-up misses again
-        }
-        let mut cfg = PreInferConfig::default();
-        cfg.prune.solver_cache = cache.clone();
-        cfg.prune.jobs = jobs;
-        let start = Instant::now();
-        let out = infer_all_preconditions(tp, m.name, suite, &cfg, jobs);
-        best = best.min(start.elapsed().as_nanos());
-        assert!(!out.is_empty(), "{} inferred nothing", m.name);
+    if let Some(c) = cache {
+        c.clear();
     }
-    best
+    let mut cfg = PreInferConfig::default();
+    cfg.prune.solver_cache = cache.cloned();
+    cfg.prune.jobs = jobs;
+    let start = Instant::now();
+    let out = infer_all_preconditions(tp, m.name, suite, &cfg, jobs);
+    let elapsed = start.elapsed().as_nanos();
+    assert!(!out.is_empty(), "{} inferred nothing", m.name);
+    elapsed
 }
 
 fn run_case(m: &SubjectMethod, jobs: usize) -> CaseResult {
     let tp = m.compile();
     let suite = generate_tests(&tp, m.name, &TestGenConfig::default());
-    let serial_uncached_ns = time_inference(m, &tp, &suite, None, 1);
     let cache = Arc::new(SolverCache::new());
-    let serial_cached_ns = time_inference(m, &tp, &suite, Some(cache.clone()), 1);
     let parallel_cache = Arc::new(SolverCache::new());
-    let parallel_cached_ns = time_inference(m, &tp, &suite, Some(parallel_cache.clone()), jobs);
+    let stats = quietest_pass(|| {
+        measure_cache_arms(|arm| match arm {
+            Arm::Uncached => time_inference_once(m, &tp, &suite, None, 1),
+            Arm::Cached => time_inference_once(m, &tp, &suite, Some(&cache), 1),
+            Arm::Parallel => time_inference_once(m, &tp, &suite, Some(&parallel_cache), jobs),
+        })
+    });
     // Stats from the final serial-cached repetition: one full inference's
     // traffic against an initially empty cache.
     CaseResult {
         name: format!("{}::{}", m.namespace, m.name),
-        serial_uncached_ns,
-        serial_cached_ns,
-        parallel_cached_ns,
+        serial_uncached_ns: stats.uncached_ns,
+        serial_cached_ns: stats.cached_ns,
+        parallel_cached_ns: stats.parallel_ns,
+        speedup_cache: stats.speedup_cache,
+        speedup_cache_parallel: stats.speedup_parallel,
         stats: cache.stats(),
     }
 }
@@ -80,27 +182,33 @@ fn run_tables_case(jobs: usize) -> CaseResult {
     let names = ["bubble_sort", "guarded_div", "stack_pop", "inverse_sum", "binary_search"];
     let methods: Vec<SubjectMethod> =
         subjects::all_subjects().into_iter().filter(|m| names.contains(&m.name)).collect();
-    let timed = |solver_cache: bool, jobs: usize| -> (u128, u64, u64) {
-        let mut best = u128::MAX;
-        let (mut hits, mut misses) = (0, 0);
-        for _ in 0..REPS {
-            let cfg = EvalConfig { jobs, solver_cache, ..EvalConfig::default() };
-            let start = Instant::now();
-            let results = evaluate_corpus(&methods, &cfg);
-            best = best.min(start.elapsed().as_nanos());
+    // One timed corpus evaluation, recording cache traffic on the side.
+    let (mut hits, mut misses) = (0u64, 0u64);
+    let mut once = |solver_cache: bool, jobs: usize| -> u128 {
+        let cfg = EvalConfig { jobs, solver_cache, ..EvalConfig::default() };
+        let start = Instant::now();
+        let results = evaluate_corpus(&methods, &cfg);
+        let elapsed = start.elapsed().as_nanos();
+        if solver_cache {
             hits = results.iter().map(|r| r.solver_cache_hits).sum();
             misses = results.iter().map(|r| r.solver_cache_misses).sum();
         }
-        (best, hits, misses)
+        elapsed
     };
-    let (serial_uncached_ns, _, _) = timed(false, 1);
-    let (serial_cached_ns, hits, misses) = timed(true, 1);
-    let (parallel_cached_ns, _, _) = timed(true, jobs);
+    let stats = quietest_pass(|| {
+        measure_cache_arms(|arm| match arm {
+            Arm::Uncached => once(false, 1),
+            Arm::Cached => once(true, 1),
+            Arm::Parallel => once(true, jobs),
+        })
+    });
     CaseResult {
         name: format!("paper_tables::{}_method_slice", methods.len()),
-        serial_uncached_ns,
-        serial_cached_ns,
-        parallel_cached_ns,
+        serial_uncached_ns: stats.uncached_ns,
+        serial_cached_ns: stats.cached_ns,
+        parallel_cached_ns: stats.parallel_ns,
+        speedup_cache: stats.speedup_cache,
+        speedup_cache_parallel: stats.speedup_parallel,
         stats: CacheStats { hits, misses, evictions: 0, evicted_entries: 0, entries: 0 },
     }
 }
@@ -254,6 +362,151 @@ fn run_solver_incremental_case() -> SolverIncrementalResult {
     }
 }
 
+/// The CacheKey-construction microbench: the interned key path against a
+/// deep-structure baseline replaying what the pre-interning representation
+/// paid per key.
+struct CacheKeyMicrobench {
+    queries: usize,
+    interned_ns_per_key: f64,
+    deep_baseline_ns_per_key: f64,
+    speedup_interned: f64,
+}
+
+// Owned mirror of the canonical-predicate tree — the shape of the
+// pre-interning `Vec<CanonPred>` cache key, where every node was its own
+// allocation and `Hash`/`Clone` walked the whole structure. The baseline
+// arm rebuilds, hashes, and clones this mirror per key; the interned arm
+// hashes a precomputed digest and memcpys a `Vec` of ids.
+#[derive(Clone, Hash)]
+enum DeepMono {
+    Var(String),
+    Div(Box<DeepLin>, i64),
+    Rem(Box<DeepLin>, i64),
+}
+
+#[derive(Clone, Hash)]
+struct DeepLin {
+    terms: Vec<(DeepMono, i64)>,
+    constant: i64,
+}
+
+#[derive(Clone, Hash)]
+enum DeepPred {
+    Le(DeepLin),
+    Eq(DeepLin),
+    Ne(DeepLin),
+    Null { place: String, positive: bool },
+    Bool { name: String, positive: bool },
+    IsSpace { arg: DeepLin, positive: bool },
+    Const(bool),
+}
+
+fn deep_mono(m: &Monomial) -> DeepMono {
+    match m {
+        Monomial::Var(v) => DeepMono::Var(v.to_string()),
+        Monomial::Div(e, k) => DeepMono::Div(Box::new(deep_lin(e)), *k),
+        Monomial::Rem(e, k) => DeepMono::Rem(Box::new(deep_lin(e)), *k),
+    }
+}
+
+fn deep_lin(e: &LinExpr) -> DeepLin {
+    DeepLin {
+        terms: e.terms().map(|(m, c)| (deep_mono(m), c)).collect(),
+        constant: e.constant_part(),
+    }
+}
+
+fn deep_pred(p: &CPred) -> DeepPred {
+    match p.node() {
+        CanonPred::Le(e) => DeepPred::Le(deep_lin(e)),
+        CanonPred::Eq(e) => DeepPred::Eq(deep_lin(e)),
+        CanonPred::Ne(e) => DeepPred::Ne(deep_lin(e)),
+        CanonPred::Null { place, positive } => {
+            DeepPred::Null { place: place.to_string(), positive: *positive }
+        }
+        CanonPred::Bool { name, positive } => {
+            DeepPred::Bool { name: name.clone(), positive: *positive }
+        }
+        CanonPred::IsSpace { arg, positive } => {
+            DeepPred::IsSpace { arg: deep_lin(arg), positive: *positive }
+        }
+        CanonPred::Const(b) => DeepPred::Const(*b),
+    }
+}
+
+/// Times cache-key construction-plus-probe on the corpus's real failing
+/// path conditions. Both arms pay `CanonQuery::build` (so the comparison
+/// is conservative: the old code built deep trees there too, which is not
+/// charged to the baseline); on top of that the interned arm pays what a
+/// cache probe and store actually pay now — hashing the precomputed
+/// digest and cloning a `Vec` of `Copy` ids — while the baseline arm pays
+/// what they used to: a deep structural rebuild, a full-tree hash walk,
+/// and a deep clone. Arms are interleaved per rep so drift hits both the
+/// same way; the minimum per arm is kept.
+fn run_cachekey_microbench() -> CacheKeyMicrobench {
+    const PASSES: usize = 40;
+    const MICRO_REPS: usize = 5;
+    let mut workload: Vec<(solver::FuncSig, Vec<symbolic::pred::Pred>)> = Vec::new();
+    for m in subjects::all_subjects() {
+        let tp = m.compile();
+        let sig = solver::FuncSig::of(m.func(&tp));
+        let suite = generate_tests(&tp, m.name, &TestGenConfig::default());
+        for run in suite.runs.iter().filter(|r| r.failed()) {
+            let preds: Vec<symbolic::pred::Pred> =
+                run.path.entries.iter().map(|e| e.pred.clone()).collect();
+            if !preds.is_empty() {
+                workload.push((sig.clone(), preds));
+            }
+        }
+    }
+    assert!(!workload.is_empty(), "cache-key microbench found no failing paths");
+
+    use std::hash::{Hash, Hasher};
+    let cfg = solver::SolverConfig::default();
+    let interned_pass = || -> u128 {
+        let start = Instant::now();
+        for _ in 0..PASSES {
+            for (sig, preds) in &workload {
+                let q = CanonQuery::build(preds, sig, &cfg);
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                q.key().hash(&mut h);
+                std::hint::black_box((h.finish(), q.key().clone()));
+            }
+        }
+        start.elapsed().as_nanos()
+    };
+    let deep_pass = || -> u128 {
+        let start = Instant::now();
+        for _ in 0..PASSES {
+            for (sig, preds) in &workload {
+                let q = CanonQuery::build(preds, sig, &cfg);
+                let deep: Vec<DeepPred> = q.canon_preds().iter().map(deep_pred).collect();
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                deep.hash(&mut h);
+                std::hint::black_box((h.finish(), deep.clone()));
+            }
+        }
+        start.elapsed().as_nanos()
+    };
+    // Warm-up: fills the interner's dedup map and the page cache so the
+    // first timed pass is not charged cold-start costs.
+    std::hint::black_box((interned_pass(), deep_pass()));
+    let (mut interned_ns, mut deep_ns) = (u128::MAX, u128::MAX);
+    for _ in 0..MICRO_REPS {
+        interned_ns = interned_ns.min(interned_pass());
+        deep_ns = deep_ns.min(deep_pass());
+    }
+    let keys = (PASSES * workload.len()) as f64;
+    let interned_ns_per_key = interned_ns as f64 / keys;
+    let deep_baseline_ns_per_key = deep_ns as f64 / keys;
+    CacheKeyMicrobench {
+        queries: workload.len(),
+        interned_ns_per_key,
+        deep_baseline_ns_per_key,
+        speedup_interned: deep_baseline_ns_per_key / interned_ns_per_key,
+    }
+}
+
 /// Everything `trace_overhead` measures, in the units the JSON footer
 /// reports: best-of-N per-inference times plus robust paired overhead
 /// estimates (percent).
@@ -351,13 +604,6 @@ fn trace_overhead() -> TraceOverhead {
     best
 }
 
-fn ratio(base: u128, improved: u128) -> f64 {
-    if improved == 0 {
-        return 0.0;
-    }
-    base as f64 / improved as f64
-}
-
 fn main() {
     let jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut picks = vec![subjects::motivating::motivating()];
@@ -373,7 +619,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"jobs\": {jobs},");
-    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"reps\": {CACHE_REPS},");
     let _ = writeln!(json, "  \"cases\": [");
     for (i, r) in results.iter().enumerate() {
         let hit_rate = r.stats.hit_rate();
@@ -394,20 +640,20 @@ fn main() {
         let _ = writeln!(json, "      \"cache_hits\": {},", r.stats.hits);
         let _ = writeln!(json, "      \"cache_misses\": {},", r.stats.misses);
         let _ = writeln!(json, "      \"cache_hit_rate\": {hit_rate:.4},");
-        let _ = writeln!(
-            json,
-            "      \"speedup_cache\": {:.3},",
-            ratio(r.serial_uncached_ns, r.serial_cached_ns)
-        );
-        let _ = writeln!(
-            json,
-            "      \"speedup_cache_parallel\": {:.3}",
-            ratio(r.serial_uncached_ns, r.parallel_cached_ns)
-        );
+        let _ = writeln!(json, "      \"speedup_cache\": {:.3},", r.speedup_cache);
+        let _ = writeln!(json, "      \"speedup_cache_parallel\": {:.3}", r.speedup_cache_parallel);
         let _ = write!(json, "    }}");
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ],\n");
+
+    let mb = run_cachekey_microbench();
+    let _ = writeln!(json, "  \"cachekey_microbench\": {{");
+    let _ = writeln!(json, "    \"queries\": {},", mb.queries);
+    let _ = writeln!(json, "    \"interned_ns_per_key\": {:.1},", mb.interned_ns_per_key);
+    let _ = writeln!(json, "    \"deep_baseline_ns_per_key\": {:.1},", mb.deep_baseline_ns_per_key);
+    let _ = writeln!(json, "    \"speedup_interned\": {:.3}", mb.speedup_interned);
+    let _ = writeln!(json, "  }},");
 
     let TraceOverhead {
         disabled_ms,
@@ -464,19 +710,27 @@ fn main() {
     std::fs::write("BENCH_solver_incremental.json", &inc_json)
         .expect("write BENCH_solver_incremental.json");
 
-    println!("perf smoke: {jobs} thread(s), best of {REPS} reps per configuration");
+    println!(
+        "perf smoke: {jobs} thread(s), {CACHE_REPS} bracketed reps per cache case \
+         (median paired speedups)"
+    );
     for r in &results {
         println!(
             "  {:<44} serial {:>8.2} ms | cached {:>8.2} ms ({:.2}x) | parallel+cached {:>8.2} ms ({:.2}x) | hit rate {:.1}%",
             r.name,
             r.serial_uncached_ns as f64 / 1e6,
             r.serial_cached_ns as f64 / 1e6,
-            ratio(r.serial_uncached_ns, r.serial_cached_ns),
+            r.speedup_cache,
             r.parallel_cached_ns as f64 / 1e6,
-            ratio(r.serial_uncached_ns, r.parallel_cached_ns),
+            r.speedup_cache_parallel,
             r.stats.hit_rate() * 100.0,
         );
     }
+    println!(
+        "  cache-key microbench: interned {:.0} ns/key vs deep baseline {:.0} ns/key \
+         ({:.2}x) over {} corpus queries",
+        mb.interned_ns_per_key, mb.deep_baseline_ns_per_key, mb.speedup_interned, mb.queries,
+    );
     println!(
         "  trace overhead: disabled {disabled_ms:.2} ms / rerun {disabled_rerun_ms:.2} ms \
          ({disabled_overhead_percent:+.2}% noise) | aggregate sink {aggregate_ms:.2} ms \

@@ -79,7 +79,7 @@ impl CVal {
     /// Panics on non-int values (the program is type-checked).
     pub fn as_int(&self) -> (i64, Term) {
         match self {
-            CVal::Int(c, t) => (*c, t.clone()),
+            CVal::Int(c, t) => (*c, *t),
             other => panic!("expected int, got {other:?}"),
         }
     }
@@ -118,7 +118,9 @@ impl CVal {
 pub fn materialize(input: &minilang::InputValue, place: Place) -> CVal {
     use minilang::InputValue;
     match input {
-        InputValue::Int(v) => CVal::Int(*v, Term::Var(symbolic::SymVar::Int(place_name(&place)))),
+        InputValue::Int(v) => {
+            CVal::Int(*v, Term::of_var(symbolic::SymVar::int(place_name(&place))))
+        }
         InputValue::Bool(b) => CVal::Bool(*b, Some(place_name(&place))),
         InputValue::Str(s) => {
             CVal::Str(CStr { val: s.as_ref().map(|cs| Rc::new(cs.clone())), origin: Some(place) })
@@ -129,13 +131,9 @@ pub fn materialize(input: &minilang::InputValue, place: Place) -> CVal {
                 let cells = xs
                     .iter()
                     .enumerate()
-                    .map(|(k, &v)| (v, Term::int_elem(place.clone(), Term::int(k as i64))))
+                    .map(|(k, &v)| (v, Term::int_elem(place, Term::int(k as i64))))
                     .collect();
-                let obj = ArrIntObj {
-                    cells,
-                    len_term: Term::len(place.clone()),
-                    origin: Some(place.clone()),
-                };
+                let obj = ArrIntObj { cells, len_term: Term::len(place), origin: Some(place) };
                 CVal::ArrInt(Some(Rc::new(RefCell::new(obj))), Some(place))
             }
         },
@@ -147,14 +145,10 @@ pub fn materialize(input: &minilang::InputValue, place: Place) -> CVal {
                     .enumerate()
                     .map(|(k, s)| CStr {
                         val: s.as_ref().map(|cs| Rc::new(cs.clone())),
-                        origin: Some(Place::elem(place.clone(), k as i64)),
+                        origin: Some(Place::elem(place, k as i64)),
                     })
                     .collect();
-                let obj = ArrStrObj {
-                    cells,
-                    len_term: Term::len(place.clone()),
-                    origin: Some(place.clone()),
-                };
+                let obj = ArrStrObj { cells, len_term: Term::len(place), origin: Some(place) };
                 CVal::ArrStr(Some(Rc::new(RefCell::new(obj))), Some(place))
             }
         },
@@ -162,9 +156,9 @@ pub fn materialize(input: &minilang::InputValue, place: Place) -> CVal {
 }
 
 fn place_name(place: &Place) -> String {
-    match place {
-        Place::Param(name) => name.clone(),
-        other => panic!("scalar inputs are parameters, got {other}"),
+    match place.node() {
+        symbolic::PlaceNode::Param(name) => name.clone(),
+        _ => panic!("scalar inputs are parameters, got {place}"),
     }
 }
 

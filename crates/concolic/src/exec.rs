@@ -150,7 +150,7 @@ impl<'a> Exec<'a> {
         if term.as_const().is_some() {
             return;
         }
-        let pred = Pred::cmp(CmpOp::Eq, term.clone(), Term::int(concrete));
+        let pred = Pred::cmp(CmpOp::Eq, *term, Term::int(concrete));
         self.entries.push(PathEntry { pred, kind: EntryKind::Pin, site, span });
     }
 
@@ -365,7 +365,7 @@ impl<'a> Exec<'a> {
                 let eq = lc == rc;
                 let taken = eq == want_eq;
                 let cmp = if eq { CmpOp::Eq } else { CmpOp::Ne };
-                self.record_branch(Pred::cmp(cmp, lt.clone(), rt.clone()), e.id, e.span);
+                self.record_branch(Pred::cmp(cmp, *lt, *rt), e.id, e.span);
                 Ok(taken)
             }
             (CVal::Bool(lb, _), CVal::Bool(rb, _)) => {
@@ -387,7 +387,7 @@ impl<'a> Exec<'a> {
                 let result = is_null == want_eq;
                 if let Some(place) = refv.ref_origin() {
                     self.record_branch(
-                        Pred::Null { place: place.clone(), positive: is_null },
+                        Pred::Null { place: *place, positive: is_null },
                         e.id,
                         e.span,
                     );
@@ -491,7 +491,7 @@ impl<'a> Exec<'a> {
                     let pred = Pred::cmp(CmpOp::Eq, rt, Term::int(0));
                     return Err(self.record_check_fail(pred, check, e.id, e.span));
                 }
-                let pred = Pred::cmp(CmpOp::Ne, rt.clone(), Term::int(0));
+                let pred = Pred::cmp(CmpOp::Ne, rt, Term::int(0));
                 self.record_check_pass(pred, check, e.id, e.span);
                 // Keep the divisor constant in the term language.
                 let divisor = match rt.as_const() {
@@ -515,7 +515,7 @@ impl<'a> Exec<'a> {
     fn null_check(&mut self, v: &CVal, node: NodeId, span: Span) -> R<()> {
         let check = CheckId { node, kind: CheckKind::NullDeref };
         let pred = match v.ref_origin() {
-            Some(place) => Pred::Null { place: place.clone(), positive: v.is_null() },
+            Some(place) => Pred::Null { place: *place, positive: v.is_null() },
             None => Pred::Const(!v.is_null()),
         };
         if v.is_null() {
@@ -538,24 +538,19 @@ impl<'a> Exec<'a> {
     ) -> R<()> {
         let check = CheckId { node, kind: CheckKind::IndexOutOfRange };
         if idx_c < 0 {
-            let pred = Pred::cmp(CmpOp::Lt, idx_t.clone(), Term::int(0));
+            let pred = Pred::cmp(CmpOp::Lt, *idx_t, Term::int(0));
             return Err(self.record_check_fail(pred, check, node, span));
         }
         if idx_c >= len_c {
-            let pred = Pred::cmp(CmpOp::Ge, idx_t.clone(), len_t.clone());
+            let pred = Pred::cmp(CmpOp::Ge, *idx_t, *len_t);
             return Err(self.record_check_fail(pred, check, node, span));
         }
         // Passing side: record the informative upper bound; the lower bound
         // only when the index is symbolic.
         if idx_t.as_const().is_none() {
-            self.record_branch(Pred::cmp(CmpOp::Ge, idx_t.clone(), Term::int(0)), node, span);
+            self.record_branch(Pred::cmp(CmpOp::Ge, *idx_t, Term::int(0)), node, span);
         }
-        self.record_check_pass(
-            Pred::cmp(CmpOp::Lt, idx_t.clone(), len_t.clone()),
-            check,
-            node,
-            span,
-        );
+        self.record_check_pass(Pred::cmp(CmpOp::Lt, *idx_t, *len_t), check, node, span);
         Ok(())
     }
 
@@ -574,15 +569,15 @@ impl<'a> Exec<'a> {
         match arr {
             CVal::ArrInt(Some(obj), _) => {
                 let obj = obj.borrow();
-                let (lc, lt) = (obj.cells.len() as i64, obj.len_term.clone());
+                let (lc, lt) = (obj.cells.len() as i64, obj.len_term);
                 self.bounds_check(ic, &it, lc, &lt, node, span)?;
                 let cell = self.concretize_index(ic, &it, node, span);
-                let (c, t) = obj.cells[cell].clone();
+                let (c, t) = obj.cells[cell];
                 Ok(CVal::Int(c, t))
             }
             CVal::ArrStr(Some(obj), _) => {
                 let obj = obj.borrow();
-                let (lc, lt) = (obj.cells.len() as i64, obj.len_term.clone());
+                let (lc, lt) = (obj.cells.len() as i64, obj.len_term);
                 self.bounds_check(ic, &it, lc, &lt, node, span)?;
                 let cell = self.concretize_index(ic, &it, node, span);
                 Ok(CVal::Str(obj.cells[cell].clone()))
@@ -598,7 +593,7 @@ impl<'a> Exec<'a> {
             CVal::ArrInt(Some(obj), _) => {
                 let (lc, lt) = {
                     let o = obj.borrow();
-                    (o.cells.len() as i64, o.len_term.clone())
+                    (o.cells.len() as i64, o.len_term)
                 };
                 self.bounds_check(ic, &it, lc, &lt, node, span)?;
                 let cell = self.concretize_index(ic, &it, node, span);
@@ -609,7 +604,7 @@ impl<'a> Exec<'a> {
             CVal::ArrStr(Some(obj), _) => {
                 let (lc, lt) = {
                     let o = obj.borrow();
-                    (o.cells.len() as i64, o.len_term.clone())
+                    (o.cells.len() as i64, o.len_term)
                 };
                 self.bounds_check(ic, &it, lc, &lt, node, span)?;
                 let cell = self.concretize_index(ic, &it, node, span);
@@ -629,11 +624,11 @@ impl<'a> Exec<'a> {
                 match &v {
                     CVal::ArrInt(Some(obj), _) => {
                         let o = obj.borrow();
-                        Ok(CVal::Int(o.cells.len() as i64, o.len_term.clone()))
+                        Ok(CVal::Int(o.cells.len() as i64, o.len_term))
                     }
                     CVal::ArrStr(Some(obj), _) => {
                         let o = obj.borrow();
-                        Ok(CVal::Int(o.cells.len() as i64, o.len_term.clone()))
+                        Ok(CVal::Int(o.cells.len() as i64, o.len_term))
                     }
                     other => panic!("typechecked len, got {other:?}"),
                 }
@@ -644,7 +639,7 @@ impl<'a> Exec<'a> {
                 let CVal::Str(s) = &v else { panic!("typechecked strlen") };
                 let chars = s.val.as_ref().expect("non-null after check");
                 let term = match &s.origin {
-                    Some(place) => Term::len(place.clone()),
+                    Some(place) => Term::len(*place),
                     None => Term::int(chars.len() as i64),
                 };
                 Ok(CVal::Int(chars.len() as i64, term))
@@ -659,14 +654,14 @@ impl<'a> Exec<'a> {
                 let (lc, lt) = (
                     chars.len() as i64,
                     match &s.origin {
-                        Some(place) => Term::len(place.clone()),
+                        Some(place) => Term::len(*place),
                         None => Term::int(chars.len() as i64),
                     },
                 );
                 self.bounds_check(ic, &it, lc, &lt, e.id, e.span)?;
                 let cell = self.concretize_index(ic, &it, e.id, e.span);
                 let term = match &s.origin {
-                    Some(place) => Term::char_at(place.clone(), Term::int(cell as i64)),
+                    Some(place) => Term::char_at(*place, Term::int(cell as i64)),
                     None => Term::int(chars[cell]),
                 };
                 Ok(CVal::Int(chars[cell], term))
@@ -682,12 +677,7 @@ impl<'a> Exec<'a> {
                     let pred = Pred::cmp(CmpOp::Lt, nt, Term::int(0));
                     return Err(self.record_check_fail(pred, check, e.id, e.span));
                 }
-                self.record_check_pass(
-                    Pred::cmp(CmpOp::Ge, nt.clone(), Term::int(0)),
-                    check,
-                    e.id,
-                    e.span,
-                );
+                self.record_check_pass(Pred::cmp(CmpOp::Ge, nt, Term::int(0)), check, e.id, e.span);
                 if b == Builtin::NewIntArray {
                     let cells = vec![(0i64, Term::int(0)); nc as usize];
                     let obj = ArrIntObj { cells, len_term: nt, origin: None };
@@ -703,9 +693,9 @@ impl<'a> Exec<'a> {
                 // abs branches internally on the sign.
                 if t.as_const().is_none() {
                     let pred = if c >= 0 {
-                        Pred::cmp(CmpOp::Ge, t.clone(), Term::int(0))
+                        Pred::cmp(CmpOp::Ge, t, Term::int(0))
                     } else {
-                        Pred::cmp(CmpOp::Lt, t.clone(), Term::int(0))
+                        Pred::cmp(CmpOp::Lt, t, Term::int(0))
                     };
                     self.record_branch(pred, e.id, e.span);
                 }

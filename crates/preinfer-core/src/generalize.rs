@@ -15,7 +15,9 @@ use crate::pruning::ReducedPath;
 use minilang::MethodEntryState;
 use symbolic::eval::{eval_on_state, eval_term, Env};
 use symbolic::linform::canon_pred;
-use symbolic::{CanonPred, CmpOp, Formula, Place, Pred, SymVar, Term};
+use symbolic::{
+    CanonPred, CmpOp, Formula, Place, PlaceNode, Pred, SymVar, SymVarNode, Term, TermNode,
+};
 
 /// The bound-variable name used by all shipped templates.
 pub const BOUND_VAR: &str = "i";
@@ -173,28 +175,28 @@ fn validates(work: &ReducedPath, m: &TemplateMatch, passing_states: &[&MethodEnt
 pub fn index_occurrences(pred: &Pred) -> Vec<(Place, i64)> {
     let mut out = Vec::new();
     let push = |p: &Place, k: i64, out: &mut Vec<(Place, i64)>| {
-        if !out.contains(&(p.clone(), k)) {
-            out.push((p.clone(), k));
+        if !out.contains(&(*p, k)) {
+            out.push((*p, k));
         }
     };
     fn walk_term(t: &Term, push: &mut dyn FnMut(&Place, i64)) {
-        match t {
-            Term::Const(_) => {}
-            Term::Var(v) => walk_var(v, push),
-            Term::Add(a, b) | Term::Sub(a, b) => {
+        match t.node() {
+            TermNode::Const(_) => {}
+            TermNode::Var(v) => walk_var(v, push),
+            TermNode::Add(a, b) | TermNode::Sub(a, b) => {
                 walk_term(a, push);
                 walk_term(b, push);
             }
-            Term::Neg(a) | Term::Mul(_, a) | Term::Div(a, _) | Term::Rem(a, _) => {
+            TermNode::Neg(a) | TermNode::Mul(_, a) | TermNode::Div(a, _) | TermNode::Rem(a, _) => {
                 walk_term(a, push)
             }
         }
     }
     fn walk_var(v: &SymVar, push: &mut dyn FnMut(&Place, i64)) {
-        match v {
-            SymVar::Int(_) => {}
-            SymVar::Len(p) => walk_place(p, push),
-            SymVar::IntElem(p, ix) | SymVar::Char(p, ix) => {
+        match v.node() {
+            SymVarNode::Int(_) => {}
+            SymVarNode::Len(p) => walk_place(p, push),
+            SymVarNode::IntElem(p, ix) | SymVarNode::Char(p, ix) => {
                 walk_place(p, push);
                 if let Some(k) = ix.as_const() {
                     push(p, k);
@@ -203,7 +205,7 @@ pub fn index_occurrences(pred: &Pred) -> Vec<(Place, i64)> {
         }
     }
     fn walk_place(p: &Place, push: &mut dyn FnMut(&Place, i64)) {
-        if let Place::Elem(base, ix) = p {
+        if let PlaceNode::Elem(base, ix) = p.node() {
             walk_place(base, push);
             if let Some(k) = ix.as_const() {
                 push(base, k);
@@ -272,43 +274,46 @@ fn map_pred(pred: &Pred, f: &mut dyn FnMut(&Place, &Term) -> Option<Term>) -> Pr
     }
 }
 
+// The maps below rebuild through the raw `.intern()` node constructors, not
+// the folding builders: index abstraction must preserve the term's shape
+// exactly (a folded `s[0+0]` would no longer match its family members).
 fn map_term(t: &Term, f: &mut dyn FnMut(&Place, &Term) -> Option<Term>) -> Term {
-    match t {
-        Term::Const(_) => t.clone(),
-        Term::Var(v) => Term::Var(map_var(v, f)),
-        Term::Add(a, b) => Term::Add(Box::new(map_term(a, f)), Box::new(map_term(b, f))),
-        Term::Sub(a, b) => Term::Sub(Box::new(map_term(a, f)), Box::new(map_term(b, f))),
-        Term::Neg(a) => Term::Neg(Box::new(map_term(a, f))),
-        Term::Mul(k, a) => Term::Mul(*k, Box::new(map_term(a, f))),
-        Term::Div(a, k) => Term::Div(Box::new(map_term(a, f)), *k),
-        Term::Rem(a, k) => Term::Rem(Box::new(map_term(a, f)), *k),
+    match t.node() {
+        TermNode::Const(_) => *t,
+        TermNode::Var(v) => TermNode::Var(map_var(v, f)).intern(),
+        TermNode::Add(a, b) => TermNode::Add(map_term(a, f), map_term(b, f)).intern(),
+        TermNode::Sub(a, b) => TermNode::Sub(map_term(a, f), map_term(b, f)).intern(),
+        TermNode::Neg(a) => TermNode::Neg(map_term(a, f)).intern(),
+        TermNode::Mul(k, a) => TermNode::Mul(*k, map_term(a, f)).intern(),
+        TermNode::Div(a, k) => TermNode::Div(map_term(a, f), *k).intern(),
+        TermNode::Rem(a, k) => TermNode::Rem(map_term(a, f), *k).intern(),
     }
 }
 
 fn map_var(v: &SymVar, f: &mut dyn FnMut(&Place, &Term) -> Option<Term>) -> SymVar {
-    match v {
-        SymVar::Int(_) => v.clone(),
-        SymVar::Len(p) => SymVar::Len(map_place(p, f)),
-        SymVar::IntElem(p, ix) => {
+    match v.node() {
+        SymVarNode::Int(_) => *v,
+        SymVarNode::Len(p) => SymVarNode::Len(map_place(p, f)).intern(),
+        SymVarNode::IntElem(p, ix) => {
             let p2 = map_place(p, f);
             let ix2 = f(p, ix).unwrap_or_else(|| map_term(ix, f));
-            SymVar::IntElem(p2, Box::new(ix2))
+            SymVarNode::IntElem(p2, ix2).intern()
         }
-        SymVar::Char(p, ix) => {
+        SymVarNode::Char(p, ix) => {
             let p2 = map_place(p, f);
             let ix2 = f(p, ix).unwrap_or_else(|| map_term(ix, f));
-            SymVar::Char(p2, Box::new(ix2))
+            SymVarNode::Char(p2, ix2).intern()
         }
     }
 }
 
 fn map_place(p: &Place, f: &mut dyn FnMut(&Place, &Term) -> Option<Term>) -> Place {
-    match p {
-        Place::Param(_) => p.clone(),
-        Place::Elem(base, ix) => {
+    match p.node() {
+        PlaceNode::Param(_) => *p,
+        PlaceNode::Elem(base, ix) => {
             let base2 = map_place(base, f);
             let ix2 = f(base, ix).unwrap_or_else(|| map_term(ix, f));
-            Place::Elem(Box::new(base2), Box::new(ix2))
+            PlaceNode::Elem(base2, ix2).intern()
         }
     }
 }
@@ -328,19 +333,19 @@ fn find_all(canon_list: &[CanonPred], pred: &Pred) -> Vec<usize> {
 
 /// The domain predicate `k < len(place)`.
 fn bound_pred(place: &Place, k: i64) -> Pred {
-    Pred::cmp(CmpOp::Lt, Term::int(k), Term::len(place.clone()))
+    Pred::cmp(CmpOp::Lt, Term::int(k), Term::len(*place))
 }
 
 /// The loop-exhaustion predicate `k >= len(place)`.
 fn exhaust_pred(place: &Place, k: i64) -> Pred {
-    Pred::cmp(CmpOp::Ge, Term::int(k), Term::len(place.clone()))
+    Pred::cmp(CmpOp::Ge, Term::int(k), Term::len(*place))
 }
 
 /// The length-pin predicate `len(place) == k` (violating conditions such as
 /// `len(s) - k == 0` canonicalize to this form when the loop exhausts the
 /// collection).
 fn len_eq_pred(place: &Place, k: i64) -> Pred {
-    Pred::cmp(CmpOp::Eq, Term::len(place.clone()), Term::int(k))
+    Pred::cmp(CmpOp::Eq, Term::len(*place), Term::int(k))
 }
 
 // ---- the Existential template ------------------------------------------------
@@ -384,7 +389,7 @@ impl Template for ExistentialTemplate {
             subsumed.sort_unstable();
             subsumed.dedup();
             let body = Formula::and([
-                Formula::pred(Pred::cmp(CmpOp::Lt, Term::var(BOUND_VAR), Term::len(place.clone()))),
+                Formula::pred(Pred::cmp(CmpOp::Lt, Term::var(BOUND_VAR), Term::len(place))),
                 Formula::pred(phi.subst_var(BOUND_VAR, &Term::var(BOUND_VAR))),
             ]);
             let formula = Formula::exists(BOUND_VAR, body);
@@ -445,7 +450,7 @@ fn generalize_family(path: &ReducedPath, step: i64, offset: i64) -> Option<Templ
             }
             let Some(phi) = abstract_index(&anchor.pred, &place, k, BOUND_VAR) else { continue };
             // The collection length in the originating failing state.
-            let Ok(len) = eval_term(&Term::len(place.clone()), &env) else { continue };
+            let Ok(len) = eval_term(&Term::len(place), &env) else { continue };
             if len < 1 {
                 continue;
             }
@@ -477,7 +482,7 @@ fn generalize_family(path: &ReducedPath, step: i64, offset: i64) -> Option<Templ
             subsumed.dedup();
             let mut domain = vec![
                 Formula::pred(Pred::cmp(CmpOp::Le, Term::int(0), Term::var(BOUND_VAR))),
-                Formula::pred(Pred::cmp(CmpOp::Lt, Term::var(BOUND_VAR), Term::len(place.clone()))),
+                Formula::pred(Pred::cmp(CmpOp::Lt, Term::var(BOUND_VAR), Term::len(place))),
             ];
             if step != 1 {
                 domain.push(Formula::pred(Pred::cmp(
@@ -590,9 +595,9 @@ mod tests {
         // a[0]==0 ∧ 1<len ∧ a[1]==0 ∧ 2<len ∧ a[2]==0 ∧ 3>=len → ∀.
         let a = Place::param("a");
         let elem_zero =
-            |k: i64| Pred::cmp(CmpOp::Eq, Term::int_elem(a.clone(), Term::int(k)), Term::int(0));
+            |k: i64| Pred::cmp(CmpOp::Eq, Term::int_elem(a, Term::int(k)), Term::int(0));
         let entries = vec![
-            check_entry(Pred::not_null(a.clone()), 1),
+            check_entry(Pred::not_null(a), 1),
             entry(bound_pred(&a, 0), 2),
             entry(elem_zero(0), 3),
             entry(bound_pred(&a, 1), 2),
@@ -600,7 +605,7 @@ mod tests {
             entry(bound_pred(&a, 2), 2),
             entry(elem_zero(2), 3),
             entry(exhaust_pred(&a, 3), 2),
-            entry(Pred::cmp(CmpOp::Gt, Term::len(a.clone()), Term::int(0)), 9),
+            entry(Pred::cmp(CmpOp::Gt, Term::len(a), Term::int(0)), 9),
         ];
         let state =
             MethodEntryState::from_pairs([("a", InputValue::ArrayInt(Some(vec![0, 0, 0])))]);
@@ -614,12 +619,9 @@ mod tests {
     fn step_template_matches_even_indices() {
         let a = Place::param("a");
         let elem_zero =
-            |k: i64| Pred::cmp(CmpOp::Eq, Term::int_elem(a.clone(), Term::int(k)), Term::int(0));
-        let entries = vec![
-            check_entry(Pred::not_null(a.clone()), 1),
-            entry(elem_zero(0), 3),
-            entry(elem_zero(2), 3),
-        ];
+            |k: i64| Pred::cmp(CmpOp::Eq, Term::int_elem(a, Term::int(k)), Term::int(0));
+        let entries =
+            vec![check_entry(Pred::not_null(a), 1), entry(elem_zero(0), 3), entry(elem_zero(2), 3)];
         let state =
             MethodEntryState::from_pairs([("a", InputValue::ArrayInt(Some(vec![0, 5, 0, 5])))]);
         let path = ReducedPath { entries, state };
@@ -657,10 +659,9 @@ mod tests {
     fn char_families_generalize_for_reverse_words_shape() {
         // All characters whitespace, string exhausted → universal over chars.
         let v = Place::param("value");
-        let ws =
-            |k: i64| Pred::IsSpace { arg: Term::char_at(v.clone(), Term::int(k)), positive: true };
+        let ws = |k: i64| Pred::IsSpace { arg: Term::char_at(v, Term::int(k)), positive: true };
         let entries = vec![
-            check_entry(Pred::not_null(v.clone()), 1),
+            check_entry(Pred::not_null(v), 1),
             entry(ws(0), 2),
             entry(ws(1), 2),
             entry(ws(2), 2),

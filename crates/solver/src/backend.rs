@@ -20,7 +20,7 @@
 
 use crate::theory::{FuncSig, SolveResult, SolverConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
-use symbolic::linform::CanonPred;
+use symbolic::linform::CPred;
 
 /// Which backend stack a solve runs through. Part of the cache key: a
 /// cached verdict (and its tier) must stay a pure function of its key.
@@ -93,7 +93,7 @@ pub trait TheoryBackend {
     /// Decides or escalates. A `Decided` answer must match what the
     /// bottom (simplex) backend would return for the same query under the
     /// same config — verdict *and* model.
-    fn solve(&self, preds: &[CanonPred], sig: &FuncSig, cfg: &SolverConfig) -> BackendAnswer;
+    fn solve(&self, preds: &[CPred], sig: &FuncSig, cfg: &SolverConfig) -> BackendAnswer;
 }
 
 /// The bottom of the stack: the existing simplex + branch-and-bound path.
@@ -106,7 +106,7 @@ impl TheoryBackend for SimplexBackend {
         "simplex"
     }
 
-    fn solve(&self, preds: &[CanonPred], sig: &FuncSig, cfg: &SolverConfig) -> BackendAnswer {
+    fn solve(&self, preds: &[CPred], sig: &FuncSig, cfg: &SolverConfig) -> BackendAnswer {
         BackendAnswer::Decided {
             result: crate::builder::solve_via_simplex(preds, sig, cfg),
             tier: Tier::Simplex,

@@ -34,20 +34,16 @@ use crate::intsolve::{solve_int, Budget, IntProblem, IntResult};
 use crate::model::build_model;
 use crate::theory::{FuncSig, SolveResult, SolverConfig};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use symbolic::linform::{lin_of_term, CanonPred, LinExpr, Monomial};
-use symbolic::term::{Place, SymVar, Term};
+use symbolic::linform::{lin_of_term, CPred, CanonPred, LinExpr, Monomial};
+use symbolic::term::{Place, PlaceNode, SymVar, SymVarNode, Term};
 
 /// Solves an already-canonical conjunction through the full simplex +
 /// branch-and-bound stack. The reference semantics every cheaper tier
 /// must agree with.
-pub(crate) fn solve_via_simplex(
-    preds: &[CanonPred],
-    sig: &FuncSig,
-    cfg: &SolverConfig,
-) -> SolveResult {
+pub(crate) fn solve_via_simplex(preds: &[CPred], sig: &FuncSig, cfg: &SolverConfig) -> SolveResult {
     let mut builder = Builder::new(false);
     for p in preds {
-        if builder.add_canon(p.clone()).is_err() {
+        if builder.add_canon(*p).is_err() {
             return SolveResult::Unsat;
         }
     }
@@ -173,7 +169,7 @@ impl Builder {
 
     /// Records a nullness decision; a conflicting earlier decision is UNSAT.
     fn set_null(&mut self, place: Place, value: bool) -> Result<(), UnsatErr> {
-        let prev = self.nulls.insert(place.clone(), value);
+        let prev = self.nulls.insert(place, value);
         if let Some(t) = &mut self.trail {
             t.push(TrailOp::Null(place, prev));
         }
@@ -195,25 +191,25 @@ impl Builder {
         }
     }
 
-    pub(crate) fn add_canon(&mut self, p: CanonPred) -> Result<(), UnsatErr> {
-        match p {
+    pub(crate) fn add_canon(&mut self, p: CPred) -> Result<(), UnsatErr> {
+        match p.node() {
             CanonPred::Const(true) => Ok(()),
             CanonPred::Const(false) => Err(UnsatErr),
-            CanonPred::Bool { name, positive } => self.set_bool(name, positive),
-            CanonPred::Null { place, positive } => self.decide_null(place, positive),
+            CanonPred::Bool { name, positive } => self.set_bool(name.clone(), *positive),
+            CanonPred::Null { place, positive } => self.decide_null(*place, *positive),
             CanonPred::Le(e) => {
-                self.register_expr(&e)?;
-                self.hard.push(e);
+                self.register_expr(e)?;
+                self.hard.push(e.clone());
                 Ok(())
             }
             CanonPred::Eq(e) => {
-                self.register_expr(&e)?;
+                self.register_expr(e)?;
                 self.hard.push(e.clone());
                 self.hard.push(e.scale(-1));
                 Ok(())
             }
             CanonPred::Ne(e) => {
-                self.register_expr(&e)?;
+                self.register_expr(e)?;
                 // e <= -1  OR  -e <= -1
                 let a = e.add(&LinExpr::constant(1)); // e + 1 <= 0 ⇔ e <= -1
                 let b = e.scale(-1).add(&LinExpr::constant(1));
@@ -221,8 +217,8 @@ impl Builder {
                 Ok(())
             }
             CanonPred::IsSpace { arg, positive } => {
-                self.register_expr(&arg)?;
-                if positive {
+                self.register_expr(arg)?;
+                if *positive {
                     // arg ∈ {9, 10, 13, 32}
                     let alts = [32i64, 9, 10, 13]
                         .iter()
@@ -250,7 +246,7 @@ impl Builder {
 
     fn decide_null(&mut self, place: Place, is_null: bool) -> Result<(), UnsatErr> {
         // Dereference the *base* chain (not the place itself).
-        if let Place::Elem(base, ix) = &place {
+        if let PlaceNode::Elem(base, ix) = place.node() {
             self.deref_place(base)?;
             self.bound_index(base, ix)?;
         }
@@ -260,8 +256,8 @@ impl Builder {
     /// Marks a place as dereferenced: itself non-null, bases recursively
     /// non-null, and indices within bounds.
     fn deref_place(&mut self, place: &Place) -> Result<(), UnsatErr> {
-        self.set_null(place.clone(), false)?;
-        if let Place::Elem(base, ix) = place {
+        self.set_null(*place, false)?;
+        if let PlaceNode::Elem(base, ix) = place.node() {
             self.deref_place(base)?;
             self.bound_index(base, ix)?;
         }
@@ -283,7 +279,7 @@ impl Builder {
     /// The length variable expression for a place, registering it (and its
     /// well-formedness) on first use.
     fn len_expr(&mut self, place: &Place) -> Result<LinExpr, UnsatErr> {
-        let var = SymVar::Len(place.clone());
+        let var = SymVarNode::Len(*place).intern();
         let mono = Monomial::Var(var);
         if self.insert_column(&mono) {
             let mut e = LinExpr::zero();
@@ -320,23 +316,23 @@ impl Builder {
     }
 
     fn register_var_wf(&mut self, v: &SymVar) -> Result<(), UnsatErr> {
-        match v {
-            SymVar::Int(_) => Ok(()),
-            SymVar::Len(place) => {
+        match v.node() {
+            SymVarNode::Int(_) => Ok(()),
+            SymVarNode::Len(place) => {
                 // -len <= 0 plus place dereference.
-                let e = mono_expr(&Monomial::Var(v.clone())).scale(-1);
+                let e = mono_expr(&Monomial::Var(*v)).scale(-1);
                 self.hard.push(e);
                 self.deref_place(place)
             }
-            SymVar::IntElem(place, ix) => {
+            SymVarNode::IntElem(place, ix) => {
                 self.deref_place(place)?;
                 self.bound_index(place, ix)
             }
-            SymVar::Char(place, ix) => {
+            SymVarNode::Char(place, ix) => {
                 self.deref_place(place)?;
                 self.bound_index(place, ix)?;
                 // 0 <= char <= 0x10FFFF
-                let c = mono_expr(&Monomial::Var(v.clone()));
+                let c = mono_expr(&Monomial::Var(*v));
                 self.hard.push(c.scale(-1));
                 self.hard.push(c.add(&LinExpr::constant(-0x10FFFF)));
                 Ok(())

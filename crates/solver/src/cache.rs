@@ -25,7 +25,7 @@ use crate::theory::{SolveResult, SolverConfig};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Number of independently locked shards. A power of two; high bits of the
 /// key hash pick the shard so the table scales with thread count.
@@ -92,11 +92,12 @@ struct Entry {
 
 /// One independently locked shard: the memo map plus an insertion-order
 /// queue driving segmented (second-chance) eviction. `order` holds exactly
-/// the keys of `map`.
+/// the keys of `map`; map and queue share one `Arc` per key, so an insert
+/// clones the key once and never twice.
 #[derive(Default)]
 struct Shard {
-    map: HashMap<CacheKey, Entry>,
-    order: VecDeque<CacheKey>,
+    map: HashMap<Arc<CacheKey>, Entry>,
+    order: VecDeque<Arc<CacheKey>>,
 }
 
 /// A thread-safe memo table from canonical queries to solver verdicts.
@@ -192,8 +193,11 @@ impl SolverCache {
             self.evict_cold_half(&mut guard);
         }
         let entry = Entry { result: result.clone(), tier, referenced: false };
-        if guard.map.insert(key.clone(), entry).is_none() {
-            guard.order.push_back(key.clone());
+        // One (cheap, interned-handle) clone of the key, shared by map and
+        // eviction queue through the same allocation.
+        let key = Arc::new(key.clone());
+        if guard.map.insert(Arc::clone(&key), entry).is_none() {
+            guard.order.push_back(key);
         }
     }
 
@@ -206,13 +210,13 @@ impl SolverCache {
         let mut dropped = 0u64;
         while shard.map.len() > target {
             let Some(key) = shard.order.pop_front() else { break };
-            match shard.map.get_mut(&key) {
+            match shard.map.get_mut(key.as_ref()) {
                 Some(e) if e.referenced => {
                     e.referenced = false;
                     shard.order.push_back(key);
                 }
                 Some(_) => {
-                    shard.map.remove(&key);
+                    shard.map.remove(key.as_ref());
                     dropped += 1;
                 }
                 None => {}

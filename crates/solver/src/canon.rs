@@ -19,15 +19,20 @@ use crate::backend::{BackendKind, Tier};
 use crate::theory::{FuncSig, SolveResult, SolverConfig};
 use minilang::{MethodEntryState, Ty};
 use std::collections::HashMap;
-use symbolic::linform::{canon_pred, CanonPred};
+use symbolic::linform::{canon_cpred, CPred, CanonPred};
 use symbolic::pred::Pred;
-use symbolic::term::{Place, SymVar, Term};
+use symbolic::term::{Place, PlaceNode, SymVar, SymVarNode, Term, TermNode};
 
 /// The canonical form of one solver query: the cache key.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Cloning is near-free (a `Vec` of `Copy` interned handles plus a few
+/// scalars), comparison is id-wise, and hashing replays one precomputed
+/// 64-bit digest — the deep-tree costs the pre-interning representation
+/// paid on every cache probe are all gone.
+#[derive(Debug, Clone)]
 pub struct CacheKey {
-    /// Renamed, canonicalized, sorted, de-duplicated conjuncts.
-    preds: Vec<CanonPred>,
+    /// Renamed, canonicalized, sorted, de-duplicated conjuncts (interned).
+    preds: Vec<CPred>,
     /// Parameter types in signature order (names are positional).
     tys: Vec<Ty>,
     /// Solver budget — a bigger budget can turn `Unknown` into a verdict.
@@ -38,6 +43,28 @@ pub struct CacheKey {
     /// runs agree on verdicts, but the *answering tier* stored with each
     /// entry is backend-dependent, so it is part of the key.
     backend: BackendKind,
+    /// Digest of every field above, fixed at construction. Ids are
+    /// process-local, so this hash is too — it never leaves the process.
+    hash: u64,
+}
+
+impl PartialEq for CacheKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash
+            && self.preds == other.preds
+            && self.tys == other.tys
+            && self.budget_nodes == other.budget_nodes
+            && self.max_model_len == other.max_model_len
+            && self.backend == other.backend
+    }
+}
+
+impl Eq for CacheKey {}
+
+impl std::hash::Hash for CacheKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
 }
 
 /// A solver query together with its canonical form and the renaming needed
@@ -81,21 +108,30 @@ impl Renaming {
         Renaming { map, back, tys, canon_sig }
     }
 
-    /// Canonicalizes one predicate under this renaming.
-    pub(crate) fn canon_one(&self, p: &Pred) -> CanonPred {
-        canon_pred(&rename_pred(p, &self.map))
+    /// Canonicalizes one predicate under this renaming, straight to its
+    /// interned handle.
+    pub(crate) fn canon_one(&self, p: &Pred) -> CPred {
+        canon_cpred(&rename_pred(p, &self.map))
     }
 }
 
 /// Assembles the cache key for an already-canonical (renamed, sorted,
-/// de-duplicated, truth-free) conjunction.
-pub(crate) fn cache_key(preds: Vec<CanonPred>, tys: Vec<Ty>, cfg: &SolverConfig) -> CacheKey {
+/// de-duplicated, truth-free) conjunction, fixing its hash digest.
+pub(crate) fn cache_key(preds: Vec<CPred>, tys: Vec<Ty>, cfg: &SolverConfig) -> CacheKey {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    preds.hash(&mut h);
+    tys.hash(&mut h);
+    cfg.budget_nodes.hash(&mut h);
+    cfg.max_model_len.hash(&mut h);
+    cfg.backend.hash(&mut h);
     CacheKey {
         preds,
         tys,
         budget_nodes: cfg.budget_nodes,
         max_model_len: cfg.max_model_len,
         backend: cfg.backend,
+        hash: h.finish(),
     }
 }
 
@@ -126,10 +162,11 @@ impl CanonQuery {
     /// [`canon_pred`], sort, de-duplicate, and drop trivial truths.
     pub fn build(preds: &[Pred], sig: &FuncSig, cfg: &SolverConfig) -> CanonQuery {
         let renaming = Renaming::of(sig);
-        let mut canon: Vec<CanonPred> = preds.iter().map(|p| renaming.canon_one(p)).collect();
+        let mut canon: Vec<CPred> = preds.iter().map(|p| renaming.canon_one(p)).collect();
         canon.sort();
         canon.dedup();
-        canon.retain(|p| *p != CanonPred::Const(true));
+        let truth = CanonPred::Const(true).intern();
+        canon.retain(|p| *p != truth);
         CanonQuery {
             key: cache_key(canon, renaming.tys, cfg),
             canon_sig: renaming.canon_sig,
@@ -143,7 +180,7 @@ impl CanonQuery {
     }
 
     /// The canonical conjuncts.
-    pub fn canon_preds(&self) -> &[CanonPred] {
+    pub fn canon_preds(&self) -> &[CPred] {
         &self.key.preds
     }
 
@@ -182,35 +219,39 @@ fn rename_str(name: &str, map: &HashMap<String, String>) -> String {
 }
 
 fn rename_place(p: &Place, map: &HashMap<String, String>) -> Place {
-    match p {
-        Place::Param(name) => Place::Param(rename_str(name, map)),
-        Place::Elem(base, ix) => {
-            Place::Elem(Box::new(rename_place(base, map)), Box::new(rename_term(ix, map)))
+    match p.node() {
+        PlaceNode::Param(name) => PlaceNode::Param(rename_str(name, map)).intern(),
+        PlaceNode::Elem(base, ix) => {
+            PlaceNode::Elem(rename_place(base, map), rename_term(ix, map)).intern()
         }
     }
 }
 
 fn rename_symvar(v: &SymVar, map: &HashMap<String, String>) -> SymVar {
-    match v {
-        SymVar::Int(name) => SymVar::Int(rename_str(name, map)),
-        SymVar::Len(p) => SymVar::Len(rename_place(p, map)),
-        SymVar::IntElem(p, ix) => {
-            SymVar::IntElem(rename_place(p, map), Box::new(rename_term(ix, map)))
+    match v.node() {
+        SymVarNode::Int(name) => SymVarNode::Int(rename_str(name, map)).intern(),
+        SymVarNode::Len(p) => SymVarNode::Len(rename_place(p, map)).intern(),
+        SymVarNode::IntElem(p, ix) => {
+            SymVarNode::IntElem(rename_place(p, map), rename_term(ix, map)).intern()
         }
-        SymVar::Char(p, ix) => SymVar::Char(rename_place(p, map), Box::new(rename_term(ix, map))),
+        SymVarNode::Char(p, ix) => {
+            SymVarNode::Char(rename_place(p, map), rename_term(ix, map)).intern()
+        }
     }
 }
 
+// Structure-preserving: renaming must not fold or normalize, so it rebuilds
+// through the raw node constructors rather than the folding builders.
 fn rename_term(t: &Term, map: &HashMap<String, String>) -> Term {
-    match t {
-        Term::Const(v) => Term::Const(*v),
-        Term::Var(v) => Term::Var(rename_symvar(v, map)),
-        Term::Add(a, b) => Term::Add(Box::new(rename_term(a, map)), Box::new(rename_term(b, map))),
-        Term::Sub(a, b) => Term::Sub(Box::new(rename_term(a, map)), Box::new(rename_term(b, map))),
-        Term::Neg(a) => Term::Neg(Box::new(rename_term(a, map))),
-        Term::Mul(k, a) => Term::Mul(*k, Box::new(rename_term(a, map))),
-        Term::Div(a, k) => Term::Div(Box::new(rename_term(a, map)), *k),
-        Term::Rem(a, k) => Term::Rem(Box::new(rename_term(a, map)), *k),
+    match t.node() {
+        TermNode::Const(_) => *t,
+        TermNode::Var(v) => TermNode::Var(rename_symvar(v, map)).intern(),
+        TermNode::Add(a, b) => TermNode::Add(rename_term(a, map), rename_term(b, map)).intern(),
+        TermNode::Sub(a, b) => TermNode::Sub(rename_term(a, map), rename_term(b, map)).intern(),
+        TermNode::Neg(a) => TermNode::Neg(rename_term(a, map)).intern(),
+        TermNode::Mul(k, a) => TermNode::Mul(*k, rename_term(a, map)).intern(),
+        TermNode::Div(a, k) => TermNode::Div(rename_term(a, map), *k).intern(),
+        TermNode::Rem(a, k) => TermNode::Rem(rename_term(a, map), *k).intern(),
     }
 }
 

@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use symbolic::eval::{eval_pred, Env};
-use symbolic::linform::CanonPred;
+use symbolic::linform::{CPred, CanonPred};
 use symbolic::pred::Pred;
 
 /// Shared counters describing incremental-session activity. Observation
@@ -137,8 +137,8 @@ struct Frame {
     /// The caller's predicate, retained for model re-validation and for
     /// longest-common-prefix diffing in [`IncrementalSession::solve_preds`].
     orig: Pred,
-    /// Its canonical form under the session's α-renaming.
-    canon: CanonPred,
+    /// Its canonical form under the session's α-renaming (interned).
+    canon: CPred,
     /// Whether it participates in the multiset (everything except the
     /// trivial truth, which canonicalization drops).
     counted: bool,
@@ -164,7 +164,7 @@ pub struct IncrementalSession {
     /// Sorted, duplicate-free multiset view of the stacked canonical
     /// conjuncts — the canonical conjunction the scratch path would build.
     /// Scanned by the interval tier and cloned into cache keys.
-    sorted: Vec<CanonPred>,
+    sorted: Vec<CPred>,
     /// `refcounts[i]` is how many stacked frames contribute `sorted[i]`
     /// (parallel to `sorted`).
     refcounts: Vec<usize>,
@@ -226,13 +226,13 @@ impl IncrementalSession {
     pub fn push(&mut self, pred: &Pred) {
         self.counters.count_push();
         let canon = self.renaming.canon_one(pred);
-        let counted = canon != CanonPred::Const(true);
+        let counted = canon != CanonPred::Const(true).intern();
         let mut inserted = false;
         if counted {
             match self.sorted.binary_search(&canon) {
                 Ok(pos) => self.refcounts[pos] += 1,
                 Err(pos) => {
-                    self.sorted.insert(pos, canon.clone());
+                    self.sorted.insert(pos, canon);
                     self.refcounts.insert(pos, 1);
                     inserted = true;
                 }
@@ -392,7 +392,7 @@ impl IncrementalSession {
             let i = self.applied;
             let mark = self.builder.mark();
             if self.frames[i].inserted {
-                let canon = self.frames[i].canon.clone();
+                let canon = self.frames[i].canon;
                 if self.builder.add_canon(canon).is_err() {
                     self.builder.undo_to(&mark);
                     self.poisoned_at = Some(i);

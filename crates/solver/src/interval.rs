@@ -33,8 +33,8 @@ use crate::backend::{BackendAnswer, TheoryBackend, Tier};
 use crate::model::build_model;
 use crate::theory::{FuncSig, SolveResult, SolverConfig};
 use std::collections::{BTreeMap, HashMap};
-use symbolic::linform::{CanonPred, LinExpr, Monomial};
-use symbolic::term::{Place, SymVar};
+use symbolic::linform::{CPred, CanonPred, LinExpr, Monomial};
+use symbolic::term::{Place, PlaceNode, SymVar, SymVarNode};
 
 /// Sentinel "infinity" for one-sided ranges; all real bounds derive from
 /// `i64` values, so `i128` arithmetic around it cannot wrap.
@@ -48,7 +48,7 @@ impl TheoryBackend for IntervalBackend {
         "interval"
     }
 
-    fn solve(&self, preds: &[CanonPred], sig: &FuncSig, cfg: &SolverConfig) -> BackendAnswer {
+    fn solve(&self, preds: &[CPred], sig: &FuncSig, cfg: &SolverConfig) -> BackendAnswer {
         solve_interval(preds, sig, cfg)
     }
 }
@@ -57,9 +57,12 @@ fn decided(result: SolveResult, tier: Tier) -> BackendAnswer {
     BackendAnswer::Decided { result, tier }
 }
 
-fn solve_interval(preds: &[CanonPred], sig: &FuncSig, cfg: &SolverConfig) -> BackendAnswer {
+fn solve_interval(preds: &[CPred], sig: &FuncSig, cfg: &SolverConfig) -> BackendAnswer {
     // ---- Tier 0: syntactic contradictions -------------------------------
-    if preds.contains(&CanonPred::Const(false)) {
+    // Interned conjuncts make both scans id comparisons: `contains` is a
+    // u32 sweep, and the complementary-pair check matches `p.negated()`
+    // (itself a memoized lookup) by id instead of re-comparing structure.
+    if preds.contains(&CanonPred::Const(false).intern()) {
         // The simplex builder errors out while *adding* this conjunct —
         // before any signature or budget consideration — so Unsat is safe
         // unconditionally.
@@ -70,7 +73,7 @@ fn solve_interval(preds: &[CanonPred], sig: &FuncSig, cfg: &SolverConfig) -> Bac
         if !preds.contains(&p.negated()) {
             continue;
         }
-        match p {
+        match p.node() {
             // Conflicting boolean/nullness decisions surface as insertion
             // conflicts during building, again before signature/budget
             // checks: unconditionally safe.
@@ -105,7 +108,7 @@ fn solve_interval(preds: &[CanonPred], sig: &FuncSig, cfg: &SolverConfig) -> Bac
             r.1 = r.1.min(hi);
         };
     for p in preds {
-        match p {
+        match p.node() {
             CanonPred::Const(_) => {}
             CanonPred::Bool { name, positive } => {
                 bools.insert(name.clone(), *positive);
@@ -113,8 +116,9 @@ fn solve_interval(preds: &[CanonPred], sig: &FuncSig, cfg: &SolverConfig) -> Bac
             CanonPred::Null { place, positive } => {
                 // Only direct parameter nullness mirrors the builder
                 // exactly (element places drag in dereference constraints).
-                if matches!(place, Place::Param(_)) && sig.ty_of(place.root()).is_some() {
-                    nulls.insert(place.clone(), *positive);
+                if matches!(place.node(), PlaceNode::Param(_)) && sig.ty_of(place.root()).is_some()
+                {
+                    nulls.insert(*place, *positive);
                 } else {
                     boxy = false;
                 }
@@ -201,15 +205,18 @@ fn unit(e: &LinExpr) -> Option<(&Monomial, i64, i64)> {
 }
 
 fn plain_int(m: &Monomial) -> bool {
-    matches!(m, Monomial::Var(SymVar::Int(_)))
+    matches!(m, Monomial::Var(v) if matches!(v.node(), SymVarNode::Int(_)))
 }
 
 /// Well-formedness range the simplex builder would impose on a monomial
 /// (as hard rows or within every choice alternative).
 fn wf_range(m: &Monomial) -> (i128, i128) {
     match m {
-        Monomial::Var(SymVar::Len(_)) => (0, INF),
-        Monomial::Var(SymVar::Char(_, _)) => (0, 0x10FFFF),
+        Monomial::Var(v) => match v.node() {
+            SymVarNode::Len(_) => (0, INF),
+            SymVarNode::Char(_, _) => (0, 0x10FFFF),
+            _ => (-INF, INF),
+        },
         Monomial::Rem(_, k) if *k != 0 => {
             let b = (k.unsigned_abs() - 1) as i128;
             (-b, b)
@@ -227,12 +234,12 @@ fn wf_range(m: &Monomial) -> (i128, i128) {
 /// 2. The DFS leaf count (product of choice-atom alternatives) must fit in
 ///    the node budget: each refuted leaf costs one branch-and-bound tick,
 ///    and with integral bounds every leaf is refuted at its root LP.
-fn unsat_decidable(preds: &[CanonPred], sig: &FuncSig, cfg: &SolverConfig) -> bool {
+fn unsat_decidable(preds: &[CPred], sig: &FuncSig, cfg: &SolverConfig) -> bool {
     let mut vars: Vec<SymVar> = Vec::new();
     let mut divrem: Vec<(&LinExpr, i64)> = Vec::new();
     let mut leaves: u128 = 1;
     for p in preds {
-        match p {
+        match p.node() {
             CanonPred::Const(_) | CanonPred::Bool { .. } => {}
             CanonPred::Null { place, .. } => {
                 if sig.ty_of(place.root()).is_none() {
@@ -260,9 +267,9 @@ fn unsat_decidable(preds: &[CanonPred], sig: &FuncSig, cfg: &SolverConfig) -> bo
         leaves = leaves.saturating_mul(2);
     }
     for v in &vars {
-        let place = match v {
-            SymVar::Int(_) => continue,
-            SymVar::Len(p) | SymVar::IntElem(p, _) | SymVar::Char(p, _) => p,
+        let place = match v.node() {
+            SymVarNode::Int(_) => continue,
+            SymVarNode::Len(p) | SymVarNode::IntElem(p, _) | SymVarNode::Char(p, _) => p,
         };
         if sig.ty_of(place.root()).is_none() {
             return false;
@@ -275,7 +282,7 @@ fn unsat_decidable(preds: &[CanonPred], sig: &FuncSig, cfg: &SolverConfig) -> bo
 /// builder registers them via `bound_index`); collect them for the
 /// signature-root guard.
 fn collect_place_index_vars(place: &Place, vars: &mut Vec<SymVar>) {
-    if let Place::Elem(base, ix) = place {
+    if let PlaceNode::Elem(base, ix) = place.node() {
         ix.collect_vars(vars);
         collect_place_index_vars(base, vars);
     }

@@ -11,7 +11,7 @@ use crate::theory::{FuncSig, SolverConfig};
 use minilang::{InputValue, MethodEntryState, Ty};
 use std::collections::{BTreeMap, HashMap};
 use symbolic::linform::Monomial;
-use symbolic::term::{Place, SymVar, Term};
+use symbolic::term::{Place, SymVar, SymVarNode, Term};
 
 /// Builds a concrete entry state from the solved assignment. `None` when a
 /// model cannot be materialized (negative or oversized lengths, `Void`
@@ -27,7 +27,7 @@ pub(crate) fn build_model(
     for (name, ty) in sig.params() {
         let place = Place::param(name);
         let value = match ty {
-            Ty::Int => InputValue::Int(lookup_int(assign, &SymVar::Int(name.to_string()))),
+            Ty::Int => InputValue::Int(lookup_int(assign, &SymVar::int(name))),
             Ty::Bool => InputValue::Bool(bools.get(name).copied().unwrap_or(false)),
             Ty::Str => InputValue::Str(build_str(&place, assign, nulls, cfg)?),
             Ty::ArrayInt => {
@@ -37,7 +37,7 @@ pub(crate) fn build_model(
                     let len = place_len(&place, assign, cfg)?;
                     let mut items = vec![0i64; len];
                     for (k, slot) in items.iter_mut().enumerate() {
-                        let var = SymVar::IntElem(place.clone(), Box::new(Term::int(k as i64)));
+                        let var = SymVarNode::IntElem(place, Term::int(k as i64)).intern();
                         if let Some(&v) = assign.get(&Monomial::Var(var)) {
                             *slot = v;
                         }
@@ -52,7 +52,7 @@ pub(crate) fn build_model(
                     let len = place_len(&place, assign, cfg)?;
                     let mut items = Vec::with_capacity(len);
                     for k in 0..len {
-                        let elem = Place::elem(place.clone(), k as i64);
+                        let elem = Place::elem(place, k as i64);
                         items.push(build_str(&elem, assign, nulls, cfg)?);
                     }
                     InputValue::ArrayStr(Some(items))
@@ -72,11 +72,11 @@ fn is_null(place: &Place, nulls: &BTreeMap<Place, bool>) -> bool {
 }
 
 fn lookup_int(assign: &HashMap<Monomial, i64>, v: &SymVar) -> i64 {
-    assign.get(&Monomial::Var(v.clone())).copied().unwrap_or(0)
+    assign.get(&Monomial::Var(*v)).copied().unwrap_or(0)
 }
 
 fn place_len(place: &Place, assign: &HashMap<Monomial, i64>, cfg: &SolverConfig) -> Option<usize> {
-    let len = lookup_int(assign, &SymVar::Len(place.clone()));
+    let len = lookup_int(assign, &SymVarNode::Len(*place).intern());
     if len < 0 || len > cfg.max_model_len {
         return None;
     }
@@ -95,7 +95,7 @@ fn build_str(
     let len = place_len(place, assign, cfg)?;
     let mut chars = vec![97i64; len]; // default: 'a'
     for (k, slot) in chars.iter_mut().enumerate() {
-        let var = SymVar::Char(place.clone(), Box::new(Term::int(k as i64)));
+        let var = SymVarNode::Char(*place, Term::int(k as i64)).intern();
         if let Some(&v) = assign.get(&Monomial::Var(var)) {
             *slot = v;
         }

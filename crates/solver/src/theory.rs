@@ -24,7 +24,7 @@ use crate::interval::IntervalBackend;
 use minilang::{Func, MethodEntryState, Ty};
 use std::sync::Arc;
 use symbolic::eval::{eval_pred, Env};
-use symbolic::linform::CanonPred;
+use symbolic::linform::CPred;
 use symbolic::pred::Pred;
 
 /// Signature of the method under test: parameter names and types, in order.
@@ -249,7 +249,7 @@ pub(crate) fn simplex_starved(cfg: &SolverConfig) -> bool {
 /// when the cheap-tier deadline reserve suppressed an escalation, in which
 /// case the `Unknown` is a function of the clock rather than the query.
 pub(crate) fn solve_canonical(
-    preds: &[CanonPred],
+    preds: &[CPred],
     sig: &FuncSig,
     cfg: &SolverConfig,
 ) -> (SolveResult, Tier, bool) {

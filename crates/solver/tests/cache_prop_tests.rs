@@ -11,7 +11,7 @@ use minilang::Ty;
 use proptest::prelude::*;
 use solver::{solve_preds_with, CanonQuery, FuncSig, SolveResult, SolverCache, SolverConfig};
 use symbolic::eval::eval_on_state;
-use symbolic::{CmpOp, Formula, Place, Pred, SymVar, Term};
+use symbolic::{CmpOp, Formula, Place, PlaceNode, Pred, SymVar, SymVarNode, Term, TermNode};
 
 fn sig(x: &str, y: &str, s: &str) -> FuncSig {
     FuncSig::from_pairs([
@@ -32,36 +32,34 @@ fn rename_pred(p: &Pred, from: &[&str; 3], to: &[&str; 3]) -> Pred {
         }
     };
     fn walk_term(t: &Term, name: &dyn Fn(&str) -> String) -> Term {
-        match t {
-            Term::Const(v) => Term::Const(*v),
-            Term::Var(v) => Term::Var(walk_var(v, name)),
-            Term::Add(a, b) => {
-                Term::Add(Box::new(walk_term(a, name)), Box::new(walk_term(b, name)))
-            }
-            Term::Sub(a, b) => {
-                Term::Sub(Box::new(walk_term(a, name)), Box::new(walk_term(b, name)))
-            }
-            Term::Neg(a) => Term::Neg(Box::new(walk_term(a, name))),
-            Term::Mul(k, a) => Term::Mul(*k, Box::new(walk_term(a, name))),
-            Term::Div(a, k) => Term::Div(Box::new(walk_term(a, name)), *k),
-            Term::Rem(a, k) => Term::Rem(Box::new(walk_term(a, name)), *k),
+        match t.node() {
+            TermNode::Const(v) => TermNode::Const(*v).intern(),
+            TermNode::Var(v) => TermNode::Var(walk_var(v, name)).intern(),
+            TermNode::Add(a, b) => TermNode::Add(walk_term(a, name), walk_term(b, name)).intern(),
+            TermNode::Sub(a, b) => TermNode::Sub(walk_term(a, name), walk_term(b, name)).intern(),
+            TermNode::Neg(a) => TermNode::Neg(walk_term(a, name)).intern(),
+            TermNode::Mul(k, a) => TermNode::Mul(*k, walk_term(a, name)).intern(),
+            TermNode::Div(a, k) => TermNode::Div(walk_term(a, name), *k).intern(),
+            TermNode::Rem(a, k) => TermNode::Rem(walk_term(a, name), *k).intern(),
         }
     }
     fn walk_var(v: &SymVar, name: &dyn Fn(&str) -> String) -> SymVar {
-        match v {
-            SymVar::Int(n) => SymVar::Int(name(n)),
-            SymVar::Len(p) => SymVar::Len(walk_place(p, name)),
-            SymVar::IntElem(p, i) => {
-                SymVar::IntElem(walk_place(p, name), Box::new(walk_term(i, name)))
+        match v.node() {
+            SymVarNode::Int(n) => SymVar::int(name(n)),
+            SymVarNode::Len(p) => SymVarNode::Len(walk_place(p, name)).intern(),
+            SymVarNode::IntElem(p, i) => {
+                SymVarNode::IntElem(walk_place(p, name), walk_term(i, name)).intern()
             }
-            SymVar::Char(p, i) => SymVar::Char(walk_place(p, name), Box::new(walk_term(i, name))),
+            SymVarNode::Char(p, i) => {
+                SymVarNode::Char(walk_place(p, name), walk_term(i, name)).intern()
+            }
         }
     }
     fn walk_place(p: &Place, name: &dyn Fn(&str) -> String) -> Place {
-        match p {
-            Place::Param(n) => Place::Param(name(n)),
-            Place::Elem(b, i) => {
-                Place::Elem(Box::new(walk_place(b, name)), Box::new(walk_term(i, name)))
+        match p.node() {
+            PlaceNode::Param(n) => Place::param(name(n)),
+            PlaceNode::Elem(b, i) => {
+                PlaceNode::Elem(walk_place(b, name), walk_term(i, name)).intern()
             }
         }
     }
@@ -83,7 +81,7 @@ fn term_xy() -> impl Strategy<Value = Term> {
         (-5i64..=5).prop_map(Term::int),
         Just(Term::var("x")),
         Just(Term::var("y")),
-        Just(Term::Var(SymVar::Len(Place::param("s")))),
+        Just(Term::len(Place::param("s"))),
     ];
     leaf.prop_recursive(1, 6, 2, |inner| {
         prop_oneof![

@@ -92,7 +92,7 @@ fn mixed_scalar_and_element_system() {
     // x == a[0] + a[1] && x > 5 && len(a) == 2
     let sig = FuncSig::from_pairs([("a", Ty::ArrayInt), ("x", Ty::Int)]);
     let a = Place::param("a");
-    let sum = Term::int_elem(a.clone(), Term::int(0)).add(Term::int_elem(a.clone(), Term::int(1)));
+    let sum = Term::int_elem(a, Term::int(0)).add(Term::int_elem(a, Term::int(1)));
     let preds = vec![
         Pred::cmp(CmpOp::Eq, Term::var("x"), sum),
         Pred::cmp(CmpOp::Gt, Term::var("x"), Term::int(5)),
@@ -114,10 +114,8 @@ fn is_space_conflict_detected() {
     // is_space(c) && c == 97 is unsatisfiable.
     let sig = FuncSig::from_pairs([("s", Ty::Str)]);
     let c = Term::char_at(Place::param("s"), Term::int(0));
-    let preds = vec![
-        Pred::IsSpace { arg: c.clone(), positive: true },
-        Pred::cmp(CmpOp::Eq, c, Term::int(97)),
-    ];
+    let preds =
+        vec![Pred::IsSpace { arg: c, positive: true }, Pred::cmp(CmpOp::Eq, c, Term::int(97))];
     assert_eq!(solve_preds(&preds, &sig, &cfg()), SolveResult::Unsat);
 }
 

@@ -59,19 +59,19 @@ fn window_refutes_unsat(preds: &[Pred]) -> bool {
 /// coefficients — the exact shape that used to make pivot cost blow up.
 fn nasty_conjunctions() -> Vec<Vec<Pred>> {
     let len_a = Term::len(Place::param("a"));
-    let t1 = Term::var("x").mul(3).add(len_a.clone()).rem(5);
+    let t1 = Term::var("x").mul(3).add(len_a).rem(5);
     let t2 = Term::var("y").sub(Term::var("x").mul(2)).rem(2);
-    let t3 = len_a.clone().mul(-3).add(Term::var("y").mul(3)).rem(5);
-    let t4 = t1.clone().mul(-2).add(t3.clone()).rem(2);
+    let t3 = len_a.mul(-3).add(Term::var("y").mul(3)).rem(5);
+    let t4 = t1.mul(-2).add(t3).rem(2);
     vec![
         vec![
-            Pred::cmp(CmpOp::Eq, t1.clone().mul(3), t2.clone().mul(-2).add(Term::int(4))),
-            Pred::cmp(CmpOp::Le, t3.clone().add(t1.clone()), Term::var("x").sub(Term::int(6))),
-            Pred::cmp(CmpOp::Ge, t2.clone().mul(3).sub(t3.clone()), Term::int(-5)),
+            Pred::cmp(CmpOp::Eq, t1.mul(3), t2.mul(-2).add(Term::int(4))),
+            Pred::cmp(CmpOp::Le, t3.add(t1), Term::var("x").sub(Term::int(6))),
+            Pred::cmp(CmpOp::Ge, t2.mul(3).sub(t3), Term::int(-5)),
         ],
         vec![
-            Pred::cmp(CmpOp::Lt, t4.clone().mul(3), t1.clone().add(t2.clone())),
-            Pred::cmp(CmpOp::Ne, t3.clone().sub(t4.clone()), Term::int(1)),
+            Pred::cmp(CmpOp::Lt, t4.mul(3), t1.add(t2)),
+            Pred::cmp(CmpOp::Ne, t3.sub(t4), Term::int(1)),
             Pred::not_null(Place::param("a")),
         ],
         vec![

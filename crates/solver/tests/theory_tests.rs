@@ -40,8 +40,8 @@ fn solves_fig1_failing_path_condition() {
     let preds = vec![
         Pred::cmp(CmpOp::Gt, Term::var("c"), Term::int(0)),
         Pred::cmp(CmpOp::Gt, Term::var("d").add(Term::int(1)), Term::int(0)),
-        Pred::not_null(s.clone()),
-        Pred::cmp(CmpOp::Lt, Term::int(0), Term::len(s.clone())),
+        Pred::not_null(s),
+        Pred::cmp(CmpOp::Lt, Term::int(0), Term::len(s)),
         Pred::is_null(Place::elem(s, 0)),
     ];
     let m = assert_sat_model(&preds, &sig_fig1());
@@ -55,7 +55,7 @@ fn solves_fig1_failing_path_condition() {
 #[test]
 fn null_conflict_is_unsat() {
     let s = Place::param("s");
-    let preds = vec![Pred::is_null(s.clone()), Pred::not_null(s)];
+    let preds = vec![Pred::is_null(s), Pred::not_null(s)];
     assert_eq!(solve_preds(&preds, &sig_fig1(), &cfg()), SolveResult::Unsat);
 }
 
@@ -63,7 +63,7 @@ fn null_conflict_is_unsat() {
 fn deref_of_null_place_is_unsat() {
     // s == null && 0 < len(s): the length dereference forces s non-null.
     let s = Place::param("s");
-    let preds = vec![Pred::is_null(s.clone()), Pred::cmp(CmpOp::Lt, Term::int(0), Term::len(s))];
+    let preds = vec![Pred::is_null(s), Pred::cmp(CmpOp::Lt, Term::int(0), Term::len(s))];
     assert_eq!(solve_preds(&preds, &sig_fig1(), &cfg()), SolveResult::Unsat);
 }
 
@@ -112,8 +112,8 @@ fn is_space_positive_picks_space_code() {
     let sig = FuncSig::from_pairs([("v", Ty::Str)]);
     let v = Place::param("v");
     let preds = vec![
-        Pred::cmp(CmpOp::Gt, Term::len(v.clone()), Term::int(0)),
-        Pred::IsSpace { arg: Term::char_at(v.clone(), Term::int(0)), positive: true },
+        Pred::cmp(CmpOp::Gt, Term::len(v), Term::int(0)),
+        Pred::IsSpace { arg: Term::char_at(v, Term::int(0)), positive: true },
     ];
     let m = assert_sat_model(&preds, &sig);
     let Some(InputValue::Str(Some(chars))) = m.get("v") else { panic!() };
@@ -125,9 +125,9 @@ fn is_space_negative_avoids_space_codes() {
     let sig = FuncSig::from_pairs([("v", Ty::Str)]);
     let v = Place::param("v");
     let preds = vec![
-        Pred::IsSpace { arg: Term::char_at(v.clone(), Term::int(0)), positive: false },
+        Pred::IsSpace { arg: Term::char_at(v, Term::int(0)), positive: false },
         // Pressure the solver toward the space region to prove it dodges it:
-        Pred::cmp(CmpOp::Ge, Term::char_at(v.clone(), Term::int(0)), Term::int(9)),
+        Pred::cmp(CmpOp::Ge, Term::char_at(v, Term::int(0)), Term::int(9)),
         Pred::cmp(CmpOp::Le, Term::char_at(v, Term::int(0)), Term::int(32)),
     ];
     let m = assert_sat_model(&preds, &sig);
@@ -187,11 +187,11 @@ fn int_array_elements_in_models() {
     // a != null && a[0] + a[1] == 10 && a[0] > a[1]
     let sig = FuncSig::from_pairs([("a", Ty::ArrayInt)]);
     let a = Place::param("a");
-    let e0 = Term::int_elem(a.clone(), Term::int(0));
-    let e1 = Term::int_elem(a.clone(), Term::int(1));
+    let e0 = Term::int_elem(a, Term::int(0));
+    let e1 = Term::int_elem(a, Term::int(1));
     let preds = vec![
         Pred::not_null(a),
-        Pred::cmp(CmpOp::Eq, e0.clone().add(e1.clone()), Term::int(10)),
+        Pred::cmp(CmpOp::Eq, e0.add(e1), Term::int(10)),
         Pred::cmp(CmpOp::Gt, e0, e1),
     ];
     let m = assert_sat_model(&preds, &sig);
@@ -207,8 +207,8 @@ fn string_length_via_strlen() {
     let sig = FuncSig::from_pairs([("s", Ty::Str)]);
     let s = Place::param("s");
     let preds = vec![
-        Pred::cmp(CmpOp::Eq, Term::len(s.clone()), Term::int(4)),
-        Pred::cmp(CmpOp::Eq, Term::char_at(s.clone(), Term::int(3)), Term::int(122)),
+        Pred::cmp(CmpOp::Eq, Term::len(s), Term::int(4)),
+        Pred::cmp(CmpOp::Eq, Term::char_at(s, Term::int(3)), Term::int(122)),
     ];
     let m = assert_sat_model(&preds, &sig);
     let Some(InputValue::Str(Some(chars))) = m.get("s") else { panic!() };
@@ -222,8 +222,7 @@ fn nested_string_element_constraints() {
     let sig = FuncSig::from_pairs([("s", Ty::ArrayStr)]);
     let s = Place::param("s");
     let elem = Place::elem(s, 1);
-    let preds =
-        vec![Pred::not_null(elem.clone()), Pred::cmp(CmpOp::Eq, Term::len(elem), Term::int(2))];
+    let preds = vec![Pred::not_null(elem), Pred::cmp(CmpOp::Eq, Term::len(elem), Term::int(2))];
     let m = assert_sat_model(&preds, &sig);
     let Some(InputValue::ArrayStr(Some(items))) = m.get("s") else { panic!() };
     assert!(items.len() >= 2);

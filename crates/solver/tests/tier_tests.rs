@@ -56,7 +56,7 @@ fn expired_deadline_call_still_emits_a_solver_call_event() {
 fn syntactic_tier_answers_complementary_null_pair() {
     let c = cfg(BackendKind::Tiered);
     let s = Place::param("s");
-    let preds = [Pred::is_null(s.clone()), Pred::not_null(s)];
+    let preds = [Pred::is_null(s), Pred::not_null(s)];
     assert_eq!(solve_preds(&preds, &sig(), &c), SolveResult::Unsat);
     let t = snapshot(&c);
     assert_eq!(t.answered_by_syntactic, 1);
@@ -135,8 +135,7 @@ fn zero_budget_box_escalates_and_stays_unknown() {
 #[test]
 fn unknown_root_contradiction_matches_simplex_unknown() {
     let ghost = Place::param("ghost");
-    let preds =
-        [Pred::is_null(ghost.clone()), Pred::cmp(CmpOp::Lt, Term::int(0), Term::len(ghost))];
+    let preds = [Pred::is_null(ghost), Pred::cmp(CmpOp::Lt, Term::int(0), Term::len(ghost))];
     let tiered = solve_preds(&preds, &sig(), &cfg(BackendKind::Tiered));
     let simplex = solve_preds(&preds, &sig(), &cfg(BackendKind::Simplex));
     assert_eq!(tiered, simplex, "backends disagree when a root is missing from the signature");

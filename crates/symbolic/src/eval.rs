@@ -8,7 +8,7 @@
 
 use crate::formula::{Formula, Quantifier};
 use crate::pred::{Pred, SPACE_CODES};
-use crate::term::{Place, SymVar, Term};
+use crate::term::{Place, PlaceNode, SymVar, SymVarNode, Term, TermNode};
 use minilang::{InputValue, MethodEntryState};
 use std::collections::HashMap;
 use std::fmt;
@@ -82,15 +82,15 @@ enum RefValue<'a> {
 }
 
 fn resolve_place<'a>(place: &Place, env: &Env<'a>) -> EvalResult<RefValue<'a>> {
-    match place {
-        Place::Param(name) => match env.state.get(name) {
+    match place.node() {
+        PlaceNode::Param(name) => match env.state.get(name) {
             Some(InputValue::Str(s)) => Ok(RefValue::StrVal(s.as_ref())),
             Some(InputValue::ArrayInt(a)) => Ok(RefValue::ArrInt(a.as_ref())),
             Some(InputValue::ArrayStr(a)) => Ok(RefValue::ArrStr(a.as_ref())),
             Some(_) => Err(EvalError::TypeMismatch(name.clone())),
             None => Err(EvalError::Unbound(name.clone())),
         },
-        Place::Elem(base, ix) => {
+        PlaceNode::Elem(base, ix) => {
             let k = eval_term(ix, env)?;
             match resolve_place(base, env)? {
                 RefValue::ArrStr(None) => Err(EvalError::NullDeref(base.to_string())),
@@ -112,22 +112,22 @@ fn resolve_place<'a>(place: &Place, env: &Env<'a>) -> EvalResult<RefValue<'a>> {
 
 /// Evaluates an integer term.
 pub fn eval_term(t: &Term, env: &Env<'_>) -> EvalResult<i64> {
-    match t {
-        Term::Const(v) => Ok(*v),
-        Term::Var(v) => eval_var(v, env),
-        Term::Add(a, b) => Ok(eval_term(a, env)?.wrapping_add(eval_term(b, env)?)),
-        Term::Sub(a, b) => Ok(eval_term(a, env)?.wrapping_sub(eval_term(b, env)?)),
-        Term::Neg(a) => Ok(eval_term(a, env)?.wrapping_neg()),
-        Term::Mul(k, a) => Ok(eval_term(a, env)?.wrapping_mul(*k)),
-        Term::Div(a, k) => Ok(eval_term(a, env)?.wrapping_div(*k)),
-        Term::Rem(a, k) => Ok(eval_term(a, env)?.wrapping_rem(*k)),
+    match t.node() {
+        TermNode::Const(v) => Ok(*v),
+        TermNode::Var(v) => eval_var(v, env),
+        TermNode::Add(a, b) => Ok(eval_term(a, env)?.wrapping_add(eval_term(b, env)?)),
+        TermNode::Sub(a, b) => Ok(eval_term(a, env)?.wrapping_sub(eval_term(b, env)?)),
+        TermNode::Neg(a) => Ok(eval_term(a, env)?.wrapping_neg()),
+        TermNode::Mul(k, a) => Ok(eval_term(a, env)?.wrapping_mul(*k)),
+        TermNode::Div(a, k) => Ok(eval_term(a, env)?.wrapping_div(*k)),
+        TermNode::Rem(a, k) => Ok(eval_term(a, env)?.wrapping_rem(*k)),
     }
 }
 
 fn eval_var(v: &SymVar, env: &Env<'_>) -> EvalResult<i64> {
-    match v {
-        SymVar::Int(name) => env.int_var(name),
-        SymVar::Len(place) => match resolve_place(place, env)? {
+    match v.node() {
+        SymVarNode::Int(name) => env.int_var(name),
+        SymVarNode::Len(place) => match resolve_place(place, env)? {
             RefValue::StrVal(None) | RefValue::ArrInt(None) | RefValue::ArrStr(None) => {
                 Err(EvalError::NullDeref(place.to_string()))
             }
@@ -135,7 +135,7 @@ fn eval_var(v: &SymVar, env: &Env<'_>) -> EvalResult<i64> {
             RefValue::ArrInt(Some(a)) => Ok(a.len() as i64),
             RefValue::ArrStr(Some(a)) => Ok(a.len() as i64),
         },
-        SymVar::IntElem(place, ix) => {
+        SymVarNode::IntElem(place, ix) => {
             let k = eval_term(ix, env)?;
             match resolve_place(place, env)? {
                 RefValue::ArrInt(None) => Err(EvalError::NullDeref(place.to_string())),
@@ -153,7 +153,7 @@ fn eval_var(v: &SymVar, env: &Env<'_>) -> EvalResult<i64> {
                 _ => Err(EvalError::TypeMismatch(place.to_string())),
             }
         }
-        SymVar::Char(place, ix) => {
+        SymVarNode::Char(place, ix) => {
             let k = eval_term(ix, env)?;
             match resolve_place(place, env)? {
                 RefValue::StrVal(None) => Err(EvalError::NullDeref(place.to_string())),
@@ -342,11 +342,8 @@ mod tests {
         let quantified = Formula::exists(
             "i",
             Formula::and([
-                Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::len(s.clone()))),
-                Formula::pred(Pred::is_null(Place::Elem(
-                    Box::new(s.clone()),
-                    Box::new(Term::var("i")),
-                ))),
+                Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::len(s))),
+                Formula::pred(Pred::is_null(Place::elem_at(s, Term::var("i")))),
             ]),
         );
         Formula::and([guard, Formula::pred(Pred::not_null(s)), quantified])
@@ -383,7 +380,7 @@ mod tests {
         // s == null || strlen(s) > 0 — must not error when s is null.
         let s = Place::param("s");
         let f = Formula::or([
-            Formula::pred(Pred::is_null(s.clone())),
+            Formula::pred(Pred::is_null(s)),
             Formula::pred(Pred::cmp(CmpOp::Gt, Term::len(s), Term::int(0))),
         ]);
         let st = MethodEntryState::from_pairs([("s", InputValue::Str(None))]);
@@ -405,9 +402,9 @@ mod tests {
         let f = Formula::forall(
             "i",
             Formula::implies(
-                Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::len(v.clone()))),
+                Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::len(v))),
                 Formula::pred(Pred::IsSpace {
-                    arg: Term::char_at(v.clone(), Term::var("i")),
+                    arg: Term::char_at(v, Term::var("i")),
                     positive: true,
                 }),
             ),
@@ -434,11 +431,7 @@ mod tests {
         let a = Place::param("a");
         let f = Formula::exists(
             "i",
-            Formula::pred(Pred::cmp(
-                CmpOp::Eq,
-                Term::int_elem(a.clone(), Term::var("i")),
-                Term::int(0),
-            )),
+            Formula::pred(Pred::cmp(CmpOp::Eq, Term::int_elem(a, Term::var("i")), Term::int(0))),
         );
         let st = MethodEntryState::from_pairs([
             ("i".to_string(), InputValue::Int(100)),

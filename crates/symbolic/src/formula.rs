@@ -334,8 +334,8 @@ mod tests {
     fn display_with_quantifier() {
         let s = Place::param("s");
         let body = Formula::and([
-            Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::len(s.clone()))),
-            Formula::pred(Pred::is_null(Place::Elem(Box::new(s), Box::new(Term::var("i"))))),
+            Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::len(s))),
+            Formula::pred(Pred::is_null(Place::elem_at(s, Term::var("i")))),
         ]);
         let f = Formula::exists("i", body);
         assert_eq!(f.to_string(), "exists i. i < len(s) && s[i] == null");

@@ -13,15 +13,19 @@
 //! // exists i. i < len(s) && s[i] == null — the Fig. 1 quantified condition
 //! let s = Place::param("s");
 //! let alpha = Formula::exists("i", Formula::and([
-//!     Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::len(s.clone()))),
-//!     Formula::pred(Pred::is_null(Place::Elem(Box::new(s), Box::new(Term::var("i"))))),
+//!     Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::len(s))),
+//!     Formula::pred(Pred::is_null(Place::elem_at(s, Term::var("i")))),
 //! ]));
 //! assert_eq!(alpha.to_string(), "exists i. i < len(s) && s[i] == null");
 //! assert_eq!(alpha.complexity(), 2);
 //! ```
+//!
+//! Terms are hash-consed: `Term`/`Place`/`SymVar` are `Copy` handles into a
+//! global interner with O(1) equality and hashing (see [`intern`]).
 
 pub mod eval;
 pub mod formula;
+pub mod intern;
 pub mod linform;
 pub mod path;
 pub mod pred;
@@ -30,8 +34,13 @@ pub mod term;
 
 pub use eval::{eval_formula, eval_on_state, eval_pred, eval_term, Env, EvalError};
 pub use formula::{Formula, Quantifier};
-pub use linform::{canon_pred, lin_of_term, preds_equivalent, CanonPred, LinExpr, Monomial};
+pub use linform::{
+    canon_cpred, canon_pred, lin_of_term, preds_equivalent, CPred, CPredId, CanonPred, LinExpr,
+    Monomial,
+};
 pub use path::{EntryKind, PathCondition, PathEntry, PathOutcome};
 pub use pred::{CmpOp, Pred, SPACE_CODES};
 pub use spec::{parse_spec, parse_spec_with_sig, SpecError};
-pub use term::{Place, SymVar, Term};
+pub use term::{
+    arena_sizes, Place, PlaceId, PlaceNode, SymVar, SymVarId, SymVarNode, Term, TermId, TermNode,
+};

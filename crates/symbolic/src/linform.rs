@@ -5,10 +5,12 @@
 //! canonicalization de-duplicates predicates when assembling `α`, and is the
 //! normal form the constraint solver consumes.
 
+use crate::intern::{intern_handle, Interned, Interner};
 use crate::pred::{CmpOp, Pred};
-use crate::term::{Place, SymVar, Term};
+use crate::term::{Place, SymVar, SymVarId, Term};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A multiplicand in a linear expression: a scalar symbolic variable or an
 /// opaque (but canonicalized) truncated division/remainder.
@@ -96,6 +98,11 @@ impl LinExpr {
         Some((m, k, self.constant))
     }
 
+    // Coefficient/constant accumulation is *wrapping*, matching the
+    // deliberate `wrapping_*` folding in `term.rs`'s builders: canonical
+    // forms must be identical in debug and release profiles, so the
+    // arithmetic here must not panic on overflow in one and wrap in the
+    // other.
     fn add_term(&mut self, m: Monomial, coeff: i64) {
         if coeff == 0 {
             return;
@@ -106,7 +113,7 @@ impl LinExpr {
                 v.insert(coeff);
             }
             Entry::Occupied(mut o) => {
-                *o.get_mut() += coeff;
+                *o.get_mut() = o.get().wrapping_add(coeff);
                 if *o.get() == 0 {
                     o.remove();
                 }
@@ -114,10 +121,10 @@ impl LinExpr {
         }
     }
 
-    /// `self + other`.
+    /// `self + other` (wrapping on overflow, like the term builders).
     pub fn add(&self, other: &LinExpr) -> LinExpr {
         let mut out = self.clone();
-        out.constant += other.constant;
+        out.constant = out.constant.wrapping_add(other.constant);
         for (m, c) in other.terms() {
             out.add_term(m.clone(), c);
         }
@@ -129,44 +136,57 @@ impl LinExpr {
         self.add(&other.scale(-1))
     }
 
-    /// `k * self`.
+    /// `k * self` (wrapping on overflow, like the term builders).
     pub fn scale(&self, k: i64) -> LinExpr {
         if k == 0 {
             return LinExpr::zero();
         }
         LinExpr {
-            terms: self.terms.iter().map(|(m, c)| (m.clone(), c * k)).collect(),
-            constant: self.constant * k,
+            terms: self.terms.iter().map(|(m, c)| (m.clone(), c.wrapping_mul(k))).collect(),
+            constant: self.constant.wrapping_mul(k),
         }
     }
 
-    /// GCD of the variable coefficients (0 if there are none).
+    /// GCD of the variable coefficients (0 if there are none). Computed
+    /// over `u64` absolute values so an `i64::MIN` coefficient cannot
+    /// overflow (`i64::abs` panics on it in debug); the degenerate gcd of
+    /// 2^63 — every coefficient is `i64::MIN` — has no positive `i64`
+    /// representation and falls back to 1, skipping normalization.
     fn coeff_gcd(&self) -> i64 {
-        self.terms.values().fold(0i64, |g, &c| gcd(g, c.abs()))
+        let g = self.terms.values().fold(0u64, |g, &c| gcd(g, c.unsigned_abs()));
+        i64::try_from(g).unwrap_or(1)
     }
 
     /// Collects every scalar variable mentioned, including inside `Div`/`Rem`
-    /// monomials.
+    /// monomials. First-occurrence order; dedup is by interned id.
     pub fn collect_vars(&self, out: &mut Vec<SymVar>) {
+        let mut seen: std::collections::HashSet<SymVarId> = out.iter().map(|v| v.id()).collect();
+        self.collect_vars_seen(out, &mut seen);
+    }
+
+    fn collect_vars_seen(
+        &self,
+        out: &mut Vec<SymVar>,
+        seen: &mut std::collections::HashSet<SymVarId>,
+    ) {
         for (m, _) in self.terms() {
             match m {
                 Monomial::Var(v) => {
-                    if !out.contains(v) {
-                        out.push(v.clone());
+                    if seen.insert(v.id()) {
+                        out.push(*v);
                     }
                     // index/place sub-variables
-                    let t = Term::Var(v.clone());
-                    t.collect_vars(out);
+                    Term::of_var(*v).collect_vars_seen(out, seen);
                 }
-                Monomial::Div(e, _) | Monomial::Rem(e, _) => e.collect_vars(out),
+                Monomial::Div(e, _) | Monomial::Rem(e, _) => e.collect_vars_seen(out, seen),
             }
         }
     }
 }
 
-fn gcd(a: i64, b: i64) -> i64 {
+fn gcd(a: u64, b: u64) -> u64 {
     if b == 0 {
-        a.abs()
+        a
     } else {
         gcd(b, a % b)
     }
@@ -210,14 +230,15 @@ impl fmt::Display for LinExpr {
 
 /// Converts a term to its linear form.
 pub fn lin_of_term(t: &Term) -> LinExpr {
-    match t {
-        Term::Const(v) => LinExpr::constant(*v),
-        Term::Var(v) => LinExpr::var(v.clone()),
-        Term::Add(a, b) => lin_of_term(a).add(&lin_of_term(b)),
-        Term::Sub(a, b) => lin_of_term(a).sub(&lin_of_term(b)),
-        Term::Neg(a) => lin_of_term(a).scale(-1),
-        Term::Mul(k, a) => lin_of_term(a).scale(*k),
-        Term::Div(a, k) => {
+    use crate::term::TermNode;
+    match t.node() {
+        TermNode::Const(v) => LinExpr::constant(*v),
+        TermNode::Var(v) => LinExpr::var(*v),
+        TermNode::Add(a, b) => lin_of_term(a).add(&lin_of_term(b)),
+        TermNode::Sub(a, b) => lin_of_term(a).sub(&lin_of_term(b)),
+        TermNode::Neg(a) => lin_of_term(a).scale(-1),
+        TermNode::Mul(k, a) => lin_of_term(a).scale(*k),
+        TermNode::Div(a, k) => {
             let inner = lin_of_term(a);
             match inner.as_const() {
                 Some(c) => LinExpr::constant(c.wrapping_div(*k)),
@@ -228,7 +249,7 @@ pub fn lin_of_term(t: &Term) -> LinExpr {
                 }
             }
         }
-        Term::Rem(a, k) => {
+        TermNode::Rem(a, k) => {
             let inner = lin_of_term(a);
             match inner.as_const() {
                 Some(c) => LinExpr::constant(c.wrapping_rem(*k)),
@@ -270,7 +291,7 @@ impl CanonPred {
             CanonPred::Eq(e) => CanonPred::Ne(e.clone()),
             CanonPred::Ne(e) => CanonPred::Eq(e.clone()),
             CanonPred::Null { place, positive } => {
-                CanonPred::Null { place: place.clone(), positive: !positive }
+                CanonPred::Null { place: *place, positive: !positive }
             }
             CanonPred::Bool { name, positive } => {
                 CanonPred::Bool { name: name.clone(), positive: !positive }
@@ -281,6 +302,58 @@ impl CanonPred {
             CanonPred::Const(b) => CanonPred::Const(!b),
         }
     }
+
+    /// Hash-conses this canonical predicate into its unique [`CPred`] handle.
+    pub fn intern(self) -> CPred {
+        CPred(cpreds().intern(self))
+    }
+}
+
+fn cpreds() -> &'static Interner<CanonPred> {
+    static ARENA: OnceLock<Interner<CanonPred>> = OnceLock::new();
+    ARENA.get_or_init(Interner::new)
+}
+
+/// An interned canonical predicate: the unit the solver layer passes
+/// around. `Copy`, with O(1) id equality/hashing and structural ordering —
+/// a `Vec<CPred>` is exactly the near-free cache key the solver wants.
+#[derive(Clone, Copy)]
+pub struct CPred(&'static Interned<CanonPred>);
+
+intern_handle!(CPred, CanonPred, CPredId);
+
+impl CPred {
+    /// Logical negation, staying canonical and interned. Memoized: the
+    /// complementary-pair scan in the interval tier negates every predicate
+    /// of every query, so each distinct predicate pays canonicalization of
+    /// its negation once and id lookups after that.
+    pub fn negated(self) -> CPred {
+        static CACHE: OnceLock<std::sync::Mutex<std::collections::HashMap<CPredId, CPred>>> =
+            OnceLock::new();
+        let cache = CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()));
+        if let Some(&n) = cache.lock().expect("negation cache poisoned").get(&self.id()) {
+            return n;
+        }
+        let n = self.node().negated().intern();
+        let mut guard = cache.lock().expect("negation cache poisoned");
+        guard.insert(self.id(), n);
+        // Negation of Eq/Ne/Null/Bool/IsSpace/Const is involutive, and the
+        // canonical Le round-trips too (¬¬(e≤0) re-normalizes to e≤0), so
+        // seed the reverse edge while we hold the lock.
+        guard.entry(n.id()).or_insert(self);
+        n
+    }
+}
+
+impl fmt::Display for CPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self.node(), f)
+    }
+}
+
+/// Canonicalizes a predicate straight to its interned handle.
+pub fn canon_cpred(p: &Pred) -> CPred {
+    canon_pred(p).intern()
 }
 
 impl fmt::Display for CanonPred {
@@ -312,8 +385,9 @@ fn canon_le(e: LinExpr) -> CanonPred {
         return CanonPred::Le(e);
     }
     // Σ g·aᵢvᵢ + c ≤ 0  ⇔  Σ aᵢvᵢ ≤ ⌊-c/g⌋  ⇔  Σ aᵢvᵢ - ⌊-c/g⌋ ≤ 0
+    // (wrapping negation: `c == i64::MIN` must not trap in debug builds).
     let c = e.constant_part();
-    let bound = (-c).div_euclid(g);
+    let bound = c.wrapping_neg().div_euclid(g);
     let mut scaled = LinExpr::constant(-bound);
     for (m, coeff) in e.terms() {
         scaled.add_term(m.clone(), coeff / g);
@@ -362,9 +436,7 @@ pub fn canon_pred(p: &Pred) -> CanonPred {
                 CmpOp::Ne => canon_eq(la.sub(&lb), false),
             }
         }
-        Pred::Null { place, positive } => {
-            CanonPred::Null { place: place.clone(), positive: *positive }
-        }
+        Pred::Null { place, positive } => CanonPred::Null { place: *place, positive: *positive },
         Pred::BoolVar { name, positive } => {
             CanonPred::Bool { name: name.clone(), positive: *positive }
         }
@@ -393,11 +465,7 @@ mod tests {
         // s[j+1] == 97  vs  s[1+j] == 97 — the paper's noted limitation,
         // avoided here by canonical simplification.
         let s = Place::param("s");
-        let a = Pred::cmp(
-            CmpOp::Eq,
-            Term::int_elem(s.clone(), v("j").add(Term::int(1))),
-            Term::int(97),
-        );
+        let a = Pred::cmp(CmpOp::Eq, Term::int_elem(s, v("j").add(Term::int(1))), Term::int(97));
         let b = Pred::cmp(CmpOp::Eq, Term::int_elem(s, Term::int(1).add(v("j"))), Term::int(97));
         // NOTE: indices inside IntElem are Terms compared structurally;
         // constructor folding turns both into j + 1 only if built identically.
@@ -489,5 +557,33 @@ mod tests {
         let mut vars = Vec::new();
         e.collect_vars(&mut vars);
         assert_eq!(vars.len(), 2);
+    }
+
+    /// Regression: constants near `i64::MAX` flowing through
+    /// canonicalization must wrap (matching the term builders) instead of
+    /// panicking in debug builds. Before the arithmetic here was made
+    /// explicitly wrapping, `add`/`scale`/`add_term` overflowed on exactly
+    /// these shapes under `cargo test` while release builds silently
+    /// wrapped — a debug/release canonical-form divergence.
+    #[test]
+    fn canon_near_i64_max_wraps_instead_of_panicking() {
+        // Constant accumulation: (x + (MAX-1)) + 5 wraps the constant part.
+        let p = Pred::cmp(
+            CmpOp::Le,
+            v("x").add(Term::int(i64::MAX - 1)).add(Term::int(5)),
+            Term::int(0),
+        );
+        let c = canon_pred(&p);
+        // Negation runs scale(-1) over the wrapped constant.
+        assert_eq!(c.negated().negated(), c);
+
+        // Coefficient accumulation: MAX·x + 2·x wraps the coefficient.
+        let q = Pred::cmp(CmpOp::Eq, v("x").mul(i64::MAX).add(v("x").mul(2)), Term::int(0));
+        let cq = canon_pred(&q);
+        assert_eq!(cq.negated().negated(), cq);
+
+        // MIN is its own negation under wrapping; scale(-1) must not trap.
+        let r = canon_pred(&Pred::cmp(CmpOp::Le, v("x").mul(i64::MIN), Term::int(i64::MIN)));
+        let _ = r.negated();
     }
 }

@@ -106,16 +106,12 @@ impl Pred {
     /// Logical negation.
     pub fn negated(&self) -> Pred {
         match self {
-            Pred::Cmp(op, a, b) => Pred::Cmp(op.negated(), a.clone(), b.clone()),
-            Pred::Null { place, positive } => {
-                Pred::Null { place: place.clone(), positive: !positive }
-            }
+            Pred::Cmp(op, a, b) => Pred::Cmp(op.negated(), *a, *b),
+            Pred::Null { place, positive } => Pred::Null { place: *place, positive: !positive },
             Pred::BoolVar { name, positive } => {
                 Pred::BoolVar { name: name.clone(), positive: !positive }
             }
-            Pred::IsSpace { arg, positive } => {
-                Pred::IsSpace { arg: arg.clone(), positive: !positive }
-            }
+            Pred::IsSpace { arg, positive } => Pred::IsSpace { arg: *arg, positive: !positive },
             Pred::Const(b) => Pred::Const(!b),
         }
     }
@@ -165,11 +161,12 @@ impl Pred {
 }
 
 fn subst_place_var(p: &Place, name: &str, replacement: &Term) -> Place {
-    match p {
-        Place::Param(_) => p.clone(),
-        Place::Elem(base, ix) => Place::Elem(
-            Box::new(subst_place_var(base, name, replacement)),
-            Box::new(ix.subst_var(name, replacement)),
+    use crate::term::PlaceNode;
+    match p.node() {
+        PlaceNode::Param(_) => *p,
+        PlaceNode::Elem(base, ix) => Place::elem_at(
+            subst_place_var(base, name, replacement),
+            ix.subst_var(name, replacement),
         ),
     }
 }
@@ -234,7 +231,7 @@ mod tests {
 
     #[test]
     fn substitution_in_null_atoms() {
-        let p = Pred::is_null(Place::Elem(Box::new(Place::param("s")), Box::new(Term::var("i"))));
+        let p = Pred::is_null(Place::elem_at(Place::param("s"), Term::var("i")));
         let p2 = p.subst_var("i", &Term::int(3));
         assert_eq!(p2.to_string(), "s[3] == null");
     }

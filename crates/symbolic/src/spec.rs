@@ -443,7 +443,7 @@ impl<'a> SpecParser<'a> {
                     // Type of the element depends on the root's type.
                     match self.place_ty(&place)? {
                         Ty::ArrayInt => PV::T(Term::int_elem(place, ix)),
-                        Ty::ArrayStr => PV::P(Place::Elem(Box::new(place), Box::new(ix))),
+                        Ty::ArrayStr => PV::P(Place::elem_at(place, ix)),
                         other => return self.err(format!("cannot index into {other}")),
                     }
                 }
@@ -456,12 +456,12 @@ impl<'a> SpecParser<'a> {
     /// The type of a place: a `Param` has its signature type; an `Elem` of a
     /// `[str]` place is `str`.
     fn place_ty(&self, place: &Place) -> Result<Ty, SpecError> {
-        match place {
-            Place::Param(name) => self.sig.get(name).copied().ok_or(SpecError {
+        match place.node() {
+            crate::term::PlaceNode::Param(name) => self.sig.get(name).copied().ok_or(SpecError {
                 message: format!("unknown parameter {name}"),
                 offset: self.offset(),
             }),
-            Place::Elem(..) => Ok(Ty::Str),
+            crate::term::PlaceNode::Elem(..) => Ok(Ty::Str),
         }
     }
 

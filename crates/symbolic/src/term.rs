@@ -5,119 +5,202 @@
 //! element, or a character of a string input. Indices are themselves terms,
 //! so quantified formulas can mention `s[i]`, `s[i + 1]`, etc.; in path
 //! conditions produced by the concolic executor indices are always constant.
+//!
+//! `Term`, `Place` and `SymVar` are hash-consed handles into the global
+//! interner (see [`crate::intern`]): `Copy`, pointer-sized, with O(1)
+//! equality and hashing by arena id. Pattern-match through
+//! [`Term::node`]/[`Place::node`]/[`SymVar::node`], and construct either
+//! through the folding builder methods below or through
+//! [`TermNode::intern`] (and siblings) for structure-preserving rewrites.
 
+use crate::intern::{intern_handle, Interned, Interner};
 use std::fmt;
+use std::sync::OnceLock;
+
+fn places() -> &'static Interner<PlaceNode> {
+    static ARENA: OnceLock<Interner<PlaceNode>> = OnceLock::new();
+    ARENA.get_or_init(Interner::new)
+}
+
+fn symvars() -> &'static Interner<SymVarNode> {
+    static ARENA: OnceLock<Interner<SymVarNode>> = OnceLock::new();
+    ARENA.get_or_init(Interner::new)
+}
+
+fn terms() -> &'static Interner<TermNode> {
+    static ARENA: OnceLock<Interner<TermNode>> = OnceLock::new();
+    ARENA.get_or_init(Interner::new)
+}
+
+/// Distinct node counts of the three term-layer arenas
+/// `(places, symvars, terms)` — observability for benches and tests.
+pub fn arena_sizes() -> (usize, usize, usize) {
+    (places().len(), symvars().len(), terms().len())
+}
 
 /// A nullable input *place*: a string or array parameter, or a string
-/// element of a `[str]` parameter.
+/// element of a `[str]` parameter. Interned handle; see [`PlaceNode`].
+#[derive(Clone, Copy)]
+pub struct Place(&'static Interned<PlaceNode>);
+
+/// The structure of a [`Place`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Place {
+pub enum PlaceNode {
     /// A reference-typed parameter (`str`, `[int]`, `[str]`).
     Param(String),
     /// The string element `base[index]` of a `[str]` place.
-    Elem(Box<Place>, Box<Term>),
+    Elem(Place, Term),
+}
+
+intern_handle!(Place, PlaceNode, PlaceId);
+
+impl PlaceNode {
+    /// Hash-conses this node into its unique [`Place`] handle.
+    pub fn intern(self) -> Place {
+        Place(places().intern(self))
+    }
 }
 
 impl Place {
     /// Convenience constructor for a parameter place.
     pub fn param(name: impl Into<String>) -> Place {
-        Place::Param(name.into())
+        PlaceNode::Param(name.into()).intern()
     }
 
     /// Convenience constructor for an element place with a constant index.
     pub fn elem(base: Place, index: i64) -> Place {
-        Place::Elem(Box::new(base), Box::new(Term::int(index)))
+        PlaceNode::Elem(base, Term::int(index)).intern()
+    }
+
+    /// Convenience constructor for an element place with a term index.
+    pub fn elem_at(base: Place, index: Term) -> Place {
+        PlaceNode::Elem(base, index).intern()
     }
 
     /// The root parameter name of this place.
-    pub fn root(&self) -> &str {
-        match self {
-            Place::Param(name) => name,
-            Place::Elem(base, _) => base.root(),
+    pub fn root(&self) -> &'static str {
+        match self.node() {
+            PlaceNode::Param(name) => name,
+            PlaceNode::Elem(base, _) => base.root(),
         }
     }
 
     /// Whether the place mentions the given (bound or input) int variable.
     pub fn mentions_var(&self, name: &str) -> bool {
-        match self {
-            Place::Param(_) => false,
-            Place::Elem(base, ix) => base.mentions_var(name) || ix.mentions_var(name),
+        match self.node() {
+            PlaceNode::Param(_) => false,
+            PlaceNode::Elem(base, ix) => base.mentions_var(name) || ix.mentions_var(name),
         }
     }
 }
 
 impl fmt::Display for Place {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Place::Param(name) => write!(f, "{name}"),
-            Place::Elem(base, ix) => write!(f, "{base}[{ix}]"),
+        match self.node() {
+            PlaceNode::Param(name) => write!(f, "{name}"),
+            PlaceNode::Elem(base, ix) => write!(f, "{base}[{ix}]"),
         }
     }
 }
 
 /// A symbolic scalar variable: the atoms of the integer theory.
+/// Interned handle; see [`SymVarNode`].
+#[derive(Clone, Copy)]
+pub struct SymVar(&'static Interned<SymVarNode>);
+
+/// The structure of a [`SymVar`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum SymVar {
+pub enum SymVarNode {
     /// An `int` parameter, or a quantifier-bound integer variable.
     Int(String),
     /// `len(place)` for arrays, `strlen(place)` for strings.
     Len(Place),
     /// `place[index]` where `place` is an `[int]` input.
-    IntElem(Place, Box<Term>),
+    IntElem(Place, Term),
     /// `char_at(place, index)` where `place` is a `str` input.
-    Char(Place, Box<Term>),
+    Char(Place, Term),
+}
+
+intern_handle!(SymVar, SymVarNode, SymVarId);
+
+impl SymVarNode {
+    /// Hash-conses this node into its unique [`SymVar`] handle.
+    pub fn intern(self) -> SymVar {
+        SymVar(symvars().intern(self))
+    }
 }
 
 impl SymVar {
+    /// An `int` parameter or bound variable.
+    pub fn int(name: impl Into<String>) -> SymVar {
+        SymVarNode::Int(name.into()).intern()
+    }
+
     /// Whether the variable (transitively) mentions the named int variable.
     pub fn mentions_var(&self, name: &str) -> bool {
-        match self {
-            SymVar::Int(n) => n == name,
-            SymVar::Len(p) => p.mentions_var(name),
-            SymVar::IntElem(p, ix) | SymVar::Char(p, ix) => {
+        match self.node() {
+            SymVarNode::Int(n) => n == name,
+            SymVarNode::Len(p) => p.mentions_var(name),
+            SymVarNode::IntElem(p, ix) | SymVarNode::Char(p, ix) => {
                 p.mentions_var(name) || ix.mentions_var(name)
             }
         }
     }
 
     /// The place dereferenced by this variable, if any.
-    pub fn place(&self) -> Option<&Place> {
-        match self {
-            SymVar::Int(_) => None,
-            SymVar::Len(p) | SymVar::IntElem(p, _) | SymVar::Char(p, _) => Some(p),
+    pub fn place(&self) -> Option<&'static Place> {
+        match self.node() {
+            SymVarNode::Int(_) => None,
+            SymVarNode::Len(p) | SymVarNode::IntElem(p, _) | SymVarNode::Char(p, _) => Some(p),
         }
     }
 }
 
 impl fmt::Display for SymVar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SymVar::Int(name) => write!(f, "{name}"),
-            SymVar::Len(p) => write!(f, "len({p})"),
-            SymVar::IntElem(p, ix) => write!(f, "{p}[{ix}]"),
-            SymVar::Char(p, ix) => write!(f, "char_at({p}, {ix})"),
+        match self.node() {
+            SymVarNode::Int(name) => write!(f, "{name}"),
+            SymVarNode::Len(p) => write!(f, "len({p})"),
+            SymVarNode::IntElem(p, ix) => write!(f, "{p}[{ix}]"),
+            SymVarNode::Char(p, ix) => write!(f, "char_at({p}, {ix})"),
         }
     }
 }
 
-/// An integer-valued symbolic term.
+/// An integer-valued symbolic term. Interned handle; see [`TermNode`].
 ///
 /// `Mul` keeps one side constant and `Div`/`Rem` keep constant divisors: the
 /// concolic executor pins (concretizes) the other operand when needed, so
 /// terms stay within the linear fragment the solver understands.
+#[derive(Clone, Copy)]
+pub struct Term(&'static Interned<TermNode>);
+
+/// The structure of a [`Term`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum Term {
+pub enum TermNode {
     Const(i64),
     Var(SymVar),
-    Add(Box<Term>, Box<Term>),
-    Sub(Box<Term>, Box<Term>),
-    Neg(Box<Term>),
+    Add(Term, Term),
+    Sub(Term, Term),
+    Neg(Term),
     /// `k * t` with constant `k`.
-    Mul(i64, Box<Term>),
+    Mul(i64, Term),
     /// `t / k`, truncated toward zero, with constant `k != 0`.
-    Div(Box<Term>, i64),
+    Div(Term, i64),
     /// `t % k`, sign of the dividend, with constant `k != 0`.
-    Rem(Box<Term>, i64),
+    Rem(Term, i64),
+}
+
+intern_handle!(Term, TermNode, TermId);
+
+impl TermNode {
+    /// Hash-conses this node into its unique [`Term`] handle. Unlike the
+    /// builder methods below this performs *no* folding — it is the
+    /// structure-preserving seam for rewrites (substitution, renaming,
+    /// index abstraction).
+    pub fn intern(self) -> Term {
+        Term(terms().intern(self))
+    }
 }
 
 #[allow(clippy::should_implement_trait)] // `add`/`sub`/… are deliberate builder names: they
@@ -125,63 +208,69 @@ pub enum Term {
 impl Term {
     /// Constant term.
     pub fn int(v: i64) -> Term {
-        Term::Const(v)
+        TermNode::Const(v).intern()
     }
 
     /// Integer input (or bound) variable.
     pub fn var(name: impl Into<String>) -> Term {
-        Term::Var(SymVar::Int(name.into()))
+        TermNode::Var(SymVar::int(name)).intern()
+    }
+
+    /// The term reading the given scalar variable.
+    pub fn of_var(v: SymVar) -> Term {
+        TermNode::Var(v).intern()
     }
 
     /// `len(place)`.
     pub fn len(place: Place) -> Term {
-        Term::Var(SymVar::Len(place))
+        TermNode::Var(SymVarNode::Len(place).intern()).intern()
     }
 
     /// `place[index]` for an `[int]` place.
     pub fn int_elem(place: Place, index: Term) -> Term {
-        Term::Var(SymVar::IntElem(place, Box::new(index)))
+        TermNode::Var(SymVarNode::IntElem(place, index).intern()).intern()
     }
 
     /// `char_at(place, index)`.
     pub fn char_at(place: Place, index: Term) -> Term {
-        Term::Var(SymVar::Char(place, Box::new(index)))
+        TermNode::Var(SymVarNode::Char(place, index).intern()).intern()
     }
 
     /// `self + rhs` with light constant folding.
     pub fn add(self, rhs: Term) -> Term {
-        match (self, rhs) {
-            (Term::Const(a), Term::Const(b)) => Term::Const(a.wrapping_add(b)),
-            (t, Term::Const(0)) | (Term::Const(0), t) => t,
-            (a, b) => Term::Add(Box::new(a), Box::new(b)),
+        match (self.node(), rhs.node()) {
+            (TermNode::Const(a), TermNode::Const(b)) => Term::int(a.wrapping_add(*b)),
+            (_, TermNode::Const(0)) => self,
+            (TermNode::Const(0), _) => rhs,
+            _ => TermNode::Add(self, rhs).intern(),
         }
     }
 
     /// `self - rhs` with light constant folding.
     pub fn sub(self, rhs: Term) -> Term {
-        match (self, rhs) {
-            (Term::Const(a), Term::Const(b)) => Term::Const(a.wrapping_sub(b)),
-            (t, Term::Const(0)) => t,
-            (a, b) => Term::Sub(Box::new(a), Box::new(b)),
+        match (self.node(), rhs.node()) {
+            (TermNode::Const(a), TermNode::Const(b)) => Term::int(a.wrapping_sub(*b)),
+            (_, TermNode::Const(0)) => self,
+            _ => TermNode::Sub(self, rhs).intern(),
         }
     }
 
     /// `-self` with light constant folding.
     pub fn neg(self) -> Term {
-        match self {
-            Term::Const(a) => Term::Const(a.wrapping_neg()),
-            Term::Neg(inner) => *inner,
-            t => Term::Neg(Box::new(t)),
+        match self.node() {
+            TermNode::Const(a) => Term::int(a.wrapping_neg()),
+            TermNode::Neg(inner) => *inner,
+            _ => TermNode::Neg(self).intern(),
         }
     }
 
     /// `k * self` with light constant folding.
     pub fn mul(self, k: i64) -> Term {
-        match (k, self) {
-            (_, Term::Const(a)) => Term::Const(a.wrapping_mul(k)),
-            (0, _) => Term::Const(0),
-            (1, t) => t,
-            (k, t) => Term::Mul(k, Box::new(t)),
+        match (k, self.node()) {
+            (_, TermNode::Const(a)) => Term::int(a.wrapping_mul(k)),
+            (0, _) => Term::int(0),
+            (1, _) => self,
+            _ => TermNode::Mul(k, self).intern(),
         }
     }
 
@@ -193,9 +282,9 @@ impl Term {
     /// the divide-by-zero check passed.
     pub fn div(self, k: i64) -> Term {
         assert!(k != 0, "symbolic division by zero");
-        match self {
-            Term::Const(a) => Term::Const(a.wrapping_div(k)),
-            t => Term::Div(Box::new(t), k),
+        match self.node() {
+            TermNode::Const(a) => Term::int(a.wrapping_div(k)),
+            _ => TermNode::Div(self, k).intern(),
         }
     }
 
@@ -206,27 +295,29 @@ impl Term {
     /// Panics if `k == 0`.
     pub fn rem(self, k: i64) -> Term {
         assert!(k != 0, "symbolic remainder by zero");
-        match self {
-            Term::Const(a) => Term::Const(a.wrapping_rem(k)),
-            t => Term::Rem(Box::new(t), k),
+        match self.node() {
+            TermNode::Const(a) => Term::int(a.wrapping_rem(k)),
+            _ => TermNode::Rem(self, k).intern(),
         }
     }
 
     /// Whether the term is a constant.
     pub fn as_const(&self) -> Option<i64> {
-        match self {
-            Term::Const(v) => Some(*v),
+        match self.node() {
+            TermNode::Const(v) => Some(*v),
             _ => None,
         }
     }
 
     /// Whether the term mentions the named int variable (free occurrence).
     pub fn mentions_var(&self, name: &str) -> bool {
-        match self {
-            Term::Const(_) => false,
-            Term::Var(v) => v.mentions_var(name),
-            Term::Add(a, b) | Term::Sub(a, b) => a.mentions_var(name) || b.mentions_var(name),
-            Term::Neg(a) | Term::Mul(_, a) | Term::Div(a, _) | Term::Rem(a, _) => {
+        match self.node() {
+            TermNode::Const(_) => false,
+            TermNode::Var(v) => v.mentions_var(name),
+            TermNode::Add(a, b) | TermNode::Sub(a, b) => {
+                a.mentions_var(name) || b.mentions_var(name)
+            }
+            TermNode::Neg(a) | TermNode::Mul(_, a) | TermNode::Div(a, _) | TermNode::Rem(a, _) => {
                 a.mentions_var(name)
             }
         }
@@ -234,90 +325,122 @@ impl Term {
 
     /// Substitutes every occurrence of int variable `name` by `replacement`.
     pub fn subst_var(&self, name: &str, replacement: &Term) -> Term {
-        match self {
-            Term::Const(_) => self.clone(),
-            Term::Var(v) => match v {
-                SymVar::Int(n) if n == name => replacement.clone(),
-                SymVar::Int(_) => self.clone(),
-                SymVar::Len(p) => Term::Var(SymVar::Len(subst_place(p, name, replacement))),
-                SymVar::IntElem(p, ix) => Term::Var(SymVar::IntElem(
-                    subst_place(p, name, replacement),
-                    Box::new(ix.subst_var(name, replacement)),
-                )),
-                SymVar::Char(p, ix) => Term::Var(SymVar::Char(
-                    subst_place(p, name, replacement),
-                    Box::new(ix.subst_var(name, replacement)),
-                )),
+        match self.node() {
+            TermNode::Const(_) => *self,
+            TermNode::Var(v) => match v.node() {
+                SymVarNode::Int(n) if n == name => *replacement,
+                SymVarNode::Int(_) => *self,
+                SymVarNode::Len(p) => {
+                    Term::of_var(SymVarNode::Len(subst_place(p, name, replacement)).intern())
+                }
+                SymVarNode::IntElem(p, ix) => Term::of_var(
+                    SymVarNode::IntElem(
+                        subst_place(p, name, replacement),
+                        ix.subst_var(name, replacement),
+                    )
+                    .intern(),
+                ),
+                SymVarNode::Char(p, ix) => Term::of_var(
+                    SymVarNode::Char(
+                        subst_place(p, name, replacement),
+                        ix.subst_var(name, replacement),
+                    )
+                    .intern(),
+                ),
             },
-            Term::Add(a, b) => a.subst_var(name, replacement).add(b.subst_var(name, replacement)),
-            Term::Sub(a, b) => a.subst_var(name, replacement).sub(b.subst_var(name, replacement)),
-            Term::Neg(a) => a.subst_var(name, replacement).neg(),
-            Term::Mul(k, a) => a.subst_var(name, replacement).mul(*k),
-            Term::Div(a, k) => a.subst_var(name, replacement).div(*k),
-            Term::Rem(a, k) => a.subst_var(name, replacement).rem(*k),
+            TermNode::Add(a, b) => {
+                a.subst_var(name, replacement).add(b.subst_var(name, replacement))
+            }
+            TermNode::Sub(a, b) => {
+                a.subst_var(name, replacement).sub(b.subst_var(name, replacement))
+            }
+            TermNode::Neg(a) => a.subst_var(name, replacement).neg(),
+            TermNode::Mul(k, a) => a.subst_var(name, replacement).mul(*k),
+            TermNode::Div(a, k) => a.subst_var(name, replacement).div(*k),
+            TermNode::Rem(a, k) => a.subst_var(name, replacement).rem(*k),
         }
     }
 
-    /// Collects all scalar variables occurring in the term.
+    /// Collects all scalar variables occurring in the term, in first
+    /// occurrence order, skipping variables already present in `out`.
+    /// Dedup is by interned id (one hash-set probe per node), so wide
+    /// conjunctions collect in one linear pass.
     pub fn collect_vars(&self, out: &mut Vec<SymVar>) {
-        match self {
-            Term::Const(_) => {}
-            Term::Var(v) => {
-                if !out.contains(v) {
-                    out.push(v.clone());
+        let mut seen: std::collections::HashSet<SymVarId> = out.iter().map(|v| v.id()).collect();
+        self.collect_vars_seen(out, &mut seen);
+    }
+
+    pub(crate) fn collect_vars_seen(
+        &self,
+        out: &mut Vec<SymVar>,
+        seen: &mut std::collections::HashSet<SymVarId>,
+    ) {
+        match self.node() {
+            TermNode::Const(_) => {}
+            TermNode::Var(v) => {
+                if seen.insert(v.id()) {
+                    out.push(*v);
                 }
-                collect_place_vars(v, out);
+                collect_place_vars(v, out, seen);
             }
-            Term::Add(a, b) | Term::Sub(a, b) => {
-                a.collect_vars(out);
-                b.collect_vars(out);
+            TermNode::Add(a, b) | TermNode::Sub(a, b) => {
+                a.collect_vars_seen(out, seen);
+                b.collect_vars_seen(out, seen);
             }
-            Term::Neg(a) | Term::Mul(_, a) | Term::Div(a, _) | Term::Rem(a, _) => {
-                a.collect_vars(out)
+            TermNode::Neg(a) | TermNode::Mul(_, a) | TermNode::Div(a, _) | TermNode::Rem(a, _) => {
+                a.collect_vars_seen(out, seen)
             }
         }
     }
 }
 
 fn subst_place(p: &Place, name: &str, replacement: &Term) -> Place {
-    match p {
-        Place::Param(_) => p.clone(),
-        Place::Elem(base, ix) => Place::Elem(
-            Box::new(subst_place(base, name, replacement)),
-            Box::new(ix.subst_var(name, replacement)),
-        ),
-    }
-}
-
-fn collect_place_vars(v: &SymVar, out: &mut Vec<SymVar>) {
-    match v {
-        SymVar::Int(_) => {}
-        SymVar::Len(p) => collect_in_place(p, out),
-        SymVar::IntElem(p, ix) | SymVar::Char(p, ix) => {
-            collect_in_place(p, out);
-            ix.collect_vars(out);
+    match p.node() {
+        PlaceNode::Param(_) => *p,
+        PlaceNode::Elem(base, ix) => {
+            PlaceNode::Elem(subst_place(base, name, replacement), ix.subst_var(name, replacement))
+                .intern()
         }
     }
 }
 
-fn collect_in_place(p: &Place, out: &mut Vec<SymVar>) {
-    if let Place::Elem(base, ix) = p {
-        collect_in_place(base, out);
-        ix.collect_vars(out);
+fn collect_place_vars(
+    v: &SymVar,
+    out: &mut Vec<SymVar>,
+    seen: &mut std::collections::HashSet<SymVarId>,
+) {
+    match v.node() {
+        SymVarNode::Int(_) => {}
+        SymVarNode::Len(p) => collect_in_place(p, out, seen),
+        SymVarNode::IntElem(p, ix) | SymVarNode::Char(p, ix) => {
+            collect_in_place(p, out, seen);
+            ix.collect_vars_seen(out, seen);
+        }
+    }
+}
+
+fn collect_in_place(
+    p: &Place,
+    out: &mut Vec<SymVar>,
+    seen: &mut std::collections::HashSet<SymVarId>,
+) {
+    if let PlaceNode::Elem(base, ix) = p.node() {
+        collect_in_place(base, out, seen);
+        ix.collect_vars_seen(out, seen);
     }
 }
 
 impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Term::Const(v) => write!(f, "{v}"),
-            Term::Var(v) => write!(f, "{v}"),
-            Term::Add(a, b) => write!(f, "({a} + {b})"),
-            Term::Sub(a, b) => write!(f, "({a} - {b})"),
-            Term::Neg(a) => write!(f, "-({a})"),
-            Term::Mul(k, a) => write!(f, "({k} * {a})"),
-            Term::Div(a, k) => write!(f, "({a} / {k})"),
-            Term::Rem(a, k) => write!(f, "({a} % {k})"),
+        match self.node() {
+            TermNode::Const(v) => write!(f, "{v}"),
+            TermNode::Var(v) => write!(f, "{v}"),
+            TermNode::Add(a, b) => write!(f, "({a} + {b})"),
+            TermNode::Sub(a, b) => write!(f, "({a} - {b})"),
+            TermNode::Neg(a) => write!(f, "-({a})"),
+            TermNode::Mul(k, a) => write!(f, "({k} * {a})"),
+            TermNode::Div(a, k) => write!(f, "({a} / {k})"),
+            TermNode::Rem(a, k) => write!(f, "({a} % {k})"),
         }
     }
 }
@@ -346,7 +469,7 @@ mod tests {
     #[test]
     fn substitution_reaches_indices_and_places() {
         // s[i] with s : [str]; substitute i := 2
-        let place = Place::Elem(Box::new(Place::param("s")), Box::new(Term::var("i")));
+        let place = Place::elem_at(Place::param("s"), Term::var("i"));
         let t = Term::len(place);
         let t2 = t.subst_var("i", &Term::int(2));
         assert_eq!(t2.to_string(), "len(s[2])");
@@ -380,5 +503,52 @@ mod tests {
     fn place_root_traverses_elements() {
         let p = Place::elem(Place::param("s"), 4);
         assert_eq!(p.root(), "s");
+    }
+
+    #[test]
+    fn interned_handles_are_identical_for_equal_structure() {
+        let a = Term::var("x").add(Term::int(1));
+        let b = Term::var("x").add(Term::int(1));
+        assert_eq!(a.id(), b.id());
+        assert!(std::ptr::eq(a.node(), b.node()));
+        let c = Term::var("x").add(Term::int(2));
+        assert_ne!(a.id(), c.id());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn handle_ord_is_structural_not_id_order() {
+        // Intern the larger term first so id order and structural order
+        // disagree; Ord must follow structure (Const < Var).
+        let v = Term::var("zzz_ord_probe");
+        let c = Term::int(999_999_101);
+        assert!(c < v, "Const must order before Var regardless of intern order");
+        assert_eq!(v.cmp(&v), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn collect_vars_wide_conjunction_is_linear() {
+        // 1k distinct variables: quadratic `contains` dedup would make this
+        // test visibly slow; the id-set pass keeps it trivially fast.
+        let mut t = Term::int(0);
+        for k in 0..1000 {
+            t = t.add(Term::var(format!("v{k}")));
+        }
+        // Repeat every variable once more so dedup actually fires 1000 times.
+        for k in 0..1000 {
+            t = t.add(Term::var(format!("v{k}")));
+        }
+        let start = std::time::Instant::now();
+        let mut vars = Vec::new();
+        t.collect_vars(&mut vars);
+        assert_eq!(vars.len(), 1000);
+        // First-occurrence order is preserved.
+        assert_eq!(vars[0].to_string(), "v0");
+        assert_eq!(vars[999].to_string(), "v999");
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(200),
+            "collect_vars took {:?} on a 2k-node term — dedup is not linear",
+            start.elapsed()
+        );
     }
 }

@@ -16,6 +16,30 @@ cargo test --workspace -q
 echo "== perf smoke (BENCH_solver_cache.json, BENCH_solver_tiers.json, BENCH_solver_incremental.json)"
 cargo build --release -p bench --quiet
 ./target/release/perf_smoke
+# The solver cache must pay for itself: with hash-consed terms the key is
+# a Vec of interned ids with a precomputed digest, so on every case where
+# the cache sees any hits at all the cached run may not be slower than the
+# uncached one. Cases with a zero hit rate (all-miss workloads) only
+# measure store overhead and are exempt.
+python3 - <<'EOF'
+import json
+bench = json.load(open("BENCH_solver_cache.json"))
+for case in bench["cases"]:
+    if case["cache_hit_rate"] > 0:
+        s = case["speedup_cache"]
+        assert s >= 1.0, (
+            f"{case['case']}: cached solve is slower than uncached "
+            f"(speedup {s:.3f}x < 1.0 at hit rate {case['cache_hit_rate']:.1%})")
+        print(f"solver cache gate: {case['case']} {s:.3f}x "
+              f"(hit rate {case['cache_hit_rate']:.1%}, floor 1.0)")
+mb = bench["cachekey_microbench"]
+assert mb["speedup_interned"] >= 1.0, (
+    f"interned cache-key construction is slower than the deep baseline "
+    f"({mb['speedup_interned']:.3f}x < 1.0)")
+print(f"cache-key microbench gate: interned {mb['interned_ns_per_key']:.0f} ns/key vs "
+      f"deep {mb['deep_baseline_ns_per_key']:.0f} ns/key "
+      f"({mb['speedup_interned']:.2f}x, floor 1.0)")
+EOF
 # Disabled tracing must cost nothing: the gap between the two untraced
 # samples in the trace_overhead footer is pure run-to-run noise and must
 # stay within ±2%.

@@ -1,0 +1,100 @@
+//! The interning differential: hash-consed term interning is unobservable.
+//!
+//! The golden file under `tests/goldens/` was captured from the tree
+//! *before* the `symbolic` crate switched to hash-consed interned terms
+//! (same summary shape as `tests/backend_differential.rs`: ψ, α,
+//! quantification, disjunct rendering, and every pruning counter). This
+//! test re-runs generation + inference over the full corpus and asserts
+//! the output is byte-identical to that pre-interning capture, proving the
+//! interner changed the representation of terms without changing a single
+//! observable bit of the pipeline.
+//!
+//! Regenerate (only for changes that intentionally alter inference output)
+//! with `UPDATE_INTERNING_GOLDENS=1 cargo test --test interning_differential`.
+
+use preinfer::prelude::*;
+use preinfer_core::Inference;
+use std::sync::Arc;
+
+const GOLDEN_PATH: &str = "tests/goldens/interning_corpus.golden";
+
+fn infer_summaries(
+    m: &subjects::SubjectMethod,
+    backend: BackendKind,
+    use_cache: bool,
+) -> Vec<String> {
+    let tp = m.compile();
+    let mut tg = TestGenConfig::default();
+    tg.solver.backend = backend;
+    tg.solver_cache = use_cache.then(|| Arc::new(SolverCache::new()));
+    let suite = generate_tests(&tp, m.name, &tg);
+    let mut cfg = PreInferConfig::default();
+    cfg.prune.solver.backend = backend;
+    cfg.prune.solver_cache = use_cache.then(|| Arc::new(SolverCache::new()));
+    cfg.prune.jobs = 1;
+    infer_all_preconditions(&tp, m.name, &suite, &cfg, 1)
+        .iter()
+        .map(|(acl, inf)| summarize(m.name, *acl, inf))
+        .collect()
+}
+
+fn summarize(method: &str, acl: minilang::CheckId, inf: &Inference) -> String {
+    let s = &inf.prune_stats;
+    let disjuncts: Vec<String> = inf
+        .disjuncts
+        .iter()
+        .map(|d| {
+            let parts: Vec<String> = d.parts.iter().map(|p| p.to_string()).collect();
+            format!("[{}]{}", parts.join(" && "), if d.quantified { "Q" } else { "" })
+        })
+        .collect();
+    format!(
+        "{method} {acl:?} psi={} alpha={} quantified={} ndisj={} disjuncts={} \
+         examined={} kept_c={} kept_d={} kept_g={} removed={} runs={}",
+        inf.precondition.psi,
+        inf.precondition.alpha,
+        inf.precondition.quantified,
+        inf.precondition.disjuncts,
+        disjuncts.join(" | "),
+        s.examined,
+        s.kept_c_depend,
+        s.kept_d_impact,
+        s.kept_guard,
+        s.removed,
+        s.dynamic_runs,
+    )
+}
+
+/// Renders the whole corpus (plus the motivating example) under the
+/// production configuration — tiered backend, solver cache on — to one
+/// deterministic multi-line string.
+fn corpus_render() -> String {
+    let mut methods = subjects::all_subjects();
+    methods.push(subjects::motivating::motivating());
+    let mut lines = Vec::new();
+    for m in &methods {
+        lines.push(format!("# {}::{}", m.namespace, m.name));
+        lines.extend(infer_summaries(m, BackendKind::Tiered, true));
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[test]
+fn inference_output_is_byte_identical_to_pre_interning_goldens() {
+    let got = corpus_render();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("UPDATE_INTERNING_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {GOLDEN_PATH}: {e}"));
+    // Compare line by line first for a readable failure, then byte-identity.
+    for (k, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        assert_eq!(g, w, "line {} diverged from pre-interning golden", k + 1);
+    }
+    assert_eq!(got, want, "corpus render is not byte-identical to the pre-interning golden");
+}
