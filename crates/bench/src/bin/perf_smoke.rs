@@ -507,6 +507,128 @@ fn run_cachekey_microbench() -> CacheKeyMicrobench {
     }
 }
 
+/// The interprocedural comparison: inline callee unrolling vs bottom-up
+/// ψ-summary application over the multi-function corpus slice, end to end
+/// (generation + inference per method). The summary arm runs against one
+/// warm [`SummaryTable`] shared across methods and reps — the serving
+/// scenario, where every α-equivalent callee closure after the first is a
+/// table hit and the per-request cost is resolution plus the collapsed
+/// entry-level path space.
+struct InterprocResult {
+    methods: usize,
+    inline_ms: f64,
+    summary_ms: f64,
+    ratio: f64,
+    table_entries: usize,
+    table_hits: u64,
+    applies: u64,
+}
+
+/// Reps for the interproc case: interleaved (inline, summary, inline, …)
+/// so machine-level drift hits both modes the same way; minimum per arm.
+const INTERPROC_REPS: usize = 7;
+
+fn run_interproc_case() -> InterprocResult {
+    use preinfer_core::{build_summaries, SummaryBuildConfig, SummaryTable};
+    let methods: Vec<(SubjectMethod, minilang::TypedProgram)> = subjects::all_subjects()
+        .into_iter()
+        .filter(|m| m.namespace == "Interproc.Summaries")
+        .map(|m| {
+            let tp = m.compile();
+            (m, tp)
+        })
+        .collect();
+    assert!(!methods.is_empty(), "interproc bench found no multi-function subjects");
+
+    let inline_pass = || -> u128 {
+        let start = Instant::now();
+        for (m, tp) in &methods {
+            let suite = generate_tests(tp, m.name, &TestGenConfig::default());
+            let mut cfg = PreInferConfig::default();
+            cfg.prune.jobs = 1;
+            let out = infer_all_preconditions(tp, m.name, &suite, &cfg, 1);
+            std::hint::black_box(out);
+        }
+        start.elapsed().as_nanos()
+    };
+    // The summary arm times the daemon's steady state: the table was
+    // populated when each closure was first seen and the per-program
+    // `ResolvedSummaries` handle is reused across requests, so a request
+    // pays generation + inference with callee paths collapsed to ψ atoms —
+    // not the one-time bottom-up build. The build cost is what the first
+    // column of the report's inline-vs-summary axis accounts for.
+    let table = Arc::new(SummaryTable::new());
+    let apply_stats: Arc<concolic::SummaryApplyStats> = Default::default();
+    let resolved: Vec<Option<Arc<concolic::ResolvedSummaries>>> = methods
+        .iter()
+        .map(|(m, tp)| {
+            let build = build_summaries(
+                tp,
+                m.name,
+                &table,
+                &SummaryBuildConfig {
+                    testgen: TestGenConfig::default(),
+                    prune: PreInferConfig::default().prune,
+                    jobs: 1,
+                    stats: apply_stats.clone(),
+                },
+            );
+            (!build.resolved.is_empty()).then_some(build.resolved)
+        })
+        .collect();
+    let summary_pass = || -> u128 {
+        let start = Instant::now();
+        for ((m, tp), res) in methods.iter().zip(&resolved) {
+            let mut tg = TestGenConfig::default();
+            let mut cfg = PreInferConfig::default();
+            cfg.prune.jobs = 1;
+            if let Some(res) = res {
+                tg.concolic.summaries = Some(res.clone());
+                cfg.prune.concolic.summaries = Some(res.clone());
+            }
+            let suite = generate_tests(tp, m.name, &tg);
+            let out = infer_all_preconditions(tp, m.name, &suite, &cfg, 1);
+            std::hint::black_box(out);
+        }
+        start.elapsed().as_nanos()
+    };
+    // Warm-up (untimed) for both arms, then prove the table is warm: a
+    // re-resolution of every method's closures must be all hits.
+    std::hint::black_box((inline_pass(), summary_pass()));
+    let hits_before = table.hits();
+    for (m, tp) in &methods {
+        let build = build_summaries(
+            tp,
+            m.name,
+            &table,
+            &SummaryBuildConfig {
+                testgen: TestGenConfig::default(),
+                prune: PreInferConfig::default().prune,
+                jobs: 1,
+                stats: apply_stats.clone(),
+            },
+        );
+        std::hint::black_box(build);
+    }
+    let warm_hits = table.hits() - hits_before;
+    let (mut inline_ns, mut summary_ns) = (u128::MAX, u128::MAX);
+    for _ in 0..INTERPROC_REPS {
+        inline_ns = inline_ns.min(inline_pass());
+        summary_ns = summary_ns.min(summary_pass());
+    }
+    let inline_ms = inline_ns as f64 / 1e6;
+    let summary_ms = summary_ns as f64 / 1e6;
+    InterprocResult {
+        methods: methods.len(),
+        inline_ms,
+        summary_ms,
+        ratio: summary_ms / inline_ms,
+        table_entries: table.len(),
+        table_hits: warm_hits,
+        applies: apply_stats.applies(),
+    }
+}
+
 /// Everything `trace_overhead` measures, in the units the JSON footer
 /// reports: best-of-N per-inference times plus robust paired overhead
 /// estimates (percent).
@@ -710,6 +832,20 @@ fn main() {
     std::fs::write("BENCH_solver_incremental.json", &inc_json)
         .expect("write BENCH_solver_incremental.json");
 
+    let ip = run_interproc_case();
+    let mut ip_json = String::from("{\n");
+    let _ = writeln!(ip_json, "  \"case\": \"interproc::summary_vs_inline\",");
+    let _ = writeln!(ip_json, "  \"reps\": {INTERPROC_REPS},");
+    let _ = writeln!(ip_json, "  \"methods\": {},", ip.methods);
+    let _ = writeln!(ip_json, "  \"inline_ms\": {:.3},", ip.inline_ms);
+    let _ = writeln!(ip_json, "  \"summary_ms\": {:.3},", ip.summary_ms);
+    let _ = writeln!(ip_json, "  \"summary_vs_inline_ratio\": {:.4},", ip.ratio);
+    let _ = writeln!(ip_json, "  \"table_entries\": {},", ip.table_entries);
+    let _ = writeln!(ip_json, "  \"table_hits\": {},", ip.table_hits);
+    let _ = writeln!(ip_json, "  \"summary_applies\": {}", ip.applies);
+    ip_json.push_str("}\n");
+    std::fs::write("BENCH_interproc.json", &ip_json).expect("write BENCH_interproc.json");
+
     println!(
         "perf smoke: {jobs} thread(s), {CACHE_REPS} bracketed reps per cache case \
          (median paired speedups)"
@@ -758,6 +894,18 @@ fn main() {
         si.queries,
     );
     println!(
-        "wrote BENCH_solver_cache.json, BENCH_solver_tiers.json and BENCH_solver_incremental.json"
+        "  interproc: summary {:.2} ms vs inline {:.2} ms ({:.3}x) over {} multi-function \
+         methods | {} table entries, {} warm hits, {} summary applies",
+        ip.summary_ms,
+        ip.inline_ms,
+        ip.ratio,
+        ip.methods,
+        ip.table_entries,
+        ip.table_hits,
+        ip.applies,
+    );
+    println!(
+        "wrote BENCH_solver_cache.json, BENCH_solver_tiers.json, BENCH_solver_incremental.json \
+         and BENCH_interproc.json"
     );
 }

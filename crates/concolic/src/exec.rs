@@ -12,12 +12,18 @@
 //! sound).
 
 use crate::cval::{materialize, ArrIntObj, ArrStrObj, CStr, CVal};
+use crate::summary::ResolvedSummaries;
 use minilang::ast::*;
-use minilang::{CheckId, CheckKind, MethodEntryState, NodeId, Span, TypedProgram};
+use minilang::{CheckId, CheckKind, InputValue, MethodEntryState, NodeId, Span, TypedProgram};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
-use symbolic::{CmpOp, EntryKind, PathCondition, PathEntry, PathOutcome, Place, Pred, Term};
+use std::sync::Arc;
+use symbolic::rename::{apply_actuals, ActualBinding};
+use symbolic::{
+    eval_pred, CmpOp, EntryKind, Env, EvalError, Formula, PathCondition, PathEntry, PathOutcome,
+    Place, Pred, Term,
+};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -28,11 +34,22 @@ pub struct ConcolicConfig {
     pub max_call_depth: u32,
     /// Maximum number of path-condition entries (guards pathological loops).
     pub max_entries: usize,
+    /// Callee ψ-summaries to apply at call sites (`None` = inline every
+    /// call, the original behaviour).
+    pub summaries: Option<Arc<ResolvedSummaries>>,
+    /// Trace sink for `summary_apply` events.
+    pub trace: Option<Arc<obs::TraceSink>>,
 }
 
 impl Default for ConcolicConfig {
     fn default() -> Self {
-        ConcolicConfig { fuel: 100_000, max_call_depth: 64, max_entries: 4_096 }
+        ConcolicConfig {
+            fuel: 100_000,
+            max_call_depth: 64,
+            max_entries: 4_096,
+            summaries: None,
+            trace: None,
+        }
     }
 }
 
@@ -78,6 +95,7 @@ pub fn run_concolic(
         Ok(_) => PathOutcome::Completed,
         Err(Stop::Check(id)) => PathOutcome::Failed(id),
         Err(Stop::Fuel) => PathOutcome::OutOfFuel,
+        Err(Stop::CallDepth) => PathOutcome::CallDepthExceeded,
     };
     ConcolicOutcome {
         path: PathCondition { entries: m.entries, outcome },
@@ -95,7 +113,10 @@ enum Flow {
 enum Stop {
     /// A violated check; the violating predicate is the last recorded entry.
     Check(CheckId),
+    /// Step budget exhausted (runaway loop).
     Fuel,
+    /// Call-depth bound exceeded (runaway recursion).
+    CallDepth,
 }
 
 type R<T> = Result<T, Stop>;
@@ -438,17 +459,45 @@ impl<'a> Exec<'a> {
                 for a in args {
                     vals.push(self.eval(a, frame)?);
                 }
-                self.call(name, vals, frame.depth)
+                self.call(e.id, e.span, name, vals, frame.depth)
             }
         }
     }
 
-    fn call(&mut self, name: &str, args: Vec<CVal>, depth: u32) -> R<CVal> {
+    fn call(
+        &mut self,
+        site: NodeId,
+        span: Span,
+        name: &str,
+        args: Vec<CVal>,
+        depth: u32,
+    ) -> R<CVal> {
         if depth + 1 > self.config.max_call_depth {
-            return Err(Stop::Fuel);
+            return Err(Stop::CallDepth);
         }
         self.tick()?;
         let callee = self.program.func(name).expect("typechecked call");
+        if let Some(res) = self.config.summaries.clone() {
+            if let Some(checks) = res.by_func.get(name).filter(|c| !c.is_empty()) {
+                match bindings_of(&args) {
+                    Some(bindings) => {
+                        return self.call_summary(
+                            site, span, callee, args, depth, checks, &bindings, &res,
+                        );
+                    }
+                    None => {
+                        // An actual without a symbolic origin (literal, fresh
+                        // allocation, mutated array): ψ(actuals) cannot be
+                        // expressed over the inputs — inline this call.
+                        res.stats.fallback();
+                    }
+                }
+            }
+        }
+        self.call_inline(callee, args, depth)
+    }
+
+    fn call_inline(&mut self, callee: &Func, args: Vec<CVal>, depth: u32) -> R<CVal> {
         let mut env = HashMap::new();
         for (p, v) in callee.params.iter().zip(args) {
             env.insert(p.name.clone(), v);
@@ -458,6 +507,164 @@ impl<'a> Exec<'a> {
             Flow::Return(v) => Ok(v),
             _ => Ok(CVal::Unit),
         }
+    }
+
+    /// Executes the callee with a scratch entry buffer, then replaces its
+    /// internal path-condition entries by per-check ψ decompositions over
+    /// the call-site actuals. The callee still runs concretely: the return
+    /// value, visited blocks, fuel consumption and outcome are exact; only
+    /// the recorded predicates change.
+    #[allow(clippy::too_many_arguments)]
+    fn call_summary(
+        &mut self,
+        site: NodeId,
+        span: Span,
+        callee: &Func,
+        args: Vec<CVal>,
+        depth: u32,
+        checks: &HashMap<CheckId, Formula>,
+        bindings: &[ActualBinding],
+        res: &ResolvedSummaries,
+    ) -> R<CVal> {
+        let synth = synthetic_state(&args);
+        let mut env = HashMap::new();
+        for (p, v) in callee.params.iter().zip(args) {
+            env.insert(p.name.clone(), v);
+        }
+        let mut frame = Frame { env, depth: depth + 1 };
+        let saved = std::mem::take(&mut self.entries);
+        let result = self.exec_block(&callee.body, &mut frame);
+        let scratch = std::mem::replace(&mut self.entries, saved);
+
+        if matches!(result, Err(Stop::Fuel) | Err(Stop::CallDepth)) {
+            // Budget exhaustion: the run is discarded by the partition
+            // anyway; keep the raw entries for fidelity and propagate.
+            self.entries.extend(scratch);
+            return result.map(|_| CVal::Unit);
+        }
+        let failed = match &result {
+            Err(Stop::Check(id)) => Some(*id),
+            _ => None,
+        };
+
+        // Passing region: every check traversed before the violation (or
+        // all of them on a completed call), first traversal only.
+        let pass_region = &scratch[..scratch.len() - usize::from(failed.is_some())];
+        let mut summarized = 0u64;
+        let mut seen: Vec<CheckId> = Vec::new();
+        for entry in pass_region {
+            let Some(id) = entry.kind.check_id() else { continue };
+            if seen.contains(&id) {
+                continue;
+            }
+            seen.push(id);
+            let decomposed = checks.get(&id).is_some_and(|psi| {
+                self.record_summary_decomposition(psi, bindings, &synth, id, site, span, true)
+            });
+            if decomposed {
+                summarized += 1;
+                res.stats.apply();
+            } else {
+                res.stats.fallback();
+                for e in pass_region.iter().filter(|e| e.kind.check_id() == Some(id)) {
+                    self.entries.push(e.clone());
+                }
+            }
+        }
+
+        // Pins keep caller-visible terms (return values flowing out of the
+        // callee) inside the linear fragment — copied through *after* the
+        // summarized atoms: a pin equates a term with its concrete value
+        // (e.g. a division's symbolic divisor), so placing it before the
+        // check entry would make every flip of ψ(actuals) infeasible.
+        for entry in scratch.iter().filter(|e| e.kind == EntryKind::Pin) {
+            self.entries.push(entry.clone());
+        }
+
+        // Failing side: the last scratch entry is the violating condition;
+        // the path condition must end with ¬ψ's decisive atom (or the raw
+        // violating predicate on fallback).
+        if let Some(id) = failed {
+            let decomposed = checks.get(&id).is_some_and(|psi| {
+                self.record_summary_decomposition(psi, bindings, &synth, id, site, span, false)
+            });
+            if decomposed {
+                summarized += 1;
+                res.stats.apply();
+            } else {
+                res.stats.fallback();
+                self.entries.push(scratch.last().expect("violating entry").clone());
+            }
+        }
+
+        if summarized > 0 {
+            if let Some(trace) = &self.config.trace {
+                trace.event(
+                    "summary_apply",
+                    &[
+                        ("func", obs::Val::S(&callee.name)),
+                        ("checks", obs::Val::U(summarized)),
+                        ("failed", obs::Val::B(failed.is_some())),
+                    ],
+                );
+            }
+        }
+
+        match result {
+            Ok(Flow::Return(v)) => Ok(v),
+            Ok(_) => Ok(CVal::Unit),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Records the short-circuit decomposition of `ψ(actuals)` for one
+    /// check: walks the stored `%i`-form ψ and its actual-substituted twin
+    /// in lockstep, evaluating each atom concretely on the synthetic callee
+    /// entry state, and records every informative visited atom in its taken
+    /// form — the last one tagged as the check entry. Returns `false`
+    /// (recording nothing) when evaluation is undefined, the formula is
+    /// quantified, or the concrete verdict disagrees with the observed
+    /// pass/fail — the caller then falls back to the raw callee entries.
+    #[allow(clippy::too_many_arguments)]
+    fn record_summary_decomposition(
+        &mut self,
+        psi: &Formula,
+        bindings: &[ActualBinding],
+        synth: &MethodEntryState,
+        check: CheckId,
+        site: NodeId,
+        span: Span,
+        expect_pass: bool,
+    ) -> bool {
+        let subst = apply_actuals(psi, bindings);
+        let env = Env::new(synth);
+        let mut atoms: Vec<Pred> = Vec::new();
+        let verdict = match walk_decomposition(psi, &subst, &env, &mut atoms) {
+            Ok(v) => v,
+            Err(_) => return false,
+        };
+        if verdict != expect_pass {
+            return false;
+        }
+        match atoms.len() {
+            0 => self.entries.push(PathEntry {
+                pred: Pred::Const(verdict),
+                kind: EntryKind::Check(check),
+                site,
+                span,
+            }),
+            n => {
+                for (i, pred) in atoms.into_iter().enumerate() {
+                    let kind = if i + 1 == n {
+                        EntryKind::Check(check)
+                    } else {
+                        EntryKind::ExplicitBranch
+                    };
+                    self.entries.push(PathEntry { pred, kind, site, span });
+                }
+            }
+        }
+        true
     }
 
     fn eval_arith(
@@ -703,5 +910,127 @@ impl<'a> Exec<'a> {
                 Ok(CVal::Int(c.wrapping_abs(), term))
             }
         }
+    }
+}
+
+// ---- summary application helpers -------------------------------------------
+
+/// Positional [`ActualBinding`]s for the call's argument values, or `None`
+/// when any actual cannot be bound soundly: a reference without an input
+/// origin (literal, fresh allocation) or an array whose shadow cells no
+/// longer match its entry-state contents (the caller mutated it, so the
+/// stored ψ's `place[k]` atoms would refer to stale values).
+fn bindings_of(args: &[CVal]) -> Option<Vec<ActualBinding>> {
+    args.iter()
+        .map(|v| match v {
+            CVal::Int(_, t) => Some(ActualBinding::Int(*t)),
+            CVal::Bool(b, origin) => {
+                Some(ActualBinding::Bool { origin: origin.clone(), value: *b })
+            }
+            CVal::Str(s) => s.origin.map(ActualBinding::Ref),
+            CVal::ArrInt(obj, origin) => {
+                let place = (*origin)?;
+                if let Some(obj) = obj {
+                    let o = obj.borrow();
+                    if o.len_term != Term::len(place) {
+                        return None;
+                    }
+                    for (k, (_, t)) in o.cells.iter().enumerate() {
+                        if *t != Term::int_elem(place, Term::int(k as i64)) {
+                            return None;
+                        }
+                    }
+                }
+                Some(ActualBinding::Ref(place))
+            }
+            CVal::ArrStr(obj, origin) => {
+                let place = (*origin)?;
+                if let Some(obj) = obj {
+                    let o = obj.borrow();
+                    if o.len_term != Term::len(place) {
+                        return None;
+                    }
+                    for (k, cell) in o.cells.iter().enumerate() {
+                        if cell.origin != Some(Place::elem(place, k as i64)) {
+                            return None;
+                        }
+                    }
+                }
+                Some(ActualBinding::Ref(place))
+            }
+            CVal::Unit => None,
+        })
+        .collect()
+}
+
+/// The callee's entry state under canonical parameter names, for concrete
+/// evaluation of stored `%i`-form summaries.
+fn synthetic_state(args: &[CVal]) -> MethodEntryState {
+    MethodEntryState::from_pairs(
+        args.iter().enumerate().map(|(i, v)| (format!("%{i}"), input_of(v))),
+    )
+}
+
+fn input_of(v: &CVal) -> InputValue {
+    match v {
+        CVal::Int(c, _) => InputValue::Int(*c),
+        CVal::Bool(b, _) => InputValue::Bool(*b),
+        CVal::Str(s) => InputValue::Str(s.val.as_ref().map(|rc| rc.as_ref().clone())),
+        CVal::ArrInt(obj, _) => InputValue::ArrayInt(
+            obj.as_ref().map(|o| o.borrow().cells.iter().map(|(c, _)| *c).collect()),
+        ),
+        CVal::ArrStr(obj, _) => InputValue::ArrayStr(obj.as_ref().map(|o| {
+            o.borrow().cells.iter().map(|s| s.val.as_ref().map(|rc| rc.as_ref().clone())).collect()
+        })),
+        CVal::Unit => unreachable!("unit argument"),
+    }
+}
+
+/// Walks a stored summary and its actual-substituted twin in lockstep,
+/// mirroring short-circuit evaluation: only the atoms evaluation actually
+/// visits are recorded, each in its taken form. The concrete verdict comes
+/// from the original `%i`-form against the synthetic state; the recorded
+/// predicate is the substituted atom (over the caller's inputs).
+/// Quantified summaries are refused (never stored, defensively rejected).
+fn walk_decomposition(
+    orig: &Formula,
+    subst: &Formula,
+    env: &Env<'_>,
+    atoms: &mut Vec<Pred>,
+) -> Result<bool, EvalError> {
+    match (orig, subst) {
+        (Formula::Pred(p), Formula::Pred(q)) => {
+            let v = eval_pred(p, env)?;
+            let taken = if v { q.clone() } else { q.negated() };
+            if !taken.is_trivially_true() && !taken.is_trivially_false() {
+                atoms.push(taken);
+            }
+            Ok(v)
+        }
+        (Formula::Not(a), Formula::Not(b)) => Ok(!walk_decomposition(a, b, env, atoms)?),
+        (Formula::And(xs), Formula::And(ys)) if xs.len() == ys.len() => {
+            for (x, y) in xs.iter().zip(ys) {
+                if !walk_decomposition(x, y, env, atoms)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        (Formula::Or(xs), Formula::Or(ys)) if xs.len() == ys.len() => {
+            for (x, y) in xs.iter().zip(ys) {
+                if walk_decomposition(x, y, env, atoms)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        (Formula::Implies(a, b), Formula::Implies(c, d)) => {
+            if !walk_decomposition(a, c, env, atoms)? {
+                Ok(true)
+            } else {
+                walk_decomposition(b, d, env, atoms)
+            }
+        }
+        _ => Err(EvalError::TypeMismatch("unsupported summary shape".to_string())),
     }
 }

@@ -20,6 +20,8 @@
 
 pub mod cval;
 pub mod exec;
+pub mod summary;
 
 pub use cval::{materialize, ArrIntObj, ArrStrObj, CStr, CVal};
 pub use exec::{run_concolic, ConcolicConfig, ConcolicOutcome};
+pub use summary::{InterprocMode, ResolvedSummaries, SummaryApplyStats};

@@ -122,6 +122,7 @@ fn concolic_and_interp_agree_on_outcomes() {
             (PathOutcome::Completed, ExecResult::Completed(_)) => {}
             (PathOutcome::Failed(a), ExecResult::Failed(e)) => assert_eq!(*a, e.check),
             (PathOutcome::OutOfFuel, ExecResult::OutOfFuel) => {}
+            (PathOutcome::CallDepthExceeded, ExecResult::CallDepthExceeded) => {}
             other => panic!("outcome mismatch on {state}: {other:?}"),
         }
         assert_eq!(c.visited_blocks, i.visited_blocks, "coverage mismatch on {state}");

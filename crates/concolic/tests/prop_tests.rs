@@ -87,6 +87,7 @@ proptest! {
             (PathOutcome::Completed, ExecResult::Completed(_)) => {}
             (PathOutcome::Failed(a), ExecResult::Failed(e)) => prop_assert_eq!(*a, e.check),
             (PathOutcome::OutOfFuel, ExecResult::OutOfFuel) => {}
+            (PathOutcome::CallDepthExceeded, ExecResult::CallDepthExceeded) => {}
             other => prop_assert!(false, "outcome mismatch on {} {}: {:?}", m.name, state, other),
         }
         prop_assert_eq!(&c.visited_blocks, &i.visited_blocks);

@@ -36,8 +36,10 @@ pub enum ExecResult {
     Completed(Value),
     /// Aborted with a violated check.
     Failed(RuntimeError),
-    /// Exceeded the step budget (runaway loop / recursion).
+    /// Exceeded the step budget (runaway loop).
     OutOfFuel,
+    /// Exceeded the call-depth bound (runaway recursion).
+    CallDepthExceeded,
 }
 
 impl ExecResult {
@@ -103,6 +105,7 @@ pub fn run(
         Ok(_) => ExecResult::Completed(Value::Unit),
         Err(Stop::Check(e)) => ExecResult::Failed(e),
         Err(Stop::Fuel) => ExecResult::OutOfFuel,
+        Err(Stop::CallDepth) => ExecResult::CallDepthExceeded,
     };
     ExecOutcome { result, visited_blocks: m.visited, steps: config.fuel - m.fuel }
 }
@@ -119,6 +122,7 @@ enum Flow {
 enum Stop {
     Check(RuntimeError),
     Fuel,
+    CallDepth,
 }
 
 type Exec<T> = Result<T, Stop>;
@@ -343,7 +347,7 @@ impl<'a> Machine<'a> {
 
     fn call(&mut self, name: &str, args: Vec<Value>, depth: u32) -> Exec<Value> {
         if depth + 1 > self.config.max_call_depth {
-            return Err(Stop::Fuel);
+            return Err(Stop::CallDepth);
         }
         self.tick()?;
         let callee = self.program.func(name).expect("typechecked call");

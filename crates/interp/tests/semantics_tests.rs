@@ -124,7 +124,7 @@ fn deep_recursion_hits_depth_limit_not_stack_overflow() {
         }
         fn f(n int) -> int { return down(n); }";
     match exec(src, vec![("n", InputValue::Int(10_000))]) {
-        ExecResult::OutOfFuel => {}
+        ExecResult::CallDepthExceeded => {}
         other => panic!("{other:?}"),
     }
 }

@@ -25,6 +25,7 @@
 pub mod ast;
 pub mod ast_eq;
 pub mod blocks;
+pub mod callgraph;
 pub mod checks;
 pub mod parser;
 pub mod pretty;
@@ -38,9 +39,12 @@ pub use ast::{
     UnOp,
 };
 pub use blocks::{block_ids, coverage_percent};
+pub use callgraph::CallGraph;
 pub use checks::{check_sites, program_check_sites, CheckId, CheckKind, CheckSite, LoopPos};
 pub use parser::{parse_expr, parse_program, ParseError};
-pub use pretty::{expr_to_string, func_to_string, program_to_string};
+pub use pretty::{
+    canonical_func_string, expr_to_string, func_to_string, program_to_string, rename_idents,
+};
 pub use span::{NodeId, Span};
 pub use tyck::{check_program, TypeError, TypedProgram};
 pub use value::{InputValue, MethodEntryState};

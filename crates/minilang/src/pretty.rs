@@ -229,6 +229,60 @@ fn args_to_string(args: &[Expr], out: &mut String) {
     out.push(')');
 }
 
+/// Whole-identifier textual renaming over pretty-printed MiniLang source.
+/// Identifier tokens (`[A-Za-z_][A-Za-z0-9_]*`) found in `renames` are
+/// replaced; string literals (`"…"` with backslash escapes) pass through
+/// untouched. Used to α-rename parameters to the positional `%i`
+/// placeholders of the canonical method form (`%` cannot begin a MiniLang
+/// identifier, so placeholders never collide with real names).
+pub fn rename_idents(src: &str, renames: &[(String, String)]) -> String {
+    let mut out = String::with_capacity(src.len());
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '"' {
+            // Copy the string literal verbatim, honoring escapes.
+            let start = i;
+            i += 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i = (i + 2).min(bytes.len()),
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.push_str(&src[start..i]);
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let ident = &src[start..i];
+            match renames.iter().find(|(from, _)| from == ident) {
+                Some((_, to)) => out.push_str(to),
+                None => out.push_str(ident),
+            }
+        } else {
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    out
+}
+
+/// The α-canonical rendering of one function: its pretty-printed source
+/// with parameters renamed to positional `%i` placeholders. Two functions
+/// are α-equivalent exactly when their canonical renderings are equal.
+pub fn canonical_func_string(f: &Func) -> String {
+    let renames: Vec<(String, String)> =
+        f.params.iter().enumerate().map(|(i, p)| (p.name.clone(), format!("%{i}"))).collect();
+    rename_idents(&func_to_string(f), &renames)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

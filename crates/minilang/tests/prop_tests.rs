@@ -1,13 +1,18 @@
 //! Property-based tests for MiniLang: pretty-print/re-parse round trips on
 //! generated expression trees, and lexer totality on printable input.
 
-use minilang::ast::{BinOp, Expr, ExprKind, UnOp};
+use minilang::ast::{BinOp, Block, Expr, ExprKind, Func, Param, Program, Stmt, StmtKind, Ty, UnOp};
+use minilang::pretty::program_to_string;
 use minilang::span::{NodeId, Span};
-use minilang::{ast_eq, expr_to_string, parse_expr};
+use minilang::{ast_eq, expr_to_string, parse_expr, parse_program};
 use proptest::prelude::*;
 
 fn mk(kind: ExprKind) -> Expr {
     Expr { kind, id: NodeId(0), span: Span::new(1, 1) }
+}
+
+fn mk_stmt(kind: StmtKind) -> Stmt {
+    Stmt { kind, id: NodeId(0), span: Span::new(1, 1) }
 }
 
 fn expr_strategy() -> impl Strategy<Value = Expr> {
@@ -50,6 +55,60 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     })
 }
 
+/// Int-valued expressions over the fixed parameters `x`/`y` whose interior
+/// nodes include `Call`s into the fixed callee set `f0`/`f1`/`f2` — the
+/// shapes interprocedural programs put through the printer.
+fn call_expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i64..=99).prop_map(|v| mk(ExprKind::IntLit(v))),
+        prop_oneof![Just("x"), Just("y")].prop_map(|n| mk(ExprKind::Var(n.to_string()))),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| mk(ExprKind::Binary(
+                    op,
+                    Box::new(l),
+                    Box::new(r)
+                ))),
+            (
+                prop_oneof![Just("f0"), Just("f1"), Just("f2")],
+                proptest::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(name, args)| mk(ExprKind::Call { name: name.to_string(), args })),
+        ]
+    })
+}
+
+/// A function named `name` over `(x int, y int)` whose lets and return
+/// value draw from [`call_expr_strategy`].
+fn func_strategy(name: &'static str) -> impl Strategy<Value = Func> {
+    let param =
+        |n: &str| Param { name: n.to_string(), ty: Ty::Int, id: NodeId(0), span: Span::new(1, 1) };
+    (proptest::collection::vec(call_expr_strategy(), 0..3), call_expr_strategy()).prop_map(
+        move |(lets, ret)| {
+            let mut stmts: Vec<Stmt> = lets
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| mk_stmt(StmtKind::Let { name: format!("t{i}"), ty: None, init: e }))
+                .collect();
+            stmts.push(mk_stmt(StmtKind::Return { value: Some(ret) }));
+            Func {
+                name: name.to_string(),
+                params: vec![param("x"), param("y")],
+                ret: Ty::Int,
+                body: Block { stmts, id: NodeId(0), span: Span::new(1, 1) },
+                id: NodeId(0),
+                span: Span::new(1, 1),
+            }
+        },
+    )
+}
+
 proptest! {
     /// Print-then-parse preserves expression structure: the printer's
     /// parenthesization is compatible with the parser's precedence.
@@ -69,5 +128,30 @@ proptest! {
     #[test]
     fn lexer_is_total_on_printable(src in "[ -~]{0,60}") {
         let _ = minilang::token::lex(&src);
+    }
+
+    /// Multi-function programs whose bodies are built around `Call`
+    /// expressions round-trip through the pretty-printer and parser
+    /// structurally unchanged: argument lists, call nesting, and
+    /// cross-function references all survive.
+    #[test]
+    fn program_with_calls_print_parse_roundtrip(
+        f0 in func_strategy("f0"),
+        f1 in func_strategy("f1"),
+        f2 in func_strategy("f2"),
+    ) {
+        let program = Program::new(vec![f0, f1, f2], 0);
+        let printed = program_to_string(&program);
+        let reparsed = parse_program(&printed).unwrap_or_else(|err| {
+            panic!("printer produced unparseable program:\n{printed}\nerror: {err:?}")
+        });
+        prop_assert_eq!(reparsed.funcs.len(), program.funcs.len());
+        for (a, b) in program.funcs.iter().zip(&reparsed.funcs) {
+            prop_assert!(
+                ast_eq::func_eq(a, b),
+                "round trip changed function {}:\n{printed}",
+                a.name
+            );
+        }
     }
 }

@@ -16,6 +16,7 @@
 //! Section V-B) live in [`metrics`]; the end-to-end driver in [`pipeline`].
 
 pub mod generalize;
+pub mod interproc;
 pub mod metrics;
 pub mod par;
 pub mod pipeline;
@@ -25,6 +26,10 @@ pub mod pruning;
 pub use generalize::{
     abstract_all_indices, abstract_index, default_templates, generalize_path, index_occurrences,
     ExistentialTemplate, GeneralizedPath, StepTemplate, Template, TemplateMatch, UniversalTemplate,
+};
+pub use interproc::{
+    build_summaries, closure_key, closure_sites, FallbackReason, StoredFuncSummary, SummaryBuild,
+    SummaryBuildConfig, SummaryTable,
 };
 pub use metrics::{evaluate_precondition, random_probe, validates, PrecondQuality, ProbeConfig};
 pub use par::map_parallel;

@@ -3,6 +3,7 @@
 //! Usage:
 //!   tables                # everything
 //!   tables 1 3 4 5 6 f3   # selected tables / figure 3
+//!   tables interproc      # inline-vs-summary axis on the multi-function slice
 //!   tables --json OUT     # additionally dump per-ACL results as JSON
 
 use report::{evaluate_corpus, EvalConfig};
@@ -76,5 +77,22 @@ fn main() {
             std::fs::write(&path, json).expect("write JSON results");
             eprintln!("wrote {path}");
         }
+    }
+    if !picks.is_empty() && picks.iter().any(|p| p == "interproc") {
+        // Multi-function slice, evaluated once per interprocedural mode.
+        let slice: Vec<_> = subjects::all_subjects()
+            .into_iter()
+            .filter(|m| m.namespace == "Interproc.Summaries")
+            .collect();
+        eprintln!("evaluating interproc slice ({} methods, both modes)…", slice.len());
+        let inline_cfg = EvalConfig::default();
+        let summary_cfg = EvalConfig {
+            interproc: concolic::InterprocMode::Summary,
+            summary_table: Some(std::sync::Arc::new(preinfer_core::SummaryTable::new())),
+            ..EvalConfig::default()
+        };
+        let inline = evaluate_corpus(&slice, &inline_cfg);
+        let summary = evaluate_corpus(&slice, &summary_cfg);
+        println!("{}", report::interproc_table(&inline, &summary));
     }
 }

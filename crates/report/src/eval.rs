@@ -2,11 +2,12 @@
 //! and scores PreInfer, FixIt and DySy per assertion-containing location.
 
 use baselines::{infer_dysy, infer_fixit};
+use concolic::InterprocMode;
 use interp::{run, ExecResult, InterpConfig};
-use minilang::{check_sites, CheckId, LoopPos, MethodEntryState, TypedProgram};
+use minilang::{program_check_sites, CheckId, LoopPos, MethodEntryState, TypedProgram};
 use preinfer_core::{
-    evaluate_precondition, infer_precondition, map_parallel, random_probe, PreInferConfig,
-    PrecondQuality, ProbeConfig,
+    build_summaries, evaluate_precondition, infer_precondition, map_parallel, random_probe,
+    PreInferConfig, PrecondQuality, ProbeConfig, SummaryBuildConfig, SummaryTable,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -128,6 +129,19 @@ pub struct MethodResult {
     /// only — cache hits replay tiers without counting). Diagnostics:
     /// like cache hit counts, the split depends on traffic order.
     pub solver_tiers: TierSnapshot,
+    /// The interprocedural mode this method was evaluated under
+    /// (`"inline"` or `"summary"`).
+    pub interproc: &'static str,
+    /// Callees with stored ψ-summaries (0 in inline mode).
+    pub summarized_callees: usize,
+    /// Summary-table hits during the bottom-up build (α-equivalent closure
+    /// reuse; depends on what earlier methods populated when the table is
+    /// shared — diagnostics, like the solver-cache counters).
+    pub summary_table_hits: u64,
+    /// Checks summarized at call sites during this method's executions.
+    pub summary_applies: u64,
+    /// Per-check or per-call fallbacks to inline recording.
+    pub summary_fallbacks: u64,
     pub acls: Vec<AclResult>,
 }
 
@@ -163,6 +177,13 @@ pub struct EvalConfig {
     /// no event buffering). Timings are diagnostics; every other result
     /// field is identical with tracing on or off.
     pub trace: bool,
+    /// How user calls are treated: inline the callee body (the default,
+    /// the paper's behaviour) or apply bottom-up ψ-summaries at call sites.
+    pub interproc: InterprocMode,
+    /// Shared summary table for summary mode. `None` gives each method a
+    /// private table; a shared [`Arc`] lets α-equivalent callee closures
+    /// across methods reuse each other's inference.
+    pub summary_table: Option<Arc<SummaryTable>>,
 }
 
 impl Default for EvalConfig {
@@ -177,6 +198,8 @@ impl Default for EvalConfig {
             incremental: true,
             timeout_ms: None,
             trace: true,
+            interproc: InterprocMode::default(),
+            summary_table: None,
         }
     }
 }
@@ -194,7 +217,7 @@ fn classified_probes(
         let state = random_probe(func, &mut rng);
         let result = run(tp, &func.name, &state, &InterpConfig::default());
         match result.result {
-            ExecResult::OutOfFuel => {}
+            ExecResult::OutOfFuel | ExecResult::CallDepthExceeded => {}
             ExecResult::Completed(_) => out.push((state, None)),
             ExecResult::Failed(e) => out.push((state, Some(e.check))),
         }
@@ -239,13 +262,37 @@ pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
     infer_cfg.prune.solver.tiers = tiers.clone();
     infer_cfg.prune.solver.incremental = cfg.incremental;
     infer_cfg.prune.trace = sink.clone();
+    // Summary mode: infer each reachable callee's ψ once, bottom-up, then
+    // point both the generation and the pruning executors at the resolved
+    // summaries so call sites apply ψ(actuals) instead of unrolling.
+    let mut summarized_callees = 0usize;
+    let mut summary_table_hits = 0u64;
+    let mut summary_stats = None;
+    if cfg.interproc == InterprocMode::Summary {
+        let table = cfg.summary_table.clone().unwrap_or_default();
+        let build_cfg = SummaryBuildConfig {
+            testgen: testgen_cfg.clone(),
+            prune: infer_cfg.prune.clone(),
+            jobs: 1,
+            stats: Default::default(),
+        };
+        let build = build_summaries(&tp, m.name, &table, &build_cfg);
+        summarized_callees = build.summarized.len();
+        summary_table_hits = build.table_hits;
+        summary_stats = Some(build.resolved.stats.clone());
+        if !build.resolved.is_empty() {
+            testgen_cfg.concolic.summaries = Some(build.resolved.clone());
+            infer_cfg.prune.concolic.summaries = Some(build.resolved);
+        }
+    }
     let suite = generate_tests(&tp, m.name, &testgen_cfg);
     let coverage = suite.coverage_percent(&func);
-    let sites = check_sites(&func);
+    // Program-wide: a triggered ACL may live inside a callee (reached
+    // through inlining or reported through a summary application).
+    let sites = program_check_sites(tp.program());
     let probes = classified_probes(&tp, &func, cfg);
     let mut acls = Vec::new();
     for acl in suite.triggered_acls() {
-        // ACLs inside helper functions have no annotation or position row.
         let Some(site) = sites.iter().find(|s| s.id == acl) else { continue };
         let truth_alpha = m.truth_alpha(&tp, acl);
         let truth_psi = truth_alpha.as_ref().map(|a| a.negated());
@@ -335,6 +382,11 @@ pub fn evaluate_method(m: &SubjectMethod, cfg: &EvalConfig) -> MethodResult {
         timed_out: deadline.expired(),
         stage_timings,
         solver_tiers: tiers.snapshot(),
+        interproc: cfg.interproc.label(),
+        summarized_callees,
+        summary_table_hits,
+        summary_applies: summary_stats.as_ref().map(|s| s.applies()).unwrap_or(0),
+        summary_fallbacks: summary_stats.as_ref().map(|s| s.fallbacks()).unwrap_or(0),
         acls,
     }
 }

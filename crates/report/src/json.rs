@@ -31,6 +31,11 @@ fn write_method(out: &mut String, m: &MethodResult, level: usize) {
     let _ = writeln!(out, "{inner}\"solver_cache_hits\": {},", m.solver_cache_hits);
     let _ = writeln!(out, "{inner}\"solver_cache_misses\": {},", m.solver_cache_misses);
     let _ = writeln!(out, "{inner}\"timed_out\": {},", m.timed_out);
+    let _ = writeln!(out, "{inner}\"interproc\": {},", json_str(m.interproc));
+    let _ = writeln!(out, "{inner}\"summarized_callees\": {},", m.summarized_callees);
+    let _ = writeln!(out, "{inner}\"summary_table_hits\": {},", m.summary_table_hits);
+    let _ = writeln!(out, "{inner}\"summary_applies\": {},", m.summary_applies);
+    let _ = writeln!(out, "{inner}\"summary_fallbacks\": {},", m.summary_fallbacks);
     // Rendered on a single line: timing values vary run to run, so
     // differential consumers can drop this one line and compare the rest.
     let _ = write!(out, "{inner}\"stage_timings\": [");

@@ -13,4 +13,4 @@ pub use eval::{
     MethodResult, StageTiming,
 };
 pub use json::results_to_json;
-pub use tables::{figure_3, table_1_2, table_3, table_4, table_5, table_6};
+pub use tables::{figure_3, interproc_table, table_1_2, table_3, table_4, table_5, table_6};

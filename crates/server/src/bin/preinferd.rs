@@ -3,7 +3,8 @@
 //! ```text
 //! preinferd [--addr HOST:PORT] [--io threads|epoll] [--workers N]
 //!           [--queue N] [--default-deadline-ms N] [--idle-timeout-ms N]
-//!           [--incremental on|off] [--memo on|off] [--memo-capacity K]
+//!           [--incremental on|off] [--interproc inline|summary]
+//!           [--memo on|off] [--memo-capacity K]
 //!           [--trace-sample N] [--slow-trace-ms N] [--trace-buffer K]
 //! ```
 //!
@@ -45,6 +46,7 @@ fn usage() -> ! {
         "usage: preinferd [--addr HOST:PORT] [--io threads|epoll] [--workers N]\n\
          \x20                [--queue N] [--default-deadline-ms N]\n\
          \x20                [--idle-timeout-ms N] [--incremental on|off]\n\
+         \x20                [--interproc inline|summary]\n\
          \x20                [--memo on|off] [--memo-capacity K]\n\
          \x20                [--trace-sample N] [--slow-trace-ms N]\n\
          \x20                [--trace-buffer K]\n\
@@ -64,6 +66,12 @@ fn usage() -> ! {
          --incremental on|off (default on) solves prefix-sharing queries\n\
          through warm push/pop solver sessions; served results are\n\
          byte-identical either way — this is a speed knob.\n\
+         \n\
+         --interproc inline|summary (default inline) chooses how user\n\
+         calls are handled: inline unrolls callee bodies; summary applies\n\
+         bottom-up callee ψ-summaries at call sites, reusing a\n\
+         daemon-lifetime table across requests (α-equivalent callee\n\
+         closures hit instead of re-inferring; see `stats.summaries`).\n\
          \n\
          --memo on|off (default off) answers repeat requests for an\n\
          α-equivalent method from the ψ-level response memo without\n\
@@ -120,6 +128,9 @@ fn parse_args() -> ServerConfig {
             "--default-deadline-ms" => {
                 cfg.default_deadline_ms =
                     Some(args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--interproc" => {
+                cfg.interproc = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--incremental" => {
                 cfg.incremental = match args.next().as_deref() {

@@ -36,5 +36,5 @@ pub use queue::BoundedQueue;
 pub use router::{Router, RouterConfig, RouterHandle};
 pub use routing::{canonical_method, shard_of, CanonicalMethod};
 pub use server::{IoMode, Server, ServerConfig, ServerHandle, ServerLatency};
-pub use service::{run_infer, IncrementalPolicy, InferOutcome};
+pub use service::{run_infer, IncrementalPolicy, InferOutcome, SummaryPolicy};
 pub use trace::{RetainReason, SamplingPolicy, StoredTrace, TraceRing};

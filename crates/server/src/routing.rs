@@ -15,7 +15,7 @@
 //! it forever), which is why it is FNV-1a in `solver::canon` rather than
 //! `DefaultHasher`.
 
-use minilang::func_to_string;
+use minilang::{func_to_string, rename_idents};
 
 /// A resolved canonical method.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,49 +57,6 @@ pub fn shard_of(program: &str, func: Option<&str>, shards: usize) -> usize {
         Err(_) => solver::affinity_hash(&format!("!{}\u{0}{}", func.unwrap_or(""), program)),
     };
     (h % shards.max(1) as u64) as usize
-}
-
-/// Whole-identifier textual renaming over pretty-printed MiniLang source.
-/// Identifier tokens (`[A-Za-z_][A-Za-z0-9_]*`) found in `renames` are
-/// replaced; string literals (`"…"` with backslash escapes) pass through
-/// untouched.
-fn rename_idents(src: &str, renames: &[(String, String)]) -> String {
-    let mut out = String::with_capacity(src.len());
-    let bytes = src.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        if c == '"' {
-            // Copy the string literal verbatim, honoring escapes.
-            let start = i;
-            i += 1;
-            while i < bytes.len() {
-                match bytes[i] {
-                    b'\\' => i = (i + 2).min(bytes.len()),
-                    b'"' => {
-                        i += 1;
-                        break;
-                    }
-                    _ => i += 1,
-                }
-            }
-            out.push_str(&src[start..i]);
-        } else if c.is_ascii_alphabetic() || c == '_' {
-            let start = i;
-            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
-                i += 1;
-            }
-            let ident = &src[start..i];
-            match renames.iter().find(|(from, _)| from == ident) {
-                Some((_, to)) => out.push_str(to),
-                None => out.push_str(ident),
-            }
-        } else {
-            out.push(c);
-            i += c.len_utf8();
-        }
-    }
-    out
 }
 
 #[cfg(test)]

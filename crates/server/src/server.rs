@@ -38,8 +38,9 @@ use crate::protocol::{
 use crate::queue::BoundedQueue;
 use crate::routing;
 use crate::service;
-use crate::service::IncrementalPolicy;
+use crate::service::{IncrementalPolicy, SummaryPolicy};
 use crate::trace::{SamplingPolicy, StoredTrace, TraceRing};
+use concolic::InterprocMode;
 use obs::{Histogram, MetricsRegistry};
 use solver::{Deadline, IncrementalCounters, SolverCache, TierCounters};
 use std::io;
@@ -115,6 +116,10 @@ pub struct ServerConfig {
     /// Solve prefix-sharing queries through warm incremental sessions
     /// (`--incremental`). Speed only — served ψ is identical either way.
     pub incremental: bool,
+    /// How `infer` requests treat user calls (`--interproc`): inline the
+    /// callee body (default) or apply callee ψ-summaries from the
+    /// daemon-lifetime shared table.
+    pub interproc: InterprocMode,
     /// Serve repeat requests for an α-equivalent method from the ψ-level
     /// response memo (`--memo`). Off by default: with the memo on, repeat
     /// requests skip the pipeline entirely, which changes the solver-cache
@@ -137,6 +142,7 @@ impl Default for ServerConfig {
             slow_trace_ms: None,
             trace_buffer: 64,
             incremental: true,
+            interproc: InterprocMode::Inline,
             memo: false,
             memo_capacity: 4096,
         }
@@ -247,6 +253,9 @@ pub(crate) struct Shared {
     /// Incremental-session policy + counters shared by every worker.
     /// Served by the `stats` verb and the metrics registry.
     pub(crate) incremental: IncrementalPolicy,
+    /// Interprocedural policy: mode, the daemon-lifetime summary table,
+    /// and apply counters. Served by `stats` and the metrics registry.
+    pub(crate) summaries: SummaryPolicy,
     /// Deterministic per-request sampling policy (fixed at startup).
     pub(crate) sampling: SamplingPolicy,
     /// Unified metrics, served by the `metrics` verb.
@@ -315,6 +324,7 @@ impl Server {
             stats: Arc::new(IncrementalCounters::default()),
         };
         let memo = cfg.memo.then(|| Arc::new(ResponseMemo::new(cfg.memo_capacity)));
+        let summaries = SummaryPolicy { mode: cfg.interproc, ..SummaryPolicy::default() };
         let registry = Arc::new(MetricsRegistry::new());
         register_metrics(
             &registry,
@@ -326,6 +336,7 @@ impl Server {
             &queue,
             &ring,
             &incremental.stats,
+            &summaries,
             &memo,
             started,
         );
@@ -340,6 +351,7 @@ impl Server {
             tiers,
             ring,
             incremental,
+            summaries,
             sampling: SamplingPolicy {
                 sample: cfg.trace_sample,
                 slow_threshold: cfg.slow_trace_ms.map(Duration::from_millis),
@@ -671,6 +683,19 @@ pub(crate) fn render_stats_response(id: Option<&str>, shared: &Shared) -> String
                 .f64("avg_reused_depth", i.avg_reused_depth())
                 .build()
         })
+        .raw("summaries", {
+            let t = &shared.summaries.table;
+            let s = &shared.summaries.stats;
+            ObjBuilder::new()
+                .str("mode", shared.summaries.mode.label())
+                .u64("hits", t.hits())
+                .u64("misses", t.misses())
+                .u64("inserts", t.inserts())
+                .u64("entries", t.len() as u64)
+                .u64("applies", s.applies())
+                .u64("fallbacks", s.fallbacks())
+                .build()
+        })
         .raw("stages", {
             let mut b = ObjBuilder::new();
             for (stage, snap) in shared.trace.stages() {
@@ -829,6 +854,7 @@ fn worker_loop(shared: &Arc<Shared>) {
             &trace,
             &shared.tiers,
             &shared.incremental,
+            &shared.summaries,
         );
         let service_time = dequeued.elapsed();
         let (response, func) = match result {
@@ -911,6 +937,7 @@ fn register_metrics(
     queue: &Arc<BoundedQueue<Job>>,
     ring: &Arc<TraceRing>,
     incremental: &Arc<IncrementalCounters>,
+    summaries: &SummaryPolicy,
     memo: &Option<Arc<ResponseMemo>>,
     started: Instant,
 ) {
@@ -1112,6 +1139,43 @@ fn register_metrics(
         "Stacked predicates reused across incremental queries (sum).",
         &[],
         move || i.snapshot().reused_depth_sum,
+    );
+
+    const SUMMARY_LOOKUP_HELP: &str = "Summary-table lookups by result.";
+    let t = Arc::clone(&summaries.table);
+    reg.counter(
+        "preinfer_summary_table_lookups_total",
+        SUMMARY_LOOKUP_HELP,
+        &[("result", "hit")],
+        move || t.hits(),
+    );
+    let t = Arc::clone(&summaries.table);
+    reg.counter(
+        "preinfer_summary_table_lookups_total",
+        SUMMARY_LOOKUP_HELP,
+        &[("result", "miss")],
+        move || t.misses(),
+    );
+    let t = Arc::clone(&summaries.table);
+    reg.gauge(
+        "preinfer_summary_table_entries",
+        "Callee closures resident in the summary table.",
+        &[],
+        move || t.len() as f64,
+    );
+    let s = Arc::clone(&summaries.stats);
+    reg.counter(
+        "preinfer_summary_applies_total",
+        "Checks summarized at call sites (psi(actuals) recorded).",
+        &[],
+        move || s.applies(),
+    );
+    let s = Arc::clone(&summaries.stats);
+    reg.counter(
+        "preinfer_summary_fallbacks_total",
+        "Call-site fallbacks to inline recording.",
+        &[],
+        move || s.fallbacks(),
     );
 
     for stage in obs::Stage::ALL {

@@ -10,7 +10,8 @@
 
 use crate::json::ObjBuilder;
 use crate::protocol::{ErrorCode, InferRequest};
-use preinfer_core::PreInferConfig;
+use concolic::{InterprocMode, SummaryApplyStats};
+use preinfer_core::{build_summaries, PreInferConfig, SummaryBuildConfig, SummaryTable};
 use solver::{Deadline, IncrementalCounters, SolverCache, TierCounters};
 use std::sync::Arc;
 use std::time::Instant;
@@ -30,6 +31,29 @@ pub struct IncrementalPolicy {
 impl Default for IncrementalPolicy {
     fn default() -> Self {
         IncrementalPolicy { enabled: true, stats: Arc::new(IncrementalCounters::default()) }
+    }
+}
+
+/// Daemon-wide interprocedural policy: whether `infer` requests apply
+/// callee ψ-summaries at call sites (`--interproc summary`) or inline
+/// callee bodies (the default), the daemon-lifetime [`SummaryTable`]
+/// shared by every worker (α-equivalent callee closures across requests
+/// hit instead of re-inferring), and the lifetime apply/fallback counters.
+/// Served under `stats.summaries` and the `preinfer_summary_*` metrics.
+#[derive(Debug, Clone)]
+pub struct SummaryPolicy {
+    pub mode: InterprocMode,
+    pub table: Arc<SummaryTable>,
+    pub stats: Arc<SummaryApplyStats>,
+}
+
+impl Default for SummaryPolicy {
+    fn default() -> Self {
+        SummaryPolicy {
+            mode: InterprocMode::Inline,
+            table: Arc::new(SummaryTable::new()),
+            stats: Arc::new(SummaryApplyStats::default()),
+        }
     }
 }
 
@@ -84,6 +108,7 @@ pub fn run_infer(
     trace: &Option<Arc<obs::TraceSink>>,
     tiers: &Arc<TierCounters>,
     incremental: &IncrementalPolicy,
+    summaries: &SummaryPolicy,
 ) -> Result<InferOutcome, ServiceError> {
     let start = Instant::now();
     let program = minilang::compile(&req.program)
@@ -120,9 +145,6 @@ pub fn run_infer(
     tg.solver.incremental = incremental.enabled;
     tg.solver.incremental_stats = incremental.stats.clone();
     tg.trace = trace.clone();
-    let suite = generate_tests(&program, &func_name, &tg);
-    let func = program.func(&func_name).expect("checked above");
-    let coverage = suite.coverage_percent(func);
 
     let mut cfg = PreInferConfig::default();
     cfg.prune.solver_cache = Some(cache.clone());
@@ -133,6 +155,31 @@ pub fn run_infer(
     cfg.prune.solver.incremental_stats = incremental.stats.clone();
     cfg.prune.trace = trace.clone();
     cfg.prune.jobs = req.jobs;
+
+    if summaries.mode == InterprocMode::Summary {
+        // Build (or re-resolve from the shared table) the callee summaries
+        // for this program, then run the entry inference in summary mode.
+        let build = build_summaries(
+            &program,
+            &func_name,
+            &summaries.table,
+            &SummaryBuildConfig {
+                testgen: tg.clone(),
+                prune: cfg.prune.clone(),
+                jobs: req.jobs,
+                stats: summaries.stats.clone(),
+            },
+        );
+        if !build.resolved.is_empty() {
+            tg.concolic.summaries = Some(build.resolved.clone());
+            cfg.prune.concolic.summaries = Some(build.resolved);
+        }
+    }
+
+    let suite = generate_tests(&program, &func_name, &tg);
+    let func = program.func(&func_name).expect("checked above");
+    let coverage = suite.coverage_percent(func);
+
     let inferred =
         preinfer_core::infer_all_preconditions(&program, &func_name, &suite, &cfg, req.jobs);
 
@@ -242,6 +289,7 @@ mod tests {
             &None,
             &tiers,
             &inc,
+            &SummaryPolicy::default(),
         )
         .unwrap();
         assert_eq!(out.func, "f");
@@ -266,6 +314,7 @@ mod tests {
             &None,
             &tiers,
             &IncrementalPolicy::default(),
+            &SummaryPolicy::default(),
         )
         .unwrap_err();
         assert_eq!(err.code, ErrorCode::CompileError);
@@ -279,6 +328,7 @@ mod tests {
             &None,
             &tiers,
             &IncrementalPolicy::default(),
+            &SummaryPolicy::default(),
         )
         .unwrap_err();
         assert_eq!(err.code, ErrorCode::BadRequest);
@@ -296,6 +346,7 @@ mod tests {
             &None,
             &Arc::new(TierCounters::default()),
             &IncrementalPolicy::default(),
+            &SummaryPolicy::default(),
         )
         .unwrap();
         assert!(out.timed_out, "deadline was already expired at admission");
@@ -311,6 +362,7 @@ mod tests {
             &None,
             &Arc::new(TierCounters::default()),
             &IncrementalPolicy::default(),
+            &SummaryPolicy::default(),
         )
         .unwrap();
         let rendered = render_infer_response(Some("id-1"), 42, &out, 0.5, &cache);

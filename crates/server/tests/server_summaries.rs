@@ -1,0 +1,107 @@
+//! Daemon-lifetime summary-table behavior under `--interproc summary`:
+//! the `summaries` stats block is served and populated, a repeat pass over
+//! the same corpus strictly increases the table hit rate (α-equivalent
+//! callee closures are re-resolved from the shared table instead of
+//! re-inferred), served ψ stays identical across passes, and the
+//! `preinfer_summary_*` metrics family appears in the exposition.
+
+use concolic::InterprocMode;
+use server::{served_psis, Client, InferRequest, Server, ServerConfig};
+
+const CHAIN: &str = "
+fn leaf(d int) -> int { return 10 / d; }
+fn mid(a int) -> int { return leaf(a - 1); }
+fn entry(x int) -> int { return mid(x - 2); }";
+
+/// The same callee closure modulo identifier naming: hits the table
+/// without its own inference.
+const CHAIN_RENAMED: &str = "
+fn divisor(den int) -> int { return 10 / den; }
+fn shifted(v int) -> int { return divisor(v - 1); }
+fn entry(y int) -> int { return shifted(y - 2); }";
+
+fn req(program: &str) -> InferRequest {
+    InferRequest {
+        program: program.to_string(),
+        func: Some("entry".to_string()),
+        deadline_ms: None,
+        tests: None,
+        jobs: 1,
+    }
+}
+
+fn summary_field(cl: &mut Client, field: &str) -> u64 {
+    let stats = cl.stats().expect("stats round-trip");
+    stats
+        .get("summaries")
+        .and_then(|s| s.u64_field(field))
+        .unwrap_or_else(|| panic!("stats response lacks summaries.{field}: {stats:?}"))
+}
+
+#[test]
+fn summary_table_is_daemon_lifetime_and_second_pass_increases_hit_rate() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        interproc: InterprocMode::Summary,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let mut cl = Client::connect(&server.local_addr().to_string()).expect("connect");
+
+    // Pass 1: cold table — every callee closure misses and is inserted.
+    let first = cl.infer(&req(CHAIN)).expect("first pass");
+    let first_psis = served_psis(&first).expect("first pass served psi");
+    assert!(!first_psis.is_empty(), "multi-function subject must infer");
+    let stats1 = cl.stats().expect("stats");
+    let block = stats1.get("summaries").expect("summaries stats block");
+    assert_eq!(block.str_field("mode"), Some("summary"));
+    let (h1, m1) = (summary_field(&mut cl, "hits"), summary_field(&mut cl, "misses"));
+    assert!(summary_field(&mut cl, "inserts") > 0, "cold pass must populate the table");
+    assert!(summary_field(&mut cl, "entries") > 0);
+    assert!(summary_field(&mut cl, "applies") > 0, "call sites must apply summaries");
+    assert!(m1 > 0, "cold pass must miss");
+    let rate1 = h1 as f64 / (h1 + m1) as f64;
+
+    // Pass 2: the same program plus an α-renamed closure — both resolve
+    // from the shared table, so hits strictly increase and so does the
+    // lifetime hit rate; served ψ is unchanged.
+    let second = cl.infer(&req(CHAIN)).expect("second pass");
+    assert_eq!(served_psis(&second).expect("second pass served psi"), first_psis);
+    let renamed = cl.infer(&req(CHAIN_RENAMED)).expect("renamed pass");
+    assert!(served_psis(&renamed).is_some());
+    let (h2, m2) = (summary_field(&mut cl, "hits"), summary_field(&mut cl, "misses"));
+    assert!(h2 > h1, "repeat pass must hit the daemon-lifetime table");
+    let rate2 = h2 as f64 / (h2 + m2) as f64;
+    assert!(rate2 > rate1, "hit rate must strictly increase across passes ({rate1} -> {rate2})");
+
+    let metrics = cl.metrics().expect("metrics");
+    let text = metrics.str_field("text").expect("exposition text").to_string();
+    for family in [
+        "preinfer_summary_table_lookups_total",
+        "preinfer_summary_table_entries",
+        "preinfer_summary_applies_total",
+        "preinfer_summary_fallbacks_total",
+    ] {
+        assert!(text.contains(family), "metrics exposition lacks {family}");
+    }
+
+    server.handle().shutdown();
+    server.join();
+}
+
+#[test]
+fn inline_mode_serves_an_idle_summaries_block() {
+    // The default daemon reports the block (mode inline, all-zero) so
+    // dashboards can scrape one shape regardless of configuration.
+    let server = Server::start(ServerConfig::default()).expect("bind loopback");
+    let mut cl = Client::connect(&server.local_addr().to_string()).expect("connect");
+    let resp = cl.infer(&req(CHAIN)).expect("infer");
+    assert!(served_psis(&resp).is_some());
+    let stats = cl.stats().expect("stats");
+    let block = stats.get("summaries").expect("summaries stats block");
+    assert_eq!(block.str_field("mode"), Some("inline"));
+    assert_eq!(block.u64_field("applies"), Some(0));
+    assert_eq!(block.u64_field("entries"), Some(0));
+    server.handle().shutdown();
+    server.join();
+}

@@ -3,7 +3,9 @@
 //! server's own strict JSON parser, and the `stats` verb exposes the
 //! per-stage latency histograms fed by the daemon's aggregate sink.
 
-use server::{json, run_infer, Client, IncrementalPolicy, InferRequest, Server, ServerConfig};
+use server::{
+    json, run_infer, Client, IncrementalPolicy, InferRequest, Server, ServerConfig, SummaryPolicy,
+};
 use solver::{Deadline, SolverCache, TierCounters};
 use std::sync::Arc;
 
@@ -30,6 +32,7 @@ fn run_infer_trace_lines_parse_with_the_servers_own_parser() {
         &trace,
         &Arc::new(TierCounters::default()),
         &IncrementalPolicy::default(),
+        &SummaryPolicy::default(),
     )
     .expect("inference succeeds");
     let lines = sink.lines();

@@ -1,0 +1,269 @@
+//! `Interproc.Summaries` — the multi-function extension corpus: entry
+//! methods whose assertion-containing locations live inside callees,
+//! exercising both interprocedural modes (inlined callee bodies and
+//! bottom-up ψ-summary application). Shapes covered: a lifted callee
+//! assert, a helper shared by three call sites, a diamond call graph, a
+//! bounded recursive callee (the summary builder's typed inline fallback),
+//! null/bounds checks through callees, a three-level chain, a guarded
+//! call, and a boolean actual.
+
+use crate::{GroundTruth, SubjectMethod};
+use minilang::CheckKind;
+
+const NS: &str = "Interproc.Summaries";
+const SUBJ: &str = "Interproc";
+
+/// The namespace's methods.
+pub fn methods() -> Vec<SubjectMethod> {
+    vec![
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "lift_guard",
+            // The callee's assert must surface as a caller precondition over
+            // the substituted actual.
+            source: "
+fn check_pos(v int) -> int {
+    assert(v > 0);
+    return v;
+}
+fn lift_guard(x int) -> int {
+    return check_pos(x - 3);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "x <= 3",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "shared_helper",
+            // One helper, three call sites: the single callee ACL aggregates
+            // failures from every caller position.
+            source: "
+fn nz_div(a int, b int) -> int {
+    return a / b;
+}
+fn shared_helper(p int, q int) -> int {
+    let s = nz_div(10, p);
+    let t = nz_div(p, q);
+    return nz_div(s + t, p + q);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::DivByZero,
+                nth: 0,
+                alpha: "p == 0 || q == 0 || p + q == 0",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "diamond",
+            // Diamond call graph: both arms funnel into one base ACL with
+            // different actual shifts.
+            source: "
+fn base(v int) -> int {
+    return 100 / v;
+}
+fn left(x int) -> int {
+    return base(x - 1);
+}
+fn right(x int) -> int {
+    return base(x + 1);
+}
+fn diamond(x int) -> int {
+    return left(x) + right(x);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::DivByZero,
+                nth: 0,
+                alpha: "x == 1 || x == -1",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "bounded_rec",
+            // Recursive callee: the summary builder must fall back (typed
+            // `Recursive`) and calls inline as before. The entry assert
+            // bounds the depth so passing runs never exhaust the call stack.
+            source: "
+fn sum_to(n int) -> int {
+    if (n <= 0) { return 0; }
+    return n + sum_to(n - 1);
+}
+fn bounded_rec(n int) -> int {
+    assert(n <= 8);
+    let s = sum_to(n);
+    return 10 / (s - 6);
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::AssertFail,
+                    nth: 0,
+                    alpha: "n > 8",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::DivByZero,
+                    nth: 0,
+                    // sum_to(n) == 6 exactly at n == 3 within the asserted
+                    // range.
+                    alpha: "n == 3",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "callee_null",
+            source: "
+fn str_len(s str) -> int {
+    return strlen(s);
+}
+fn callee_null(s str, k int) -> int {
+    if (k > 0) { return str_len(s); }
+    return 0;
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::NullDeref,
+                nth: 0,
+                alpha: "k > 0 && s == null",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "callee_bounds",
+            source: "
+fn at(a [int], i int) -> int {
+    return a[i];
+}
+fn callee_bounds(a [int], i int) -> int {
+    return at(a, i + 1);
+}",
+            truths: vec![
+                GroundTruth {
+                    kind: CheckKind::NullDeref,
+                    nth: 0,
+                    alpha: "a == null",
+                    quantified: false,
+                },
+                GroundTruth {
+                    kind: CheckKind::IndexOutOfRange,
+                    nth: 0,
+                    alpha: "a != null && (i + 1 < 0 || i + 1 >= len(a))",
+                    quantified: false,
+                },
+            ],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "chain_depth",
+            // Three-level chain: the actual substitutes through two layers
+            // of canonical parameters before reaching the leaf ACL.
+            source: "
+fn leaf3(d int) -> int {
+    return 10 / d;
+}
+fn mid3(a int) -> int {
+    return leaf3(a - 1);
+}
+fn chain_depth(x int) -> int {
+    return mid3(x - 2);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::DivByZero,
+                nth: 0,
+                alpha: "x == 3",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "guarded_call",
+            // The caller's branch guards one call site completely; only the
+            // other can fail, and only on part of its branch's inputs.
+            source: "
+fn req_pos(v int) -> int {
+    assert(v > 0);
+    return v;
+}
+fn guarded_call(x int) -> int {
+    if (x > 0) { return req_pos(x); }
+    return req_pos(x + 5);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "x <= -5",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "branchy_scale",
+            // A callee whose internal control flow is wide (eight symbolic
+            // branches) but whose precondition is one atom: inlining
+            // re-explores the branch cascade at every call site of every
+            // test run, while summary application collapses each call to
+            // ψ(actuals) = `d != 0`. This is the perf-smoke subject that
+            // separates the two interprocedural modes.
+            source: "
+fn scale6(n int, d int) -> int {
+    let acc = 100;
+    if (n > 4) { acc = acc + 1; }
+    if (n > 8) { acc = acc + 2; }
+    if (n > 16) { acc = acc + 4; }
+    if (n > 32) { acc = acc + 8; }
+    if (n > 64) { acc = acc + 16; }
+    if (n > 128) { acc = acc + 32; }
+    if (n > 256) { acc = acc + 64; }
+    if (n > 512) { acc = acc + 128; }
+    return acc / d;
+}
+fn branchy_scale(n int, d int) -> int {
+    return scale6(n, d) + scale6(n + 1, d) + scale6(n + 2, d) + scale6(n + 3, d);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::DivByZero,
+                nth: 0,
+                alpha: "d == 0",
+                quantified: false,
+            }],
+        },
+        SubjectMethod {
+            namespace: NS,
+            subject: SUBJ,
+            name: "bool_pass",
+            // A boolean actual flows into the callee's branch structure.
+            source: "
+fn pick(flag bool, v int) -> int {
+    if (flag) {
+        assert(v > 0);
+        return v;
+    }
+    return 0;
+}
+fn bool_pass(b bool, v int) -> int {
+    return pick(b, v - 2);
+}",
+            truths: vec![GroundTruth {
+                kind: CheckKind::AssertFail,
+                nth: 0,
+                alpha: "b && v <= 2",
+                quantified: false,
+            }],
+        },
+    ]
+}

@@ -22,10 +22,11 @@ pub mod codecontracts_array;
 pub mod codecontracts_examples;
 pub mod codecontracts_preinf;
 pub mod dsa_algorithm;
+pub mod interproc;
 pub mod motivating;
 pub mod svcomp;
 
-use minilang::{check_sites, CheckId, CheckKind, Func, TypedProgram};
+use minilang::{check_sites, CheckId, CheckKind, CheckSite, Func, TypedProgram};
 use symbolic::{parse_spec, Formula};
 
 /// A ground-truth annotation for one assertion-containing location,
@@ -34,8 +35,10 @@ use symbolic::{parse_spec, Formula};
 #[derive(Debug, Clone)]
 pub struct GroundTruth {
     pub kind: CheckKind,
-    /// 0-based occurrence among the entry function's sites of this kind, in
-    /// syntactic order.
+    /// 0-based occurrence among the program's sites of this kind, in
+    /// syntactic order — the entry function's sites first, then each
+    /// helper's in program order (so multi-function subjects can annotate
+    /// ACLs living inside callees).
     pub nth: usize,
     /// The failure condition `α*` in the spec DSL (`ψ* = ¬α*`).
     pub alpha: &'static str,
@@ -80,11 +83,22 @@ impl SubjectMethod {
         program.func(self.name).expect("entry function exists")
     }
 
+    /// All check sites the annotations index: the entry function's in
+    /// syntactic order, then each helper's in program order.
+    pub fn ordered_sites(&self, program: &TypedProgram) -> Vec<CheckSite> {
+        let mut sites = check_sites(self.func(program));
+        for f in &program.program().funcs {
+            if f.name != self.name {
+                sites.extend(check_sites(f));
+            }
+        }
+        sites
+    }
+
     /// Resolves the `(kind, nth)` annotation key for a triggered ACL.
     fn annotation_key(&self, program: &TypedProgram, acl: CheckId) -> Option<(CheckKind, usize)> {
-        let func = self.func(program);
         let mut counter = 0usize;
-        for s in check_sites(func) {
+        for s in self.ordered_sites(program) {
             if s.id.kind == acl.kind {
                 if s.id == acl {
                     return Some((acl.kind, counter));
@@ -127,11 +141,13 @@ pub fn all_subjects() -> Vec<SubjectMethod> {
     out.extend(codecontracts_preinf::methods());
     out.extend(codecontracts_array::methods());
     out.extend(svcomp::methods());
+    out.extend(interproc::methods());
     out
 }
 
-/// The namespaces in Table V row order.
-pub const NAMESPACES: [&str; 7] = [
+/// The namespaces in Table V row order, plus the reproduction's
+/// multi-function extension namespace.
+pub const NAMESPACES: [&str; 8] = [
     "Algorithmia.Sorting",
     "Algorithmia.GeneralDataStr",
     "DSA.Algorithm",
@@ -139,10 +155,11 @@ pub const NAMESPACES: [&str; 7] = [
     "CodeContracts.PreInference",
     "CodeContracts.ArrayPurityI",
     "SVComp.SVCompCSharp",
+    "Interproc.Summaries",
 ];
 
-/// The subjects in Table III row order.
-pub const SUBJECTS: [&str; 4] = ["Algorithmia", "CodeContracts", "DSA", "SVComp"];
+/// The subjects in Table III row order, plus the multi-function extension.
+pub const SUBJECTS: [&str; 5] = ["Algorithmia", "CodeContracts", "DSA", "SVComp", "Interproc"];
 
 /// Per-subject corpus characteristics for Table III.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,8 +209,7 @@ mod tests {
         assert!(!subjects.is_empty());
         for m in &subjects {
             let tp = m.compile();
-            let func = m.func(&tp);
-            let sites = check_sites(func);
+            let sites = m.ordered_sites(&tp);
             for t in &m.truths {
                 let of_kind: Vec<_> = sites.iter().filter(|s| s.id.kind == t.kind).collect();
                 assert!(
@@ -241,9 +257,11 @@ mod tests {
     fn entry_functions_exist_and_have_checkable_sites() {
         for m in all_subjects() {
             let tp = m.compile();
-            let func = m.func(&tp);
+            // Multi-function subjects may keep every check inside helpers,
+            // so the requirement is program-wide reachability of at least
+            // one site, not a site in the entry function itself.
             assert!(
-                !check_sites(func).is_empty(),
+                !m.ordered_sites(&tp).is_empty(),
                 "{}::{} has no check sites at all",
                 m.namespace,
                 m.name

@@ -87,6 +87,11 @@ pub enum PathOutcome {
     /// Hit the executor's step budget (looping too long); treated as neither
     /// passing nor failing and discarded by the test generator.
     OutOfFuel,
+    /// Exceeded the executor's call-depth bound (runaway recursion); like
+    /// [`PathOutcome::OutOfFuel`], neither passing nor failing, but surfaced
+    /// distinctly so run classification can tell recursion blowup apart
+    /// from loop blowup.
+    CallDepthExceeded,
 }
 
 impl PathOutcome {

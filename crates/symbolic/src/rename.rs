@@ -1,0 +1,292 @@
+//! Whole-formula structural rewrites for interprocedural summaries.
+//!
+//! Two operations, both structure-preserving (they rebuild interned nodes
+//! via the `intern()` seams, never through the folding builders, so a
+//! rewritten formula displays exactly like the original modulo names):
+//!
+//! * [`rename_formula`] — α-renaming of parameter names, used when a
+//!   callee's inferred ψ (over its own parameter names) is stored in the
+//!   summary table keyed by the canonical `%i` positional form.
+//! * [`apply_actuals`] — substitution of call-site actuals into a stored
+//!   `%i`-form ψ: integer parameters become the actual's symbolic term,
+//!   reference parameters become the actual's origin place, boolean
+//!   parameters become the actual's origin name (or a constant when the
+//!   actual has no symbolic origin).
+
+use crate::formula::Formula;
+use crate::pred::Pred;
+use crate::term::{Place, PlaceNode, SymVar, SymVarNode, Term, TermNode};
+
+/// Renames parameter names throughout a formula: integer variables,
+/// reference place roots, and boolean variables whose name appears in
+/// `map` are rewritten to the mapped name. Quantifier-bound variables
+/// shadow map entries of the same name.
+pub fn rename_formula(f: &Formula, map: &[(String, String)]) -> Formula {
+    match f {
+        Formula::Pred(p) => Formula::Pred(rename_pred(p, map)),
+        Formula::Not(inner) => Formula::Not(Box::new(rename_formula(inner, map))),
+        Formula::And(parts) => Formula::And(parts.iter().map(|p| rename_formula(p, map)).collect()),
+        Formula::Or(parts) => Formula::Or(parts.iter().map(|p| rename_formula(p, map)).collect()),
+        Formula::Implies(a, b) => {
+            Formula::Implies(Box::new(rename_formula(a, map)), Box::new(rename_formula(b, map)))
+        }
+        Formula::Quant { q, var, body } => {
+            let shadowed: Vec<(String, String)> =
+                map.iter().filter(|(from, _)| from != var).cloned().collect();
+            Formula::Quant {
+                q: *q,
+                var: var.clone(),
+                body: Box::new(rename_formula(body, &shadowed)),
+            }
+        }
+    }
+}
+
+fn rename_pred(p: &Pred, map: &[(String, String)]) -> Pred {
+    let lookup = |name: &str| map.iter().find(|(from, _)| from == name).map(|(_, to)| to.clone());
+    match p {
+        Pred::Cmp(op, a, b) => Pred::Cmp(*op, rename_term(a, map), rename_term(b, map)),
+        Pred::Null { place, positive } => {
+            Pred::Null { place: rename_place(place, map), positive: *positive }
+        }
+        Pred::BoolVar { name, positive } => match lookup(name) {
+            Some(to) => Pred::BoolVar { name: to, positive: *positive },
+            None => p.clone(),
+        },
+        Pred::IsSpace { arg, positive } => {
+            Pred::IsSpace { arg: rename_term(arg, map), positive: *positive }
+        }
+        Pred::Const(_) => p.clone(),
+    }
+}
+
+fn rename_term(t: &Term, map: &[(String, String)]) -> Term {
+    match t.node() {
+        TermNode::Const(_) => *t,
+        TermNode::Var(v) => TermNode::Var(rename_symvar(v, map)).intern(),
+        TermNode::Add(a, b) => TermNode::Add(rename_term(a, map), rename_term(b, map)).intern(),
+        TermNode::Sub(a, b) => TermNode::Sub(rename_term(a, map), rename_term(b, map)).intern(),
+        TermNode::Neg(a) => TermNode::Neg(rename_term(a, map)).intern(),
+        TermNode::Mul(k, a) => TermNode::Mul(*k, rename_term(a, map)).intern(),
+        TermNode::Div(a, k) => TermNode::Div(rename_term(a, map), *k).intern(),
+        TermNode::Rem(a, k) => TermNode::Rem(rename_term(a, map), *k).intern(),
+    }
+}
+
+fn rename_symvar(v: &SymVar, map: &[(String, String)]) -> SymVar {
+    match v.node() {
+        SymVarNode::Int(name) => match map.iter().find(|(from, _)| from == name) {
+            Some((_, to)) => SymVarNode::Int(to.clone()).intern(),
+            None => *v,
+        },
+        SymVarNode::Len(place) => SymVarNode::Len(rename_place(place, map)).intern(),
+        SymVarNode::IntElem(place, ix) => {
+            SymVarNode::IntElem(rename_place(place, map), rename_term(ix, map)).intern()
+        }
+        SymVarNode::Char(place, ix) => {
+            SymVarNode::Char(rename_place(place, map), rename_term(ix, map)).intern()
+        }
+    }
+}
+
+fn rename_place(p: &Place, map: &[(String, String)]) -> Place {
+    match p.node() {
+        PlaceNode::Param(name) => match map.iter().find(|(from, _)| from == name) {
+            Some((_, to)) => PlaceNode::Param(to.clone()).intern(),
+            None => *p,
+        },
+        PlaceNode::Elem(base, ix) => {
+            PlaceNode::Elem(rename_place(base, map), rename_term(ix, map)).intern()
+        }
+    }
+}
+
+/// What a callee parameter is bound to at a call site, for
+/// [`apply_actuals`]. Bindings are positional: index `i` binds parameter
+/// `%i` of the stored canonical formula.
+#[derive(Debug, Clone)]
+pub enum ActualBinding {
+    /// An integer actual: its symbolic term.
+    Int(Term),
+    /// A reference actual (string or array): its symbolic origin place.
+    Ref(Place),
+    /// A boolean actual: its symbolic origin name, if it is a direct
+    /// parameter reference, plus its concrete value for the originless case.
+    Bool { origin: Option<String>, value: bool },
+}
+
+/// Substitutes positional actuals into a canonical (`%i`-named) formula.
+///
+/// Integer parameters are replaced term-for-term; reference parameters are
+/// replaced at the place level (so `len(%0)` becomes `len(a)` and
+/// `%0[k] == null` becomes `a[k] == null`); boolean parameters become the
+/// origin variable, or a constant truth when the actual carries no origin.
+pub fn apply_actuals(f: &Formula, actuals: &[ActualBinding]) -> Formula {
+    match f {
+        Formula::Pred(p) => Formula::Pred(apply_pred(p, actuals)),
+        Formula::Not(inner) => Formula::Not(Box::new(apply_actuals(inner, actuals))),
+        Formula::And(parts) => {
+            Formula::And(parts.iter().map(|p| apply_actuals(p, actuals)).collect())
+        }
+        Formula::Or(parts) => {
+            Formula::Or(parts.iter().map(|p| apply_actuals(p, actuals)).collect())
+        }
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(apply_actuals(a, actuals)),
+            Box::new(apply_actuals(b, actuals)),
+        ),
+        // Canonical parameters are `%i`, which can never collide with a
+        // quantifier-bound variable (those are plain identifiers), so no
+        // shadowing filter is needed.
+        Formula::Quant { q, var, body } => {
+            Formula::Quant { q: *q, var: var.clone(), body: Box::new(apply_actuals(body, actuals)) }
+        }
+    }
+}
+
+/// Parses `%i` placeholder names to their positional index.
+fn placeholder_index(name: &str) -> Option<usize> {
+    name.strip_prefix('%').and_then(|d| d.parse().ok())
+}
+
+fn apply_pred(p: &Pred, actuals: &[ActualBinding]) -> Pred {
+    match p {
+        Pred::Cmp(op, a, b) => Pred::Cmp(*op, apply_term(a, actuals), apply_term(b, actuals)),
+        Pred::Null { place, positive } => {
+            Pred::Null { place: apply_place(place, actuals), positive: *positive }
+        }
+        Pred::BoolVar { name, positive } => {
+            match placeholder_index(name).and_then(|i| actuals.get(i)) {
+                Some(ActualBinding::Bool { origin: Some(orig), .. }) => {
+                    Pred::BoolVar { name: orig.clone(), positive: *positive }
+                }
+                Some(ActualBinding::Bool { origin: None, value }) => {
+                    Pred::Const(*value == *positive)
+                }
+                _ => p.clone(),
+            }
+        }
+        Pred::IsSpace { arg, positive } => {
+            Pred::IsSpace { arg: apply_term(arg, actuals), positive: *positive }
+        }
+        Pred::Const(_) => p.clone(),
+    }
+}
+
+fn apply_term(t: &Term, actuals: &[ActualBinding]) -> Term {
+    match t.node() {
+        TermNode::Const(_) => *t,
+        TermNode::Var(v) => apply_symvar(v, actuals),
+        TermNode::Add(a, b) => {
+            TermNode::Add(apply_term(a, actuals), apply_term(b, actuals)).intern()
+        }
+        TermNode::Sub(a, b) => {
+            TermNode::Sub(apply_term(a, actuals), apply_term(b, actuals)).intern()
+        }
+        TermNode::Neg(a) => TermNode::Neg(apply_term(a, actuals)).intern(),
+        TermNode::Mul(k, a) => TermNode::Mul(*k, apply_term(a, actuals)).intern(),
+        TermNode::Div(a, k) => TermNode::Div(apply_term(a, actuals), *k).intern(),
+        TermNode::Rem(a, k) => TermNode::Rem(apply_term(a, actuals), *k).intern(),
+    }
+}
+
+fn apply_symvar(v: &SymVar, actuals: &[ActualBinding]) -> Term {
+    match v.node() {
+        SymVarNode::Int(name) => match placeholder_index(name).and_then(|i| actuals.get(i)) {
+            Some(ActualBinding::Int(term)) => *term,
+            _ => TermNode::Var(*v).intern(),
+        },
+        SymVarNode::Len(place) => {
+            TermNode::Var(SymVarNode::Len(apply_place(place, actuals)).intern()).intern()
+        }
+        SymVarNode::IntElem(place, ix) => TermNode::Var(
+            SymVarNode::IntElem(apply_place(place, actuals), apply_term(ix, actuals)).intern(),
+        )
+        .intern(),
+        SymVarNode::Char(place, ix) => TermNode::Var(
+            SymVarNode::Char(apply_place(place, actuals), apply_term(ix, actuals)).intern(),
+        )
+        .intern(),
+    }
+}
+
+fn apply_place(p: &Place, actuals: &[ActualBinding]) -> Place {
+    match p.node() {
+        PlaceNode::Param(name) => match placeholder_index(name).and_then(|i| actuals.get(i)) {
+            Some(ActualBinding::Ref(origin)) => *origin,
+            _ => *p,
+        },
+        PlaceNode::Elem(base, ix) => {
+            PlaceNode::Elem(apply_place(base, actuals), apply_term(ix, actuals)).intern()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::CmpOp;
+
+    #[test]
+    fn rename_reaches_vars_places_and_bools() {
+        let map = vec![("x".to_string(), "%0".to_string()), ("s".to_string(), "%1".to_string())];
+        let f = Formula::and([
+            Formula::pred(Pred::cmp(CmpOp::Gt, Term::var("x"), Term::int(0))),
+            Formula::pred(Pred::not_null(Place::param("s"))),
+            Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("x"), Term::len(Place::param("s")))),
+            Formula::pred(Pred::BoolVar { name: "x".into(), positive: false }),
+        ]);
+        let renamed = rename_formula(&f, &map);
+        assert_eq!(renamed.to_string(), "%0 > 0 && %1 != null && %0 < len(%1) && !%0");
+    }
+
+    #[test]
+    fn rename_respects_quantifier_shadowing() {
+        let map = vec![("i".to_string(), "%0".to_string())];
+        let f =
+            Formula::exists("i", Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("i"), Term::int(3))));
+        assert_eq!(rename_formula(&f, &map), f, "bound i shadows the parameter rename");
+    }
+
+    #[test]
+    fn apply_substitutes_int_terms() {
+        // ψ(%0) = %0 != 0, actual = b + 1
+        let f = Formula::pred(Pred::cmp(CmpOp::Ne, Term::var("%0"), Term::int(0)));
+        let actual = Term::var("b").add(Term::int(1));
+        let g = apply_actuals(&f, &[ActualBinding::Int(actual)]);
+        assert_eq!(g.to_string(), "(b + 1) != 0");
+    }
+
+    #[test]
+    fn apply_substitutes_places_inside_len_and_elems() {
+        // ψ(%0, %1) = %0 != null && %1 < len(%0) && %0[%1] == 0
+        let p0 = Place::param("%0");
+        let f = Formula::and([
+            Formula::pred(Pred::not_null(p0)),
+            Formula::pred(Pred::cmp(CmpOp::Lt, Term::var("%1"), Term::len(p0))),
+            Formula::pred(Pred::cmp(CmpOp::Eq, Term::int_elem(p0, Term::var("%1")), Term::int(0))),
+        ]);
+        let g = apply_actuals(
+            &f,
+            &[ActualBinding::Ref(Place::param("data")), ActualBinding::Int(Term::var("k"))],
+        );
+        assert_eq!(g.to_string(), "data != null && k < len(data) && data[k] == 0");
+    }
+
+    #[test]
+    fn apply_resolves_bools_by_origin_or_constant() {
+        let f = Formula::pred(Pred::BoolVar { name: "%0".into(), positive: true });
+        let named =
+            apply_actuals(&f, &[ActualBinding::Bool { origin: Some("flag".into()), value: true }]);
+        assert_eq!(named.to_string(), "flag");
+        let constant = apply_actuals(&f, &[ActualBinding::Bool { origin: None, value: false }]);
+        assert_eq!(constant.to_string(), "false");
+    }
+
+    #[test]
+    fn apply_leaves_nonplaceholder_names_alone() {
+        let f = Formula::pred(Pred::cmp(CmpOp::Gt, Term::var("x"), Term::var("%0")));
+        let g = apply_actuals(&f, &[ActualBinding::Int(Term::int(7))]);
+        assert_eq!(g.to_string(), "x > 7");
+    }
+}

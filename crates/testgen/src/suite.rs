@@ -66,7 +66,7 @@ impl Suite {
         let mut fail = Vec::new();
         for r in &self.runs {
             match r.path.outcome {
-                PathOutcome::OutOfFuel => continue,
+                PathOutcome::OutOfFuel | PathOutcome::CallDepthExceeded => continue,
                 PathOutcome::Failed(f) if f == acl => fail.push(r),
                 // A run that failed at a *different* location still passed
                 // this one (it either reached-without-violating or never

@@ -13,7 +13,7 @@ cargo clippy --workspace --all-targets --quiet -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
-echo "== perf smoke (BENCH_solver_cache.json, BENCH_solver_tiers.json, BENCH_solver_incremental.json)"
+echo "== perf smoke (BENCH_solver_cache.json, BENCH_solver_tiers.json, BENCH_solver_incremental.json, BENCH_interproc.json)"
 cargo build --release -p bench --quiet
 ./target/release/perf_smoke
 # The solver cache must pay for itself: with hash-consed terms the key is
@@ -77,6 +77,24 @@ assert ratio <= 1.0, (
     f"incremental solving {inc['incremental_ms']:.2f} ms is slower than "
     f"scratch {inc['scratch_ms']:.2f} ms ({ratio:.3f}x, limit 1.0)")
 print(f"solver incremental gate: incremental/scratch {ratio:.3f}x (limit 1.0)")
+EOF
+# Summary application must beat inlining on the multi-function slice: the
+# steady-state (warm-table) request path collapses callee path spaces to
+# ψ atoms, so generation + inference must come in at no more than 0.85x
+# the inline-mode wall clock. Equivalence of the inferred ψ is the tests'
+# job — tests/interproc_differential.rs.
+python3 - <<'EOF'
+import json
+ip = json.load(open("BENCH_interproc.json"))
+ratio = ip["summary_vs_inline_ratio"]
+assert ratio <= 0.85, (
+    f"summary-mode inference {ip['summary_ms']:.2f} ms is {ratio:.3f}x inline "
+    f"{ip['inline_ms']:.2f} ms over {ip['methods']} methods (limit 0.85)")
+assert ip["table_hits"] >= ip["table_entries"] > 0, (
+    f"summary table was not warm: {ip['table_hits']} hits over "
+    f"{ip['table_entries']} entries")
+print(f"interproc gate: summary/inline {ratio:.3f}x (limit 0.85) over "
+      f"{ip['methods']} methods, {ip['summary_applies']} summary applies")
 EOF
 
 echo "== trace smoke (preinfer --trace-out)"
@@ -177,6 +195,49 @@ kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "preinferd exited non-zero after SIGTERM"; exit 1; }
 trap - EXIT
 rm -f server_smoke.out server_metrics.txt server_trace.jsonl
+
+echo "== interproc summary smoke (preinferd --interproc summary)"
+# A summary-mode daemon over two passes of the multi-function slice: every
+# served ψ stays byte-identical to the offline (inline) pipeline, the
+# daemon-lifetime `summaries` stats block is populated, and the second
+# pass strictly increases the table hit rate (α-equivalent callee closures
+# resolve from the shared table instead of being re-inferred).
+./target/release/preinferd --addr 127.0.0.1:0 --interproc summary >summary_smoke.out 2>&1 &
+SUMMARY_PID=$!
+trap 'kill "$SUMMARY_PID" 2>/dev/null || true; rm -f summary_smoke.out summary_stats1.json summary_stats2.json' EXIT
+SADDR=""
+for _ in $(seq 1 100); do
+    SADDR="$(sed -n 's/^listening on //p' summary_smoke.out | head -n1)"
+    [ -n "$SADDR" ] && break
+    sleep 0.1
+done
+[ -n "$SADDR" ] || { echo "summary-mode preinferd never announced its address"; exit 1; }
+for SUBJECT in lift_guard chain_depth diamond branchy_scale; do
+    ./target/release/preinfer-client --addr "$SADDR" corpus "$SUBJECT" --check-offline
+done
+./target/release/preinfer-client --addr "$SADDR" stats > summary_stats1.json
+for SUBJECT in lift_guard chain_depth diamond branchy_scale; do
+    ./target/release/preinfer-client --addr "$SADDR" corpus "$SUBJECT" --check-offline
+done
+./target/release/preinfer-client --addr "$SADDR" stats > summary_stats2.json
+python3 - <<'EOF'
+import json
+s1 = json.load(open("summary_stats1.json"))["summaries"]
+s2 = json.load(open("summary_stats2.json"))["summaries"]
+assert s1["mode"] == "summary", s1
+for field in ("inserts", "entries", "applies", "misses"):
+    assert s1[field] > 0, f"cold pass left summaries.{field} at zero: {s1}"
+rate1 = s1["hits"] / (s1["hits"] + s1["misses"])
+rate2 = s2["hits"] / (s2["hits"] + s2["misses"])
+assert s2["hits"] > s1["hits"], f"second pass never hit the table: {s1} -> {s2}"
+assert rate2 > rate1, f"hit rate did not increase across passes: {rate1:.3f} -> {rate2:.3f}"
+print(f"interproc summary smoke: {s2['entries']} table entries, hit rate "
+      f"{rate1:.1%} -> {rate2:.1%}, {s2['applies']} applies, {s2['fallbacks']} fallbacks")
+EOF
+kill -TERM "$SUMMARY_PID"
+wait "$SUMMARY_PID" || { echo "summary-mode preinferd exited non-zero after SIGTERM"; exit 1; }
+trap - EXIT
+rm -f summary_smoke.out summary_stats1.json summary_stats2.json
 
 echo "== router smoke (2 shards + preinfer-router)"
 # Two shard daemons (one per io core) fronted by the key-affinity router;

@@ -4,8 +4,8 @@
 //! ```text
 //! preinfer path/to/program.ml [--fn NAME] [--baselines] [--tests N]
 //!          [--jobs N] [--no-solver-cache] [--solver-backend tiered|simplex]
-//!          [--incremental on|off] [--timeout-ms N] [--verbose]
-//!          [--trace-out FILE]
+//!          [--incremental on|off] [--interproc inline|summary]
+//!          [--timeout-ms N] [--verbose] [--trace-out FILE]
 //! ```
 //!
 //! Generates a test suite for the function (default: the first one), then
@@ -29,6 +29,7 @@ struct Options {
     solver_cache: bool,
     backend: BackendKind,
     incremental: bool,
+    interproc: InterprocMode,
     timeout_ms: Option<u64>,
     verbose: bool,
     trace_out: Option<String>,
@@ -38,8 +39,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: preinfer <program.ml> [--fn NAME] [--baselines] [--tests N]\n\
          \x20               [--jobs N] [--no-solver-cache] [--solver-backend B]\n\
-         \x20               [--incremental on|off] [--timeout-ms N] [--verbose]\n\
-         \x20               [--trace-out FILE]\n\
+         \x20               [--incremental on|off] [--interproc inline|summary]\n\
+         \x20               [--timeout-ms N] [--verbose] [--trace-out FILE]\n\
          \n\
          Infers preconditions for every assertion-containing location that\n\
          generated tests can make fail, per the PreInfer (DSN 2018) pipeline.\n\
@@ -58,6 +59,12 @@ fn usage() -> ! {
          \x20                  every query from scratch. Results are\n\
          \x20                  byte-identical either way — this is a speed\n\
          \x20                  knob, not a semantic one\n\
+         --interproc M      `inline` (default) unrolls callee bodies into the\n\
+         \x20                  caller's path condition; `summary` infers each\n\
+         \x20                  non-recursive callee's ψ once bottom-up and\n\
+         \x20                  applies ψ(actuals) at call sites instead. ψ for\n\
+         \x20                  the entry is identical or strictly stronger\n\
+         \x20                  (callee-internal atoms drop out of disjuncts)\n\
          --timeout-ms N     wall-clock deadline for the whole run, checked\n\
          \x20                  between solver calls; a partial (still sound)\n\
          \x20                  result is reported as timed out\n\
@@ -84,6 +91,7 @@ fn parse_args() -> Options {
         solver_cache: true,
         backend: BackendKind::default(),
         incremental: true,
+        interproc: InterprocMode::default(),
         timeout_ms: None,
         verbose: false,
         trace_out: None,
@@ -104,6 +112,9 @@ fn parse_args() -> Options {
                     Some("off") => false,
                     _ => usage(),
                 }
+            }
+            "--interproc" => {
+                opts.interproc = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
             }
             "--tests" => {
                 opts.max_runs =
@@ -183,6 +194,32 @@ fn main() -> ExitCode {
     tg.solver.incremental = opts.incremental;
     tg.solver.incremental_stats = inc_stats.clone();
     tg.trace = sink.clone();
+    // Summary mode: infer every non-recursive reachable callee's ψ first
+    // (bottom-up), then point the executors at the resolved summaries.
+    let mut summary_build = None;
+    if opts.interproc == InterprocMode::Summary {
+        let table = SummaryTable::new();
+        let build_cfg = SummaryBuildConfig {
+            testgen: tg.clone(),
+            prune: {
+                let mut p = PreInferConfig::default().prune;
+                p.solver_cache = cache.clone();
+                p.solver.deadline = deadline.clone();
+                p.solver.backend = opts.backend;
+                p.solver.tiers = tiers.clone();
+                p.solver.incremental = opts.incremental;
+                p
+            },
+            jobs: opts.jobs,
+            stats: Default::default(),
+        };
+        println!("building callee ψ-summaries for `{func_name}` …");
+        let build = build_summaries(&program, &func_name, &table, &build_cfg);
+        if !build.resolved.is_empty() {
+            tg.concolic.summaries = Some(build.resolved.clone());
+        }
+        summary_build = Some(build);
+    }
     println!("generating tests for `{func_name}` …");
     let suite = generate_tests(&program, &func_name, &tg);
     let func = program.func(&func_name).expect("checked above");
@@ -208,6 +245,11 @@ fn main() -> ExitCode {
     cfg.prune.solver.incremental = opts.incremental;
     cfg.prune.solver.incremental_stats = inc_stats.clone();
     cfg.prune.trace = sink.clone();
+    if let Some(build) = &summary_build {
+        if !build.resolved.is_empty() {
+            cfg.prune.concolic.summaries = Some(build.resolved.clone());
+        }
+    }
     let start = std::time::Instant::now();
     let inferred = infer_all_preconditions(&program, &func_name, &suite, &cfg, opts.jobs);
     let elapsed = start.elapsed();
@@ -315,6 +357,22 @@ fn main() -> ExitCode {
         );
     } else {
         println!("incremental solving disabled (--incremental off)");
+    }
+    if let Some(build) = &summary_build {
+        let stats = &build.resolved.stats;
+        print!(
+            "interproc summaries: {} callee(s) summarized, {} apply(ies) / {} fallback(s)",
+            build.summarized.len(),
+            stats.applies(),
+            stats.fallbacks(),
+        );
+        if build.fallbacks.is_empty() {
+            println!();
+        } else {
+            let listed: Vec<String> =
+                build.fallbacks.iter().map(|(f, r)| format!("{f} ({r})")).collect();
+            println!("; inlined: {}", listed.join(", "));
+        }
     }
     finish_trace(&opts, &sink, &func_name, run_start, inferred.len());
     ExitCode::SUCCESS

@@ -53,12 +53,12 @@ pub use testgen;
 /// Convenient access to the most-used items.
 pub mod prelude {
     pub use baselines::{infer_dysy, infer_fixit};
-    pub use concolic::{run_concolic, ConcolicConfig};
+    pub use concolic::{run_concolic, ConcolicConfig, InterprocMode};
     pub use interp::{run, InterpConfig};
     pub use minilang::{compile, InputValue, MethodEntryState};
     pub use preinfer_core::{
-        evaluate_precondition, infer_all_preconditions, infer_precondition, PreInferConfig,
-        ProbeConfig,
+        build_summaries, evaluate_precondition, infer_all_preconditions, infer_precondition,
+        PreInferConfig, ProbeConfig, SummaryBuildConfig, SummaryTable,
     };
     pub use solver::{
         solve_preds, solve_preds_cached, BackendKind, CacheStats, Deadline, FuncSig,
