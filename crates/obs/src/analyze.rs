@@ -21,6 +21,26 @@
 //! nesting), so the parser here is a small flat-object reader rather than
 //! a full JSON implementation; it is shared by `preinfer --trace-out`'s
 //! stage breakdown and the `preinfer-trace` binary.
+//!
+//! ## Multi-process merges
+//!
+//! A stitched distributed trace (the router's `trace --trace-id X` verb)
+//! concatenates the line streams of several processes, each headed by its
+//! own `trace_meta` line. Span ids are process-local (every sink numbers
+//! from 1), so [`TraceAnalysis::from_lines`] splits the input into
+//! sections at `trace_meta` boundaries and offsets each section's ids by
+//! a per-section base before inserting them into one tree. The first
+//! populated section is the *primary* (the tier that minted the trace —
+//! the router in a routed topology); every later section's `trace_meta`
+//! names its parent span **in the primary's numbering** (the propagated
+//! `parent_span_id`), and the section is grafted there: its `run` summary
+//! becomes a synthesized `run` span holding the section's roots, so a
+//! shard's service time appears as one node under the router's
+//! `upstream_rtt`. A named parent that never arrived degrades to extra
+//! roots (orphan sections are tolerated, not an error), duplicate span
+//! ids across shards cannot alias (namespacing is positional), and no
+//! arithmetic ever mixes `t_us` timestamps from different sections —
+//! they are process-relative, so cross-host clock skew is moot.
 
 use std::collections::BTreeMap;
 
@@ -216,6 +236,9 @@ pub struct Span {
     pub solver_us: u64,
     /// Number of such solver calls.
     pub solver_calls: u64,
+    /// The recording process (from the section's `trace_meta`), empty for
+    /// traces recorded without one.
+    pub process: String,
 }
 
 /// One `solver_call` event.
@@ -261,17 +284,40 @@ pub struct PathStep {
     pub dur_us: u64,
 }
 
-/// A fully reconstructed trace.
+/// A fully reconstructed trace — possibly merged from several processes.
 #[derive(Debug, Default)]
 pub struct TraceAnalysis {
     pub spans: BTreeMap<u64, Span>,
     /// Spans with no parent, in start order.
     pub roots: Vec<u64>,
     pub solver_calls: Vec<SolverCall>,
+    /// The primary section's `run` summary (a shard section's `run`
+    /// becomes a synthesized span instead — see the module docs).
     pub run: Option<RunInfo>,
     /// Total lines seen / lines that failed to parse as flat objects.
     pub lines: usize,
     pub skipped: usize,
+    /// The shared 128-bit trace id, from the first `trace_meta` line.
+    pub trace_id: Option<String>,
+    /// Process labels of populated sections, in input order. Empty for a
+    /// trace recorded without a `trace_meta` header.
+    pub processes: Vec<String>,
+}
+
+/// One per-process section of the input stream, delimited by `trace_meta`
+/// lines. Span ids inside a section are process-local; `base` namespaces
+/// them in the merged tree.
+struct Section {
+    process: String,
+    /// Parent span in the primary section's numbering, from the
+    /// propagated trace context.
+    parent_span: Option<u64>,
+    base: u64,
+    run: Option<RunInfo>,
+    /// Remapped ids of this section's parentless spans, in start order.
+    roots: Vec<u64>,
+    /// Whether any span / solver / run event landed here.
+    populated: bool,
 }
 
 impl TraceAnalysis {
@@ -280,6 +326,18 @@ impl TraceAnalysis {
         lines: impl IntoIterator<Item = &'a str>,
     ) -> Result<TraceAnalysis, String> {
         let mut a = TraceAnalysis::default();
+        // Section 0 is the implicit pre-`trace_meta` prefix (a plain
+        // `--trace-out` stream has no meta at all); every `trace_meta`
+        // line opens a new section whose span ids get a fresh base.
+        let mut sections = vec![Section {
+            process: String::new(),
+            parent_span: None,
+            base: 0,
+            run: None,
+            roots: Vec::new(),
+            populated: false,
+        }];
+        let mut next_id = 0u64; // highest remapped span id seen so far
         for line in lines {
             if line.trim().is_empty() {
                 continue;
@@ -292,15 +350,36 @@ impl TraceAnalysis {
             let get_u = |k: &str| fields.get(k).and_then(Field::as_u64);
             let get_s =
                 |k: &str| fields.get(k).and_then(Field::as_str).unwrap_or_default().to_string();
+            if fields.get("ev").and_then(Field::as_str) == Some("trace_meta") {
+                if a.trace_id.is_none() {
+                    let tid = get_s("trace_id");
+                    if !tid.is_empty() {
+                        a.trace_id = Some(tid);
+                    }
+                }
+                sections.push(Section {
+                    process: get_s("process"),
+                    parent_span: get_u("parent_span"),
+                    base: next_id,
+                    run: None,
+                    roots: Vec::new(),
+                    populated: false,
+                });
+                continue;
+            }
+            let sec = sections.last_mut().expect("sections is never empty");
             match fields.get("ev").and_then(Field::as_str) {
                 Some("span_start") => {
-                    let Some(id) = get_u("id") else { continue };
-                    let parent = get_u("parent");
+                    let Some(raw) = get_u("id") else { continue };
+                    sec.populated = true;
+                    let id = raw + sec.base;
+                    next_id = next_id.max(id);
+                    let parent = get_u("parent").map(|p| p + sec.base);
                     if let Some(p) = parent.and_then(|p| a.spans.get_mut(&p)) {
                         p.children.push(id);
                     }
                     if parent.is_none() {
-                        a.roots.push(id);
+                        sec.roots.push(id);
                     }
                     a.spans.insert(
                         id,
@@ -312,17 +391,22 @@ impl TraceAnalysis {
                             children: Vec::new(),
                             solver_us: 0,
                             solver_calls: 0,
+                            process: sec.process.clone(),
                         },
                     );
                 }
                 Some("span_end") => {
-                    if let Some(span) = get_u("id").and_then(|id| a.spans.get_mut(&id)) {
+                    sec.populated = true;
+                    if let Some(span) =
+                        get_u("id").map(|id| id + sec.base).and_then(|id| a.spans.get_mut(&id))
+                    {
                         span.dur_us = get_u("dur_us").unwrap_or(0);
                     }
                 }
                 Some("solver_call") => {
+                    sec.populated = true;
                     let call = SolverCall {
-                        span: get_u("span"),
+                        span: get_u("span").map(|s| s + sec.base),
                         preds: get_u("preds").unwrap_or(0),
                         verdict: get_s("verdict"),
                         lookup: get_s("lookup"),
@@ -337,7 +421,8 @@ impl TraceAnalysis {
                     a.solver_calls.push(call);
                 }
                 Some("run") => {
-                    a.run =
+                    sec.populated = true;
+                    sec.run =
                         Some(RunInfo { func: get_s("func"), dur_us: get_u("dur_us").unwrap_or(0) })
                 }
                 _ => {}
@@ -345,6 +430,73 @@ impl TraceAnalysis {
         }
         if a.lines == a.skipped {
             return Err("no parseable trace lines".to_string());
+        }
+
+        // Stitch: the first populated section is the primary tree; every
+        // later populated section grafts under the primary span its
+        // `trace_meta` named. A section with a `run` summary gets a
+        // synthesized `run` span holding its roots (the shard's service
+        // time as one node); one without grafts its roots directly. A
+        // parent id that resolves to no recorded span leaves the section
+        // as extra roots — orphans are tolerated, not an error.
+        let populated: Vec<usize> =
+            (0..sections.len()).filter(|&i| sections[i].populated).collect();
+        let Some(&pi) = populated.first() else { return Ok(a) };
+        let primary_base = sections[pi].base;
+        a.run = sections[pi].run.take();
+        a.roots = std::mem::take(&mut sections[pi].roots);
+        if !sections[pi].process.is_empty() {
+            a.processes.push(sections[pi].process.clone());
+        }
+        for &i in &populated[1..] {
+            let sec = &mut sections[i];
+            let run = sec.run.take();
+            let roots = std::mem::take(&mut sec.roots);
+            let process = sec.process.clone();
+            let parent =
+                sec.parent_span.map(|p| p + primary_base).filter(|p| a.spans.contains_key(p));
+            if !process.is_empty() {
+                a.processes.push(process.clone());
+            }
+            match run {
+                Some(run) => {
+                    next_id += 1;
+                    let id = next_id;
+                    for r in &roots {
+                        if let Some(sp) = a.spans.get_mut(r) {
+                            sp.parent = Some(id);
+                        }
+                    }
+                    match parent {
+                        Some(p) => a.spans.get_mut(&p).expect("filtered above").children.push(id),
+                        None => a.roots.push(id),
+                    }
+                    a.spans.insert(
+                        id,
+                        Span {
+                            id,
+                            parent,
+                            stage: "run".to_string(),
+                            dur_us: run.dur_us,
+                            children: roots,
+                            solver_us: 0,
+                            solver_calls: 0,
+                            process,
+                        },
+                    );
+                }
+                None => match parent {
+                    Some(p) => {
+                        for r in &roots {
+                            if let Some(sp) = a.spans.get_mut(r) {
+                                sp.parent = Some(p);
+                            }
+                        }
+                        a.spans.get_mut(&p).expect("filtered above").children.extend(roots);
+                    }
+                    None => a.roots.extend(roots),
+                },
+            }
         }
         Ok(a)
     }
@@ -404,6 +556,32 @@ impl TraceAnalysis {
     pub fn exclusive_total_us(&self) -> u64 {
         self.spans.keys().map(|&id| self.exclusive_us(id)).sum::<u64>()
             + self.solver_calls.iter().map(|c| c.dur_us).sum::<u64>()
+    }
+
+    /// Exclusive self-time per process, in [`Self::processes`] order —
+    /// the cross-tier "where did the time go" split of a merged trace.
+    /// Solver calls attribute to their enclosing span's process; calls
+    /// outside any span fall to the first process. Empty for a trace
+    /// recorded without a `trace_meta` header.
+    pub fn process_totals(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for p in &self.processes {
+            // Several shard sections share one process label; merge them.
+            if !out.iter().any(|(q, _)| q == p) {
+                out.push((p.clone(), 0));
+            }
+        }
+        for span in self.spans.values() {
+            if let Some(i) = out.iter().position(|(p, _)| p == &span.process) {
+                out[i].1 += self.exclusive_us(span.id) + span.solver_us;
+            }
+        }
+        let orphan_solver: u64 =
+            self.solver_calls.iter().filter(|c| c.span.is_none()).map(|c| c.dur_us).sum();
+        if let Some(first) = out.first_mut() {
+            first.1 += orphan_solver;
+        }
+        out
     }
 
     /// The critical path: starting from the heaviest root span, descend
@@ -597,5 +775,157 @@ mod tests {
     fn empty_input_is_an_error() {
         assert!(TraceAnalysis::from_lines([]).is_err());
         assert!(TraceAnalysis::from_lines(["garbage", "more garbage"]).is_err());
+    }
+
+    const TID: &str = "00112233445566778899aabbccddeeff";
+
+    /// A router section (flat spans) followed by a shard section whose
+    /// `trace_meta` names the router's `upstream_rtt` span: builds real
+    /// sinks, merges their lines, and checks the shard's work lands as a
+    /// synthesized `run` node under the rtt span.
+    #[test]
+    fn merged_sections_nest_shard_spans_under_router_rtt() {
+        let router = TraceSink::recording_in_trace("preinfer-router", TID, None);
+        let route = router.begin_span("route", None);
+        let decide = router.begin_span("route_decide", Some(route));
+        router.end_span(decide, "route_decide", Duration::from_micros(40));
+        let rtt = router.begin_span("upstream_rtt", Some(route));
+        router.end_span(rtt, "upstream_rtt", Duration::from_micros(5_000));
+        router.end_span(route, "route", Duration::from_micros(5_200));
+
+        let shard = TraceSink::recording_in_trace("preinferd", TID, Some(rtt));
+        {
+            let _t = shard.span(Stage::TestGen);
+            std::thread::sleep(Duration::from_millis(1));
+            shard.solver_call(2, "unsat", "miss", "interval", Duration::from_micros(300));
+        }
+        shard.event("run", &[("func", Val::S("m")), ("dur_us", Val::U(4_000))]);
+
+        let mut lines = router.lines();
+        lines.extend(shard.lines());
+        let a = TraceAnalysis::from_lines(lines.iter().map(String::as_str)).unwrap();
+
+        assert_eq!(a.trace_id.as_deref(), Some(TID));
+        assert_eq!(a.processes, vec!["preinfer-router", "preinferd"]);
+        // route + route_decide + upstream_rtt + shard testgen + synthesized run.
+        assert_eq!(a.spans.len(), 5);
+        assert_eq!(a.roots.len(), 1, "one merged tree, root = route");
+        assert!(a.run.is_none(), "shard run becomes a span, not the primary summary");
+        assert_eq!(a.wall_us(), 5_200, "wall clock is the router root");
+
+        let rtt_span = &a.spans[&rtt];
+        assert_eq!(rtt_span.children.len(), 1);
+        let run_id = rtt_span.children[0];
+        let run_span = &a.spans[&run_id];
+        assert_eq!(run_span.stage, "run");
+        assert_eq!(run_span.dur_us, 4_000);
+        assert_eq!(run_span.process, "preinferd");
+        assert_eq!(run_span.parent, Some(rtt));
+        // The shard's testgen span was renumbered past the router ids and
+        // reparented under the synthesized run node.
+        let testgen_id = run_span.children[0];
+        assert!(testgen_id > route && testgen_id > rtt);
+        assert_eq!(a.spans[&testgen_id].stage, "testgen");
+        assert_eq!(a.spans[&testgen_id].parent, Some(run_id));
+
+        // Critical path descends across the process boundary.
+        let path: Vec<String> = a.critical_path().into_iter().map(|s| s.stage).collect();
+        assert_eq!(path, vec!["route", "upstream_rtt", "run", "testgen"]);
+
+        // Cross-tier exclusive split: both tiers present, sums match the
+        // global exclusive total, and the total stays within wall clock.
+        let per = a.process_totals();
+        assert_eq!(per.len(), 2);
+        assert!(per.iter().all(|(_, us)| *us > 0));
+        assert_eq!(per.iter().map(|(_, us)| us).sum::<u64>(), a.exclusive_total_us());
+        assert!(a.exclusive_total_us() <= a.wall_us());
+    }
+
+    /// A section naming a parent span that never arrived must degrade to
+    /// extra roots, never an error or a dropped span.
+    #[test]
+    fn orphan_section_becomes_extra_roots() {
+        let router = TraceSink::recording_in_trace("preinfer-router", TID, None);
+        let route = router.begin_span("route", None);
+        router.end_span(route, "route", Duration::from_micros(900));
+
+        let shard = TraceSink::recording_in_trace("preinferd", TID, Some(77));
+        {
+            let _t = shard.span(Stage::Partition);
+        }
+        shard.event("run", &[("func", Val::S("m")), ("dur_us", Val::U(500))]);
+
+        let mut lines = router.lines();
+        lines.extend(shard.lines());
+        let a = TraceAnalysis::from_lines(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(a.roots.len(), 2, "router root + orphaned shard run");
+        let orphan = a.spans[a.roots.last().unwrap()].clone();
+        assert_eq!(orphan.stage, "run");
+        assert_eq!(orphan.parent, None);
+        assert_eq!(a.spans[&orphan.children[0]].stage, "partition");
+        // Without a primary `run` summary the wall clock sums the roots.
+        assert_eq!(a.wall_us(), 900 + 500);
+    }
+
+    /// Two shard sections reusing the same local span ids (every sink
+    /// numbers from 1) and the same trace id must not alias: namespacing
+    /// is positional, not id- or trace-id-keyed.
+    #[test]
+    fn duplicate_span_ids_across_shards_do_not_alias() {
+        let router = TraceSink::recording_in_trace("preinfer-router", TID, None);
+        let route = router.begin_span("route", None);
+        let rtt_a = router.begin_span("upstream_rtt", Some(route));
+        router.end_span(rtt_a, "upstream_rtt", Duration::from_micros(2_000));
+        let rtt_b = router.begin_span("upstream_rtt", Some(route));
+        router.end_span(rtt_b, "upstream_rtt", Duration::from_micros(3_000));
+        router.end_span(route, "route", Duration::from_micros(6_000));
+
+        let mut lines = router.lines();
+        for (parent, stage) in [(rtt_a, Stage::TestGen), (rtt_b, Stage::Prune)] {
+            let shard = TraceSink::recording_in_trace("preinferd", TID, Some(parent));
+            {
+                let _s = shard.span(stage);
+            }
+            shard.event("run", &[("func", Val::S("m")), ("dur_us", Val::U(1_000))]);
+            lines.extend(shard.lines());
+        }
+        let a = TraceAnalysis::from_lines(lines.iter().map(String::as_str)).unwrap();
+        // 3 router spans + 2 × (shard stage span + synthesized run).
+        assert_eq!(a.spans.len(), 7);
+        assert_eq!(a.processes, vec!["preinfer-router", "preinferd", "preinferd"]);
+        let run_a = a.spans[&rtt_a].children[0];
+        let run_b = a.spans[&rtt_b].children[0];
+        assert_ne!(run_a, run_b);
+        assert_eq!(a.spans[&a.spans[&run_a].children[0]].stage, "testgen");
+        assert_eq!(a.spans[&a.spans[&run_b].children[0]].stage, "prune");
+    }
+
+    /// Per-line `t_us` timestamps are process-relative and never enter
+    /// any duration arithmetic, so wildly skewed clocks across sections
+    /// change nothing in the merged analysis.
+    #[test]
+    fn cross_process_clock_skew_is_irrelevant() {
+        let merged = [
+            format!(r#"{{"ev":"trace_meta","seq":0,"t_us":0,"trace_id":"{TID}","process":"preinfer-router","parent_span":null}}"#),
+            r#"{"ev":"span_start","seq":1,"t_us":10,"id":1,"parent":null,"stage":"route"}"#.into(),
+            r#"{"ev":"span_start","seq":2,"t_us":20,"id":2,"parent":1,"stage":"upstream_rtt"}"#.into(),
+            r#"{"ev":"span_end","seq":3,"t_us":5020,"id":2,"stage":"upstream_rtt","dur_us":5000}"#.into(),
+            r#"{"ev":"span_end","seq":4,"t_us":5100,"id":1,"stage":"route","dur_us":5090}"#.into(),
+            // The shard clock is hours ahead — its t_us values dwarf the
+            // router's, which must not matter.
+            format!(r#"{{"ev":"trace_meta","seq":0,"t_us":7200000000,"trace_id":"{TID}","process":"preinferd","parent_span":2}}"#),
+            r#"{"ev":"span_start","seq":1,"t_us":7200000100,"id":1,"parent":null,"stage":"testgen"}"#.into(),
+            r#"{"ev":"span_end","seq":2,"t_us":7200003100,"id":1,"stage":"testgen","dur_us":3000}"#.into(),
+            r#"{"ev":"run","seq":3,"t_us":7200004000,"func":"m","dur_us":4100}"#.into(),
+        ];
+        let a = TraceAnalysis::from_lines(merged.iter().map(String::as_str)).unwrap();
+        assert_eq!(a.wall_us(), 5_090);
+        let rtt = &a.spans[&2];
+        let run_id = rtt.children[0];
+        assert_eq!(a.spans[&run_id].dur_us, 4_100);
+        // Durations come from dur_us fields alone: rtt exclusive is its
+        // duration minus the nested shard run, regardless of skew.
+        assert_eq!(a.exclusive_us(2), 5_000 - 4_100);
+        assert!(a.exclusive_total_us() <= a.wall_us());
     }
 }

@@ -1,16 +1,41 @@
 //! Hand-rolled latency histograms, shared by the CLI's stage-timing
 //! breakdown and `preinferd`'s `stats` verb.
 //!
-//! Latencies are recorded in microseconds into power-of-two buckets
-//! (bucket `k` holds samples in `[2^(k-1), 2^k)` µs, bucket 0 holds
-//! `[0, 1)`), which gives ≤ 2× quantile error over nine decades for 40
-//! atomic counters — plenty for p50/p90/p99 service dashboards and free of
-//! locks on the record path.
+//! Latencies are recorded in microseconds into *log-linear* buckets:
+//! values below 8 µs get one exact bucket each, and every power-of-two
+//! octave `[2^h, 2^(h+1))` above that is split into 8 linear sub-buckets
+//! of width `2^(h-3)`. That bounds the relative quantile error at 12.5%
+//! (versus 2× for plain power-of-two buckets, which collapsed p50/p90/p99
+//! to one shared bound under pipelined load) while staying lock-free on
+//! the record path — the top octave `[2^45, 2^46)` µs caps the range at
+//! about two years, far beyond any latency a serving tier can produce.
+//!
+//! High buckets additionally carry bounded *exemplar* slots: when a
+//! sample belongs to a sampled request, `record_with_exemplar` remembers
+//! the last `(trace_id, value)` per octave at or above 1.024 ms, and the
+//! metrics registry renders those as Prometheus exemplars so a fat p99
+//! bucket links directly to a retained distributed trace.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-/// Number of buckets: `2^39` µs ≈ 6.4 days caps the top bucket.
-pub const BUCKETS: usize = 40;
+/// Linear sub-buckets per power-of-two octave (3 sub-bits).
+const SUBS: usize = 8;
+
+/// Highest octave: bucketed values top out at `2^(H_MAX+1) − 1` µs.
+const H_MAX: usize = 45;
+
+/// Number of buckets: 8 exact low buckets plus 8 per octave for
+/// `h = 3..=H_MAX`.
+pub const BUCKETS: usize = SUBS * (H_MAX - 1);
+
+/// Octave floor for exemplar slots: only samples ≥ 2^10 µs (1.024 ms)
+/// are worth linking to a trace.
+const EXEMPLAR_MIN_OCTAVE: usize = 10;
+
+/// Bounded exemplar storage: one slot per octave in
+/// `EXEMPLAR_MIN_OCTAVE..=H_MAX`.
+pub const EXEMPLAR_SLOTS: usize = H_MAX - EXEMPLAR_MIN_OCTAVE + 1;
 
 /// A lock-free fixed-bucket latency histogram (microsecond samples).
 #[derive(Debug)]
@@ -18,6 +43,9 @@ pub struct Histogram {
     counts: [AtomicU64; BUCKETS],
     total: AtomicU64,
     sum_us: AtomicU64,
+    /// Last exemplar per high octave; locked only on the (rare) sampled
+    /// path and at scrape time, never on plain `record`.
+    exemplars: Mutex<[Option<Exemplar>; EXEMPLAR_SLOTS]>,
 }
 
 impl Default for Histogram {
@@ -26,23 +54,42 @@ impl Default for Histogram {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
             total: AtomicU64::new(0),
             sum_us: AtomicU64::new(0),
+            exemplars: Mutex::new(std::array::from_fn(|_| None)),
         }
     }
 }
 
 fn bucket_of(us: u64) -> usize {
-    ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    if us < SUBS as u64 {
+        return us as usize;
+    }
+    let h = (63 - us.leading_zeros()) as usize; // floor log2, >= 3
+    if h > H_MAX {
+        return BUCKETS - 1;
+    }
+    let sub = ((us >> (h - 3)) & (SUBS as u64 - 1)) as usize;
+    SUBS * (h - 2) + sub
 }
 
-/// Upper bound (inclusive) of a bucket, in µs: bucket 0 holds only the
-/// zero-microsecond samples (its bound is 0), bucket `k` tops out at
-/// `2^k − 1`.
+/// Upper bound (inclusive) of a bucket, in µs. The low buckets hold one
+/// exact value each (`bound(k) = k`); sub-bucket `s` of octave `h` tops
+/// out at `2^h + (s+1)·2^(h-3) − 1`.
 fn bucket_bound(k: usize) -> u64 {
-    if k == 0 {
-        0
-    } else {
-        (1u64 << k) - 1
+    if k < SUBS {
+        return k as u64;
     }
+    let h = k / SUBS + 2;
+    let sub = (k % SUBS) as u64;
+    (1u64 << h) + (sub + 1) * (1u64 << (h - 3)) - 1
+}
+
+/// Exemplar slot for a value, if it is high enough to carry one.
+fn exemplar_slot(us: u64) -> Option<usize> {
+    if us < (1u64 << EXEMPLAR_MIN_OCTAVE) {
+        return None;
+    }
+    let h = ((63 - us.leading_zeros()) as usize).min(H_MAX);
+    Some(h - EXEMPLAR_MIN_OCTAVE)
 }
 
 impl Histogram {
@@ -56,6 +103,20 @@ impl Histogram {
         self.counts[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Records one sample that belongs to a sampled request, remembering
+    /// `(trace_id, value)` as the exemplar for the sample's octave if the
+    /// sample is slow enough to have a slot. Last write wins — the slots
+    /// are a bounded "most recent culprit" map, not a reservoir.
+    pub fn record_with_exemplar(&self, d: std::time::Duration, trace_id: &str) {
+        self.record(d);
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        if let Some(slot) = exemplar_slot(us) {
+            let ex =
+                Exemplar { bucket: bucket_of(us), value_us: us, trace_id: trace_id.to_string() };
+            self.exemplars.lock().expect("exemplar slots")[slot] = Some(ex);
+        }
     }
 
     /// Number of recorded samples.
@@ -98,19 +159,25 @@ impl Histogram {
     }
 
     /// Per-bucket `(inclusive upper bound µs, count)` pairs, in bucket
-    /// order. The registry renders these as cumulative Prometheus buckets.
+    /// order. The registry renders the non-empty ones as cumulative
+    /// Prometheus buckets.
     pub fn buckets_us(&self) -> [(u64, u64); BUCKETS] {
         std::array::from_fn(|k| (bucket_bound(k), self.counts[k].load(Ordering::Relaxed)))
     }
 
-    /// A point-in-time copy for exposition (buckets plus the sample sum).
+    /// A point-in-time copy for exposition (buckets, sample sum, and the
+    /// current exemplar per occupied high-octave slot).
     pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot { buckets_us: self.buckets_us(), sum_us: self.sum_us() }
+        let exemplars =
+            self.exemplars.lock().expect("exemplar slots").iter().flatten().cloned().collect();
+        HistogramSnapshot { buckets_us: self.buckets_us(), sum_us: self.sum_us(), exemplars }
     }
 
-    /// Adds every sample recorded in `other` into `self` (bucket-wise).
-    /// Used to fold a per-request sink's histograms back into a daemon
-    /// aggregate once the request completes.
+    /// Adds every sample recorded in `other` into `self` (bucket-wise),
+    /// and adopts `other`'s exemplars (the per-request sink's samples are
+    /// newer than whatever a slot already holds). Used to fold a
+    /// per-request sink's histograms back into a daemon aggregate once
+    /// the request completes.
     pub fn merge_from(&self, other: &Histogram) {
         for (k, c) in other.counts.iter().enumerate() {
             let n = c.load(Ordering::Relaxed);
@@ -120,17 +187,40 @@ impl Histogram {
         }
         self.total.fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
         self.sum_us.fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+        let theirs = other.exemplars.lock().expect("exemplar slots");
+        let mut ours = self.exemplars.lock().expect("exemplar slots");
+        for (slot, ex) in theirs.iter().enumerate() {
+            if let Some(ex) = ex {
+                ours[slot] = Some(ex.clone());
+            }
+        }
     }
+}
+
+/// The last sampled-request observation for one high bucket: enough to
+/// render an OpenMetrics exemplar (`# {trace_id="..."} value`) that links
+/// a latency bucket to a retained trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Fine bucket index the sample landed in (its `le` line carries the
+    /// exemplar).
+    pub bucket: usize,
+    /// The observed value, µs.
+    pub value_us: u64,
+    /// The distributed trace id of the request that produced it.
+    pub trace_id: String,
 }
 
 /// A scrape-time copy of a [`Histogram`], consumed by the metrics
 /// registry's Prometheus renderer.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HistogramSnapshot {
     /// `(inclusive upper bound µs, count)` per bucket, in bucket order.
     pub buckets_us: [(u64, u64); BUCKETS],
     /// Sum of all recorded samples, µs.
     pub sum_us: u64,
+    /// Current exemplars, at most one per high octave, bucket-ordered.
+    pub exemplars: Vec<Exemplar>,
 }
 
 #[cfg(test)]
@@ -139,15 +229,35 @@ mod tests {
     use std::time::Duration;
 
     #[test]
-    fn buckets_are_power_of_two_ranges() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(1023), 10);
-        assert_eq!(bucket_of(1024), 11);
+    fn buckets_are_log_linear_ranges() {
+        // Low values get exact buckets…
+        for us in 0..8 {
+            assert_eq!(bucket_of(us), us as usize);
+            assert_eq!(bucket_bound(us as usize), us);
+        }
+        // …then 8 sub-buckets per octave, contiguous with the low region.
+        assert_eq!(bucket_of(8), 8);
+        assert_eq!(bucket_of(15), 15);
+        assert_eq!(bucket_of(16), 16); // octave h=4 starts at bucket 16
+                                       // 100 µs sits in octave h=6 (64..127), sub-bucket 4 (96..103).
+        assert_eq!(bucket_bound(bucket_of(100)), 103);
+        // 1023 µs is the top of octave h=9 — the bound is exact.
+        assert_eq!(bucket_bound(bucket_of(1023)), 1023);
+        assert_eq!(bucket_of(1024), bucket_of(1023) + 1);
+        // 50 ms lands in a sub-bucket of octave h=15, not at the octave cap:
+        // the log-linear split is what keeps distinct tail quantiles.
+        assert_eq!(bucket_bound(bucket_of(50_000)), 53_247);
         assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Bucket bounds are strictly increasing (sanity over the whole map).
+        for k in 1..BUCKETS {
+            assert!(bucket_bound(k) > bucket_bound(k - 1), "bound not monotone at {k}");
+        }
+        // Every value maps into the bucket whose bound covers it.
+        for us in [0, 1, 7, 8, 100, 1023, 4096, 50_000, 1 << 20, (1 << 30) + 12345] {
+            let k = bucket_of(us);
+            assert!(us <= bucket_bound(k), "{us} above its bucket bound");
+            assert!(k == 0 || us > bucket_bound(k - 1), "{us} below its bucket");
+        }
     }
 
     #[test]
@@ -162,10 +272,33 @@ mod tests {
         }
         assert_eq!(h.count(), 100);
         let (p50, p90, p99) = h.percentiles_us();
-        assert!((64..=256).contains(&p50), "p50 = {p50}");
-        assert!((64..=256).contains(&p90), "p90 = {p90}");
-        assert!((32_768..=131_072).contains(&p99), "p99 = {p99}");
+        assert_eq!(p50, 103, "p50 = {p50}");
+        assert_eq!(p90, 103, "p90 = {p90}");
+        assert_eq!(p99, 53_247, "p99 = {p99}");
         assert!(p50 <= p90 && p90 <= p99);
+    }
+
+    /// Regression for the saturated-tail bug: under 64-conn pipelined load
+    /// every sample fell in one power-of-two bucket (32.8–65.5 ms), so
+    /// p50/p90/p99/p999 all collapsed to the shared bound 65 535 µs. With
+    /// log-linear sub-buckets a bimodal distribution inside that same
+    /// octave reports distinct quantiles.
+    #[test]
+    fn bimodal_distribution_reports_distinct_quantiles() {
+        let h = Histogram::new();
+        // Both modes live inside the old 32 768..65 535 µs bucket.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(35_000));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(60_000));
+        }
+        let (p50, _, p99) = h.percentiles_us();
+        assert!(p50 < p99, "bimodal modes collapsed: p50 = {p50}, p99 = {p99}");
+        assert!((35_000..36_864).contains(&p50), "p50 = {p50}");
+        assert!((60_000..65_536).contains(&p99), "p99 = {p99}");
+        // Neither quantile is a bucket-cap clamp.
+        assert_ne!(p99, 65_535);
     }
 
     #[test]
@@ -176,9 +309,9 @@ mod tests {
         for _ in 0..100 {
             h.record(Duration::from_micros(100));
         }
-        assert_eq!(h.quantile_us(0.50), 127);
-        assert_eq!(h.quantile_us(0.99), 127);
-        // Bucket 0 holds only zero-µs samples; its inclusive bound is 0.
+        assert_eq!(h.quantile_us(0.50), 103);
+        assert_eq!(h.quantile_us(0.99), 103);
+        // Low buckets hold one exact value; their inclusive bound is it.
         let z = Histogram::new();
         z.record(Duration::ZERO);
         assert_eq!(z.quantile_us(0.50), 0);
@@ -196,8 +329,36 @@ mod tests {
         assert_eq!(a.sum_us(), 100 + 100 + 50_000);
         let buckets = a.buckets_us();
         assert_eq!(buckets.iter().map(|(_, c)| c).sum::<u64>(), 3);
-        // The two 100 µs samples share a bucket.
-        assert!(buckets.iter().any(|&(bound, c)| bound == 127 && c == 2));
+        // The two 100 µs samples share a sub-bucket.
+        assert!(buckets.iter().any(|&(bound, c)| bound == 103 && c == 2));
+    }
+
+    #[test]
+    fn exemplars_are_bounded_and_last_write_wins() {
+        let h = Histogram::new();
+        // Below the exemplar floor: recorded, but no slot.
+        h.record_with_exemplar(Duration::from_micros(100), "tiny");
+        assert!(h.snapshot().exemplars.is_empty());
+        // Two samples in the same octave: the later one owns the slot.
+        h.record_with_exemplar(Duration::from_millis(40), "first");
+        h.record_with_exemplar(Duration::from_millis(50), "second");
+        // A different octave gets its own slot.
+        h.record_with_exemplar(Duration::from_millis(200), "slowest");
+        let snap = h.snapshot();
+        assert_eq!(snap.exemplars.len(), 2);
+        let ids: Vec<&str> = snap.exemplars.iter().map(|e| e.trace_id.as_str()).collect();
+        assert_eq!(ids, vec!["second", "slowest"]);
+        for ex in &snap.exemplars {
+            // The exemplar's bucket really contains its value.
+            assert_eq!(ex.bucket, bucket_of(ex.value_us));
+        }
+        // merge_from adopts the per-request sink's exemplars.
+        let agg = Histogram::new();
+        agg.record_with_exemplar(Duration::from_millis(33), "stale");
+        agg.merge_from(&h);
+        let merged = agg.snapshot();
+        assert!(merged.exemplars.iter().any(|e| e.trace_id == "second"));
+        assert!(!merged.exemplars.iter().any(|e| e.trace_id == "stale"));
     }
 
     #[test]
@@ -206,5 +367,6 @@ mod tests {
         assert_eq!(h.percentiles_us(), (0, 0, 0));
         assert_eq!(h.mean_us(), 0);
         assert_eq!(h.sum_us(), 0);
+        assert!(h.snapshot().exemplars.is_empty());
     }
 }

@@ -28,6 +28,6 @@ pub mod registry;
 pub mod sink;
 
 pub use analyze::TraceAnalysis;
-pub use histogram::{Histogram, HistogramSnapshot};
+pub use histogram::{Exemplar, Histogram, HistogramSnapshot};
 pub use registry::{MetricKind, MetricsRegistry};
 pub use sink::{maybe_span, recording_sink, SpanGuard, Stage, StageSnapshot, TraceSink, Val};

@@ -240,15 +240,30 @@ fn render_histogram(
 ) {
     // Self-consistent snapshot: derive `_count` and `+Inf` from the bucket
     // sum itself, so a scrape racing `record` never shows count < buckets.
+    // The log-linear histogram has hundreds of fine buckets, most empty;
+    // only occupied bounds get a `_bucket` line (cumulative counts stay
+    // monotone over any subset of bounds, so the exposition stays legal).
     let mut cumulative = 0u64;
-    for (bound, count) in snap.buckets_us {
+    for (k, (bound, count)) in snap.buckets_us.iter().enumerate() {
+        if *count == 0 {
+            continue;
+        }
         cumulative += count;
-        let le = (bound, bound.to_string());
-        let _ = writeln!(
-            out,
+        let mut line = format!(
             "{name}_bucket{} {cumulative}",
-            label_set(labels, &[("le", le.1.clone())])
+            label_set(labels, &[("le", bound.to_string())])
         );
+        // OpenMetrics exemplar: ` # {trace_id="..."} value` after the
+        // bucket the exemplar's sample landed in.
+        if let Some(ex) = snap.exemplars.iter().find(|e| e.bucket == k) {
+            let _ = write!(
+                line,
+                " # {{trace_id=\"{}\"}} {}",
+                escape_label_value(&ex.trace_id),
+                ex.value_us
+            );
+        }
+        let _ = writeln!(out, "{line}");
     }
     let _ =
         writeln!(out, "{name}_bucket{} {cumulative}", label_set(labels, &[("le", "+Inf".into())]));
@@ -294,20 +309,20 @@ mod tests {
     fn histograms_render_cumulative_buckets() {
         let reg = MetricsRegistry::new();
         let h = Arc::new(Histogram::new());
-        h.record(Duration::from_micros(100)); // bucket bound 127
+        h.record(Duration::from_micros(100)); // sub-bucket bound 103
         h.record(Duration::from_micros(100));
-        h.record(Duration::from_millis(50)); // bucket bound 65535
+        h.record(Duration::from_millis(50)); // sub-bucket bound 53247
         reg.histogram("stage_duration_us", "Stage latency.", &[("stage", "prune")], move || {
             h.snapshot()
         });
         let text = reg.render_prometheus();
         assert!(text.contains("# TYPE stage_duration_us histogram\n"), "{text}");
         assert!(
-            text.contains("stage_duration_us_bucket{stage=\"prune\",le=\"127\"} 2\n"),
+            text.contains("stage_duration_us_bucket{stage=\"prune\",le=\"103\"} 2\n"),
             "{text}"
         );
         assert!(
-            text.contains("stage_duration_us_bucket{stage=\"prune\",le=\"65535\"} 3\n"),
+            text.contains("stage_duration_us_bucket{stage=\"prune\",le=\"53247\"} 3\n"),
             "{text}"
         );
         assert!(
@@ -316,6 +331,8 @@ mod tests {
         );
         assert!(text.contains("stage_duration_us_sum{stage=\"prune\"} 50200\n"), "{text}");
         assert!(text.contains("stage_duration_us_count{stage=\"prune\"} 3\n"), "{text}");
+        // Empty fine buckets are elided — two occupied bounds, one +Inf.
+        assert_eq!(text.matches("stage_duration_us_bucket").count(), 3, "{text}");
         // Cumulative counts never decrease.
         let mut last = 0u64;
         for line in text.lines().filter(|l| l.contains("_bucket")) {
@@ -323,6 +340,27 @@ mod tests {
             assert!(v >= last, "bucket counts must be cumulative: {line}");
             last = v;
         }
+    }
+
+    #[test]
+    fn exemplars_render_on_their_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = Arc::new(Histogram::new());
+        h.record(Duration::from_micros(100)); // too fast for an exemplar slot
+        h.record_with_exemplar(Duration::from_millis(50), "00ff00ff00ff00ff00ff00ff00ff00ff");
+        reg.histogram("verb_duration_us", "Verb latency.", &[("verb", "infer")], move || {
+            h.snapshot()
+        });
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains(
+                "verb_duration_us_bucket{verb=\"infer\",le=\"53247\"} 2 \
+                 # {trace_id=\"00ff00ff00ff00ff00ff00ff00ff00ff\"} 50000\n"
+            ),
+            "{text}"
+        );
+        // The fast bucket carries no exemplar.
+        assert!(text.contains("verb_duration_us_bucket{verb=\"infer\",le=\"103\"} 1\n"), "{text}");
     }
 
     #[test]
@@ -354,6 +392,7 @@ mod tests {
         reg.gauge("b", "B.", &[], || 0.5);
         let h = Arc::new(Histogram::new());
         h.record(Duration::from_micros(3));
+        h.record_with_exemplar(Duration::from_millis(80), "deadbeef");
         reg.histogram("c_us", "C.", &[], move || h.snapshot());
         for line in reg.render_prometheus().lines() {
             if line.starts_with('#') {
@@ -363,12 +402,22 @@ mod tests {
                 );
                 continue;
             }
-            // name{labels} value — value parses as a float.
-            let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+            // name{labels} value [# {exemplar-labels} exemplar-value] —
+            // both the sample and any exemplar value parse as floats.
+            let (sample, exemplar) = match line.split_once(" # ") {
+                Some((s, ex)) => (s, Some(ex)),
+                None => (line, None),
+            };
+            let (_, value) = sample.rsplit_once(' ').expect("sample line has a value");
             assert!(
                 value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
                 "unparseable value in: {line}"
             );
+            if let Some(ex) = exemplar {
+                let (labels, exval) = ex.rsplit_once(' ').expect("exemplar has a value");
+                assert!(labels.starts_with('{') && labels.ends_with('}'), "bad exemplar: {line}");
+                assert!(exval.parse::<f64>().is_ok(), "unparseable exemplar value: {line}");
+            }
         }
     }
 }

@@ -106,12 +106,26 @@ pub struct StageSnapshot {
 
 /// A sink for pipeline spans and events. See the module docs for the two
 /// modes; share it as an `Arc` (configs hold `Option<Arc<TraceSink>>`).
+///
+/// A recording sink can additionally be *joined to a distributed trace*
+/// ([`TraceSink::recording_in_trace`]): its first buffered line is then a
+/// `trace_meta` event carrying the 128-bit `trace_id`, a `process` label,
+/// and (when another process minted the context) the parent span id this
+/// process's root spans hang under. Span ids stay process-local — every
+/// process numbers its spans from 1 — and every recorded line carries a
+/// `t_us` timestamp relative to the sink's creation, so merging traces
+/// from different machines needs no clock agreement at all: the analyzer
+/// namespaces ids per process and aligns times per process.
 #[derive(Debug)]
 pub struct TraceSink {
     record: bool,
     stages: [Histogram; STAGES],
     next_span: std::sync::atomic::AtomicU64,
     lines: Mutex<Vec<String>>,
+    /// Creation instant; recorded lines carry `t_us` relative to it.
+    epoch: Instant,
+    /// The distributed trace this per-request sink belongs to, if any.
+    trace_id: Mutex<Option<String>>,
 }
 
 thread_local! {
@@ -127,12 +141,47 @@ impl TraceSink {
             stages: std::array::from_fn(|_| Histogram::new()),
             next_span: std::sync::atomic::AtomicU64::new(0),
             lines: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+            trace_id: Mutex::new(None),
         }
     }
 
     /// A recording sink: histograms plus buffered JSON-lines events.
     pub fn recording() -> TraceSink {
         TraceSink { record: true, ..TraceSink::aggregate() }
+    }
+
+    /// A recording sink joined to the distributed trace `trace_id`: the
+    /// first buffered line is a `trace_meta` event naming this `process`
+    /// and, when a remote tier minted the context, the `parent_span` id
+    /// (in the *minting* process's numbering) this process's root spans
+    /// belong under.
+    pub fn recording_in_trace(
+        process: &str,
+        trace_id: &str,
+        parent_span: Option<u64>,
+    ) -> TraceSink {
+        let sink = TraceSink::recording();
+        *sink.trace_id.lock().expect("sink trace id") = Some(trace_id.to_string());
+        let mut body = String::with_capacity(64);
+        body.push_str("\"trace_id\":");
+        push_json_str(&mut body, trace_id);
+        body.push_str(",\"process\":");
+        push_json_str(&mut body, process);
+        match parent_span {
+            Some(p) => {
+                let _ = write!(body, ",\"parent_span\":{p}");
+            }
+            None => body.push_str(",\"parent_span\":null"),
+        }
+        sink.push_line("trace_meta", &body);
+        sink
+    }
+
+    /// The distributed trace id this sink records under, if it was created
+    /// with [`TraceSink::recording_in_trace`].
+    pub fn trace_id(&self) -> Option<String> {
+        self.trace_id.lock().expect("sink trace id").clone()
     }
 
     /// Whether this sink buffers JSON-lines events. Callers must check
@@ -165,6 +214,44 @@ impl TraceSink {
             self.push_line("span_start", &body);
         }
         SpanGuard { sink: self, stage, id, start: Instant::now() }
+    }
+
+    /// Opens a span with a free-form stage label and an explicit parent,
+    /// bypassing the thread-local nesting stack — for event-driven callers
+    /// (the router's epoll loop) whose spans outlive one call frame and
+    /// interleave across many requests on a single thread, where implicit
+    /// innermost-open nesting would attribute parents wrongly. Returns the
+    /// span id; close it with [`TraceSink::end_span`]. Ids come from the
+    /// same sink-wide counter as scoped spans, so the two kinds never
+    /// collide in one trace.
+    pub fn begin_span(&self, stage: &str, parent: Option<u64>) -> u64 {
+        let id = self.next_span.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        if self.record {
+            let mut body = format!("\"id\":{id},");
+            match parent {
+                Some(p) => {
+                    let _ = write!(body, "\"parent\":{p},");
+                }
+                None => body.push_str("\"parent\":null,"),
+            }
+            body.push_str("\"stage\":");
+            push_json_str(&mut body, stage);
+            self.push_line("span_start", &body);
+        }
+        id
+    }
+
+    /// Closes a span opened with [`TraceSink::begin_span`], recording its
+    /// inclusive duration. Stage histograms are untouched — the label is
+    /// free-form, not a pipeline [`Stage`] — so event-driven callers keep
+    /// their own latency metrics.
+    pub fn end_span(&self, id: u64, stage: &str, dur: Duration) {
+        if self.record {
+            let mut body = format!("\"id\":{id},\"stage\":");
+            push_json_str(&mut body, stage);
+            let _ = write!(body, ",\"dur_us\":{}", dur.as_micros().min(u64::MAX as u128) as u64);
+            self.push_line("span_end", &body);
+        }
     }
 
     /// Records one recording-mode event. A no-op in aggregate mode (but
@@ -306,14 +393,17 @@ impl TraceSink {
 
     /// Appends one line; `seq` is the line's position, assigned under the
     /// buffer lock so it is strictly increasing in output order even when
-    /// several worker threads record concurrently.
+    /// several worker threads record concurrently. `t_us` is the offset
+    /// from this sink's creation — a per-process relative clock, so traces
+    /// recorded on different machines merge without clock agreement.
     fn push_line(&self, ev: &str, body: &str) {
+        let t_us = self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
         let mut lines = self.lines.lock().expect("trace lines");
         let seq = lines.len();
-        let mut line = String::with_capacity(body.len() + ev.len() + 24);
+        let mut line = String::with_capacity(body.len() + ev.len() + 40);
         let _ = write!(line, "{{\"ev\":");
         push_json_str(&mut line, ev);
-        let _ = write!(line, ",\"seq\":{seq},");
+        let _ = write!(line, ",\"seq\":{seq},\"t_us\":{t_us},");
         line.push_str(body);
         line.push('}');
         lines.push(line);
@@ -471,6 +561,64 @@ mod tests {
         assert_eq!(agg.snapshot(Stage::Prune).count, 1);
         assert_eq!(agg.snapshot(Stage::Solver).count, 1);
         assert!(agg.lines().is_empty(), "absorb must not copy event lines");
+    }
+
+    #[test]
+    fn recording_in_trace_stamps_a_meta_line_and_relative_times() {
+        let sink =
+            TraceSink::recording_in_trace("shard", "0123456789abcdef0123456789abcdef", Some(7));
+        assert_eq!(sink.trace_id().as_deref(), Some("0123456789abcdef0123456789abcdef"));
+        {
+            let _s = sink.span(Stage::Prune);
+        }
+        let lines = sink.lines();
+        assert!(lines[0].contains("\"ev\":\"trace_meta\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"trace_id\":\"0123456789abcdef0123456789abcdef\""));
+        assert!(lines[0].contains("\"process\":\"shard\""));
+        assert!(lines[0].contains("\"parent_span\":7"));
+        // Every line carries a per-process relative timestamp.
+        for l in &lines {
+            assert!(l.contains("\"t_us\":"), "{l}");
+        }
+        // A plain recording sink has no meta line and no trace id.
+        let plain = TraceSink::recording();
+        assert!(plain.trace_id().is_none());
+        plain.event("x", &[]);
+        assert!(!plain.lines()[0].contains("trace_meta"));
+    }
+
+    #[test]
+    fn flat_spans_carry_explicit_parents_and_skip_the_stack() {
+        let sink = TraceSink::recording();
+        let root = sink.begin_span("route", None);
+        let rtt = sink.begin_span("upstream_rtt", Some(root));
+        {
+            // A scoped span on the same thread must not adopt the flat
+            // spans as parents: the flat API bypasses the stack entirely.
+            let _scoped = sink.span(Stage::Solver);
+        }
+        sink.end_span(rtt, "upstream_rtt", Duration::from_micros(70));
+        sink.end_span(root, "route", Duration::from_micros(100));
+        let lines = sink.lines();
+        assert!(lines[0].contains("\"stage\":\"route\"") && lines[0].contains("\"parent\":null"));
+        assert!(
+            lines[1].contains("\"stage\":\"upstream_rtt\"")
+                && lines[1].contains(&format!("\"parent\":{root}")),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            lines[2].contains("\"parent\":null"),
+            "scoped span saw a clean stack: {}",
+            lines[2]
+        );
+        assert!(lines[4].contains("\"ev\":\"span_end\"") && lines[4].contains("\"dur_us\":70"));
+        // Ids are distinct across the two span kinds.
+        assert_ne!(root, rtt);
+        let agg = TraceSink::aggregate();
+        let id = agg.begin_span("route", None);
+        agg.end_span(id, "route", Duration::from_micros(1));
+        assert!(agg.lines().is_empty(), "aggregate mode still buffers nothing");
     }
 
     #[test]

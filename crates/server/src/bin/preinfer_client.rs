@@ -4,7 +4,7 @@
 //! preinfer-client --addr HOST:PORT ping
 //! preinfer-client --addr HOST:PORT stats
 //! preinfer-client --addr HOST:PORT metrics
-//! preinfer-client --addr HOST:PORT trace [--last K | --request-id N]
+//! preinfer-client --addr HOST:PORT trace [--last K | --request-id N | --trace-id X]
 //! preinfer-client --addr HOST:PORT infer program.ml [--fn NAME]
 //!                 [--deadline-ms N] [--tests N] [--jobs N]
 //! preinfer-client --addr HOST:PORT corpus [NAME] [--check-offline]
@@ -45,8 +45,11 @@ fn usage() -> ! {
          \x20 ping                              liveness check\n\
          \x20 stats                             cache counters + latency histograms\n\
          \x20 metrics                           Prometheus text exposition\n\
-         \x20 trace [--last K | --request-id N] retained request traces (events\n\
-         \x20                                   as JSON lines on stdout)\n\
+         \x20 trace [--last K | --request-id N | --trace-id X]\n\
+         \x20                                   retained request traces (events\n\
+         \x20                                   as JSON lines on stdout);\n\
+         \x20                                   --trace-id fetches a stitched\n\
+         \x20                                   multi-process distributed trace\n\
          \x20 infer FILE [--fn NAME] [--deadline-ms N] [--tests N] [--jobs N]\n\
          \x20 corpus [NAME] [--check-offline]   submit corpus subject(s);\n\
          \x20                                   --check-offline diffs against the\n\
@@ -165,11 +168,17 @@ fn cmd_metrics(c: &Common) -> ExitCode {
 /// stdout (pipeable straight into `preinfer-trace -`).
 fn cmd_trace(c: &Common) -> ExitCode {
     use server::TraceSelect;
-    let select = match (parse_u64_flag(&c.rest, "--request-id"), parse_u64_flag(&c.rest, "--last"))
-    {
-        (Some(_), Some(_)) => usage(),
-        (Some(rid), None) => TraceSelect::ById(rid),
-        (None, k) => TraceSelect::Last(k.unwrap_or(1).max(1)),
+    let select = match (
+        parse_u64_flag(&c.rest, "--request-id"),
+        parse_u64_flag(&c.rest, "--last"),
+        flag_value(&c.rest, "--trace-id"),
+    ) {
+        (Some(rid), None, None) => TraceSelect::ById(rid),
+        (None, k, None) => TraceSelect::Last(k.unwrap_or(1).max(1)),
+        // Against a router this returns the stitched multi-process trace:
+        // the router part plus every shard part sharing the trace id.
+        (None, None, Some(tid)) => TraceSelect::ByTraceId(tid),
+        _ => usage(),
     };
     let mut cl = match Client::connect(&c.addr) {
         Ok(cl) => cl,
@@ -194,11 +203,20 @@ fn cmd_trace(c: &Common) -> ExitCode {
         return ExitCode::FAILURE;
     }
     for t in traces {
+        // The owning tier: the router tags its parts with `process`, the
+        // merged shard parts carry their shard index.
+        let tier = match (t.str_field("process"), t.u64_field("shard")) {
+            (Some(p), _) => format!(" {p}"),
+            (None, Some(s)) => format!(" shard={s}"),
+            (None, None) => String::new(),
+        };
         eprintln!(
-            "# request {} func={} reason={} queue_us={} service_us={}",
+            "# request {}{} func={} reason={} trace_id={} queue_us={} service_us={}",
             t.u64_field("request_id").unwrap_or(0),
+            tier,
             t.str_field("func").unwrap_or("?"),
             t.str_field("reason").unwrap_or("?"),
+            t.str_field("trace_id").unwrap_or("-"),
             t.u64_field("queue_us").unwrap_or(0),
             t.u64_field("service_us").unwrap_or(0),
         );
@@ -216,6 +234,7 @@ fn infer_request_from_flags(program: String, rest: &[String]) -> InferRequest {
         deadline_ms: parse_u64_flag(rest, "--deadline-ms"),
         tests: parse_u64_flag(rest, "--tests").map(|v| v as usize),
         jobs: parse_u64_flag(rest, "--jobs").unwrap_or(1) as usize,
+        trace: None,
     }
 }
 
@@ -258,6 +277,7 @@ fn cmd_corpus(c: &Common) -> ExitCode {
             deadline_ms: None,
             tests: None,
             jobs: 1,
+            trace: None,
         };
         let resp = match cl.infer(&req) {
             Ok(r) => r,
@@ -346,8 +366,14 @@ fn cmd_load(c: &Common) -> ExitCode {
                     failed.fetch_add(1, Ordering::Relaxed);
                     return;
                 };
-                let req =
-                    InferRequest { program, func: Some(func), deadline_ms, tests: None, jobs: 1 };
+                let req = InferRequest {
+                    program,
+                    func: Some(func),
+                    deadline_ms,
+                    tests: None,
+                    jobs: 1,
+                    trace: None,
+                };
                 // In duration mode the stop condition is the clock; in
                 // request mode it is the shared allocation counter.
                 let may_issue = |next: &AtomicUsize| match stop_at {

@@ -4,6 +4,7 @@
 //! preinfer-router --shard HOST:PORT [--shard HOST:PORT ...]
 //!                 [--addr HOST:PORT] [--conns-per-shard N]
 //!                 [--idle-timeout-ms N]
+//!                 [--trace-sample N] [--slow-trace-ms N] [--trace-buffer K]
 //! ```
 //!
 //! Prints `listening on HOST:PORT` once bound. SIGTERM/SIGINT drains
@@ -37,7 +38,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: preinfer-router --shard HOST:PORT [--shard HOST:PORT ...]\n\
          \x20                      [--addr HOST:PORT] [--conns-per-shard N]\n\
-         \x20                      [--idle-timeout-ms N]\n\
+         \x20                      [--idle-timeout-ms N] [--trace-sample N]\n\
+         \x20                      [--slow-trace-ms N] [--trace-buffer K]\n\
          \n\
          Fronts N preinferd shard daemons with key-affinity routing: every\n\
          infer request's target method is canonicalized (α-renamed) and\n\
@@ -49,6 +51,15 @@ fn usage() -> ! {
          \n\
          Shard order is the hash space: restart the router with the same\n\
          --shard list in the same order to keep affinity.\n\
+         \n\
+         Distributed tracing: --trace-sample N head-samples every N-th\n\
+         routed infer request (deterministic, 0 = off) — the router mints\n\
+         a 128-bit trace context, records its own route/upstream spans,\n\
+         and injects the context into the forwarded frame so the shard\n\
+         records under the same trace_id; `trace --trace-id X` then\n\
+         returns the stitched multi-process trace. --slow-trace-ms T also\n\
+         retains any routed request slower than T ms end-to-end;\n\
+         --trace-buffer K (default 64) bounds the retained-trace ring.\n\
          \n\
          Defaults: --addr 127.0.0.1:0 (prints the bound port),\n\
          --conns-per-shard 2, --idle-timeout-ms 60000 (0 = off)."
@@ -73,6 +84,21 @@ fn parse_args() -> RouterConfig {
             "--idle-timeout-ms" => {
                 cfg.idle_timeout_ms =
                     args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--trace-sample" => {
+                cfg.trace_sample =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--slow-trace-ms" => {
+                cfg.slow_trace_ms =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--trace-buffer" => {
+                cfg.trace_buffer = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
             }
             "--help" | "-h" => usage(),
             _ => usage(),

@@ -77,7 +77,7 @@ impl Client {
 
     /// Fetches retained request traces (the `trace` verb).
     pub fn trace(&mut self, select: crate::protocol::TraceSelect) -> Result<Json, ClientError> {
-        self.round_trip(&protocol::render_trace(None, select))
+        self.round_trip(&protocol::render_trace(None, &select))
     }
 
     pub fn infer(&mut self, req: &InferRequest) -> Result<Json, ClientError> {

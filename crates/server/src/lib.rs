@@ -14,6 +14,16 @@
 //! and every counter/histogram registers in a unified
 //! [`obs::MetricsRegistry`] scraped by the `metrics` verb as Prometheus
 //! text exposition.
+//!
+//! Tracing is distributed across the router tier: `preinfer-router` mints
+//! a 128-bit trace context ([`protocol::TraceContext`]), records its own
+//! `route`/`upstream_rtt` spans, and injects the context into the
+//! forwarded frame; a shard honors the upstream decision instead of its
+//! own policy and records under the same `trace_id`, so the router's
+//! `trace --trace-id X` returns one stitched multi-process trace that
+//! `obs::analyze` merges into a single tree (the shard's spans nested
+//! under the router's `upstream_rtt`). Sampled requests also leave their
+//! `trace_id` as Prometheus exemplars on the latency histograms.
 
 pub mod client;
 pub mod eio;
@@ -31,7 +41,7 @@ pub mod trace;
 pub use client::{served_psis, Client, ClientError};
 pub use memo::{MemoKey, MemoStats, ResponseMemo};
 pub use obs::Histogram;
-pub use protocol::{ErrorCode, InferRequest, Request, TraceSelect, MAX_FRAME_LEN};
+pub use protocol::{ErrorCode, InferRequest, Request, TraceContext, TraceSelect, MAX_FRAME_LEN};
 pub use queue::BoundedQueue;
 pub use router::{Router, RouterConfig, RouterHandle};
 pub use routing::{canonical_method, shard_of, CanonicalMethod};

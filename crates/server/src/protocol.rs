@@ -130,12 +130,39 @@ pub enum Request {
 }
 
 /// Which retained traces a `trace` request asks for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceSelect {
     /// The `k` most recent traces, newest first (default `1`).
     Last(u64),
     /// The trace of one request id, if still retained.
     ById(u64),
+    /// The trace of one distributed trace id (128-bit hex), if retained.
+    /// On a router this fans out and returns the *stitched* multi-process
+    /// trace.
+    ByTraceId(String),
+}
+
+/// A distributed trace context carried on an `infer` frame. The outermost
+/// tier (the router, or a client driving a daemon directly) mints the
+/// 128-bit `trace_id` and decides sampling; every process downstream
+/// honors that decision instead of its own head/tail sampling policy, and
+/// stamps its recorded spans with the shared id so the per-process traces
+/// are joinable afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id as exactly 32 hex digits.
+    pub trace_id: String,
+    /// The minting process's span id this process's work nests under
+    /// (e.g. the router's `upstream_rtt` span).
+    pub parent_span_id: Option<u64>,
+    /// Whether the minting tier chose to record this request. `false`
+    /// suppresses local head sampling too — at most one tier decides.
+    pub sampled: bool,
+}
+
+/// `true` iff `s` is a well-formed 128-bit hex trace id.
+pub fn valid_trace_id(s: &str) -> bool {
+    s.len() == 32 && s.bytes().all(|b| b.is_ascii_hexdigit())
 }
 
 /// The `infer` verb's payload.
@@ -151,6 +178,8 @@ pub struct InferRequest {
     pub tests: Option<usize>,
     /// Worker threads for per-ACL inference inside this request.
     pub jobs: usize,
+    /// Distributed trace context minted upstream, if any.
+    pub trace: Option<TraceContext>,
 }
 
 /// Typed error codes (`PROTOCOL.md`, "Error codes").
@@ -215,12 +244,24 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
                         .ok_or_else(|| "`last` must be a positive integer".to_string())?,
                 ),
             };
-            let select = match (request_id, last) {
-                (Some(_), Some(_)) => {
-                    return Err("`trace` takes `last` or `request_id`, not both".to_string())
+            let trace_id = match v.get("trace_id") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(
+                    j.as_str()
+                        .filter(|s| valid_trace_id(s))
+                        .map(str::to_string)
+                        .ok_or_else(|| "`trace_id` must be 32 hex digits".to_string())?,
+                ),
+            };
+            let select = match (request_id, last, trace_id) {
+                (None, None, Some(tid)) => TraceSelect::ByTraceId(tid),
+                (Some(rid), None, None) => TraceSelect::ById(rid),
+                (None, k, None) => TraceSelect::Last(k.unwrap_or(1)),
+                _ => {
+                    return Err(
+                        "`trace` takes one of `last`, `request_id` or `trace_id`".to_string()
+                    )
                 }
-                (Some(rid), None) => TraceSelect::ById(rid),
-                (None, k) => TraceSelect::Last(k.unwrap_or(1)),
             };
             Ok(Request::Trace { id, select })
         }
@@ -253,9 +294,32 @@ pub fn parse_request(payload: &str) -> Result<Request, String> {
                     .ok_or_else(|| "`jobs` must be a positive integer".to_string())?
                     as usize,
             };
+            let trace = match v.get("trace") {
+                None | Some(Json::Null) => None,
+                Some(t) => {
+                    let trace_id = t
+                        .str_field("trace_id")
+                        .filter(|s| valid_trace_id(s))
+                        .ok_or_else(|| "`trace.trace_id` must be 32 hex digits".to_string())?
+                        .to_string();
+                    let parent_span_id = match t.get("parent_span_id") {
+                        None | Some(Json::Null) => None,
+                        Some(j) => Some(j.as_u64().ok_or_else(|| {
+                            "`trace.parent_span_id` must be a non-negative integer".to_string()
+                        })?),
+                    };
+                    let sampled = match t.get("sampled") {
+                        None | Some(Json::Null) => true,
+                        Some(j) => j
+                            .as_bool()
+                            .ok_or_else(|| "`trace.sampled` must be a boolean".to_string())?,
+                    };
+                    Some(TraceContext { trace_id, parent_span_id, sampled })
+                }
+            };
             Ok(Request::Infer {
                 id,
-                infer: InferRequest { program, func, deadline_ms, tests, jobs },
+                infer: InferRequest { program, func, deadline_ms, tests, jobs, trace },
             })
         }
         Some(other) => Err(format!("unknown verb `{other}`")),
@@ -281,13 +345,24 @@ pub fn render_metrics(id: Option<&str>) -> String {
 }
 
 /// Renders a `trace` request.
-pub fn render_trace(id: Option<&str>, select: TraceSelect) -> String {
+pub fn render_trace(id: Option<&str>, select: &TraceSelect) -> String {
     let b = ObjBuilder::new().str("verb", "trace").opt_str("id", id);
     match select {
-        TraceSelect::Last(k) => b.u64("last", k),
-        TraceSelect::ById(rid) => b.u64("request_id", rid),
+        TraceSelect::Last(k) => b.u64("last", *k),
+        TraceSelect::ById(rid) => b.u64("request_id", *rid),
+        TraceSelect::ByTraceId(tid) => b.str("trace_id", tid),
     }
     .build()
+}
+
+/// Renders a trace context as a JSON object (the `trace` field of an
+/// `infer` frame).
+pub fn render_trace_context(ctx: &TraceContext) -> String {
+    let mut b = ObjBuilder::new().str("trace_id", &ctx.trace_id);
+    if let Some(p) = ctx.parent_span_id {
+        b = b.u64("parent_span_id", p);
+    }
+    b.bool("sampled", ctx.sampled).build()
 }
 
 /// Renders an `infer` request.
@@ -305,6 +380,9 @@ pub fn render_infer(id: Option<&str>, req: &InferRequest) -> String {
     }
     if let Some(t) = req.tests {
         b = b.u64("tests", t as u64);
+    }
+    if let Some(ctx) = &req.trace {
+        b = b.raw("trace", render_trace_context(ctx));
     }
     b.build()
 }
@@ -377,6 +455,7 @@ mod tests {
             deadline_ms: Some(250),
             tests: Some(40),
             jobs: 2,
+            trace: None,
         };
         let Request::Infer { id, infer } = parse_request(&render_infer(Some("r1"), &req)).unwrap()
         else {
@@ -388,21 +467,73 @@ mod tests {
         assert_eq!(infer.deadline_ms, Some(250));
         assert_eq!(infer.tests, Some(40));
         assert_eq!(infer.jobs, 2);
+        assert_eq!(infer.trace, None);
         assert!(matches!(parse_request(&render_ping(None)).unwrap(), Request::Ping { id: None }));
         assert!(matches!(parse_request(&render_stats(None)).unwrap(), Request::Stats { .. }));
         assert!(matches!(parse_request(&render_metrics(None)).unwrap(), Request::Metrics { .. }));
     }
 
     #[test]
-    fn trace_requests_select_last_or_request_id() {
+    fn trace_contexts_round_trip_on_infer_frames() {
+        let ctx = TraceContext {
+            trace_id: "00112233445566778899aabbccddeeff".to_string(),
+            parent_span_id: Some(3),
+            sampled: true,
+        };
+        let req = InferRequest {
+            program: "fn f() -> int { return 1; }".to_string(),
+            func: None,
+            deadline_ms: None,
+            tests: None,
+            jobs: 1,
+            trace: Some(ctx.clone()),
+        };
+        let Request::Infer { infer, .. } = parse_request(&render_infer(None, &req)).unwrap() else {
+            panic!("wrong verb")
+        };
+        assert_eq!(infer.trace, Some(ctx));
+        // `sampled: false` and an absent parent survive too.
+        let req2 = InferRequest {
+            trace: Some(TraceContext {
+                trace_id: "00112233445566778899AABBCCDDEEFF".to_string(),
+                parent_span_id: None,
+                sampled: false,
+            }),
+            ..req
+        };
+        let Request::Infer { infer, .. } = parse_request(&render_infer(None, &req2)).unwrap()
+        else {
+            panic!("wrong verb")
+        };
+        let got = infer.trace.expect("context survives");
+        assert_eq!(got.parent_span_id, None);
+        assert!(!got.sampled);
+        // Malformed contexts are rejected with a reason.
+        for bad in [
+            "{\"verb\":\"infer\",\"program\":\"fn\",\"trace\":{}}",
+            "{\"verb\":\"infer\",\"program\":\"fn\",\"trace\":{\"trace_id\":\"zz\"}}",
+            "{\"verb\":\"infer\",\"program\":\"fn\",\
+             \"trace\":{\"trace_id\":\"00112233445566778899aabbccddeeff\",\"sampled\":3}}",
+        ] {
+            assert!(parse_request(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn trace_requests_select_last_request_id_or_trace_id() {
         assert!(matches!(
-            parse_request(&render_trace(None, TraceSelect::Last(5))).unwrap(),
+            parse_request(&render_trace(None, &TraceSelect::Last(5))).unwrap(),
             Request::Trace { select: TraceSelect::Last(5), .. }
         ));
         assert!(matches!(
-            parse_request(&render_trace(Some("t1"), TraceSelect::ById(9))).unwrap(),
+            parse_request(&render_trace(Some("t1"), &TraceSelect::ById(9))).unwrap(),
             Request::Trace { select: TraceSelect::ById(9), .. }
         ));
+        let tid = "00112233445566778899aabbccddeeff".to_string();
+        match parse_request(&render_trace(None, &TraceSelect::ByTraceId(tid.clone()))).unwrap() {
+            Request::Trace { select: TraceSelect::ByTraceId(got), .. } => assert_eq!(got, tid),
+            other => panic!("wrong parse: {other:?}"),
+        }
         // Default selection: the most recent trace.
         assert!(matches!(
             parse_request("{\"verb\":\"trace\"}").unwrap(),
@@ -413,6 +544,9 @@ mod tests {
             "{\"verb\":\"trace\",\"last\":-2}",
             "{\"verb\":\"trace\",\"request_id\":\"x\"}",
             "{\"verb\":\"trace\",\"last\":1,\"request_id\":1}",
+            "{\"verb\":\"trace\",\"trace_id\":\"tooshort\"}",
+            "{\"verb\":\"trace\",\"request_id\":1,\
+             \"trace_id\":\"00112233445566778899aabbccddeeff\"}",
         ] {
             assert!(parse_request(bad).is_err(), "should reject {bad}");
         }

@@ -31,9 +31,10 @@
 
 use crate::json::{self, ObjBuilder};
 use crate::netcore::{ConnError, FramedConn, Interest, Poller, Waker, WRITE_BACKPRESSURE_BYTES};
-use crate::protocol::{self, render_error, ErrorCode, Request, TraceSelect};
+use crate::protocol::{self, render_error, ErrorCode, Request, TraceContext, TraceSelect};
 use crate::routing;
-use obs::MetricsRegistry;
+use crate::trace::{mint_trace_id, RetainReason, SamplingPolicy, StoredTrace, TraceRing};
+use obs::{MetricsRegistry, TraceSink};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io;
@@ -77,6 +78,18 @@ pub struct RouterConfig {
     /// How long `Router::start` waits for every shard to have at least
     /// one live upstream connection before returning (0 = don't wait).
     pub wait_ready_ms: u64,
+    /// Head-sample every N-th routed `infer` request into a distributed
+    /// trace (0 disables). The router mints the trace context and injects
+    /// it into the forwarded frame, so the shard records under the same
+    /// `trace_id` and the two per-process traces stitch back together.
+    pub trace_sample: u64,
+    /// Also retain the router-side trace of any routed request slower
+    /// than this many milliseconds end-to-end (0 disables). Tail capture
+    /// records — and forwards a sampled context for — every request, so
+    /// the shard half of a slow trace exists by the time it is wanted.
+    pub slow_trace_ms: u64,
+    /// Bounded retained-trace ring capacity.
+    pub trace_buffer: usize,
 }
 
 impl Default for RouterConfig {
@@ -89,6 +102,9 @@ impl Default for RouterConfig {
             reconnect_min_ms: 50,
             reconnect_max_ms: 1_000,
             wait_ready_ms: 2_000,
+            trace_sample: 0,
+            slow_trace_ms: 0,
+            trace_buffer: 64,
         }
     }
 }
@@ -134,6 +150,12 @@ struct RouterShared {
     live_shards: AtomicU64,
     registry: Arc<MetricsRegistry>,
     started: Instant,
+    /// Deterministic head/tail sampling over the router's own admission
+    /// counter — the same policy the daemons run, applied one tier up.
+    sampling: SamplingPolicy,
+    /// Retained router-side traces, served by the `trace` verb alongside
+    /// the shard fan-out parts.
+    ring: Arc<TraceRing>,
     cfg: RouterConfig,
 }
 
@@ -197,6 +219,12 @@ impl Router {
             live_shards: AtomicU64::new(0),
             registry,
             started,
+            sampling: SamplingPolicy {
+                sample: cfg.trace_sample,
+                slow_threshold: (cfg.slow_trace_ms > 0)
+                    .then(|| Duration::from_millis(cfg.slow_trace_ms)),
+            },
+            ring: Arc::new(TraceRing::new(cfg.trace_buffer.max(1))),
             cfg,
         });
         register_router_metrics(&shared);
@@ -309,6 +337,30 @@ fn register_router_metrics(shared: &Arc<RouterShared>) {
     );
     let n = shared.cfg.shards.len() as f64;
     reg.gauge("preinfer_router_shards", "Configured shard count.", &[], move || n);
+    const RETAIN_HELP: &str = "Per-request traces retained, by reason.";
+    let r = Arc::clone(&shared.ring);
+    reg.counter("preinfer_traces_retained_total", RETAIN_HELP, &[("reason", "head")], move || {
+        r.counters().0
+    });
+    let r = Arc::clone(&shared.ring);
+    reg.counter("preinfer_traces_retained_total", RETAIN_HELP, &[("reason", "slow")], move || {
+        r.counters().1
+    });
+    let r = Arc::clone(&shared.ring);
+    reg.counter(
+        "preinfer_traces_retained_total",
+        RETAIN_HELP,
+        &[("reason", "context")],
+        move || r.counters().2,
+    );
+    let r = Arc::clone(&shared.ring);
+    reg.counter("preinfer_traces_evicted_total", "Traces evicted from the ring.", &[], move || {
+        r.counters().3
+    });
+    let r = Arc::clone(&shared.ring);
+    reg.gauge("preinfer_trace_buffer_entries", "Traces currently retained.", &[], move || {
+        r.len() as f64
+    });
 }
 
 // ---- connector thread -------------------------------------------------------
@@ -407,6 +459,57 @@ struct Pending {
     orig_id: Option<String>,
     /// `Some` when this sub-request belongs to a fan-out.
     fan: Option<Rc<RefCell<FanState>>>,
+    /// `Some` when this forwarded `infer` is part of a recorded
+    /// distributed trace.
+    trace: Option<PendingTrace>,
+}
+
+/// Router-side tracing state for one forwarded `infer` request. Span
+/// timing lives here as plain `Instant`s and explicit span ids (the
+/// [`TraceSink::begin_span`] flat API) because the epoll loop interleaves
+/// many requests on one thread: a request's spans open in one callback
+/// and close in a later one, which RAII guards and implicit thread-local
+/// nesting cannot describe.
+struct PendingTrace {
+    sink: Arc<TraceSink>,
+    trace_id: String,
+    /// Whether the context was minted by the *client* (honored verbatim;
+    /// retention reason `context`) rather than by the router's own policy.
+    from_client: bool,
+    /// Router admission id (the sampling counter, not the wire id).
+    request_id: u64,
+    func: String,
+    /// The root `route` span; its exclusive time is pure router overhead.
+    root: u64,
+    /// `upstream_queue` span, open until the carrying upstream connection
+    /// first reports a complete flush (the frame has left the router).
+    queue_span: Option<u64>,
+    /// `upstream_rtt` span — also the `parent_span_id` the forwarded
+    /// context carries, so the shard's spans nest under it when merged.
+    rtt_span: u64,
+    t_dispatch: Instant,
+    /// When the `upstream_queue` span opened — strictly after
+    /// `route_decide` closed, so sibling spans never overlap and the
+    /// children's sum stays within the `route` root.
+    t_queued: Instant,
+    /// When the forwarded frame hit the upstream socket.
+    t_sent: Instant,
+    queue_us: u64,
+}
+
+impl PendingTrace {
+    /// Closes the `upstream_queue` span once the forwarded frame has been
+    /// written to the upstream socket; the rtt clock starts here. Callers
+    /// pass a timestamp taken *before* the completing write syscall so the
+    /// rtt window is guaranteed to contain the shard's whole service time.
+    fn close_queue(&mut self, now: Instant) {
+        if let Some(qid) = self.queue_span.take() {
+            let wait = now.duration_since(self.t_queued);
+            self.queue_us = wait.as_micros().min(u64::MAX as u128) as u64;
+            self.sink.end_span(qid, "upstream_queue", wait);
+            self.t_sent = now;
+        }
+    }
 }
 
 /// One fan-out (stats/metrics/trace) awaiting all shard parts.
@@ -417,6 +520,12 @@ struct FanState {
     expect: usize,
     parts: Vec<(usize, String)>,
     unavailable: usize,
+    /// The router's own matching retained traces (rendered), selected at
+    /// dispatch time — a stitched `trace` response carries the router
+    /// part next to the shard parts.
+    local_traces: Vec<String>,
+    /// The router ring's occupancy at dispatch time.
+    local_buffered: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -440,6 +549,10 @@ struct Loop<'a> {
     pending: HashMap<u64, Pending>,
     next_seq: u64,
     next_token: u64,
+    /// 1-based admission counter for routed `infer` requests — the
+    /// sampling policy's deterministic input, independent of `next_seq`
+    /// (which fan-out sub-requests also consume).
+    next_req_id: u64,
 }
 
 fn event_loop(listener: TcpListener, shared: &Arc<RouterShared>) {
@@ -475,6 +588,7 @@ fn event_loop(listener: TcpListener, shared: &Arc<RouterShared>) {
         pending: HashMap::new(),
         next_seq: 0,
         next_token: TOKEN_FIRST_CONN,
+        next_req_id: 0,
     };
     let mut events = Vec::new();
     let mut frames = Vec::new();
@@ -739,13 +853,27 @@ impl<'a> Loop<'a> {
                     .build();
                 self.deliver_inline(token, resp);
             }
-            Ok(Request::Infer { id, infer }) => {
+            Ok(Request::Infer { id, mut infer }) => {
+                self.next_req_id += 1;
+                let request_id = self.next_req_id;
+                let t_dispatch = Instant::now();
+                // Decide tracing before routing so the `route_decide` span
+                // can cover the shard computation.
+                let traced = decide_trace(self.shared, request_id, &mut infer);
+                let root = traced.as_ref().map(|(sink, _, _)| sink.begin_span("route", None));
+                let decide = traced
+                    .as_ref()
+                    .map(|(sink, _, _)| (sink.begin_span("route_decide", root), Instant::now()));
                 let shard = routing::shard_of(
                     &infer.program,
                     infer.func.as_deref(),
                     self.shared.cfg.shards.len(),
                 );
-                let Some(up_token) = self.pick_upstream(shard) else {
+                let picked = self.pick_upstream(shard);
+                if let (Some((sink, _, _)), Some((did, t0))) = (&traced, decide) {
+                    sink.end_span(did, "route_decide", t0.elapsed());
+                }
+                let Some(up_token) = picked else {
                     self.shared.counters.unavailable.fetch_add(1, Ordering::Relaxed);
                     let msg =
                         format!("shard {shard} ({}) is unavailable", self.shared.cfg.shards[shard]);
@@ -755,11 +883,40 @@ impl<'a> Loop<'a> {
                 };
                 let seq = self.next_seq;
                 self.next_seq += 1;
+                // Open the forwarding spans and inject the context: the
+                // shard's spans will hang under `upstream_rtt` when the
+                // per-process traces are merged.
+                let trace = traced.map(|(sink, trace_id, from_client)| {
+                    let root = root.expect("root opened with the sink");
+                    let t_queued = Instant::now();
+                    let queue_span = Some(sink.begin_span("upstream_queue", Some(root)));
+                    let rtt_span = sink.begin_span("upstream_rtt", Some(root));
+                    infer.trace = Some(TraceContext {
+                        trace_id: trace_id.clone(),
+                        parent_span_id: Some(rtt_span),
+                        sampled: true,
+                    });
+                    PendingTrace {
+                        sink,
+                        trace_id,
+                        from_client,
+                        request_id,
+                        func: infer.func.clone().unwrap_or_default(),
+                        root,
+                        queue_span,
+                        rtt_span,
+                        t_dispatch,
+                        t_queued,
+                        t_sent: t_queued,
+                        queue_us: 0,
+                    }
+                });
                 let rewritten = protocol::render_infer(Some(&format!("r{seq}")), &infer);
                 let up = self.ups.get_mut(&up_token).expect("picked upstream exists");
                 up.io.queue(&rewritten);
                 up.pending.push(seq);
-                self.pending.insert(seq, Pending { down_token: token, orig_id: id, fan: None });
+                self.pending
+                    .insert(seq, Pending { down_token: token, orig_id: id, fan: None, trace });
                 if let Some(conn) = self.downs.get_mut(&token) {
                     conn.in_flight += 1;
                 }
@@ -795,6 +952,36 @@ impl<'a> Loop<'a> {
         select: Option<TraceSelect>,
     ) {
         self.shared.counters.fanouts.fetch_add(1, Ordering::Relaxed);
+        let mut select = select.unwrap_or(TraceSelect::Last(1));
+        // The router's own retained traces answer the same selection the
+        // shards get, so a stitched trace response carries every tier.
+        let (local_traces, local_buffered) = match verb {
+            FanVerb::Trace => {
+                let matched = match &select {
+                    TraceSelect::Last(k) => {
+                        self.shared.ring.last(usize::try_from(*k).unwrap_or(usize::MAX))
+                    }
+                    TraceSelect::ById(rid) => {
+                        self.shared.ring.by_request_id(*rid).into_iter().collect()
+                    }
+                    TraceSelect::ByTraceId(tid) => {
+                        self.shared.ring.by_trace_id(tid).into_iter().collect()
+                    }
+                };
+                // `request_id` is meaningful only within one process's
+                // admission counter — every shard has its own request 17.
+                // When the id names a router-retained trace, resolve the
+                // shard legs by its distributed trace_id instead, so only
+                // the shard that *owns* the request answers.
+                if matches!(select, TraceSelect::ById(_)) {
+                    if let Some(tid) = matched.first().and_then(|t| t.trace_id.clone()) {
+                        select = TraceSelect::ByTraceId(tid);
+                    }
+                }
+                (matched.iter().map(render_router_trace).collect(), self.shared.ring.len() as u64)
+            }
+            _ => (Vec::new(), 0),
+        };
         let nshards = self.shared.cfg.shards.len();
         let targets: Vec<(usize, Option<u64>)> =
             (0..nshards).map(|s| (s, self.pick_upstream(s))).collect();
@@ -816,6 +1003,8 @@ impl<'a> Loop<'a> {
             expect: nshards,
             parts: Vec::new(),
             unavailable: nshards - reachable,
+            local_traces,
+            local_buffered,
         }));
         if let Some(conn) = self.downs.get_mut(&token) {
             conn.in_flight += 1;
@@ -828,9 +1017,7 @@ impl<'a> Loop<'a> {
             let request = match verb {
                 FanVerb::Stats => protocol::render_stats(Some(&rid)),
                 FanVerb::Metrics => protocol::render_metrics(Some(&rid)),
-                FanVerb::Trace => {
-                    protocol::render_trace(Some(&rid), select.unwrap_or(TraceSelect::Last(1)))
-                }
+                FanVerb::Trace => protocol::render_trace(Some(&rid), &select),
             };
             let up = self.ups.get_mut(&up_token).expect("picked upstream exists");
             up.io.queue(&request);
@@ -838,7 +1025,12 @@ impl<'a> Loop<'a> {
             let _ = shard; // shard is recoverable from the upstream conn
             self.pending.insert(
                 seq,
-                Pending { down_token: token, orig_id: None, fan: Some(Rc::clone(&fan)) },
+                Pending {
+                    down_token: token,
+                    orig_id: None,
+                    fan: Some(Rc::clone(&fan)),
+                    trace: None,
+                },
             );
         }
         // Every target may already have been unavailable-only; nothing
@@ -870,8 +1062,25 @@ impl<'a> Loop<'a> {
                     Some(v) => format!("\"id\":{}", json::escape(v)),
                     None => "\"id\":null".to_string(),
                 };
-                let spliced = format!("{}{}{}", &raw[..start], replacement, &raw[end..]);
-                self.deliver_down(p.down_token, spliced);
+                if let Some(mut tr) = p.trace {
+                    let now = Instant::now();
+                    // Backpressure can keep the queue span open past the
+                    // response (flush never reported complete); close it
+                    // here so the rtt span still gets a sane start.
+                    tr.close_queue(now);
+                    tr.sink.end_span(tr.rtt_span, "upstream_rtt", now.duration_since(tr.t_sent));
+                    let t_splice = Instant::now();
+                    let sid = tr.sink.begin_span("splice", Some(tr.root));
+                    let spliced = format!("{}{}{}", &raw[..start], replacement, &raw[end..]);
+                    tr.sink.end_span(sid, "splice", t_splice.elapsed());
+                    let service = tr.t_dispatch.elapsed();
+                    tr.sink.end_span(tr.root, "route", service);
+                    self.retain_trace(tr, service);
+                    self.deliver_down(p.down_token, spliced);
+                } else {
+                    let spliced = format!("{}{}{}", &raw[..start], replacement, &raw[end..]);
+                    self.deliver_down(p.down_token, spliced);
+                }
             }
             Some(fan) => {
                 let shard = self.ups.get(&up_token).map(|u| u.shard).unwrap_or(0);
@@ -879,6 +1088,27 @@ impl<'a> Loop<'a> {
                 self.try_finish_fan(&fan);
             }
         }
+    }
+
+    /// Retention for one completed router-side trace: a client-minted
+    /// context is always retained (the client already decided); router-
+    /// minted traces go through the same head/slow policy as the daemons.
+    fn retain_trace(&self, tr: PendingTrace, service: std::time::Duration) {
+        let reason = if tr.from_client {
+            Some(RetainReason::Context)
+        } else {
+            self.shared.sampling.retain(tr.request_id, service)
+        };
+        let Some(reason) = reason else { return };
+        self.shared.ring.push(StoredTrace {
+            request_id: tr.request_id,
+            trace_id: Some(tr.trace_id),
+            func: tr.func,
+            reason,
+            queue_us: tr.queue_us,
+            service_us: service.as_micros().min(u64::MAX as u128) as u64,
+            lines: tr.sink.lines(),
+        });
     }
 
     /// Completes a fan-out once every shard has answered or failed.
@@ -952,12 +1182,31 @@ impl<'a> Loop<'a> {
         let mut dead_ups = Vec::new();
         for (&token, up) in self.ups.iter_mut() {
             if up.io.wants_write() {
+                // Timestamp BEFORE the write syscall: on loopback the
+                // shard can be woken with the bytes while this thread is
+                // still inside (or descheduled after) `write`, so a
+                // post-write stamp would let the shard's entire service
+                // time leak into `upstream_queue` and leave an
+                // `upstream_rtt` span too short to contain the shard's
+                // grafted `run` span in the merged trace.
+                let t_flush = Instant::now();
                 match up.io.flush() {
                     Err(_) => {
                         dead_ups.push(token);
                         continue;
                     }
                     Ok(flushed) => {
+                        if flushed {
+                            // Every frame queued on this connection has
+                            // left the router: close their queue spans.
+                            for seq in &up.pending {
+                                if let Some(tr) =
+                                    self.pending.get_mut(seq).and_then(|p| p.trace.as_mut())
+                                {
+                                    tr.close_queue(t_flush);
+                                }
+                            }
+                        }
                         let want = Interest { readable: true, writable: !flushed };
                         let _ = self.poller.modify(up.io.stream().as_raw_fd(), token, want);
                     }
@@ -968,6 +1217,66 @@ impl<'a> Loop<'a> {
             self.fail_upstream(token);
         }
     }
+}
+
+/// The tracing decision for one routed `infer` request. Exactly one tier
+/// decides sampling:
+///
+/// * A client-supplied context is honored verbatim — that tier decided;
+///   the router joins the trace as a middle hop (when `sampled`) or stays
+///   dark (when not).
+/// * Otherwise, with a router policy configured, the router decides and
+///   mints the context. Non-sampled requests are forwarded with an
+///   explicit `sampled: false` so shards do not independently head-sample
+///   a request the router declined — one trace per decision, not two.
+/// * With no policy and no context, the frame is forwarded untouched and
+///   the shard's own head/tail policy applies as before.
+///
+/// Returns `(sink, trace_id, from_client)` when the router records.
+fn decide_trace(
+    shared: &RouterShared,
+    request_id: u64,
+    infer: &mut protocol::InferRequest,
+) -> Option<(Arc<TraceSink>, String, bool)> {
+    let (ctx, from_client) = match infer.trace.clone() {
+        Some(c) => (c, true),
+        None => {
+            if !shared.sampling.enabled() {
+                return None;
+            }
+            let sampled = shared.sampling.record(request_id);
+            (
+                TraceContext { trace_id: mint_trace_id(request_id), parent_span_id: None, sampled },
+                false,
+            )
+        }
+    };
+    if !ctx.sampled {
+        infer.trace = Some(ctx);
+        return None;
+    }
+    let sink = Arc::new(TraceSink::recording_in_trace(
+        "preinfer-router",
+        &ctx.trace_id,
+        ctx.parent_span_id,
+    ));
+    Some((sink, ctx.trace_id, from_client))
+}
+
+/// Renders one retained router-side trace, in the same shape as the
+/// daemon's `trace` verb elements plus a `process` marker (shard parts
+/// carry a `shard` index instead).
+fn render_router_trace(t: &StoredTrace) -> String {
+    ObjBuilder::new()
+        .str("process", "preinfer-router")
+        .u64("request_id", t.request_id)
+        .opt_str("trace_id", t.trace_id.as_deref())
+        .str("func", &t.func)
+        .str("reason", t.reason.label())
+        .u64("queue_us", t.queue_us)
+        .u64("service_us", t.service_us)
+        .arr("events", t.lines.clone())
+        .build()
 }
 
 /// Locates the router's correlation token `"id":"r<seq>"` in a raw shard
@@ -1088,11 +1397,16 @@ fn relabel_metric_line(line: &str, shard: usize) -> String {
     }
 }
 
-/// Merged `trace`: all shards' retained traces concatenated (each trace
-/// object gains a `shard` field), newest-first within each shard.
+/// Merged `trace`: the router's own matching retained traces first
+/// (tagged `process: "preinfer-router"`), then all shards' (each trace
+/// object gains a `shard` field), newest-first within each shard. A
+/// by-`trace_id` selection therefore returns one stitched multi-process
+/// trace: every part shares the `trace_id`, and each part's recorded
+/// lines open with the `trace_meta` naming its process, which is all
+/// `obs::analyze` needs to merge them into one tree.
 fn merge_traces(f: &FanState) -> String {
-    let mut traces = Vec::new();
-    let mut buffered = 0u64;
+    let mut traces = f.local_traces.clone();
+    let mut buffered = f.local_buffered;
     for (shard, raw) in &f.parts {
         let Ok(parsed) = json::parse(raw) else { continue };
         buffered += parsed.u64_field("buffered").unwrap_or(0);

@@ -532,9 +532,13 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                 shared.latency.trace.record(started.elapsed());
             }
             Ok(Request::Infer { id, infer }) => {
+                let exemplar = sampled_trace_id(&infer).map(str::to_string);
                 let resp = submit_infer(id, infer, shared);
                 protocol::write_frame(&mut writer, &resp)?;
-                shared.latency.infer.record(started.elapsed());
+                match &exemplar {
+                    Some(tid) => shared.latency.infer.record_with_exemplar(started.elapsed(), tid),
+                    None => shared.latency.infer.record(started.elapsed()),
+                }
             }
             Err(reason) => {
                 // Parseable framing, unparseable payload: answer and keep
@@ -759,12 +763,13 @@ pub(crate) fn render_stats_response(id: Option<&str>, shared: &Shared) -> String
                 .build(),
         )
         .raw("traces", {
-            let (head, slow, evicted) = shared.ring.counters();
+            let (head, slow, context, evicted) = shared.ring.counters();
             ObjBuilder::new()
                 .u64("sample", shared.sampling.sample)
                 .u64("buffered", shared.ring.len() as u64)
                 .u64("retained_head", head)
                 .u64("retained_slow", slow)
+                .u64("retained_context", context)
                 .u64("evicted", evicted)
                 .build()
         })
@@ -794,12 +799,14 @@ pub(crate) fn render_trace_response(
     let traces = match select {
         TraceSelect::Last(k) => shared.ring.last(usize::try_from(*k).unwrap_or(usize::MAX)),
         TraceSelect::ById(rid) => shared.ring.by_request_id(*rid).into_iter().collect(),
+        TraceSelect::ByTraceId(tid) => shared.ring.by_trace_id(tid).into_iter().collect(),
     };
     let rendered: Vec<String> = traces
         .iter()
         .map(|t| {
             ObjBuilder::new()
                 .u64("request_id", t.request_id)
+                .opt_str("trace_id", t.trace_id.as_deref())
                 .str("func", &t.func)
                 .str("reason", t.reason.label())
                 .u64("queue_us", t.queue_us)
@@ -819,6 +826,12 @@ pub(crate) fn render_trace_response(
 
 // ---- workers ----------------------------------------------------------------
 
+/// The trace id to stamp on latency exemplars: present only when the
+/// request carries a sampled cross-process trace context.
+fn sampled_trace_id(req: &InferRequest) -> Option<&str> {
+    req.trace.as_ref().filter(|c| c.sampled).map(|c| c.trace_id.as_str())
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let Some(job) = shared.queue.pop_timeout(POLL_PERIOD) else {
@@ -834,17 +847,34 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         let dequeued = Instant::now();
         let queue_wait = dequeued.duration_since(job.admitted_at);
-        shared.latency.queue_wait.record(queue_wait);
+        // A sampled cross-process request leaves its trace_id as the
+        // exemplar on whatever bucket its wait lands in, so a fat tail
+        // bucket in `metrics` links straight to a retained trace.
+        match sampled_trace_id(&job.request) {
+            Some(tid) => shared.latency.queue_wait.record_with_exemplar(queue_wait, tid),
+            None => shared.latency.queue_wait.record(queue_wait),
+        }
         let queue_ms = queue_wait.as_secs_f64() * 1e3;
         // Sampled requests (and all requests under a slow threshold) run
         // on a private recording sink; everyone else shares the aggregate.
         // Recording is observation-only — the trace-neutrality tests prove
-        // served ψ identical either way.
-        let recording = shared.sampling.record(job.request_id);
-        let sink = if recording {
-            Arc::new(obs::TraceSink::recording())
-        } else {
-            Arc::clone(&shared.trace)
+        // served ψ identical either way. An upstream-minted trace context
+        // overrides the local policy entirely: exactly one tier decides
+        // sampling, and a context-recorded sink stamps the shared trace_id
+        // so the per-process traces stitch together afterwards.
+        let ctx = job.request.trace.clone();
+        let recording = match &ctx {
+            Some(c) => c.sampled,
+            None => shared.sampling.record(job.request_id),
+        };
+        let sink = match (&ctx, recording) {
+            (Some(c), true) => Arc::new(obs::TraceSink::recording_in_trace(
+                "preinferd",
+                &c.trace_id,
+                c.parent_span_id,
+            )),
+            (None, true) => Arc::new(obs::TraceSink::recording()),
+            (_, false) => Arc::clone(&shared.trace),
         };
         let trace = Some(Arc::clone(&sink));
         let result = service::run_infer(
@@ -902,9 +932,17 @@ fn worker_loop(shared: &Arc<Shared>) {
             // Fold the private sink's stage histograms into the daemon
             // aggregate so `stats`/`metrics` stay complete under sampling.
             shared.trace.absorb(&sink);
-            if let Some(reason) = shared.sampling.retain(job.request_id, service_time) {
+            // With a context the upstream tier already decided retention;
+            // locally-sampled requests go through the head/tail policy.
+            let reason = match &ctx {
+                Some(_) => Some(crate::trace::RetainReason::Context),
+                None => shared.sampling.retain(job.request_id, service_time),
+            };
+            if let Some(reason) = reason {
+                let trace_id = sink.trace_id();
                 shared.ring.push(StoredTrace {
                     request_id: job.request_id,
+                    trace_id,
                     func,
                     reason,
                     queue_us,
@@ -917,7 +955,12 @@ fn worker_loop(shared: &Arc<Shared>) {
         // thread; for event-core jobs the worker is the last stop that
         // knows the request, so record admission→completion here.
         if matches!(job.reply, ReplyTo::Event { .. }) {
-            shared.latency.infer.record(job.admitted_at.elapsed());
+            match sampled_trace_id(&job.request) {
+                Some(tid) => {
+                    shared.latency.infer.record_with_exemplar(job.admitted_at.elapsed(), tid)
+                }
+                None => shared.latency.infer.record(job.admitted_at.elapsed()),
+            }
         }
         job.reply.send(response);
     }
@@ -1222,8 +1265,15 @@ fn register_metrics(
         r.counters().1
     });
     let r = Arc::clone(ring);
+    reg.counter(
+        "preinfer_traces_retained_total",
+        RETAIN_HELP,
+        &[("reason", "context")],
+        move || r.counters().2,
+    );
+    let r = Arc::clone(ring);
     reg.counter("preinfer_traces_evicted_total", "Traces evicted from the ring.", &[], move || {
-        r.counters().2
+        r.counters().3
     });
     let r = Arc::clone(ring);
     reg.gauge("preinfer_trace_buffer_entries", "Traces currently retained.", &[], move || {

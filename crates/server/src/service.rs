@@ -274,6 +274,7 @@ mod tests {
             deadline_ms: None,
             tests: None,
             jobs: 1,
+            trace: None,
         }
     }
 

@@ -33,6 +33,9 @@ pub enum RetainReason {
     Head,
     /// Service time exceeded the slow threshold (`--slow-trace-ms`).
     Slow,
+    /// An upstream tier minted a trace context with `sampled: true`; this
+    /// process honored that decision instead of its own policy.
+    Context,
 }
 
 impl RetainReason {
@@ -40,8 +43,41 @@ impl RetainReason {
         match self {
             RetainReason::Head => "head",
             RetainReason::Slow => "slow",
+            RetainReason::Context => "context",
         }
     }
+}
+
+/// Mints a fresh 128-bit trace id (32 hex digits). Uniqueness comes from
+/// hashing a per-process random seed with the wall clock, the pid, and
+/// the caller's monotonic sequence number — collision needs both
+/// independent 64-bit halves to collide. No RNG state is kept, so the
+/// serving paths that never mint (every non-sampled request) pay nothing.
+pub fn mint_trace_id(seq: u64) -> String {
+    use std::hash::{BuildHasher, Hasher, RandomState};
+    use std::sync::OnceLock;
+    static SEED: OnceLock<RandomState> = OnceLock::new();
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let seed = SEED.get_or_init(RandomState::new);
+    // The nonce keeps ids distinct even if the clock is too coarse to
+    // move between two mints with the same caller sequence number.
+    let seq = seq ^ NONCE.fetch_add(1, Ordering::Relaxed).rotate_left(32);
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let mut h = seed.build_hasher();
+    h.write_u128(now);
+    h.write_u64(seq);
+    h.write_u32(std::process::id());
+    let hi = h.finish();
+    let mut h = seed.build_hasher();
+    h.write_u64(seq);
+    h.write_u32(std::process::id());
+    h.write_u128(now);
+    h.write_u64(0x7072_6549_6e66_6572); // "prInfer", domain-separates the halves
+    let lo = h.finish();
+    format!("{hi:016x}{lo:016x}")
 }
 
 /// The deterministic sampling policy (immutable after startup).
@@ -87,6 +123,9 @@ impl SamplingPolicy {
 #[derive(Debug, Clone)]
 pub struct StoredTrace {
     pub request_id: u64,
+    /// The distributed trace id this request recorded under, when it ran
+    /// inside a cross-process trace (or minted one itself).
+    pub trace_id: Option<String>,
     /// Entry function of the request (empty when it failed to compile).
     pub func: String,
     pub reason: RetainReason,
@@ -107,6 +146,7 @@ pub struct TraceRing {
     capacity: usize,
     retained_head: AtomicU64,
     retained_slow: AtomicU64,
+    retained_context: AtomicU64,
     evicted: AtomicU64,
 }
 
@@ -117,6 +157,7 @@ impl TraceRing {
             capacity: capacity.max(1),
             retained_head: AtomicU64::new(0),
             retained_slow: AtomicU64::new(0),
+            retained_context: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
         }
     }
@@ -130,6 +171,7 @@ impl TraceRing {
         match trace.reason {
             RetainReason::Head => &self.retained_head,
             RetainReason::Slow => &self.retained_slow,
+            RetainReason::Context => &self.retained_context,
         }
         .fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries.lock().expect("trace ring");
@@ -152,6 +194,12 @@ impl TraceRing {
         entries.iter().rev().find(|t| t.request_id == request_id).cloned()
     }
 
+    /// The trace recorded under one distributed trace id, if retained.
+    pub fn by_trace_id(&self, trace_id: &str) -> Option<StoredTrace> {
+        let entries = self.entries.lock().expect("trace ring");
+        entries.iter().rev().find(|t| t.trace_id.as_deref() == Some(trace_id)).cloned()
+    }
+
     /// Number of traces currently retained.
     pub fn len(&self) -> usize {
         self.entries.lock().expect("trace ring").len()
@@ -161,11 +209,13 @@ impl TraceRing {
         self.len() == 0
     }
 
-    /// `(head-sampled, slow-captured, evicted)` lifetime counters.
-    pub fn counters(&self) -> (u64, u64, u64) {
+    /// `(head-sampled, slow-captured, context-sampled, evicted)` lifetime
+    /// counters.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
         (
             self.retained_head.load(Ordering::Relaxed),
             self.retained_slow.load(Ordering::Relaxed),
+            self.retained_context.load(Ordering::Relaxed),
             self.evicted.load(Ordering::Relaxed),
         )
     }
@@ -178,6 +228,7 @@ mod tests {
     fn stored(id: u64, reason: RetainReason) -> StoredTrace {
         StoredTrace {
             request_id: id,
+            trace_id: Some(format!("{id:032x}")),
             func: "f".to_string(),
             reason,
             queue_us: 1,
@@ -221,7 +272,29 @@ mod tests {
         assert_eq!(last.iter().map(|t| t.request_id).collect::<Vec<_>>(), vec![3, 2]);
         assert!(ring.by_request_id(1).is_none(), "oldest entry was evicted");
         assert_eq!(ring.by_request_id(3).unwrap().reason, RetainReason::Slow);
-        assert_eq!(ring.counters(), (2, 1, 1));
+        assert_eq!(ring.counters(), (2, 1, 0, 1));
+    }
+
+    #[test]
+    fn ring_serves_by_trace_id_and_counts_context_retention() {
+        let ring = TraceRing::new(4);
+        ring.push(stored(1, RetainReason::Context));
+        ring.push(stored(2, RetainReason::Context));
+        let found = ring.by_trace_id(&format!("{:032x}", 2)).expect("trace retained");
+        assert_eq!(found.request_id, 2);
+        assert!(ring.by_trace_id("ffffffffffffffffffffffffffffffff").is_none());
+        assert_eq!(ring.counters(), (0, 0, 2, 0));
+        assert_eq!(RetainReason::Context.label(), "context");
+    }
+
+    #[test]
+    fn minted_trace_ids_are_well_formed_and_distinct() {
+        let a = mint_trace_id(1);
+        let b = mint_trace_id(2);
+        assert_eq!(a.len(), 32);
+        assert!(a.bytes().all(|c| c.is_ascii_hexdigit()));
+        assert_ne!(a, b, "consecutive mints must differ");
+        assert_ne!(mint_trace_id(1), a, "same seq mints differ across calls (clock moved)");
     }
 
     #[test]

@@ -17,6 +17,7 @@ fn infer_req(deadline_ms: Option<u64>) -> InferRequest {
         deadline_ms,
         tests: None,
         jobs: 1,
+        trace: None,
     }
 }
 

@@ -46,6 +46,7 @@ fn served_psis_match_offline_for_the_whole_corpus() {
             deadline_ms: None,
             tests: None,
             jobs: 1,
+            trace: None,
         };
         let resp = cl.infer(&req).expect("infer round-trip");
         let served = served_psis(&resp)
@@ -63,6 +64,7 @@ fn served_psis_match_offline_for_the_whole_corpus() {
             deadline_ms: None,
             tests: None,
             jobs: 1,
+            trace: None,
         };
         let resp = cl.infer(&req).expect("infer round-trip (warm)");
         let served =

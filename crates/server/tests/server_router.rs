@@ -24,6 +24,16 @@ fn start_router(shards: &[&Server]) -> Router {
     .expect("start router")
 }
 
+/// The router part's `request_id` from a stitched trace response (the
+/// router's own admission counter, not any shard's).
+fn a_router_request_id(resp: &server::json::Json) -> u64 {
+    resp.get("traces")
+        .and_then(|t| t.as_array())
+        .and_then(|ts| ts.iter().find(|t| t.str_field("process") == Some("preinfer-router")))
+        .and_then(|t| t.u64_field("request_id"))
+        .expect("stitched response carries the router part's request id")
+}
+
 fn infer_req(m: &subjects::SubjectMethod) -> InferRequest {
     InferRequest {
         program: m.source.to_string(),
@@ -31,6 +41,7 @@ fn infer_req(m: &subjects::SubjectMethod) -> InferRequest {
         deadline_ms: None,
         tests: None,
         jobs: 1,
+        trace: None,
     }
 }
 
@@ -195,6 +206,145 @@ fn fanout_verbs_merge_across_shards() {
 
     router.handle().shutdown();
     router.join();
+    for s in [shard0, shard1] {
+        s.handle().shutdown();
+        s.join();
+    }
+}
+
+/// Distributed tracing is behaviorally neutral and joinable. ψ served
+/// with tracing off, with the router head-sampling every request
+/// (router-minted contexts), and with a client-supplied trace context is
+/// byte-identical to the offline pipeline in all three modes; and a
+/// traced routed request leaves one *stitched* multi-process trace —
+/// the router's `trace --trace-id X` verb returns the router part and
+/// the owning shard's part under the same trace_id, and `obs::analyze`
+/// merges their event streams into a single tree with the shard's `run`
+/// nested under the router's `upstream_rtt` span.
+#[test]
+fn tracing_is_psi_neutral_and_stitches_across_processes() {
+    let shard0 = start_shard(IoMode::Epoll);
+    let shard1 = start_shard(IoMode::Threads);
+    let plain = start_router(&[&shard0, &shard1]);
+    let traced = Router::start(RouterConfig {
+        shards: vec![shard0.local_addr().to_string(), shard1.local_addr().to_string()],
+        trace_sample: 1,
+        ..RouterConfig::default()
+    })
+    .expect("start traced router");
+
+    let mut via_plain = Client::connect(&plain.local_addr().to_string()).expect("connect");
+    let mut via_traced = Client::connect(&traced.local_addr().to_string()).expect("connect");
+
+    let corpus = subjects::all_subjects();
+    let mut last_tid = String::new();
+    for (i, m) in corpus.iter().step_by(5).enumerate() {
+        let truth = offline_psis(m);
+        let off = served_psis(&via_plain.infer(&infer_req(m)).expect("infer untraced"))
+            .unwrap_or_else(|| panic!("{}: untraced router returned an error", m.name));
+        let minted = served_psis(&via_traced.infer(&infer_req(m)).expect("infer router-minted"))
+            .unwrap_or_else(|| panic!("{}: traced router returned an error", m.name));
+        let mut req = infer_req(m);
+        let tid = format!("{:032x}", 0xfeed_face_0000_0000_u128 + i as u128);
+        req.trace = Some(server::TraceContext {
+            trace_id: tid.clone(),
+            parent_span_id: None,
+            sampled: true,
+        });
+        let supplied = served_psis(&via_traced.infer(&req).expect("infer client-context"))
+            .unwrap_or_else(|| panic!("{}: client-context request returned an error", m.name));
+        assert_eq!(off, truth, "{}: untraced ψ diverged from offline", m.name);
+        assert_eq!(minted, truth, "{}: router-minted tracing changed ψ", m.name);
+        assert_eq!(supplied, truth, "{}: client trace context changed ψ", m.name);
+        last_tid = tid;
+    }
+
+    // Fetch the stitched trace for the last client-supplied id: the
+    // router part leads, the owning shard's part follows, same trace_id.
+    let resp = via_traced
+        .trace(server::TraceSelect::ByTraceId(last_tid.clone()))
+        .expect("stitched trace verb");
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let traces = resp.get("traces").and_then(|t| t.as_array()).expect("traces array");
+    assert_eq!(traces.len(), 2, "router part + owning shard part: {resp:?}");
+    assert_eq!(traces[0].str_field("process"), Some("preinfer-router"));
+    assert_eq!(traces[0].str_field("reason"), Some("context"));
+    assert!(traces[1].get("shard").and_then(|v| v.as_u64()).is_some(), "shard part tagged");
+    for t in traces {
+        assert_eq!(t.str_field("trace_id"), Some(last_tid.as_str()));
+    }
+
+    // Merge both event streams (re-rendered to JSON lines, as a client
+    // piping to `preinfer-trace -` would) and check the tree shape.
+    let mut lines: Vec<String> = Vec::new();
+    for t in traces {
+        let events = t.get("events").and_then(|e| e.as_array()).expect("events array");
+        for ev in events {
+            lines.push(server::json::render(ev));
+        }
+    }
+    let a =
+        obs::TraceAnalysis::from_lines(lines.iter().map(String::as_str)).expect("merged analysis");
+    assert_eq!(a.trace_id.as_deref(), Some(last_tid.as_str()));
+    assert_eq!(a.processes, vec!["preinfer-router", "preinferd"]);
+    assert_eq!(a.roots.len(), 1, "one merged tree rooted at the router's route span");
+    let root = &a.spans[&a.roots[0]];
+    assert_eq!(root.stage, "route");
+    let rtt = root
+        .children
+        .iter()
+        .map(|c| &a.spans[c])
+        .find(|s| s.stage == "upstream_rtt")
+        .expect("route has an upstream_rtt child");
+    let run = rtt
+        .children
+        .iter()
+        .map(|c| &a.spans[c])
+        .find(|s| s.stage == "run")
+        .expect("shard run nests under upstream_rtt");
+    assert_eq!(run.process, "preinferd");
+    assert!(run.dur_us <= rtt.dur_us, "shard service time fits inside the rtt span");
+    assert!(!run.children.is_empty(), "shard pipeline spans hang under its run node");
+    // Cross-tier accounting stays within the router's wall clock.
+    assert!(
+        a.exclusive_total_us() <= a.wall_us(),
+        "exclusive {} µs exceeds wall {} µs",
+        a.exclusive_total_us(),
+        a.wall_us()
+    );
+    let per = a.process_totals();
+    assert_eq!(per.len(), 2, "both tiers in the exclusive split");
+    assert!(per.iter().all(|(_, us)| *us > 0), "both tiers did attributable work: {per:?}");
+
+    // `trace --request-id` against the router resolves ownership via the
+    // router's own ring: the shard leg is fetched by the distributed
+    // trace_id, not by the shard's coincidental request numbering, so
+    // the same stitched pair comes back.
+    let router_rid = a_router_request_id(&resp);
+    let by_rid =
+        via_traced.trace(server::TraceSelect::ById(router_rid)).expect("trace by request id");
+    let rid_traces = by_rid.get("traces").and_then(|t| t.as_array()).expect("traces array");
+    assert_eq!(rid_traces.len(), 2, "request-id lookup resolves the owning shard: {by_rid:?}");
+    for t in rid_traces {
+        assert_eq!(t.str_field("trace_id"), Some(last_tid.as_str()));
+    }
+
+    // Router-minted traces were retained too (reason `head`, a real
+    // 32-hex id) even though the client never saw their ids.
+    let minted = via_traced.trace(server::TraceSelect::Last(64)).expect("trace verb");
+    let minted_traces = minted.get("traces").and_then(|t| t.as_array()).expect("traces");
+    let head_minted = minted_traces.iter().any(|t| {
+        t.str_field("process") == Some("preinfer-router")
+            && t.str_field("reason") == Some("head")
+            && t.str_field("trace_id")
+                .is_some_and(|tid| tid.len() == 32 && tid.chars().all(|c| c.is_ascii_hexdigit()))
+    });
+    assert!(head_minted, "router-minted head samples retained in the router ring");
+
+    for r in [plain, traced] {
+        r.handle().shutdown();
+        r.join();
+    }
     for s in [shard0, shard1] {
         s.handle().shutdown();
         s.join();

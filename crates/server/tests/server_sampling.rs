@@ -13,6 +13,7 @@ fn infer_req(program: &str, func: &str) -> InferRequest {
         deadline_ms: None,
         tests: None,
         jobs: 1,
+        trace: None,
     }
 }
 
@@ -156,6 +157,15 @@ fn metrics_verb_serves_prometheus_exposition() {
     let addr = server.local_addr().to_string();
     let mut cl = Client::connect(&addr).expect("connect");
     cl.infer(&motivating_req()).expect("infer round-trip");
+    // A request inside a sampled cross-process trace context leaves its
+    // trace_id as an exemplar on the latency histograms.
+    let mut in_trace = motivating_req();
+    in_trace.trace = Some(server::TraceContext {
+        trace_id: "00112233445566778899aabbccddeeff".to_string(),
+        parent_span_id: Some(3),
+        sampled: true,
+    });
+    cl.infer(&in_trace).expect("infer round-trip (in trace)");
     let resp = cl.metrics().expect("metrics round-trip");
     assert_eq!(resp.str_field("verb"), Some("metrics"));
     let text = resp.str_field("text").expect("metrics response carries the exposition text");
@@ -173,15 +183,20 @@ fn metrics_verb_serves_prometheus_exposition() {
         "preinfer_queue_depth",
         "preinfer_queue_capacity 64",
         "preinfer_uptime_seconds",
-        "preinfer_infer_results_total{result=\"ok\"} 1",
+        "preinfer_infer_results_total{result=\"ok\"} 2",
         "preinfer_traces_retained_total{reason=\"head\"} 1",
-        "preinfer_trace_buffer_entries 1",
+        "preinfer_traces_retained_total{reason=\"context\"} 1",
+        "preinfer_trace_buffer_entries 2",
+        // The context-carrying request's exemplar, on whatever latency
+        // bucket its duration landed in.
+        " # {trace_id=\"00112233445566778899aabbccddeeff\"} ",
     ] {
         assert!(text.contains(needle), "exposition lacks `{needle}`:\n{text}");
     }
 
     // Every line matches the text format: comments are HELP/TYPE, samples
-    // end in a parseable value, histogram bucket counts are cumulative.
+    // end in a parseable value (with an optional OpenMetrics exemplar
+    // suffix on bucket lines), histogram bucket counts are cumulative.
     let mut last_bucket: Option<(String, u64)> = None;
     for line in text.lines() {
         if let Some(rest) = line.strip_prefix("# ") {
@@ -191,7 +206,22 @@ fn metrics_verb_serves_prometheus_exposition() {
             );
             continue;
         }
-        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("no value: {line}"));
+        let (sample, exemplar) = match line.split_once(" # ") {
+            Some((s, e)) => (s, Some(e)),
+            None => (line, None),
+        };
+        if let Some(ex) = exemplar {
+            // `# {label="..."} value`, and only on bucket lines.
+            assert!(sample.contains("_bucket{"), "exemplar on a non-bucket line: {line}");
+            let (labels, ex_value) =
+                ex.rsplit_once(' ').unwrap_or_else(|| panic!("no exemplar value: {line}"));
+            assert!(
+                labels.starts_with("{trace_id=\"") && labels.ends_with("\"}"),
+                "bad exemplar labels: {line}"
+            );
+            assert!(ex_value.parse::<f64>().is_ok(), "unparseable exemplar value: {line}");
+        }
+        let (series, value) = sample.rsplit_once(' ').unwrap_or_else(|| panic!("no value: {line}"));
         assert!(
             value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
             "unparseable sample value: {line}"

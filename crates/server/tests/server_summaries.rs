@@ -27,6 +27,7 @@ fn req(program: &str) -> InferRequest {
         deadline_ms: None,
         tests: None,
         jobs: 1,
+        trace: None,
     }
 }
 

@@ -17,6 +17,7 @@ fn motivating_request() -> InferRequest {
         deadline_ms: None,
         tests: None,
         jobs: 1,
+        trace: None,
     }
 }
 

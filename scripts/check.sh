@@ -158,29 +158,44 @@ done
 for SUBJECT in guarded_div reverse_words binary_search; do
     ./target/release/preinfer-client --addr "$ADDR" corpus "$SUBJECT" --check-offline
 done
-# The metrics verb must serve well-formed Prometheus text exposition.
+# The metrics verb must serve well-formed Prometheus text exposition
+# (traced requests may append OpenMetrics exemplars after " # " on
+# histogram bucket lines — validated, then stripped before the
+# version-0.0.4 checks).
 ./target/release/preinfer-client --addr "$ADDR" metrics > server_metrics.txt
-python3 - <<'EOF'
-lines = open("server_metrics.txt").read().splitlines()
+python3 - server_metrics.txt <<'EOF'
+import re, sys
+lines = open(sys.argv[1]).read().splitlines()
 assert lines, "empty metrics exposition"
 names = set()
+exemplars = 0
 for line in lines:
     if line.startswith("# "):
         kind, name = line[2:].split(" ", 2)[:2]
         assert kind in ("HELP", "TYPE"), f"bad comment line: {line}"
         names.add(name)
         continue
-    series, value = line.rsplit(" ", 1)
+    sample, sep, exemplar = line.partition(" # ")
+    if sep:
+        assert "_bucket{" in sample, f"exemplar on a non-bucket line: {line}"
+        assert re.fullmatch(r'\{trace_id="[0-9a-f]{32}"\} \d+(\.\d+)?', exemplar), \
+            f"malformed exemplar: {line}"
+        exemplars += 1
+    series, value = sample.rsplit(" ", 1)
     assert value == "+Inf" or float(value) >= 0, f"bad sample value: {line}"
     base = series.split("{")[0]
     for suffix in ("_bucket", "_sum", "_count"):
         base = base.removesuffix(suffix)
     assert base in names, f"sample without HELP/TYPE metadata: {line}"
+print(f"metrics smoke: {len(lines)} exposition lines, {len(names)} metric "
+      f"families, {exemplars} exemplars")
+EOF
+python3 - <<'EOF'
+lines = open("server_metrics.txt").read().splitlines()
 for needle in ("preinfer_infer_results_total{result=\"ok\"} 3",
                "preinfer_queue_capacity 64",
                "preinfer_traces_retained_total{reason=\"head\"} 2"):
     assert any(l == needle for l in lines), f"exposition lacks `{needle}`"
-print(f"metrics smoke: {len(lines)} exposition lines, {len(names)} metric families")
 EOF
 # A head-sampled trace must round-trip through the analyzer. (Analyze to
 # a file, not a pipe: `grep -q` exiting at first match would SIGPIPE the
@@ -256,10 +271,12 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 [ -n "$SHARD0" ] && [ -n "$SHARD1" ] || { echo "shard daemons never announced"; exit 1; }
+# --trace-sample 1: every routed infer is traced end-to-end — the ψ
+# differential below doubles as the routed trace-neutrality check.
 ./target/release/preinfer-router --addr 127.0.0.1:0 --shard "$SHARD0" --shard "$SHARD1" \
-    >router_smoke.out 2>&1 &
+    --trace-sample 1 >router_smoke.out 2>&1 &
 ROUTER_PID=$!
-trap 'kill "$ROUTER_PID" "$SHARD0_PID" "$SHARD1_PID" 2>/dev/null || true; rm -f shard0.out shard1.out router_smoke.out' EXIT
+trap 'kill "$ROUTER_PID" "$SHARD0_PID" "$SHARD1_PID" 2>/dev/null || true; rm -f shard0.out shard1.out router_smoke.out router_trace_hdr.txt router_trace.jsonl router_trace_report.txt router_metrics.txt' EXIT
 RADDR=""
 for _ in $(seq 1 100); do
     RADDR="$(sed -n 's/^listening on //p' router_smoke.out | head -n1)"
@@ -279,6 +296,56 @@ assert r["shards"] == 2, r
 assert len(s["shards"]) == 2, "merged stats must nest both shard reports"
 assert r["unavailable"] == 0, "no request may have failed over"
 print(f"router smoke: 2 shards live, {r['\''forwarded'\'']} requests forwarded")'
+
+echo "== distributed trace smoke (stitched multi-process trace)"
+# Pull the router's most recent retained trace id, then fetch the
+# stitched trace by trace_id and analyze the merged stream: spans from
+# both processes must join into one tree whose exclusive total stays
+# within the router's wall clock.
+./target/release/preinfer-client --addr "$RADDR" trace --last 1 \
+    >/dev/null 2>router_trace_hdr.txt
+TID="$(sed -n 's/.*trace_id=\([0-9a-f]\{32\}\).*/\1/p' router_trace_hdr.txt | head -n1)"
+[ -n "$TID" ] || { echo "router retained no traced request"; cat router_trace_hdr.txt; exit 1; }
+./target/release/preinfer-client --addr "$RADDR" trace --trace-id "$TID" \
+    >router_trace.jsonl 2>router_trace_hdr.txt
+grep -q "preinfer-router" router_trace_hdr.txt \
+    || { echo "stitched trace lacks the router part"; cat router_trace_hdr.txt; exit 1; }
+grep -q "shard=" router_trace_hdr.txt \
+    || { echo "stitched trace lacks a shard part"; cat router_trace_hdr.txt; exit 1; }
+./target/release/preinfer-trace - < router_trace.jsonl > router_trace_report.txt
+python3 - "$TID" <<'EOF'
+import re, sys
+tid = sys.argv[1]
+report = open("router_trace_report.txt").read()
+assert f"trace {tid}: preinfer-router → preinferd" in report, \
+    f"merged analysis did not join both processes:\n{report}"
+m = re.search(r"exclusive total ([\d.]+) ms over a ([\d.]+) ms wall clock", report)
+assert m, f"no exclusive-total line:\n{report}"
+excl, wall = float(m.group(1)), float(m.group(2))
+assert excl <= wall, f"cross-tier exclusive {excl} ms exceeds router wall clock {wall} ms"
+assert "cross-tier exclusive self-time:" in report, f"no cross-tier split:\n{report}"
+for stage in ("route", "upstream_rtt", "run"):
+    assert re.search(rf"^\s+{stage} \(", report, re.M), \
+        f"critical path lacks the {stage} span:\n{report}"
+print(f"distributed trace smoke: trace {tid[:8]}… stitched across 2 processes, "
+      f"exclusive {excl} ms <= wall {wall} ms")
+EOF
+# Merged metrics must stay valid exposition and now carry shard-side
+# exemplars linking latency buckets to this trace id's family.
+./target/release/preinfer-client --addr "$RADDR" metrics > router_metrics.txt
+python3 - <<'EOF'
+lines = open("router_metrics.txt").read().splitlines()
+assert any(" # {trace_id=\"" in l for l in lines), \
+    "traced routed requests left no exemplars in the merged exposition"
+assert any("preinfer_traces_retained_total{reason=\"head\"}" in l and "shard" not in l
+           for l in lines), "router's own trace-retention counters missing"
+assert any("preinfer_traces_retained_total{shard=\"0\",reason=\"context\"}" in l
+           or "preinfer_traces_retained_total{shard=\"1\",reason=\"context\"}" in l
+           for l in lines), "shards did not retain context-sampled traces"
+exemplars = sum(" # {trace_id=\"" in l for l in lines)
+print(f"router metrics smoke: {len(lines)} lines, {exemplars} exemplars")
+EOF
+rm -f router_trace_hdr.txt router_trace.jsonl router_trace_report.txt router_metrics.txt
 # SIGTERM must drain the router and both shards, all exiting 0.
 kill -TERM "$ROUTER_PID"
 wait "$ROUTER_PID" || { echo "preinfer-router exited non-zero after SIGTERM"; exit 1; }
@@ -318,8 +385,60 @@ assert b["io_mode"] == "epoll" and b["concurrency"] >= 64, b
 assert b["failed"] == 0, f"bench saw {b['failed']} failed requests"
 rps = b["throughput_rps"]
 assert rps >= floor, f"epoll core {rps:.0f} rps below the {floor:.0f} rps gate (4x {baseline:.0f})"
+# The log-linear histogram must resolve the latency tail: distinct
+# quantiles, not a saturated top bucket collapsing p50/p99 together.
+p50, p90, p99 = b["p50_ms"], b["p90_ms"], b["p99_ms"]
+assert p50 < p90 < p99, f"degenerate latency tail: p50 {p50} / p90 {p90} / p99 {p99} ms"
 print(f"server bench gate: {rps:.0f} rps >= {floor:.0f} ({rps / baseline:.1f}x the threaded baseline), "
-      f"p50 {b['p50_ms']:.1f} ms, p99.9 {b['p999_ms']:.1f} ms")
+      f"p50 {p50:.1f} / p90 {p90:.1f} / p99 {p99:.1f} / p99.9 {b['p999_ms']:.1f} ms")
+EOF
+
+echo "== routed bench gate (BENCH_server_routed.json, 2 shards, tracing disabled)"
+# Pipelined load through the router with tracing off: the hot routed
+# path must carry the pipelined load cleanly, and the log-linear
+# histograms must report a real (non-clamped, distinct-quantile) tail.
+./target/release/preinferd --addr 127.0.0.1:0 --io epoll --memo on >rb_shard0.out 2>&1 &
+RB0_PID=$!
+./target/release/preinferd --addr 127.0.0.1:0 --io epoll --memo on >rb_shard1.out 2>&1 &
+RB1_PID=$!
+trap 'kill "$RB0_PID" "$RB1_PID" 2>/dev/null || true; rm -f rb_shard0.out rb_shard1.out rb_router.out' EXIT
+RB0=""; RB1=""
+for _ in $(seq 1 100); do
+    RB0="$(sed -n 's/^listening on //p' rb_shard0.out | head -n1)"
+    RB1="$(sed -n 's/^listening on //p' rb_shard1.out | head -n1)"
+    [ -n "$RB0" ] && [ -n "$RB1" ] && break
+    sleep 0.1
+done
+[ -n "$RB0" ] && [ -n "$RB1" ] || { echo "routed-bench shards never announced"; exit 1; }
+./target/release/preinfer-router --addr 127.0.0.1:0 --shard "$RB0" --shard "$RB1" \
+    >rb_router.out 2>&1 &
+RBR_PID=$!
+trap 'kill "$RBR_PID" "$RB0_PID" "$RB1_PID" 2>/dev/null || true; rm -f rb_shard0.out rb_shard1.out rb_router.out' EXIT
+RBADDR=""
+for _ in $(seq 1 100); do
+    RBADDR="$(sed -n 's/^listening on //p' rb_router.out | head -n1)"
+    [ -n "$RBADDR" ] && break
+    sleep 0.1
+done
+[ -n "$RBADDR" ] || { echo "routed-bench router never announced"; exit 1; }
+./target/release/preinfer-client --addr "$RBADDR" load \
+    --requests 20000 --concurrency 64 --pipeline 16 \
+    --label-io epoll --label-shards 2 --out BENCH_server_routed.json
+kill -TERM "$RBR_PID"
+wait "$RBR_PID" || { echo "routed-bench router exited non-zero after SIGTERM"; exit 1; }
+kill -TERM "$RB0_PID" "$RB1_PID"
+wait "$RB0_PID" || { echo "routed-bench shard 0 exited non-zero"; exit 1; }
+wait "$RB1_PID" || { echo "routed-bench shard 1 exited non-zero"; exit 1; }
+trap - EXIT
+rm -f rb_shard0.out rb_shard1.out rb_router.out
+python3 - <<'EOF'
+import json
+b = json.load(open("BENCH_server_routed.json"))
+assert b["failed"] == 0, f"routed bench saw {b['failed']} failed requests"
+p50, p90, p99 = b["p50_ms"], b["p90_ms"], b["p99_ms"]
+assert p50 < p90 < p99, f"degenerate routed tail: p50 {p50} / p90 {p90} / p99 {p99} ms"
+print(f"routed bench gate: {b['throughput_rps']:.0f} rps over 2 shards, "
+      f"p50 {p50:.1f} / p90 {p90:.1f} / p99 {p99:.1f} / p99.9 {b['p999_ms']:.1f} ms")
 EOF
 
 echo "== OK"

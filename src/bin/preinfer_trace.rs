@@ -7,7 +7,11 @@
 //! Reads a trace produced by `preinfer --trace-out` or served by
 //! `preinferd`'s `trace` verb (`preinfer-client trace --last 1 |
 //! preinfer-trace -`), reconstructs the span tree from the parent links,
-//! and reports where the time actually went:
+//! and reports where the time actually went. Stitched multi-process
+//! traces (the router's `trace --trace-id X` verb) merge into one tree —
+//! the shard's spans nest under the router's `upstream_rtt` span via the
+//! propagated trace context — and additionally report the cross-tier
+//! exclusive self-time split. The analysis reports:
 //!
 //! * per-stage totals with **exclusive self-time** (a span's duration
 //!   minus its direct children and its own solver calls) next to the
@@ -95,6 +99,13 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(tid) = &a.trace_id {
+        if a.processes.is_empty() {
+            println!("trace {tid}");
+        } else {
+            println!("trace {tid}: {}", a.processes.join(" → "));
+        }
+    }
     if let Some(run) = &a.run {
         println!("run: func={} wall={:.3} ms", run.func, ms(run.dur_us));
     }
@@ -127,6 +138,16 @@ fn main() -> ExitCode {
         ms(excl_total),
         ms(a.wall_us())
     );
+
+    // Stitched multi-process trace: split the exclusive total by tier.
+    let per_process = a.process_totals();
+    if per_process.len() >= 2 {
+        println!("\ncross-tier exclusive self-time:");
+        for (process, us) in &per_process {
+            let pct = if excl_total > 0 { 100.0 * *us as f64 / excl_total as f64 } else { 0.0 };
+            println!("  {:>16} {:>11.3} ms {:>5.1}%", process, ms(*us), pct);
+        }
+    }
 
     let path = a.critical_path();
     if !path.is_empty() {
